@@ -1,0 +1,57 @@
+//! Reed–Solomon throughput: the coding substrate of RS-Paxos.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use erasure::ReedSolomon;
+use std::hint::black_box;
+
+fn object(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i * 131 + 7) as u8).collect()
+}
+
+fn encode(c: &mut Criterion) {
+    let rs = ReedSolomon::new(3, 5);
+    let mut g = c.benchmark_group("rs_encode_theta_3_5");
+    for size in [4 * 1024usize, 64 * 1024, 1024 * 1024] {
+        let obj = object(size);
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &obj, |b, o| {
+            b.iter(|| rs.encode_object(black_box(o)))
+        });
+    }
+    g.finish();
+}
+
+fn reconstruct(c: &mut Criterion) {
+    let rs = ReedSolomon::new(3, 5);
+    let mut g = c.benchmark_group("rs_reconstruct_two_lost");
+    for size in [64 * 1024usize, 1024 * 1024] {
+        let shards = rs.encode_object(&object(size));
+        let partial: Vec<Option<Vec<u8>>> = shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i != 0 && i != 2).then(|| s.to_vec()))
+            .collect();
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &partial, |b, p| {
+            b.iter(|| rs.decode_object(black_box(p)).expect("decodable"))
+        });
+    }
+    g.finish();
+}
+
+fn wide_codes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rs_encode_64k_by_code");
+    let obj = object(64 * 1024);
+    for (m, n) in [(3usize, 5usize), (6, 9), (10, 14)] {
+        let rs = ReedSolomon::new(m, n);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("theta_{m}_{n}")),
+            &obj,
+            |b, o| b.iter(|| rs.encode_object(black_box(o))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, encode, reconstruct, wide_codes);
+criterion_main!(benches);

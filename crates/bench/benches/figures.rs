@@ -1,0 +1,73 @@
+//! One bench per evaluation artifact: the drivers behind Figs. 4–9 at
+//! smoke scale. These measure the *cost of regenerating the paper's
+//! figures*; the actual numbers are produced by the `repro` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use replay::experiments::{self, Scale};
+use std::hint::black_box;
+
+fn scale() -> Scale {
+    Scale::quick(4242)
+}
+
+fn fig1(c: &mut Criterion) {
+    c.bench_function("fig1_price_history", |b| {
+        b.iter(|| experiments::fig1_series(black_box(4242)))
+    });
+}
+
+fn fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    let s = scale();
+    g.bench_function("fig4_microbenchmark", |b| {
+        b.iter(|| experiments::fig4(black_box(&s)))
+    });
+    g.finish();
+}
+
+fn fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    let s = scale();
+    g.bench_function("fig5_one_week_feasibility", |b| {
+        b.iter(|| experiments::fig5(black_box(&s)))
+    });
+    g.finish();
+}
+
+fn fig6_7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    let s = scale();
+    g.bench_function("fig6_7_lock_sweep", |b| {
+        b.iter(|| experiments::lock_sweep(black_box(&s)))
+    });
+    g.finish();
+}
+
+fn fig8_9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    let s = scale();
+    g.bench_function("fig8_9_storage_sweep", |b| {
+        b.iter(|| experiments::storage_sweep(black_box(&s)))
+    });
+    g.finish();
+}
+
+fn ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    let s = scale();
+    g.bench_function("ablation_estimator", |b| {
+        b.iter(|| experiments::ablation_estimator(black_box(&s)))
+    });
+    g.bench_function("ablation_greedy_vs_exact", |b| {
+        b.iter(|| experiments::ablation_greedy_vs_exact(black_box(&s)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig1, fig4, fig5, fig6_7, fig8_9, ablations);
+criterion_main!(benches);

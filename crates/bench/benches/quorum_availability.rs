@@ -1,0 +1,67 @@
+//! Availability-math benches: Eq. 1 evaluation strategies and the
+//! inverse solver of Fig. 3 line 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quorum::{
+    acceptance_availability, node_failure_pr, optimal_system, threshold_availability,
+    MajorityQuorum, QuorumSystem,
+};
+use std::hint::black_box;
+
+fn fps(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 0.01 + 0.005 * (i % 7) as f64).collect()
+}
+
+fn threshold_dp_vs_enumeration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("availability_eq1");
+    for n in [5usize, 9, 13, 17] {
+        let p = fps(n);
+        let k = n / 2 + 1;
+        g.bench_with_input(BenchmarkId::new("threshold_dp", n), &p, |b, p| {
+            b.iter(|| threshold_availability(black_box(p), k))
+        });
+        if n <= 17 {
+            g.bench_with_input(BenchmarkId::new("enumeration", n), &p, |b, p| {
+                b.iter(|| {
+                    acceptance_availability(p.len(), black_box(p), |m| m.count_ones() as usize >= k)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn weighted_voting(c: &mut Criterion) {
+    let p = fps(9);
+    c.bench_function("optimal_weighted_system_9", |b| {
+        b.iter(|| {
+            let sys = optimal_system(black_box(&p));
+            sys.availability(&p)
+        })
+    });
+}
+
+fn inverse_solver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("node_failure_pr");
+    for n in [5usize, 9, 17] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| node_failure_pr(n, n / 2 + 1, black_box(0.9999901494)))
+        });
+    }
+    g.finish();
+}
+
+fn acceptance_set_construction(c: &mut Criterion) {
+    c.bench_function("majority17_acceptance_set", |b| {
+        b.iter(|| MajorityQuorum::new(17).acceptance_set())
+    });
+}
+
+criterion_group!(
+    benches,
+    threshold_dp_vs_enumeration,
+    weighted_voting,
+    inverse_solver,
+    acceptance_set_construction
+);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! # bench — shared fixtures for the Criterion benchmark suite
+//!
+//! The benches live in `benches/`; one target per paper artifact:
+//!
+//! | Bench target | Covers |
+//! |---|---|
+//! | `price_model` | kernel estimation, interval forecasts, min-bid search (the per-interval cost of the framework, Fig. 2) |
+//! | `quorum_availability` | Eq. 1 evaluation: threshold DP vs enumeration, weighted voting, the Fig. 3 line-4 solver |
+//! | `erasure_codec` | θ(m,n) encode/decode throughput (the RS-Paxos substrate) |
+//! | `bidding` | the Fig. 3 algorithm end-to-end on 17 zones; the exact NLP solver on small instances |
+//! | `consensus` | Paxos lock-service commit throughput and failover on simnet |
+//! | `figures` | the experiment drivers behind Figs. 4–9 at smoke scale |
+
+use spot_market::{InstanceType, Market, MarketConfig, PriceTrace, Zone};
+
+/// A standard benchmark market: `weeks` of history, `zones` zones,
+/// `m1.small`, fixed seed.
+pub fn bench_market(weeks: u64, zones: usize) -> Market {
+    let mut cfg = MarketConfig::paper(4242, weeks * 7 * 24 * 60);
+    cfg.zones.truncate(zones);
+    cfg.types = vec![InstanceType::M1Small];
+    Market::generate(cfg)
+}
+
+/// The first zone's trace from [`bench_market`].
+pub fn bench_trace(weeks: u64) -> (Zone, PriceTrace) {
+    let market = bench_market(weeks, 1);
+    let zone = market.zones()[0];
+    (zone, market.trace(zone, InstanceType::M1Small).clone())
+}

@@ -1,0 +1,237 @@
+//! GF(2⁸) arithmetic with the 0x11D reduction polynomial
+//! (x⁸ + x⁴ + x³ + x² + 1), the field conventionally used by storage
+//! Reed–Solomon implementations.
+//!
+//! Multiplication and inversion go through compile-time log/exp tables:
+//! the field's multiplicative group is cyclic of order 255 with generator
+//! 2, so `a·b = exp[(log a + log b) mod 255]`.
+
+/// The reduction polynomial, as the low 9 bits of 0x11D.
+const POLY: u16 = 0x11D;
+
+/// exp[i] = 2^i (tabulated over 0..512 to skip the mod-255 reduction).
+const EXP: [u8; 512] = build_exp();
+/// log[a] = discrete log base 2 of a (log[0] is unused).
+const LOG: [u8; 256] = build_log();
+
+const fn build_exp() -> [u8; 512] {
+    let mut table = [0u8; 512];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        table[i] = x as u8;
+        table[i + 255] = x as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= POLY;
+        }
+        i += 1;
+    }
+    // Positions 510, 511 are never indexed (log sums < 510) but must be
+    // initialized: keep them consistent with the cycle.
+    table[510] = table[0];
+    table[511] = table[1];
+    table
+}
+
+const fn build_log() -> [u8; 256] {
+    let exp = build_exp();
+    let mut table = [0u8; 256];
+    let mut i = 0;
+    while i < 255 {
+        table[exp[i] as usize] = i as u8;
+        i += 1;
+    }
+    table
+}
+
+/// An element of GF(2⁸).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub struct Gf(pub u8);
+
+// Field operations are deliberately inherent methods rather than the std
+// `Add`/`Mul`/`Div` operator traits: the hot encode/decode loops call them
+// through explicit names, and operator syntax on a `u8` newtype invites
+// accidental integer arithmetic.
+#[allow(clippy::should_implement_trait)]
+impl Gf {
+    /// The additive identity.
+    pub const ZERO: Gf = Gf(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf = Gf(1);
+    /// The generator of the multiplicative group.
+    pub const GENERATOR: Gf = Gf(2);
+
+    /// Field addition (== subtraction == XOR).
+    #[inline]
+    pub fn add(self, rhs: Gf) -> Gf {
+        Gf(self.0 ^ rhs.0)
+    }
+
+    /// Field multiplication via log/exp tables.
+    #[inline]
+    pub fn mul(self, rhs: Gf) -> Gf {
+        if self.0 == 0 || rhs.0 == 0 {
+            return Gf::ZERO;
+        }
+        Gf(EXP[LOG[self.0 as usize] as usize + LOG[rhs.0 as usize] as usize])
+    }
+
+    /// Multiplicative inverse; panics on zero.
+    #[inline]
+    pub fn inv(self) -> Gf {
+        assert!(self.0 != 0, "inverse of zero in GF(256)");
+        Gf(EXP[255 - LOG[self.0 as usize] as usize])
+    }
+
+    /// Field division; panics when `rhs` is zero.
+    #[inline]
+    pub fn div(self, rhs: Gf) -> Gf {
+        self.mul(rhs.inv())
+    }
+
+    /// `self` raised to the `k`-th power.
+    pub fn pow(self, mut k: u32) -> Gf {
+        if self.0 == 0 {
+            return if k == 0 { Gf::ONE } else { Gf::ZERO };
+        }
+        k %= 255;
+        Gf(EXP[(LOG[self.0 as usize] as u32 * k % 255) as usize])
+    }
+}
+
+/// Multiply-accumulate a byte slice: `dst[i] ^= c · src[i]`. The hot loop
+/// of the encoder — kept free of per-byte branching by hoisting the
+/// log-table lookup of `c`.
+pub fn mul_acc_slice(dst: &mut [u8], src: &[u8], c: Gf) {
+    assert_eq!(dst.len(), src.len(), "shard length mismatch");
+    if c.0 == 0 {
+        return;
+    }
+    if c.0 == 1 {
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d ^= s;
+        }
+        return;
+    }
+    let log_c = LOG[c.0 as usize] as usize;
+    for (d, &s) in dst.iter_mut().zip(src) {
+        if s != 0 {
+            *d ^= EXP[log_c + LOG[s as usize] as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_is_xor_and_self_inverse() {
+        let a = Gf(0x57);
+        let b = Gf(0x83);
+        assert_eq!(a.add(b), Gf(0x57 ^ 0x83));
+        assert_eq!(a.add(a), Gf::ZERO);
+        assert_eq!(a.add(Gf::ZERO), a);
+    }
+
+    #[test]
+    fn known_multiplication_vectors() {
+        // 2 · 2 = 4; generator powers follow the table construction.
+        assert_eq!(Gf(2).mul(Gf(2)), Gf(4));
+        assert_eq!(Gf(0x80).mul(Gf(2)), Gf((0x100u16 ^ POLY) as u8));
+        assert_eq!(Gf(7).mul(Gf::ONE), Gf(7));
+        assert_eq!(Gf(255).mul(Gf::ZERO), Gf::ZERO);
+    }
+
+    #[test]
+    fn multiplication_matches_schoolbook() {
+        // Carry-less multiply then reduce — the definitional product.
+        fn slow_mul(a: u8, b: u8) -> u8 {
+            let mut acc: u16 = 0;
+            let mut a = a as u16;
+            let mut b = b as u16;
+            while b != 0 {
+                if b & 1 != 0 {
+                    acc ^= a;
+                }
+                a <<= 1;
+                if a & 0x100 != 0 {
+                    a ^= POLY;
+                }
+                b >>= 1;
+            }
+            acc as u8
+        }
+        for a in 0..=255u8 {
+            for b in (0..=255u8).step_by(7) {
+                assert_eq!(Gf(a).mul(Gf(b)).0, slow_mul(a, b), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_has_inverse() {
+        for a in 1..=255u8 {
+            let inv = Gf(a).inv();
+            assert_eq!(Gf(a).mul(inv), Gf::ONE, "a={a}");
+        }
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        for a in 1..=255u8 {
+            for b in (1..=255u8).step_by(11) {
+                let prod = Gf(a).mul(Gf(b));
+                assert_eq!(prod.div(Gf(b)), Gf(a));
+            }
+        }
+    }
+
+    #[test]
+    fn generator_has_order_255() {
+        let mut x = Gf::ONE;
+        for i in 1..255 {
+            x = x.mul(Gf::GENERATOR);
+            assert_ne!(x, Gf::ONE, "generator order divides {i}");
+        }
+        assert_eq!(x.mul(Gf::GENERATOR), Gf::ONE);
+    }
+
+    #[test]
+    fn pow_semantics() {
+        assert_eq!(Gf(3).pow(0), Gf::ONE);
+        assert_eq!(Gf(3).pow(1), Gf(3));
+        assert_eq!(Gf(3).pow(2), Gf(3).mul(Gf(3)));
+        assert_eq!(Gf(3).pow(255), Gf::ONE);
+        assert_eq!(Gf::ZERO.pow(0), Gf::ONE);
+        assert_eq!(Gf::ZERO.pow(5), Gf::ZERO);
+    }
+
+    #[test]
+    fn distributivity_spot_checks() {
+        for a in (0..=255u8).step_by(13) {
+            for b in (0..=255u8).step_by(17) {
+                for c in (0..=255u8).step_by(29) {
+                    let left = Gf(a).mul(Gf(b).add(Gf(c)));
+                    let right = Gf(a).mul(Gf(b)).add(Gf(a).mul(Gf(c)));
+                    assert_eq!(left, right);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mul_acc_slice_matches_elementwise() {
+        let src: Vec<u8> = (0..=255).collect();
+        for c in [Gf(0), Gf(1), Gf(2), Gf(0x1D), Gf(255)] {
+            let mut dst = vec![0xA5u8; 256];
+            let mut expect = dst.clone();
+            mul_acc_slice(&mut dst, &src, c);
+            for (e, &s) in expect.iter_mut().zip(&src) {
+                *e ^= c.mul(Gf(s)).0;
+            }
+            assert_eq!(dst, expect, "c={:?}", c);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests of the Reed–Solomon codec: for every code shape
+//! and payload, any `m` survivors reconstruct the object exactly.
+
+use erasure::{Gf, ReedSolomon};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Round trip: encode, drop all but a random m-subset, decode.
+    #[test]
+    fn any_m_of_n_reconstructs(
+        m in 1usize..=6,
+        extra in 1usize..=4,
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        subset_seed in any::<u64>(),
+    ) {
+        let n = m + extra;
+        let rs = ReedSolomon::new(m, n);
+        let shards = rs.encode_object(&data);
+        prop_assert_eq!(shards.len(), n);
+
+        // Pick a pseudo-random m-subset of survivors.
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut s = subset_seed;
+        for i in (1..n).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        let keep: std::collections::HashSet<usize> = order.into_iter().take(m).collect();
+        let partial: Vec<Option<Vec<u8>>> = shards
+            .iter()
+            .enumerate()
+            .map(|(i, sh)| keep.contains(&i).then(|| sh.to_vec()))
+            .collect();
+        let decoded = rs.decode_object(&partial).expect("m survivors decode");
+        prop_assert_eq!(decoded, data);
+    }
+
+    /// Fewer than m shards must fail loudly, never return wrong data.
+    #[test]
+    fn below_threshold_always_errors(
+        m in 2usize..=5,
+        extra in 1usize..=3,
+        data in proptest::collection::vec(any::<u8>(), 1..512),
+    ) {
+        let n = m + extra;
+        let rs = ReedSolomon::new(m, n);
+        let shards = rs.encode_object(&data);
+        let partial: Vec<Option<Vec<u8>>> = shards
+            .iter()
+            .enumerate()
+            .map(|(i, sh)| (i < m - 1).then(|| sh.to_vec()))
+            .collect();
+        prop_assert!(rs.decode_object(&partial).is_err());
+    }
+
+    /// Parity shards are linear: encoding the XOR of two shard sets
+    /// equals the XOR of the encodings (GF(2⁸) addition is XOR).
+    #[test]
+    fn encoding_is_linear(
+        a in proptest::collection::vec(any::<u8>(), 30..60),
+        b in proptest::collection::vec(any::<u8>(), 30..60),
+    ) {
+        let rs = ReedSolomon::new(3, 5);
+        let len = a.len().min(b.len()) / 3 * 3;
+        if len == 0 { return Ok(()); }
+        let (a, b) = (&a[..len], &b[..len]);
+        let shards = |x: &[u8]| -> Vec<Vec<u8>> {
+            let data: Vec<Vec<u8>> = x.chunks(len / 3).map(<[u8]>::to_vec).collect();
+            rs.encode(&data).expect("well-formed")
+        };
+        let ea = shards(a);
+        let eb = shards(b);
+        let xored: Vec<u8> = a.iter().zip(b).map(|(x, y)| x ^ y).collect();
+        let ex = shards(&xored);
+        for i in 0..5 {
+            let manual: Vec<u8> = ea[i].iter().zip(&eb[i]).map(|(x, y)| x ^ y).collect();
+            prop_assert_eq!(&ex[i], &manual, "shard {}", i);
+        }
+    }
+
+    /// Field axioms on random elements.
+    #[test]
+    fn gf256_field_axioms(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+        let (a, b, c) = (Gf(a), Gf(b), Gf(c));
+        // Associativity and commutativity of multiplication.
+        prop_assert_eq!(a.mul(b).mul(c), a.mul(b.mul(c)));
+        prop_assert_eq!(a.mul(b), b.mul(a));
+        // Distributivity.
+        prop_assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+        // Inverses.
+        if a != Gf::ZERO {
+            prop_assert_eq!(a.mul(a.inv()), Gf::ONE);
+            prop_assert_eq!(a.div(a), Gf::ONE);
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! The Jupiter online bidding algorithm (Fig. 3): enumeration over node
+//! counts + greedy zone selection.
+//!
+//! For every candidate node count `n`:
+//!
+//! 1. derive the per-node failure-probability target `FP` that keeps an
+//!    `n`-node deployment at the availability target when every node has
+//!    the same failure probability (equal probabilities are optimal for a
+//!    fixed threshold quorum, §4.1);
+//! 2. per availability zone, find the **minimal bid** whose estimated
+//!    failure probability over the interval is ≤ `FP` (bids capped below
+//!    the on-demand price);
+//! 3. sort the feasible bids and greedily take the `n` cheapest;
+//! 4. the candidate's score is its cost upper bound Σ bids.
+//!
+//! The answer is the candidate with the lowest upper bound. Zone forecasts
+//! are computed once and shared across all `n` (they do not depend on the
+//! node count), and in parallel across zones with rayon — the dominant
+//! cost is the semi-Markov forward evolution per zone.
+
+use rayon::prelude::*;
+use spot_market::{Price, Zone};
+
+use crate::service::ServiceSpec;
+use crate::strategy::{BidDecision, BiddingStrategy, ZoneState};
+
+/// Which per-instance failure estimator drives the minimum-bid search.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Estimator {
+    /// The paper's Eq. 5: expected fraction of the interval spent
+    /// out-of-bid. Cheap (one forecast answers every candidate bid), but
+    /// it prices *downtime share*, not the chance of being killed.
+    #[default]
+    Expectation,
+    /// Absorbing variant: the probability of being killed at all during
+    /// the interval. Strictly more conservative; costs one forward
+    /// evolution per probed bid (binary-searched). Used by the ablation
+    /// study.
+    Absorbing,
+}
+
+/// The paper's bidding algorithm ("Jupiter").
+#[derive(Clone, Debug, Default)]
+pub struct JupiterStrategy {
+    /// Cap the enumeration of node counts (`None` = up to the zone count).
+    pub max_nodes: Option<usize>,
+    /// The failure estimator variant.
+    pub estimator: Estimator,
+}
+
+impl JupiterStrategy {
+    /// The paper's algorithm: expectation estimator, every node count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The ablation variant driven by absorbing (kill-probability)
+    /// estimates.
+    pub fn absorbing() -> Self {
+        JupiterStrategy {
+            max_nodes: None,
+            estimator: Estimator::Absorbing,
+        }
+    }
+}
+
+impl BiddingStrategy for JupiterStrategy {
+    fn name(&self) -> String {
+        match self.estimator {
+            Estimator::Expectation => "Jupiter".into(),
+            Estimator::Absorbing => "Jupiter-abs".into(),
+        }
+    }
+
+    fn decide(
+        &self,
+        zones: &[ZoneState<'_>],
+        spec: &ServiceSpec,
+        horizon_minutes: u32,
+    ) -> BidDecision {
+        if zones.is_empty() {
+            return BidDecision::empty();
+        }
+        // One forecast per zone, shared by every node-count candidate
+        // (expectation estimator). For the absorbing estimator every
+        // probed level costs a full forward evolution, so probes are
+        // memoized per zone *across* node counts — distinct targets
+        // mostly revisit the same handful of ladder levels.
+        let forecasts: Vec<_> = match self.estimator {
+            Estimator::Expectation => zones
+                .par_iter()
+                .map(|z| z.forecast(horizon_minutes))
+                .collect(),
+            Estimator::Absorbing => vec![None; zones.len()],
+        };
+        let absorbing_cache: Vec<std::sync::Mutex<std::collections::HashMap<Price, f64>>> =
+            zones.iter().map(|_| Default::default()).collect();
+        let absorbing_fp = |zi: usize, bid: Price| -> f64 {
+            if let Some(&fp) = absorbing_cache[zi].lock().expect("poisoned").get(&bid) {
+                return fp;
+            }
+            let z = &zones[zi];
+            let fp =
+                z.model
+                    .estimate_fp_absorbing(bid, z.spot_price, z.sojourn_age, horizon_minutes);
+            absorbing_cache[zi]
+                .lock()
+                .expect("poisoned")
+                .insert(bid, fp);
+            fp
+        };
+        // Minimal feasible bid on the level ladder by binary search
+        // (absorbing FP is non-increasing in the bid).
+        let absorbing_min_bid = |zi: usize, target: f64| -> Option<Price> {
+            let z = &zones[zi];
+            let candidates: Vec<Price> = std::iter::once(z.spot_price)
+                .chain(z.model.kernel().prices().iter().copied())
+                .filter(|&b| b >= z.spot_price && b < z.on_demand)
+                .collect();
+            if candidates.is_empty() {
+                return None;
+            }
+            let (mut lo, mut hi) = (0usize, candidates.len());
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if absorbing_fp(zi, candidates[mid]) <= target {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            candidates
+                .get(lo)
+                .copied()
+                .filter(|&b| absorbing_fp(zi, b) <= target)
+        };
+
+        let max_n = self.max_nodes.unwrap_or(zones.len()).min(zones.len());
+        let mut best: Option<(Price, BidDecision)> = None;
+        for n in 1..=max_n {
+            let Some(fp_target) = spec.node_fp_target(n) else {
+                continue;
+            };
+            // Minimal feasible bid per zone at this target.
+            let mut bids: Vec<(Zone, Price)> = match self.estimator {
+                Estimator::Expectation => zones
+                    .iter()
+                    .zip(&forecasts)
+                    .filter_map(|(z, f)| {
+                        let f = f.as_ref()?;
+                        z.min_bid(f, fp_target).map(|b| (z.zone, b))
+                    })
+                    .collect(),
+                Estimator::Absorbing => (0..zones.len())
+                    .into_par_iter()
+                    .filter_map(|zi| absorbing_min_bid(zi, fp_target).map(|b| (zones[zi].zone, b)))
+                    .collect(),
+            };
+            if bids.len() < n {
+                continue; // not enough zones can meet the target
+            }
+            // Greedy: cheapest n zones.
+            bids.sort_by_key(|(z, b)| (*b, z.ordinal()));
+            bids.truncate(n);
+            let candidate = BidDecision { bids };
+            let cost = candidate.cost_upper_bound();
+            let better = best.as_ref().map(|(c, _)| cost < *c).unwrap_or(true);
+            if better {
+                best = Some((cost, candidate));
+            }
+        }
+        best.map(|(_, d)| d).unwrap_or_else(BidDecision::empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spot_market::{InstanceType, PricePoint, PriceTrace, Region};
+    use spot_model::{FailureModel, FailureModelConfig};
+
+    fn p(d: f64) -> Price {
+        Price::from_dollars(d)
+    }
+
+    /// A zone whose price alternates `low` (stay minutes) → `high`
+    /// (3 min) — riskier the longer `high` dwells relative to `low`.
+    fn model(low: f64, high: f64, stay: u64) -> FailureModel {
+        let mut points = Vec::new();
+        let mut t = 0;
+        for _ in 0..200 {
+            points.push(PricePoint {
+                minute: t,
+                price: p(low),
+            });
+            t += stay;
+            points.push(PricePoint {
+                minute: t,
+                price: p(high),
+            });
+            t += 3;
+        }
+        FailureModel::from_trace(&PriceTrace::new(points, t), FailureModelConfig::default())
+    }
+
+    fn zone(i: usize) -> Zone {
+        let zones = spot_market::topology::all_zones();
+        zones[i]
+    }
+
+    #[test]
+    fn picks_safe_bids_meeting_availability() {
+        // 6 zones, all calm (price alternates 0.008/0.012, high phase is
+        // brief): bidding 0.012 pins FP at FP0 = 0.01.
+        let models: Vec<FailureModel> = (0..6).map(|_| model(0.008, 0.012, 60)).collect();
+        let states: Vec<ZoneState> = models
+            .iter()
+            .enumerate()
+            .map(|(i, m)| ZoneState {
+                zone: zone(i),
+                spot_price: p(0.008),
+                sojourn_age: 5,
+                on_demand: InstanceType::M1Small.on_demand_price(Region::UsEast1),
+                model: m,
+            })
+            .collect();
+        let spec = ServiceSpec::lock_service();
+        let d = JupiterStrategy::new().decide(&states, &spec, 360);
+        assert!(d.n() >= 5, "needs ≥5 nodes at FP≈0.01: got {}", d.n());
+        for (_, b) in &d.bids {
+            assert_eq!(*b, p(0.012), "minimal safe bid is the high level");
+        }
+    }
+
+    #[test]
+    fn prefers_cheaper_zones() {
+        // Two cheap-safe zones, four expensive-safe zones; at n = 5 the
+        // cheap ones must be included.
+        let cheap = model(0.004, 0.006, 60);
+        let pricey = model(0.010, 0.014, 60);
+        let models = [&cheap, &cheap, &pricey, &pricey, &pricey, &pricey];
+        let states: Vec<ZoneState> = models
+            .iter()
+            .enumerate()
+            .map(|(i, m)| ZoneState {
+                zone: zone(i),
+                spot_price: if i < 2 { p(0.004) } else { p(0.010) },
+                sojourn_age: 5,
+                on_demand: p(0.044),
+                model: m,
+            })
+            .collect();
+        let spec = ServiceSpec::lock_service();
+        let d = JupiterStrategy::new().decide(&states, &spec, 360);
+        assert!(d.bid_for(zone(0)).is_some());
+        assert!(d.bid_for(zone(1)).is_some());
+        assert_eq!(d.bid_for(zone(0)), Some(p(0.006)));
+    }
+
+    #[test]
+    fn untrainable_zones_are_skipped() {
+        let trained = model(0.008, 0.012, 60);
+        let untrained = FailureModel::new(FailureModelConfig::default());
+        let models: Vec<&FailureModel> =
+            vec![&trained, &trained, &trained, &trained, &trained, &untrained];
+        let states: Vec<ZoneState> = models
+            .iter()
+            .enumerate()
+            .map(|(i, m)| ZoneState {
+                zone: zone(i),
+                spot_price: p(0.008),
+                sojourn_age: 0,
+                on_demand: p(0.044),
+                model: m,
+            })
+            .collect();
+        let spec = ServiceSpec::lock_service();
+        let d = JupiterStrategy::new().decide(&states, &spec, 360);
+        assert!(
+            d.bid_for(zone(5)).is_none(),
+            "untrained zone must not be bid"
+        );
+        assert!(d.n() >= 5);
+    }
+
+    #[test]
+    fn infeasible_everywhere_returns_empty() {
+        // One zone, lock service needs FP ≈ 0.0017 at n = 1... a single
+        // node can never reach 0.99999 availability with FP0 = 0.01, and
+        // there are not enough zones for more nodes.
+        let m = model(0.008, 0.012, 60);
+        let states = vec![ZoneState {
+            zone: zone(0),
+            spot_price: p(0.008),
+            sojourn_age: 0,
+            on_demand: p(0.044),
+            model: &m,
+        }];
+        let spec = ServiceSpec::lock_service();
+        let d = JupiterStrategy::new().decide(&states, &spec, 360);
+        assert_eq!(d, BidDecision::empty());
+    }
+
+    #[test]
+    fn absorbing_variant_bids_at_least_as_high() {
+        let models: Vec<FailureModel> = (0..6).map(|_| model(0.008, 0.012, 60)).collect();
+        let states: Vec<ZoneState> = models
+            .iter()
+            .enumerate()
+            .map(|(i, m)| ZoneState {
+                zone: zone(i),
+                spot_price: p(0.008),
+                sojourn_age: 5,
+                on_demand: p(0.044),
+                model: m,
+            })
+            .collect();
+        let spec = ServiceSpec::lock_service();
+        let expectation = JupiterStrategy::new().decide(&states, &spec, 240);
+        let absorbing = JupiterStrategy::absorbing().decide(&states, &spec, 240);
+        // For every zone both selected, the absorbing bid dominates.
+        for (z, b_abs) in &absorbing.bids {
+            if let Some(b_exp) = expectation.bid_for(*z) {
+                assert!(*b_abs >= b_exp, "{}: {b_abs:?} < {b_exp:?}", z.name());
+            }
+        }
+    }
+
+    #[test]
+    fn storage_spec_uses_larger_quorums() {
+        // With the RS rule the same market needs more reliable nodes:
+        // the decision never uses fewer than m = 3 nodes.
+        let models: Vec<FailureModel> = (0..8).map(|_| model(0.02, 0.03, 120)).collect();
+        let states: Vec<ZoneState> = models
+            .iter()
+            .enumerate()
+            .map(|(i, m)| ZoneState {
+                zone: zone(i),
+                spot_price: p(0.02),
+                sojourn_age: 10,
+                on_demand: InstanceType::M3Large.on_demand_price(Region::UsEast1),
+                model: m,
+            })
+            .collect();
+        let spec = ServiceSpec::storage_service();
+        let d = JupiterStrategy::new().decide(&states, &spec, 360);
+        if d.n() > 0 {
+            assert!(d.n() >= 3, "θ(3,·) needs at least 3 nodes");
+        }
+    }
+}

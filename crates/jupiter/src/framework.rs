@@ -1,0 +1,189 @@
+//! The bidding framework (Fig. 2): failure models per availability zone,
+//! online training, and the bidding loop entry point.
+
+use std::collections::HashMap;
+
+use rayon::prelude::*;
+use spot_market::{InstanceType, Price, PriceTrace, Zone};
+use spot_model::{FailureModel, FailureModelConfig};
+
+use crate::service::ServiceSpec;
+use crate::strategy::{BidDecision, BiddingStrategy, ZoneState};
+
+/// A live market observation for one zone, fed to
+/// [`BiddingFramework::decide`].
+#[derive(Clone, Copy, Debug)]
+pub struct MarketSnapshot {
+    /// The zone.
+    pub zone: Zone,
+    /// Current spot price.
+    pub spot_price: Price,
+    /// Minutes at the current price.
+    pub sojourn_age: u32,
+}
+
+/// The availability- and cost-aware bidding framework of Fig. 2: the spot
+/// instance failure model (one per zone) feeding the online bidding
+/// module.
+pub struct BiddingFramework<S: BiddingStrategy> {
+    spec: ServiceSpec,
+    strategy: S,
+    models: HashMap<Zone, FailureModel>,
+    model_config: FailureModelConfig,
+}
+
+impl<S: BiddingStrategy> BiddingFramework<S> {
+    /// A framework for `spec` driven by `strategy`.
+    pub fn new(spec: ServiceSpec, strategy: S) -> Self {
+        let model_config = FailureModelConfig {
+            fp0: spec.fp0,
+            ..FailureModelConfig::default()
+        };
+        BiddingFramework {
+            spec,
+            strategy,
+            models: HashMap::new(),
+            model_config,
+        }
+    }
+
+    /// The service spec.
+    pub fn spec(&self) -> &ServiceSpec {
+        &self.spec
+    }
+
+    /// The strategy's display name.
+    pub fn strategy_name(&self) -> String {
+        self.strategy.name()
+    }
+
+    /// Feed spot-price history for a zone into its failure model
+    /// (training and continuous online refinement both go through here).
+    pub fn observe(&mut self, zone: Zone, trace: &PriceTrace) {
+        self.models
+            .entry(zone)
+            .or_insert_with(|| FailureModel::new(self.model_config))
+            .observe(trace);
+    }
+
+    /// Train all zones from a common history source in parallel.
+    pub fn train_all<'a, I>(&mut self, histories: I)
+    where
+        I: IntoIterator<Item = (Zone, &'a PriceTrace)>,
+    {
+        let cfg = self.model_config;
+        let items: Vec<(Zone, &PriceTrace)> = histories.into_iter().collect();
+        let trained: Vec<(Zone, FailureModel)> = items
+            .into_par_iter()
+            .map(|(zone, trace)| (zone, FailureModel::from_trace(trace, cfg)))
+            .collect();
+        for (zone, model) in trained {
+            // Merge with any existing model by re-inserting (fresh batch
+            // training replaces; use `observe` for incremental updates).
+            self.models.insert(zone, model);
+        }
+    }
+
+    /// The trained model for `zone`, if any.
+    pub fn model(&self, zone: Zone) -> Option<&FailureModel> {
+        self.models.get(&zone)
+    }
+
+    /// Make the bidding decision for the next interval (Fig. 2's online
+    /// bidding step). Zones without a trained model are skipped.
+    pub fn decide(&self, snapshots: &[MarketSnapshot], horizon_minutes: u32) -> BidDecision {
+        let ty: InstanceType = self.spec.instance_type;
+        let states: Vec<ZoneState<'_>> = snapshots
+            .iter()
+            .filter_map(|s| {
+                self.models.get(&s.zone).map(|model| ZoneState {
+                    zone: s.zone,
+                    spot_price: s.spot_price,
+                    sojourn_age: s.sojourn_age,
+                    on_demand: ty.on_demand_price(s.zone.region),
+                    model,
+                })
+            })
+            .collect();
+        self.strategy.decide(&states, &self.spec, horizon_minutes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::JupiterStrategy;
+    use spot_market::{GenParams, TraceGenerator};
+
+    #[test]
+    fn end_to_end_on_synthetic_market() {
+        // Train on 4 weeks of generated history for 8 zones, then decide.
+        let gen = TraceGenerator::with_params(77, GenParams::default());
+        let zones: Vec<Zone> = spot_market::topology::experiment_zones()
+            .into_iter()
+            .take(8)
+            .collect();
+        let ty = InstanceType::M1Small;
+        let horizon = 4 * 7 * 24 * 60;
+        let traces: Vec<(Zone, PriceTrace)> = zones
+            .iter()
+            .map(|&z| (z, gen.generate(z, ty, horizon)))
+            .collect();
+
+        let mut fw = BiddingFramework::new(ServiceSpec::lock_service(), JupiterStrategy::new());
+        fw.train_all(traces.iter().map(|(z, t)| (*z, t)));
+
+        let snapshots: Vec<MarketSnapshot> = traces
+            .iter()
+            .map(|(z, t)| MarketSnapshot {
+                zone: *z,
+                spot_price: t.price_at(horizon - 1),
+                sojourn_age: 3,
+            })
+            .collect();
+        let d = fw.decide(&snapshots, 360);
+        assert!(
+            d.n() >= 5,
+            "synthetic market should be biddable: n={}",
+            d.n()
+        );
+        // Bids never reach the on-demand price.
+        for (z, b) in &d.bids {
+            assert!(*b < ty.on_demand_price(z.region));
+        }
+        // And the upper bound is far below on-demand cost for 5 nodes.
+        let od5 = ty.on_demand_price(zones[0].region) * 5;
+        assert!(
+            d.cost_upper_bound() < od5,
+            "{} vs {}",
+            d.cost_upper_bound(),
+            od5
+        );
+    }
+
+    #[test]
+    fn untrained_zones_are_not_bid() {
+        let fw = BiddingFramework::new(ServiceSpec::lock_service(), JupiterStrategy::new());
+        let snap = MarketSnapshot {
+            zone: spot_market::topology::all_zones()[0],
+            spot_price: Price::from_dollars(0.008),
+            sojourn_age: 0,
+        };
+        let d = fw.decide(&[snap], 60);
+        assert_eq!(d.n(), 0);
+    }
+
+    #[test]
+    fn incremental_observation_trains() {
+        let gen = TraceGenerator::new(5);
+        let zone = spot_market::topology::all_zones()[0];
+        let trace = gen.generate(zone, InstanceType::M1Small, 7 * 24 * 60);
+        let mut fw = BiddingFramework::new(ServiceSpec::lock_service(), JupiterStrategy::new());
+        assert!(fw.model(zone).is_none());
+        fw.observe(zone, &trace.window(0, 5_000));
+        fw.observe(zone, &trace.window(5_000, 10_000));
+        let m = fw.model(zone).unwrap();
+        assert!(m.is_trained());
+        assert!(m.kernel().total_transitions() > 0);
+    }
+}

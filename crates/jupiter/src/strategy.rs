@@ -1,0 +1,130 @@
+//! The strategy interface and market snapshots.
+
+use spot_market::{Price, Zone};
+use spot_model::{FailureModel, Forecast};
+
+use crate::service::ServiceSpec;
+
+/// Everything a strategy may know about one availability zone at bidding
+/// time.
+pub struct ZoneState<'a> {
+    /// The zone.
+    pub zone: Zone,
+    /// Current spot price.
+    pub spot_price: Price,
+    /// Minutes the spot price has held its current value (the semi-Markov
+    /// sojourn age).
+    pub sojourn_age: u32,
+    /// The on-demand price (the framework's bid cap, §4.2).
+    pub on_demand: Price,
+    /// The zone's trained failure model.
+    pub model: &'a FailureModel,
+}
+
+impl ZoneState<'_> {
+    /// Forecast this zone over `horizon` minutes (None if untrained).
+    pub fn forecast(&self, horizon: u32) -> Option<Forecast> {
+        self.model
+            .forecast(self.spot_price, self.sojourn_age, horizon)
+    }
+
+    /// The minimal bid meeting `target_fp` from a precomputed forecast,
+    /// capped strictly below on-demand; `None` when infeasible.
+    pub fn min_bid(&self, forecast: &Forecast, target_fp: f64) -> Option<Price> {
+        let candidates = std::iter::once(self.spot_price)
+            .chain(forecast.levels().iter().copied())
+            .filter(|&b| b >= self.spot_price && b < self.on_demand);
+        let mut best: Option<Price> = None;
+        for b in candidates {
+            if self.model.fp_from_forecast(forecast, b, self.spot_price) <= target_fp {
+                best = Some(best.map_or(b, |prev: Price| prev.min(b)));
+            }
+        }
+        best
+    }
+}
+
+/// A bidding decision: which zones to hold instances in and at what bids,
+/// for the coming interval.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BidDecision {
+    /// Zone and bid for every instance to run.
+    pub bids: Vec<(Zone, Price)>,
+}
+
+impl BidDecision {
+    /// An empty decision (run nothing — the strategy found no feasible
+    /// deployment; the framework falls back to on-demand).
+    pub fn empty() -> Self {
+        BidDecision { bids: Vec::new() }
+    }
+
+    /// The number of instances.
+    pub fn n(&self) -> usize {
+        self.bids.len()
+    }
+
+    /// The objective value: the cost upper bound Σ bids (one interval at
+    /// worst-case prices).
+    pub fn cost_upper_bound(&self) -> Price {
+        self.bids.iter().map(|(_, b)| *b).sum()
+    }
+
+    /// The bid for `zone`, if one was placed.
+    pub fn bid_for(&self, zone: Zone) -> Option<Price> {
+        self.bids.iter().find(|(z, _)| *z == zone).map(|(_, b)| *b)
+    }
+}
+
+/// A bidding strategy: market snapshot in, bid decision out.
+pub trait BiddingStrategy: Send + Sync {
+    /// Short display name ("Jupiter", "Extra(0,0.2)", …).
+    fn name(&self) -> String;
+
+    /// Decide bids for the next interval of `horizon_minutes`.
+    fn decide(
+        &self,
+        zones: &[ZoneState<'_>],
+        spec: &ServiceSpec,
+        horizon_minutes: u32,
+    ) -> BidDecision;
+}
+
+impl BiddingStrategy for Box<dyn BiddingStrategy> {
+    fn name(&self) -> String {
+        self.as_ref().name()
+    }
+
+    fn decide(
+        &self,
+        zones: &[ZoneState<'_>],
+        spec: &ServiceSpec,
+        horizon_minutes: u32,
+    ) -> BidDecision {
+        self.as_ref().decide(zones, spec, horizon_minutes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spot_market::topology::all_zones;
+
+    #[test]
+    fn decision_accessors() {
+        let zones = all_zones();
+        let d = BidDecision {
+            bids: vec![
+                (zones[0], Price::from_dollars(0.01)),
+                (zones[1], Price::from_dollars(0.02)),
+            ],
+        };
+        assert_eq!(d.n(), 2);
+        assert_eq!(d.cost_upper_bound(), Price::from_dollars(0.03));
+        assert_eq!(d.bid_for(zones[0]), Some(Price::from_dollars(0.01)));
+        assert_eq!(d.bid_for(zones[5]), None);
+        let e = BidDecision::empty();
+        assert_eq!(e.n(), 0);
+        assert_eq!(e.cost_upper_bound(), Price::ZERO);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests of the bidding algorithm on randomized two-level
+//! markets: every emitted decision satisfies the NLP's constraints.
+
+use jupiter::{BiddingStrategy, ExtraStrategy, JupiterStrategy, ServiceSpec, ZoneState};
+use proptest::prelude::*;
+use spot_market::{Price, PricePoint, PriceTrace};
+use spot_model::{FailureModel, FailureModelConfig};
+
+/// A two-level alternating trace: `low` for `stay` minutes, `high` for
+/// `burst` minutes, repeated.
+fn two_level(low: u64, high: u64, stay: u64, burst: u64) -> PriceTrace {
+    let mut points = Vec::new();
+    let mut t = 0;
+    for _ in 0..120 {
+        points.push(PricePoint {
+            minute: t,
+            price: Price::from_micros(low * 100),
+        });
+        t += stay;
+        points.push(PricePoint {
+            minute: t,
+            price: Price::from_micros(high * 100),
+        });
+        t += burst;
+    }
+    PriceTrace::new(points, t)
+}
+
+#[derive(Debug, Clone)]
+struct ZoneSpec {
+    low: u64,
+    high_delta: u64,
+    stay: u64,
+    burst: u64,
+}
+
+fn zone_spec() -> impl Strategy<Value = ZoneSpec> {
+    (40u64..120, 10u64..120, 5u64..90, 1u64..20).prop_map(|(low, high_delta, stay, burst)| {
+        ZoneSpec {
+            low,
+            high_delta,
+            stay,
+            burst,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn jupiter_decisions_satisfy_constraints(
+        specs in proptest::collection::vec(zone_spec(), 6..10),
+        horizon in 60u32..480,
+    ) {
+        let zones_all = spot_market::topology::all_zones();
+        let models: Vec<FailureModel> = specs
+            .iter()
+            .map(|z| {
+                FailureModel::from_trace(
+                    &two_level(z.low, z.low + z.high_delta, z.stay, z.burst),
+                    FailureModelConfig::default(),
+                )
+            })
+            .collect();
+        let od = Price::from_dollars(0.044);
+        let states: Vec<ZoneState> = models
+            .iter()
+            .enumerate()
+            .map(|(i, m)| ZoneState {
+                zone: zones_all[i],
+                spot_price: Price::from_micros(specs[i].low * 100),
+                sojourn_age: 1,
+                on_demand: od,
+                model: m,
+            })
+            .collect();
+        let spec = ServiceSpec::lock_service();
+        let d = JupiterStrategy::new().decide(&states, &spec, horizon);
+        if d.n() == 0 {
+            return Ok(()); // infeasible markets are allowed to refuse
+        }
+        // Group size supports the quorum rule.
+        prop_assert!(d.n() >= spec.quorum.min_nodes());
+        let target = spec.node_fp_target(d.n()).expect("target for chosen n");
+        for (zone, bid) in &d.bids {
+            let zs = states.iter().find(|s| s.zone == *zone).expect("zone known");
+            // Constraint 9: the instance actually starts.
+            prop_assert!(*bid >= zs.spot_price);
+            // §4.2 cap: strictly below on-demand.
+            prop_assert!(*bid < od);
+            // The model agrees the per-node target is met.
+            let fp = zs.model.estimate_fp(*bid, zs.spot_price, zs.sojourn_age, horizon);
+            prop_assert!(fp <= target + 1e-9, "fp {fp} > target {target}");
+        }
+        // No duplicate zones (failure independence).
+        let mut seen: Vec<_> = d.bids.iter().map(|(z, _)| *z).collect();
+        seen.sort();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), d.n());
+    }
+
+    #[test]
+    fn extra_strategy_counts_and_caps(
+        specs in proptest::collection::vec(zone_spec(), 5..12),
+        extra in 0usize..3,
+        portion in 0.0f64..0.5,
+    ) {
+        let zones_all = spot_market::topology::all_zones();
+        let models: Vec<FailureModel> = specs
+            .iter()
+            .map(|z| {
+                FailureModel::from_trace(
+                    &two_level(z.low, z.low + z.high_delta, z.stay, z.burst),
+                    FailureModelConfig::default(),
+                )
+            })
+            .collect();
+        let states: Vec<ZoneState> = models
+            .iter()
+            .enumerate()
+            .map(|(i, m)| ZoneState {
+                zone: zones_all[i],
+                spot_price: Price::from_micros(specs[i].low * 100),
+                sojourn_age: 0,
+                on_demand: Price::from_dollars(0.044),
+                model: m,
+            })
+            .collect();
+        let spec = ServiceSpec::lock_service();
+        let d = ExtraStrategy::new(extra, portion).decide(&states, &spec, 60);
+        prop_assert_eq!(d.n(), (spec.baseline_nodes + extra).min(states.len()));
+        for (zone, bid) in &d.bids {
+            let zs = states.iter().find(|s| s.zone == *zone).expect("zone");
+            prop_assert_eq!(*bid, zs.spot_price.scale(1.0 + portion));
+        }
+        // The chosen zones are exactly the cheapest ones.
+        let mut prices: Vec<Price> = states.iter().map(|s| s.spot_price).collect();
+        prices.sort();
+        let cutoff = prices[d.n() - 1];
+        for (zone, _) in &d.bids {
+            let zs = states.iter().find(|s| s.zone == *zone).expect("zone");
+            prop_assert!(zs.spot_price <= cutoff);
+        }
+    }
+}

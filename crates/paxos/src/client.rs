@@ -1,0 +1,187 @@
+//! A closed-loop client: submits one operation at a time, retransmits on
+//! timeout, cycles through servers until it finds the leader, and records
+//! a full request history (issue time, completion time, response) so the
+//! harness can measure service-level availability and latency.
+
+use std::collections::VecDeque;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use simnet::{Context, NodeId, SimTime, TimerToken};
+
+use crate::msg::{ClientOp, Msg};
+use crate::replica::StateMachine;
+
+const TICK_TOKEN: TimerToken = TimerToken(1);
+
+/// One completed (or still outstanding) operation in the client history.
+#[derive(Clone, Debug)]
+pub struct CompletedOp<SM: StateMachine> {
+    /// Request id.
+    pub req_id: u64,
+    /// The submitted operation.
+    pub op: ClientOp<SM::Command>,
+    /// When the client first issued it.
+    pub issued_at: SimTime,
+    /// Completion time and response (`None` while outstanding; the inner
+    /// response is `None` for reconfigurations).
+    pub completed: Option<(SimTime, Option<SM::Response>)>,
+}
+
+/// In-flight bookkeeping.
+#[derive(Clone, Debug)]
+struct InFlight {
+    req_id: u64,
+    last_sent: SimTime,
+    target: usize,
+}
+
+/// Client actor state.
+#[derive(Clone, Debug)]
+pub struct ClientState<SM: StateMachine> {
+    me: NodeId,
+    servers: Vec<NodeId>,
+    tick: SimTime,
+    timeout: SimTime,
+    next_req: u64,
+    queue: VecDeque<ClientOp<SM::Command>>,
+    inflight: Option<InFlight>,
+    leader_hint: Option<NodeId>,
+    history: Vec<CompletedOp<SM>>,
+    rng: ChaCha8Rng,
+}
+
+impl<SM: StateMachine> ClientState<SM> {
+    /// A client that talks to `servers`.
+    pub fn new(me: NodeId, servers: Vec<NodeId>, seed: u64) -> Self {
+        assert!(!servers.is_empty(), "client needs at least one server");
+        ClientState {
+            me,
+            servers,
+            tick: SimTime::from_millis(100),
+            timeout: SimTime::from_millis(1_000),
+            next_req: 1,
+            queue: VecDeque::new(),
+            inflight: None,
+            leader_hint: None,
+            history: Vec::new(),
+            rng: ChaCha8Rng::seed_from_u64(seed ^ (me.0 as u64).wrapping_mul(0x51_7C_C1_B7)),
+        }
+    }
+
+    /// Queue an operation for submission (fired from the next tick).
+    pub fn submit(&mut self, op: ClientOp<SM::Command>) -> u64 {
+        let req_id = self.next_req;
+        self.next_req += 1;
+        self.queue.push_back(op);
+        req_id
+    }
+
+    /// Update the server list (after a view change).
+    pub fn set_servers(&mut self, servers: Vec<NodeId>) {
+        assert!(!servers.is_empty());
+        self.servers = servers;
+        self.leader_hint = None;
+        if let Some(f) = &mut self.inflight {
+            f.target = 0;
+        }
+    }
+
+    /// The full request history.
+    pub fn history(&self) -> &[CompletedOp<SM>] {
+        &self.history
+    }
+
+    /// Number of operations not yet completed (queued + in flight).
+    pub fn outstanding(&self) -> usize {
+        self.queue.len() + usize::from(self.inflight.is_some())
+    }
+
+    fn send_current(&mut self, ctx: &mut Context<Msg<SM>>) {
+        let Some(f) = &mut self.inflight else { return };
+        let entry = self
+            .history
+            .iter()
+            .find(|h| h.req_id == f.req_id)
+            .expect("in-flight op recorded");
+        let target = match self.leader_hint {
+            Some(l) if self.servers.contains(&l) => l,
+            _ => self.servers[f.target % self.servers.len()],
+        };
+        f.last_sent = ctx.now;
+        ctx.send(
+            target,
+            Msg::Request {
+                client: self.me,
+                req_id: f.req_id,
+                op: entry.op.clone(),
+            },
+        );
+    }
+
+    /// Boot: arm the tick.
+    pub fn on_start(&mut self, ctx: &mut Context<Msg<SM>>) {
+        ctx.set_timer(self.tick, TICK_TOKEN);
+    }
+
+    /// Tick: launch queued work, retransmit timed-out requests.
+    pub fn on_timer(&mut self, _t: TimerToken, ctx: &mut Context<Msg<SM>>) {
+        ctx.set_timer(self.tick, TICK_TOKEN);
+        if self.inflight.is_none() {
+            if let Some(op) = self.queue.pop_front() {
+                let req_id = self.next_issue_id();
+                self.history.push(CompletedOp {
+                    req_id,
+                    op,
+                    issued_at: ctx.now,
+                    completed: None,
+                });
+                self.inflight = Some(InFlight {
+                    req_id,
+                    last_sent: ctx.now,
+                    target: self.rng.gen_range(0..self.servers.len()),
+                });
+                self.send_current(ctx);
+            }
+            return;
+        }
+        let timed_out = self
+            .inflight
+            .as_ref()
+            .map(|f| ctx.now.saturating_sub(f.last_sent) >= self.timeout)
+            .unwrap_or(false);
+        if timed_out {
+            if let Some(f) = &mut self.inflight {
+                f.target += 1;
+            }
+            self.leader_hint = None;
+            self.send_current(ctx);
+        }
+    }
+
+    fn next_issue_id(&mut self) -> u64 {
+        // History ids must match submission order: reuse the counter
+        // sequence 1, 2, … in FIFO order.
+        let issued = self.history.len() as u64;
+        issued + 1
+    }
+
+    /// Message dispatch (responses only).
+    pub fn on_message(&mut self, from: NodeId, msg: Msg<SM>, _ctx: &mut Context<Msg<SM>>) {
+        if let Msg::Response { req_id, resp } = msg {
+            let matches = self
+                .inflight
+                .as_ref()
+                .map(|f| f.req_id == req_id)
+                .unwrap_or(false);
+            if matches {
+                self.inflight = None;
+                self.leader_hint = Some(from);
+                let now = _ctx.now;
+                if let Some(h) = self.history.iter_mut().find(|h| h.req_id == req_id) {
+                    h.completed = Some((now, resp));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Driver-side helpers: build clusters, submit operations, manage
+//! membership, and interrogate replicas — the API the examples, tests and
+//! the replay harness use.
+
+use simnet::{NetworkConfig, NodeId, SimTime, Simulation};
+
+use crate::client::ClientState;
+use crate::msg::ClientOp;
+use crate::node::PaxosNode;
+use crate::replica::{Replica, ReplicaConfig, StateMachine};
+
+/// A Paxos cluster under simulation: replicas, clients, and the driver
+/// conveniences around them.
+pub struct Cluster<SM: StateMachine> {
+    /// The underlying simulation (exposed for fault injection).
+    pub sim: Simulation<PaxosNode<SM>>,
+    servers: Vec<NodeId>,
+    clients: Vec<NodeId>,
+    replica_cfg: ReplicaConfig,
+    seed: u64,
+}
+
+impl<SM: StateMachine> Cluster<SM> {
+    /// Build a cluster of `n` replicas initialized with clones of `sm`.
+    pub fn new(
+        n: usize,
+        sm: SM,
+        replica_cfg: ReplicaConfig,
+        net: NetworkConfig,
+        seed: u64,
+    ) -> Self {
+        assert!(n >= 1, "need at least one replica");
+        let mut sim = Simulation::new(net, seed);
+        let ids: Vec<NodeId> = (0..n).map(NodeId).collect();
+        for &id in &ids {
+            let replica = Replica::new(id, ids.clone(), sm.clone(), replica_cfg.clone(), seed);
+            let got = sim.add_node(PaxosNode::Server(replica));
+            assert_eq!(got, id);
+        }
+        Cluster {
+            sim,
+            servers: ids,
+            clients: Vec::new(),
+            replica_cfg,
+            seed,
+        }
+    }
+
+    /// The current server node ids (as known to the driver).
+    pub fn servers(&self) -> &[NodeId] {
+        &self.servers
+    }
+
+    /// The client node ids.
+    pub fn clients(&self) -> &[NodeId] {
+        &self.clients
+    }
+
+    /// Add a closed-loop client.
+    pub fn add_client(&mut self) -> NodeId {
+        let id = NodeId(self.sim.node_count());
+        let client = ClientState::new(id, self.servers.clone(), self.seed);
+        let got = self.sim.add_node(PaxosNode::Client(client));
+        assert_eq!(got, id);
+        self.clients.push(id);
+        id
+    }
+
+    /// Queue an operation on `client`; it is issued at the client's next
+    /// tick and retried until a leader applies it.
+    pub fn submit(&mut self, client: NodeId, op: ClientOp<SM::Command>) -> u64 {
+        self.sim
+            .actor_mut(client)
+            .and_then(PaxosNode::as_client_mut)
+            .expect("client exists")
+            .submit(op)
+    }
+
+    /// Run the simulation until `client` has no outstanding operations or
+    /// `deadline` passes. Returns true when the client drained.
+    pub fn run_until_drained(&mut self, client: NodeId, deadline: SimTime) -> bool {
+        loop {
+            let outstanding = self
+                .sim
+                .actor(client)
+                .and_then(PaxosNode::as_client)
+                .map(|c| c.outstanding())
+                .unwrap_or(0);
+            if outstanding == 0 {
+                return true;
+            }
+            if self.sim.now() >= deadline {
+                return false;
+            }
+            let next = self.sim.now() + SimTime::from_millis(100);
+            self.sim.run_until(next.min(deadline));
+        }
+    }
+
+    /// The replica currently leading, if any replica believes it leads.
+    pub fn leader(&self) -> Option<NodeId> {
+        self.servers.iter().copied().find(|&id| {
+            self.sim
+                .actor(id)
+                .and_then(PaxosNode::as_server)
+                .map(|r| r.is_leader() && !r.is_retired())
+                .unwrap_or(false)
+        })
+    }
+
+    /// Immutable replica access.
+    pub fn replica(&self, id: NodeId) -> Option<&Replica<SM>> {
+        self.sim.actor(id).and_then(PaxosNode::as_server)
+    }
+
+    /// Crash a replica (spot instance killed out-of-bid).
+    pub fn crash(&mut self, id: NodeId) {
+        self.sim.crash(id);
+    }
+
+    /// Restart a crashed replica with an empty state machine clone — it
+    /// rejoins and catches up from the log. `view` is the membership it
+    /// should assume (typically another replica's current view).
+    pub fn restart(&mut self, id: NodeId, sm: SM, view: Vec<NodeId>) {
+        let replica = Replica::new(
+            id,
+            view,
+            sm,
+            self.replica_cfg.clone(),
+            self.seed ^ id.0 as u64,
+        );
+        self.sim.restart(id, PaxosNode::Server(replica));
+    }
+
+    /// Launch a brand-new replica (a fresh spot instance) that expects to
+    /// be added to the view via reconfiguration. Returns its node id.
+    pub fn spawn_server(&mut self, sm: SM) -> NodeId {
+        let id = NodeId(self.sim.node_count());
+        let mut view = self.current_view().unwrap_or_else(|| self.servers.clone());
+        if !view.contains(&id) {
+            view.push(id);
+        }
+        let replica = Replica::new(
+            id,
+            view,
+            sm,
+            self.replica_cfg.clone(),
+            self.seed ^ id.0 as u64,
+        );
+        let got = self.sim.add_node(PaxosNode::Server(replica));
+        assert_eq!(got, id);
+        self.servers.push(id);
+        id
+    }
+
+    /// The membership view of the most advanced live replica.
+    pub fn current_view(&self) -> Option<Vec<NodeId>> {
+        self.servers
+            .iter()
+            .filter_map(|&id| self.sim.actor(id).and_then(PaxosNode::as_server))
+            .filter(|r| !r.is_retired())
+            .max_by_key(|r| (r.view_id(), r.commit_index()))
+            .map(|r| r.view().to_vec())
+    }
+
+    /// Propagate the current view to every client (after membership
+    /// changes, so clients stop poking removed servers).
+    pub fn refresh_clients(&mut self) {
+        let Some(view) = self.current_view() else {
+            return;
+        };
+        for &c in &self.clients.clone() {
+            if let Some(cl) = self.sim.actor_mut(c).and_then(PaxosNode::as_client_mut) {
+                cl.set_servers(view.clone());
+            }
+        }
+    }
+
+    /// Check that all live replicas agree on the chosen log prefix (the
+    /// fundamental Paxos safety property). Returns the shortest common
+    /// applied length, panicking on divergence.
+    pub fn assert_log_agreement(&self) -> usize {
+        let prefixes: Vec<_> = self
+            .servers
+            .iter()
+            .filter_map(|&id| self.sim.actor(id).and_then(PaxosNode::as_server))
+            .map(|r| r.applied_prefix())
+            .collect();
+        let min_len = prefixes.iter().map(Vec::len).min().unwrap_or(0);
+        for i in 0..min_len {
+            let (slot0, v0) = &prefixes[0][i];
+            for p in &prefixes[1..] {
+                let (slot, v) = &p[i];
+                assert_eq!(slot0, slot, "slot order divergence at {i}");
+                assert_eq!(
+                    format!("{v0:?}"),
+                    format!("{v:?}"),
+                    "value divergence at slot {slot0}"
+                );
+            }
+        }
+        min_len
+    }
+}

@@ -1,0 +1,40 @@
+//! # paxos — Multi-Paxos state-machine replication over `simnet`
+//!
+//! The execution substrate for the paper's first evaluation system, a
+//! Chubby-like distributed **lock service** (§5.1.1): a replicated state
+//! machine driven by a Multi-Paxos protocol with
+//!
+//! * stable leadership with heartbeats and randomized election timeouts,
+//! * classic two-phase (prepare/accept) consensus per log slot with
+//!   recovery of previously accepted values on leader change,
+//! * in-order application to a pluggable [`StateMachine`],
+//! * client request routing, forwarding, retransmission and
+//!   exactly-once application (per-client dedup),
+//! * log catch-up for lagging or restarted replicas, and
+//! * **view change**: membership reconfiguration through committed
+//!   `Reconfig` log entries — the mechanism the bidding framework uses to
+//!   swap spot instances between bidding intervals (§4: "Adding and
+//!   removing a spot instance is supported by the view change of Paxos").
+//!
+//! The quorum rule is pluggable ([`msg::QuorumRule`]): simple majority for
+//! the lock service, or the larger `⌈(n+m)/2⌉` quorums RS-Paxos requires.
+//!
+//! Everything runs inside a deterministic [`simnet::Simulation`], so whole
+//! cluster lifetimes — including the crash schedules the spot market
+//! inflicts — replay bit-identically from a seed.
+
+pub mod ballot;
+pub mod client;
+pub mod harness;
+pub mod lock;
+pub mod msg;
+pub mod node;
+pub mod replica;
+
+pub use ballot::{Ballot, Slot};
+pub use client::{ClientState, CompletedOp};
+pub use harness::Cluster;
+pub use lock::{LockCmd, LockResp, LockService};
+pub use msg::{ClientOp, Command, Msg, QuorumRule};
+pub use node::PaxosNode;
+pub use replica::{Replica, ReplicaConfig, StateMachine};

@@ -1,0 +1,174 @@
+//! Wire messages, log entries and quorum rules.
+
+use simnet::NodeId;
+
+pub use quorum::QuorumRule;
+
+use crate::ballot::{Ballot, Slot};
+use crate::replica::StateMachine;
+
+/// An operation a client may submit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientOp<C> {
+    /// An application command for the state machine.
+    App(C),
+    /// A membership change: add `add`, then remove `remove`.
+    Reconfig {
+        /// Nodes to add to the view.
+        add: Vec<NodeId>,
+        /// Nodes to remove from the view.
+        remove: Vec<NodeId>,
+    },
+}
+
+/// A value agreed on for a log slot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Command<C> {
+    /// An application command, tagged with its originator for routing the
+    /// response and deduplicating retransmissions.
+    App {
+        /// Originating client node.
+        client: NodeId,
+        /// Client-local request id (monotone per client).
+        req_id: u64,
+        /// The state-machine command.
+        cmd: C,
+    },
+    /// Membership change (applies from the next slot onward).
+    Reconfig {
+        /// Originating client node.
+        client: NodeId,
+        /// Client-local request id.
+        req_id: u64,
+        /// Nodes to add.
+        add: Vec<NodeId>,
+        /// Nodes to remove.
+        remove: Vec<NodeId>,
+    },
+    /// A no-op used to fill gaps during leader recovery.
+    Noop,
+}
+
+/// A slot's accepted (not necessarily chosen) state, carried in promises.
+#[derive(Clone, Debug)]
+pub struct AcceptedEntry<C> {
+    /// The slot this entry belongs to.
+    pub slot: Slot,
+    /// The ballot at which it was accepted.
+    pub ballot: Ballot,
+    /// The value.
+    pub value: Command<C>,
+}
+
+/// A chosen slot value, carried in promises, commits and catch-up replies.
+#[derive(Clone, Debug)]
+pub struct ChosenEntry<C> {
+    /// The slot.
+    pub slot: Slot,
+    /// The chosen value.
+    pub value: Command<C>,
+}
+
+/// A state snapshot replacing the compacted log prefix: the applied state
+/// machine plus everything a replica needs to resume from `applied`.
+#[derive(Clone, Debug)]
+pub struct SnapshotData<SM: StateMachine> {
+    /// Every slot below this is applied into `sm`.
+    pub applied: Slot,
+    /// The membership view as of `applied`.
+    pub view: Vec<NodeId>,
+    /// Number of reconfigurations applied.
+    pub view_id: u64,
+    /// The state machine at `applied`.
+    pub sm: SM,
+    /// The exactly-once cache at `applied`.
+    pub dedup: Vec<(NodeId, u64, Option<SM::Response>)>,
+}
+
+/// The protocol messages. `SM` fixes both command and response types.
+#[derive(Clone, Debug)]
+pub enum Msg<SM: StateMachine> {
+    /// Phase-1a: a candidate asks for promises from `from_slot` on.
+    Prepare {
+        /// The candidate's ballot.
+        ballot: Ballot,
+        /// Slots below this are already chosen at the candidate.
+        from_slot: Slot,
+    },
+    /// Phase-1b: promise not to accept lower ballots; reports state.
+    Promise {
+        /// The ballot being promised.
+        ballot: Ballot,
+        /// Accepted-but-not-chosen entries at or above `from_slot`.
+        accepted: Vec<AcceptedEntry<SM::Command>>,
+        /// Chosen entries at or above the candidate's `from_slot` (and
+        /// above the acceptor's compaction floor).
+        chosen: Vec<ChosenEntry<SM::Command>>,
+        /// The acceptor's first unchosen slot.
+        commit_index: Slot,
+        /// The acceptor's snapshot, included when the candidate asked for
+        /// slots below the acceptor's compaction floor.
+        snapshot: Option<SnapshotData<SM>>,
+    },
+    /// Phase-2a: accept request for one slot.
+    Accept {
+        /// The leader's ballot.
+        ballot: Ballot,
+        /// Target slot.
+        slot: Slot,
+        /// Proposed value.
+        value: Command<SM::Command>,
+    },
+    /// Phase-2b: the acceptor accepted.
+    Accepted {
+        /// Echoed ballot.
+        ballot: Ballot,
+        /// Echoed slot.
+        slot: Slot,
+    },
+    /// Nack: the sender has promised a higher ballot.
+    Reject {
+        /// The higher promised ballot.
+        promised: Ballot,
+    },
+    /// Leader → all: a value is chosen.
+    Commit {
+        /// The chosen entry.
+        entry: ChosenEntry<SM::Command>,
+    },
+    /// Leader liveness + commit-index gossip.
+    Heartbeat {
+        /// The leader's ballot.
+        ballot: Ballot,
+        /// The leader's first unchosen slot.
+        commit_index: Slot,
+    },
+    /// A lagging replica asks for chosen entries from `from_slot`.
+    CatchupRequest {
+        /// First missing slot.
+        from_slot: Slot,
+    },
+    /// Response to [`Msg::CatchupRequest`].
+    CatchupReply {
+        /// A snapshot, when the requested slots were compacted away.
+        snapshot: Option<SnapshotData<SM>>,
+        /// A batch of chosen entries (above the snapshot, if any).
+        entries: Vec<ChosenEntry<SM::Command>>,
+    },
+    /// Client → replica (possibly forwarded): submit an operation.
+    Request {
+        /// The originating client.
+        client: NodeId,
+        /// Client-local request id.
+        req_id: u64,
+        /// The operation.
+        op: ClientOp<SM::Command>,
+    },
+    /// Replica → client: the operation was applied.
+    Response {
+        /// Echoed request id.
+        req_id: u64,
+        /// The state machine's response (`None` for reconfigurations).
+        resp: Option<SM::Response>,
+    },
+}

@@ -1,0 +1,889 @@
+//! The replica: acceptor + proposer + learner + state-machine host.
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use simnet::{Context, NodeId, SimTime, TimerToken};
+
+use crate::ballot::{Ballot, Slot};
+use crate::msg::{AcceptedEntry, ChosenEntry, ClientOp, Command, Msg, QuorumRule, SnapshotData};
+
+/// A deterministic replicated state machine.
+pub trait StateMachine: Clone {
+    /// Commands the machine applies.
+    type Command: Clone + std::fmt::Debug;
+    /// Responses it produces.
+    type Response: Clone + std::fmt::Debug;
+
+    /// Apply one command, mutating the state and producing a response.
+    /// Must be deterministic: identical command sequences yield identical
+    /// states on every replica.
+    fn apply(&mut self, cmd: &Self::Command) -> Self::Response;
+}
+
+/// Static replica configuration.
+#[derive(Clone, Debug)]
+pub struct ReplicaConfig {
+    /// The quorum rule (majority for the lock service, RS-Paxos for the
+    /// coded storage service).
+    pub quorum: QuorumRule,
+    /// Internal bookkeeping tick.
+    pub tick: SimTime,
+    /// Leader heartbeat period.
+    pub heartbeat_every: SimTime,
+    /// Election timeout range (randomized per deadline).
+    pub election_timeout: (SimTime, SimTime),
+    /// Re-broadcast period for unacknowledged proposals.
+    pub proposal_retry: SimTime,
+    /// Maximum entries per catch-up reply batch.
+    pub catchup_batch: usize,
+    /// Compact the log (snapshot + prune) once this many slots have been
+    /// applied since the previous compaction. `None` disables compaction.
+    pub compact_after: Option<u64>,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        ReplicaConfig {
+            quorum: QuorumRule::Majority,
+            tick: SimTime::from_millis(50),
+            heartbeat_every: SimTime::from_millis(200),
+            election_timeout: (SimTime::from_millis(800), SimTime::from_millis(1600)),
+            proposal_retry: SimTime::from_millis(400),
+            catchup_batch: 512,
+            compact_after: Some(4096),
+        }
+    }
+}
+
+const TICK_TOKEN: TimerToken = TimerToken(0);
+
+/// The proposer's phase.
+#[derive(Clone, Debug)]
+enum Phase<C> {
+    /// Passive: following a (possibly unknown) leader.
+    Follower,
+    /// Campaigning: collecting promises for `ballot`.
+    Preparing {
+        promises: HashMap<NodeId, (Vec<AcceptedEntry<C>>, Slot)>,
+    },
+    /// Leading: the stable proposer for `ballot`.
+    Leading,
+}
+
+/// An in-flight proposal at the leader.
+#[derive(Clone, Debug)]
+struct Proposal<C> {
+    value: Command<C>,
+    acks: HashSet<NodeId>,
+    sent_at: SimTime,
+}
+
+/// Per-slot acceptor state.
+#[derive(Clone, Debug)]
+struct SlotState<C> {
+    accepted: Option<(Ballot, Command<C>)>,
+    chosen: Option<Command<C>>,
+}
+
+impl<C> Default for SlotState<C> {
+    fn default() -> Self {
+        SlotState {
+            accepted: None,
+            chosen: None,
+        }
+    }
+}
+
+/// A Multi-Paxos replica hosting a [`StateMachine`].
+#[derive(Clone, Debug)]
+pub struct Replica<SM: StateMachine> {
+    me: NodeId,
+    cfg: ReplicaConfig,
+    /// Current membership view, sorted.
+    view: Vec<NodeId>,
+    /// Number of reconfigurations applied.
+    view_id: u64,
+    /// True once this replica applied its own removal.
+    retired: bool,
+
+    sm: SM,
+    /// Per-slot protocol state (pruned below `applied`).
+    slots: BTreeMap<Slot, SlotState<SM::Command>>,
+    /// First unchosen slot (everything below is chosen).
+    commit_index: Slot,
+    /// First unapplied slot (`applied ≤ commit_index`).
+    applied: Slot,
+    /// Compaction floor: slots below this were pruned into the snapshot
+    /// implied by the live state machine.
+    floor: Slot,
+    /// Exactly-once cache: client → (last applied req_id, response).
+    dedup: HashMap<NodeId, (u64, Option<SM::Response>)>,
+
+    /// Highest ballot promised (acceptor duty).
+    promised: Ballot,
+    /// Our own ballot when campaigning or leading.
+    ballot: Ballot,
+    phase: Phase<SM::Command>,
+    /// Who we believe leads (for request forwarding).
+    leader: Option<NodeId>,
+    /// In-flight proposals (leader only).
+    proposals: BTreeMap<Slot, Proposal<SM::Command>>,
+    /// Next free slot (leader only).
+    next_slot: Slot,
+    /// Requests waiting for leadership or for a reconfig to commit.
+    pending: VecDeque<(NodeId, u64, ClientOp<SM::Command>)>,
+    /// True while a Reconfig proposal is in flight (stalls later ones).
+    reconfig_in_flight: bool,
+
+    election_deadline: SimTime,
+    last_heartbeat_sent: SimTime,
+    rng: ChaCha8Rng,
+}
+
+impl<SM: StateMachine> Replica<SM> {
+    /// Create a replica with the given identity, initial view, state
+    /// machine and RNG seed (used only for election jitter).
+    pub fn new(me: NodeId, view: Vec<NodeId>, sm: SM, cfg: ReplicaConfig, seed: u64) -> Self {
+        let mut view = view;
+        view.sort_unstable();
+        view.dedup();
+        assert!(view.contains(&me) || view.is_empty(), "replica not in view");
+        Replica {
+            me,
+            cfg,
+            view,
+            view_id: 0,
+            retired: false,
+            sm,
+            slots: BTreeMap::new(),
+            commit_index: 0,
+            applied: 0,
+            floor: 0,
+            dedup: HashMap::new(),
+            promised: Ballot::BOTTOM,
+            ballot: Ballot::BOTTOM,
+            phase: Phase::Follower,
+            leader: None,
+            proposals: BTreeMap::new(),
+            next_slot: 0,
+            pending: VecDeque::new(),
+            reconfig_in_flight: false,
+            election_deadline: SimTime::ZERO,
+            last_heartbeat_sent: SimTime::ZERO,
+            rng: ChaCha8Rng::seed_from_u64(seed ^ (me.0 as u64).wrapping_mul(0x9E37_79B9)),
+        }
+    }
+
+    // ------------------------------------------------------ introspection
+
+    /// This replica's node id.
+    pub fn id(&self) -> NodeId {
+        self.me
+    }
+
+    /// The current membership view.
+    pub fn view(&self) -> &[NodeId] {
+        &self.view
+    }
+
+    /// Number of reconfigurations applied so far.
+    pub fn view_id(&self) -> u64 {
+        self.view_id
+    }
+
+    /// Whether this replica currently leads.
+    pub fn is_leader(&self) -> bool {
+        matches!(self.phase, Phase::Leading)
+    }
+
+    /// The believed leader, if any.
+    pub fn leader_hint(&self) -> Option<NodeId> {
+        self.leader
+    }
+
+    /// First unchosen slot.
+    pub fn commit_index(&self) -> Slot {
+        self.commit_index
+    }
+
+    /// The hosted state machine (applied prefix).
+    pub fn state_machine(&self) -> &SM {
+        &self.sm
+    }
+
+    /// The compaction floor: slots below this are no longer in the log.
+    pub fn compaction_floor(&self) -> Slot {
+        self.floor
+    }
+
+    /// Package the applied state as a snapshot.
+    fn snapshot(&self) -> SnapshotData<SM> {
+        SnapshotData {
+            applied: self.applied,
+            view: self.view.clone(),
+            view_id: self.view_id,
+            sm: self.sm.clone(),
+            dedup: self
+                .dedup
+                .iter()
+                .map(|(&c, (r, resp))| (c, *r, resp.clone()))
+                .collect(),
+        }
+    }
+
+    /// Adopt a snapshot that is ahead of the local applied prefix.
+    fn install_snapshot(&mut self, snap: SnapshotData<SM>, now: SimTime) {
+        if snap.applied <= self.applied {
+            return;
+        }
+        self.sm = snap.sm;
+        self.dedup = snap
+            .dedup
+            .into_iter()
+            .map(|(c, r, resp)| (c, (r, resp)))
+            .collect();
+        if snap.view_id >= self.view_id {
+            self.view = snap.view;
+            self.view_id = snap.view_id;
+        }
+        self.applied = snap.applied;
+        self.commit_index = self.commit_index.max(snap.applied);
+        self.floor = self.floor.max(snap.applied);
+        let cut: Vec<Slot> = self.slots.range(..snap.applied).map(|(&s, _)| s).collect();
+        for s in cut {
+            self.slots.remove(&s);
+        }
+        if !self.view.contains(&self.me) {
+            self.retired = true;
+            self.step_down(now);
+        }
+    }
+
+    /// Snapshot and prune the applied prefix when due.
+    fn maybe_compact(&mut self) {
+        let Some(every) = self.cfg.compact_after else {
+            return;
+        };
+        if self.applied.saturating_sub(self.floor) < every {
+            return;
+        }
+        self.floor = self.applied;
+        let cut: Vec<Slot> = self.slots.range(..self.floor).map(|(&s, _)| s).collect();
+        for s in cut {
+            self.slots.remove(&s);
+        }
+    }
+
+    /// Whether this replica applied its own removal from the view.
+    pub fn is_retired(&self) -> bool {
+        self.retired
+    }
+
+    /// The chosen log prefix as applied commands (for consistency checks).
+    pub fn applied_prefix(&self) -> Vec<(Slot, Command<SM::Command>)> {
+        self.slots
+            .iter()
+            .filter(|(s, _)| **s < self.applied)
+            .filter_map(|(s, st)| st.chosen.clone().map(|v| (*s, v)))
+            .collect()
+    }
+
+    fn quorum(&self) -> usize {
+        self.cfg.quorum.quorum_size(self.view.len())
+    }
+
+    fn reset_election_deadline(&mut self, now: SimTime) {
+        let (lo, hi) = self.cfg.election_timeout;
+        let span = hi.as_millis().saturating_sub(lo.as_millis()).max(1);
+        let jitter = self.rng.gen_range(0..span);
+        self.election_deadline = now + lo + SimTime::from_millis(jitter);
+    }
+
+    fn step_down(&mut self, now: SimTime) {
+        self.phase = Phase::Follower;
+        self.proposals.clear();
+        self.reconfig_in_flight = false;
+        self.reset_election_deadline(now);
+    }
+
+    // ----------------------------------------------------------- election
+
+    fn start_election(&mut self, ctx: &mut Context<Msg<SM>>) {
+        if self.retired || !self.view.contains(&self.me) {
+            return;
+        }
+        let round = self.promised.round.max(self.ballot.round) + 1;
+        self.ballot = Ballot {
+            round,
+            node: self.me,
+        };
+        self.promised = self.ballot;
+        self.leader = None;
+        let mut promises = HashMap::new();
+        promises.insert(
+            self.me,
+            (self.accepted_tail(self.commit_index), self.commit_index),
+        );
+        self.phase = Phase::Preparing { promises };
+        self.reset_election_deadline(ctx.now);
+        let msg = Msg::Prepare {
+            ballot: self.ballot,
+            from_slot: self.commit_index,
+        };
+        let peers = self.view.clone();
+        ctx.broadcast(peers.iter(), msg);
+        // A single-node view elects itself immediately.
+        self.try_become_leader(ctx);
+    }
+
+    fn accepted_tail(&self, from: Slot) -> Vec<AcceptedEntry<SM::Command>> {
+        self.slots
+            .range(from..)
+            .filter_map(|(&slot, st)| {
+                if st.chosen.is_some() {
+                    return None;
+                }
+                st.accepted.as_ref().map(|(ballot, value)| AcceptedEntry {
+                    slot,
+                    ballot: *ballot,
+                    value: value.clone(),
+                })
+            })
+            .collect()
+    }
+
+    fn chosen_tail(&self, from: Slot) -> Vec<ChosenEntry<SM::Command>> {
+        self.slots
+            .range(from..)
+            .filter_map(|(&slot, st)| {
+                st.chosen.as_ref().map(|value| ChosenEntry {
+                    slot,
+                    value: value.clone(),
+                })
+            })
+            .collect()
+    }
+
+    fn try_become_leader(&mut self, ctx: &mut Context<Msg<SM>>) {
+        let quorum = self.quorum();
+        let Phase::Preparing { promises } = &self.phase else {
+            return;
+        };
+        if promises.len() < quorum {
+            return;
+        }
+        let promises = promises.clone();
+        // Merge accepted values: per slot, keep the highest-ballot value.
+        let mut merged: BTreeMap<Slot, (Ballot, Command<SM::Command>)> = BTreeMap::new();
+        let mut max_commit = self.commit_index;
+        for (accepted, ci) in promises.values() {
+            max_commit = max_commit.max(*ci);
+            for e in accepted {
+                let replace = merged
+                    .get(&e.slot)
+                    .map(|(b, _)| *b < e.ballot)
+                    .unwrap_or(true);
+                if replace {
+                    merged.insert(e.slot, (e.ballot, e.value.clone()));
+                }
+            }
+        }
+        self.phase = Phase::Leading;
+        self.leader = Some(self.me);
+        self.last_heartbeat_sent = SimTime::ZERO; // heartbeat asap
+                                                  // Re-propose merged values, fill gaps with no-ops up to the top.
+        let top = merged.keys().next_back().copied().map(|s| s + 1);
+        self.next_slot = self.commit_index.max(top.unwrap_or(self.commit_index));
+        let mut to_propose: Vec<(Slot, Command<SM::Command>)> = Vec::new();
+        for slot in self.commit_index..self.next_slot {
+            if self.slot_state(slot).chosen.is_some() {
+                continue;
+            }
+            let value = merged
+                .get(&slot)
+                .map(|(_, v)| v.clone())
+                .unwrap_or(Command::Noop);
+            to_propose.push((slot, value));
+        }
+        for (slot, value) in to_propose {
+            self.send_accepts(slot, value, ctx);
+        }
+        // Lagging behind a peer's commit index: fetch the chosen prefix.
+        if max_commit > self.commit_index {
+            if let Some((&peer, _)) = promises.iter().find(|(_, (_, ci))| *ci >= max_commit) {
+                if peer != self.me {
+                    ctx.send(
+                        peer,
+                        Msg::CatchupRequest {
+                            from_slot: self.commit_index,
+                        },
+                    );
+                }
+            }
+        }
+        self.flush_pending(ctx);
+        self.send_heartbeat(ctx);
+    }
+
+    // --------------------------------------------------------- proposing
+
+    fn slot_state(&mut self, slot: Slot) -> &mut SlotState<SM::Command> {
+        self.slots.entry(slot).or_default()
+    }
+
+    fn send_accepts(
+        &mut self,
+        slot: Slot,
+        value: Command<SM::Command>,
+        ctx: &mut Context<Msg<SM>>,
+    ) {
+        let ballot = self.ballot;
+        // Self-accept immediately.
+        let st = self.slot_state(slot);
+        st.accepted = Some((ballot, value.clone()));
+        let mut acks = HashSet::new();
+        acks.insert(self.me);
+        self.proposals.insert(
+            slot,
+            Proposal {
+                value: value.clone(),
+                acks,
+                sent_at: ctx.now,
+            },
+        );
+        let peers = self.view.clone();
+        ctx.broadcast(
+            peers.iter(),
+            Msg::Accept {
+                ballot,
+                slot,
+                value,
+            },
+        );
+        self.maybe_choose(slot, ctx);
+    }
+
+    fn flush_pending(&mut self, ctx: &mut Context<Msg<SM>>) {
+        if !matches!(self.phase, Phase::Leading) {
+            return;
+        }
+        while !self.reconfig_in_flight {
+            let Some((client, req_id, op)) = self.pending.pop_front() else {
+                break;
+            };
+            self.propose_op(client, req_id, op, ctx);
+        }
+    }
+
+    fn propose_op(
+        &mut self,
+        client: NodeId,
+        req_id: u64,
+        op: ClientOp<SM::Command>,
+        ctx: &mut Context<Msg<SM>>,
+    ) {
+        // Dedup retransmissions of the last applied request.
+        if let Some((last, resp)) = self.dedup.get(&client) {
+            if *last == req_id {
+                let resp = resp.clone();
+                ctx.send(client, Msg::Response { req_id, resp });
+                return;
+            }
+            if *last > req_id {
+                return; // stale duplicate
+            }
+        }
+        // Duplicate of an in-flight proposal: ignore (it will answer).
+        if self.proposals.values().any(|p| match &p.value {
+            Command::App {
+                client: c,
+                req_id: r,
+                ..
+            }
+            | Command::Reconfig {
+                client: c,
+                req_id: r,
+                ..
+            } => *c == client && *r == req_id,
+            Command::Noop => false,
+        }) {
+            return;
+        }
+        let value = match op {
+            ClientOp::App(cmd) => Command::App {
+                client,
+                req_id,
+                cmd,
+            },
+            ClientOp::Reconfig { add, remove } => {
+                if self.reconfig_in_flight {
+                    self.pending
+                        .push_back((client, req_id, ClientOp::Reconfig { add, remove }));
+                    return;
+                }
+                self.reconfig_in_flight = true;
+                Command::Reconfig {
+                    client,
+                    req_id,
+                    add,
+                    remove,
+                }
+            }
+        };
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        self.send_accepts(slot, value, ctx);
+    }
+
+    fn maybe_choose(&mut self, slot: Slot, ctx: &mut Context<Msg<SM>>) {
+        let quorum = self.quorum();
+        let Some(p) = self.proposals.get(&slot) else {
+            return;
+        };
+        if p.acks.len() < quorum {
+            return;
+        }
+        let value = p.value.clone();
+        self.proposals.remove(&slot);
+        self.slot_state(slot).chosen = Some(value.clone());
+        let peers = self.view.clone();
+        ctx.broadcast(
+            peers.iter(),
+            Msg::Commit {
+                entry: ChosenEntry { slot, value },
+            },
+        );
+        self.advance(ctx);
+    }
+
+    // ----------------------------------------------------------- learning
+
+    fn note_chosen(&mut self, entry: ChosenEntry<SM::Command>, ctx: &mut Context<Msg<SM>>) {
+        let st = self.slot_state(entry.slot);
+        if st.chosen.is_none() {
+            st.chosen = Some(entry.value);
+        }
+        self.advance(ctx);
+    }
+
+    /// Apply every contiguously chosen slot, then compact when due.
+    fn advance(&mut self, ctx: &mut Context<Msg<SM>>) {
+        loop {
+            let Some(value) = self
+                .slots
+                .get(&self.commit_index)
+                .and_then(|st| st.chosen.clone())
+            else {
+                break;
+            };
+            let slot = self.commit_index;
+            self.commit_index += 1;
+            self.apply(slot, value, ctx);
+        }
+        self.maybe_compact();
+    }
+
+    fn apply(&mut self, slot: Slot, value: Command<SM::Command>, ctx: &mut Context<Msg<SM>>) {
+        debug_assert_eq!(slot, self.applied, "out-of-order apply");
+        self.applied = slot + 1;
+        match value {
+            Command::Noop => {}
+            Command::App {
+                client,
+                req_id,
+                cmd,
+            } => {
+                let already = self
+                    .dedup
+                    .get(&client)
+                    .map(|(last, _)| *last >= req_id)
+                    .unwrap_or(false);
+                let resp = if already {
+                    self.dedup.get(&client).and_then(|(_, r)| r.clone())
+                } else {
+                    let r = self.sm.apply(&cmd);
+                    self.dedup.insert(client, (req_id, Some(r.clone())));
+                    Some(r)
+                };
+                if matches!(self.phase, Phase::Leading) {
+                    ctx.send(client, Msg::Response { req_id, resp });
+                }
+            }
+            Command::Reconfig {
+                client,
+                req_id,
+                add,
+                remove,
+            } => {
+                let mut joiners = Vec::new();
+                for n in add {
+                    if !self.view.contains(&n) {
+                        self.view.push(n);
+                        joiners.push(n);
+                    }
+                }
+                self.view.retain(|n| !remove.contains(n));
+                self.view.sort_unstable();
+                self.view_id += 1;
+                self.dedup.insert(client, (req_id, None));
+                if !self.view.contains(&self.me) {
+                    self.retired = true;
+                    self.step_down(ctx.now);
+                }
+                if matches!(self.phase, Phase::Leading) {
+                    self.reconfig_in_flight = false;
+                    ctx.send(client, Msg::Response { req_id, resp: None });
+                    // New members need the history to join the view: the
+                    // snapshot for the compacted prefix plus the live tail.
+                    let snapshot = (self.floor > 0).then(|| self.snapshot());
+                    let entries = self.chosen_tail(self.floor);
+                    for peer in joiners {
+                        if peer != self.me {
+                            ctx.send(
+                                peer,
+                                Msg::CatchupReply {
+                                    snapshot: snapshot.clone(),
+                                    entries: entries.clone(),
+                                },
+                            );
+                        }
+                    }
+                    self.flush_pending(ctx);
+                }
+            }
+        }
+    }
+
+    // ---------------------------------------------------------- heartbeat
+
+    fn send_heartbeat(&mut self, ctx: &mut Context<Msg<SM>>) {
+        self.last_heartbeat_sent = ctx.now;
+        let peers = self.view.clone();
+        ctx.broadcast(
+            peers.iter(),
+            Msg::Heartbeat {
+                ballot: self.ballot,
+                commit_index: self.commit_index,
+            },
+        );
+    }
+
+    // ---------------------------------------------------- actor callbacks
+
+    /// Boot: arm the tick timer and stagger the first election.
+    pub fn on_start(&mut self, ctx: &mut Context<Msg<SM>>) {
+        self.reset_election_deadline(ctx.now);
+        ctx.set_timer(self.cfg.tick, TICK_TOKEN);
+    }
+
+    /// Periodic bookkeeping.
+    pub fn on_timer(&mut self, _token: TimerToken, ctx: &mut Context<Msg<SM>>) {
+        ctx.set_timer(self.cfg.tick, TICK_TOKEN);
+        if self.retired {
+            return;
+        }
+        match self.phase {
+            Phase::Leading => {
+                if ctx.now.saturating_sub(self.last_heartbeat_sent) >= self.cfg.heartbeat_every {
+                    self.send_heartbeat(ctx);
+                }
+                // Re-broadcast stale proposals.
+                let stale: Vec<(Slot, Command<SM::Command>)> = self
+                    .proposals
+                    .iter()
+                    .filter(|(_, p)| ctx.now.saturating_sub(p.sent_at) >= self.cfg.proposal_retry)
+                    .map(|(&s, p)| (s, p.value.clone()))
+                    .collect();
+                let ballot = self.ballot;
+                for (slot, value) in stale {
+                    if let Some(p) = self.proposals.get_mut(&slot) {
+                        p.sent_at = ctx.now;
+                    }
+                    let peers = self.view.clone();
+                    ctx.broadcast(
+                        peers.iter(),
+                        Msg::Accept {
+                            ballot,
+                            slot,
+                            value,
+                        },
+                    );
+                }
+            }
+            _ => {
+                if ctx.now >= self.election_deadline {
+                    self.start_election(ctx);
+                }
+            }
+        }
+    }
+
+    /// Message dispatch.
+    pub fn on_message(&mut self, from: NodeId, msg: Msg<SM>, ctx: &mut Context<Msg<SM>>) {
+        if self.retired {
+            // A retired node still answers catch-up (it has the history).
+            if let Msg::CatchupRequest { from_slot } = msg {
+                let snapshot = (from_slot < self.floor).then(|| self.snapshot());
+                let entries = self.chosen_tail(from_slot.max(self.floor));
+                ctx.send(from, Msg::CatchupReply { snapshot, entries });
+            }
+            return;
+        }
+        match msg {
+            Msg::Prepare { ballot, from_slot } => {
+                if ballot >= self.promised {
+                    self.promised = ballot;
+                    if ballot.node != self.me {
+                        if matches!(self.phase, Phase::Leading | Phase::Preparing { .. }) {
+                            self.step_down(ctx.now);
+                        }
+                        self.leader = None;
+                        self.reset_election_deadline(ctx.now);
+                    }
+                    let snapshot = (from_slot < self.floor).then(|| self.snapshot());
+                    ctx.send(
+                        from,
+                        Msg::Promise {
+                            ballot,
+                            accepted: self.accepted_tail(from_slot),
+                            chosen: self.chosen_tail(from_slot),
+                            commit_index: self.commit_index,
+                            snapshot,
+                        },
+                    );
+                } else {
+                    ctx.send(
+                        from,
+                        Msg::Reject {
+                            promised: self.promised,
+                        },
+                    );
+                }
+            }
+            Msg::Promise {
+                ballot,
+                accepted,
+                chosen,
+                commit_index,
+                snapshot,
+            } => {
+                // Adopt state regardless of phase: a snapshot first (it
+                // may cover compacted history), then any chosen entries.
+                if let Some(snap) = snapshot {
+                    self.install_snapshot(snap, ctx.now);
+                }
+                for e in chosen {
+                    self.note_chosen(e, ctx);
+                }
+                if ballot != self.ballot {
+                    return;
+                }
+                if let Phase::Preparing { promises } = &mut self.phase {
+                    promises.insert(from, (accepted, commit_index));
+                    self.try_become_leader(ctx);
+                }
+            }
+            Msg::Accept {
+                ballot,
+                slot,
+                value,
+            } => {
+                if ballot >= self.promised {
+                    self.promised = ballot;
+                    if ballot.node != self.me {
+                        if matches!(self.phase, Phase::Leading | Phase::Preparing { .. }) {
+                            self.step_down(ctx.now);
+                        }
+                        self.leader = Some(ballot.node);
+                        self.reset_election_deadline(ctx.now);
+                    }
+                    self.slot_state(slot).accepted = Some((ballot, value));
+                    ctx.send(from, Msg::Accepted { ballot, slot });
+                } else {
+                    ctx.send(
+                        from,
+                        Msg::Reject {
+                            promised: self.promised,
+                        },
+                    );
+                }
+            }
+            Msg::Accepted { ballot, slot } => {
+                if ballot == self.ballot && matches!(self.phase, Phase::Leading) {
+                    if let Some(p) = self.proposals.get_mut(&slot) {
+                        p.acks.insert(from);
+                        self.maybe_choose(slot, ctx);
+                    }
+                }
+            }
+            Msg::Reject { promised } => {
+                if promised > self.promised {
+                    self.promised = promised;
+                }
+                if promised > self.ballot
+                    && matches!(self.phase, Phase::Leading | Phase::Preparing { .. })
+                {
+                    self.step_down(ctx.now);
+                }
+            }
+            Msg::Commit { entry } => {
+                self.note_chosen(entry, ctx);
+            }
+            Msg::Heartbeat {
+                ballot,
+                commit_index,
+            } => {
+                if ballot >= self.promised {
+                    self.promised = ballot;
+                    if ballot.node != self.me {
+                        if matches!(self.phase, Phase::Leading | Phase::Preparing { .. }) {
+                            self.step_down(ctx.now);
+                        }
+                        self.leader = Some(ballot.node);
+                    }
+                    self.reset_election_deadline(ctx.now);
+                    if commit_index > self.commit_index {
+                        ctx.send(
+                            ballot.node,
+                            Msg::CatchupRequest {
+                                from_slot: self.commit_index,
+                            },
+                        );
+                    }
+                }
+            }
+            Msg::CatchupRequest { from_slot } => {
+                let snapshot = (from_slot < self.floor).then(|| self.snapshot());
+                let mut entries = self.chosen_tail(from_slot.max(self.floor));
+                entries.truncate(self.cfg.catchup_batch);
+                ctx.send(from, Msg::CatchupReply { snapshot, entries });
+            }
+            Msg::CatchupReply { snapshot, entries } => {
+                if let Some(snap) = snapshot {
+                    self.install_snapshot(snap, ctx.now);
+                }
+                for e in entries {
+                    self.note_chosen(e, ctx);
+                }
+            }
+            Msg::Request { client, req_id, op } => {
+                match self.phase {
+                    Phase::Leading => self.propose_op(client, req_id, op, ctx),
+                    _ => {
+                        if let Some(leader) = self.leader {
+                            if leader != self.me {
+                                ctx.send(leader, Msg::Request { client, req_id, op });
+                            }
+                        }
+                        // No leader known: drop; the client retransmits.
+                    }
+                }
+            }
+            Msg::Response { .. } => {
+                // Replicas never receive responses; ignore.
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Acceptance sets (Definition 1): intersecting, monotone collections of
+//! node subsets.
+//!
+//! Node subsets over a universe of `n ≤ 30` nodes are bitmasks (`u32`),
+//! which keeps the exact availability computation (Eq. 1) a tight loop over
+//! `2^n` masks and makes the Definition 1 properties directly checkable.
+
+/// A node subset as a bitmask: bit `i` set ⇔ node `i` in the subset.
+pub type Mask = u32;
+
+/// An explicit acceptance set over `n` nodes: the collection of *accepted*
+/// (live-enough) subsets, closed under supersets and pairwise intersecting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AcceptanceSet {
+    n: usize,
+    /// `accepted[mask]` ⇔ the subset `mask` is in the collection.
+    accepted: Vec<bool>,
+}
+
+impl AcceptanceSet {
+    /// Maximum universe size (enumeration is exponential in `n`).
+    pub const MAX_NODES: usize = 30;
+
+    /// Build from a predicate over live-node masks. The predicate must
+    /// already be monotone; this is validated in debug builds and by
+    /// [`AcceptanceSet::is_monotone`].
+    pub fn from_predicate(n: usize, pred: impl Fn(Mask) -> bool) -> Self {
+        assert!(n <= Self::MAX_NODES, "universe too large: {n}");
+        let accepted = (0..1u64 << n).map(|m| pred(m as Mask)).collect();
+        AcceptanceSet { n, accepted }
+    }
+
+    /// Build the up-closure of a set of generator subsets (e.g. minimal
+    /// quorums): accepted ⇔ some generator is contained in the mask.
+    pub fn from_quorums(n: usize, quorums: &[Mask]) -> Self {
+        Self::from_predicate(n, |m| quorums.iter().any(|&q| q & m == q))
+    }
+
+    /// Universe size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Whether `mask` is accepted.
+    pub fn contains(&self, mask: Mask) -> bool {
+        self.accepted[mask as usize]
+    }
+
+    /// Definition 1 (2): `S ∈ A ∧ T ⊇ S ⇒ T ∈ A`.
+    pub fn is_monotone(&self) -> bool {
+        // Check single-bit additions only: monotone under one-bit closure
+        // implies monotone under superset.
+        for mask in 0..(1u64 << self.n) as Mask {
+            if !self.accepted[mask as usize] {
+                continue;
+            }
+            for i in 0..self.n {
+                let sup = mask | (1 << i);
+                if !self.accepted[sup as usize] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Definition 1 (1): every two accepted sets intersect. Equivalent to:
+    /// no accepted set's complement is accepted (an accepted set disjoint
+    /// from an accepted set would be contained in its complement, which by
+    /// monotonicity would be accepted too).
+    pub fn is_intersecting(&self) -> bool {
+        let full: Mask = ((1u64 << self.n) - 1) as Mask;
+        (0..=full).all(|m| !(self.accepted[m as usize] && self.accepted[(full ^ m) as usize]))
+    }
+
+    /// Whether this is a valid acceptance set (both Definition 1 clauses,
+    /// and non-trivial: the full universe is accepted).
+    pub fn is_valid(&self) -> bool {
+        let full = ((1u64 << self.n) - 1) as usize;
+        self.accepted[full] && self.is_monotone() && self.is_intersecting()
+    }
+
+    /// The minimal quorums `S(A)`: accepted sets none of whose one-element
+    /// removals stays accepted.
+    pub fn minimal_quorums(&self) -> Vec<Mask> {
+        let mut out = Vec::new();
+        for mask in 0..(1u64 << self.n) as Mask {
+            if !self.accepted[mask as usize] {
+                continue;
+            }
+            let minimal = (0..self.n)
+                .filter(|&i| mask & (1 << i) != 0)
+                .all(|i| !self.accepted[(mask & !(1 << i)) as usize]);
+            if minimal {
+                out.push(mask);
+            }
+        }
+        out
+    }
+
+    /// Availability under independent per-node failure probabilities
+    /// (Eq. 1): `Σ_{S ∈ A} Π_{i∈S}(1-p_i) Π_{j∉S} p_j`.
+    pub fn availability(&self, fps: &[f64]) -> f64 {
+        assert_eq!(fps.len(), self.n, "fps length mismatch");
+        crate::availability::acceptance_availability(self.n, fps, |m| self.contains(m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn majority3() -> AcceptanceSet {
+        AcceptanceSet::from_predicate(3, |m| m.count_ones() >= 2)
+    }
+
+    #[test]
+    fn majority_is_valid_acceptance_set() {
+        let a = majority3();
+        assert!(a.is_valid());
+        assert_eq!(a.minimal_quorums().len(), 3); // the three pairs
+    }
+
+    #[test]
+    fn singleton_system_is_valid_monarchy() {
+        // A monarchy: every accepted set contains node 0.
+        let a = AcceptanceSet::from_predicate(4, |m| m & 1 != 0);
+        assert!(a.is_valid());
+        assert_eq!(a.minimal_quorums(), vec![1]);
+    }
+
+    #[test]
+    fn non_intersecting_collection_detected() {
+        // "Any single node" is monotone but not intersecting.
+        let a = AcceptanceSet::from_predicate(3, |m| m.count_ones() >= 1);
+        assert!(a.is_monotone());
+        assert!(!a.is_intersecting());
+        assert!(!a.is_valid());
+    }
+
+    #[test]
+    fn non_monotone_collection_detected() {
+        // "Exactly two nodes" is intersecting over 3 nodes but not monotone.
+        let a = AcceptanceSet::from_predicate(3, |m| m.count_ones() == 2);
+        assert!(!a.is_monotone());
+        assert!(!a.is_valid());
+    }
+
+    #[test]
+    fn from_quorums_builds_up_closure() {
+        let a = AcceptanceSet::from_quorums(3, &[0b011, 0b101, 0b110]);
+        assert_eq!(a, majority3());
+    }
+
+    #[test]
+    fn paper_example_availability() {
+        // §3: 5 nodes, p = 0.01 each, majority quorum ⇒ 0.9999901494.
+        let a = AcceptanceSet::from_predicate(5, |m| m.count_ones() >= 3);
+        let av = a.availability(&[0.01; 5]);
+        assert!((av - 0.9999901494).abs() < 1e-10, "got {av}");
+    }
+
+    #[test]
+    fn availability_of_monarchy_is_king_availability() {
+        let a = AcceptanceSet::from_predicate(4, |m| m & 1 != 0);
+        let av = a.availability(&[0.2, 0.5, 0.5, 0.5]);
+        assert!((av - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rs_paxos_quorum_tolerates_one_failure_of_five() {
+        // θ(3,5) ⇒ quorum 4; availability = P(≥4 alive).
+        let a = AcceptanceSet::from_predicate(5, |m| m.count_ones() >= 4);
+        assert!(a.is_valid());
+        let p = 0.01;
+        let av = a.availability(&[p; 5]);
+        let q = 1.0 - p;
+        let expect = q.powi(5) + 5.0 * q.powi(4) * p;
+        assert!((av - expect).abs() < 1e-12);
+    }
+}

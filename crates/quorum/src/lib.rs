@@ -1,0 +1,35 @@
+//! # quorum — acceptance sets, quorum systems and service availability
+//!
+//! The availability side of the paper (§2.2, §3, §4.1):
+//!
+//! * [`acceptance`] — Definition 1's *acceptance sets* (intersecting,
+//!   monotone collections of node subsets) as explicit bitmask collections,
+//!   with property checks and minimal-quorum extraction.
+//! * [`systems`] — the quorum systems used by the services: simple
+//!   majority (Paxos), `k`-of-`n` thresholds (the RS-Paxos write quorum,
+//!   which needs intersection ≥ m and therefore `k = ⌈(n+m)/2⌉`), and
+//!   weighted majorities.
+//! * [`availability`] — the non-failure probability of an acceptance set
+//!   (Eq. 1), via exact subset enumeration for arbitrary systems and an
+//!   O(n²) Poisson-binomial dynamic program for threshold systems.
+//! * [`weighted`] — the optimal vote assignment w_i = log₂((1-p_i)/p_i)
+//!   (Eq. 11, Spasojevic & Berman; Tong & Kain) with the monarchy/dummy
+//!   rules of Amir & Wool, giving the *optimal availability acceptance set*
+//!   of Definition 2.
+//! * [`solve`] — the inverse problem the bidding algorithm needs
+//!   (Fig. 3 line 4): the largest equal per-node failure probability that
+//!   still meets a service availability target (`node_failure_pr`).
+
+pub mod acceptance;
+pub mod availability;
+pub mod rule;
+pub mod solve;
+pub mod systems;
+pub mod weighted;
+
+pub use acceptance::AcceptanceSet;
+pub use availability::{acceptance_availability, system_availability, threshold_availability};
+pub use rule::QuorumRule;
+pub use solve::node_failure_pr;
+pub use systems::{MajorityQuorum, QuorumSystem, ThresholdQuorum, WeightedMajority};
+pub use weighted::{optimal_system, optimal_weights};

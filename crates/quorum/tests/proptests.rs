@@ -1,0 +1,125 @@
+//! Property-based tests of the availability machinery.
+
+use proptest::prelude::*;
+use quorum::{
+    acceptance_availability, node_failure_pr, optimal_system, threshold_availability,
+    AcceptanceSet, MajorityQuorum, QuorumSystem, ThresholdQuorum, WeightedMajority,
+};
+
+fn fps(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..=0.49, n..=n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The threshold DP agrees with brute-force enumeration.
+    #[test]
+    fn dp_equals_enumeration(p in fps(7), k in 0usize..=7) {
+        let dp = threshold_availability(&p, k);
+        let brute = acceptance_availability(7, &p, |m| m.count_ones() as usize >= k);
+        prop_assert!((dp - brute).abs() < 1e-10, "{dp} vs {brute}");
+    }
+
+    /// Availability is a probability and is monotone in node reliability.
+    #[test]
+    fn availability_is_monotone(mut p in fps(5), idx in 0usize..5, delta in 0.0f64..0.3) {
+        let before = threshold_availability(&p, 3);
+        prop_assert!((0.0..=1.0).contains(&before));
+        p[idx] = (p[idx] + delta).min(1.0);
+        let after = threshold_availability(&p, 3);
+        prop_assert!(after <= before + 1e-12, "worse node improved availability");
+    }
+
+    /// Weighted-majority systems induce valid acceptance sets
+    /// (Definition 1: intersecting and monotone).
+    #[test]
+    fn weighted_majority_is_valid_acceptance_set(
+        weights in proptest::collection::vec(0u64..5, 3..7),
+    ) {
+        prop_assume!(weights.iter().sum::<u64>() > 0);
+        let sys = WeightedMajority::new(weights);
+        prop_assert!(sys.acceptance_set().is_valid());
+    }
+
+    /// Eq. 11 weights are the *continuously* optimal assignment; after
+    /// integer quantization with a strict-majority tie rule they can lose
+    /// a little to simple majority on mildly heterogeneous profiles
+    /// (ties that real-valued weights would break fall out of the quorum)
+    /// — the very reason the paper equalizes failure probabilities and
+    /// keeps plain majority (§4.1). The property: never *much* worse than
+    /// majority, and exactly majority on equal profiles.
+    /// Restricted to the reliable regime the framework actually operates
+    /// in (per-node FP ≤ 0.2): with near-half failure probabilities the
+    /// quantization tie loss can grow past a few percent.
+    #[test]
+    fn weighted_voting_close_to_majority(
+        p in proptest::collection::vec(1e-6f64..=0.2, 5..=5),
+    ) {
+        let weighted = optimal_system(&p).availability(&p);
+        let majority = MajorityQuorum::new(5).availability(&p);
+        prop_assert!(
+            weighted >= majority - 0.02,
+            "weighted {weighted} ≪ majority {majority} for {p:?}"
+        );
+    }
+
+    /// On equal failure probabilities the weighted system IS majority.
+    #[test]
+    fn weighted_voting_equals_majority_when_equal(p in 1e-6f64..0.49) {
+        let fps = vec![p; 5];
+        let sys = optimal_system(&fps);
+        let maj = MajorityQuorum::new(5);
+        for mask in 0..(1u32 << 5) {
+            prop_assert_eq!(sys.is_quorum(mask), maj.is_quorum(mask));
+        }
+    }
+
+    /// In the monarchy regime (one node far more reliable than the rest),
+    /// weighted voting strictly beats majority — the upside the paper
+    /// forgoes for protocol compatibility.
+    #[test]
+    fn weighted_voting_wins_in_monarchy_regime(weak in 0.3f64..0.49) {
+        let fps = vec![0.001, weak, weak, weak, weak];
+        let weighted = optimal_system(&fps).availability(&fps);
+        let majority = MajorityQuorum::new(5).availability(&fps);
+        prop_assert!(
+            weighted > majority,
+            "weighted {weighted} ≤ majority {majority}"
+        );
+    }
+
+    /// The inverse solver is tight: its answer meets the target and a
+    /// slightly larger failure probability misses it.
+    #[test]
+    fn solver_is_tight(n in 3usize..=9, target in 0.9f64..0.999999) {
+        let k = n / 2 + 1;
+        let p = node_failure_pr(n, k, target).expect("reachable");
+        let at = threshold_availability(&vec![p; n], k);
+        prop_assert!(at >= target - 1e-9);
+        if p < 0.999 {
+            let above = threshold_availability(&vec![p + 1e-3; n], k);
+            prop_assert!(above < target, "not tight at n={n}");
+        }
+    }
+
+    /// RS-Paxos quorums always pairwise-intersect in at least m nodes.
+    #[test]
+    fn rs_quorums_intersect_in_m(n in 3usize..=9, m in 1usize..=4) {
+        prop_assume!(m <= n);
+        let q = ThresholdQuorum::rs_paxos(n, m);
+        let k = q.threshold();
+        // Worst case: two quorums overlapping as little as possible.
+        prop_assert!(2 * k >= n + m, "2·{k} < {n} + {m}");
+    }
+
+    /// Acceptance-set availability equals the sum over minimal-quorum
+    /// up-closure (Eq. 1 is representation-independent).
+    #[test]
+    fn availability_via_minimal_quorums(p in fps(5), k in 3usize..=5) {
+        let a = AcceptanceSet::from_predicate(5, |m| m.count_ones() as usize >= k);
+        let direct = a.availability(&p);
+        let rebuilt = AcceptanceSet::from_quorums(5, &a.minimal_quorums());
+        prop_assert!((rebuilt.availability(&p) - direct).abs() < 1e-12);
+    }
+}

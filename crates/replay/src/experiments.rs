@@ -1,0 +1,837 @@
+//! Drivers for every table and figure in the paper's evaluation (§5),
+//! plus the ablations DESIGN.md calls out. Each driver returns structured
+//! rows; the `repro` binary renders them as the paper's series.
+
+use jupiter::{BiddingStrategy, ExtraStrategy, JupiterStrategy, ServiceSpec};
+use rayon::prelude::*;
+use spot_market::{InstanceType, Market, MarketConfig, Price, PriceTrace, TraceGenerator, Zone};
+use spot_model::{FailureModel, FailureModelConfig};
+
+use crate::lifecycle::{on_demand_baseline_cost, replay_strategy, ReplayConfig};
+use crate::results::ReplayResult;
+
+/// Experiment scale: the paper's full runs or a quick smoke-scale variant
+/// for tests and debug builds.
+#[derive(Clone, Debug)]
+pub struct Scale {
+    /// Training history length in weeks (the paper trains ≈ 3 months).
+    pub train_weeks: u64,
+    /// Evaluation span in weeks (the paper replays 11 weeks).
+    pub eval_weeks: u64,
+    /// Availability zones (the paper uses 17).
+    pub zones: usize,
+    /// Bidding intervals (hours) to sweep (the paper: 1, 3, 6, 9, 12).
+    pub intervals: Vec<u64>,
+    /// Master seed for trace generation.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// The paper's scale: 13 training weeks, 11 evaluation weeks, 17
+    /// zones, intervals {1, 3, 6, 9, 12} h.
+    pub fn paper(seed: u64) -> Self {
+        Scale {
+            train_weeks: 13,
+            eval_weeks: 11,
+            zones: 17,
+            intervals: vec![1, 3, 6, 9, 12],
+            seed,
+        }
+    }
+
+    /// A smoke-test scale that preserves the experiment structure.
+    pub fn quick(seed: u64) -> Self {
+        Scale {
+            train_weeks: 2,
+            eval_weeks: 1,
+            zones: 8,
+            intervals: vec![6],
+            seed,
+        }
+    }
+
+    /// Training prefix length in minutes.
+    pub fn train_minutes(&self) -> u64 {
+        self.train_weeks * 7 * 24 * 60
+    }
+
+    /// Full market horizon in minutes.
+    pub fn horizon_minutes(&self) -> u64 {
+        (self.train_weeks + self.eval_weeks) * 7 * 24 * 60
+    }
+
+    /// Build the market for one instance type at this scale.
+    pub fn market(&self, ty: InstanceType) -> Market {
+        let mut cfg = MarketConfig::paper(self.seed, self.horizon_minutes());
+        cfg.zones.truncate(self.zones);
+        cfg.types = vec![ty];
+        Market::generate(cfg)
+    }
+}
+
+// ---------------------------------------------------------------- Fig. 1
+
+/// A spot-price history sample: the series behind Fig. 1 (two hours of
+/// `us-east-1a` `m1.small` prices).
+pub fn fig1_series(seed: u64) -> Vec<(u64, Price)> {
+    let gen = TraceGenerator::new(seed);
+    let zone = spot_market::topology::all_zones()[0];
+    let trace = gen.generate(zone, InstanceType::M1Small, 120);
+    (0..120).map(|m| (m, trace.price_at(m))).collect()
+}
+
+// --------------------------------------------------------------- Table 1
+
+/// Table 1 rows: region, location, availability-zone count.
+pub fn table1() -> Vec<(&'static str, &'static str, usize)> {
+    spot_market::topology::Region::ALL
+        .into_iter()
+        .map(|r| (r.api_name(), r.location(), r.az_count()))
+        .collect()
+}
+
+// ---------------------------------------------------------------- Fig. 4
+
+/// One bar of the Fig. 4 micro-benchmark.
+#[derive(Clone, Debug)]
+pub struct Fig4Row {
+    /// Availability zone.
+    pub zone: Zone,
+    /// Instance type.
+    pub instance_type: InstanceType,
+    /// The bid the model chose for ≤ 0.01 monthly out-of-bid probability.
+    pub bid: Option<Price>,
+    /// The estimated out-of-bid probability at that bid.
+    pub estimated: f64,
+    /// The measured out-of-bid fraction over the evaluation month.
+    pub measured: f64,
+}
+
+/// Fig. 4: train the failure model on ~3 months of history, choose the
+/// minimal bid with estimated monthly out-of-bid probability ≤ 0.01, then
+/// measure the realized out-of-bid fraction over the held-out month.
+pub fn fig4(scale: &Scale) -> Vec<Fig4Row> {
+    const TARGET: f64 = 0.01;
+    let month = 30 * 24 * 60;
+    let mut jobs = Vec::new();
+    for ty in [InstanceType::M1Small, InstanceType::M3Large] {
+        let gen = TraceGenerator::new(scale.seed);
+        for zone in spot_market::topology::experiment_zones()
+            .into_iter()
+            .take(5)
+        {
+            jobs.push((gen.clone(), zone, ty));
+        }
+    }
+    jobs.into_par_iter()
+        .map(|(gen, zone, ty)| {
+            let total = scale.train_minutes() + month;
+            let trace = gen.generate(zone, ty, total);
+            let train = trace.window(0, scale.train_minutes());
+            let model = FailureModel::from_trace(&train, FailureModelConfig::default());
+            let spot = train.price_at(scale.train_minutes() - 1);
+            let age = train.sojourn_age_at(scale.train_minutes() - 1) as u32;
+            // Out-of-bid only (Fig. 4's y-axis excludes the FP⁰ floor).
+            let forecast = model.forecast(spot, age, month as u32);
+            let cap = ty.on_demand_price(zone.region);
+            let (bid, estimated) = match &forecast {
+                None => (None, 1.0),
+                Some(f) => {
+                    let bid = std::iter::once(spot)
+                        .chain(f.levels().iter().copied())
+                        .filter(|&b| b >= spot && b < cap)
+                        .find(|&b| f.out_of_bid_fraction(b) <= TARGET);
+                    let est = bid.map(|b| f.out_of_bid_fraction(b)).unwrap_or(1.0);
+                    (bid, est)
+                }
+            };
+            let measured = match bid {
+                None => 1.0,
+                Some(b) => trace.fraction_above(b, scale.train_minutes(), total),
+            };
+            Fig4Row {
+                zone,
+                instance_type: ty,
+                bid,
+                estimated,
+                measured,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Fig. 5
+
+/// One bar of Fig. 5 (one-week feasibility run).
+#[derive(Clone, Debug)]
+pub struct Fig5Row {
+    /// Which service.
+    pub service: String,
+    /// Strategy name (or "Baseline").
+    pub strategy: String,
+    /// One-week cost.
+    pub cost: Price,
+    /// Measured availability over the week.
+    pub availability: f64,
+}
+
+/// Fig. 5: a one-week run of the lock service and the storage service
+/// under Jupiter and Extra(0, 0.1), against the on-demand baseline,
+/// bidding hourly.
+pub fn fig5(scale: &Scale) -> Vec<Fig5Row> {
+    let week = 7 * 24 * 60;
+    let eval_start = scale.train_minutes();
+    let specs = [ServiceSpec::lock_service(), ServiceSpec::storage_service()];
+    let mut rows = Vec::new();
+    for spec in specs {
+        let market = {
+            let mut cfg = MarketConfig::paper(scale.seed, eval_start + week);
+            cfg.zones.truncate(scale.zones);
+            cfg.types = vec![spec.instance_type];
+            Market::generate(cfg)
+        };
+        let config = ReplayConfig::new(eval_start, eval_start + week, 1);
+        let strategies: Vec<Box<dyn BiddingStrategy>> = vec![
+            Box::new(JupiterStrategy::new()),
+            Box::new(ExtraStrategy::new(0, 0.1)),
+        ];
+        let results: Vec<ReplayResult> = strategies
+            .into_par_iter()
+            .map(|s| replay_strategy(&market, &spec, s, config))
+            .collect();
+        for r in results {
+            rows.push(Fig5Row {
+                service: spec.name.clone(),
+                strategy: r.strategy.clone(),
+                cost: r.total_cost,
+                availability: r.availability(),
+            });
+        }
+        rows.push(Fig5Row {
+            service: spec.name.clone(),
+            strategy: "Baseline".into(),
+            cost: on_demand_baseline_cost(&market, &spec, config),
+            availability: spec.baseline_availability(),
+        });
+    }
+    rows
+}
+
+// ------------------------------------------------------- Figs. 6/7, 8/9
+
+/// One point of the cost/availability sweeps (Figs. 6–9).
+#[derive(Clone, Debug)]
+pub struct SweepRow {
+    /// Bidding interval in hours (0 marks the interval-free baseline).
+    pub interval_hours: u64,
+    /// Strategy name.
+    pub strategy: String,
+    /// Total cost over the evaluation span.
+    pub cost: Price,
+    /// Measured availability.
+    pub availability: f64,
+    /// Out-of-bid kills.
+    pub kills: usize,
+}
+
+fn sweep(spec: &ServiceSpec, scale: &Scale) -> Vec<SweepRow> {
+    let market = scale.market(spec.instance_type);
+    let eval_start = scale.train_minutes();
+    let eval_end = scale.horizon_minutes();
+    let mut jobs: Vec<(u64, Box<dyn BiddingStrategy>)> = Vec::new();
+    for &h in &scale.intervals {
+        jobs.push((h, Box::new(JupiterStrategy::new())));
+        jobs.push((h, Box::new(ExtraStrategy::new(0, 0.2))));
+        jobs.push((h, Box::new(ExtraStrategy::new(2, 0.2))));
+    }
+    let mut rows: Vec<SweepRow> = jobs
+        .into_par_iter()
+        .map(|(h, strategy)| {
+            let config = ReplayConfig::new(eval_start, eval_end, h);
+            let r = replay_strategy(&market, spec, strategy, config);
+            SweepRow {
+                interval_hours: h,
+                strategy: r.strategy.clone(),
+                cost: r.total_cost,
+                availability: r.availability(),
+                kills: r.total_kills(),
+            }
+        })
+        .collect();
+    let config = ReplayConfig::new(eval_start, eval_end, scale.intervals[0]);
+    rows.push(SweepRow {
+        interval_hours: 0,
+        strategy: "Baseline".into(),
+        cost: on_demand_baseline_cost(&market, spec, config),
+        availability: spec.baseline_availability(),
+        kills: 0,
+    });
+    rows.sort_by(|a, b| (a.interval_hours, &a.strategy).cmp(&(b.interval_hours, &b.strategy)));
+    rows
+}
+
+/// Figs. 6 & 7: lock-service cost and availability across bidding
+/// intervals and strategies over the evaluation span.
+pub fn lock_sweep(scale: &Scale) -> Vec<SweepRow> {
+    sweep(&ServiceSpec::lock_service(), scale)
+}
+
+/// Figs. 8 & 9: the same sweep for the erasure-coded storage service.
+pub fn storage_sweep(scale: &Scale) -> Vec<SweepRow> {
+    sweep(&ServiceSpec::storage_service(), scale)
+}
+
+/// The headline numbers: best-interval Jupiter cost reduction vs the
+/// on-demand baseline (the paper reports 81.23 % and 85.32 %).
+#[derive(Clone, Debug)]
+pub struct Headline {
+    /// Lock-service cost reduction in percent.
+    pub lock_reduction_pct: f64,
+    /// Storage-service cost reduction in percent.
+    pub storage_reduction_pct: f64,
+    /// The best interval for the lock service.
+    pub lock_best_interval: u64,
+    /// The best interval for the storage service.
+    pub storage_best_interval: u64,
+}
+
+/// Compute the headline savings from sweep rows: the cheapest Jupiter
+/// interval **among those that hold the baseline availability level**
+/// (the paper's claim is cost reduction *at matched availability*; an
+/// interval that dips below the target is disqualified even if cheaper).
+pub fn headline(lock: &[SweepRow], storage: &[SweepRow]) -> Headline {
+    fn best(rows: &[SweepRow]) -> (u64, f64) {
+        let baseline_row = rows
+            .iter()
+            .find(|r| r.strategy == "Baseline")
+            .expect("baseline present");
+        let baseline = baseline_row.cost.as_dollars();
+        let target = baseline_row.availability;
+        let qualifying = rows
+            .iter()
+            .filter(|r| r.strategy == "Jupiter" && r.availability >= target)
+            .min_by(|a, b| a.cost.cmp(&b.cost));
+        // Fall back to the most-available interval when none qualifies.
+        let best = qualifying.unwrap_or_else(|| {
+            rows.iter()
+                .filter(|r| r.strategy == "Jupiter")
+                .max_by(|a, b| {
+                    a.availability
+                        .partial_cmp(&b.availability)
+                        .expect("finite availability")
+                })
+                .expect("jupiter rows present")
+        });
+        (
+            best.interval_hours,
+            100.0 * (1.0 - best.cost.as_dollars() / baseline),
+        )
+    }
+    let (lock_best_interval, lock_reduction_pct) = best(lock);
+    let (storage_best_interval, storage_reduction_pct) = best(storage);
+    Headline {
+        lock_reduction_pct,
+        storage_reduction_pct,
+        lock_best_interval,
+        storage_best_interval,
+    }
+}
+
+// -------------------------------------------------------------- Ablations
+
+/// Estimator-semantics ablation row: the paper's expectation-based
+/// interval failure probability (Eq. 5) versus the absorbing (survival)
+/// variant, at matched bids.
+#[derive(Clone, Debug)]
+pub struct EstimatorRow {
+    /// Zone examined.
+    pub zone: Zone,
+    /// The bid both estimators price.
+    pub bid: Price,
+    /// Eq. 5 expectation estimate.
+    pub expectation_fp: f64,
+    /// Absorbing (kill-probability) estimate.
+    pub absorbing_fp: f64,
+    /// Realized: was the instance killed within the horizon?
+    pub killed: bool,
+    /// Realized out-of-bid time fraction.
+    pub realized_fraction: f64,
+}
+
+/// Ablation: expectation vs absorbing failure estimates against realized
+/// outcomes, sampled at weekly decision points across the evaluation
+/// span.
+pub fn ablation_estimator(scale: &Scale) -> Vec<EstimatorRow> {
+    let ty = InstanceType::M1Small;
+    let market = scale.market(ty);
+    let train_end = scale.train_minutes();
+    let horizon: u32 = 360;
+    let mut rows = Vec::new();
+    for &zone in market.zones().iter().take(6) {
+        let trace = market.trace(zone, ty);
+        let model =
+            FailureModel::from_trace(&trace.window(0, train_end), FailureModelConfig::default());
+        let mut start = train_end;
+        while start + horizon as u64 <= scale.horizon_minutes() {
+            let spot = trace.price_at(start);
+            let age = trace.sojourn_age_at(start) as u32;
+            // A mid-risk bid: two levels above spot when possible.
+            let Some(f) = model.forecast(spot, age, horizon) else {
+                start += 7 * 24 * 60;
+                continue;
+            };
+            let bid = f
+                .levels()
+                .iter()
+                .copied()
+                .filter(|&b| b > spot)
+                .nth(1)
+                .unwrap_or(spot);
+            let expectation_fp = model.fp_from_forecast(&f, bid, spot);
+            let absorbing_fp = model.estimate_fp_absorbing(bid, spot, age, horizon);
+            let end = start + horizon as u64;
+            let killed = trace
+                .first_minute_above(bid, start)
+                .map(|k| k < end)
+                .unwrap_or(false);
+            let realized_fraction = trace.fraction_above(bid, start, end);
+            rows.push(EstimatorRow {
+                zone,
+                bid,
+                expectation_fp,
+                absorbing_fp,
+                killed,
+                realized_fraction,
+            });
+            start += 7 * 24 * 60; // one sample per week per zone
+        }
+    }
+    rows
+}
+
+/// Greedy-vs-exact ablation row.
+#[derive(Clone, Debug)]
+pub struct OptimalityRow {
+    /// Sampled decision minute.
+    pub minute: u64,
+    /// Jupiter's cost upper bound.
+    pub greedy_cost: Price,
+    /// The exact optimum's cost upper bound.
+    pub exact_cost: Price,
+}
+
+/// Ablation: Jupiter's greedy cost vs the exact NLP optimum on small
+/// (7-zone) instances sampled weekly across the evaluation span.
+pub fn ablation_greedy_vs_exact(scale: &Scale) -> Vec<OptimalityRow> {
+    use jupiter::framework::MarketSnapshot;
+    let ty = InstanceType::M1Small;
+    let mut cfg = MarketConfig::paper(scale.seed, scale.horizon_minutes());
+    // Seven zones: enough slack for the greedy to find 5-7 feasible
+    // nodes, while the exact search space stays tractable with a thinned
+    // per-zone bid grid.
+    cfg.zones.truncate(7);
+    cfg.types = vec![ty];
+    let market = Market::generate(cfg);
+    let train_end = scale.train_minutes();
+    let spec = ServiceSpec::lock_service();
+
+    let mut greedy_fw = jupiter::BiddingFramework::new(spec.clone(), JupiterStrategy::new());
+    let mut exact_fw = jupiter::BiddingFramework::new(
+        spec.clone(),
+        jupiter::ExhaustiveSolver {
+            max_zones: 8,
+            max_levels_per_zone: 8,
+        },
+    );
+    let prefixes: Vec<(Zone, PriceTrace)> = market
+        .zones()
+        .iter()
+        .map(|&z| (z, market.trace(z, ty).window(0, train_end)))
+        .collect();
+    greedy_fw.train_all(prefixes.iter().map(|(z, t)| (*z, t)));
+    exact_fw.train_all(prefixes.iter().map(|(z, t)| (*z, t)));
+
+    let mut rows = Vec::new();
+    let mut minute = train_end;
+    while minute < scale.horizon_minutes() {
+        let snapshots: Vec<MarketSnapshot> = market
+            .zones()
+            .iter()
+            .map(|&z| {
+                let t = market.trace(z, ty);
+                MarketSnapshot {
+                    zone: z,
+                    spot_price: t.price_at(minute),
+                    sojourn_age: t.sojourn_age_at(minute) as u32,
+                }
+            })
+            .collect();
+        let greedy = greedy_fw.decide(&snapshots, 360);
+        let exact = exact_fw.decide(&snapshots, 360);
+        if greedy.n() > 0 && exact.n() > 0 {
+            rows.push(OptimalityRow {
+                minute,
+                greedy_cost: greedy.cost_upper_bound(),
+                exact_cost: exact.cost_upper_bound(),
+            });
+        }
+        minute += 7 * 24 * 60;
+    }
+    rows
+}
+
+/// Adaptive-interval ablation row (§5.5's proposed extension).
+#[derive(Clone, Debug)]
+pub struct AdaptiveRow {
+    /// Strategy label (fixed interval or "\[adaptive\]").
+    pub strategy: String,
+    /// Total cost.
+    pub cost: Price,
+    /// Measured availability.
+    pub availability: f64,
+    /// Mean realized interval length in hours.
+    pub mean_interval_hours: f64,
+}
+
+/// Ablation: Jupiter under fixed 1 h / 6 h / 12 h intervals versus the
+/// adaptive schedule that tracks the price-change rate.
+pub fn ablation_adaptive(scale: &Scale) -> Vec<AdaptiveRow> {
+    use crate::adaptive::{replay_adaptive, AdaptiveConfig};
+    let spec = ServiceSpec::lock_service();
+    let market = scale.market(spec.instance_type);
+    let eval_start = scale.train_minutes();
+    let eval_end = scale.horizon_minutes();
+
+    let mut rows: Vec<AdaptiveRow> = [1u64, 6, 12]
+        .into_par_iter()
+        .map(|h| {
+            let config = ReplayConfig::new(eval_start, eval_end, h);
+            let r = replay_strategy(&market, &spec, JupiterStrategy::new(), config);
+            AdaptiveRow {
+                strategy: format!("Jupiter fixed {h}h"),
+                cost: r.total_cost,
+                availability: r.availability(),
+                mean_interval_hours: h as f64,
+            }
+        })
+        .collect();
+
+    let config = ReplayConfig::new(eval_start, eval_end, 1);
+    let r = replay_adaptive(
+        &market,
+        &spec,
+        JupiterStrategy::new(),
+        config,
+        AdaptiveConfig::default(),
+    );
+    let mean_interval = if r.intervals.len() > 1 {
+        let total: u64 = r
+            .intervals
+            .windows(2)
+            .map(|w| w[1].start - w[0].start)
+            .sum();
+        total as f64 / 60.0 / (r.intervals.len() - 1) as f64
+    } else {
+        0.0
+    };
+    rows.push(AdaptiveRow {
+        strategy: r.strategy.clone(),
+        cost: r.total_cost,
+        availability: r.availability(),
+        mean_interval_hours: mean_interval,
+    });
+    rows
+}
+
+/// Estimator-variant replay: the paper's expectation-based Jupiter versus
+/// the absorbing-estimator variant, at the best fixed interval.
+pub fn ablation_estimator_replay(scale: &Scale) -> Vec<SweepRow> {
+    let spec = ServiceSpec::lock_service();
+    let market = scale.market(spec.instance_type);
+    let eval_start = scale.train_minutes();
+    let eval_end = scale.horizon_minutes();
+    let config = ReplayConfig::new(eval_start, eval_end, 6);
+    let jobs: Vec<Box<dyn BiddingStrategy>> = vec![
+        Box::new(JupiterStrategy::new()),
+        Box::new(JupiterStrategy::absorbing()),
+    ];
+    jobs.into_par_iter()
+        .map(|s| {
+            let r = replay_strategy(&market, &spec, s, config);
+            SweepRow {
+                interval_hours: 6,
+                strategy: r.strategy.clone(),
+                cost: r.total_cost,
+                availability: r.availability(),
+                kills: r.total_kills(),
+            }
+        })
+        .collect()
+}
+
+/// Weighted-voting vs simple-majority availability at heterogeneous
+/// failure probabilities (the §4.1 design-choice ablation — pure
+/// analysis, no replay).
+#[derive(Clone, Debug)]
+pub struct VotingRow {
+    /// The per-node failure probabilities examined.
+    pub profile: Vec<f64>,
+    /// Simple-majority availability.
+    pub majority: f64,
+    /// Eq. 11 weighted-voting availability (quantized votes).
+    pub weighted: f64,
+}
+
+/// The §4.1 ablation across representative failure-probability profiles.
+pub fn ablation_weighted_voting() -> Vec<VotingRow> {
+    use quorum::{optimal_system, MajorityQuorum, QuorumSystem};
+    let profiles: Vec<Vec<f64>> = vec![
+        vec![0.01; 5],                         // equal, the Jupiter target
+        vec![0.01, 0.012, 0.009, 0.011, 0.01], // near-equal (realistic)
+        vec![0.01, 0.1, 0.1, 0.1, 0.1],        // the paper's §4.1 example
+        vec![0.001, 0.3, 0.3, 0.3, 0.3],       // monarchy regime
+        vec![0.05, 0.1, 0.15, 0.2, 0.25],      // spread
+    ];
+    profiles
+        .into_iter()
+        .map(|p| {
+            let majority = MajorityQuorum::new(p.len()).availability(&p);
+            let weighted = optimal_system(&p).availability(&p);
+            VotingRow {
+                profile: p,
+                majority,
+                weighted,
+            }
+        })
+        .collect()
+}
+
+/// Fixed-once ablation: Andrzejak-style pre-computed bids held for the
+/// whole deployment versus online re-bidding (the paper's §6 critique).
+pub fn ablation_fixed_once(scale: &Scale) -> Vec<SweepRow> {
+    let spec = ServiceSpec::lock_service();
+    let market = scale.market(spec.instance_type);
+    let eval_start = scale.train_minutes();
+    let eval_end = scale.horizon_minutes();
+    let config = ReplayConfig::new(eval_start, eval_end, 6);
+    let jobs: Vec<Box<dyn BiddingStrategy>> = vec![
+        Box::new(JupiterStrategy::new()),
+        Box::new(jupiter::FixedOnce::new(JupiterStrategy::new())),
+    ];
+    jobs.into_par_iter()
+        .map(|s| {
+            let r = replay_strategy(&market, &spec, s, config);
+            SweepRow {
+                interval_hours: 6,
+                strategy: r.strategy.clone(),
+                cost: r.total_cost,
+                availability: r.availability(),
+                kills: r.total_kills(),
+            }
+        })
+        .collect()
+}
+
+/// Model-mismatch ablation row: the semi-Markov failure model backtested
+/// on its own process versus the banded AR(1) process of Ben-Yehuda et
+/// al. (which violates the discrete-ladder assumption).
+#[derive(Clone, Debug)]
+pub struct MismatchRow {
+    /// Which process generated the market ("semi-markov" / "ar1").
+    pub process: String,
+    /// Walk-forward calibration of the model on that process.
+    pub mean_predicted: f64,
+    /// Realized mean out-of-bid fraction at the model-chosen bids.
+    pub mean_realized: f64,
+    /// Mean absolute calibration error.
+    pub mean_abs_error: f64,
+    /// Realized kill rate at those bids.
+    pub kill_rate: f64,
+}
+
+/// Ablation: train and backtest the paper's failure model on traces from
+/// its assumed process and from a structurally different one.
+pub fn ablation_model_mismatch(scale: &Scale) -> Vec<MismatchRow> {
+    use spot_market::{ArTraceGenerator, TraceGenerator};
+    use spot_model::{backtest, BidRule};
+
+    let ty = InstanceType::M1Small;
+    let zones: Vec<Zone> = spot_market::topology::experiment_zones()
+        .into_iter()
+        .take(4)
+        .collect();
+    let total = scale.horizon_minutes();
+    let train = scale.train_minutes();
+
+    let run = |name: &str, traces: Vec<PriceTrace>| -> MismatchRow {
+        let mut reports = Vec::new();
+        for (trace, zone) in traces.iter().zip(&zones) {
+            let cap = ty.on_demand_price(zone.region);
+            reports.push(backtest(
+                trace,
+                train,
+                360,
+                24 * 60,
+                BidRule::TargetFp {
+                    target: 0.0103,
+                    cap,
+                },
+                false,
+                spot_model::FailureModelConfig::default(),
+            ));
+        }
+        let n: f64 = reports
+            .iter()
+            .map(|r| r.samples as f64)
+            .sum::<f64>()
+            .max(1.0);
+        let weighted = |f: &dyn Fn(&spot_model::CalibrationReport) -> f64| -> f64 {
+            reports.iter().map(|r| f(r) * r.samples as f64).sum::<f64>() / n
+        };
+        MismatchRow {
+            process: name.into(),
+            mean_predicted: weighted(&|r| r.mean_predicted),
+            mean_realized: weighted(&|r| r.mean_realized),
+            mean_abs_error: weighted(&|r| r.mean_abs_error),
+            kill_rate: weighted(&|r| r.kill_rate),
+        }
+    };
+
+    let sm_gen = TraceGenerator::new(scale.seed);
+    let ar_gen = ArTraceGenerator::new(scale.seed);
+    let sm_traces: Vec<PriceTrace> = zones
+        .iter()
+        .map(|&z| sm_gen.generate(z, ty, total))
+        .collect();
+    // The AR process quotes near-continuously; re-quote it on a $0.001
+    // grid so the semi-Markov state space stays bounded (a market quoting
+    // on a coarse grid, not a model concession — forecast cost is
+    // quadratic in distinct prices).
+    let quantum = Price::from_micros(1_000);
+    let ar_traces: Vec<PriceTrace> = zones
+        .iter()
+        .map(|&z| ar_gen.generate(z, ty, total).quantized(quantum))
+        .collect();
+    vec![run("semi-markov", sm_traces), run("ar1-banded", ar_traces)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_requires_matched_availability() {
+        let row = |strategy: &str, h: u64, cost: f64, avail: f64| SweepRow {
+            interval_hours: h,
+            strategy: strategy.into(),
+            cost: Price::from_dollars(cost),
+            availability: avail,
+            kills: 0,
+        };
+        let sweep = vec![
+            row("Baseline", 0, 100.0, 0.9999),
+            row("Jupiter", 6, 30.0, 0.99995), // qualifies
+            row("Jupiter", 12, 20.0, 0.99),   // cheapest but disqualified
+        ];
+        let h = headline(&sweep, &sweep);
+        assert_eq!(h.lock_best_interval, 6);
+        assert!((h.lock_reduction_pct - 70.0).abs() < 1e-9);
+
+        // When nothing qualifies, fall back to the most available row.
+        let sweep = vec![
+            row("Baseline", 0, 100.0, 0.9999),
+            row("Jupiter", 6, 30.0, 0.995),
+            row("Jupiter", 12, 20.0, 0.99),
+        ];
+        let h = headline(&sweep, &sweep);
+        assert_eq!(h.lock_best_interval, 6);
+    }
+
+    #[test]
+    fn fixed_once_ablation_runs() {
+        let rows = ablation_fixed_once(&Scale::quick(7));
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().any(|r| r.strategy.contains("fixed-once")));
+        for r in &rows {
+            assert!((0.0..=1.0).contains(&r.availability));
+            assert!(r.cost > Price::ZERO);
+        }
+    }
+
+    #[test]
+    fn model_mismatch_rows_are_sane() {
+        let rows = ablation_model_mismatch(&Scale::quick(7));
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!((0.0..=1.0).contains(&r.mean_realized), "{r:?}");
+            assert!((0.0..=1.0).contains(&r.kill_rate), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn fig1_series_is_plausible() {
+        let s = fig1_series(42);
+        assert_eq!(s.len(), 120);
+        // A step function: consecutive equal runs with occasional changes.
+        let changes = s.windows(2).filter(|w| w[0].1 != w[1].1).count();
+        assert!(changes >= 1, "prices should move within two hours");
+        for (_, p) in &s {
+            assert!(*p > Price::ZERO);
+        }
+    }
+
+    #[test]
+    fn table1_matches_the_paper() {
+        let t = table1();
+        assert_eq!(t.len(), 9);
+        assert_eq!(t[0], ("us-east-1", "Virginia", 4));
+        assert_eq!(t[8], ("sa-east-1", "Sao Paulo", 2));
+        let total: usize = t.iter().map(|r| r.2).sum();
+        assert_eq!(total, 24);
+    }
+
+    #[test]
+    fn fig4_quick_scale() {
+        let rows = fig4(&Scale::quick(7));
+        assert_eq!(rows.len(), 10); // 5 zones × 2 types
+        let feasible = rows.iter().filter(|r| r.bid.is_some()).count();
+        assert!(feasible >= 7, "most zones must find a bid: {feasible}");
+        for r in rows.iter().filter(|r| r.bid.is_some()) {
+            assert!(r.estimated <= 0.01 + 1e-9);
+            // Measured stays the same order of magnitude as the target in
+            // most zones; exact agreement is not expected (the paper's
+            // Fig. 4 also shows two exceedances).
+            assert!(
+                r.measured <= 0.2,
+                "{}: measured {}",
+                r.zone.name(),
+                r.measured
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_voting_ablation_shapes() {
+        let rows = ablation_weighted_voting();
+        assert_eq!(rows.len(), 5);
+        // Equal profile: identical availability.
+        assert!((rows[0].majority - rows[0].weighted).abs() < 1e-12);
+        // Monarchy regime: weighted strictly wins.
+        assert!(rows[3].weighted > rows[3].majority);
+    }
+
+    #[test]
+    fn estimator_ablation_orders_correctly() {
+        let rows = ablation_estimator(&Scale::quick(7));
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(
+                r.absorbing_fp >= r.expectation_fp - 1e-9,
+                "{}: absorbing {} < expectation {}",
+                r.zone.name(),
+                r.absorbing_fp,
+                r.expectation_fp
+            );
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [--quick] [--seed N] [all|fig1|table1|fig4|fig5|fig6|fig7|fig8|fig9|headline|ablations|calibration]
+//! ```
+//!
+//! By default runs at the paper's scale (13 training weeks, 11 evaluation
+//! weeks, 17 availability zones, interval sweep {1,3,6,9,12} h), which
+//! takes a few minutes in release mode; `--quick` shrinks everything for a
+//! smoke run.
+
+use std::env;
+use std::time::Instant;
+
+use replay::experiments::{self, Scale, SweepRow};
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2014);
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--") && args.iter().position(|x| x == *a) != seed_pos(&args))
+        .cloned()
+        .unwrap_or_else(|| "all".into());
+
+    let scale = if quick {
+        Scale::quick(seed)
+    } else {
+        Scale::paper(seed)
+    };
+    eprintln!(
+        "# scale: train {}w, eval {}w, {} zones, intervals {:?}, seed {}",
+        scale.train_weeks, scale.eval_weeks, scale.zones, scale.intervals, seed
+    );
+
+    let t0 = Instant::now();
+    match what.as_str() {
+        "all" => {
+            table1();
+            fig1(seed);
+            fig4(&scale);
+            fig5(&scale);
+            let lock =
+                sweep_and_print("Figure 6/7 — lock service", experiments::lock_sweep(&scale));
+            let storage = sweep_and_print(
+                "Figure 8/9 — storage service",
+                experiments::storage_sweep(&scale),
+            );
+            headline(&lock, &storage);
+            ablations(&scale);
+        }
+        "table1" => table1(),
+        "fig1" => fig1(seed),
+        "fig4" => fig4(&scale),
+        "fig5" => fig5(&scale),
+        "fig6" | "fig7" => {
+            sweep_and_print("Figure 6/7 — lock service", experiments::lock_sweep(&scale));
+        }
+        "fig8" | "fig9" => {
+            sweep_and_print(
+                "Figure 8/9 — storage service",
+                experiments::storage_sweep(&scale),
+            );
+        }
+        "headline" => {
+            let lock = experiments::lock_sweep(&scale);
+            let storage = experiments::storage_sweep(&scale);
+            headline(&lock, &storage);
+        }
+        "ablations" => ablations(&scale),
+        "ablation-g" => {
+            println!("\n== Ablation G: one-shot fixed bids (Andrzejak-style) vs online re-bidding ==");
+            println!(
+                "{:<26} {:>12} {:>12} {:>7}",
+                "strategy", "cost ($)", "availability", "kills"
+            );
+            for r in experiments::ablation_fixed_once(&scale) {
+                println!(
+                    "{:<26} {:>12.2} {:>12.6} {:>7}",
+                    r.strategy,
+                    r.cost.as_dollars(),
+                    r.availability,
+                    r.kills
+                );
+            }
+        }
+        "calibration" => calibration(&scale),
+        other => {
+            eprintln!("unknown target '{other}'");
+            std::process::exit(2);
+        }
+    }
+    eprintln!("# done in {:.1?}", t0.elapsed());
+}
+
+fn seed_pos(args: &[String]) -> Option<usize> {
+    args.iter().position(|a| a == "--seed").map(|i| i + 1)
+}
+
+fn table1() {
+    println!("\n== Table 1: Amazon EC2 regions and availability zones ==");
+    println!("{:<16} {:<12} {:>5}", "Region", "Location", "AZs");
+    for (region, location, azs) in experiments::table1() {
+        println!("{region:<16} {location:<12} {azs:>5}");
+    }
+}
+
+fn fig1(seed: u64) {
+    println!("\n== Figure 1: spot price history (us-east-1a m1.small, 2 h) ==");
+    println!("{:>6}  {:>8}", "minute", "price");
+    let series = experiments::fig1_series(seed);
+    let mut last = None;
+    for (m, p) in series {
+        if last != Some(p) {
+            println!("{m:>6}  {p:>8}");
+            last = Some(p);
+        }
+    }
+}
+
+fn fig4(scale: &Scale) {
+    println!("\n== Figure 4: measured out-of-bid failure probability at target 0.01 ==");
+    println!(
+        "{:<18} {:<10} {:>10} {:>10} {:>10}",
+        "zone", "type", "bid", "estimated", "measured"
+    );
+    for r in experiments::fig4(scale) {
+        println!(
+            "{:<18} {:<10} {:>10} {:>10.6} {:>10.6}",
+            r.zone.name(),
+            r.instance_type.api_name(),
+            r.bid.map(|b| b.to_string()).unwrap_or_else(|| "-".into()),
+            r.estimated,
+            r.measured
+        );
+    }
+}
+
+fn fig5(scale: &Scale) {
+    println!("\n== Figure 5: one-week cost under different bidding strategies ==");
+    println!(
+        "{:<18} {:<14} {:>10} {:>12}",
+        "service", "strategy", "cost ($)", "availability"
+    );
+    for r in experiments::fig5(scale) {
+        println!(
+            "{:<18} {:<14} {:>10.2} {:>12.6}",
+            r.service,
+            r.strategy,
+            r.cost.as_dollars(),
+            r.availability
+        );
+    }
+}
+
+fn sweep_and_print(title: &str, rows: Vec<SweepRow>) -> Vec<SweepRow> {
+    println!("\n== {title}: cost and availability vs bidding interval ==");
+    println!(
+        "{:<10} {:<14} {:>12} {:>12} {:>7}",
+        "interval", "strategy", "cost ($)", "availability", "kills"
+    );
+    for r in &rows {
+        let interval = if r.interval_hours == 0 {
+            "-".to_string()
+        } else {
+            format!("{}h", r.interval_hours)
+        };
+        println!(
+            "{:<10} {:<14} {:>12.2} {:>12.6} {:>7}",
+            interval,
+            r.strategy,
+            r.cost.as_dollars(),
+            r.availability,
+            r.kills
+        );
+    }
+    rows
+}
+
+fn headline(lock: &[SweepRow], storage: &[SweepRow]) {
+    let h = experiments::headline(lock, storage);
+    println!("\n== Headline: Jupiter cost reduction vs on-demand baseline ==");
+    println!(
+        "lock service:    {:.2}% (best interval {} h; paper: 81.23%)",
+        h.lock_reduction_pct, h.lock_best_interval
+    );
+    println!(
+        "storage service: {:.2}% (best interval {} h; paper: 85.32%)",
+        h.storage_reduction_pct, h.storage_best_interval
+    );
+}
+
+fn ablations(scale: &Scale) {
+    println!("\n== Ablation A: expectation (Eq. 5) vs absorbing failure estimates ==");
+    let rows = experiments::ablation_estimator(scale);
+    let n = rows.len().max(1) as f64;
+    let exp_mean: f64 = rows.iter().map(|r| r.expectation_fp).sum::<f64>() / n;
+    let abs_mean: f64 = rows.iter().map(|r| r.absorbing_fp).sum::<f64>() / n;
+    let kill_rate: f64 = rows.iter().filter(|r| r.killed).count() as f64 / n;
+    let frac_mean: f64 = rows.iter().map(|r| r.realized_fraction).sum::<f64>() / n;
+    println!("samples:                  {}", rows.len());
+    println!("mean expectation FP:      {exp_mean:.6}  (predicts time-fraction)");
+    println!("mean absorbing FP:        {abs_mean:.6}  (predicts kill prob.)");
+    println!("realized kill rate:       {kill_rate:.6}");
+    println!("realized OOB fraction:    {frac_mean:.6}");
+
+    println!("\n== Ablation B: greedy (Fig. 3) vs exact NLP optimum, 7-zone instances ==");
+    let rows = experiments::ablation_greedy_vs_exact(scale);
+    println!(
+        "{:>10} {:>12} {:>12} {:>8}",
+        "minute", "greedy ($)", "exact ($)", "ratio"
+    );
+    for r in &rows {
+        let ratio = r.greedy_cost.as_dollars() / r.exact_cost.as_dollars().max(1e-9);
+        println!(
+            "{:>10} {:>12.4} {:>12.4} {:>8.3}",
+            r.minute,
+            r.greedy_cost.as_dollars(),
+            r.exact_cost.as_dollars(),
+            ratio
+        );
+    }
+
+    println!("\n== Ablation C: expectation vs absorbing Jupiter, 6 h replay ==");
+    println!(
+        "{:<14} {:>12} {:>12} {:>7}",
+        "strategy", "cost ($)", "availability", "kills"
+    );
+    for r in experiments::ablation_estimator_replay(scale) {
+        println!(
+            "{:<14} {:>12.2} {:>12.6} {:>7}",
+            r.strategy,
+            r.cost.as_dollars(),
+            r.availability,
+            r.kills
+        );
+    }
+
+    println!("\n== Ablation D: adaptive bidding interval (§5.5 extension) ==");
+    println!(
+        "{:<22} {:>12} {:>12} {:>14}",
+        "schedule", "cost ($)", "availability", "mean interval"
+    );
+    for r in experiments::ablation_adaptive(scale) {
+        println!(
+            "{:<22} {:>12.2} {:>12.6} {:>12.1} h",
+            r.strategy,
+            r.cost.as_dollars(),
+            r.availability,
+            r.mean_interval_hours
+        );
+    }
+
+    println!("\n== Ablation E: weighted voting (Eq. 11) vs simple majority ==");
+    println!(
+        "{:<42} {:>12} {:>12}",
+        "failure profile", "majority", "weighted"
+    );
+    for r in experiments::ablation_weighted_voting() {
+        println!(
+            "{:<42} {:>12.8} {:>12.8}",
+            format!("{:?}", r.profile),
+            r.majority,
+            r.weighted
+        );
+    }
+
+    println!("\n== Ablation G: one-shot fixed bids (Andrzejak-style) vs online re-bidding ==");
+    println!(
+        "{:<26} {:>12} {:>12} {:>7}",
+        "strategy", "cost ($)", "availability", "kills"
+    );
+    for r in experiments::ablation_fixed_once(scale) {
+        println!(
+            "{:<26} {:>12.2} {:>12.6} {:>7}",
+            r.strategy,
+            r.cost.as_dollars(),
+            r.availability,
+            r.kills
+        );
+    }
+
+    println!("\n== Ablation F: model mismatch (semi-Markov vs banded AR(1) market) ==");
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>10}",
+        "process", "predicted", "realized", "abs error", "kill rate"
+    );
+    for r in experiments::ablation_model_mismatch(scale) {
+        println!(
+            "{:<14} {:>12.6} {:>12.6} {:>12.6} {:>10.4}",
+            r.process, r.mean_predicted, r.mean_realized, r.mean_abs_error, r.kill_rate
+        );
+    }
+}
+
+fn calibration(scale: &Scale) {
+    use spot_market::{InstanceType, TraceGenerator};
+    use spot_model::{backtest, BidRule, FailureModelConfig};
+
+    println!("\n== Model calibration: walk-forward backtests per zone ==");
+    println!(
+        "{:<18} {:<16} {:>8} {:>11} {:>11} {:>10} {:>10}",
+        "zone", "bid rule", "samples", "predicted", "realized", "abs err", "kill rate"
+    );
+    let ty = InstanceType::M1Small;
+    let gen = TraceGenerator::new(scale.seed);
+    for zone in spot_market::topology::experiment_zones().into_iter().take(6) {
+        let trace = gen.generate(zone, ty, scale.horizon_minutes());
+        let cap = ty.on_demand_price(zone.region);
+        for (label, rule) in [
+            ("spot x 1.2", BidRule::SpotMultiple(1.2)),
+            ("target 0.0103", BidRule::TargetFp { target: 0.0103, cap }),
+        ] {
+            let r = backtest(
+                &trace,
+                scale.train_minutes(),
+                360,
+                12 * 60,
+                rule,
+                false,
+                FailureModelConfig::default(),
+            );
+            println!(
+                "{:<18} {:<16} {:>8} {:>11.6} {:>11.6} {:>10.6} {:>10.4}",
+                zone.name(),
+                label,
+                r.samples,
+                r.mean_predicted,
+                r.mean_realized,
+                r.mean_abs_error,
+                r.kill_rate
+            );
+        }
+    }
+}

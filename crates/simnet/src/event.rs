@@ -1,0 +1,163 @@
+//! Timestamped events and the deterministic event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::sim::{NodeId, TimerToken};
+use crate::time::SimTime;
+
+/// What a popped event instructs the simulation to do.
+#[derive(Debug)]
+pub enum EventKind<M> {
+    /// Deliver `msg` from `from` to the event's target node.
+    Deliver { from: NodeId, msg: M },
+    /// Fire the timer identified by `token` on the event's target node.
+    /// `epoch` guards against timers surviving a crash/restart cycle: a
+    /// timer only fires if the node's incarnation epoch still matches.
+    Timer { token: TimerToken, epoch: u64 },
+}
+
+/// A scheduled event: a timestamp, a target node and a payload.
+#[derive(Debug)]
+pub struct Event<M> {
+    /// Virtual time at which the event occurs.
+    pub at: SimTime,
+    /// Monotone insertion sequence; ties on `at` are broken by `seq` so the
+    /// execution order is a pure function of the schedule.
+    pub seq: u64,
+    /// Node the event targets.
+    pub target: NodeId,
+    /// Payload.
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Event<M> {
+    // Reversed so that the std max-heap pops the *earliest* event first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic priority queue of events (min-heap on `(at, seq)`).
+#[derive(Debug)]
+pub struct EventQueue<M> {
+    heap: BinaryHeap<Event<M>>,
+    next_seq: u64,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule an event; insertion order breaks timestamp ties.
+    pub fn push(&mut self, at: SimTime, target: NodeId, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event {
+            at,
+            seq,
+            target,
+            kind,
+        });
+    }
+
+    /// Remove and return the earliest event, if any.
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        self.heap.pop()
+    }
+
+    /// Timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deliver(q: &mut EventQueue<u32>, at_ms: u64, target: usize, msg: u32) {
+        q.push(
+            SimTime::from_millis(at_ms),
+            NodeId(target),
+            EventKind::Deliver {
+                from: NodeId(0),
+                msg,
+            },
+        );
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        deliver(&mut q, 30, 1, 3);
+        deliver(&mut q, 10, 1, 1);
+        deliver(&mut q, 20, 1, 2);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.at.as_millis())).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for msg in 0..5u32 {
+            deliver(&mut q, 100, 1, msg);
+        }
+        let msgs: Vec<u32> = std::iter::from_fn(|| {
+            q.pop().map(|e| match e.kind {
+                EventKind::Deliver { msg, .. } => msg,
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(msgs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        deliver(&mut q, 42, 0, 0);
+        deliver(&mut q, 7, 0, 0);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(7)));
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(42)));
+    }
+}

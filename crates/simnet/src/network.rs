@@ -1,0 +1,174 @@
+//! Network behaviour: latency model, message loss and partitions.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::sim::NodeId;
+use crate::time::SimTime;
+
+/// Configuration of the simulated network connecting the nodes.
+///
+/// The services in this workspace are geo-replicated across EC2 availability
+/// zones, so the defaults model cross-zone WAN links: tens of milliseconds of
+/// one-way latency with jitter and a small loss rate. Loopback delivery
+/// (node to itself) is near-instant.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Minimum one-way latency between distinct nodes, inclusive.
+    pub min_latency: SimTime,
+    /// Maximum one-way latency between distinct nodes, inclusive.
+    pub max_latency: SimTime,
+    /// Probability that a message between distinct nodes is silently lost.
+    pub drop_probability: f64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            min_latency: SimTime::from_millis(20),
+            max_latency: SimTime::from_millis(80),
+            drop_probability: 0.001,
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// A perfect network: zero loss, fixed 1 ms latency. Useful in tests
+    /// that want to isolate protocol logic from network nondeterminism.
+    pub fn ideal() -> Self {
+        NetworkConfig {
+            min_latency: SimTime::from_millis(1),
+            max_latency: SimTime::from_millis(1),
+            drop_probability: 0.0,
+        }
+    }
+
+    /// A lossy, high-jitter network for stress tests.
+    pub fn harsh() -> Self {
+        NetworkConfig {
+            min_latency: SimTime::from_millis(10),
+            max_latency: SimTime::from_millis(400),
+            drop_probability: 0.05,
+        }
+    }
+}
+
+/// Mutable network state: the active partition and the RNG-driven sampling
+/// of latencies and drops.
+#[derive(Debug)]
+pub(crate) struct Network {
+    pub config: NetworkConfig,
+    /// Partition groups: nodes may only talk to nodes in the same group.
+    /// Empty means fully connected.
+    groups: Vec<Vec<NodeId>>,
+}
+
+impl Network {
+    pub fn new(config: NetworkConfig) -> Self {
+        Network {
+            config,
+            groups: Vec::new(),
+        }
+    }
+
+    /// Install a partition: each inner vector is one side. Nodes not listed
+    /// in any group are isolated from everyone.
+    pub fn partition(&mut self, groups: Vec<Vec<NodeId>>) {
+        self.groups = groups;
+    }
+
+    /// Remove any partition, restoring full connectivity.
+    pub fn heal(&mut self) {
+        self.groups.clear();
+    }
+
+    /// Whether a message from `a` may currently reach `b`.
+    pub fn connected(&self, a: NodeId, b: NodeId) -> bool {
+        if a == b || self.groups.is_empty() {
+            return true;
+        }
+        self.groups.iter().any(|g| g.contains(&a) && g.contains(&b))
+    }
+
+    /// Sample the delivery delay for a message from `a` to `b`, or `None`
+    /// if the message is dropped (loss or partition).
+    pub fn sample_delivery(&self, a: NodeId, b: NodeId, rng: &mut ChaCha8Rng) -> Option<SimTime> {
+        if !self.connected(a, b) {
+            return None;
+        }
+        if a == b {
+            return Some(SimTime::from_millis(1));
+        }
+        if self.config.drop_probability > 0.0 && rng.gen::<f64>() < self.config.drop_probability {
+            return None;
+        }
+        let lo = self.config.min_latency.as_millis();
+        let hi = self.config.max_latency.as_millis().max(lo);
+        let ms = if lo == hi { lo } else { rng.gen_range(lo..=hi) };
+        Some(SimTime::from_millis(ms))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_network_never_drops() {
+        let net = Network::new(NetworkConfig::ideal());
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let d = net.sample_delivery(NodeId(0), NodeId(1), &mut rng);
+            assert_eq!(d, Some(SimTime::from_millis(1)));
+        }
+    }
+
+    #[test]
+    fn latency_within_bounds() {
+        let net = Network::new(NetworkConfig {
+            min_latency: SimTime::from_millis(5),
+            max_latency: SimTime::from_millis(9),
+            drop_probability: 0.0,
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..500 {
+            let d = net
+                .sample_delivery(NodeId(0), NodeId(1), &mut rng)
+                .unwrap()
+                .as_millis();
+            assert!((5..=9).contains(&d), "latency {d} out of bounds");
+        }
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_traffic() {
+        let mut net = Network::new(NetworkConfig::ideal());
+        net.partition(vec![vec![NodeId(0), NodeId(1)], vec![NodeId(2)]]);
+        assert!(net.connected(NodeId(0), NodeId(1)));
+        assert!(!net.connected(NodeId(0), NodeId(2)));
+        // Unlisted nodes are isolated.
+        assert!(!net.connected(NodeId(3), NodeId(0)));
+        // Loopback always works.
+        assert!(net.connected(NodeId(3), NodeId(3)));
+        net.heal();
+        assert!(net.connected(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn drop_probability_observed() {
+        let net = Network::new(NetworkConfig {
+            min_latency: SimTime::from_millis(1),
+            max_latency: SimTime::from_millis(1),
+            drop_probability: 0.5,
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let delivered = (0..10_000)
+            .filter(|_| {
+                net.sample_delivery(NodeId(0), NodeId(1), &mut rng)
+                    .is_some()
+            })
+            .count();
+        assert!((4_000..6_000).contains(&delivered), "delivered={delivered}");
+    }
+}

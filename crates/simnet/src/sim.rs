@@ -1,0 +1,449 @@
+//! The simulation core: nodes, actors, contexts and the event loop.
+
+use std::fmt;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::event::{EventKind, EventQueue};
+use crate::network::{Network, NetworkConfig};
+use crate::time::SimTime;
+
+/// Identifier of a simulated node (dense index into the simulation).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// An actor-chosen timer identifier, echoed back when the timer fires.
+///
+/// Actors that need to "cancel" a timer use generation counters inside the
+/// token and ignore stale fires; the simulator itself only cancels timers on
+/// crash (via incarnation epochs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerToken(pub u64);
+
+/// The behaviour of a node. All nodes in one [`Simulation`] share a single
+/// actor type, which suits homogeneous replicated services.
+pub trait Actor: Sized {
+    /// The message type exchanged between nodes.
+    type Msg;
+
+    /// Called when the node starts (initial boot, restart, or join).
+    fn on_start(&mut self, _ctx: &mut Context<Self::Msg>) {}
+
+    /// Called when a message is delivered to this node.
+    fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut Context<Self::Msg>);
+
+    /// Called when a timer previously set through [`Context::set_timer`]
+    /// fires. Timers set before a crash never fire after a restart.
+    fn on_timer(&mut self, _token: TimerToken, _ctx: &mut Context<Self::Msg>) {}
+}
+
+enum Effect<M> {
+    Send { to: NodeId, msg: M },
+    Timer { delay: SimTime, token: TimerToken },
+}
+
+/// Handed to actor callbacks; records outgoing effects and exposes the
+/// node's identity and the current virtual time.
+pub struct Context<M> {
+    /// Current virtual time.
+    pub now: SimTime,
+    /// The node this context belongs to.
+    pub me: NodeId,
+    effects: Vec<Effect<M>>,
+}
+
+impl<M> Context<M> {
+    fn new(now: SimTime, me: NodeId) -> Self {
+        Context {
+            now,
+            me,
+            effects: Vec::new(),
+        }
+    }
+
+    /// Send `msg` to `to`; delivery (or loss) is decided by the network.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.effects.push(Effect::Send { to, msg });
+    }
+
+    /// Schedule `on_timer(token)` after `delay` (crash-cancelled).
+    pub fn set_timer(&mut self, delay: SimTime, token: TimerToken) {
+        self.effects.push(Effect::Timer { delay, token });
+    }
+}
+
+impl<M: Clone> Context<M> {
+    /// Send `msg` to every node in `peers` except self.
+    pub fn broadcast<'a, I>(&mut self, peers: I, msg: M)
+    where
+        I: IntoIterator<Item = &'a NodeId>,
+    {
+        let me = self.me;
+        for &p in peers {
+            if p != me {
+                self.send(p, msg.clone());
+            }
+        }
+    }
+}
+
+struct Slot<A> {
+    actor: Option<A>,
+    up: bool,
+    /// Incarnation epoch; bumped on crash so in-flight timers and messages
+    /// addressed to the previous incarnation are discarded.
+    epoch: u64,
+}
+
+/// A deterministic discrete-event simulation of a set of nodes running the
+/// same [`Actor`] over a lossy network.
+pub struct Simulation<A: Actor> {
+    nodes: Vec<Slot<A>>,
+    queue: EventQueue<A::Msg>,
+    network: Network,
+    rng: ChaCha8Rng,
+    now: SimTime,
+    delivered: u64,
+    dropped: u64,
+}
+
+impl<A: Actor> Simulation<A> {
+    /// Create an empty simulation with the given network model and RNG seed.
+    pub fn new(config: NetworkConfig, seed: u64) -> Self {
+        Simulation {
+            nodes: Vec::new(),
+            queue: EventQueue::new(),
+            network: Network::new(config),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            now: SimTime::ZERO,
+            delivered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total messages delivered so far.
+    pub fn messages_delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Total messages dropped (loss or partition or dead target) so far.
+    pub fn messages_dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Add a new node running `actor`; it boots immediately (`on_start`).
+    pub fn add_node(&mut self, actor: A) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Slot {
+            actor: Some(actor),
+            up: true,
+            epoch: 0,
+        });
+        self.boot(id);
+        id
+    }
+
+    /// Number of node slots ever created (crashed ones included).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether `id` is currently up.
+    pub fn is_up(&self, id: NodeId) -> bool {
+        self.nodes.get(id.0).map(|s| s.up).unwrap_or(false)
+    }
+
+    /// Immutable access to a node's actor state (None while crashed).
+    pub fn actor(&self, id: NodeId) -> Option<&A> {
+        self.nodes.get(id.0).and_then(|s| s.actor.as_ref())
+    }
+
+    /// Mutable access to a node's actor state (None while crashed).
+    ///
+    /// Intended for drivers that inspect or tweak state between `run_until`
+    /// calls; effects cannot be emitted from here.
+    pub fn actor_mut(&mut self, id: NodeId) -> Option<&mut A> {
+        self.nodes.get_mut(id.0).and_then(|s| s.actor.as_mut())
+    }
+
+    /// Crash a node: its state is destroyed, pending timers are cancelled
+    /// and in-flight messages to it will be dropped on arrival.
+    pub fn crash(&mut self, id: NodeId) {
+        if let Some(slot) = self.nodes.get_mut(id.0) {
+            slot.up = false;
+            slot.actor = None;
+            slot.epoch += 1;
+        }
+    }
+
+    /// Restart a crashed node with a fresh actor (recovered state is the
+    /// actor's own business, e.g. rebuilt from its replicated log peers).
+    pub fn restart(&mut self, id: NodeId, actor: A) {
+        let slot = &mut self.nodes[id.0];
+        assert!(!slot.up, "restart of a live node {id}");
+        slot.actor = Some(actor);
+        slot.up = true;
+        self.boot(id);
+    }
+
+    /// Install a network partition (each group an island); see
+    /// [`NetworkConfig`] for the connectivity rules.
+    pub fn partition(&mut self, groups: Vec<Vec<NodeId>>) {
+        self.network.partition(groups);
+    }
+
+    /// Heal any partition.
+    pub fn heal(&mut self) {
+        self.network.heal();
+    }
+
+    /// Inject a message "from outside" (e.g. a client library): it is
+    /// delivered to `to` as if sent by `from` after one network delay.
+    pub fn inject(&mut self, from: NodeId, to: NodeId, msg: A::Msg) {
+        match self.network.sample_delivery(from, to, &mut self.rng) {
+            Some(delay) => self
+                .queue
+                .push(self.now + delay, to, EventKind::Deliver { from, msg }),
+            None => self.dropped += 1,
+        }
+    }
+
+    fn boot(&mut self, id: NodeId) {
+        let now = self.now;
+        let slot = &mut self.nodes[id.0];
+        let mut ctx = Context::new(now, id);
+        slot.actor
+            .as_mut()
+            .expect("boot of crashed node")
+            .on_start(&mut ctx);
+        let epoch = slot.epoch;
+        self.flush(id, epoch, ctx);
+    }
+
+    fn flush(&mut self, from: NodeId, epoch: u64, ctx: Context<A::Msg>) {
+        for effect in ctx.effects {
+            match effect {
+                Effect::Send { to, msg } => {
+                    if to.0 >= self.nodes.len() {
+                        self.dropped += 1;
+                        continue;
+                    }
+                    match self.network.sample_delivery(from, to, &mut self.rng) {
+                        Some(delay) => {
+                            self.queue
+                                .push(self.now + delay, to, EventKind::Deliver { from, msg })
+                        }
+                        None => self.dropped += 1,
+                    }
+                }
+                Effect::Timer { delay, token } => {
+                    self.queue
+                        .push(self.now + delay, from, EventKind::Timer { token, epoch });
+                }
+            }
+        }
+    }
+
+    /// Process a single event if one is pending before `bound`; returns
+    /// whether an event was processed. Time advances to the event time.
+    pub fn step_before(&mut self, bound: SimTime) -> bool {
+        let Some(at) = self.queue.peek_time() else {
+            return false;
+        };
+        if at > bound {
+            return false;
+        }
+        let ev = self.queue.pop().expect("peeked event vanished");
+        debug_assert!(ev.at >= self.now, "time went backwards");
+        self.now = ev.at;
+        let id = ev.target;
+        let slot = &mut self.nodes[id.0];
+        if !slot.up {
+            self.dropped += 1;
+            return true;
+        }
+        let epoch = slot.epoch;
+        let mut ctx = Context::new(self.now, id);
+        match ev.kind {
+            EventKind::Deliver { from, msg } => {
+                self.delivered += 1;
+                slot.actor
+                    .as_mut()
+                    .expect("up node without actor")
+                    .on_message(from, msg, &mut ctx);
+            }
+            EventKind::Timer {
+                token,
+                epoch: timer_epoch,
+            } => {
+                if timer_epoch != epoch {
+                    return true; // timer from a previous incarnation
+                }
+                slot.actor
+                    .as_mut()
+                    .expect("up node without actor")
+                    .on_timer(token, &mut ctx);
+            }
+        }
+        self.flush(id, epoch, ctx);
+        true
+    }
+
+    /// Run the event loop until virtual time `bound` (inclusive): every
+    /// event scheduled at or before `bound` is processed, then the clock is
+    /// advanced to `bound`.
+    pub fn run_until(&mut self, bound: SimTime) {
+        while self.step_before(bound) {}
+        if bound > self.now && bound != SimTime::MAX {
+            self.now = bound;
+        }
+    }
+
+    /// Run until the event queue drains completely (use with care: actors
+    /// with recurring heartbeat timers never drain).
+    pub fn run_to_quiescence(&mut self) {
+        while self.step_before(SimTime::MAX) {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ping-pong actor: replies to every `n` with `n+1` until 10.
+    struct PingPong {
+        peer: Option<NodeId>,
+        seen: Vec<u32>,
+    }
+
+    impl Actor for PingPong {
+        type Msg = u32;
+
+        fn on_start(&mut self, ctx: &mut Context<u32>) {
+            if let Some(peer) = self.peer {
+                ctx.send(peer, 0);
+            }
+        }
+
+        fn on_message(&mut self, from: NodeId, msg: u32, ctx: &mut Context<u32>) {
+            self.seen.push(msg);
+            if msg < 10 {
+                ctx.send(from, msg + 1);
+            }
+        }
+    }
+
+    fn pair() -> (Simulation<PingPong>, NodeId, NodeId) {
+        let mut sim = Simulation::new(NetworkConfig::ideal(), 42);
+        let a = sim.add_node(PingPong {
+            peer: None,
+            seen: vec![],
+        });
+        let b = sim.add_node(PingPong {
+            peer: Some(a),
+            seen: vec![],
+        });
+        (sim, a, b)
+    }
+
+    #[test]
+    fn ping_pong_runs_to_completion() {
+        let (mut sim, a, b) = pair();
+        sim.run_to_quiescence();
+        assert_eq!(sim.actor(a).unwrap().seen, vec![0, 2, 4, 6, 8, 10]);
+        assert_eq!(sim.actor(b).unwrap().seen, vec![1, 3, 5, 7, 9]);
+        assert_eq!(sim.messages_delivered(), 11);
+    }
+
+    #[test]
+    fn identical_seeds_identical_runs() {
+        let (mut s1, _, _) = pair();
+        let (mut s2, _, _) = pair();
+        s1.run_to_quiescence();
+        s2.run_to_quiescence();
+        assert_eq!(s1.now(), s2.now());
+        assert_eq!(s1.messages_delivered(), s2.messages_delivered());
+    }
+
+    #[test]
+    fn crash_drops_messages_and_cancels_timers() {
+        struct Beater {
+            beats: u32,
+        }
+        impl Actor for Beater {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Context<()>) {
+                ctx.set_timer(SimTime::from_millis(10), TimerToken(1));
+            }
+            fn on_timer(&mut self, _t: TimerToken, ctx: &mut Context<()>) {
+                self.beats += 1;
+                ctx.set_timer(SimTime::from_millis(10), TimerToken(1));
+            }
+            fn on_message(&mut self, _f: NodeId, _m: (), _c: &mut Context<()>) {}
+        }
+        let mut sim = Simulation::new(NetworkConfig::ideal(), 1);
+        let n = sim.add_node(Beater { beats: 0 });
+        sim.run_until(SimTime::from_millis(55));
+        assert_eq!(sim.actor(n).unwrap().beats, 5);
+        sim.crash(n);
+        sim.run_until(SimTime::from_millis(200));
+        assert!(sim.actor(n).is_none());
+        // Restart: beats start over, stale timers never fire.
+        sim.restart(n, Beater { beats: 0 });
+        sim.run_until(SimTime::from_millis(231));
+        assert_eq!(sim.actor(n).unwrap().beats, 3);
+    }
+
+    #[test]
+    fn run_until_advances_clock_without_events() {
+        let mut sim: Simulation<PingPong> = Simulation::new(NetworkConfig::ideal(), 0);
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn inject_reaches_target() {
+        let (mut sim, a, _) = pair();
+        sim.run_to_quiescence();
+        let before = sim.actor(a).unwrap().seen.len();
+        sim.inject(NodeId(1), a, 99);
+        sim.run_to_quiescence();
+        assert_eq!(sim.actor(a).unwrap().seen.len(), before + 1);
+    }
+
+    #[test]
+    fn partitioned_nodes_cannot_talk() {
+        let (mut sim, a, b) = pair();
+        sim.run_to_quiescence();
+        let seen_before = sim.actor(a).unwrap().seen.len();
+        sim.partition(vec![vec![a], vec![b]]);
+        sim.inject(b, a, 99);
+        sim.run_to_quiescence();
+        // The injected message is dropped by the partition.
+        assert_eq!(sim.actor(a).unwrap().seen.len(), seen_before);
+        assert_eq!(sim.messages_dropped(), 1);
+        // Healing restores connectivity.
+        sim.heal();
+        sim.inject(b, a, 99);
+        sim.run_to_quiescence();
+        assert_eq!(sim.actor(a).unwrap().seen.len(), seen_before + 1);
+    }
+}

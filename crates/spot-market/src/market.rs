@@ -1,0 +1,332 @@
+//! The market facade: a bundle of price traces plus query and billing
+//! helpers, the single object the bidding framework and replay harness talk
+//! to.
+
+use std::collections::HashMap;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::billing::{spot_charge, Termination};
+use crate::gen::{GenParams, TraceGenerator};
+use crate::instance::InstanceType;
+use crate::money::Price;
+use crate::topology::Zone;
+use crate::trace::PriceTrace;
+
+/// Configuration of a simulated market.
+#[derive(Clone, Debug)]
+pub struct MarketConfig {
+    /// Seed driving trace generation and startup-delay sampling.
+    pub seed: u64,
+    /// The zones trading in this market.
+    pub zones: Vec<Zone>,
+    /// The instance types traded.
+    pub types: Vec<InstanceType>,
+    /// Trace length in minutes.
+    pub horizon_minutes: u64,
+    /// Generator parameters (see [`GenParams`]).
+    pub gen_params: GenParams,
+}
+
+impl MarketConfig {
+    /// The paper's experimental setup: 17 availability zones, `m1.small`
+    /// and `m3.large`, for the given horizon.
+    pub fn paper(seed: u64, horizon_minutes: u64) -> Self {
+        MarketConfig {
+            seed,
+            zones: crate::topology::experiment_zones(),
+            types: vec![InstanceType::M1Small, InstanceType::M3Large],
+            horizon_minutes,
+            gen_params: GenParams::default(),
+        }
+    }
+}
+
+/// A complete spot market over a fixed horizon: per-(zone, type) price
+/// traces, out-of-bid resolution, billing and startup delays.
+#[derive(Clone, Debug)]
+pub struct Market {
+    config: MarketConfig,
+    traces: HashMap<(Zone, InstanceType), PriceTrace>,
+}
+
+impl Market {
+    /// Generate a market from its configuration (deterministic).
+    pub fn generate(config: MarketConfig) -> Self {
+        let gen = TraceGenerator::with_params(config.seed, config.gen_params.clone());
+        let mut traces = HashMap::new();
+        for &zone in &config.zones {
+            for &ty in &config.types {
+                traces.insert((zone, ty), gen.generate(zone, ty, config.horizon_minutes));
+            }
+        }
+        Market { config, traces }
+    }
+
+    /// Build a market from externally supplied traces (e.g. real archived
+    /// data); all traces must share the horizon.
+    pub fn from_traces(
+        config: MarketConfig,
+        traces: HashMap<(Zone, InstanceType), PriceTrace>,
+    ) -> Self {
+        for t in traces.values() {
+            assert_eq!(
+                t.horizon(),
+                config.horizon_minutes,
+                "trace horizon mismatch"
+            );
+        }
+        Market { config, traces }
+    }
+
+    /// The market configuration.
+    pub fn config(&self) -> &MarketConfig {
+        &self.config
+    }
+
+    /// The zones trading in this market.
+    pub fn zones(&self) -> &[Zone] {
+        &self.config.zones
+    }
+
+    /// Trace horizon in minutes.
+    pub fn horizon(&self) -> u64 {
+        self.config.horizon_minutes
+    }
+
+    /// The full trace for `(zone, ty)`.
+    pub fn trace(&self, zone: Zone, ty: InstanceType) -> &PriceTrace {
+        self.traces
+            .get(&(zone, ty))
+            .unwrap_or_else(|| panic!("no trace for {} {}", zone.name(), ty))
+    }
+
+    /// The spot price of `(zone, ty)` at `minute`.
+    pub fn price(&self, zone: Zone, ty: InstanceType, minute: u64) -> Price {
+        self.trace(zone, ty).price_at(minute)
+    }
+
+    /// Whether a spot request with `bid` would be granted at `minute`
+    /// (bid at or above the current price).
+    pub fn grants(&self, zone: Zone, ty: InstanceType, bid: Price, minute: u64) -> bool {
+        bid >= self.price(zone, ty, minute)
+    }
+
+    /// The minute at which an instance launched at `from` with `bid` is
+    /// out-of-bid terminated (first minute with `price > bid`), or `None`
+    /// if it survives to `until`.
+    pub fn out_of_bid_at(
+        &self,
+        zone: Zone,
+        ty: InstanceType,
+        bid: Price,
+        from: u64,
+        until: u64,
+    ) -> Option<u64> {
+        self.trace(zone, ty)
+            .first_minute_above(bid, from)
+            .filter(|&m| m < until)
+    }
+
+    /// Billing for a spot instance lifetime (see [`spot_charge`]).
+    pub fn charge(
+        &self,
+        zone: Zone,
+        ty: InstanceType,
+        launch: u64,
+        end: u64,
+        termination: Termination,
+    ) -> Price {
+        spot_charge(self.trace(zone, ty), launch, end, termination)
+    }
+
+    /// Sample a startup delay in minutes for launching in `zone`.
+    ///
+    /// Deterministic in `(market seed, zone, minute)`; ranges follow
+    /// [`crate::topology::Region::startup_range_secs`]. Delays are rounded
+    /// up to whole minutes (4–12 typically).
+    pub fn startup_delay_minutes(&self, zone: Zone, minute: u64) -> u64 {
+        let (lo, hi) = zone.region.startup_range_secs();
+        let mut seed = self
+            .config
+            .seed
+            .wrapping_mul(0xA076_1D64_78BD_642F)
+            .wrapping_add(zone.ordinal() as u64)
+            .wrapping_mul(0xE703_7ED1_A0B4_28DB)
+            .wrapping_add(minute);
+        seed ^= seed >> 32;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let secs = rng.gen_range(lo..=hi);
+        secs.div_ceil(60)
+    }
+
+    /// A new market restricted to `[from, to)` minutes (re-based to 0).
+    /// Used to split a long history into training and evaluation spans.
+    pub fn window(&self, from: u64, to: u64) -> Market {
+        let mut config = self.config.clone();
+        config.horizon_minutes = to - from;
+        let traces = self
+            .traces
+            .iter()
+            .map(|(k, t)| (*k, t.window(from, to)))
+            .collect();
+        Market { config, traces }
+    }
+
+    /// Serialize every trace as JSON — the interchange format for feeding
+    /// *real* archived spot-price data into the harness (and for saving a
+    /// generated market for external analysis).
+    pub fn export_traces(&self) -> String {
+        let dump: Vec<(Zone, InstanceType, &PriceTrace)> = {
+            let mut v: Vec<_> = self
+                .traces
+                .iter()
+                .map(|((z, t), trace)| (*z, *t, trace))
+                .collect();
+            v.sort_by_key(|(z, t, _)| (z.ordinal(), *t));
+            v
+        };
+        serde_json::to_string(&dump).expect("traces serialize")
+    }
+
+    /// Rebuild a market from [`Market::export_traces`] output. The zone
+    /// and type lists of `config` are replaced by what the dump contains;
+    /// the horizon must match every trace.
+    pub fn import_traces(mut config: MarketConfig, json: &str) -> Result<Market, String> {
+        let dump: Vec<(Zone, InstanceType, PriceTrace)> =
+            serde_json::from_str(json).map_err(|e| e.to_string())?;
+        if dump.is_empty() {
+            return Err("empty trace dump".into());
+        }
+        let horizon = dump[0].2.horizon();
+        let mut traces = HashMap::new();
+        let mut zones = Vec::new();
+        let mut types = Vec::new();
+        for (zone, ty, trace) in dump {
+            if trace.horizon() != horizon {
+                return Err(format!(
+                    "horizon mismatch: {} vs {horizon}",
+                    trace.horizon()
+                ));
+            }
+            if !zones.contains(&zone) {
+                zones.push(zone);
+            }
+            if !types.contains(&ty) {
+                types.push(ty);
+            }
+            traces.insert((zone, ty), trace);
+        }
+        config.zones = zones;
+        config.types = types;
+        config.horizon_minutes = horizon;
+        Ok(Market { config, traces })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Region;
+
+    fn small_market() -> Market {
+        let mut cfg = MarketConfig::paper(11, 7 * 24 * 60);
+        cfg.zones.truncate(4);
+        cfg.types = vec![InstanceType::M1Small];
+        Market::generate(cfg)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small_market();
+        let b = small_market();
+        for &z in a.zones() {
+            assert_eq!(
+                a.trace(z, InstanceType::M1Small),
+                b.trace(z, InstanceType::M1Small)
+            );
+        }
+    }
+
+    #[test]
+    fn grant_semantics() {
+        let m = small_market();
+        let z = m.zones()[0];
+        let p = m.price(z, InstanceType::M1Small, 0);
+        assert!(m.grants(z, InstanceType::M1Small, p, 0));
+        assert!(!m.grants(z, InstanceType::M1Small, p - Price::TICK, 0));
+    }
+
+    #[test]
+    fn out_of_bid_is_first_minute_strictly_above() {
+        let m = small_market();
+        let z = m.zones()[0];
+        let t = m.trace(z, InstanceType::M1Small);
+        let max = t.max_price_in(0, t.horizon());
+        // Bidding the trace max never fails.
+        assert_eq!(
+            m.out_of_bid_at(z, InstanceType::M1Small, max, 0, t.horizon()),
+            None
+        );
+        // Bidding below the max fails at some minute, and at that minute
+        // the price strictly exceeds the bid.
+        let bid = max - Price::TICK;
+        if let Some(k) = m.out_of_bid_at(z, InstanceType::M1Small, bid, 0, t.horizon()) {
+            assert!(t.price_at(k) > bid);
+            if k > 0 {
+                assert!(t.price_at(k - 1) <= bid || k == 0);
+            }
+        }
+    }
+
+    #[test]
+    fn startup_delays_in_range() {
+        let m = small_market();
+        for &z in m.zones() {
+            let (lo, hi) = z.region.startup_range_secs();
+            for minute in [0u64, 100, 5_000] {
+                let d = m.startup_delay_minutes(z, minute);
+                assert!(d >= lo / 60 && d <= hi.div_ceil(60), "{}: {d}", z.name());
+            }
+        }
+    }
+
+    #[test]
+    fn windowing_preserves_prices() {
+        let m = small_market();
+        let w = m.window(1_000, 3_000);
+        let z = m.zones()[0];
+        for minute in (0..2_000).step_by(97) {
+            assert_eq!(
+                w.price(z, InstanceType::M1Small, minute),
+                m.price(z, InstanceType::M1Small, minute + 1_000)
+            );
+        }
+    }
+
+    #[test]
+    fn export_import_round_trip() {
+        let m = small_market();
+        let json = m.export_traces();
+        let cfg = MarketConfig::paper(0, 1); // replaced by the dump
+        let re = Market::import_traces(cfg, &json).expect("import");
+        assert_eq!(re.horizon(), m.horizon());
+        assert_eq!(re.zones(), m.zones());
+        for &z in m.zones() {
+            assert_eq!(
+                re.trace(z, InstanceType::M1Small),
+                m.trace(z, InstanceType::M1Small)
+            );
+        }
+        assert!(Market::import_traces(MarketConfig::paper(0, 1), "[]").is_err());
+        assert!(Market::import_traces(MarketConfig::paper(0, 1), "nonsense").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "no trace")]
+    fn missing_pair_panics() {
+        let m = small_market();
+        m.price(Zone::new(Region::SaEast1, 1), InstanceType::M1Small, 0);
+    }
+}

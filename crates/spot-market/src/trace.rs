@@ -1,0 +1,421 @@
+//! Step-function spot-price traces at one-minute resolution.
+//!
+//! A trace is a sorted sequence of change points `(minute, price)`; the
+//! price holds until the next change point. One minute is the time unit the
+//! paper adopts for the semi-Markov model (Eq. 12: sojourn times are
+//! discretized to minutes because 2014 prices changed many times per hour).
+
+use serde::{Deserialize, Serialize};
+
+use crate::money::Price;
+
+/// A price change point: from `minute` (inclusive) the market price is
+/// `price` until the next point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PricePoint {
+    /// Minute index since trace start.
+    pub minute: u64,
+    /// The spot price holding from this minute.
+    pub price: Price,
+}
+
+/// A maximal constant-price interval of a trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Segment {
+    /// The price during the segment.
+    pub price: Price,
+    /// First minute of the segment (inclusive).
+    pub start: u64,
+    /// Length in minutes (≥ 1; the final segment runs to the horizon).
+    pub duration: u64,
+}
+
+/// A spot-price history for one (zone, instance type) pair.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PriceTrace {
+    points: Vec<PricePoint>,
+    /// Total trace length in minutes; prices are defined on `[0, horizon)`.
+    horizon: u64,
+}
+
+impl PriceTrace {
+    /// Build a trace from change points.
+    ///
+    /// Points must start at minute 0, be strictly increasing in time, lie
+    /// within the horizon, and consecutive points must change the price
+    /// (equal-price points would be redundant and break sojourn statistics).
+    pub fn new(points: Vec<PricePoint>, horizon: u64) -> Self {
+        assert!(!points.is_empty(), "trace needs at least one point");
+        assert_eq!(points[0].minute, 0, "trace must start at minute 0");
+        assert!(horizon > 0, "horizon must be positive");
+        for w in points.windows(2) {
+            assert!(
+                w[0].minute < w[1].minute,
+                "points must be strictly increasing in time"
+            );
+            assert_ne!(
+                w[0].price, w[1].price,
+                "consecutive points must change the price"
+            );
+        }
+        assert!(
+            points.last().unwrap().minute < horizon,
+            "last point beyond horizon"
+        );
+        PriceTrace { points, horizon }
+    }
+
+    /// The trace length in minutes.
+    pub fn horizon(&self) -> u64 {
+        self.horizon
+    }
+
+    /// The underlying change points.
+    pub fn points(&self) -> &[PricePoint] {
+        &self.points
+    }
+
+    /// The price in effect at `minute` (must be `< horizon`).
+    pub fn price_at(&self, minute: u64) -> Price {
+        assert!(minute < self.horizon, "minute {minute} beyond horizon");
+        let idx = self
+            .points
+            .partition_point(|p| p.minute <= minute)
+            .checked_sub(1)
+            .expect("trace starts at 0");
+        self.points[idx].price
+    }
+
+    /// Iterate over the maximal constant-price segments.
+    pub fn segments(&self) -> impl Iterator<Item = Segment> + '_ {
+        self.points.iter().enumerate().map(move |(i, p)| {
+            let end = self
+                .points
+                .get(i + 1)
+                .map(|n| n.minute)
+                .unwrap_or(self.horizon);
+            Segment {
+                price: p.price,
+                start: p.minute,
+                duration: end - p.minute,
+            }
+        })
+    }
+
+    /// The last price change at or before the end of `[from, to)`; i.e. the
+    /// price in effect just before minute `to`. Used by billing ("the last
+    /// price of a spot instance in the hour").
+    pub fn last_price_in(&self, from: u64, to: u64) -> Price {
+        assert!(from < to && to <= self.horizon, "bad window {from}..{to}");
+        self.price_at(to - 1)
+    }
+
+    /// The maximum price over `[from, to)`.
+    pub fn max_price_in(&self, from: u64, to: u64) -> Price {
+        assert!(from < to && to <= self.horizon, "bad window {from}..{to}");
+        self.segments()
+            .filter(|s| s.start < to && s.start + s.duration > from)
+            .map(|s| s.price)
+            .max()
+            .expect("window overlaps at least one segment")
+    }
+
+    /// First minute in `[from, horizon)` at which the price strictly
+    /// exceeds `bid` — the out-of-bid termination minute for an instance
+    /// holding `bid` — or `None` if the bid survives to the horizon.
+    pub fn first_minute_above(&self, bid: Price, from: u64) -> Option<u64> {
+        self.segments()
+            .filter(|s| s.start + s.duration > from && s.price > bid)
+            .map(|s| s.start.max(from))
+            .next()
+    }
+
+    /// Fraction of minutes in `[from, to)` during which `price > bid`
+    /// (the measured out-of-bid failure probability of the micro-benchmark,
+    /// Fig. 4).
+    pub fn fraction_above(&self, bid: Price, from: u64, to: u64) -> f64 {
+        assert!(from < to && to <= self.horizon, "bad window {from}..{to}");
+        let mut above = 0u64;
+        for s in self.segments() {
+            let lo = s.start.max(from);
+            let hi = (s.start + s.duration).min(to);
+            if lo < hi && s.price > bid {
+                above += hi - lo;
+            }
+        }
+        above as f64 / (to - from) as f64
+    }
+
+    /// Restrict the trace to `[from, to)`, re-basing minutes to 0.
+    /// Used to split history into a training prefix and an evaluation
+    /// suffix.
+    pub fn window(&self, from: u64, to: u64) -> PriceTrace {
+        assert!(from < to && to <= self.horizon, "bad window {from}..{to}");
+        let mut points = vec![PricePoint {
+            minute: 0,
+            price: self.price_at(from),
+        }];
+        for p in &self.points {
+            if p.minute > from && p.minute < to {
+                if p.price == points.last().unwrap().price {
+                    continue;
+                }
+                points.push(PricePoint {
+                    minute: p.minute - from,
+                    price: p.price,
+                });
+            }
+        }
+        PriceTrace::new(points, to - from)
+    }
+
+    /// Minutes the price at `minute` has already held its value (the
+    /// semi-Markov sojourn age observed at bidding time).
+    pub fn sojourn_age_at(&self, minute: u64) -> u64 {
+        assert!(minute < self.horizon, "minute {minute} beyond horizon");
+        let idx = self
+            .points
+            .partition_point(|p| p.minute <= minute)
+            .checked_sub(1)
+            .expect("trace starts at 0");
+        minute - self.points[idx].minute
+    }
+
+    /// The trace re-quoted on a coarser price grid: every price rounds up
+    /// to a multiple of `quantum`, merging adjacent segments that land on
+    /// the same quantized value. Keeps semi-Markov state spaces bounded
+    /// when the underlying process quotes near-continuously (e.g. the
+    /// AR(1) market model).
+    pub fn quantized(&self, quantum: Price) -> PriceTrace {
+        assert!(quantum > Price::ZERO, "quantum must be positive");
+        let q = quantum.as_micros();
+        let mut points: Vec<PricePoint> = Vec::with_capacity(self.points.len());
+        for p in &self.points {
+            let price = Price::from_micros(p.price.as_micros().div_ceil(q) * q);
+            match points.last() {
+                Some(last) if last.price == price => {}
+                _ => points.push(PricePoint { minute: p.minute, price }),
+            }
+        }
+        PriceTrace::new(points, self.horizon)
+    }
+
+    /// Mean price over the whole trace, weighted by sojourn time.
+    pub fn mean_price(&self) -> Price {
+        let total: u64 = self
+            .segments()
+            .map(|s| s.price.as_micros() * s.duration)
+            .sum();
+        Price::from_micros(total / self.horizon)
+    }
+
+    /// Number of price changes per hour, averaged over the trace.
+    pub fn changes_per_hour(&self) -> f64 {
+        (self.points.len() - 1) as f64 / (self.horizon as f64 / 60.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(d: f64) -> Price {
+        Price::from_dollars(d)
+    }
+
+    fn sample() -> PriceTrace {
+        // Mirrors Fig. 1: 0.0071 for a while, then 0.0081, then 0.0117.
+        PriceTrace::new(
+            vec![
+                PricePoint {
+                    minute: 0,
+                    price: p(0.0071),
+                },
+                PricePoint {
+                    minute: 40,
+                    price: p(0.0081),
+                },
+                PricePoint {
+                    minute: 70,
+                    price: p(0.0117),
+                },
+                PricePoint {
+                    minute: 100,
+                    price: p(0.0081),
+                },
+            ],
+            120,
+        )
+    }
+
+    #[test]
+    fn price_lookup() {
+        let t = sample();
+        assert_eq!(t.price_at(0), p(0.0071));
+        assert_eq!(t.price_at(39), p(0.0071));
+        assert_eq!(t.price_at(40), p(0.0081));
+        assert_eq!(t.price_at(99), p(0.0117));
+        assert_eq!(t.price_at(119), p(0.0081));
+    }
+
+    #[test]
+    fn segments_partition_the_horizon() {
+        let t = sample();
+        let segs: Vec<Segment> = t.segments().collect();
+        assert_eq!(segs.len(), 4);
+        assert_eq!(segs[0].duration, 40);
+        assert_eq!(segs[2].duration, 30);
+        let total: u64 = segs.iter().map(|s| s.duration).sum();
+        assert_eq!(total, t.horizon());
+        for w in segs.windows(2) {
+            assert_eq!(w[0].start + w[0].duration, w[1].start);
+        }
+    }
+
+    #[test]
+    fn window_queries() {
+        let t = sample();
+        assert_eq!(t.last_price_in(0, 60), p(0.0081));
+        assert_eq!(t.last_price_in(0, 40), p(0.0071));
+        assert_eq!(t.max_price_in(0, 60), p(0.0081));
+        assert_eq!(t.max_price_in(0, 120), p(0.0117));
+    }
+
+    #[test]
+    fn out_of_bid_minute() {
+        let t = sample();
+        // Bid 0.0081 survives until the 0.0117 segment.
+        assert_eq!(t.first_minute_above(p(0.0081), 0), Some(70));
+        // Starting inside the expensive segment fails immediately.
+        assert_eq!(t.first_minute_above(p(0.0081), 80), Some(80));
+        // A bid at the max price never goes out of bid.
+        assert_eq!(t.first_minute_above(p(0.0117), 0), None);
+        // Low bid dies at minute 0.
+        assert_eq!(t.first_minute_above(p(0.0050), 0), Some(0));
+    }
+
+    #[test]
+    fn fraction_above_counts_minutes() {
+        let t = sample();
+        // price > 0.0081 only during [70, 100): 30 of 120 minutes.
+        assert!((t.fraction_above(p(0.0081), 0, 120) - 0.25).abs() < 1e-12);
+        assert_eq!(t.fraction_above(p(0.0117), 0, 120), 0.0);
+        assert_eq!(t.fraction_above(p(0.001), 0, 120), 1.0);
+    }
+
+    #[test]
+    fn sojourn_age_tracks_segments() {
+        let t = sample();
+        assert_eq!(t.sojourn_age_at(0), 0);
+        assert_eq!(t.sojourn_age_at(39), 39);
+        assert_eq!(t.sojourn_age_at(40), 0);
+        assert_eq!(t.sojourn_age_at(75), 5);
+        assert_eq!(t.sojourn_age_at(119), 19);
+    }
+
+    #[test]
+    fn windowing_rebases() {
+        let t = sample();
+        let w = t.window(50, 110);
+        assert_eq!(w.horizon(), 60);
+        assert_eq!(w.price_at(0), p(0.0081));
+        assert_eq!(w.price_at(25), p(0.0117));
+        assert_eq!(w.price_at(55), p(0.0081));
+        assert_eq!(w.points().len(), 3);
+    }
+
+    #[test]
+    fn window_merges_equal_prices() {
+        // Window starting inside segment B where the next point is also B
+        // must not produce two consecutive equal prices.
+        let t = PriceTrace::new(
+            vec![
+                PricePoint {
+                    minute: 0,
+                    price: p(0.01),
+                },
+                PricePoint {
+                    minute: 10,
+                    price: p(0.02),
+                },
+                PricePoint {
+                    minute: 20,
+                    price: p(0.01),
+                },
+            ],
+            30,
+        );
+        let w = t.window(5, 30);
+        assert_eq!(w.points().len(), 3);
+        assert_eq!(w.price_at(0), p(0.01));
+    }
+
+    #[test]
+    fn quantization_bounds_states_and_preserves_shape() {
+        let t = PriceTrace::new(
+            vec![
+                PricePoint { minute: 0, price: Price::from_micros(10_010) },
+                PricePoint { minute: 5, price: Price::from_micros(10_090) },
+                PricePoint { minute: 9, price: Price::from_micros(11_700) },
+                PricePoint { minute: 15, price: Price::from_micros(10_040) },
+            ],
+            20,
+        );
+        let q = t.quantized(Price::from_micros(1_000));
+        // 10_010 and 10_090 both round up to 11_000 and merge.
+        assert_eq!(q.points().len(), 3);
+        assert_eq!(q.price_at(0), Price::from_micros(11_000));
+        assert_eq!(q.price_at(9), Price::from_micros(12_000));
+        assert_eq!(q.price_at(16), Price::from_micros(11_000));
+        // Quantized prices never fall below the originals (bids chosen on
+        // the quantized grid stay conservative).
+        for m in 0..20 {
+            assert!(q.price_at(m) >= t.price_at(m));
+        }
+    }
+
+    #[test]
+    fn statistics() {
+        let t = sample();
+        assert_eq!(t.changes_per_hour(), 1.5);
+        let mean = t.mean_price().as_dollars();
+        let expect = (0.0071 * 40.0 + 0.0081 * 30.0 + 0.0117 * 30.0 + 0.0081 * 20.0) / 120.0;
+        assert!((mean - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_points() {
+        PriceTrace::new(
+            vec![
+                PricePoint {
+                    minute: 0,
+                    price: p(0.01),
+                },
+                PricePoint {
+                    minute: 0,
+                    price: p(0.02),
+                },
+            ],
+            10,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "change the price")]
+    fn rejects_redundant_points() {
+        PriceTrace::new(
+            vec![
+                PricePoint {
+                    minute: 0,
+                    price: p(0.01),
+                },
+                PricePoint {
+                    minute: 5,
+                    price: p(0.01),
+                },
+            ],
+            10,
+        );
+    }
+}

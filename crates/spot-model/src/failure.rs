@@ -1,0 +1,396 @@
+//! The spot-instance failure model (Eq. 4/14 plus the interval expectation
+//! of Eq. 5), the object the bidding framework consults.
+
+use spot_market::{Price, PriceTrace};
+
+use crate::forecast::{forecast, survival_probability, Forecast, ForecastConfig};
+use crate::kernel::SemiMarkovKernel;
+use crate::ON_DEMAND_FP;
+
+/// Configuration of a [`FailureModel`].
+#[derive(Clone, Copy, Debug)]
+pub struct FailureModelConfig {
+    /// Failure probability of an equivalent on-demand instance (`FP⁰`);
+    /// the paper fixes 0.01 from the EC2 SLA.
+    pub fp0: f64,
+    /// Forward-evolution configuration.
+    pub forecast: ForecastConfig,
+}
+
+impl Default for FailureModelConfig {
+    fn default() -> Self {
+        FailureModelConfig {
+            fp0: ON_DEMAND_FP,
+            forecast: ForecastConfig::default(),
+        }
+    }
+}
+
+/// The failure model for one (zone, instance-type) market: a semi-Markov
+/// price kernel plus the composition with the baseline failure probability
+/// `FP⁰` (Eq. 4): `FP = 1 − (1 − FP⁰)(1 − P(out-of-bid))`.
+///
+/// ```
+/// use spot_market::{InstanceType, Price, TraceGenerator};
+/// use spot_model::{FailureModel, FailureModelConfig};
+///
+/// // Train on two weeks of history for one zone.
+/// let zone = spot_market::topology::all_zones()[0];
+/// let trace = TraceGenerator::new(7).generate(zone, InstanceType::M1Small, 14 * 24 * 60);
+/// let model = FailureModel::from_trace(&trace, FailureModelConfig::default());
+///
+/// // Estimate the failure probability of a bid over the next 6 hours.
+/// let now = trace.horizon() - 1;
+/// let spot = trace.price_at(now);
+/// let age = trace.sojourn_age_at(now) as u32;
+/// let fp = model.estimate_fp(spot.scale(1.5), spot, age, 360);
+/// assert!((0.01..=1.0).contains(&fp), "never below the on-demand floor");
+/// ```
+#[derive(Clone, Debug)]
+pub struct FailureModel {
+    kernel: SemiMarkovKernel,
+    config: FailureModelConfig,
+}
+
+impl FailureModel {
+    /// An untrained model (every estimate is the conservative 1.0).
+    pub fn new(config: FailureModelConfig) -> Self {
+        FailureModel {
+            kernel: SemiMarkovKernel::new(),
+            config,
+        }
+    }
+
+    /// Train a fresh model from a price history.
+    pub fn from_trace(trace: &PriceTrace, config: FailureModelConfig) -> Self {
+        let mut m = Self::new(config);
+        m.observe(trace);
+        m
+    }
+
+    /// Fold more price history into the model (incremental re-estimation).
+    pub fn observe(&mut self, trace: &PriceTrace) {
+        self.kernel.observe_trace(trace);
+    }
+
+    /// The underlying kernel.
+    pub fn kernel(&self) -> &SemiMarkovKernel {
+        &self.kernel
+    }
+
+    /// Whether the model has seen enough data to estimate anything.
+    pub fn is_trained(&self) -> bool {
+        self.kernel.n_states() > 0 && self.kernel.total_transitions() > 0
+    }
+
+    /// Compose an out-of-bid probability with the baseline `FP⁰` (Eq. 4).
+    fn compose(&self, oob: f64) -> f64 {
+        1.0 - (1.0 - self.config.fp0) * (1.0 - oob.clamp(0.0, 1.0))
+    }
+
+    /// Forecast the next `horizon_minutes` given the current market state
+    /// (`current_price`, held for `current_age_minutes` so far). The
+    /// forecast answers out-of-bid fractions for *any* bid, which makes
+    /// minimum-bid searches cheap.
+    pub fn forecast(
+        &self,
+        current_price: Price,
+        current_age_minutes: u32,
+        horizon_minutes: u32,
+    ) -> Option<Forecast> {
+        if !self.is_trained() {
+            return None;
+        }
+        let state = self.kernel.nearest_state(current_price)?;
+        Some(forecast(
+            &self.kernel,
+            state,
+            current_age_minutes,
+            horizon_minutes,
+            self.config.forecast,
+        ))
+    }
+
+    /// The failure probability of a spot instance under `bid` for the next
+    /// interval (Eq. 14 composed over the interval, Eq. 5 discretized):
+    ///
+    /// * `bid < current_price` → 1.0 (the request isn't even granted);
+    /// * untrained model → 1.0 (be conservative without data);
+    /// * otherwise `1 − (1 − FP⁰)(1 − E[fraction of minutes out-of-bid])`.
+    pub fn estimate_fp(
+        &self,
+        bid: Price,
+        current_price: Price,
+        current_age_minutes: u32,
+        horizon_minutes: u32,
+    ) -> f64 {
+        if bid < current_price {
+            return 1.0;
+        }
+        match self.forecast(current_price, current_age_minutes, horizon_minutes) {
+            None => 1.0,
+            Some(f) => self.compose(f.out_of_bid_fraction(bid)),
+        }
+    }
+
+    /// Same composition but from a pre-computed forecast (hot path of the
+    /// bidding algorithm: one forecast, many candidate bids).
+    pub fn fp_from_forecast(&self, f: &Forecast, bid: Price, current_price: Price) -> f64 {
+        if bid < current_price {
+            return 1.0;
+        }
+        self.compose(f.out_of_bid_fraction(bid))
+    }
+
+    /// Absorbing-failure variant for the ablation: probability that the
+    /// instance does **not** survive the whole interval (out-of-bid at any
+    /// point, or baseline failure).
+    pub fn estimate_fp_absorbing(
+        &self,
+        bid: Price,
+        current_price: Price,
+        current_age_minutes: u32,
+        horizon_minutes: u32,
+    ) -> f64 {
+        if bid < current_price || !self.is_trained() {
+            return 1.0;
+        }
+        let Some(state) = self.kernel.nearest_state(current_price) else {
+            return 1.0;
+        };
+        let survive = survival_probability(
+            &self.kernel,
+            bid,
+            state,
+            current_age_minutes,
+            horizon_minutes,
+            self.config.forecast,
+        );
+        self.compose(1.0 - survive)
+    }
+
+    /// The minimal bid whose estimated failure probability over the next
+    /// interval is ≤ `target_fp`, restricted to bids strictly below `cap`
+    /// (the bidding framework caps at the on-demand price, §4.2). Returns
+    /// `None` when no such bid exists — the zone cannot meet the target
+    /// this interval.
+    ///
+    /// Only the kernel's price levels need to be examined: between levels
+    /// the out-of-bid fraction is constant, so any feasible bid can be
+    /// lowered to a level price (or to the current price) without changing
+    /// its failure estimate.
+    pub fn min_bid_for_fp(
+        &self,
+        target_fp: f64,
+        current_price: Price,
+        current_age_minutes: u32,
+        horizon_minutes: u32,
+        cap: Price,
+    ) -> Option<Price> {
+        let f = self.forecast(current_price, current_age_minutes, horizon_minutes)?;
+        let candidates = std::iter::once(current_price)
+            .chain(f.levels().iter().copied())
+            .filter(|&b| b >= current_price && b < cap);
+        let mut best: Option<Price> = None;
+        for b in candidates {
+            if self.fp_from_forecast(&f, b, current_price) <= target_fp {
+                best = Some(match best {
+                    Some(prev) => prev.min(b),
+                    None => b,
+                });
+            }
+        }
+        best
+    }
+
+    /// The minimal bid whose **absorbing** failure probability (the
+    /// chance of being killed at all during the interval) is ≤
+    /// `target_fp`, capped strictly below `cap`.
+    ///
+    /// The absorbing estimate needs one forward evolution per candidate
+    /// bid, so this binary-searches the (monotone) price-level ladder
+    /// instead of scanning it — ⌈log₂ levels⌉ evolutions per call.
+    pub fn min_bid_for_fp_absorbing(
+        &self,
+        target_fp: f64,
+        current_price: Price,
+        current_age_minutes: u32,
+        horizon_minutes: u32,
+        cap: Price,
+    ) -> Option<Price> {
+        if !self.is_trained() {
+            return None;
+        }
+        let candidates: Vec<Price> = std::iter::once(current_price)
+            .chain(self.kernel.prices().iter().copied())
+            .filter(|&b| b >= current_price && b < cap)
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let feasible = |b: Price| {
+            self.estimate_fp_absorbing(b, current_price, current_age_minutes, horizon_minutes)
+                <= target_fp
+        };
+        // FP is non-increasing in the bid: find the first feasible index.
+        let (mut lo, mut hi) = (0usize, candidates.len());
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if feasible(candidates[mid]) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        candidates.get(lo).copied().filter(|&b| feasible(b))
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &FailureModelConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spot_market::PricePoint;
+
+    fn p(d: f64) -> Price {
+        Price::from_dollars(d)
+    }
+
+    /// Deterministic alternation A=0.01 (5 min) → B=0.02 (3 min).
+    fn model() -> FailureModel {
+        let mut points = Vec::new();
+        let mut t = 0;
+        for _ in 0..60 {
+            points.push(PricePoint {
+                minute: t,
+                price: p(0.01),
+            });
+            t += 5;
+            points.push(PricePoint {
+                minute: t,
+                price: p(0.02),
+            });
+            t += 3;
+        }
+        FailureModel::from_trace(&PriceTrace::new(points, t), FailureModelConfig::default())
+    }
+
+    #[test]
+    fn untrained_model_is_conservative() {
+        let m = FailureModel::new(FailureModelConfig::default());
+        assert!(!m.is_trained());
+        assert_eq!(m.estimate_fp(p(1.0), p(0.01), 0, 60), 1.0);
+        assert!(m.min_bid_for_fp(0.5, p(0.01), 0, 60, p(1.0)).is_none());
+    }
+
+    #[test]
+    fn below_market_bid_always_fails() {
+        let m = model();
+        assert_eq!(m.estimate_fp(p(0.005), p(0.01), 0, 60), 1.0);
+        assert_eq!(m.estimate_fp_absorbing(p(0.005), p(0.01), 0, 60), 1.0);
+    }
+
+    #[test]
+    fn safe_bid_fp_floors_at_fp0() {
+        // A bid at the top level never goes out-of-bid; FP = FP⁰ = 0.01.
+        let m = model();
+        let fp = m.estimate_fp(p(0.02), p(0.01), 0, 480);
+        assert!((fp - 0.01).abs() < 1e-9, "got {fp}");
+    }
+
+    #[test]
+    fn duty_cycle_bid_fp_matches_expectation() {
+        // Bidding 0.01 is out of bid 3/8 of the time; composed with FP⁰:
+        // 1 − 0.99 · (1 − 0.375) ≈ 0.3806.
+        let m = model();
+        let fp = m.estimate_fp(p(0.01), p(0.01), 0, 480);
+        assert!((fp - 0.3806).abs() < 0.05, "got {fp}");
+    }
+
+    #[test]
+    fn min_bid_search_picks_cheapest_safe_level() {
+        let m = model();
+        // Target 0.02: only the 0.02 level satisfies it (FP there = 0.01).
+        let bid = m.min_bid_for_fp(0.02, p(0.01), 0, 480, p(0.044)).unwrap();
+        assert_eq!(bid, p(0.02));
+        // Target 0.5: even the risky 0.01 bid is fine — the cheapest wins.
+        let bid = m.min_bid_for_fp(0.5, p(0.01), 0, 480, p(0.044)).unwrap();
+        assert_eq!(bid, p(0.01));
+        // Cap below every feasible level ⇒ no bid.
+        assert!(m.min_bid_for_fp(0.02, p(0.01), 0, 480, p(0.015)).is_none());
+    }
+
+    #[test]
+    fn min_bid_respects_strictly_below_cap() {
+        let m = model();
+        // Cap exactly at the safe level must exclude it.
+        assert!(m.min_bid_for_fp(0.02, p(0.01), 0, 480, p(0.02)).is_none());
+    }
+
+    #[test]
+    fn absorbing_fp_at_least_expectation_fp() {
+        let m = model();
+        for horizon in [10u32, 60, 240] {
+            let e = m.estimate_fp(p(0.01), p(0.01), 2, horizon);
+            let a = m.estimate_fp_absorbing(p(0.01), p(0.01), 2, horizon);
+            assert!(a >= e - 1e-9, "h={horizon}: absorbing {a} < expect {e}");
+        }
+    }
+
+    #[test]
+    fn fp_decreases_with_bid() {
+        let m = model();
+        let f = m.forecast(p(0.01), 0, 120).unwrap();
+        let lo = m.fp_from_forecast(&f, p(0.01), p(0.01));
+        let hi = m.fp_from_forecast(&f, p(0.02), p(0.01));
+        assert!(hi < lo);
+    }
+
+    #[test]
+    fn absorbing_min_bid_never_below_expectation_min_bid() {
+        // Killing risk dominates time-fraction risk, so the absorbing
+        // search can only demand an equal or higher bid.
+        let m = model();
+        for target in [0.05, 0.2, 0.5] {
+            let e = m.min_bid_for_fp(target, p(0.01), 0, 240, p(0.044));
+            let a = m.min_bid_for_fp_absorbing(target, p(0.01), 0, 240, p(0.044));
+            match (e, a) {
+                (Some(e), Some(a)) => assert!(a >= e, "target {target}: {a:?} < {e:?}"),
+                (None, Some(_)) => panic!("absorbing feasible where expectation is not"),
+                _ => {}
+            }
+        }
+        // The fully safe level is feasible for both at a loose target.
+        let a = m
+            .min_bid_for_fp_absorbing(0.02, p(0.01), 0, 240, p(0.044))
+            .unwrap();
+        assert_eq!(a, p(0.02));
+    }
+
+    #[test]
+    fn incremental_training_improves_from_empty() {
+        let mut m = FailureModel::new(FailureModelConfig::default());
+        assert_eq!(m.estimate_fp(p(0.02), p(0.01), 0, 60), 1.0);
+        let mut points = Vec::new();
+        let mut t = 0;
+        for _ in 0..20 {
+            points.push(PricePoint {
+                minute: t,
+                price: p(0.01),
+            });
+            t += 5;
+            points.push(PricePoint {
+                minute: t,
+                price: p(0.02),
+            });
+            t += 3;
+        }
+        m.observe(&PriceTrace::new(points, t));
+        let fp = m.estimate_fp(p(0.02), p(0.01), 0, 60);
+        assert!(fp < 0.02, "trained model should trust the top bid: {fp}");
+    }
+}

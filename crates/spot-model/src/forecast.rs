@@ -1,0 +1,371 @@
+//! Forward evolution of the semi-Markov price process.
+//!
+//! Starting from the current price *and the time already spent at it*
+//! (the semi-Markov state), evolve the joint distribution over
+//! (price level, sojourn age) minute by minute across the next bidding
+//! interval. Two summaries are exposed:
+//!
+//! * [`forecast`] — for every price level `s_l`, the average over the
+//!   horizon of `P(price > s_l)`. This is the discretized Eq. 5: the
+//!   expected fraction of the interval an instance bidding `b` spends
+//!   out-of-bid, evaluated lazily for any `b` via
+//!   [`Forecast::out_of_bid_fraction`]. Computing all levels at once makes
+//!   the bidding algorithm's minimum-bid search O(levels) per zone instead
+//!   of one evolution per candidate bid.
+//! * [`survival_probability`] — the *absorbing* variant: the probability
+//!   that the price never exceeds the bid during the horizon (the instance
+//!   survives the whole interval). The paper's availability accounting is
+//!   per-time-unit, so its Eq. 5 uses the expectation form; the absorbing
+//!   form is kept for the ablation study.
+
+use spot_market::Price;
+
+use crate::kernel::SemiMarkovKernel;
+
+/// Tuning knobs for the forward evolution.
+#[derive(Clone, Copy, Debug)]
+pub struct ForecastConfig {
+    /// Number of sojourn-age buckets tracked exactly; ages beyond this are
+    /// collapsed into the last bucket (where the kernel's geometric-tail
+    /// hazard applies). 180 minutes covers the ages that matter for the
+    /// bidding intervals evaluated (1–12 h) at modest cost.
+    pub max_age: usize,
+}
+
+impl Default for ForecastConfig {
+    fn default() -> Self {
+        ForecastConfig { max_age: 180 }
+    }
+}
+
+/// The per-level out-of-bid summary of one forward evolution.
+#[derive(Clone, Debug)]
+pub struct Forecast {
+    /// The kernel's price levels (sorted ascending).
+    level_prices: Vec<Price>,
+    /// `above_fraction[l]` = average over the horizon of
+    /// `P(price > level_prices[l])`.
+    above_fraction: Vec<f64>,
+    /// Horizon in minutes this forecast covers.
+    horizon: u32,
+}
+
+impl Forecast {
+    /// Average fraction of the horizon with `price > bid` — the
+    /// out-of-bid failure probability of Eq. 5 before composition with the
+    /// on-demand failure floor.
+    pub fn out_of_bid_fraction(&self, bid: Price) -> f64 {
+        // Prices live on the level ladder, so P(price > bid) equals
+        // P(price > s_l) for the largest level s_l ≤ bid; a bid below the
+        // lowest level is always out-of-bid.
+        let idx = self.level_prices.partition_point(|&p| p <= bid);
+        match idx.checked_sub(1) {
+            None => 1.0,
+            Some(l) => self.above_fraction[l],
+        }
+    }
+
+    /// The horizon in minutes.
+    pub fn horizon(&self) -> u32 {
+        self.horizon
+    }
+
+    /// The price levels the forecast is resolved on.
+    pub fn levels(&self) -> &[Price] {
+        &self.level_prices
+    }
+}
+
+/// Precomputed per-state hazard and next-state tables for the evolution.
+///
+/// Most (state, age) cells transition according to the state's *marginal*
+/// next-state distribution (exact-sojourn conditionals need ≥ 3
+/// observations at that exact age), so the per-minute step accumulates
+/// each state's marginal transition mass once and distributes it with a
+/// single O(n²) pass instead of O(n² · max_age) — the difference between
+/// seconds and minutes on month-long forecast horizons.
+struct Tables {
+    n: usize,
+    max_age: usize,
+    /// `hazard[i][a]` = P(leave state i during the minute that takes its
+    /// age from a to a+1), for a in `0..max_age`.
+    hazard: Vec<Vec<f64>>,
+    /// Exact-sojourn conditionals, only where well supported.
+    exact: Vec<Vec<Option<Vec<f64>>>>,
+    /// Marginal next-state distribution per state.
+    marginal: Vec<Vec<f64>>,
+}
+
+impl Tables {
+    fn build(kernel: &SemiMarkovKernel, max_age: usize) -> Tables {
+        let n = kernel.n_states();
+        let hazard = (0..n as u16)
+            .map(|i| kernel.hazards_up_to(i, max_age))
+            .collect();
+        let exact = (0..n as u16)
+            .map(|i| {
+                (0..max_age)
+                    .map(|a| kernel.exact_next_state_dist(i, a as u32 + 1))
+                    .collect()
+            })
+            .collect();
+        let marginal = (0..n as u16)
+            .map(|i| kernel.marginal_next_state_dist(i))
+            .collect();
+        Tables {
+            n,
+            max_age,
+            hazard,
+            exact,
+            marginal,
+        }
+    }
+}
+
+/// Evolve the (state, age) distribution one minute. `mass` is indexed
+/// `[state][age]`; `scratch` is the same shape and is overwritten.
+fn step(tables: &Tables, mass: &mut Vec<Vec<f64>>, scratch: &mut Vec<Vec<f64>>) {
+    for row in scratch.iter_mut() {
+        row.iter_mut().for_each(|x| *x = 0.0);
+    }
+    let top = tables.max_age - 1;
+    for i in 0..tables.n {
+        // Transition mass leaving state i under the marginal distribution.
+        let mut marginal_out = 0.0;
+        for a in 0..tables.max_age {
+            let w = mass[i][a];
+            if w == 0.0 {
+                continue;
+            }
+            let h = tables.hazard[i][a];
+            if h > 0.0 {
+                let hw = h * w;
+                match &tables.exact[i][a] {
+                    Some(dist) => {
+                        for (j, &pj) in dist.iter().enumerate() {
+                            if pj > 0.0 {
+                                scratch[j][0] += hw * pj;
+                            }
+                        }
+                    }
+                    None => marginal_out += hw,
+                }
+            }
+            scratch[i][(a + 1).min(top)] += (1.0 - h) * w;
+        }
+        if marginal_out > 0.0 {
+            for (j, &pj) in tables.marginal[i].iter().enumerate() {
+                if pj > 0.0 {
+                    scratch[j][0] += marginal_out * pj;
+                }
+            }
+        }
+    }
+    std::mem::swap(mass, scratch);
+}
+
+/// Run the forward evolution for `horizon` minutes from
+/// `(start_state, start_age)` and summarize per-level out-of-bid
+/// fractions.
+pub fn forecast(
+    kernel: &SemiMarkovKernel,
+    start_state: u16,
+    start_age: u32,
+    horizon: u32,
+    config: ForecastConfig,
+) -> Forecast {
+    let n = kernel.n_states();
+    assert!(n > 0, "cannot forecast from an empty kernel");
+    assert!((start_state as usize) < n, "start state out of range");
+    assert!(horizon > 0, "horizon must be positive");
+    let max_age = config.max_age.max(2);
+    let tables = Tables::build(kernel, max_age);
+
+    let mut mass = vec![vec![0.0f64; max_age]; n];
+    let mut scratch = mass.clone();
+    mass[start_state as usize][(start_age as usize).min(max_age - 1)] = 1.0;
+
+    let mut above_sum = vec![0.0f64; n];
+    for _ in 0..horizon {
+        step(&tables, &mut mass, &mut scratch);
+        // P(price > s_l) = Σ_{i > l} Σ_a mass[i][a]; build via suffix sums.
+        let mut suffix = 0.0;
+        for l in (0..n).rev() {
+            // above level l means strictly higher states.
+            above_sum[l] += suffix;
+            suffix += mass[l].iter().sum::<f64>();
+        }
+    }
+    let above_fraction = above_sum
+        .iter()
+        .map(|&s| (s / horizon as f64).clamp(0.0, 1.0))
+        .collect();
+    Forecast {
+        level_prices: kernel.prices().to_vec(),
+        above_fraction,
+        horizon,
+    }
+}
+
+/// Absorbing variant: probability that the price stays ≤ `bid` for the
+/// entire horizon (the instance survives out-of-bid termination).
+pub fn survival_probability(
+    kernel: &SemiMarkovKernel,
+    bid: Price,
+    start_state: u16,
+    start_age: u32,
+    horizon: u32,
+    config: ForecastConfig,
+) -> f64 {
+    let n = kernel.n_states();
+    assert!(n > 0, "cannot forecast from an empty kernel");
+    assert!((start_state as usize) < n, "start state out of range");
+    if kernel.prices()[start_state as usize] > bid {
+        return 0.0; // already out of bid
+    }
+    let max_age = config.max_age.max(2);
+    let tables = Tables::build(kernel, max_age);
+    let alive_states = kernel.prices().partition_point(|&p| p <= bid);
+
+    let mut mass = vec![vec![0.0f64; max_age]; n];
+    let mut scratch = mass.clone();
+    mass[start_state as usize][(start_age as usize).min(max_age - 1)] = 1.0;
+
+    for _ in 0..horizon {
+        step(&tables, &mut mass, &mut scratch);
+        // Absorb (remove) mass that crossed above the bid.
+        for row in mass.iter_mut().skip(alive_states) {
+            row.iter_mut().for_each(|x| *x = 0.0);
+        }
+    }
+    mass.iter()
+        .take(alive_states)
+        .map(|row| row.iter().sum::<f64>())
+        .sum::<f64>()
+        .clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spot_market::{PricePoint, PriceTrace};
+
+    fn p(d: f64) -> Price {
+        Price::from_dollars(d)
+    }
+
+    /// Deterministic alternation A(5) → B(3) → A(5) → …
+    fn kernel() -> SemiMarkovKernel {
+        let mut points = Vec::new();
+        let mut t = 0;
+        for _ in 0..50 {
+            points.push(PricePoint {
+                minute: t,
+                price: p(0.01),
+            });
+            t += 5;
+            points.push(PricePoint {
+                minute: t,
+                price: p(0.02),
+            });
+            t += 3;
+        }
+        SemiMarkovKernel::from_trace(&PriceTrace::new(points, t))
+    }
+
+    #[test]
+    fn high_bid_never_out_of_bid() {
+        let k = kernel();
+        let f = forecast(&k, 0, 0, 60, ForecastConfig::default());
+        assert_eq!(f.out_of_bid_fraction(p(0.02)), 0.0);
+        assert_eq!(f.out_of_bid_fraction(p(0.5)), 0.0);
+    }
+
+    #[test]
+    fn low_bid_always_out_of_bid() {
+        let k = kernel();
+        let f = forecast(&k, 0, 0, 60, ForecastConfig::default());
+        assert_eq!(f.out_of_bid_fraction(p(0.005)), 1.0);
+    }
+
+    #[test]
+    fn mid_bid_matches_duty_cycle() {
+        // Bidding 0.01 survives the A segments (5 of every 8 minutes).
+        let k = kernel();
+        let f = forecast(&k, 0, 0, 480, ForecastConfig::default());
+        let frac = f.out_of_bid_fraction(p(0.01));
+        assert!((frac - 3.0 / 8.0).abs() < 0.05, "got {frac}");
+    }
+
+    #[test]
+    fn forecast_conditions_on_age() {
+        // At age 4 of a 5-minute A sojourn, a transition to B is imminent;
+        // at age 0 it is 5 minutes away. Short-horizon OOB must differ.
+        let k = kernel();
+        let fresh = forecast(&k, 0, 0, 3, ForecastConfig::default());
+        let stale = forecast(&k, 0, 4, 3, ForecastConfig::default());
+        assert!(
+            stale.out_of_bid_fraction(p(0.01)) > fresh.out_of_bid_fraction(p(0.01)) + 0.2,
+            "stale {} vs fresh {}",
+            stale.out_of_bid_fraction(p(0.01)),
+            fresh.out_of_bid_fraction(p(0.01))
+        );
+    }
+
+    #[test]
+    fn mass_is_conserved() {
+        let k = kernel();
+        let cfg = ForecastConfig { max_age: 16 };
+        let tables = Tables::build(&k, cfg.max_age);
+        let mut mass = vec![vec![0.0; cfg.max_age]; k.n_states()];
+        let mut scratch = mass.clone();
+        mass[0][0] = 1.0;
+        for _ in 0..200 {
+            step(&tables, &mut mass, &mut scratch);
+            let total: f64 = mass.iter().flat_map(|r| r.iter()).sum();
+            assert!((total - 1.0).abs() < 1e-9, "mass leaked: {total}");
+        }
+    }
+
+    #[test]
+    fn survival_deterministic_chain() {
+        let k = kernel();
+        // Starting fresh at A with bid 0.01: the price hits B within 5
+        // minutes, so 8-minute survival is ~0.
+        let s = survival_probability(&k, p(0.01), 0, 0, 8, ForecastConfig::default());
+        assert!(s < 0.05, "got {s}");
+        // Bid 0.02 survives forever.
+        let s = survival_probability(&k, p(0.02), 0, 0, 500, ForecastConfig::default());
+        assert!(s > 0.999, "got {s}");
+        // Starting above the bid is instant death.
+        let s = survival_probability(&k, p(0.01), 1, 0, 10, ForecastConfig::default());
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn survival_never_exceeds_expectation_based_alive_fraction() {
+        // P(alive all horizon) ≤ average P(alive at t).
+        let k = kernel();
+        for horizon in [5u32, 20, 60] {
+            let f = forecast(&k, 0, 0, horizon, ForecastConfig::default());
+            let s = survival_probability(&k, p(0.01), 0, 0, horizon, ForecastConfig::default());
+            let avg_alive = 1.0 - f.out_of_bid_fraction(p(0.01));
+            assert!(
+                s <= avg_alive + 1e-9,
+                "h={horizon}: survival {s} > avg alive {avg_alive}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_bid_fraction_is_monotone_in_bid() {
+        let k = kernel();
+        let f = forecast(&k, 0, 2, 120, ForecastConfig::default());
+        let mut last = 1.1;
+        for bid_micro in (1_000..30_000).step_by(1_000) {
+            let frac = f.out_of_bid_fraction(Price::from_micros(bid_micro));
+            assert!(frac <= last + 1e-12);
+            last = frac;
+        }
+    }
+}

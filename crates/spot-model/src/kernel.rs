@@ -1,0 +1,487 @@
+//! The discrete semi-Markov chain over spot prices and its empirical
+//! estimator (Eq. 6/7/12/13).
+
+use std::collections::HashMap;
+
+use spot_market::{Price, PriceTrace};
+
+/// Sojourn times are tracked exactly up to this many minutes; longer stays
+/// are clamped into the final bucket (the paper's state space `T` is finite;
+/// six hours comfortably covers the longest bidding interval evaluated).
+pub const MAX_SOJOURN_MINUTES: usize = 360;
+
+/// Per-price-state transition statistics.
+#[derive(Clone, Debug, Default)]
+struct StateStats {
+    /// `N_i`: number of completed sojourns observed at this price.
+    n_out: u64,
+    /// `Σ_j N_{i,j}^k` indexed by `k−1` (sojourn of exactly `k` minutes).
+    sojourn_counts: Vec<u64>,
+    /// `N_{i,j}^k` keyed by `(k−1, j)`.
+    trans: HashMap<(u32, u16), u64>,
+    /// `N_{i,j}` marginal over sojourns, indexed by `j`.
+    next_marginal: Vec<u64>,
+    /// Total minutes spent at this price (including the censored final
+    /// segment), for occupancy statistics.
+    occupancy_minutes: u64,
+}
+
+/// The estimated stochastic kernel `Q(i, j, k)` of the price process for
+/// one (zone, instance-type) market, built incrementally from price traces.
+#[derive(Clone, Debug, Default)]
+pub struct SemiMarkovKernel {
+    /// Sorted unique prices; the state space `S`.
+    prices: Vec<Price>,
+    stats: Vec<StateStats>,
+    /// Total completed transitions across all states.
+    total_transitions: u64,
+}
+
+impl SemiMarkovKernel {
+    /// An empty kernel (no states, no data).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a kernel from a single trace.
+    pub fn from_trace(trace: &PriceTrace) -> Self {
+        let mut k = Self::new();
+        k.observe_trace(trace);
+        k
+    }
+
+    /// The state index for `price`, inserting a new state if unseen.
+    fn intern(&mut self, price: Price) -> u16 {
+        match self.prices.binary_search(&price) {
+            Ok(i) => i as u16,
+            Err(i) => {
+                self.prices.insert(i, price);
+                self.stats.insert(i, StateStats::default());
+                // Re-index `j` references in every state's tables: all
+                // indices ≥ i shift up by one.
+                for s in &mut self.stats {
+                    if s.next_marginal.len() >= i {
+                        s.next_marginal.insert(i, 0);
+                    }
+                    if !s.trans.is_empty() {
+                        let shifted: HashMap<(u32, u16), u64> = s
+                            .trans
+                            .drain()
+                            .map(|((k, j), c)| {
+                                let nj = if (j as usize) >= i { j + 1 } else { j };
+                                ((k, nj), c)
+                            })
+                            .collect();
+                        s.trans = shifted;
+                    }
+                }
+                i as u16
+            }
+        }
+    }
+
+    /// Fold the transitions of `trace` into the kernel (Eq. 13 counts).
+    ///
+    /// Every *completed* sojourn contributes one `(i → j, k)` observation;
+    /// the final segment of the trace is right-censored (its true sojourn
+    /// is unknown) and only contributes occupancy time.
+    pub fn observe_trace(&mut self, trace: &PriceTrace) {
+        let segments: Vec<_> = trace.segments().collect();
+        for (idx, seg) in segments.iter().enumerate() {
+            let i = self.intern(seg.price);
+            self.stats[i as usize].occupancy_minutes += seg.duration;
+            let Some(next) = segments.get(idx + 1) else {
+                continue; // censored final segment
+            };
+            let j = self.intern(next.price);
+            let k = (seg.duration as usize).clamp(1, MAX_SOJOURN_MINUTES) as u32;
+            let n_states = self.prices.len();
+            let st = &mut self.stats[i as usize];
+            if st.sojourn_counts.len() < k as usize {
+                st.sojourn_counts.resize(k as usize, 0);
+            }
+            st.sojourn_counts[(k - 1) as usize] += 1;
+            *st.trans.entry((k - 1, j)).or_insert(0) += 1;
+            if st.next_marginal.len() < n_states {
+                st.next_marginal.resize(n_states, 0);
+            }
+            st.next_marginal[j as usize] += 1;
+            st.n_out += 1;
+            self.total_transitions += 1;
+        }
+    }
+
+    /// The state space `S` (sorted unique prices).
+    pub fn prices(&self) -> &[Price] {
+        &self.prices
+    }
+
+    /// Number of price states.
+    pub fn n_states(&self) -> usize {
+        self.prices.len()
+    }
+
+    /// Total completed transitions observed (training-data volume).
+    pub fn total_transitions(&self) -> u64 {
+        self.total_transitions
+    }
+
+    /// The state index whose price is nearest to `price` (`None` on an
+    /// empty kernel). Used to map a live market price onto the trained
+    /// state space.
+    pub fn nearest_state(&self, price: Price) -> Option<u16> {
+        if self.prices.is_empty() {
+            return None;
+        }
+        let i = self.prices.partition_point(|&p| p < price);
+        let candidates = [i.checked_sub(1), (i < self.prices.len()).then_some(i)];
+        candidates
+            .into_iter()
+            .flatten()
+            .min_by_key(|&c| {
+                let d = self.prices[c].as_micros().abs_diff(price.as_micros());
+                (d, c)
+            })
+            .map(|c| c as u16)
+    }
+
+    /// `q̂_{i,j,k} = N_{i,j}^k / N_i` (Eq. 13); zero when `N_i = 0`.
+    pub fn q(&self, i: u16, j: u16, k_minutes: u32) -> f64 {
+        let st = &self.stats[i as usize];
+        if st.n_out == 0 || k_minutes == 0 {
+            return 0.0;
+        }
+        let k = (k_minutes as usize).min(MAX_SOJOURN_MINUTES) as u32;
+        let count = st.trans.get(&(k - 1, j)).copied().unwrap_or(0);
+        count as f64 / st.n_out as f64
+    }
+
+    /// Pseudo-count weight pulling sparse empirical hazards toward the
+    /// state's geometric hazard. Pure MLE (the paper's Eq. 13) is
+    /// overconfident in the tail: a single observed 300-minute sojourn
+    /// would make the chain *certain* the price holds for 300 minutes,
+    /// collapsing the forecast risk to zero exactly where it matters.
+    const HAZARD_SMOOTHING: f64 = 3.0;
+
+    /// The discrete hazard at age `a` minutes: `P(τ = a | τ ≥ a)` for
+    /// state `i`, smoothed toward the geometric hazard `1/mean sojourn`
+    /// with `HAZARD_SMOOTHING` pseudo-observations so sparse tails
+    /// degrade gracefully instead of reading as certainties.
+    pub fn hazard(&self, i: u16, age: u32) -> f64 {
+        let st = &self.stats[i as usize];
+        if st.n_out == 0 {
+            return self.global_fallback_hazard();
+        }
+        let age = age.max(1) as usize;
+        let at: u64 = st.sojourn_counts.get(age - 1).copied().unwrap_or(0);
+        let at_or_later: u64 = st.sojourn_counts.iter().skip(age - 1).sum();
+        let p_geo = (1.0 / self.mean_sojourn(i).max(1.0)).clamp(0.0, 1.0);
+        let alpha = Self::HAZARD_SMOOTHING;
+        ((at as f64 + alpha * p_geo) / (at_or_later as f64 + alpha)).clamp(0.0, 1.0)
+    }
+
+    /// All hazards `P(τ = a | τ ≥ a)` for ages `1..=max_age` of state `i`
+    /// in one pass (suffix sums computed once; the per-age [`Self::hazard`]
+    /// recomputes them and is O(max sojourn) per call — this batch form is
+    /// what forecast-table construction uses).
+    pub fn hazards_up_to(&self, i: u16, max_age: usize) -> Vec<f64> {
+        let st = &self.stats[i as usize];
+        if st.n_out == 0 {
+            return vec![self.global_fallback_hazard(); max_age];
+        }
+        let p_geo = (1.0 / self.mean_sojourn(i).max(1.0)).clamp(0.0, 1.0);
+        let alpha = Self::HAZARD_SMOOTHING;
+        // suffix[a-1] = Σ_{k ≥ a} N(τ = k).
+        let len = st.sojourn_counts.len();
+        let mut suffix = vec![0u64; len + 1];
+        for k in (0..len).rev() {
+            suffix[k] = suffix[k + 1] + st.sojourn_counts[k];
+        }
+        (1..=max_age)
+            .map(|age| {
+                let at = st.sojourn_counts.get(age - 1).copied().unwrap_or(0);
+                let at_or_later = suffix.get(age - 1).copied().unwrap_or(0);
+                ((at as f64 + alpha * p_geo) / (at_or_later as f64 + alpha)).clamp(0.0, 1.0)
+            })
+            .collect()
+    }
+
+    /// Mean completed sojourn of state `i` in minutes (fallbacks to the
+    /// global mean when unobserved).
+    pub fn mean_sojourn(&self, i: u16) -> f64 {
+        let st = &self.stats[i as usize];
+        if st.n_out == 0 {
+            return 1.0 / self.global_fallback_hazard();
+        }
+        let total: u64 = st
+            .sojourn_counts
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| (k as u64 + 1) * c)
+            .sum();
+        total as f64 / st.n_out as f64
+    }
+
+    fn global_fallback_hazard(&self) -> f64 {
+        let (total_minutes, total_out) = self.stats.iter().fold((0u64, 0u64), |(m, o), s| {
+            let mins: u64 = s
+                .sojourn_counts
+                .iter()
+                .enumerate()
+                .map(|(k, &c)| (k as u64 + 1) * c)
+                .sum();
+            (m + mins, o + s.n_out)
+        });
+        if total_out == 0 {
+            0.1 // no data at all: assume ~10-minute sojourns
+        } else {
+            (total_out as f64 / total_minutes as f64).clamp(1e-6, 1.0)
+        }
+    }
+
+    /// Next-state distribution conditioned on leaving `i` after exactly
+    /// `age` minutes: `P(j | i, τ = age)` — `Some` only when that exact
+    /// sojourn has ≥ 3 observations (one data point says little about
+    /// where the price goes after a particular dwell time).
+    pub fn exact_next_state_dist(&self, i: u16, age: u32) -> Option<Vec<f64>> {
+        let n = self.n_states();
+        assert!(n > 0, "empty kernel");
+        let st = &self.stats[i as usize];
+        let age = (age.max(1) as usize).min(MAX_SOJOURN_MINUTES) as u32;
+        // Count before allocating: most (state, age) cells have no
+        // exact-sojourn support and this runs for every cell of every
+        // forecast table.
+        let total: u64 = (0..n as u16)
+            .map(|j| st.trans.get(&(age - 1, j)).copied().unwrap_or(0))
+            .sum();
+        (total >= 3).then(|| {
+            (0..n as u16)
+                .map(|j| st.trans.get(&(age - 1, j)).copied().unwrap_or(0) as f64 / total as f64)
+                .collect()
+        })
+    }
+
+    /// Marginal next-state distribution `P(j | i)`, falling back to
+    /// "uniform over adjacent states" when `i` was never seen completing a
+    /// sojourn. Always sums to 1 for a non-empty state space.
+    pub fn marginal_next_state_dist(&self, i: u16) -> Vec<f64> {
+        let n = self.n_states();
+        assert!(n > 0, "empty kernel");
+        let st = &self.stats[i as usize];
+        let total: u64 = st.next_marginal.iter().sum();
+        if total > 0 {
+            let mut out = vec![0.0; n];
+            for (j, &c) in st.next_marginal.iter().enumerate() {
+                out[j] = c as f64 / total as f64;
+            }
+            return out;
+        }
+        // No data: uniform over neighbours (or self if singleton).
+        let mut out = vec![0.0; n];
+        let i = i as usize;
+        let mut neighbours = Vec::new();
+        if i > 0 {
+            neighbours.push(i - 1);
+        }
+        if i + 1 < n {
+            neighbours.push(i + 1);
+        }
+        if neighbours.is_empty() {
+            out[i] = 1.0;
+        } else {
+            for &j in &neighbours {
+                out[j] = 1.0 / neighbours.len() as f64;
+            }
+        }
+        out
+    }
+
+    /// Next-state distribution at `(i, age)`: the exact-sojourn
+    /// conditional when well supported, otherwise the marginal.
+    pub fn next_state_dist(&self, i: u16, age: u32) -> Vec<f64> {
+        self.exact_next_state_dist(i, age)
+            .unwrap_or_else(|| self.marginal_next_state_dist(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spot_market::PricePoint;
+
+    fn p(d: f64) -> Price {
+        Price::from_dollars(d)
+    }
+
+    /// A trace alternating A(5 min) → B(3 min) → A(5) → B(3) …
+    fn alternating(cycles: usize) -> PriceTrace {
+        let mut points = Vec::new();
+        let mut t = 0;
+        for _ in 0..cycles {
+            points.push(PricePoint {
+                minute: t,
+                price: p(0.01),
+            });
+            t += 5;
+            points.push(PricePoint {
+                minute: t,
+                price: p(0.02),
+            });
+            t += 3;
+        }
+        PriceTrace::new(points, t)
+    }
+
+    #[test]
+    fn estimates_simple_kernel() {
+        let k = SemiMarkovKernel::from_trace(&alternating(10));
+        assert_eq!(k.n_states(), 2);
+        let a = k.nearest_state(p(0.01)).unwrap();
+        let b = k.nearest_state(p(0.02)).unwrap();
+        // Every A sojourn lasts exactly 5 minutes and goes to B.
+        assert!((k.q(a, b, 5) - 1.0).abs() < 1e-12);
+        assert_eq!(k.q(a, b, 4), 0.0);
+        assert_eq!(k.q(a, a, 5), 0.0);
+        // B sojourns: 9 completed (the last is censored), all 3 min → A.
+        assert!((k.q(b, a, 3) - 1.0).abs() < 1e-12);
+        assert_eq!(k.total_transitions(), 19);
+    }
+
+    #[test]
+    fn kernel_rows_sum_to_at_most_one() {
+        let k = SemiMarkovKernel::from_trace(&alternating(7));
+        for i in 0..k.n_states() as u16 {
+            let mut row = 0.0;
+            for j in 0..k.n_states() as u16 {
+                for kk in 1..=10u32 {
+                    row += k.q(i, j, kk);
+                }
+            }
+            assert!(row <= 1.0 + 1e-9, "row {i} sums to {row}");
+        }
+    }
+
+    #[test]
+    fn deterministic_sojourn_hazard() {
+        let k = SemiMarkovKernel::from_trace(&alternating(10));
+        let a = k.nearest_state(p(0.01)).unwrap();
+        // All 10 completed sojourns at A last 5 minutes. With smoothing
+        // (α = 3 pseudo-observations at the geometric hazard 1/5), the
+        // hazard is small-but-positive before minute 5 and large at 5.
+        let early = k.hazard(a, 1);
+        let at_end = k.hazard(a, 5);
+        assert!(early > 0.0 && early < 0.1, "early hazard {early}");
+        assert!(at_end > 0.7, "end-of-sojourn hazard {at_end}");
+        assert!(at_end > 5.0 * early);
+        assert!((k.mean_sojourn(a) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_hazards_equal_per_age_hazards() {
+        let k = SemiMarkovKernel::from_trace(&alternating(10));
+        for i in 0..k.n_states() as u16 {
+            let batch = k.hazards_up_to(i, 20);
+            for age in 1..=20u32 {
+                let single = k.hazard(i, age);
+                assert!(
+                    (batch[(age - 1) as usize] - single).abs() < 1e-15,
+                    "state {i} age {age}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hazard_beyond_support_falls_back_to_geometric() {
+        let k = SemiMarkovKernel::from_trace(&alternating(10));
+        let a = k.nearest_state(p(0.01)).unwrap();
+        let h = k.hazard(a, 50);
+        assert!((h - 1.0 / 5.0).abs() < 1e-12, "got {h}");
+    }
+
+    #[test]
+    fn next_state_dist_sums_to_one_and_backs_off() {
+        let k = SemiMarkovKernel::from_trace(&alternating(10));
+        let a = k.nearest_state(p(0.01)).unwrap();
+        // Exact support at τ=5.
+        let d = k.next_state_dist(a, 5);
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((d[1] - 1.0).abs() < 1e-12);
+        // Unseen sojourn (τ=2) backs off to the marginal, still → B.
+        let d = k.next_state_dist(a, 2);
+        assert!((d[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_state_mapping() {
+        let k = SemiMarkovKernel::from_trace(&alternating(3));
+        assert_eq!(k.prices(), &[p(0.01), p(0.02)]);
+        assert_eq!(k.nearest_state(p(0.005)).unwrap(), 0);
+        assert_eq!(k.nearest_state(p(0.014)).unwrap(), 0);
+        assert_eq!(k.nearest_state(p(0.016)).unwrap(), 1);
+        assert_eq!(k.nearest_state(p(0.5)).unwrap(), 1);
+        assert_eq!(SemiMarkovKernel::new().nearest_state(p(0.01)), None);
+    }
+
+    #[test]
+    fn incremental_observation_equals_batch() {
+        let t = alternating(10);
+        let batch = SemiMarkovKernel::from_trace(&t);
+        let mut inc = SemiMarkovKernel::new();
+        // Observing windows [0,40) and [40,80) misses only the boundary
+        // transition statistics; totals must line up within that.
+        inc.observe_trace(&t.window(0, 40));
+        inc.observe_trace(&t.window(40, 80));
+        assert_eq!(inc.n_states(), batch.n_states());
+        // One cross-boundary transition is lost to censoring.
+        assert_eq!(inc.total_transitions() + 1, batch.total_transitions());
+    }
+
+    #[test]
+    fn intern_preserves_existing_indices() {
+        // Insert a price *below* existing states and check old statistics
+        // still point at the right prices.
+        let mut k = SemiMarkovKernel::from_trace(&alternating(5));
+        let t2 = PriceTrace::new(
+            vec![
+                PricePoint {
+                    minute: 0,
+                    price: p(0.005),
+                },
+                PricePoint {
+                    minute: 4,
+                    price: p(0.02),
+                },
+                PricePoint {
+                    minute: 8,
+                    price: p(0.005),
+                },
+            ],
+            12,
+        );
+        k.observe_trace(&t2);
+        assert_eq!(k.prices(), &[p(0.005), p(0.01), p(0.02)]);
+        let a = 1u16; // 0.01 shifted up by the new state
+        let b = 2u16;
+        assert!((k.q(a, b, 5) - 1.0).abs() < 1e-12, "A→B stats survived");
+        let low = 0u16;
+        assert!(k.q(low, b, 4) > 0.0, "new state's transition recorded");
+    }
+
+    #[test]
+    fn unknown_state_distributions_are_sane() {
+        // A kernel with occupancy but no completed transitions.
+        let t = PriceTrace::new(
+            vec![PricePoint {
+                minute: 0,
+                price: p(0.01),
+            }],
+            100,
+        );
+        let k = SemiMarkovKernel::from_trace(&t);
+        assert_eq!(k.n_states(), 1);
+        let d = k.next_state_dist(0, 5);
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(k.hazard(0, 5) > 0.0, "fallback hazard must be positive");
+    }
+}

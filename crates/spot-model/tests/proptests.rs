@@ -1,0 +1,130 @@
+//! Property-based tests of the semi-Markov failure model.
+
+use proptest::prelude::*;
+use spot_market::{Price, PricePoint, PriceTrace};
+use spot_model::{FailureModel, FailureModelConfig, SemiMarkovKernel};
+
+/// Strategy: a random multi-level trace with enough transitions to train.
+fn training_trace() -> impl Strategy<Value = PriceTrace> {
+    (
+        proptest::collection::vec((1u64..30, 0usize..5), 20..120),
+        proptest::collection::vec(50u64..5_000, 5..=5),
+    )
+        .prop_map(|(steps, levels)| {
+            let mut levels: Vec<Price> = levels
+                .into_iter()
+                .map(|m| Price::from_micros(m * 100))
+                .collect();
+            levels.sort_unstable();
+            levels.dedup();
+            let mut points = vec![PricePoint {
+                minute: 0,
+                price: levels[0],
+            }];
+            let mut t = 0;
+            for (dt, idx) in steps {
+                t += dt;
+                let price = levels[idx % levels.len()];
+                if points.last().expect("non-empty").price != price {
+                    points.push(PricePoint { minute: t, price });
+                }
+            }
+            PriceTrace::new(points, t + 30)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Hazards are probabilities; next-state distributions sum to one.
+    #[test]
+    fn kernel_outputs_are_probabilities(trace in training_trace(), age in 1u32..50) {
+        let k = SemiMarkovKernel::from_trace(&trace);
+        for i in 0..k.n_states() as u16 {
+            let h = k.hazard(i, age);
+            prop_assert!((0.0..=1.0).contains(&h), "hazard {h}");
+            let d = k.next_state_dist(i, age);
+            let sum: f64 = d.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "dist sums to {sum}");
+            prop_assert!(d.iter().all(|&x| (0.0..=1.0 + 1e-12).contains(&x)));
+        }
+    }
+
+    /// The kernel rows `Σ_{j,k} q̂` never exceed 1 (Eq. 13 normalization).
+    #[test]
+    fn kernel_rows_are_subnormalized(trace in training_trace()) {
+        let k = SemiMarkovKernel::from_trace(&trace);
+        for i in 0..k.n_states() as u16 {
+            let mut row = 0.0;
+            for j in 0..k.n_states() as u16 {
+                for kk in 1..=40u32 {
+                    row += k.q(i, j, kk);
+                }
+            }
+            prop_assert!(row <= 1.0 + 1e-9, "row {i} = {row}");
+        }
+    }
+
+    /// Estimated failure probabilities are probabilities, are 1 below the
+    /// market price, never fall below FP⁰, and decrease as the bid rises.
+    #[test]
+    fn fp_estimates_behave(trace in training_trace(), horizon in 10u32..300) {
+        let model = FailureModel::from_trace(&trace, FailureModelConfig::default());
+        let now = trace.horizon() - 1;
+        let spot = trace.price_at(now);
+        let age = trace.sojourn_age_at(now) as u32;
+
+        let below = Price::from_micros(spot.as_micros().saturating_sub(100));
+        if below < spot {
+            prop_assert_eq!(model.estimate_fp(below, spot, age, horizon), 1.0);
+        }
+        let mut last = 1.0 + 1e-12;
+        for mult in [10u64, 12, 15, 20, 30] {
+            let bid = Price::from_micros(spot.as_micros() * mult / 10);
+            let fp = model.estimate_fp(bid, spot, age, horizon);
+            prop_assert!((0.0..=1.0).contains(&fp));
+            prop_assert!(fp >= 0.01 - 1e-9, "fp {fp} below FP⁰");
+            prop_assert!(fp <= last + 1e-9, "fp not monotone in bid");
+            last = fp;
+        }
+    }
+
+    /// Absorbing estimates dominate expectation estimates (an instance
+    /// that is out-of-bid for any minute has certainly been killed).
+    #[test]
+    fn absorbing_dominates_expectation(trace in training_trace(), horizon in 10u32..200) {
+        let model = FailureModel::from_trace(&trace, FailureModelConfig::default());
+        let now = trace.horizon() - 1;
+        let spot = trace.price_at(now);
+        let age = trace.sojourn_age_at(now) as u32;
+        for mult in [10u64, 15, 25] {
+            let bid = Price::from_micros(spot.as_micros() * mult / 10);
+            let e = model.estimate_fp(bid, spot, age, horizon);
+            let a = model.estimate_fp_absorbing(bid, spot, age, horizon);
+            prop_assert!(a >= e - 1e-9, "absorbing {a} < expectation {e}");
+        }
+    }
+
+    /// The minimum-bid search returns a feasible bid below the cap that
+    /// indeed meets the target, and no cheaper price level does.
+    #[test]
+    fn min_bid_is_minimal_and_feasible(trace in training_trace(), target in 0.02f64..0.5) {
+        let model = FailureModel::from_trace(&trace, FailureModelConfig::default());
+        let now = trace.horizon() - 1;
+        let spot = trace.price_at(now);
+        let age = trace.sojourn_age_at(now) as u32;
+        let cap = Price::from_micros(spot.as_micros() * 100);
+        if let Some(bid) = model.min_bid_for_fp(target, spot, age, 120, cap) {
+            prop_assert!(bid >= spot && bid < cap);
+            let fp = model.estimate_fp(bid, spot, age, 120);
+            prop_assert!(fp <= target + 1e-9, "chosen bid misses target");
+            // No strictly cheaper kernel level within [spot, bid) works.
+            for &level in model.kernel().prices() {
+                if level >= spot && level < bid {
+                    let f = model.estimate_fp(level, spot, age, 120);
+                    prop_assert!(f > target, "cheaper level {level} also feasible");
+                }
+            }
+        }
+    }
+}

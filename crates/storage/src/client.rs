@@ -1,0 +1,160 @@
+//! Closed-loop storage client (mirrors `paxos::client` for the RS-Paxos
+//! message set).
+
+use std::collections::VecDeque;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use simnet::{Context, NodeId, SimTime, TimerToken};
+
+use crate::msg::{RsMsg, StoreCmd, StoreResp};
+
+const TICK_TOKEN: TimerToken = TimerToken(1);
+
+/// One operation in the client history.
+#[derive(Clone, Debug)]
+pub struct RsCompletedOp {
+    /// Request id.
+    pub req_id: u64,
+    /// The command.
+    pub cmd: StoreCmd,
+    /// Issue time.
+    pub issued_at: SimTime,
+    /// Completion time and response, when done.
+    pub completed: Option<(SimTime, StoreResp)>,
+}
+
+#[derive(Clone, Debug)]
+struct InFlight {
+    req_id: u64,
+    last_sent: SimTime,
+    target: usize,
+}
+
+/// Storage client actor state.
+#[derive(Clone, Debug)]
+pub struct RsClientState {
+    me: NodeId,
+    servers: Vec<NodeId>,
+    tick: SimTime,
+    timeout: SimTime,
+    queue: VecDeque<StoreCmd>,
+    inflight: Option<InFlight>,
+    leader_hint: Option<NodeId>,
+    history: Vec<RsCompletedOp>,
+    rng: ChaCha8Rng,
+}
+
+impl RsClientState {
+    /// A client of `servers`.
+    pub fn new(me: NodeId, servers: Vec<NodeId>, seed: u64) -> Self {
+        assert!(!servers.is_empty());
+        RsClientState {
+            me,
+            servers,
+            tick: SimTime::from_millis(100),
+            timeout: SimTime::from_millis(1_500),
+            queue: VecDeque::new(),
+            inflight: None,
+            leader_hint: None,
+            history: Vec::new(),
+            rng: ChaCha8Rng::seed_from_u64(seed ^ (me.0 as u64).wrapping_mul(0x2545_F491)),
+        }
+    }
+
+    /// Queue a command.
+    pub fn submit(&mut self, cmd: StoreCmd) {
+        self.queue.push_back(cmd);
+    }
+
+    /// Request history.
+    pub fn history(&self) -> &[RsCompletedOp] {
+        &self.history
+    }
+
+    /// Outstanding (queued + in-flight) operations.
+    pub fn outstanding(&self) -> usize {
+        self.queue.len() + usize::from(self.inflight.is_some())
+    }
+
+    fn send_current(&mut self, ctx: &mut Context<RsMsg>) {
+        let Some(f) = &mut self.inflight else { return };
+        let entry = self
+            .history
+            .iter()
+            .find(|h| h.req_id == f.req_id)
+            .expect("in-flight recorded");
+        let target = match self.leader_hint {
+            Some(l) if self.servers.contains(&l) => l,
+            _ => self.servers[f.target % self.servers.len()],
+        };
+        f.last_sent = ctx.now;
+        ctx.send(
+            target,
+            RsMsg::Request {
+                client: self.me,
+                req_id: f.req_id,
+                cmd: entry.cmd.clone(),
+            },
+        );
+    }
+
+    /// Boot.
+    pub fn on_start(&mut self, ctx: &mut Context<RsMsg>) {
+        ctx.set_timer(self.tick, TICK_TOKEN);
+    }
+
+    /// Tick: issue and retransmit.
+    pub fn on_timer(&mut self, _t: TimerToken, ctx: &mut Context<RsMsg>) {
+        ctx.set_timer(self.tick, TICK_TOKEN);
+        if self.inflight.is_none() {
+            if let Some(cmd) = self.queue.pop_front() {
+                let req_id = self.history.len() as u64 + 1;
+                self.history.push(RsCompletedOp {
+                    req_id,
+                    cmd,
+                    issued_at: ctx.now,
+                    completed: None,
+                });
+                self.inflight = Some(InFlight {
+                    req_id,
+                    last_sent: ctx.now,
+                    target: self.rng.gen_range(0..self.servers.len()),
+                });
+                self.send_current(ctx);
+            }
+            return;
+        }
+        let timed_out = self
+            .inflight
+            .as_ref()
+            .map(|f| ctx.now.saturating_sub(f.last_sent) >= self.timeout)
+            .unwrap_or(false);
+        if timed_out {
+            if let Some(f) = &mut self.inflight {
+                f.target += 1;
+            }
+            self.leader_hint = None;
+            self.send_current(ctx);
+        }
+    }
+
+    /// Responses.
+    pub fn on_message(&mut self, from: NodeId, msg: RsMsg, ctx: &mut Context<RsMsg>) {
+        if let RsMsg::Response { req_id, resp } = msg {
+            let matches = self
+                .inflight
+                .as_ref()
+                .map(|f| f.req_id == req_id)
+                .unwrap_or(false);
+            if matches {
+                self.inflight = None;
+                self.leader_hint = Some(from);
+                let now = ctx.now;
+                if let Some(h) = self.history.iter_mut().find(|h| h.req_id == req_id) {
+                    h.completed = Some((now, resp));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Driver helpers for RS-Paxos clusters.
+
+use simnet::{NetworkConfig, NodeId, SimTime, Simulation};
+
+use crate::client::RsClientState;
+use crate::msg::{StoreCmd, StoreResp};
+use crate::replica::{RsConfig, RsReplica};
+use crate::RsNode;
+
+/// An RS-Paxos storage cluster under simulation.
+pub struct RsCluster {
+    /// The underlying simulation (exposed for fault injection).
+    pub sim: Simulation<RsNode>,
+    servers: Vec<NodeId>,
+    clients: Vec<NodeId>,
+    cfg: RsConfig,
+    seed: u64,
+}
+
+impl RsCluster {
+    /// Build a θ(m, n) storage cluster of `n` replicas.
+    pub fn new(n: usize, cfg: RsConfig, net: NetworkConfig, seed: u64) -> Self {
+        assert!(n >= cfg.m, "need at least m replicas");
+        let mut sim = Simulation::new(net, seed);
+        let ids: Vec<NodeId> = (0..n).map(NodeId).collect();
+        for &id in &ids {
+            let r = RsReplica::new(id, ids.clone(), cfg.clone(), seed);
+            let got = sim.add_node(RsNode::Server(r));
+            assert_eq!(got, id);
+        }
+        RsCluster {
+            sim,
+            servers: ids,
+            clients: Vec::new(),
+            cfg,
+            seed,
+        }
+    }
+
+    /// The server ids.
+    pub fn servers(&self) -> &[NodeId] {
+        &self.servers
+    }
+
+    /// Add a closed-loop client.
+    pub fn add_client(&mut self) -> NodeId {
+        let id = NodeId(self.sim.node_count());
+        let c = RsClientState::new(id, self.servers.clone(), self.seed);
+        let got = self.sim.add_node(RsNode::Client(c));
+        assert_eq!(got, id);
+        self.clients.push(id);
+        id
+    }
+
+    /// Queue a command on `client`.
+    pub fn submit(&mut self, client: NodeId, cmd: StoreCmd) {
+        self.sim
+            .actor_mut(client)
+            .and_then(RsNode::as_client_mut)
+            .expect("client exists")
+            .submit(cmd);
+    }
+
+    /// Run until `client` drains or `deadline`; true when drained.
+    pub fn run_until_drained(&mut self, client: NodeId, deadline: SimTime) -> bool {
+        loop {
+            let outstanding = self
+                .sim
+                .actor(client)
+                .and_then(RsNode::as_client)
+                .map(RsClientState::outstanding)
+                .unwrap_or(0);
+            if outstanding == 0 {
+                return true;
+            }
+            if self.sim.now() >= deadline {
+                return false;
+            }
+            let next = self.sim.now() + SimTime::from_millis(100);
+            self.sim.run_until(next.min(deadline));
+        }
+    }
+
+    /// The last completed response on `client`.
+    pub fn last_response(&self, client: NodeId) -> Option<StoreResp> {
+        self.sim
+            .actor(client)
+            .and_then(RsNode::as_client)
+            .and_then(|c| c.history().last())
+            .and_then(|h| h.completed.clone())
+            .map(|(_, r)| r)
+    }
+
+    /// The current leader, if any.
+    pub fn leader(&self) -> Option<NodeId> {
+        self.servers.iter().copied().find(|&id| {
+            self.sim
+                .actor(id)
+                .and_then(RsNode::as_server)
+                .map(RsReplica::is_leader)
+                .unwrap_or(false)
+        })
+    }
+
+    /// Crash a replica.
+    pub fn crash(&mut self, id: NodeId) {
+        self.sim.crash(id);
+    }
+
+    /// Restart a crashed replica slot (a replacement instance taking over
+    /// the same shard index; it recovers the log via catch-up).
+    pub fn restart(&mut self, id: NodeId) {
+        let r = RsReplica::new(
+            id,
+            self.servers.clone(),
+            self.cfg.clone(),
+            self.seed ^ id.0 as u64,
+        );
+        self.sim.restart(id, RsNode::Server(r));
+    }
+
+    /// Immutable replica access.
+    pub fn replica(&self, id: NodeId) -> Option<&RsReplica> {
+        self.sim.actor(id).and_then(RsNode::as_server)
+    }
+}

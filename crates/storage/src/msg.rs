@@ -1,0 +1,247 @@
+//! RS-Paxos wire messages.
+
+use bytes::Bytes;
+use paxos::Ballot;
+use simnet::NodeId;
+
+/// A log slot index.
+pub type Slot = u64;
+
+/// Client-visible store commands.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreCmd {
+    /// Write `object` under `key`.
+    Put {
+        /// Object key.
+        key: String,
+        /// Object bytes (shipped whole to the leader, coded from there).
+        object: Bytes,
+    },
+    /// Read the object under `key`.
+    Get {
+        /// Object key.
+        key: String,
+    },
+    /// Remove `key`.
+    Delete {
+        /// Object key.
+        key: String,
+    },
+}
+
+/// Client-visible responses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreResp {
+    /// Put applied; the version is the log slot of the write.
+    Stored {
+        /// Version (log slot) assigned to the write.
+        version: u64,
+    },
+    /// Get result.
+    Value {
+        /// The reconstructed object (`None` if the key is absent).
+        object: Option<Bytes>,
+    },
+    /// Delete applied.
+    Deleted,
+    /// A read failed because too few shards survive (service degraded
+    /// below the erasure threshold).
+    Unavailable,
+}
+
+/// The value a slot carries, as the *leader* sees it (full object).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SlotValue {
+    /// A write (full object at the leader; shards on the wire).
+    Put {
+        /// Originating client.
+        client: NodeId,
+        /// Client request id.
+        req_id: u64,
+        /// Object key.
+        key: String,
+        /// Full object bytes.
+        object: Bytes,
+    },
+    /// A serialized read marker.
+    Get {
+        /// Originating client.
+        client: NodeId,
+        /// Client request id.
+        req_id: u64,
+        /// Object key.
+        key: String,
+    },
+    /// A delete.
+    Delete {
+        /// Originating client.
+        client: NodeId,
+        /// Client request id.
+        req_id: u64,
+        /// Object key.
+        key: String,
+    },
+    /// Gap filler after leader recovery.
+    Noop,
+}
+
+/// What travels in an `Accept` / sits in an acceptor's log: coded for
+/// puts, verbatim for data-free commands.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireValue {
+    /// One shard of a `Put`.
+    PutShard {
+        /// Originating client.
+        client: NodeId,
+        /// Client request id.
+        req_id: u64,
+        /// Object key.
+        key: String,
+        /// This acceptor's shard index.
+        shard_idx: u8,
+        /// Shard bytes.
+        shard: Bytes,
+    },
+    /// A read marker (no payload).
+    Get {
+        /// Originating client.
+        client: NodeId,
+        /// Client request id.
+        req_id: u64,
+        /// Object key.
+        key: String,
+    },
+    /// A delete marker.
+    Delete {
+        /// Originating client.
+        client: NodeId,
+        /// Client request id.
+        req_id: u64,
+        /// Object key.
+        key: String,
+    },
+    /// Gap filler.
+    Noop,
+}
+
+/// An accepted entry reported in a promise.
+#[derive(Clone, Debug)]
+pub struct RsAccepted {
+    /// Slot.
+    pub slot: Slot,
+    /// Ballot at which the shard was accepted.
+    pub ballot: Ballot,
+    /// The acceptor's wire value (its own shard for puts).
+    pub value: WireValue,
+}
+
+/// A chosen entry for commit/catch-up, tailored per destination (each
+/// replica receives its own shard when the sender can produce it).
+#[derive(Clone, Debug)]
+pub struct RsChosen {
+    /// Slot.
+    pub slot: Slot,
+    /// The destination's wire value (`PutShard` with the *destination's*
+    /// shard index, or a data-free marker).
+    pub value: WireValue,
+}
+
+/// RS-Paxos protocol messages.
+#[derive(Clone, Debug)]
+pub enum RsMsg {
+    /// Phase-1a.
+    Prepare {
+        /// Candidate ballot.
+        ballot: Ballot,
+        /// First slot the candidate is missing.
+        from_slot: Slot,
+    },
+    /// Phase-1b.
+    Promise {
+        /// Promised ballot.
+        ballot: Ballot,
+        /// Accepted-but-unchosen shard entries.
+        accepted: Vec<RsAccepted>,
+        /// Chosen entries at or above `from_slot` (sender's shards).
+        chosen: Vec<RsChosen>,
+        /// The acceptor's first unchosen slot.
+        commit_index: Slot,
+    },
+    /// Phase-2a: accept one slot's shard.
+    Accept {
+        /// Leader ballot.
+        ballot: Ballot,
+        /// Slot.
+        slot: Slot,
+        /// The destination's shard (or data-free marker).
+        value: WireValue,
+    },
+    /// Phase-2b.
+    Accepted {
+        /// Echoed ballot.
+        ballot: Ballot,
+        /// Echoed slot.
+        slot: Slot,
+    },
+    /// Nack with the higher promised ballot.
+    Reject {
+        /// Promised ballot.
+        promised: Ballot,
+    },
+    /// A chosen slot (destination-specific shard).
+    Commit {
+        /// The chosen entry.
+        entry: RsChosen,
+    },
+    /// Leader liveness + commit gossip.
+    Heartbeat {
+        /// Leader ballot.
+        ballot: Ballot,
+        /// Leader's first unchosen slot.
+        commit_index: Slot,
+    },
+    /// Ask the leader for chosen entries from `from_slot`.
+    CatchupRequest {
+        /// First missing slot.
+        from_slot: Slot,
+    },
+    /// Catch-up batch.
+    CatchupReply {
+        /// Chosen entries, destination-specific.
+        entries: Vec<RsChosen>,
+    },
+    /// Leader → replica: send me your shard of `(key, version)`.
+    ShardPull {
+        /// Object key.
+        key: String,
+        /// Version (slot of the put).
+        version: u64,
+    },
+    /// Replica → leader: here is my shard.
+    ShardPush {
+        /// Object key.
+        key: String,
+        /// Version.
+        version: u64,
+        /// Shard index.
+        shard_idx: u8,
+        /// Shard bytes.
+        shard: Bytes,
+    },
+    /// Client → replica: submit a command.
+    Request {
+        /// Originating client.
+        client: NodeId,
+        /// Client request id.
+        req_id: u64,
+        /// The command.
+        cmd: StoreCmd,
+    },
+    /// Replica → client.
+    Response {
+        /// Echoed request id.
+        req_id: u64,
+        /// The response.
+        resp: StoreResp,
+    },
+}

@@ -1,0 +1,1017 @@
+//! The RS-Paxos replica.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use bytes::Bytes;
+use erasure::ReedSolomon;
+use paxos::Ballot;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use simnet::{Context, NodeId, SimTime, TimerToken};
+
+use crate::msg::{RsAccepted, RsChosen, RsMsg, SlotValue, StoreCmd, StoreResp, WireValue};
+use crate::store::ShardStore;
+
+type Slot = u64;
+
+const TICK_TOKEN: TimerToken = TimerToken(0);
+
+/// RS-Paxos deployment parameters.
+#[derive(Clone, Debug)]
+pub struct RsConfig {
+    /// Erasure data-shard count `m` (the code is θ(m, view.len())).
+    pub m: usize,
+    /// Bookkeeping tick.
+    pub tick: SimTime,
+    /// Leader heartbeat period.
+    pub heartbeat_every: SimTime,
+    /// Election timeout range.
+    pub election_timeout: (SimTime, SimTime),
+    /// Re-broadcast period for unacknowledged proposals and shard pulls.
+    pub retry: SimTime,
+    /// Give up on a read after this long without `m` shards.
+    pub read_timeout: SimTime,
+}
+
+impl Default for RsConfig {
+    fn default() -> Self {
+        RsConfig {
+            m: 3,
+            tick: SimTime::from_millis(50),
+            heartbeat_every: SimTime::from_millis(200),
+            election_timeout: (SimTime::from_millis(800), SimTime::from_millis(1600)),
+            retry: SimTime::from_millis(400),
+            read_timeout: SimTime::from_secs(5),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Phase {
+    Follower,
+    Preparing {
+        promises: HashMap<NodeId, (Vec<RsAccepted>, Slot)>,
+    },
+    Leading,
+}
+
+#[derive(Clone, Debug)]
+struct Proposal {
+    value: SlotValue,
+    /// Encoded shards for puts (index = shard index = view position).
+    shards: Option<Vec<Bytes>>,
+    acks: HashSet<NodeId>,
+    sent_at: SimTime,
+}
+
+#[derive(Clone, Debug, Default)]
+struct SlotState {
+    accepted: Option<(Ballot, WireValue)>,
+    chosen: Option<WireValue>,
+}
+
+#[derive(Clone, Debug)]
+struct PendingRead {
+    client: NodeId,
+    req_id: u64,
+    shards: BTreeMap<u8, Bytes>,
+    started: SimTime,
+    last_pull: SimTime,
+}
+
+/// An RS-Paxos storage replica.
+#[derive(Clone, Debug)]
+pub struct RsReplica {
+    me: NodeId,
+    cfg: RsConfig,
+    view: Vec<NodeId>,
+    codec: ReedSolomon,
+
+    store: ShardStore,
+    /// Leader-side full-object cache: key → (version, object).
+    objects: HashMap<String, (u64, Bytes)>,
+    slots: BTreeMap<Slot, SlotState>,
+    commit_index: Slot,
+    dedup: HashMap<NodeId, (u64, StoreResp)>,
+
+    promised: Ballot,
+    ballot: Ballot,
+    phase: Phase,
+    leader: Option<NodeId>,
+    proposals: BTreeMap<Slot, Proposal>,
+    next_slot: Slot,
+    /// Reads awaiting shard reconstruction: (key, version) → state.
+    pending_reads: HashMap<(String, u64), PendingRead>,
+
+    election_deadline: SimTime,
+    last_heartbeat_sent: SimTime,
+    rng: ChaCha8Rng,
+}
+
+impl RsReplica {
+    /// A replica with identity `me` in the fixed `view` running θ(m, n).
+    pub fn new(me: NodeId, view: Vec<NodeId>, cfg: RsConfig, seed: u64) -> Self {
+        let mut view = view;
+        view.sort_unstable();
+        view.dedup();
+        assert!(view.contains(&me), "replica not in view");
+        assert!(cfg.m >= 1 && cfg.m <= view.len(), "invalid erasure m");
+        let codec = ReedSolomon::new(cfg.m, view.len());
+        RsReplica {
+            me,
+            codec,
+            view,
+            cfg,
+            store: ShardStore::new(),
+            objects: HashMap::new(),
+            slots: BTreeMap::new(),
+            commit_index: 0,
+            dedup: HashMap::new(),
+            promised: Ballot::BOTTOM,
+            ballot: Ballot::BOTTOM,
+            phase: Phase::Follower,
+            leader: None,
+            proposals: BTreeMap::new(),
+            next_slot: 0,
+            pending_reads: HashMap::new(),
+            election_deadline: SimTime::ZERO,
+            last_heartbeat_sent: SimTime::ZERO,
+            rng: ChaCha8Rng::seed_from_u64(seed ^ (me.0 as u64).wrapping_mul(0xD1B5_4A32)),
+        }
+    }
+
+    // ------------------------------------------------------ introspection
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.me
+    }
+
+    /// Whether this replica currently leads.
+    pub fn is_leader(&self) -> bool {
+        matches!(self.phase, Phase::Leading)
+    }
+
+    /// The believed leader.
+    pub fn leader_hint(&self) -> Option<NodeId> {
+        self.leader
+    }
+
+    /// First unchosen slot.
+    pub fn commit_index(&self) -> Slot {
+        self.commit_index
+    }
+
+    /// The applied shard store.
+    pub fn store(&self) -> &ShardStore {
+        &self.store
+    }
+
+    /// The quorum size `⌈(n+m)/2⌉`.
+    pub fn quorum(&self) -> usize {
+        (self.view.len() + self.cfg.m).div_ceil(2)
+    }
+
+    /// This replica's shard index (position in the sorted view).
+    pub fn shard_idx(&self) -> u8 {
+        self.idx_of(self.me)
+    }
+
+    fn idx_of(&self, node: NodeId) -> u8 {
+        self.view
+            .iter()
+            .position(|&n| n == node)
+            .expect("node in view") as u8
+    }
+
+    fn reset_election_deadline(&mut self, now: SimTime) {
+        let (lo, hi) = self.cfg.election_timeout;
+        let span = hi.as_millis().saturating_sub(lo.as_millis()).max(1);
+        let jitter = self.rng.gen_range(0..span);
+        self.election_deadline = now + lo + SimTime::from_millis(jitter);
+    }
+
+    fn step_down(&mut self, now: SimTime) {
+        self.phase = Phase::Follower;
+        self.proposals.clear();
+        self.pending_reads.clear();
+        self.reset_election_deadline(now);
+    }
+
+    // ----------------------------------------------------------- election
+
+    fn start_election(&mut self, ctx: &mut Context<RsMsg>) {
+        let round = self.promised.round.max(self.ballot.round) + 1;
+        self.ballot = Ballot {
+            round,
+            node: self.me,
+        };
+        self.promised = self.ballot;
+        self.leader = None;
+        let mut promises = HashMap::new();
+        promises.insert(
+            self.me,
+            (self.accepted_tail(self.commit_index), self.commit_index),
+        );
+        self.phase = Phase::Preparing { promises };
+        self.reset_election_deadline(ctx.now);
+        let msg = RsMsg::Prepare {
+            ballot: self.ballot,
+            from_slot: self.commit_index,
+        };
+        let peers = self.view.clone();
+        ctx.broadcast(peers.iter(), msg);
+        self.try_become_leader(ctx);
+    }
+
+    fn accepted_tail(&self, from: Slot) -> Vec<RsAccepted> {
+        self.slots
+            .range(from..)
+            .filter(|(_, st)| st.chosen.is_none())
+            .filter_map(|(&slot, st)| {
+                st.accepted.as_ref().map(|(ballot, value)| RsAccepted {
+                    slot,
+                    ballot: *ballot,
+                    value: value.clone(),
+                })
+            })
+            .collect()
+    }
+
+    fn chosen_tail_for(&self, from: Slot, dest: NodeId) -> Vec<RsChosen> {
+        let dest_idx = self.idx_of(dest);
+        self.slots
+            .range(from..)
+            .filter_map(|(&slot, st)| {
+                st.chosen.as_ref().map(|v| RsChosen {
+                    slot,
+                    value: self.reshape_for(v, slot, dest_idx),
+                })
+            })
+            .collect()
+    }
+
+    /// Produce the destination-specific wire value for a chosen slot:
+    /// re-encode the shard when the full object is at hand, otherwise send
+    /// metadata so the destination at least tracks versions.
+    fn reshape_for(&self, chosen: &WireValue, slot: Slot, dest_idx: u8) -> WireValue {
+        match chosen {
+            WireValue::PutShard {
+                client,
+                req_id,
+                key,
+                ..
+            } => {
+                if let Some((version, object)) = self.objects.get(key) {
+                    if *version == slot {
+                        let shards = self.codec.encode_object(object);
+                        return WireValue::PutShard {
+                            client: *client,
+                            req_id: *req_id,
+                            key: key.clone(),
+                            shard_idx: dest_idx,
+                            shard: shards[dest_idx as usize].clone(),
+                        };
+                    }
+                }
+                // No object: metadata-only (empty shard marker).
+                WireValue::PutShard {
+                    client: *client,
+                    req_id: *req_id,
+                    key: key.clone(),
+                    shard_idx: dest_idx,
+                    shard: Bytes::new(),
+                }
+            }
+            other => other.clone(),
+        }
+    }
+
+    fn try_become_leader(&mut self, ctx: &mut Context<RsMsg>) {
+        let quorum = self.quorum();
+        let Phase::Preparing { promises } = &self.phase else {
+            return;
+        };
+        if promises.len() < quorum {
+            return;
+        }
+        let promises = promises.clone();
+        // Per slot: find the highest ballot and gather its shards.
+        struct Merge {
+            ballot: Ballot,
+            values: Vec<WireValue>,
+        }
+        impl Default for Merge {
+            fn default() -> Self {
+                Merge {
+                    ballot: Ballot::BOTTOM,
+                    values: Vec::new(),
+                }
+            }
+        }
+        let mut merged: BTreeMap<Slot, Merge> = BTreeMap::new();
+        let mut max_commit = self.commit_index;
+        let mut best_peer = self.me;
+        for (&peer, (accepted, ci)) in &promises {
+            if *ci > max_commit {
+                max_commit = *ci;
+                best_peer = peer;
+            }
+            for e in accepted {
+                let m = merged.entry(e.slot).or_default();
+                if e.ballot > m.ballot {
+                    m.ballot = e.ballot;
+                    m.values = vec![e.value.clone()];
+                } else if e.ballot == m.ballot {
+                    m.values.push(e.value.clone());
+                }
+            }
+        }
+        self.phase = Phase::Leading;
+        self.leader = Some(self.me);
+        self.last_heartbeat_sent = SimTime::ZERO;
+        let top = merged.keys().next_back().map(|s| s + 1).unwrap_or(0);
+        self.next_slot = self.commit_index.max(top);
+        let mut plans: Vec<(Slot, SlotValue)> = Vec::new();
+        for slot in self.commit_index..self.next_slot {
+            if self
+                .slots
+                .get(&slot)
+                .map(|st| st.chosen.is_some())
+                .unwrap_or(false)
+            {
+                continue;
+            }
+            let value = merged
+                .get(&slot)
+                .map(|m| self.recover_value(m.ballot, &m.values))
+                .unwrap_or(SlotValue::Noop);
+            plans.push((slot, value));
+        }
+        for (slot, value) in plans {
+            self.send_accepts(slot, value, ctx);
+        }
+        if max_commit > self.commit_index && best_peer != self.me {
+            ctx.send(
+                best_peer,
+                RsMsg::CatchupRequest {
+                    from_slot: self.commit_index,
+                },
+            );
+        }
+        self.send_heartbeat(ctx);
+    }
+
+    /// Reconstruct a slot value from the highest-ballot shards seen in a
+    /// prepare quorum. A chosen put always yields ≥ m shards here
+    /// (quorum-intersection ≥ m); fewer shards prove the value was never
+    /// chosen, so a no-op is safe.
+    fn recover_value(&self, _ballot: Ballot, values: &[WireValue]) -> SlotValue {
+        match &values[0] {
+            WireValue::Get {
+                client,
+                req_id,
+                key,
+            } => SlotValue::Get {
+                client: *client,
+                req_id: *req_id,
+                key: key.clone(),
+            },
+            WireValue::Delete {
+                client,
+                req_id,
+                key,
+            } => SlotValue::Delete {
+                client: *client,
+                req_id: *req_id,
+                key: key.clone(),
+            },
+            WireValue::Noop => SlotValue::Noop,
+            WireValue::PutShard {
+                client,
+                req_id,
+                key,
+                ..
+            } => {
+                let mut slots: Vec<Option<Vec<u8>>> = vec![None; self.view.len()];
+                let mut have = 0usize;
+                for v in values {
+                    if let WireValue::PutShard {
+                        shard_idx, shard, ..
+                    } = v
+                    {
+                        if !shard.is_empty() && slots[*shard_idx as usize].is_none() {
+                            slots[*shard_idx as usize] = Some(shard.to_vec());
+                            have += 1;
+                        }
+                    }
+                }
+                if have >= self.codec.data_shards() {
+                    if let Ok(object) = self.codec.decode_object(&slots) {
+                        return SlotValue::Put {
+                            client: *client,
+                            req_id: *req_id,
+                            key: key.clone(),
+                            object: Bytes::from(object),
+                        };
+                    }
+                }
+                SlotValue::Noop
+            }
+        }
+    }
+
+    // --------------------------------------------------------- proposing
+
+    fn wire_for(&self, value: &SlotValue, shards: Option<&Vec<Bytes>>, dest_idx: u8) -> WireValue {
+        match value {
+            SlotValue::Put {
+                client,
+                req_id,
+                key,
+                ..
+            } => WireValue::PutShard {
+                client: *client,
+                req_id: *req_id,
+                key: key.clone(),
+                shard_idx: dest_idx,
+                shard: shards.expect("puts carry shards")[dest_idx as usize].clone(),
+            },
+            SlotValue::Get {
+                client,
+                req_id,
+                key,
+            } => WireValue::Get {
+                client: *client,
+                req_id: *req_id,
+                key: key.clone(),
+            },
+            SlotValue::Delete {
+                client,
+                req_id,
+                key,
+            } => WireValue::Delete {
+                client: *client,
+                req_id: *req_id,
+                key: key.clone(),
+            },
+            SlotValue::Noop => WireValue::Noop,
+        }
+    }
+
+    fn send_accepts(&mut self, slot: Slot, value: SlotValue, ctx: &mut Context<RsMsg>) {
+        let shards = match &value {
+            SlotValue::Put { object, .. } => Some(self.codec.encode_object(object)),
+            _ => None,
+        };
+        let ballot = self.ballot;
+        let my_idx = self.shard_idx();
+        let my_wire = self.wire_for(&value, shards.as_ref(), my_idx);
+        self.slots.entry(slot).or_default().accepted = Some((ballot, my_wire));
+        let mut acks = HashSet::new();
+        acks.insert(self.me);
+        // Send each peer its own shard.
+        let peers = self.view.clone();
+        for peer in peers {
+            if peer == self.me {
+                continue;
+            }
+            let wire = self.wire_for(&value, shards.as_ref(), self.idx_of(peer));
+            ctx.send(
+                peer,
+                RsMsg::Accept {
+                    ballot,
+                    slot,
+                    value: wire,
+                },
+            );
+        }
+        self.proposals.insert(
+            slot,
+            Proposal {
+                value,
+                shards,
+                acks,
+                sent_at: ctx.now,
+            },
+        );
+        self.maybe_choose(slot, ctx);
+    }
+
+    fn propose_cmd(
+        &mut self,
+        client: NodeId,
+        req_id: u64,
+        cmd: StoreCmd,
+        ctx: &mut Context<RsMsg>,
+    ) {
+        if let Some((last, resp)) = self.dedup.get(&client) {
+            if *last == req_id {
+                let resp = resp.clone();
+                ctx.send(client, RsMsg::Response { req_id, resp });
+                return;
+            }
+            if *last > req_id {
+                return;
+            }
+        }
+        if self.proposals.values().any(|p| match &p.value {
+            SlotValue::Put {
+                client: c,
+                req_id: r,
+                ..
+            }
+            | SlotValue::Get {
+                client: c,
+                req_id: r,
+                ..
+            }
+            | SlotValue::Delete {
+                client: c,
+                req_id: r,
+                ..
+            } => *c == client && *r == req_id,
+            SlotValue::Noop => false,
+        }) {
+            return;
+        }
+        let value = match cmd {
+            StoreCmd::Put { key, object } => SlotValue::Put {
+                client,
+                req_id,
+                key,
+                object,
+            },
+            StoreCmd::Get { key } => SlotValue::Get {
+                client,
+                req_id,
+                key,
+            },
+            StoreCmd::Delete { key } => SlotValue::Delete {
+                client,
+                req_id,
+                key,
+            },
+        };
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        self.send_accepts(slot, value, ctx);
+    }
+
+    fn maybe_choose(&mut self, slot: Slot, ctx: &mut Context<RsMsg>) {
+        let quorum = self.quorum();
+        let Some(p) = self.proposals.get(&slot) else {
+            return;
+        };
+        if p.acks.len() < quorum {
+            return;
+        }
+        let p = self.proposals.remove(&slot).expect("present");
+        let my_idx = self.shard_idx();
+        let my_wire = self.wire_for(&p.value, p.shards.as_ref(), my_idx);
+        self.slots.entry(slot).or_default().chosen = Some(my_wire);
+        // Leader-side extras before generic apply: cache full objects.
+        if let SlotValue::Put { key, object, .. } = &p.value {
+            self.objects.insert(key.clone(), (slot, object.clone()));
+        }
+        // Commit to every peer with its own shard.
+        let peers = self.view.clone();
+        for peer in peers {
+            if peer == self.me {
+                continue;
+            }
+            let wire = self.wire_for(&p.value, p.shards.as_ref(), self.idx_of(peer));
+            ctx.send(
+                peer,
+                RsMsg::Commit {
+                    entry: RsChosen { slot, value: wire },
+                },
+            );
+        }
+        self.advance(ctx);
+    }
+
+    // ----------------------------------------------------------- learning
+
+    fn note_chosen(&mut self, entry: RsChosen, ctx: &mut Context<RsMsg>) {
+        let st = self.slots.entry(entry.slot).or_default();
+        if st.chosen.is_none() {
+            st.chosen = Some(entry.value);
+        } else if let (
+            Some(WireValue::PutShard {
+                shard: existing, ..
+            }),
+            WireValue::PutShard {
+                shard: incoming, ..
+            },
+        ) = (st.chosen.as_mut(), &entry.value)
+        {
+            // Upgrade a metadata-only record once real bytes arrive.
+            if existing.is_empty() && !incoming.is_empty() {
+                st.chosen = Some(entry.value);
+            }
+        }
+        self.advance(ctx);
+    }
+
+    fn advance(&mut self, ctx: &mut Context<RsMsg>) {
+        loop {
+            let Some(value) = self
+                .slots
+                .get(&self.commit_index)
+                .and_then(|st| st.chosen.clone())
+            else {
+                break;
+            };
+            let slot = self.commit_index;
+            self.commit_index += 1;
+            self.apply(slot, value, ctx);
+        }
+    }
+
+    fn apply(&mut self, slot: Slot, value: WireValue, ctx: &mut Context<RsMsg>) {
+        match value {
+            WireValue::Noop => {}
+            WireValue::PutShard {
+                client,
+                req_id,
+                key,
+                shard_idx,
+                shard,
+            } => {
+                let bytes = (!shard.is_empty()).then_some(shard);
+                self.store.apply_put(&key, slot, shard_idx, bytes);
+                let resp = StoreResp::Stored { version: slot };
+                self.finish(client, req_id, resp, ctx);
+            }
+            WireValue::Delete {
+                client,
+                req_id,
+                key,
+            } => {
+                self.store.apply_delete(&key, slot);
+                self.objects.remove(&key);
+                self.finish(client, req_id, StoreResp::Deleted, ctx);
+            }
+            WireValue::Get {
+                client,
+                req_id,
+                key,
+            } => {
+                if !matches!(self.phase, Phase::Leading) {
+                    // Followers only note the read in dedup-free fashion.
+                    return;
+                }
+                match self.store.get(&key) {
+                    None => {
+                        self.finish(client, req_id, StoreResp::Value { object: None }, ctx);
+                    }
+                    Some(entry) => {
+                        let version = entry.version;
+                        if let Some((v, object)) = self.objects.get(&key) {
+                            if *v == version {
+                                let resp = StoreResp::Value {
+                                    object: Some(object.clone()),
+                                };
+                                self.finish(client, req_id, resp, ctx);
+                                return;
+                            }
+                        }
+                        // Reconstruct: gather shards from peers.
+                        let mut shards = BTreeMap::new();
+                        if let Some(bytes) = &entry.shard {
+                            shards.insert(entry.shard_idx, bytes.clone());
+                        }
+                        self.pending_reads.insert(
+                            (key.clone(), version),
+                            PendingRead {
+                                client,
+                                req_id,
+                                shards,
+                                started: ctx.now,
+                                last_pull: ctx.now,
+                            },
+                        );
+                        let peers = self.view.clone();
+                        ctx.broadcast(peers.iter(), RsMsg::ShardPull { key, version });
+                        self.try_finish_read_queue(ctx);
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self, client: NodeId, req_id: u64, resp: StoreResp, ctx: &mut Context<RsMsg>) {
+        let newer = self
+            .dedup
+            .get(&client)
+            .map(|(last, _)| *last < req_id)
+            .unwrap_or(true);
+        if newer {
+            self.dedup.insert(client, (req_id, resp.clone()));
+        }
+        if matches!(self.phase, Phase::Leading) {
+            ctx.send(client, RsMsg::Response { req_id, resp });
+        }
+    }
+
+    fn try_finish_read_queue(&mut self, ctx: &mut Context<RsMsg>) {
+        let m = self.codec.data_shards();
+        let n = self.view.len();
+        let done: Vec<(String, u64)> = self
+            .pending_reads
+            .iter()
+            .filter(|(_, r)| r.shards.len() >= m)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key_ver in done {
+            let r = self.pending_reads.remove(&key_ver).expect("present");
+            let mut slots: Vec<Option<Vec<u8>>> = vec![None; n];
+            for (idx, bytes) in &r.shards {
+                slots[*idx as usize] = Some(bytes.to_vec());
+            }
+            let resp = match self.codec.decode_object(&slots) {
+                Ok(object) => {
+                    let object = Bytes::from(object);
+                    self.objects
+                        .insert(key_ver.0.clone(), (key_ver.1, object.clone()));
+                    StoreResp::Value {
+                        object: Some(object),
+                    }
+                }
+                Err(_) => StoreResp::Unavailable,
+            };
+            self.finish(r.client, r.req_id, resp, ctx);
+        }
+    }
+
+    // ---------------------------------------------------------- heartbeat
+
+    fn send_heartbeat(&mut self, ctx: &mut Context<RsMsg>) {
+        self.last_heartbeat_sent = ctx.now;
+        let peers = self.view.clone();
+        ctx.broadcast(
+            peers.iter(),
+            RsMsg::Heartbeat {
+                ballot: self.ballot,
+                commit_index: self.commit_index,
+            },
+        );
+    }
+
+    // ---------------------------------------------------- actor callbacks
+
+    /// Boot.
+    pub fn on_start(&mut self, ctx: &mut Context<RsMsg>) {
+        self.reset_election_deadline(ctx.now);
+        ctx.set_timer(self.cfg.tick, TICK_TOKEN);
+    }
+
+    /// Periodic bookkeeping.
+    pub fn on_timer(&mut self, _t: TimerToken, ctx: &mut Context<RsMsg>) {
+        ctx.set_timer(self.cfg.tick, TICK_TOKEN);
+        match self.phase {
+            Phase::Leading => {
+                if ctx.now.saturating_sub(self.last_heartbeat_sent) >= self.cfg.heartbeat_every {
+                    self.send_heartbeat(ctx);
+                }
+                // Retry stale proposals (per-destination shards).
+                let stale: Vec<Slot> = self
+                    .proposals
+                    .iter()
+                    .filter(|(_, p)| ctx.now.saturating_sub(p.sent_at) >= self.cfg.retry)
+                    .map(|(&s, _)| s)
+                    .collect();
+                let ballot = self.ballot;
+                for slot in stale {
+                    let (value, shards) = {
+                        let p = self.proposals.get_mut(&slot).expect("stale slot present");
+                        p.sent_at = ctx.now;
+                        (p.value.clone(), p.shards.clone())
+                    };
+                    let peers = self.view.clone();
+                    for peer in peers {
+                        if peer == self.me {
+                            continue;
+                        }
+                        let wire = self.wire_for(&value, shards.as_ref(), self.idx_of(peer));
+                        ctx.send(
+                            peer,
+                            RsMsg::Accept {
+                                ballot,
+                                slot,
+                                value: wire,
+                            },
+                        );
+                    }
+                }
+                // Retry / expire pending reads.
+                let mut expired = Vec::new();
+                let mut repull = Vec::new();
+                for (kv, r) in &self.pending_reads {
+                    if ctx.now.saturating_sub(r.started) >= self.cfg.read_timeout {
+                        expired.push(kv.clone());
+                    } else if ctx.now.saturating_sub(r.last_pull) >= self.cfg.retry {
+                        repull.push(kv.clone());
+                    }
+                }
+                for kv in expired {
+                    let r = self.pending_reads.remove(&kv).expect("present");
+                    self.finish(r.client, r.req_id, StoreResp::Unavailable, ctx);
+                }
+                for (key, version) in repull {
+                    if let Some(r) = self.pending_reads.get_mut(&(key.clone(), version)) {
+                        r.last_pull = ctx.now;
+                    }
+                    let peers = self.view.clone();
+                    ctx.broadcast(peers.iter(), RsMsg::ShardPull { key, version });
+                }
+            }
+            _ => {
+                if ctx.now >= self.election_deadline {
+                    self.start_election(ctx);
+                }
+            }
+        }
+    }
+
+    /// Message dispatch.
+    pub fn on_message(&mut self, from: NodeId, msg: RsMsg, ctx: &mut Context<RsMsg>) {
+        match msg {
+            RsMsg::Prepare { ballot, from_slot } => {
+                if ballot >= self.promised {
+                    self.promised = ballot;
+                    if ballot.node != self.me {
+                        if matches!(self.phase, Phase::Leading | Phase::Preparing { .. }) {
+                            self.step_down(ctx.now);
+                        }
+                        self.leader = None;
+                        self.reset_election_deadline(ctx.now);
+                    }
+                    ctx.send(
+                        from,
+                        RsMsg::Promise {
+                            ballot,
+                            accepted: self.accepted_tail(from_slot),
+                            chosen: self.chosen_tail_for(from_slot, from),
+                            commit_index: self.commit_index,
+                        },
+                    );
+                } else {
+                    ctx.send(
+                        from,
+                        RsMsg::Reject {
+                            promised: self.promised,
+                        },
+                    );
+                }
+            }
+            RsMsg::Promise {
+                ballot,
+                accepted,
+                chosen,
+                commit_index,
+            } => {
+                // Note: `chosen` entries are reshaped for *us* by the
+                // sender, so they are safe to adopt directly.
+                for e in chosen {
+                    self.note_chosen(e, ctx);
+                }
+                if ballot != self.ballot {
+                    return;
+                }
+                if let Phase::Preparing { promises } = &mut self.phase {
+                    promises.insert(from, (accepted, commit_index));
+                    self.try_become_leader(ctx);
+                }
+            }
+            RsMsg::Accept {
+                ballot,
+                slot,
+                value,
+            } => {
+                if ballot >= self.promised {
+                    self.promised = ballot;
+                    if ballot.node != self.me {
+                        if matches!(self.phase, Phase::Leading | Phase::Preparing { .. }) {
+                            self.step_down(ctx.now);
+                        }
+                        self.leader = Some(ballot.node);
+                        self.reset_election_deadline(ctx.now);
+                    }
+                    self.slots.entry(slot).or_default().accepted = Some((ballot, value));
+                    ctx.send(from, RsMsg::Accepted { ballot, slot });
+                } else {
+                    ctx.send(
+                        from,
+                        RsMsg::Reject {
+                            promised: self.promised,
+                        },
+                    );
+                }
+            }
+            RsMsg::Accepted { ballot, slot } => {
+                if ballot == self.ballot && matches!(self.phase, Phase::Leading) {
+                    if let Some(p) = self.proposals.get_mut(&slot) {
+                        p.acks.insert(from);
+                        self.maybe_choose(slot, ctx);
+                    }
+                }
+            }
+            RsMsg::Reject { promised } => {
+                if promised > self.promised {
+                    self.promised = promised;
+                }
+                if promised > self.ballot
+                    && matches!(self.phase, Phase::Leading | Phase::Preparing { .. })
+                {
+                    self.step_down(ctx.now);
+                }
+            }
+            RsMsg::Commit { entry } => self.note_chosen(entry, ctx),
+            RsMsg::Heartbeat {
+                ballot,
+                commit_index,
+            } => {
+                if ballot >= self.promised {
+                    self.promised = ballot;
+                    if ballot.node != self.me {
+                        if matches!(self.phase, Phase::Leading | Phase::Preparing { .. }) {
+                            self.step_down(ctx.now);
+                        }
+                        self.leader = Some(ballot.node);
+                    }
+                    self.reset_election_deadline(ctx.now);
+                    if commit_index > self.commit_index {
+                        ctx.send(
+                            ballot.node,
+                            RsMsg::CatchupRequest {
+                                from_slot: self.commit_index,
+                            },
+                        );
+                    }
+                }
+            }
+            RsMsg::CatchupRequest { from_slot } => {
+                let mut entries = self.chosen_tail_for(from_slot, from);
+                entries.truncate(512);
+                ctx.send(from, RsMsg::CatchupReply { entries });
+            }
+            RsMsg::CatchupReply { entries } => {
+                for e in entries {
+                    self.note_chosen(e, ctx);
+                }
+            }
+            RsMsg::ShardPull { key, version } => {
+                if let Some(entry) = self.store.get(&key) {
+                    if entry.version == version {
+                        if let Some(shard) = &entry.shard {
+                            ctx.send(
+                                from,
+                                RsMsg::ShardPush {
+                                    key,
+                                    version,
+                                    shard_idx: entry.shard_idx,
+                                    shard: shard.clone(),
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            RsMsg::ShardPush {
+                key,
+                version,
+                shard_idx,
+                shard,
+            } => {
+                if let Some(r) = self.pending_reads.get_mut(&(key, version)) {
+                    r.shards.entry(shard_idx).or_insert(shard);
+                    self.try_finish_read_queue(ctx);
+                }
+            }
+            RsMsg::Request {
+                client,
+                req_id,
+                cmd,
+            } => match self.phase {
+                Phase::Leading => self.propose_cmd(client, req_id, cmd, ctx),
+                _ => {
+                    if let Some(leader) = self.leader {
+                        if leader != self.me {
+                            ctx.send(
+                                leader,
+                                RsMsg::Request {
+                                    client,
+                                    req_id,
+                                    cmd,
+                                },
+                            );
+                        }
+                    }
+                }
+            },
+            RsMsg::Response { .. } => {}
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! End-to-end RS-Paxos storage tests: coded writes, quorum-gathered reads,
+//! failover with value recovery, and the θ(3,5) fault-tolerance envelope.
+
+use bytes::Bytes;
+use simnet::{NetworkConfig, SimTime};
+use storage::{RsCluster, RsConfig, StoreCmd, StoreResp};
+
+fn cluster(seed: u64) -> RsCluster {
+    RsCluster::new(5, RsConfig::default(), NetworkConfig::default(), seed)
+}
+
+fn object(tag: u8, len: usize) -> Bytes {
+    Bytes::from(
+        (0..len)
+            .map(|i| tag.wrapping_add(i as u8))
+            .collect::<Vec<u8>>(),
+    )
+}
+
+fn put(key: &str, obj: Bytes) -> StoreCmd {
+    StoreCmd::Put {
+        key: key.into(),
+        object: obj,
+    }
+}
+
+fn get(key: &str) -> StoreCmd {
+    StoreCmd::Get { key: key.into() }
+}
+
+#[test]
+fn put_then_get_round_trip() {
+    let mut c = cluster(1);
+    let client = c.add_client();
+    let obj = object(7, 300);
+    c.submit(client, put("alpha", obj.clone()));
+    assert!(c.run_until_drained(client, SimTime::from_secs(30)));
+    assert!(matches!(
+        c.last_response(client),
+        Some(StoreResp::Stored { .. })
+    ));
+    c.submit(client, get("alpha"));
+    assert!(c.run_until_drained(client, SimTime::from_secs(30)));
+    assert_eq!(
+        c.last_response(client),
+        Some(StoreResp::Value { object: Some(obj) })
+    );
+}
+
+#[test]
+fn get_of_missing_key() {
+    let mut c = cluster(2);
+    let client = c.add_client();
+    c.submit(client, get("ghost"));
+    assert!(c.run_until_drained(client, SimTime::from_secs(30)));
+    assert_eq!(
+        c.last_response(client),
+        Some(StoreResp::Value { object: None })
+    );
+}
+
+#[test]
+fn replicas_store_shards_not_full_copies() {
+    let mut c = cluster(3);
+    let client = c.add_client();
+    let obj = object(3, 3_000);
+    c.submit(client, put("big", obj.clone()));
+    assert!(c.run_until_drained(client, SimTime::from_secs(30)));
+    c.sim.run_until(c.sim.now() + SimTime::from_secs(5));
+    // Each replica holds ~len/3 (+ framing), nowhere near the full object.
+    let mut stored = 0usize;
+    for &s in c.servers() {
+        let store = c.replica(s).unwrap().store();
+        if let Some(e) = store.get("big") {
+            if let Some(shard) = &e.shard {
+                assert!(
+                    shard.len() < obj.len() / 2,
+                    "shard of {} bytes for a {} byte object",
+                    shard.len(),
+                    obj.len()
+                );
+                stored += 1;
+            }
+        }
+    }
+    assert!(stored >= 4, "only {stored} replicas hold a shard");
+}
+
+#[test]
+fn read_after_leader_failover_reconstructs_from_shards() {
+    let mut c = cluster(4);
+    let client = c.add_client();
+    let obj = object(9, 1_000);
+    c.submit(client, put("k", obj.clone()));
+    assert!(c.run_until_drained(client, SimTime::from_secs(30)));
+    // Kill the leader — the only node with the full object cached.
+    let leader = c.leader().expect("leader");
+    c.crash(leader);
+    // The new leader must gather 3 shards and reconstruct.
+    c.submit(client, get("k"));
+    assert!(c.run_until_drained(client, SimTime::from_secs(120)));
+    assert_eq!(
+        c.last_response(client),
+        Some(StoreResp::Value { object: Some(obj) })
+    );
+}
+
+#[test]
+fn tolerates_exactly_one_failure() {
+    // θ(3,5) ⇒ quorum 4 ⇒ one failure tolerated, two block progress
+    // (the availability asymmetry against the lock service, §5.1.2).
+    let mut c = cluster(5);
+    let client = c.add_client();
+    c.submit(client, put("a", object(1, 64)));
+    assert!(c.run_until_drained(client, SimTime::from_secs(30)));
+
+    let s = c.servers().to_vec();
+    let leader = c.leader().unwrap();
+    let victim = s.iter().copied().find(|&x| x != leader).unwrap();
+    c.crash(victim);
+    c.submit(client, put("b", object(2, 64)));
+    assert!(
+        c.run_until_drained(client, SimTime::from_secs(120)),
+        "4 of 5 must make progress"
+    );
+
+    let victim2 = s
+        .iter()
+        .copied()
+        .find(|&x| x != victim && Some(x) != c.leader())
+        .unwrap();
+    c.crash(victim2);
+    c.submit(client, put("c", object(3, 64)));
+    assert!(
+        !c.run_until_drained(client, SimTime::from_secs(45)),
+        "3 of 5 is below the RS-Paxos quorum of 4"
+    );
+}
+
+#[test]
+fn restarted_replica_relearns_its_shards() {
+    let mut c = cluster(6);
+    let client = c.add_client();
+    let obj = object(5, 500);
+    c.submit(client, put("k1", obj.clone()));
+    assert!(c.run_until_drained(client, SimTime::from_secs(30)));
+    let victim = c
+        .servers()
+        .iter()
+        .copied()
+        .find(|&x| Some(x) != c.leader())
+        .unwrap();
+    c.crash(victim);
+    c.submit(client, put("k2", object(6, 500)));
+    assert!(c.run_until_drained(client, SimTime::from_secs(60)));
+    c.restart(victim);
+    c.sim.run_until(c.sim.now() + SimTime::from_secs(30));
+    let r = c.replica(victim).unwrap();
+    assert!(r.commit_index() >= 2, "caught up: {}", r.commit_index());
+    // It re-learned the keys; bytes may be absent for pre-crash entries
+    // the leader could re-encode (it has the objects cached), so both keys
+    // should actually carry shards here.
+    assert!(r.store().get("k2").is_some());
+}
+
+#[test]
+fn delete_removes_and_get_sees_absence() {
+    let mut c = cluster(7);
+    let client = c.add_client();
+    c.submit(client, put("d", object(1, 100)));
+    assert!(c.run_until_drained(client, SimTime::from_secs(30)));
+    c.submit(client, StoreCmd::Delete { key: "d".into() });
+    assert!(c.run_until_drained(client, SimTime::from_secs(30)));
+    assert_eq!(c.last_response(client), Some(StoreResp::Deleted));
+    c.submit(client, get("d"));
+    assert!(c.run_until_drained(client, SimTime::from_secs(30)));
+    assert_eq!(
+        c.last_response(client),
+        Some(StoreResp::Value { object: None })
+    );
+}
+
+#[test]
+fn overwrites_return_latest_version() {
+    let mut c = cluster(8);
+    let client = c.add_client();
+    let v1 = object(1, 200);
+    let v2 = object(2, 350);
+    c.submit(client, put("k", v1));
+    assert!(c.run_until_drained(client, SimTime::from_secs(30)));
+    c.submit(client, put("k", v2.clone()));
+    assert!(c.run_until_drained(client, SimTime::from_secs(30)));
+    c.submit(client, get("k"));
+    assert!(c.run_until_drained(client, SimTime::from_secs(30)));
+    assert_eq!(
+        c.last_response(client),
+        Some(StoreResp::Value { object: Some(v2) })
+    );
+}
+
+#[test]
+fn lossy_network_still_converges() {
+    let mut c = RsCluster::new(
+        5,
+        RsConfig::default(),
+        NetworkConfig {
+            min_latency: SimTime::from_millis(10),
+            max_latency: SimTime::from_millis(150),
+            drop_probability: 0.02,
+        },
+        9,
+    );
+    let client = c.add_client();
+    for i in 0..5u8 {
+        let obj = object(i, 128);
+        c.submit(client, put(&format!("k{i}"), obj.clone()));
+        assert!(
+            c.run_until_drained(client, SimTime::from_secs(300)),
+            "put {i}"
+        );
+        c.submit(client, get(&format!("k{i}")));
+        assert!(
+            c.run_until_drained(client, SimTime::from_secs(300)),
+            "get {i}"
+        );
+        assert_eq!(
+            c.last_response(client),
+            Some(StoreResp::Value { object: Some(obj) }),
+            "round {i}"
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Explore the synthetic spot market: per-zone price statistics, a
+//! Fig. 1-style price history, and the semi-Markov kernel the failure
+//! model learns from it.
+//!
+//! ```text
+//! cargo run --release --example price_explorer [seed]
+//! ```
+
+use spot_jupiter::spot_market::{InstanceType, Market, MarketConfig};
+use spot_jupiter::spot_model::SemiMarkovKernel;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2014);
+    let weeks = 8;
+    let market = Market::generate(MarketConfig::paper(seed, weeks * 7 * 24 * 60));
+    let ty = InstanceType::M1Small;
+
+    println!(
+        "== per-zone price statistics ({weeks} weeks, {}) ==",
+        ty.api_name()
+    );
+    println!(
+        "{:<18} {:>10} {:>10} {:>10} {:>10} {:>9} {:>8}",
+        "zone", "mean", "min", "max", "on-demand", "chg/hour", "spikes"
+    );
+    for &zone in market.zones() {
+        let t = market.trace(zone, ty);
+        let od = ty.on_demand_price(zone.region);
+        let min = t.segments().map(|s| s.price).min().expect("segments");
+        let max = t.segments().map(|s| s.price).max().expect("segments");
+        let spikes = t.segments().filter(|s| s.price > od).count();
+        println!(
+            "{:<18} {:>10} {:>10} {:>10} {:>10} {:>9.2} {:>8}",
+            zone.name(),
+            t.mean_price(),
+            min,
+            max,
+            od,
+            t.changes_per_hour(),
+            spikes
+        );
+    }
+
+    // A two-hour window, Fig. 1 style.
+    let zone = market.zones()[0];
+    let t = market.trace(zone, ty);
+    println!("\n== two hours of {} (Fig. 1 style) ==", zone.name());
+    let mut last = None;
+    for minute in 0..120 {
+        let p = t.price_at(minute);
+        if last != Some(p) {
+            println!("  minute {minute:>3}: {p}");
+            last = Some(p);
+        }
+    }
+
+    // The estimated semi-Markov kernel for that zone.
+    let kernel = SemiMarkovKernel::from_trace(t);
+    println!("\n== estimated semi-Markov kernel for {} ==", zone.name());
+    println!(
+        "states: {}   completed transitions: {}",
+        kernel.n_states(),
+        kernel.total_transitions()
+    );
+    println!(
+        "{:>10} {:>14} {:>12}",
+        "price", "mean sojourn", "hazard@1min"
+    );
+    for (i, price) in kernel.prices().iter().enumerate() {
+        println!(
+            "{:>10} {:>14.1} {:>12.4}",
+            price,
+            kernel.mean_sojourn(i as u16),
+            kernel.hazard(i as u16, 1)
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! A miniature of Figures 6/7: replay the lock service over the market
+//! under Jupiter and the Extra heuristics, and print the cost/availability
+//! trade-off that is the paper's core result.
+//!
+//! ```text
+//! cargo run --release --example strategy_comparison
+//! ```
+
+use spot_jupiter::jupiter::{BiddingStrategy, ExtraStrategy, JupiterStrategy, ServiceSpec};
+use spot_jupiter::replay::lifecycle::{on_demand_baseline_cost, replay_strategy};
+use spot_jupiter::replay::ReplayConfig;
+use spot_jupiter::spot_market::{InstanceType, Market, MarketConfig};
+
+fn main() {
+    // 4 training weeks + 2 evaluation weeks, 12 zones.
+    let train = 4 * 7 * 24 * 60;
+    let eval = 2 * 7 * 24 * 60;
+    let mut cfg = MarketConfig::paper(2015, train + eval);
+    cfg.zones.truncate(12);
+    cfg.types = vec![InstanceType::M1Small];
+    let market = Market::generate(cfg);
+    let spec = ServiceSpec::lock_service();
+    let config = ReplayConfig::new(train, train + eval, 6);
+
+    let strategies: Vec<Box<dyn BiddingStrategy>> = vec![
+        Box::new(JupiterStrategy::new()),
+        Box::new(ExtraStrategy::new(0, 0.2)),
+        Box::new(ExtraStrategy::new(2, 0.2)),
+    ];
+
+    println!(
+        "lock service, 2 evaluated weeks, 6 h bidding interval, {} zones\n",
+        market.zones().len()
+    );
+    println!(
+        "{:<14} {:>10} {:>13} {:>16} {:>7}",
+        "strategy", "cost ($)", "availability", "downtime (min)", "kills"
+    );
+    for strategy in strategies {
+        let r = replay_strategy(&market, &spec, strategy, config);
+        println!(
+            "{:<14} {:>10.2} {:>13.6} {:>16} {:>7}",
+            r.strategy,
+            r.total_cost.as_dollars(),
+            r.availability(),
+            r.downtime_minutes(),
+            r.total_kills()
+        );
+    }
+    let baseline = on_demand_baseline_cost(&market, &spec, config);
+    println!(
+        "{:<14} {:>10.2} {:>13.6} {:>16} {:>7}",
+        "Baseline",
+        baseline.as_dollars(),
+        spec.baseline_availability(),
+        "-",
+        0
+    );
+    println!(
+        "\nThe paper's claim, in miniature: only the failure-model-driven\n\
+         bids hold the availability level, and they do so at a fraction of\n\
+         the on-demand cost. Extra(0,p) is cheap but fails; Extra(2,p)\n\
+         buys availability with two more instances and still falls short."
+    );
+}

@@ -1,0 +1,139 @@
+//! Integration tests crossing the market/protocol boundary: the live
+//! Paxos lock service and RS-Paxos store driven by market-derived fault
+//! schedules.
+
+use bytes::Bytes;
+use spot_jupiter::jupiter::JupiterStrategy;
+use spot_jupiter::paxos::{ClientOp, Cluster, LockCmd, LockService, ReplicaConfig};
+use spot_jupiter::replay::service_level::{lock_service_replay, ServiceReplayConfig};
+use spot_jupiter::simnet::{NetworkConfig, SimTime};
+use spot_jupiter::spot_market::{InstanceType, Market, MarketConfig};
+use spot_jupiter::storage::{RsCluster, RsConfig, StoreCmd, StoreResp};
+
+#[test]
+fn service_level_replay_meets_sla() {
+    let train = 2 * 7 * 24 * 60;
+    let mut cfg = MarketConfig::paper(55, train + 3 * 60 + 30);
+    cfg.zones.truncate(8);
+    cfg.types = vec![InstanceType::M1Small];
+    let market = Market::generate(cfg);
+    let out = lock_service_replay(
+        &market,
+        JupiterStrategy::new(),
+        ServiceReplayConfig {
+            eval_start: train,
+            window_minutes: 3 * 60,
+            interval_hours: 1,
+            sla_ms: 5_000,
+            seed: 4,
+        },
+    );
+    assert!(out.ops_completed > 30, "completed {}", out.ops_completed);
+    assert_eq!(out.ops_unfinished, 0);
+    assert!(out.sla_fraction > 0.9, "sla {}", out.sla_fraction);
+    assert!(out.agreed_log_len >= out.ops_completed);
+}
+
+#[test]
+fn lock_service_rolling_replacement_is_seamless() {
+    // Replace every replica of a 5-node group one by one (the worst-case
+    // outcome of five consecutive bidding intervals) while a client works.
+    let mut c: Cluster<LockService> = Cluster::new(
+        5,
+        LockService::new(),
+        ReplicaConfig::default(),
+        NetworkConfig::default(),
+        8,
+    );
+    let client = c.add_client();
+    c.submit(
+        client,
+        ClientOp::App(LockCmd::Acquire {
+            name: "root".into(),
+            owner: client,
+        }),
+    );
+    assert!(c.run_until_drained(client, SimTime::from_secs(30)));
+
+    for round in 0..5 {
+        let outgoing = c
+            .current_view()
+            .expect("view")
+            .into_iter()
+            .min()
+            .expect("non-empty view");
+        let newcomer = c.spawn_server(LockService::new());
+        c.submit(
+            client,
+            ClientOp::Reconfig {
+                add: vec![newcomer],
+                remove: vec![outgoing],
+            },
+        );
+        assert!(
+            c.run_until_drained(client, c.sim.now() + SimTime::from_secs(120)),
+            "round {round} reconfig"
+        );
+        c.refresh_clients();
+        c.crash(outgoing);
+        // The service keeps answering after each swap.
+        c.submit(
+            client,
+            ClientOp::App(LockCmd::Acquire {
+                name: format!("l{round}"),
+                owner: client,
+            }),
+        );
+        assert!(
+            c.run_until_drained(client, c.sim.now() + SimTime::from_secs(120)),
+            "round {round} op"
+        );
+    }
+    // Nothing of the original membership remains.
+    let view = c.current_view().expect("view");
+    assert_eq!(view.len(), 5);
+    assert!(view.iter().all(|n| n.0 >= 5), "fully rotated: {view:?}");
+    c.assert_log_agreement();
+}
+
+#[test]
+fn storage_service_handles_churn_with_quorum_margin() {
+    // Kill and restart replicas one at a time (never two concurrently —
+    // θ(3,5) tolerates exactly one) across several rounds of writes.
+    let mut c = RsCluster::new(5, RsConfig::default(), NetworkConfig::default(), 17);
+    let client = c.add_client();
+    for round in 0..4u8 {
+        let obj = Bytes::from(vec![round; 400]);
+        c.submit(
+            client,
+            StoreCmd::Put {
+                key: format!("k{round}"),
+                object: obj,
+            },
+        );
+        assert!(
+            c.run_until_drained(client, c.sim.now() + SimTime::from_secs(120)),
+            "round {round} put"
+        );
+        let victim = c.servers()[round as usize % 5];
+        c.crash(victim);
+        c.submit(
+            client,
+            StoreCmd::Get {
+                key: format!("k{round}"),
+            },
+        );
+        assert!(
+            c.run_until_drained(client, c.sim.now() + SimTime::from_secs(180)),
+            "round {round} get under failure"
+        );
+        match c.last_response(client) {
+            Some(StoreResp::Value { object: Some(got) }) => {
+                assert_eq!(got, Bytes::from(vec![round; 400]), "round {round}");
+            }
+            other => panic!("round {round}: {other:?}"),
+        }
+        c.restart(victim);
+        c.sim.run_until(c.sim.now() + SimTime::from_secs(20));
+    }
+}
