@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Local CI gate: build, test, lint. Run before every push.
+#
+# The build environment is offline — all external dependencies resolve to
+# the vendored shims under vendor/ (see vendor/README.md).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo build --release =="
+cargo build --release --offline --workspace
+
+echo "== cargo test =="
+cargo test -q --offline --workspace
+
+echo "== cargo clippy -D warnings =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "CI OK"

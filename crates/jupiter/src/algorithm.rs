@@ -18,6 +18,7 @@
 //! node count), and in parallel across zones with rayon — the dominant
 //! cost is the semi-Markov forward evolution per zone.
 
+use obs::Obs;
 use rayon::prelude::*;
 use spot_market::{Price, Zone};
 
@@ -46,6 +47,8 @@ pub struct JupiterStrategy {
     pub max_nodes: Option<usize>,
     /// The failure estimator variant.
     pub estimator: Estimator,
+    /// Observability sink (disabled by default; see [`Self::with_obs`]).
+    pub obs: Obs,
 }
 
 impl JupiterStrategy {
@@ -60,7 +63,14 @@ impl JupiterStrategy {
         JupiterStrategy {
             max_nodes: None,
             estimator: Estimator::Absorbing,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Record decision metrics (`jupiter.*` instruments) into `obs`.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 }
 
@@ -81,6 +91,23 @@ impl BiddingStrategy for JupiterStrategy {
         if zones.is_empty() {
             return BidDecision::empty();
         }
+        let decide_micros = self.obs.histogram("jupiter.decide_micros");
+        decide_micros.time(|| self.decide_inner(zones, spec, horizon_minutes))
+    }
+}
+
+impl JupiterStrategy {
+    fn decide_inner(
+        &self,
+        zones: &[ZoneState<'_>],
+        spec: &ServiceSpec,
+        horizon_minutes: u32,
+    ) -> BidDecision {
+        let forecast_micros = self.obs.histogram("jupiter.forecast_micros");
+        let forecasts_computed = self.obs.counter("jupiter.forecasts_computed");
+        let fp_cache_hits = self.obs.counter("jupiter.fp_cache_hits");
+        let fp_cache_misses = self.obs.counter("jupiter.fp_cache_misses");
+        let forward_micros = self.obs.histogram("jupiter.forward_evolution_micros");
         // One forecast per zone, shared by every node-count candidate
         // (expectation estimator). For the absorbing estimator every
         // probed level costs a full forward evolution, so probes are
@@ -89,7 +116,13 @@ impl BiddingStrategy for JupiterStrategy {
         let forecasts: Vec<_> = match self.estimator {
             Estimator::Expectation => zones
                 .par_iter()
-                .map(|z| z.forecast(horizon_minutes))
+                .map(|z| {
+                    let f = forecast_micros.time(|| z.forecast(horizon_minutes));
+                    if f.is_some() {
+                        forecasts_computed.inc();
+                    }
+                    f
+                })
                 .collect(),
             Estimator::Absorbing => vec![None; zones.len()],
         };
@@ -97,12 +130,15 @@ impl BiddingStrategy for JupiterStrategy {
             zones.iter().map(|_| Default::default()).collect();
         let absorbing_fp = |zi: usize, bid: Price| -> f64 {
             if let Some(&fp) = absorbing_cache[zi].lock().expect("poisoned").get(&bid) {
+                fp_cache_hits.inc();
                 return fp;
             }
+            fp_cache_misses.inc();
             let z = &zones[zi];
-            let fp =
+            let fp = forward_micros.time(|| {
                 z.model
-                    .estimate_fp_absorbing(bid, z.spot_price, z.sojourn_age, horizon_minutes);
+                    .estimate_fp_absorbing(bid, z.spot_price, z.sojourn_age, horizon_minutes)
+            });
             absorbing_cache[zi]
                 .lock()
                 .expect("poisoned")
@@ -135,12 +171,15 @@ impl BiddingStrategy for JupiterStrategy {
                 .filter(|&b| absorbing_fp(zi, b) <= target)
         };
 
+        let candidates_evaluated = self.obs.counter("jupiter.candidates_evaluated");
+        let candidates_feasible = self.obs.counter("jupiter.candidates_feasible");
         let max_n = self.max_nodes.unwrap_or(zones.len()).min(zones.len());
         let mut best: Option<(Price, BidDecision)> = None;
         for n in 1..=max_n {
             let Some(fp_target) = spec.node_fp_target(n) else {
                 continue;
             };
+            candidates_evaluated.inc();
             // Minimal feasible bid per zone at this target.
             let mut bids: Vec<(Zone, Price)> = match self.estimator {
                 Estimator::Expectation => zones
@@ -159,6 +198,7 @@ impl BiddingStrategy for JupiterStrategy {
             if bids.len() < n {
                 continue; // not enough zones can meet the target
             }
+            candidates_feasible.inc();
             // Greedy: cheapest n zones.
             bids.sort_by_key(|(z, b)| (*b, z.ordinal()));
             bids.truncate(n);
@@ -324,6 +364,49 @@ mod tests {
                 assert!(*b_abs >= b_exp, "{}: {b_abs:?} < {b_exp:?}", z.name());
             }
         }
+    }
+
+    #[test]
+    fn observability_counts_candidates_and_cache() {
+        let models: Vec<FailureModel> = (0..6).map(|_| model(0.008, 0.012, 60)).collect();
+        let states: Vec<ZoneState> = models
+            .iter()
+            .enumerate()
+            .map(|(i, m)| ZoneState {
+                zone: zone(i),
+                spot_price: p(0.008),
+                sojourn_age: 5,
+                on_demand: p(0.044),
+                model: m,
+            })
+            .collect();
+        let spec = ServiceSpec::lock_service();
+
+        let (o, _clock) = Obs::simulated();
+        let d = JupiterStrategy::new()
+            .with_obs(o.clone())
+            .decide(&states, &spec, 240);
+        assert!(d.n() > 0);
+        let snap = o.metrics.snapshot();
+        assert!(snap.counter("jupiter.candidates_evaluated").unwrap_or(0) >= 1);
+        assert_eq!(snap.counter("jupiter.forecasts_computed"), Some(6));
+        assert!(snap.histogram("jupiter.decide_micros").unwrap().count >= 1);
+        assert!(snap.histogram("jupiter.forecast_micros").unwrap().count >= 6);
+
+        let (o2, _clock) = Obs::simulated();
+        let d2 = JupiterStrategy::absorbing()
+            .with_obs(o2.clone())
+            .decide(&states, &spec, 240);
+        assert!(d2.n() > 0);
+        let snap2 = o2.metrics.snapshot();
+        let misses = snap2.counter("jupiter.fp_cache_misses").unwrap_or(0);
+        let hits = snap2.counter("jupiter.fp_cache_hits").unwrap_or(0);
+        assert!(misses >= 1, "absorbing probes must miss at least once");
+        assert!(hits >= 1, "ladder levels are revisited across node counts");
+        assert_eq!(
+            snap2.histogram("jupiter.forward_evolution_micros").unwrap().count,
+            misses
+        );
     }
 
     #[test]

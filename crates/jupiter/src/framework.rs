@@ -3,6 +3,7 @@
 
 use std::collections::HashMap;
 
+use obs::Obs;
 use rayon::prelude::*;
 use spot_market::{InstanceType, Price, PriceTrace, Zone};
 use spot_model::{FailureModel, FailureModelConfig};
@@ -30,6 +31,7 @@ pub struct BiddingFramework<S: BiddingStrategy> {
     strategy: S,
     models: HashMap<Zone, FailureModel>,
     model_config: FailureModelConfig,
+    obs: Obs,
 }
 
 impl<S: BiddingStrategy> BiddingFramework<S> {
@@ -44,7 +46,16 @@ impl<S: BiddingStrategy> BiddingFramework<S> {
             strategy,
             models: HashMap::new(),
             model_config,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Record framework metrics (`jupiter.kernel_fit_micros`,
+    /// `jupiter.zones_trained`, `jupiter.untrained_zones_skipped`) into
+    /// `obs`.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The service spec.
@@ -60,10 +71,12 @@ impl<S: BiddingStrategy> BiddingFramework<S> {
     /// Feed spot-price history for a zone into its failure model
     /// (training and continuous online refinement both go through here).
     pub fn observe(&mut self, zone: Zone, trace: &PriceTrace) {
-        self.models
+        let fit_micros = self.obs.histogram("jupiter.kernel_fit_micros");
+        let model = self
+            .models
             .entry(zone)
-            .or_insert_with(|| FailureModel::new(self.model_config))
-            .observe(trace);
+            .or_insert_with(|| FailureModel::new(self.model_config));
+        fit_micros.time(|| model.observe(trace));
     }
 
     /// Train all zones from a common history source in parallel.
@@ -72,11 +85,17 @@ impl<S: BiddingStrategy> BiddingFramework<S> {
         I: IntoIterator<Item = (Zone, &'a PriceTrace)>,
     {
         let cfg = self.model_config;
+        let fit_micros = self.obs.histogram("jupiter.kernel_fit_micros");
+        let zones_trained = self.obs.counter("jupiter.zones_trained");
         let items: Vec<(Zone, &PriceTrace)> = histories.into_iter().collect();
         let trained: Vec<(Zone, FailureModel)> = items
             .into_par_iter()
-            .map(|(zone, trace)| (zone, FailureModel::from_trace(trace, cfg)))
+            .map(|(zone, trace)| {
+                let model = fit_micros.time(|| FailureModel::from_trace(trace, cfg));
+                (zone, model)
+            })
             .collect();
+        zones_trained.add(trained.len() as u64);
         for (zone, model) in trained {
             // Merge with any existing model by re-inserting (fresh batch
             // training replaces; use `observe` for incremental updates).
@@ -105,6 +124,9 @@ impl<S: BiddingStrategy> BiddingFramework<S> {
                 })
             })
             .collect();
+        self.obs
+            .counter("jupiter.untrained_zones_skipped")
+            .add((snapshots.len() - states.len()) as u64);
         self.strategy.decide(&states, &self.spec, horizon_minutes)
     }
 }

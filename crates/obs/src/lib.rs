@@ -1,0 +1,125 @@
+//! Workspace-wide observability: cheap atomic metrics and structured
+//! event tracing, designed for the simulation-heavy crates in this tree.
+//!
+//! Two deliberate properties shape the design:
+//!
+//! * **Disabled is free.** Every handle ([`Registry`], [`Counter`],
+//!   [`Tracer`], …) has a disabled form whose operations are a `None`
+//!   check and nothing else, so instrumented hot paths (Paxos message
+//!   handling, trace replay) cost nothing when observability is off —
+//!   which is the default everywhere.
+//! * **Time is pluggable.** Tracing timestamps come from a [`Clock`],
+//!   so events can carry *simulated* time (via [`ManualClock`], driven
+//!   from `simnet`/replay minutes) or wall time ([`WallClock`])
+//!   interchangeably.
+//!
+//! The crate has zero dependencies; JSON export is hand-rolled.
+
+mod clock;
+mod json;
+mod metrics;
+mod trace;
+
+pub use clock::{Clock, ManualClock, WallClock};
+pub use metrics::{
+    bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSummary,
+    MetricsSnapshot, Registry, HISTOGRAM_BUCKETS,
+};
+pub use trace::{event_to_json, Event, EventKind, FieldValue, Span, SpanHandle, Tracer};
+
+use std::sync::Arc;
+
+/// A bundled observability handle: a metrics [`Registry`] plus an event
+/// [`Tracer`] sharing one clock. This is the single field instrumented
+/// subsystems carry in their configs; cloning is cheap (two `Arc`s).
+#[derive(Clone)]
+pub struct Obs {
+    /// Counters, gauges, and histograms.
+    pub metrics: Registry,
+    /// Structured events and spans.
+    pub trace: Tracer,
+}
+
+impl Obs {
+    /// Disabled metrics and tracing; all operations are no-ops.
+    pub fn disabled() -> Obs {
+        Obs {
+            metrics: Registry::disabled(),
+            trace: Tracer::disabled(),
+        }
+    }
+
+    /// Enabled, timestamping from the wall clock.
+    pub fn wall() -> Obs {
+        Obs::with_clock(Arc::new(WallClock::new()))
+    }
+
+    /// Enabled, timestamping from a caller-driven virtual clock.
+    /// Returns the handle and the clock to advance.
+    pub fn simulated() -> (Obs, Arc<ManualClock>) {
+        let clock = Arc::new(ManualClock::new());
+        (Obs::with_clock(clock.clone()), clock)
+    }
+
+    /// Enabled, timestamping trace events from `clock`.
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Obs {
+        Obs {
+            metrics: Registry::new(),
+            trace: Tracer::new(clock, Tracer::DEFAULT_CAPACITY),
+        }
+    }
+
+    /// Whether any instrumentation is live.
+    pub fn is_enabled(&self) -> bool {
+        self.metrics.is_enabled() || self.trace.is_enabled()
+    }
+
+    /// Drive the tracer's clock, when it is a [`ManualClock`] (no-op on
+    /// wall clocks and disabled handles). Instrumented simulations call
+    /// this as their virtual time advances.
+    pub fn set_time_micros(&self, micros: u64) {
+        self.trace.set_time_micros(micros);
+    }
+
+    /// Counter handle from the bundled registry.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.metrics.counter(name)
+    }
+
+    /// Gauge handle from the bundled registry.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.metrics.gauge(name)
+    }
+
+    /// Histogram handle from the bundled registry.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.metrics.histogram(name)
+    }
+
+    /// The full state as one JSON document:
+    /// `{"metrics": ..., "trace": ...}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"metrics\":");
+        out.push_str(&self.metrics.snapshot().to_json());
+        out.push_str(",\"trace\":");
+        out.push_str(&self.trace.to_json());
+        out.push('}');
+        out
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Obs {
+        Obs::disabled()
+    }
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("metrics", &self.metrics)
+            .field("trace", &self.trace)
+            .finish()
+    }
+}

@@ -1,0 +1,443 @@
+//! Structured event tracing over a pluggable clock.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::clock::Clock;
+use crate::json;
+
+/// What an [`Event`] marks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A point-in-time occurrence.
+    Instant,
+    /// The opening edge of a [`Span`].
+    SpanStart,
+    /// The closing edge of a [`Span`]; carries `duration_micros`.
+    SpanEnd,
+}
+
+impl EventKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Instant => "instant",
+            EventKind::SpanStart => "span_start",
+            EventKind::SpanEnd => "span_end",
+        }
+    }
+}
+
+/// A typed field value attached to an event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Text.
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> FieldValue {
+        FieldValue::U64(v)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> FieldValue {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> FieldValue {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> FieldValue {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> FieldValue {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> FieldValue {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> FieldValue {
+        FieldValue::Str(v.to_owned())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> FieldValue {
+        FieldValue::Str(v)
+    }
+}
+
+/// One recorded trace event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Timestamp from the tracer's [`Clock`], in microseconds.
+    pub at_micros: u64,
+    /// Event name (dotted-path convention, e.g. `replay.interval`).
+    pub name: String,
+    /// Point event or span edge.
+    pub kind: EventKind,
+    /// Span id tying a start to its end, for span edges.
+    pub span_id: Option<u64>,
+    /// Attached key/value fields.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+struct TracerInner {
+    clock: Arc<dyn Clock>,
+    /// Bounded ring buffer of the most recent events.
+    events: Mutex<VecDeque<Event>>,
+    capacity: usize,
+    dropped: AtomicU64,
+    next_span_id: AtomicU64,
+}
+
+/// Records [`Event`]s into a bounded ring buffer, timestamping from a
+/// [`Clock`]. Cloning shares the buffer; disabled tracers record
+/// nothing and never read the clock.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl Tracer {
+    /// Default ring-buffer capacity (events kept before the oldest are
+    /// dropped and counted in [`Tracer::dropped`]).
+    pub const DEFAULT_CAPACITY: usize = 16_384;
+
+    /// An enabled tracer timestamping from `clock`, keeping at most
+    /// `capacity` events.
+    pub fn new(clock: Arc<dyn Clock>, capacity: usize) -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(TracerInner {
+                clock,
+                events: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+                capacity: capacity.max(1),
+                dropped: AtomicU64::new(0),
+                next_span_id: AtomicU64::new(1),
+            })),
+        }
+    }
+
+    /// A tracer that records nothing.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// Whether events are recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Current clock reading (0 when disabled).
+    pub fn now_micros(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.clock.now_micros())
+    }
+
+    /// Drive the clock forward, when it is settable (see
+    /// [`Clock::set_micros`]).
+    pub fn set_time_micros(&self, micros: u64) {
+        if let Some(inner) = &self.inner {
+            inner.clock.set_micros(micros);
+        }
+    }
+
+    /// Record a point event with `fields`.
+    pub fn event(&self, name: &str, fields: &[(&str, FieldValue)]) {
+        let Some(inner) = &self.inner else { return };
+        inner.push(Event {
+            at_micros: inner.clock.now_micros(),
+            name: name.to_owned(),
+            kind: EventKind::Instant,
+            span_id: None,
+            fields: owned_fields(fields),
+        });
+    }
+
+    /// Open a span: records the start edge now and the end edge (with
+    /// duration) when the returned guard drops or [`Span::end`] runs.
+    pub fn span(&self, name: &str, fields: &[(&str, FieldValue)]) -> Span {
+        let Some(inner) = &self.inner else {
+            return Span {
+                tracer: Tracer::disabled(),
+                id: 0,
+                name: String::new(),
+                start_micros: 0,
+                finished: true,
+            };
+        };
+        let id = inner.next_span_id.fetch_add(1, Ordering::Relaxed);
+        let start_micros = inner.clock.now_micros();
+        inner.push(Event {
+            at_micros: start_micros,
+            name: name.to_owned(),
+            kind: EventKind::SpanStart,
+            span_id: Some(id),
+            fields: owned_fields(fields),
+        });
+        Span {
+            tracer: self.clone(),
+            id,
+            name: name.to_owned(),
+            start_micros,
+            finished: false,
+        }
+    }
+
+    /// Open a span without a guard: records the start edge and returns
+    /// a [`SpanHandle`] (`Copy`, storable in `Clone`/`Debug` state
+    /// machines) to pass to [`Tracer::span_close`] later. Returns the
+    /// inert handle when disabled.
+    pub fn span_open(&self, name: &str, fields: &[(&str, FieldValue)]) -> SpanHandle {
+        let Some(inner) = &self.inner else {
+            return SpanHandle::inert();
+        };
+        let id = inner.next_span_id.fetch_add(1, Ordering::Relaxed);
+        let start_micros = inner.clock.now_micros();
+        inner.push(Event {
+            at_micros: start_micros,
+            name: name.to_owned(),
+            kind: EventKind::SpanStart,
+            span_id: Some(id),
+            fields: owned_fields(fields),
+        });
+        SpanHandle {
+            id,
+            start_micros,
+        }
+    }
+
+    /// Close a span opened with [`Tracer::span_open`], recording the
+    /// end edge with `duration_micros` plus `fields`. No-op for inert
+    /// handles; closing the same handle twice records two end edges, so
+    /// callers should take the handle out of their state when closing.
+    pub fn span_close(&self, handle: SpanHandle, name: &str, fields: &[(&str, FieldValue)]) {
+        let Some(inner) = &self.inner else { return };
+        if handle.id == 0 {
+            return;
+        }
+        let now = inner.clock.now_micros();
+        let mut all = owned_fields(fields);
+        all.push((
+            "duration_micros".to_owned(),
+            FieldValue::U64(now.saturating_sub(handle.start_micros)),
+        ));
+        inner.push(Event {
+            at_micros: now,
+            name: name.to_owned(),
+            kind: EventKind::SpanEnd,
+            span_id: Some(handle.id),
+            fields: all,
+        });
+    }
+
+    /// Number of events evicted from the ring buffer so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.dropped.load(Ordering::Relaxed))
+    }
+
+    /// Copy of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.as_ref().map_or_else(Vec::new, |i| {
+            i.events.lock().unwrap().iter().cloned().collect()
+        })
+    }
+
+    /// The trace as one JSON object:
+    /// `{"dropped": n, "events": [...]}`; each event is also valid as a
+    /// standalone JSON-lines record via [`event_to_json`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{{\"dropped\":{},\"events\":[", self.dropped()));
+        for (i, event) in self.events().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&event_to_json(event));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The buffered events as JSON lines (one event object per line).
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for event in self.events() {
+            out.push_str(&event_to_json(&event));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::disabled()
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(inner) => f
+                .debug_struct("Tracer")
+                .field("events", &inner.events.lock().unwrap().len())
+                .field("capacity", &inner.capacity)
+                .field("dropped", &inner.dropped.load(Ordering::Relaxed))
+                .finish(),
+            None => f.write_str("Tracer(disabled)"),
+        }
+    }
+}
+
+impl TracerInner {
+    fn push(&self, event: Event) {
+        let mut events = self.events.lock().unwrap();
+        if events.len() >= self.capacity {
+            events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        events.push_back(event);
+    }
+}
+
+fn owned_fields(fields: &[(&str, FieldValue)]) -> Vec<(String, FieldValue)> {
+    fields
+        .iter()
+        .map(|(k, v)| ((*k).to_owned(), v.clone()))
+        .collect()
+}
+
+/// One event as a JSON object (used for both the array export and
+/// JSON-lines output).
+pub fn event_to_json(event: &Event) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"at_micros\":{},\"name\":",
+        event.at_micros
+    ));
+    json::push_str_lit(&mut out, &event.name);
+    out.push_str(&format!(",\"kind\":\"{}\"", event.kind.as_str()));
+    if let Some(id) = event.span_id {
+        out.push_str(&format!(",\"span_id\":{id}"));
+    }
+    if !event.fields.is_empty() {
+        out.push_str(",\"fields\":{");
+        for (i, (key, value)) in event.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_str_lit(&mut out, key);
+            out.push(':');
+            match value {
+                FieldValue::U64(v) => out.push_str(&v.to_string()),
+                FieldValue::I64(v) => out.push_str(&v.to_string()),
+                FieldValue::F64(v) => json::push_f64(&mut out, *v),
+                FieldValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+                FieldValue::Str(v) => json::push_str_lit(&mut out, v),
+            }
+        }
+        out.push('}');
+    }
+    out.push('}');
+    out
+}
+
+/// A guard-free open span: just the span id and start timestamp, so it
+/// is `Copy` and can live inside `Clone`/`Debug` state (e.g. a Paxos
+/// replica's in-flight proposals). Obtained from [`Tracer::span_open`],
+/// closed with [`Tracer::span_close`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanHandle {
+    /// Span id tying the edges together; 0 means inert.
+    pub id: u64,
+    /// Clock reading at the start edge.
+    pub start_micros: u64,
+}
+
+impl SpanHandle {
+    /// The no-op handle (what disabled tracers hand out).
+    pub fn inert() -> SpanHandle {
+        SpanHandle {
+            id: 0,
+            start_micros: 0,
+        }
+    }
+}
+
+/// Guard for an open span; ends the span on drop. Obtained from
+/// [`Tracer::span`].
+#[must_use = "a span measures until it is dropped or `.end()` is called"]
+pub struct Span {
+    tracer: Tracer,
+    id: u64,
+    name: String,
+    start_micros: u64,
+    finished: bool,
+}
+
+impl Span {
+    /// Close the span now, attaching `fields` to the end edge.
+    pub fn end_with(mut self, fields: &[(&str, FieldValue)]) {
+        self.finish(fields);
+    }
+
+    /// Close the span now.
+    pub fn end(mut self) {
+        self.finish(&[]);
+    }
+
+    /// Microseconds elapsed since the span opened.
+    pub fn elapsed_micros(&self) -> u64 {
+        self.tracer
+            .now_micros()
+            .saturating_sub(self.start_micros)
+    }
+
+    fn finish(&mut self, fields: &[(&str, FieldValue)]) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let Some(inner) = &self.tracer.inner else {
+            return;
+        };
+        let now = inner.clock.now_micros();
+        let mut all = owned_fields(fields);
+        all.push((
+            "duration_micros".to_owned(),
+            FieldValue::U64(now.saturating_sub(self.start_micros)),
+        ));
+        inner.push(Event {
+            at_micros: now,
+            name: self.name.clone(),
+            kind: EventKind::SpanEnd,
+            span_id: Some(self.id),
+            fields: all,
+        });
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish(&[]);
+    }
+}

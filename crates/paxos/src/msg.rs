@@ -172,3 +172,43 @@ pub enum Msg<SM: StateMachine> {
         resp: Option<SM::Response>,
     },
 }
+
+/// Message kind names, indexed by [`Msg::kind_index`]. Used to label
+/// per-type observability counters.
+pub const MSG_KINDS: [&str; 11] = [
+    "prepare",
+    "promise",
+    "accept",
+    "accepted",
+    "reject",
+    "commit",
+    "heartbeat",
+    "catchup_request",
+    "catchup_reply",
+    "request",
+    "response",
+];
+
+impl<SM: StateMachine> Msg<SM> {
+    /// Stable snake_case name of this message's variant.
+    pub fn kind(&self) -> &'static str {
+        MSG_KINDS[self.kind_index()]
+    }
+
+    /// Index of this variant into [`MSG_KINDS`].
+    pub fn kind_index(&self) -> usize {
+        match self {
+            Msg::Prepare { .. } => 0,
+            Msg::Promise { .. } => 1,
+            Msg::Accept { .. } => 2,
+            Msg::Accepted { .. } => 3,
+            Msg::Reject { .. } => 4,
+            Msg::Commit { .. } => 5,
+            Msg::Heartbeat { .. } => 6,
+            Msg::CatchupRequest { .. } => 7,
+            Msg::CatchupReply { .. } => 8,
+            Msg::Request { .. } => 9,
+            Msg::Response { .. } => 10,
+        }
+    }
+}

@@ -2,12 +2,15 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
+use obs::{Counter, FieldValue, Gauge, Histogram, Obs, SpanHandle};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use simnet::{Context, NodeId, SimTime, TimerToken};
 
 use crate::ballot::{Ballot, Slot};
-use crate::msg::{AcceptedEntry, ChosenEntry, ClientOp, Command, Msg, QuorumRule, SnapshotData};
+use crate::msg::{
+    AcceptedEntry, ChosenEntry, ClientOp, Command, Msg, QuorumRule, SnapshotData, MSG_KINDS,
+};
 
 /// A deterministic replicated state machine.
 pub trait StateMachine: Clone {
@@ -41,6 +44,10 @@ pub struct ReplicaConfig {
     /// Compact the log (snapshot + prune) once this many slots have been
     /// applied since the previous compaction. `None` disables compaction.
     pub compact_after: Option<u64>,
+    /// Observability sink (metrics + tracing). Disabled by default; when
+    /// enabled the replica counts messages by kind, tracks elections and
+    /// ballot churn, and times phase-1/phase-2 round trips in sim time.
+    pub obs: Obs,
 }
 
 impl Default for ReplicaConfig {
@@ -53,6 +60,7 @@ impl Default for ReplicaConfig {
             proposal_retry: SimTime::from_millis(400),
             catchup_batch: 512,
             compact_after: Some(4096),
+            obs: Obs::disabled(),
         }
     }
 }
@@ -78,6 +86,43 @@ struct Proposal<C> {
     value: Command<C>,
     acks: HashSet<NodeId>,
     sent_at: SimTime,
+    /// Open quorum-wait trace span (inert when tracing is off).
+    span: SpanHandle,
+}
+
+/// Pre-resolved instrument handles for the replica's hot paths, so the
+/// per-message cost is an atomic add (or a `None` check when disabled)
+/// instead of a registry lookup.
+#[derive(Clone, Debug)]
+struct ReplicaMetrics {
+    obs: Obs,
+    sent: [Counter; MSG_KINDS.len()],
+    recv: [Counter; MSG_KINDS.len()],
+    elections: Counter,
+    leadership: Counter,
+    ballot_round: Gauge,
+    phase1_micros: Histogram,
+    phase2_micros: Histogram,
+}
+
+impl ReplicaMetrics {
+    fn new(obs: Obs) -> Self {
+        ReplicaMetrics {
+            sent: std::array::from_fn(|i| obs.counter(&format!("paxos.msg_sent.{}", MSG_KINDS[i]))),
+            recv: std::array::from_fn(|i| obs.counter(&format!("paxos.msg_recv.{}", MSG_KINDS[i]))),
+            elections: obs.counter("paxos.elections_started"),
+            leadership: obs.counter("paxos.leadership_acquired"),
+            ballot_round: obs.gauge("paxos.ballot_round"),
+            phase1_micros: obs.histogram("paxos.phase1_micros"),
+            phase2_micros: obs.histogram("paxos.phase2_micros"),
+            obs,
+        }
+    }
+}
+
+/// Sim-time milliseconds as trace microseconds.
+fn sim_micros(t: SimTime) -> u64 {
+    t.as_millis().saturating_mul(1_000)
 }
 
 /// Per-slot acceptor state.
@@ -140,6 +185,9 @@ pub struct Replica<SM: StateMachine> {
     election_deadline: SimTime,
     last_heartbeat_sent: SimTime,
     rng: ChaCha8Rng,
+    metrics: ReplicaMetrics,
+    /// Open phase-1 trace span and its start time while campaigning.
+    phase1_open: Option<(SpanHandle, SimTime)>,
 }
 
 impl<SM: StateMachine> Replica<SM> {
@@ -150,6 +198,7 @@ impl<SM: StateMachine> Replica<SM> {
         view.sort_unstable();
         view.dedup();
         assert!(view.contains(&me) || view.is_empty(), "replica not in view");
+        let metrics = ReplicaMetrics::new(cfg.obs.clone());
         Replica {
             me,
             cfg,
@@ -173,6 +222,8 @@ impl<SM: StateMachine> Replica<SM> {
             election_deadline: SimTime::ZERO,
             last_heartbeat_sent: SimTime::ZERO,
             rng: ChaCha8Rng::seed_from_u64(seed ^ (me.0 as u64).wrapping_mul(0x9E37_79B9)),
+            metrics,
+            phase1_open: None,
         }
     }
 
@@ -294,6 +345,27 @@ impl<SM: StateMachine> Replica<SM> {
         self.cfg.quorum.quorum_size(self.view.len())
     }
 
+    // ------------------------------------------------------ observability
+
+    /// Send one message, counting it by kind.
+    fn send_msg(&self, ctx: &mut Context<Msg<SM>>, to: NodeId, msg: Msg<SM>) {
+        self.metrics.sent[msg.kind_index()].inc();
+        ctx.send(to, msg);
+    }
+
+    /// Broadcast to the view (self excluded, matching
+    /// [`Context::broadcast`]), counting each copy by kind.
+    fn broadcast_msg(&self, ctx: &mut Context<Msg<SM>>, msg: Msg<SM>) {
+        let fanout = self.view.iter().filter(|&&p| p != self.me).count();
+        self.metrics.sent[msg.kind_index()].add(fanout as u64);
+        ctx.broadcast(self.view.iter(), msg);
+    }
+
+    /// Drive the shared trace clock to the simulation's current time.
+    fn sync_obs_time(&self, now: SimTime) {
+        self.metrics.obs.set_time_micros(sim_micros(now));
+    }
+
     fn reset_election_deadline(&mut self, now: SimTime) {
         let (lo, hi) = self.cfg.election_timeout;
         let span = hi.as_millis().saturating_sub(lo.as_millis()).max(1);
@@ -302,6 +374,20 @@ impl<SM: StateMachine> Replica<SM> {
     }
 
     fn step_down(&mut self, now: SimTime) {
+        if let Some((span, _)) = self.phase1_open.take() {
+            self.metrics
+                .obs
+                .trace
+                .span_close(span, "paxos.election", &[("won", FieldValue::Bool(false))]);
+        }
+        let open_spans: Vec<SpanHandle> = self.proposals.values().map(|p| p.span).collect();
+        for span in open_spans {
+            self.metrics.obs.trace.span_close(
+                span,
+                "paxos.quorum_wait",
+                &[("aborted", FieldValue::Bool(true))],
+            );
+        }
         self.phase = Phase::Follower;
         self.proposals.clear();
         self.reconfig_in_flight = false;
@@ -328,12 +414,28 @@ impl<SM: StateMachine> Replica<SM> {
         );
         self.phase = Phase::Preparing { promises };
         self.reset_election_deadline(ctx.now);
+        self.metrics.elections.inc();
+        self.metrics.ballot_round.set(round as f64);
+        if let Some((span, _)) = self.phase1_open.take() {
+            // A re-election supersedes the previous campaign.
+            self.metrics
+                .obs
+                .trace
+                .span_close(span, "paxos.election", &[("won", FieldValue::Bool(false))]);
+        }
+        let span = self.metrics.obs.trace.span_open(
+            "paxos.election",
+            &[
+                ("node", FieldValue::U64(self.me.0 as u64)),
+                ("round", FieldValue::U64(round)),
+            ],
+        );
+        self.phase1_open = Some((span, ctx.now));
         let msg = Msg::Prepare {
             ballot: self.ballot,
             from_slot: self.commit_index,
         };
-        let peers = self.view.clone();
-        ctx.broadcast(peers.iter(), msg);
+        self.broadcast_msg(ctx, msg);
         // A single-node view elects itself immediately.
         self.try_become_leader(ctx);
     }
@@ -392,6 +494,16 @@ impl<SM: StateMachine> Replica<SM> {
         }
         self.phase = Phase::Leading;
         self.leader = Some(self.me);
+        self.metrics.leadership.inc();
+        if let Some((span, started)) = self.phase1_open.take() {
+            self.metrics
+                .phase1_micros
+                .record(sim_micros(ctx.now.saturating_sub(started)));
+            self.metrics
+                .obs
+                .trace
+                .span_close(span, "paxos.election", &[("won", FieldValue::Bool(true))]);
+        }
         self.last_heartbeat_sent = SimTime::ZERO; // heartbeat asap
                                                   // Re-propose merged values, fill gaps with no-ops up to the top.
         let top = merged.keys().next_back().copied().map(|s| s + 1);
@@ -414,7 +526,8 @@ impl<SM: StateMachine> Replica<SM> {
         if max_commit > self.commit_index {
             if let Some((&peer, _)) = promises.iter().find(|(_, (_, ci))| *ci >= max_commit) {
                 if peer != self.me {
-                    ctx.send(
+                    self.send_msg(
+                        ctx,
                         peer,
                         Msg::CatchupRequest {
                             from_slot: self.commit_index,
@@ -445,17 +558,22 @@ impl<SM: StateMachine> Replica<SM> {
         st.accepted = Some((ballot, value.clone()));
         let mut acks = HashSet::new();
         acks.insert(self.me);
+        let span = self
+            .metrics
+            .obs
+            .trace
+            .span_open("paxos.quorum_wait", &[("slot", FieldValue::U64(slot))]);
         self.proposals.insert(
             slot,
             Proposal {
                 value: value.clone(),
                 acks,
                 sent_at: ctx.now,
+                span,
             },
         );
-        let peers = self.view.clone();
-        ctx.broadcast(
-            peers.iter(),
+        self.broadcast_msg(
+            ctx,
             Msg::Accept {
                 ballot,
                 slot,
@@ -488,7 +606,7 @@ impl<SM: StateMachine> Replica<SM> {
         if let Some((last, resp)) = self.dedup.get(&client) {
             if *last == req_id {
                 let resp = resp.clone();
-                ctx.send(client, Msg::Response { req_id, resp });
+                self.send_msg(ctx, client, Msg::Response { req_id, resp });
                 return;
             }
             if *last > req_id {
@@ -545,12 +663,22 @@ impl<SM: StateMachine> Replica<SM> {
         if p.acks.len() < quorum {
             return;
         }
-        let value = p.value.clone();
-        self.proposals.remove(&slot);
+        let p = self.proposals.remove(&slot).expect("checked above");
+        let value = p.value;
+        self.metrics
+            .phase2_micros
+            .record(sim_micros(ctx.now.saturating_sub(p.sent_at)));
+        self.metrics.obs.trace.span_close(
+            p.span,
+            "paxos.quorum_wait",
+            &[
+                ("slot", FieldValue::U64(slot)),
+                ("acks", FieldValue::U64(p.acks.len() as u64)),
+            ],
+        );
         self.slot_state(slot).chosen = Some(value.clone());
-        let peers = self.view.clone();
-        ctx.broadcast(
-            peers.iter(),
+        self.broadcast_msg(
+            ctx,
             Msg::Commit {
                 entry: ChosenEntry { slot, value },
             },
@@ -608,7 +736,7 @@ impl<SM: StateMachine> Replica<SM> {
                     Some(r)
                 };
                 if matches!(self.phase, Phase::Leading) {
-                    ctx.send(client, Msg::Response { req_id, resp });
+                    self.send_msg(ctx, client, Msg::Response { req_id, resp });
                 }
             }
             Command::Reconfig {
@@ -634,14 +762,15 @@ impl<SM: StateMachine> Replica<SM> {
                 }
                 if matches!(self.phase, Phase::Leading) {
                     self.reconfig_in_flight = false;
-                    ctx.send(client, Msg::Response { req_id, resp: None });
+                    self.send_msg(ctx, client, Msg::Response { req_id, resp: None });
                     // New members need the history to join the view: the
                     // snapshot for the compacted prefix plus the live tail.
                     let snapshot = (self.floor > 0).then(|| self.snapshot());
                     let entries = self.chosen_tail(self.floor);
                     for peer in joiners {
                         if peer != self.me {
-                            ctx.send(
+                            self.send_msg(
+                                ctx,
                                 peer,
                                 Msg::CatchupReply {
                                     snapshot: snapshot.clone(),
@@ -660,9 +789,8 @@ impl<SM: StateMachine> Replica<SM> {
 
     fn send_heartbeat(&mut self, ctx: &mut Context<Msg<SM>>) {
         self.last_heartbeat_sent = ctx.now;
-        let peers = self.view.clone();
-        ctx.broadcast(
-            peers.iter(),
+        self.broadcast_msg(
+            ctx,
             Msg::Heartbeat {
                 ballot: self.ballot,
                 commit_index: self.commit_index,
@@ -680,6 +808,7 @@ impl<SM: StateMachine> Replica<SM> {
 
     /// Periodic bookkeeping.
     pub fn on_timer(&mut self, _token: TimerToken, ctx: &mut Context<Msg<SM>>) {
+        self.sync_obs_time(ctx.now);
         ctx.set_timer(self.cfg.tick, TICK_TOKEN);
         if self.retired {
             return;
@@ -701,9 +830,8 @@ impl<SM: StateMachine> Replica<SM> {
                     if let Some(p) = self.proposals.get_mut(&slot) {
                         p.sent_at = ctx.now;
                     }
-                    let peers = self.view.clone();
-                    ctx.broadcast(
-                        peers.iter(),
+                    self.broadcast_msg(
+                        ctx,
                         Msg::Accept {
                             ballot,
                             slot,
@@ -722,12 +850,14 @@ impl<SM: StateMachine> Replica<SM> {
 
     /// Message dispatch.
     pub fn on_message(&mut self, from: NodeId, msg: Msg<SM>, ctx: &mut Context<Msg<SM>>) {
+        self.sync_obs_time(ctx.now);
+        self.metrics.recv[msg.kind_index()].inc();
         if self.retired {
             // A retired node still answers catch-up (it has the history).
             if let Msg::CatchupRequest { from_slot } = msg {
                 let snapshot = (from_slot < self.floor).then(|| self.snapshot());
                 let entries = self.chosen_tail(from_slot.max(self.floor));
-                ctx.send(from, Msg::CatchupReply { snapshot, entries });
+                self.send_msg(ctx, from, Msg::CatchupReply { snapshot, entries });
             }
             return;
         }
@@ -743,18 +873,17 @@ impl<SM: StateMachine> Replica<SM> {
                         self.reset_election_deadline(ctx.now);
                     }
                     let snapshot = (from_slot < self.floor).then(|| self.snapshot());
-                    ctx.send(
-                        from,
-                        Msg::Promise {
-                            ballot,
-                            accepted: self.accepted_tail(from_slot),
-                            chosen: self.chosen_tail(from_slot),
-                            commit_index: self.commit_index,
-                            snapshot,
-                        },
-                    );
+                    let reply = Msg::Promise {
+                        ballot,
+                        accepted: self.accepted_tail(from_slot),
+                        chosen: self.chosen_tail(from_slot),
+                        commit_index: self.commit_index,
+                        snapshot,
+                    };
+                    self.send_msg(ctx, from, reply);
                 } else {
-                    ctx.send(
+                    self.send_msg(
+                        ctx,
                         from,
                         Msg::Reject {
                             promised: self.promised,
@@ -800,9 +929,10 @@ impl<SM: StateMachine> Replica<SM> {
                         self.reset_election_deadline(ctx.now);
                     }
                     self.slot_state(slot).accepted = Some((ballot, value));
-                    ctx.send(from, Msg::Accepted { ballot, slot });
+                    self.send_msg(ctx, from, Msg::Accepted { ballot, slot });
                 } else {
-                    ctx.send(
+                    self.send_msg(
+                        ctx,
                         from,
                         Msg::Reject {
                             promised: self.promised,
@@ -845,7 +975,8 @@ impl<SM: StateMachine> Replica<SM> {
                     }
                     self.reset_election_deadline(ctx.now);
                     if commit_index > self.commit_index {
-                        ctx.send(
+                        self.send_msg(
+                            ctx,
                             ballot.node,
                             Msg::CatchupRequest {
                                 from_slot: self.commit_index,
@@ -858,7 +989,7 @@ impl<SM: StateMachine> Replica<SM> {
                 let snapshot = (from_slot < self.floor).then(|| self.snapshot());
                 let mut entries = self.chosen_tail(from_slot.max(self.floor));
                 entries.truncate(self.cfg.catchup_batch);
-                ctx.send(from, Msg::CatchupReply { snapshot, entries });
+                self.send_msg(ctx, from, Msg::CatchupReply { snapshot, entries });
             }
             Msg::CatchupReply { snapshot, entries } => {
                 if let Some(snap) = snapshot {
@@ -874,7 +1005,7 @@ impl<SM: StateMachine> Replica<SM> {
                     _ => {
                         if let Some(leader) = self.leader {
                             if leader != self.me {
-                                ctx.send(leader, Msg::Request { client, req_id, op });
+                                self.send_msg(ctx, leader, Msg::Request { client, req_id, op });
                             }
                         }
                         // No leader known: drop; the client retransmits.

@@ -377,3 +377,33 @@ fn partition_minority_cannot_commit_majority_can() {
     c.sim.run_until(c.sim.now() + SimTime::from_secs(30));
     c.assert_log_agreement();
 }
+
+#[test]
+fn observability_captures_consensus_activity() {
+    let (o, _clock) = obs::Obs::simulated();
+    let cfg = ReplicaConfig {
+        obs: o.clone(),
+        ..ReplicaConfig::default()
+    };
+    let mut c = Cluster::new(3, LockService::new(), cfg, NetworkConfig::default(), 77);
+    let client = c.add_client();
+    c.submit(client, acquire(client, "obs"));
+    assert!(c.run_until_drained(client, SimTime::from_secs(30)));
+    assert_eq!(last_resp(&c, client), Some(LockResp::Granted));
+
+    let snap = o.metrics.snapshot();
+    // Becoming leader and committing a command exercises both phases.
+    assert!(snap.counter("paxos.elections_started").unwrap_or(0) >= 1);
+    assert!(snap.counter("paxos.leadership_acquired").unwrap_or(0) >= 1);
+    assert!(snap.counter("paxos.msg_sent.prepare").unwrap_or(0) >= 2);
+    assert!(snap.counter("paxos.msg_recv.promise").unwrap_or(0) >= 1);
+    assert!(snap.counter("paxos.msg_sent.accept").unwrap_or(0) >= 2);
+    assert!(snap.counter("paxos.msg_recv.accepted").unwrap_or(0) >= 1);
+    assert!(snap.counter_family("paxos.msg_sent.") > 0);
+    assert!(snap.histogram("paxos.phase2_micros").map_or(0, |h| h.count) >= 1);
+
+    // The trace carries election and quorum-wait spans in sim time.
+    let events = o.trace.events();
+    assert!(events.iter().any(|e| e.name == "paxos.election"));
+    assert!(events.iter().any(|e| e.name == "paxos.quorum_wait"));
+}

@@ -33,6 +33,8 @@ impl AcceptanceSet {
     /// Build the up-closure of a set of generator subsets (e.g. minimal
     /// quorums): accepted ⇔ some generator is contained in the mask.
     pub fn from_quorums(n: usize, quorums: &[Mask]) -> Self {
+        // Not a `contains`: `q & m == q` tests q ⊆ m for each generator q.
+        #[allow(clippy::manual_contains)]
         Self::from_predicate(n, |m| quorums.iter().any(|&q| q & m == q))
     }
 

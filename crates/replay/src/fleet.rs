@@ -11,9 +11,10 @@
 //! sharded service presents when every shard must answer.
 
 use jupiter::{BiddingStrategy, ServiceSpec};
-use spot_market::{Market, Price};
+use obs::Obs;
+use spot_market::{Market, Price, Termination};
 
-use crate::lifecycle::{replay_strategy, ReplayConfig};
+use crate::lifecycle::{replay_strategy_observed, ReplayConfig};
 use crate::results::ReplayResult;
 
 /// The outcome of replaying `groups` identical service groups.
@@ -39,7 +40,26 @@ pub fn fleet_replay<S, F>(
     spec: &ServiceSpec,
     groups: usize,
     config: ReplayConfig,
+    make_strategy: F,
+) -> FleetResult
+where
+    S: BiddingStrategy,
+    F: FnMut(usize) -> S,
+{
+    fleet_replay_observed(market, spec, groups, config, make_strategy, &Obs::disabled())
+}
+
+/// [`fleet_replay`] with observability: each group's replay records into
+/// the shared [`Obs`], and the fleet level adds a counter for instances
+/// that died in the same minute they were granted (bids that only just
+/// covered the request-time price).
+pub fn fleet_replay_observed<S, F>(
+    market: &Market,
+    spec: &ServiceSpec,
+    groups: usize,
+    config: ReplayConfig,
     mut make_strategy: F,
+    obs: &Obs,
 ) -> FleetResult
 where
     S: BiddingStrategy,
@@ -47,8 +67,16 @@ where
 {
     assert!(groups >= 1, "a fleet needs at least one group");
     let results: Vec<ReplayResult> = (0..groups)
-        .map(|g| replay_strategy(market, spec, make_strategy(g), config))
+        .map(|g| replay_strategy_observed(market, spec, make_strategy(g), config, obs))
         .collect();
+
+    let zero_lifetime = results
+        .iter()
+        .flat_map(|r| &r.instances)
+        .filter(|i| i.termination == Termination::Provider && i.ended_at <= i.granted_at)
+        .count();
+    obs.counter("fleet.granted_and_killed_same_minute")
+        .add(zero_lifetime as u64);
 
     // Aggregate availability: with identical deterministic schedules the
     // groups' up/down timelines coincide, so "all up" equals the minimum
@@ -58,12 +86,25 @@ where
     let mut all_up = 0u64;
     let reference = &results[0];
     for (i, iv) in reference.intervals.iter().enumerate() {
-        let up = results
+        let per_group: Vec<u64> = results
             .iter()
             .map(|r| r.intervals.get(i).map(|x| x.up_minutes).unwrap_or(0))
-            .min()
-            .unwrap_or(0);
-        let _ = iv;
+            .collect();
+        debug_assert_eq!(
+            per_group.len(),
+            groups,
+            "every group contributes to interval {i}"
+        );
+        debug_assert!(
+            results
+                .iter()
+                .all(|r| r.intervals.get(i).map(|x| x.start) == Some(iv.start)),
+            "groups disagree on the start of interval {i}"
+        );
+        let up = per_group.into_iter().min().unwrap_or_else(|| {
+            debug_assert!(false, "empty fleet at interval {i}");
+            0
+        });
         all_up += up;
     }
     let total_cost = results.iter().map(|r| r.total_cost).sum();

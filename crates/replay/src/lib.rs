@@ -34,6 +34,8 @@ pub mod results;
 pub mod service_level;
 
 pub use adaptive::{replay_adaptive, AdaptiveConfig};
-pub use fleet::{fleet_replay, FleetResult};
-pub use lifecycle::{replay_strategy, InstanceRecord, ReplayConfig};
+pub use fleet::{fleet_replay, fleet_replay_observed, FleetResult};
+pub use lifecycle::{
+    replay_strategy, replay_strategy_observed, InstanceRecord, ReplayConfig,
+};
 pub use results::{IntervalOutcome, ReplayResult};

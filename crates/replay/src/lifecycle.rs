@@ -2,6 +2,7 @@
 
 use jupiter::framework::MarketSnapshot;
 use jupiter::{BiddingFramework, BiddingStrategy, ServiceSpec};
+use obs::{FieldValue, Obs};
 use spot_market::{Market, Price, Termination, Zone};
 
 use crate::results::{IntervalOutcome, ReplayResult};
@@ -61,8 +62,24 @@ pub fn replay_strategy<S: BiddingStrategy>(
     strategy: S,
     config: ReplayConfig,
 ) -> ReplayResult {
+    replay_strategy_observed(market, spec, strategy, config, &Obs::disabled())
+}
+
+/// [`replay_strategy`] with observability: per-zone grant/termination
+/// counters, out-of-bid vs end-of-replay death counts, per-interval
+/// cost/availability gauges and a trace span per bidding interval (in
+/// replay-minute sim time). When the result's metrics snapshot is
+/// wanted, pass an enabled [`Obs`]; the returned
+/// [`ReplayResult::metrics`] then carries the final snapshot.
+pub fn replay_strategy_observed<S: BiddingStrategy>(
+    market: &Market,
+    spec: &ServiceSpec,
+    strategy: S,
+    config: ReplayConfig,
+    obs: &Obs,
+) -> ReplayResult {
     let interval = config.interval_hours * 60;
-    replay_schedule(market, spec, strategy, config, |_| interval)
+    replay_schedule_observed(market, spec, strategy, config, |_| interval, obs)
 }
 
 /// Replay with a dynamic interval schedule: `next_interval(boundary)`
@@ -75,9 +92,34 @@ pub fn replay_schedule<S: BiddingStrategy>(
     spec: &ServiceSpec,
     strategy: S,
     config: ReplayConfig,
+    next_interval: impl FnMut(u64) -> u64,
+) -> ReplayResult {
+    replay_schedule_observed(market, spec, strategy, config, next_interval, &Obs::disabled())
+}
+
+/// Replay-minute as trace microseconds.
+fn minute_micros(minute: u64) -> u64 {
+    minute.saturating_mul(60_000_000)
+}
+
+/// [`replay_schedule`] with observability (see
+/// [`replay_strategy_observed`]).
+pub fn replay_schedule_observed<S: BiddingStrategy>(
+    market: &Market,
+    spec: &ServiceSpec,
+    strategy: S,
+    config: ReplayConfig,
     mut next_interval: impl FnMut(u64) -> u64,
+    obs: &Obs,
 ) -> ReplayResult {
     assert!(config.eval_end <= market.horizon(), "window beyond market");
+    let bids_placed = obs.counter("replay.bids_placed");
+    let death_out_of_bid = obs.counter("replay.death.out_of_bid");
+    let death_boundary = obs.counter("replay.death.boundary");
+    let death_end_of_replay = obs.counter("replay.death.end_of_replay");
+    let same_minute_death = obs.counter("replay.same_minute_death");
+    let interval_cost = obs.gauge("replay.interval_cost_upper_dollars");
+    let interval_availability = obs.gauge("replay.interval_availability");
     let ty = spec.instance_type;
     let zones: Vec<Zone> = market.zones().to_vec();
 
@@ -106,6 +148,7 @@ pub fn replay_schedule<S: BiddingStrategy>(
     while boundary < config.eval_end {
         let interval = next_interval(boundary).max(60);
         let interval_end = (boundary + interval).min(config.eval_end);
+        obs.set_time_micros(minute_micros(boundary));
         // ---- decide shortly before the boundary -------------------------
         let decision_at = boundary.saturating_sub(config.decision_lead);
         if decision_at > observed_until {
@@ -126,6 +169,14 @@ pub fn replay_schedule<S: BiddingStrategy>(
             })
             .collect();
         let decision = framework.decide(&snapshots, interval as u32);
+        bids_placed.add(decision.bids.len() as u64);
+        let interval_span = obs.trace.span(
+            "replay.interval",
+            &[
+                ("start", FieldValue::U64(boundary)),
+                ("group", FieldValue::U64(decision.n() as u64)),
+            ],
+        );
 
         // ---- retire the old fleet at the boundary ------------------------
         // An instance carries over when the new decision keeps its zone
@@ -150,6 +201,11 @@ pub fn replay_schedule<S: BiddingStrategy>(
                 } else {
                     Termination::User
                 };
+                match termination {
+                    Termination::Provider => death_out_of_bid.inc(),
+                    Termination::User => death_boundary.inc(),
+                }
+                obs.counter(&format!("replay.terminated.{}", inst.zone)).inc();
                 records.push(close_instance(market, ty, &inst, end, termination));
             }
         }
@@ -167,6 +223,7 @@ pub fn replay_schedule<S: BiddingStrategy>(
             }
             let delay = market.startup_delay_minutes(zone, decision_at);
             let running_from = decision_at + delay;
+            obs.counter(&format!("replay.granted.{zone}")).inc();
             fleet.push(Active {
                 zone,
                 bid,
@@ -186,8 +243,13 @@ pub fn replay_schedule<S: BiddingStrategy>(
                 inst.granted_at.max(boundary),
                 interval_end,
             );
-            if inst.dies_at.is_some() {
+            if let Some(d) = inst.dies_at {
                 kills += 1;
+                if d <= inst.granted_at {
+                    // Granted and killed in the same minute: the bid only
+                    // just covered the price at request time.
+                    same_minute_death.inc();
+                }
             }
         }
 
@@ -222,6 +284,8 @@ pub fn replay_schedule<S: BiddingStrategy>(
             minute += span;
         }
         up_minutes_total += up;
+        interval_cost.set(decision.cost_upper_bound().as_dollars());
+        interval_availability.set(up as f64 / (interval_end - boundary).max(1) as f64);
         intervals.push(IntervalOutcome {
             start: boundary,
             group_size: group,
@@ -234,6 +298,8 @@ pub fn replay_schedule<S: BiddingStrategy>(
         // ---- bill instances that died this interval ----------------------
         fleet.retain(|inst| {
             if let Some(d) = inst.dies_at {
+                death_out_of_bid.inc();
+                obs.counter(&format!("replay.terminated.{}", inst.zone)).inc();
                 records.push(close_instance(market, ty, inst, d, Termination::Provider));
                 false
             } else {
@@ -241,11 +307,18 @@ pub fn replay_schedule<S: BiddingStrategy>(
             }
         });
 
+        obs.set_time_micros(minute_micros(interval_end));
+        interval_span.end_with(&[
+            ("up_minutes", FieldValue::U64(up)),
+            ("kills", FieldValue::U64(kills as u64)),
+        ]);
         boundary = interval_end;
     }
 
     // Close out the surviving fleet at the end of the window.
     for inst in fleet.drain(..) {
+        death_end_of_replay.inc();
+        obs.counter(&format!("replay.terminated.{}", inst.zone)).inc();
         records.push(close_instance(
             market,
             ty,
@@ -263,6 +336,7 @@ pub fn replay_schedule<S: BiddingStrategy>(
         up_minutes: up_minutes_total,
         instances: records,
         intervals,
+        metrics: obs.metrics.is_enabled().then(|| obs.metrics.snapshot()),
     }
 }
 

@@ -54,6 +54,9 @@ pub struct ReplayResult {
     pub instances: Vec<InstanceRecord>,
     /// Per-interval details.
     pub intervals: Vec<IntervalOutcome>,
+    /// Final metrics snapshot, when the replay ran with an enabled
+    /// [`obs::Obs`] (see `replay_strategy_observed`); `None` otherwise.
+    pub metrics: Option<obs::MetricsSnapshot>,
 }
 
 impl ReplayResult {
@@ -119,6 +122,7 @@ mod tests {
                     kills: 1,
                 },
             ],
+            metrics: None,
         }
     }
 

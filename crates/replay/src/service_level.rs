@@ -18,6 +18,7 @@ use std::collections::HashMap;
 
 use jupiter::framework::MarketSnapshot;
 use jupiter::{BiddingFramework, BiddingStrategy, ServiceSpec};
+use obs::Obs;
 use paxos::{ClientOp, Cluster, LockCmd, LockService, ReplicaConfig};
 use simnet::{NetworkConfig, NodeId, SimTime};
 use spot_market::{Market, Price, Zone};
@@ -73,6 +74,18 @@ pub fn lock_service_replay<S: BiddingStrategy>(
     strategy: S,
     config: ServiceReplayConfig,
 ) -> ServiceReplayOutcome {
+    lock_service_replay_observed(market, strategy, config, &Obs::disabled())
+}
+
+/// [`lock_service_replay`] with observability: the bidding framework and
+/// every Paxos replica record into the shared [`Obs`] (`jupiter.*` and
+/// `paxos.*` instruments).
+pub fn lock_service_replay_observed<S: BiddingStrategy>(
+    market: &Market,
+    strategy: S,
+    config: ServiceReplayConfig,
+    obs: &Obs,
+) -> ServiceReplayOutcome {
     let spec = ServiceSpec::lock_service();
     let ty = spec.instance_type;
     assert!(
@@ -81,7 +94,7 @@ pub fn lock_service_replay<S: BiddingStrategy>(
     );
 
     // Train the failure models on the revealed prefix.
-    let mut framework = BiddingFramework::new(spec.clone(), strategy);
+    let mut framework = BiddingFramework::new(spec.clone(), strategy).with_obs(obs.clone());
     for &z in market.zones() {
         framework.observe(z, &market.trace(z, ty).window(0, config.eval_start));
     }
@@ -108,7 +121,10 @@ pub fn lock_service_replay<S: BiddingStrategy>(
     let mut cluster: Cluster<LockService> = Cluster::new(
         first.n(),
         LockService::new(),
-        ReplicaConfig::default(),
+        ReplicaConfig {
+            obs: obs.clone(),
+            ..ReplicaConfig::default()
+        },
         NetworkConfig::default(),
         config.seed,
     );
@@ -315,6 +331,18 @@ pub fn storage_service_replay<S: BiddingStrategy>(
     strategy: S,
     config: ServiceReplayConfig,
 ) -> StorageReplayOutcome {
+    storage_service_replay_observed(market, strategy, config, &Obs::disabled())
+}
+
+/// [`storage_service_replay`] with observability: the bidding framework
+/// and every RS-Paxos replica record into the shared [`Obs`] (`jupiter.*`
+/// and `storage.*` instruments).
+pub fn storage_service_replay_observed<S: BiddingStrategy>(
+    market: &Market,
+    strategy: S,
+    config: ServiceReplayConfig,
+    obs: &Obs,
+) -> StorageReplayOutcome {
     use storage::{RsCluster, RsConfig, StoreCmd, StoreResp};
 
     let spec = ServiceSpec::storage_service();
@@ -324,7 +352,7 @@ pub fn storage_service_replay<S: BiddingStrategy>(
         "window beyond market horizon"
     );
 
-    let mut framework = BiddingFramework::new(spec.clone(), strategy);
+    let mut framework = BiddingFramework::new(spec.clone(), strategy).with_obs(obs.clone());
     for &z in market.zones() {
         framework.observe(z, &market.trace(z, ty).window(0, config.eval_start));
     }
@@ -350,7 +378,15 @@ pub fn storage_service_replay<S: BiddingStrategy>(
     let mut assignment = pick(&first);
     assert_eq!(assignment.len(), 5, "storage needs five zones");
 
-    let mut cluster = RsCluster::new(5, RsConfig::default(), NetworkConfig::default(), config.seed);
+    let mut cluster = RsCluster::new(
+        5,
+        RsConfig {
+            obs: obs.clone(),
+            ..RsConfig::default()
+        },
+        NetworkConfig::default(),
+        config.seed,
+    );
     let client = cluster.add_client();
 
     let mut crashes = 0usize;
@@ -364,7 +400,7 @@ pub fn storage_service_replay<S: BiddingStrategy>(
                            upto: usize| {
         while *op_counter < upto {
             let key = format!("obj-{}", *op_counter % 7);
-            if *op_counter % 2 == 0 {
+            if (*op_counter).is_multiple_of(2) {
                 let tag = (*op_counter % 251) as u8;
                 expected.insert(key.clone(), tag);
                 cluster.submit(
@@ -430,8 +466,8 @@ pub fn storage_service_replay<S: BiddingStrategy>(
                 .copied()
                 .filter(|(z, _)| !assignment.iter().any(|(az, _)| az == z))
                 .collect();
-            for slot in 0..5 {
-                let (zone, bid) = assignment[slot];
+            for (slot, entry) in assignment.iter_mut().enumerate() {
+                let (zone, bid) = *entry;
                 let keep = target
                     .iter()
                     .any(|&(z, b)| z == zone && bid >= b)
@@ -454,7 +490,7 @@ pub fn storage_service_replay<S: BiddingStrategy>(
                     dead.retain(|&s| s != slot);
                 }
                 cluster.restart(cluster.servers()[slot]);
-                assignment[slot] = (nz, nb);
+                *entry = (nz, nb);
                 rebinds += 1;
             }
         } else {

@@ -1,13 +1,20 @@
 //! `repro` — regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--quick] [--seed N] [all|fig1|table1|fig4|fig5|fig6|fig7|fig8|fig9|headline|ablations|calibration]
+//! repro [--quick] [--seed N] [--metrics-out PATH] \
+//!       [all|fig1|table1|fig4|fig5|fig6|fig7|fig8|fig9|headline|ablations|calibration|metrics]
 //! ```
 //!
 //! By default runs at the paper's scale (13 training weeks, 11 evaluation
 //! weeks, 17 availability zones, interval sweep {1,3,6,9,12} h), which
 //! takes a few minutes in release mode; `--quick` shrinks everything for a
 //! smoke run.
+//!
+//! `--metrics-out PATH` runs an instrumented pass — a Jupiter market
+//! replay plus a short service-level Paxos replay, both recording into a
+//! shared [`obs::Obs`] — and dumps the metrics registry and trace ring as
+//! JSON to `PATH`. With no explicit target it runs only that pass
+//! (`metrics` target).
 
 use std::env;
 use std::time::Instant;
@@ -23,11 +30,25 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse().ok())
         .unwrap_or(2014);
+    let metrics_out = args
+        .iter()
+        .position(|a| a == "--metrics-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    // Flag values must not be mistaken for the target word.
+    let value_positions: Vec<Option<usize>> = vec![seed_pos(&args), metrics_out_pos(&args)];
     let what = args
         .iter()
-        .find(|a| !a.starts_with("--") && args.iter().position(|x| x == *a) != seed_pos(&args))
-        .cloned()
-        .unwrap_or_else(|| "all".into());
+        .enumerate()
+        .find(|(i, a)| !a.starts_with("--") && !value_positions.contains(&Some(*i)))
+        .map(|(_, a)| a.clone())
+        .unwrap_or_else(|| {
+            if metrics_out.is_some() {
+                "metrics".into()
+            } else {
+                "all".into()
+            }
+        });
 
     let scale = if quick {
         Scale::quick(seed)
@@ -91,16 +112,98 @@ fn main() {
             }
         }
         "calibration" => calibration(&scale),
+        "metrics" => {} // instrumented pass runs below
         other => {
             eprintln!("unknown target '{other}'");
             std::process::exit(2);
         }
+    }
+    if what == "metrics" || metrics_out.is_some() {
+        let path = metrics_out.unwrap_or_else(|| "metrics.json".into());
+        metrics_pass(seed, &path);
     }
     eprintln!("# done in {:.1?}", t0.elapsed());
 }
 
 fn seed_pos(args: &[String]) -> Option<usize> {
     args.iter().position(|a| a == "--seed").map(|i| i + 1)
+}
+
+fn metrics_out_pos(args: &[String]) -> Option<usize> {
+    args.iter().position(|a| a == "--metrics-out").map(|i| i + 1)
+}
+
+/// The instrumented pass behind `--metrics-out`: a Jupiter market replay
+/// (bids, grants, terminations by cause, per-interval cost/availability)
+/// plus a short service-level Paxos replay (per-kind message counts,
+/// elections, quorum-wait spans), all into one shared [`obs::Obs`] driven
+/// by simulated time. The registry and trace ring are dumped as JSON.
+fn metrics_pass(seed: u64, path: &str) {
+    use jupiter::{JupiterStrategy, ServiceSpec};
+    use obs::Obs;
+    use replay::service_level::{lock_service_replay_observed, ServiceReplayConfig};
+    use replay::{replay_strategy_observed, ReplayConfig};
+    use spot_market::{InstanceType, Market, MarketConfig};
+
+    println!("\n== Instrumented pass: market replay + service-level Paxos replay ==");
+    let (obs, _clock) = Obs::simulated();
+
+    let train = 2 * 7 * 24 * 60;
+    let eval = 3 * 24 * 60;
+    let mut cfg = MarketConfig::paper(seed, train + eval);
+    cfg.zones.truncate(8);
+    cfg.types = vec![InstanceType::M1Small];
+    let market = Market::generate(cfg);
+    let spec = ServiceSpec::lock_service();
+
+    let replayed = replay_strategy_observed(
+        &market,
+        &spec,
+        JupiterStrategy::new().with_obs(obs.clone()),
+        ReplayConfig::new(train, train + eval, 6),
+        &obs,
+    );
+    println!(
+        "market replay:   cost ${:.2}, availability {:.6}, {} kills",
+        replayed.total_cost.as_dollars(),
+        replayed.availability(),
+        replayed.total_kills()
+    );
+
+    let service = lock_service_replay_observed(
+        &market,
+        JupiterStrategy::new().with_obs(obs.clone()),
+        ServiceReplayConfig {
+            eval_start: train,
+            window_minutes: 4 * 60,
+            interval_hours: 2,
+            sla_ms: 5_000,
+            seed,
+        },
+        &obs,
+    );
+    println!(
+        "service replay:  {} ops, {} crashes, {} reconfigs",
+        service.ops_completed, service.crashes, service.reconfigs
+    );
+
+    let snap = obs.metrics.snapshot();
+    println!(
+        "paxos messages:  {} sent / {} received",
+        snap.counter_family("paxos.msg_sent."),
+        snap.counter_family("paxos.msg_recv.")
+    );
+    println!(
+        "bids placed:     {}",
+        snap.counter("replay.bids_placed").unwrap_or(0)
+    );
+    match std::fs::write(path, obs.to_json()) {
+        Ok(()) => println!("metrics dumped to {path}"),
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn table1() {

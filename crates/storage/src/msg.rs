@@ -245,3 +245,47 @@ pub enum RsMsg {
         resp: StoreResp,
     },
 }
+
+/// Message kind names, indexed by [`RsMsg::kind_index`]. Used to label
+/// per-type observability counters.
+pub const RS_MSG_KINDS: [&str; 13] = [
+    "prepare",
+    "promise",
+    "accept",
+    "accepted",
+    "reject",
+    "commit",
+    "heartbeat",
+    "catchup_request",
+    "catchup_reply",
+    "shard_pull",
+    "shard_push",
+    "request",
+    "response",
+];
+
+impl RsMsg {
+    /// Stable snake_case name of this message's variant.
+    pub fn kind(&self) -> &'static str {
+        RS_MSG_KINDS[self.kind_index()]
+    }
+
+    /// Index of this variant into [`RS_MSG_KINDS`].
+    pub fn kind_index(&self) -> usize {
+        match self {
+            RsMsg::Prepare { .. } => 0,
+            RsMsg::Promise { .. } => 1,
+            RsMsg::Accept { .. } => 2,
+            RsMsg::Accepted { .. } => 3,
+            RsMsg::Reject { .. } => 4,
+            RsMsg::Commit { .. } => 5,
+            RsMsg::Heartbeat { .. } => 6,
+            RsMsg::CatchupRequest { .. } => 7,
+            RsMsg::CatchupReply { .. } => 8,
+            RsMsg::ShardPull { .. } => 9,
+            RsMsg::ShardPush { .. } => 10,
+            RsMsg::Request { .. } => 11,
+            RsMsg::Response { .. } => 12,
+        }
+    }
+}

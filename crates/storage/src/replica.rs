@@ -4,12 +4,15 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 
 use bytes::Bytes;
 use erasure::ReedSolomon;
+use obs::{Counter, FieldValue, Gauge, Histogram, Obs, SpanHandle};
 use paxos::Ballot;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use simnet::{Context, NodeId, SimTime, TimerToken};
 
-use crate::msg::{RsAccepted, RsChosen, RsMsg, SlotValue, StoreCmd, StoreResp, WireValue};
+use crate::msg::{
+    RsAccepted, RsChosen, RsMsg, SlotValue, StoreCmd, StoreResp, WireValue, RS_MSG_KINDS,
+};
 use crate::store::ShardStore;
 
 type Slot = u64;
@@ -31,6 +34,10 @@ pub struct RsConfig {
     pub retry: SimTime,
     /// Give up on a read after this long without `m` shards.
     pub read_timeout: SimTime,
+    /// Observability sink (metrics + tracing). Disabled by default; when
+    /// enabled the replica counts messages by kind, tracks elections and
+    /// ballot churn, and times phase-1/phase-2 round trips in sim time.
+    pub obs: Obs,
 }
 
 impl Default for RsConfig {
@@ -42,6 +49,7 @@ impl Default for RsConfig {
             election_timeout: (SimTime::from_millis(800), SimTime::from_millis(1600)),
             retry: SimTime::from_millis(400),
             read_timeout: SimTime::from_secs(5),
+            obs: Obs::disabled(),
         }
     }
 }
@@ -62,6 +70,50 @@ struct Proposal {
     shards: Option<Vec<Bytes>>,
     acks: HashSet<NodeId>,
     sent_at: SimTime,
+    /// Open quorum-wait trace span (inert when tracing is off).
+    span: SpanHandle,
+}
+
+/// Pre-resolved instrument handles (see `paxos::replica`): per-message
+/// cost is an atomic add, or a `None` check when disabled.
+#[derive(Clone, Debug)]
+struct RsMetrics {
+    obs: Obs,
+    sent: [Counter; RS_MSG_KINDS.len()],
+    recv: [Counter; RS_MSG_KINDS.len()],
+    elections: Counter,
+    leadership: Counter,
+    ballot_round: Gauge,
+    phase1_micros: Histogram,
+    phase2_micros: Histogram,
+    reads_reconstructed: Counter,
+    reads_unavailable: Counter,
+}
+
+impl RsMetrics {
+    fn new(obs: Obs) -> Self {
+        RsMetrics {
+            sent: std::array::from_fn(|i| {
+                obs.counter(&format!("storage.msg_sent.{}", RS_MSG_KINDS[i]))
+            }),
+            recv: std::array::from_fn(|i| {
+                obs.counter(&format!("storage.msg_recv.{}", RS_MSG_KINDS[i]))
+            }),
+            elections: obs.counter("storage.elections_started"),
+            leadership: obs.counter("storage.leadership_acquired"),
+            ballot_round: obs.gauge("storage.ballot_round"),
+            phase1_micros: obs.histogram("storage.phase1_micros"),
+            phase2_micros: obs.histogram("storage.phase2_micros"),
+            reads_reconstructed: obs.counter("storage.reads_reconstructed"),
+            reads_unavailable: obs.counter("storage.reads_unavailable"),
+            obs,
+        }
+    }
+}
+
+/// Sim-time milliseconds as trace microseconds.
+fn sim_micros(t: SimTime) -> u64 {
+    t.as_millis().saturating_mul(1_000)
 }
 
 #[derive(Clone, Debug, Default)]
@@ -106,6 +158,9 @@ pub struct RsReplica {
     election_deadline: SimTime,
     last_heartbeat_sent: SimTime,
     rng: ChaCha8Rng,
+    metrics: RsMetrics,
+    /// Open phase-1 trace span and its start time while campaigning.
+    phase1_open: Option<(SpanHandle, SimTime)>,
 }
 
 impl RsReplica {
@@ -117,6 +172,7 @@ impl RsReplica {
         assert!(view.contains(&me), "replica not in view");
         assert!(cfg.m >= 1 && cfg.m <= view.len(), "invalid erasure m");
         let codec = ReedSolomon::new(cfg.m, view.len());
+        let metrics = RsMetrics::new(cfg.obs.clone());
         RsReplica {
             me,
             codec,
@@ -137,6 +193,8 @@ impl RsReplica {
             election_deadline: SimTime::ZERO,
             last_heartbeat_sent: SimTime::ZERO,
             rng: ChaCha8Rng::seed_from_u64(seed ^ (me.0 as u64).wrapping_mul(0xD1B5_4A32)),
+            metrics,
+            phase1_open: None,
         }
     }
 
@@ -192,10 +250,46 @@ impl RsReplica {
     }
 
     fn step_down(&mut self, now: SimTime) {
+        if let Some((span, _)) = self.phase1_open.take() {
+            self.metrics.obs.trace.span_close(
+                span,
+                "storage.election",
+                &[("won", FieldValue::Bool(false))],
+            );
+        }
+        let open_spans: Vec<SpanHandle> = self.proposals.values().map(|p| p.span).collect();
+        for span in open_spans {
+            self.metrics.obs.trace.span_close(
+                span,
+                "storage.quorum_wait",
+                &[("aborted", FieldValue::Bool(true))],
+            );
+        }
         self.phase = Phase::Follower;
         self.proposals.clear();
         self.pending_reads.clear();
         self.reset_election_deadline(now);
+    }
+
+    // ------------------------------------------------------ observability
+
+    /// Send one message, counting it by kind.
+    fn send_msg(&self, ctx: &mut Context<RsMsg>, to: NodeId, msg: RsMsg) {
+        self.metrics.sent[msg.kind_index()].inc();
+        ctx.send(to, msg);
+    }
+
+    /// Broadcast to the view (self excluded, matching
+    /// [`Context::broadcast`]), counting each copy by kind.
+    fn broadcast_msg(&self, ctx: &mut Context<RsMsg>, msg: RsMsg) {
+        let fanout = self.view.iter().filter(|&&p| p != self.me).count();
+        self.metrics.sent[msg.kind_index()].add(fanout as u64);
+        ctx.broadcast(self.view.iter(), msg);
+    }
+
+    /// Drive the shared trace clock to the simulation's current time.
+    fn sync_obs_time(&self, now: SimTime) {
+        self.metrics.obs.set_time_micros(sim_micros(now));
     }
 
     // ----------------------------------------------------------- election
@@ -215,12 +309,29 @@ impl RsReplica {
         );
         self.phase = Phase::Preparing { promises };
         self.reset_election_deadline(ctx.now);
+        self.metrics.elections.inc();
+        self.metrics.ballot_round.set(round as f64);
+        if let Some((span, _)) = self.phase1_open.take() {
+            // A re-election supersedes the previous campaign.
+            self.metrics.obs.trace.span_close(
+                span,
+                "storage.election",
+                &[("won", FieldValue::Bool(false))],
+            );
+        }
+        let span = self.metrics.obs.trace.span_open(
+            "storage.election",
+            &[
+                ("node", FieldValue::U64(self.me.0 as u64)),
+                ("round", FieldValue::U64(round)),
+            ],
+        );
+        self.phase1_open = Some((span, ctx.now));
         let msg = RsMsg::Prepare {
             ballot: self.ballot,
             from_slot: self.commit_index,
         };
-        let peers = self.view.clone();
-        ctx.broadcast(peers.iter(), msg);
+        self.broadcast_msg(ctx, msg);
         self.try_become_leader(ctx);
     }
 
@@ -329,6 +440,17 @@ impl RsReplica {
         }
         self.phase = Phase::Leading;
         self.leader = Some(self.me);
+        self.metrics.leadership.inc();
+        if let Some((span, started)) = self.phase1_open.take() {
+            self.metrics
+                .phase1_micros
+                .record(sim_micros(ctx.now.saturating_sub(started)));
+            self.metrics.obs.trace.span_close(
+                span,
+                "storage.election",
+                &[("won", FieldValue::Bool(true))],
+            );
+        }
         self.last_heartbeat_sent = SimTime::ZERO;
         let top = merged.keys().next_back().map(|s| s + 1).unwrap_or(0);
         self.next_slot = self.commit_index.max(top);
@@ -352,7 +474,8 @@ impl RsReplica {
             self.send_accepts(slot, value, ctx);
         }
         if max_commit > self.commit_index && best_peer != self.me {
-            ctx.send(
+            self.send_msg(
+                ctx,
                 best_peer,
                 RsMsg::CatchupRequest {
                     from_slot: self.commit_index,
@@ -477,7 +600,8 @@ impl RsReplica {
                 continue;
             }
             let wire = self.wire_for(&value, shards.as_ref(), self.idx_of(peer));
-            ctx.send(
+            self.send_msg(
+                ctx,
                 peer,
                 RsMsg::Accept {
                     ballot,
@@ -486,6 +610,11 @@ impl RsReplica {
                 },
             );
         }
+        let span = self
+            .metrics
+            .obs
+            .trace
+            .span_open("storage.quorum_wait", &[("slot", FieldValue::U64(slot))]);
         self.proposals.insert(
             slot,
             Proposal {
@@ -493,6 +622,7 @@ impl RsReplica {
                 shards,
                 acks,
                 sent_at: ctx.now,
+                span,
             },
         );
         self.maybe_choose(slot, ctx);
@@ -508,7 +638,7 @@ impl RsReplica {
         if let Some((last, resp)) = self.dedup.get(&client) {
             if *last == req_id {
                 let resp = resp.clone();
-                ctx.send(client, RsMsg::Response { req_id, resp });
+                self.send_msg(ctx, client, RsMsg::Response { req_id, resp });
                 return;
             }
             if *last > req_id {
@@ -567,6 +697,17 @@ impl RsReplica {
             return;
         }
         let p = self.proposals.remove(&slot).expect("present");
+        self.metrics
+            .phase2_micros
+            .record(sim_micros(ctx.now.saturating_sub(p.sent_at)));
+        self.metrics.obs.trace.span_close(
+            p.span,
+            "storage.quorum_wait",
+            &[
+                ("slot", FieldValue::U64(slot)),
+                ("acks", FieldValue::U64(p.acks.len() as u64)),
+            ],
+        );
         let my_idx = self.shard_idx();
         let my_wire = self.wire_for(&p.value, p.shards.as_ref(), my_idx);
         self.slots.entry(slot).or_default().chosen = Some(my_wire);
@@ -581,7 +722,8 @@ impl RsReplica {
                 continue;
             }
             let wire = self.wire_for(&p.value, p.shards.as_ref(), self.idx_of(peer));
-            ctx.send(
+            self.send_msg(
+                ctx,
                 peer,
                 RsMsg::Commit {
                     entry: RsChosen { slot, value: wire },
@@ -615,14 +757,11 @@ impl RsReplica {
     }
 
     fn advance(&mut self, ctx: &mut Context<RsMsg>) {
-        loop {
-            let Some(value) = self
-                .slots
-                .get(&self.commit_index)
-                .and_then(|st| st.chosen.clone())
-            else {
-                break;
-            };
+        while let Some(value) = self
+            .slots
+            .get(&self.commit_index)
+            .and_then(|st| st.chosen.clone())
+        {
             let slot = self.commit_index;
             self.commit_index += 1;
             self.apply(slot, value, ctx);
@@ -692,8 +831,7 @@ impl RsReplica {
                                 last_pull: ctx.now,
                             },
                         );
-                        let peers = self.view.clone();
-                        ctx.broadcast(peers.iter(), RsMsg::ShardPull { key, version });
+                        self.broadcast_msg(ctx, RsMsg::ShardPull { key, version });
                         self.try_finish_read_queue(ctx);
                     }
                 }
@@ -711,7 +849,7 @@ impl RsReplica {
             self.dedup.insert(client, (req_id, resp.clone()));
         }
         if matches!(self.phase, Phase::Leading) {
-            ctx.send(client, RsMsg::Response { req_id, resp });
+            self.send_msg(ctx, client, RsMsg::Response { req_id, resp });
         }
     }
 
@@ -735,11 +873,15 @@ impl RsReplica {
                     let object = Bytes::from(object);
                     self.objects
                         .insert(key_ver.0.clone(), (key_ver.1, object.clone()));
+                    self.metrics.reads_reconstructed.inc();
                     StoreResp::Value {
                         object: Some(object),
                     }
                 }
-                Err(_) => StoreResp::Unavailable,
+                Err(_) => {
+                    self.metrics.reads_unavailable.inc();
+                    StoreResp::Unavailable
+                }
             };
             self.finish(r.client, r.req_id, resp, ctx);
         }
@@ -749,9 +891,8 @@ impl RsReplica {
 
     fn send_heartbeat(&mut self, ctx: &mut Context<RsMsg>) {
         self.last_heartbeat_sent = ctx.now;
-        let peers = self.view.clone();
-        ctx.broadcast(
-            peers.iter(),
+        self.broadcast_msg(
+            ctx,
             RsMsg::Heartbeat {
                 ballot: self.ballot,
                 commit_index: self.commit_index,
@@ -769,6 +910,7 @@ impl RsReplica {
 
     /// Periodic bookkeeping.
     pub fn on_timer(&mut self, _t: TimerToken, ctx: &mut Context<RsMsg>) {
+        self.sync_obs_time(ctx.now);
         ctx.set_timer(self.cfg.tick, TICK_TOKEN);
         match self.phase {
             Phase::Leading => {
@@ -795,7 +937,8 @@ impl RsReplica {
                             continue;
                         }
                         let wire = self.wire_for(&value, shards.as_ref(), self.idx_of(peer));
-                        ctx.send(
+                        self.send_msg(
+                            ctx,
                             peer,
                             RsMsg::Accept {
                                 ballot,
@@ -823,8 +966,7 @@ impl RsReplica {
                     if let Some(r) = self.pending_reads.get_mut(&(key.clone(), version)) {
                         r.last_pull = ctx.now;
                     }
-                    let peers = self.view.clone();
-                    ctx.broadcast(peers.iter(), RsMsg::ShardPull { key, version });
+                    self.broadcast_msg(ctx, RsMsg::ShardPull { key, version });
                 }
             }
             _ => {
@@ -837,6 +979,8 @@ impl RsReplica {
 
     /// Message dispatch.
     pub fn on_message(&mut self, from: NodeId, msg: RsMsg, ctx: &mut Context<RsMsg>) {
+        self.sync_obs_time(ctx.now);
+        self.metrics.recv[msg.kind_index()].inc();
         match msg {
             RsMsg::Prepare { ballot, from_slot } => {
                 if ballot >= self.promised {
@@ -848,17 +992,16 @@ impl RsReplica {
                         self.leader = None;
                         self.reset_election_deadline(ctx.now);
                     }
-                    ctx.send(
-                        from,
-                        RsMsg::Promise {
-                            ballot,
-                            accepted: self.accepted_tail(from_slot),
-                            chosen: self.chosen_tail_for(from_slot, from),
-                            commit_index: self.commit_index,
-                        },
-                    );
+                    let reply = RsMsg::Promise {
+                        ballot,
+                        accepted: self.accepted_tail(from_slot),
+                        chosen: self.chosen_tail_for(from_slot, from),
+                        commit_index: self.commit_index,
+                    };
+                    self.send_msg(ctx, from, reply);
                 } else {
-                    ctx.send(
+                    self.send_msg(
+                        ctx,
                         from,
                         RsMsg::Reject {
                             promised: self.promised,
@@ -900,9 +1043,10 @@ impl RsReplica {
                         self.reset_election_deadline(ctx.now);
                     }
                     self.slots.entry(slot).or_default().accepted = Some((ballot, value));
-                    ctx.send(from, RsMsg::Accepted { ballot, slot });
+                    self.send_msg(ctx, from, RsMsg::Accepted { ballot, slot });
                 } else {
-                    ctx.send(
+                    self.send_msg(
+                        ctx,
                         from,
                         RsMsg::Reject {
                             promised: self.promised,
@@ -943,7 +1087,8 @@ impl RsReplica {
                     }
                     self.reset_election_deadline(ctx.now);
                     if commit_index > self.commit_index {
-                        ctx.send(
+                        self.send_msg(
+                            ctx,
                             ballot.node,
                             RsMsg::CatchupRequest {
                                 from_slot: self.commit_index,
@@ -955,7 +1100,7 @@ impl RsReplica {
             RsMsg::CatchupRequest { from_slot } => {
                 let mut entries = self.chosen_tail_for(from_slot, from);
                 entries.truncate(512);
-                ctx.send(from, RsMsg::CatchupReply { entries });
+                self.send_msg(ctx, from, RsMsg::CatchupReply { entries });
             }
             RsMsg::CatchupReply { entries } => {
                 for e in entries {
@@ -966,15 +1111,13 @@ impl RsReplica {
                 if let Some(entry) = self.store.get(&key) {
                     if entry.version == version {
                         if let Some(shard) = &entry.shard {
-                            ctx.send(
-                                from,
-                                RsMsg::ShardPush {
-                                    key,
-                                    version,
-                                    shard_idx: entry.shard_idx,
-                                    shard: shard.clone(),
-                                },
-                            );
+                            let push = RsMsg::ShardPush {
+                                key,
+                                version,
+                                shard_idx: entry.shard_idx,
+                                shard: shard.clone(),
+                            };
+                            self.send_msg(ctx, from, push);
                         }
                     }
                 }
@@ -999,7 +1142,8 @@ impl RsReplica {
                 _ => {
                     if let Some(leader) = self.leader {
                         if leader != self.me {
-                            ctx.send(
+                            self.send_msg(
+                                ctx,
                                 leader,
                                 RsMsg::Request {
                                     client,

@@ -6,6 +6,7 @@
 //! cargo run --release --example price_explorer [seed]
 //! ```
 
+use spot_jupiter::obs::Registry;
 use spot_jupiter::spot_market::{InstanceType, Market, MarketConfig};
 use spot_jupiter::spot_model::SemiMarkovKernel;
 
@@ -18,6 +19,9 @@ fn main() {
     let market = Market::generate(MarketConfig::paper(seed, weeks * 7 * 24 * 60));
     let ty = InstanceType::M1Small;
 
+    // Per-zone event counts go through the obs registry: the same
+    // instruments the replay layer uses, queried here from a snapshot.
+    let registry = Registry::new();
     println!(
         "== per-zone price statistics ({weeks} weeks, {}) ==",
         ty.api_name()
@@ -32,6 +36,18 @@ fn main() {
         let min = t.segments().map(|s| s.price).min().expect("segments");
         let max = t.segments().map(|s| s.price).max().expect("segments");
         let spikes = t.segments().filter(|s| s.price > od).count();
+        let segments = t.segments().count() as u64;
+        // A trace with k segments has k-1 completed price transitions,
+        // each of which is one observed sojourn sample for the kernel.
+        registry
+            .counter(&format!("market.price_transitions.{zone}"))
+            .add(segments.saturating_sub(1));
+        registry
+            .counter(&format!("market.sojourn_samples.{zone}"))
+            .add(SemiMarkovKernel::from_trace(t).total_transitions());
+        registry
+            .counter(&format!("market.od_spikes.{zone}"))
+            .add(spikes as u64);
         println!(
             "{:<18} {:>10} {:>10} {:>10} {:>10} {:>9.2} {:>8}",
             zone.name(),
@@ -43,6 +59,30 @@ fn main() {
             spikes
         );
     }
+
+    let snap = registry.snapshot();
+    println!("\n== per-zone event counts (from the obs registry) ==");
+    println!(
+        "{:<18} {:>12} {:>15} {:>10}",
+        "zone", "transitions", "sojourn samples", "od-spikes"
+    );
+    for &zone in market.zones() {
+        println!(
+            "{:<18} {:>12} {:>15} {:>10}",
+            zone.name(),
+            snap.counter(&format!("market.price_transitions.{zone}"))
+                .unwrap_or(0),
+            snap.counter(&format!("market.sojourn_samples.{zone}"))
+                .unwrap_or(0),
+            snap.counter(&format!("market.od_spikes.{zone}")).unwrap_or(0),
+        );
+    }
+    println!(
+        "totals: {} transitions, {} sojourn samples across {} zones",
+        snap.counter_family("market.price_transitions."),
+        snap.counter_family("market.sojourn_samples."),
+        market.zones().len()
+    );
 
     // A two-hour window, Fig. 1 style.
     let zone = market.zones()[0];

@@ -1,13 +1,15 @@
 //! A miniature of Figures 6/7: replay the lock service over the market
 //! under Jupiter and the Extra heuristics, and print the cost/availability
-//! trade-off that is the paper's core result.
+//! trade-off that is the paper's core result — plus the observability
+//! layer's view of each replay (bids, deaths by cause, decision timing).
 //!
 //! ```text
 //! cargo run --release --example strategy_comparison
 //! ```
 
 use spot_jupiter::jupiter::{BiddingStrategy, ExtraStrategy, JupiterStrategy, ServiceSpec};
-use spot_jupiter::replay::lifecycle::{on_demand_baseline_cost, replay_strategy};
+use spot_jupiter::obs::{MetricsSnapshot, Obs};
+use spot_jupiter::replay::lifecycle::{on_demand_baseline_cost, replay_strategy_observed};
 use spot_jupiter::replay::ReplayConfig;
 use spot_jupiter::spot_market::{InstanceType, Market, MarketConfig};
 
@@ -22,10 +24,13 @@ fn main() {
     let spec = ServiceSpec::lock_service();
     let config = ReplayConfig::new(train, train + eval, 6);
 
-    let strategies: Vec<Box<dyn BiddingStrategy>> = vec![
-        Box::new(JupiterStrategy::new()),
-        Box::new(ExtraStrategy::new(0, 0.2)),
-        Box::new(ExtraStrategy::new(2, 0.2)),
+    // Each strategy is built against its own Obs so the metric streams
+    // stay separable (Jupiter additionally records its decision metrics).
+    type Factory = Box<dyn Fn(&Obs) -> Box<dyn BiddingStrategy>>;
+    let strategies: Vec<Factory> = vec![
+        Box::new(|o| Box::new(JupiterStrategy::new().with_obs(o.clone()))),
+        Box::new(|_| Box::new(ExtraStrategy::new(0, 0.2))),
+        Box::new(|_| Box::new(ExtraStrategy::new(2, 0.2))),
     ];
 
     println!(
@@ -36,8 +41,11 @@ fn main() {
         "{:<14} {:>10} {:>13} {:>16} {:>7}",
         "strategy", "cost ($)", "availability", "downtime (min)", "kills"
     );
-    for strategy in strategies {
-        let r = replay_strategy(&market, &spec, strategy, config);
+    // One Obs per strategy so the metric streams stay separable.
+    let mut snapshots: Vec<(String, MetricsSnapshot)> = Vec::new();
+    for make in &strategies {
+        let (obs, _clock) = Obs::simulated();
+        let r = replay_strategy_observed(&market, &spec, make(&obs), config, &obs);
         println!(
             "{:<14} {:>10.2} {:>13.6} {:>16} {:>7}",
             r.strategy,
@@ -46,6 +54,10 @@ fn main() {
             r.downtime_minutes(),
             r.total_kills()
         );
+        snapshots.push((
+            r.strategy.clone(),
+            r.metrics.unwrap_or_else(|| obs.metrics.snapshot()),
+        ));
     }
     let baseline = on_demand_baseline_cost(&market, &spec, config);
     println!(
@@ -56,6 +68,45 @@ fn main() {
         "-",
         0
     );
+
+    println!("\n== observability: what each strategy actually did ==");
+    println!(
+        "{:<14} {:>6} {:>9} {:>10} {:>9} {:>8} {:>13}",
+        "strategy", "bids", "granted", "oob death", "boundary", "end", "same-minute"
+    );
+    for (name, snap) in &snapshots {
+        println!(
+            "{:<14} {:>6} {:>9} {:>10} {:>9} {:>8} {:>13}",
+            name,
+            snap.counter("replay.bids_placed").unwrap_or(0),
+            snap.counter_family("replay.granted."),
+            snap.counter("replay.death.out_of_bid").unwrap_or(0),
+            snap.counter("replay.death.boundary").unwrap_or(0),
+            snap.counter("replay.death.end_of_replay").unwrap_or(0),
+            snap.counter("replay.same_minute_death").unwrap_or(0),
+        );
+    }
+
+    println!("\n== observability: decision-making cost (Jupiter only) ==");
+    let jupiter = &snapshots[0].1;
+    if let Some(h) = jupiter.histogram("jupiter.decide_micros") {
+        println!(
+            "decide():   {} calls, p50 {} µs, p95 {} µs, max {} µs",
+            h.count, h.p50, h.p95, h.max
+        );
+    }
+    if let Some(h) = jupiter.histogram("jupiter.forecast_micros") {
+        println!(
+            "forecast(): {} calls, p50 {} µs, p95 {} µs, max {} µs",
+            h.count, h.p50, h.p95, h.max
+        );
+    }
+    println!(
+        "candidates: {} node counts evaluated, {} feasible",
+        jupiter.counter("jupiter.candidates_evaluated").unwrap_or(0),
+        jupiter.counter("jupiter.candidates_feasible").unwrap_or(0),
+    );
+
     println!(
         "\nThe paper's claim, in miniature: only the failure-model-driven\n\
          bids hold the availability level, and they do so at a fraction of\n\

@@ -17,6 +17,7 @@
 //! | [`storage`] | the RS-Paxos erasure-coded storage service |
 //! | [`jupiter`] | the bidding framework: Fig. 3 algorithm, Extra(m,p), exact solver |
 //! | [`replay`] | the trace-replay experiment harness (Figs. 4–9) |
+//! | [`obs`] | observability: metric registry, sim-time tracing, JSON export |
 //!
 //! ## Quickstart
 //!
@@ -51,6 +52,7 @@
 
 pub use erasure;
 pub use jupiter;
+pub use obs;
 pub use paxos;
 pub use quorum;
 pub use replay;

@@ -1,0 +1,261 @@
+//! Offline shim for the subset of `criterion` this workspace uses:
+//! [`Criterion`], benchmark groups, [`BenchmarkId`], [`Throughput`], and
+//! the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — one warm-up call, then a timed
+//! loop bounded by the group's `sample_size` and a per-benchmark time
+//! budget — reporting mean wall-clock time per iteration (and derived
+//! throughput when configured). Good enough to compare configurations
+//! and catch regressions; it makes no statistical claims.
+
+// Vendored API-compat shim: exempt from workspace lint policy.
+#![allow(clippy::all)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget per benchmark point; keeps full `cargo bench` runs
+/// fast even for expensive bodies.
+const TIME_BUDGET: Duration = Duration::from_millis(250);
+
+/// The benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    default_sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            default_sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_owned(),
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_benchmark(name, self.default_sample_size, None, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of measured iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Report throughput alongside time for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into());
+        run_benchmark(&label, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (reporting happens as benchmarks run).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark point, optionally parameterized.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (for groups benchmarking one function).
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            label: s.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> BenchmarkId {
+        BenchmarkId { label }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Units processed per iteration, for derived rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Elements per iteration.
+    Elements(u64),
+}
+
+/// Times the benchmark body; handed to the `|b| ...` closure.
+pub struct Bencher {
+    max_iters: u64,
+    mean_ns: f64,
+    iters_done: u64,
+}
+
+impl Bencher {
+    /// Time `f`, called repeatedly; the mean per-call time is recorded.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up call outside the timed region.
+        std::hint::black_box(f());
+        let start = Instant::now();
+        let mut done = 0u64;
+        loop {
+            std::hint::black_box(f());
+            done += 1;
+            if done >= self.max_iters || start.elapsed() >= TIME_BUDGET {
+                break;
+            }
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / done as f64;
+        self.iters_done = done;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        max_iters: sample_size,
+        mean_ns: 0.0,
+        iters_done: 0,
+    };
+    f(&mut b);
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if b.mean_ns > 0.0 => {
+            format!(
+                "  ({:.1} MiB/s)",
+                n as f64 / (1024.0 * 1024.0) / (b.mean_ns * 1e-9)
+            )
+        }
+        Some(Throughput::Elements(n)) if b.mean_ns > 0.0 => {
+            format!("  ({:.0} elem/s)", n as f64 / (b.mean_ns * 1e-9))
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {label:<48} {:>14}/iter  (n={}){rate}",
+        format_ns(b.mean_ns),
+        b.iters_done
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("shim_smoke", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_configuration_chains() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim_group");
+        g.sample_size(5).throughput(Throughput::Bytes(1024));
+        g.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.bench_function(BenchmarkId::from_parameter(3), |b| b.iter(|| 3 * 3));
+        g.finish();
+    }
+}

@@ -1,0 +1,360 @@
+//! Offline shim for the subset of `proptest` this workspace uses: the
+//! [`proptest!`] macro, [`Strategy`] with `prop_map`, numeric range and
+//! `any::<T>()` strategies, tuple strategies, `collection::vec`, and the
+//! `prop_assert*` macros.
+//!
+//! Semantics: each test runs `ProptestConfig::cases` iterations with
+//! inputs drawn from a ChaCha8 stream seeded deterministically from the
+//! test's module path and name, so failures reproduce across runs. There
+//! is **no shrinking** — a failing case reports the case number and the
+//! assertion message only.
+
+// Vendored API-compat shim: exempt from workspace lint policy.
+#![allow(clippy::all)]
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::{Rng, SeedableRng};
+
+/// The RNG driving input generation.
+pub type TestRng = rand_chacha::ChaCha8Rng;
+
+/// Per-test configuration. Only `cases` is honored.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` iterations.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Upstream's default case count.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property assertion, raised by `prop_assert!`/`prop_assert_eq!`.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// An error carrying `message`.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.source.sample(rng))
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for Range<T>
+where
+    Range<T>: Clone,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for RangeInclusive<T>
+where
+    RangeInclusive<T>: Clone,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy drawing from the full "standard" distribution of `T`
+/// (full integer range, `[0, 1)` for floats).
+pub struct Any<T>(PhantomData<T>);
+
+/// `any::<T>()`: arbitrary values of `T`.
+pub fn any<T: rand::Standard>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: rand::Standard> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Length specifications accepted by [`vec`].
+    pub trait IntoSizeBounds {
+        /// Inclusive `(min, max)` length bounds.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeBounds for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+    impl IntoSizeBounds for std::ops::Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec size range");
+            (self.start, self.end - 1)
+        }
+    }
+    impl IntoSizeBounds for std::ops::RangeInclusive<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// A strategy producing `Vec`s of `element` with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeBounds) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.min..=self.max);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything tests import (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+// ---- macro support ------------------------------------------------------
+
+/// Deterministic seed for a test, derived from its full path (FNV-1a).
+#[doc(hidden)]
+pub fn __seed_for(test_path: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A fresh RNG for one case of one test.
+#[doc(hidden)]
+pub fn __new_rng(seed: u64, case: u32) -> TestRng {
+    TestRng::seed_from_u64(seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// The `proptest! { ... }` test-definition macro.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr);
+     $($(#[$meta:meta])*
+       fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let seed =
+                    $crate::__seed_for(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let mut __proptest_rng = $crate::__new_rng(seed, case);
+                    $(let $pat = $crate::Strategy::sample(&($strat), &mut __proptest_rng);)+
+                    let mut __proptest_case =
+                        move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        };
+                    if let ::std::result::Result::Err(e) = __proptest_case() {
+                        ::std::panic!(
+                            "proptest case {}/{} (seed {seed:#x}) failed: {e}",
+                            case + 1,
+                            config.cases,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+/// (Upstream rejects and redraws; here the case simply passes, which
+/// preserves determinism at a small cost in effective case count.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Assert a property; on failure the current case errors with the
+/// condition text (or a formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality; on failure the current case errors showing both sides.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `left == right`\n  left: {left:?}\n right: {right:?}",
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `left == right`\n  left: {left:?}\n right: {right:?}\n {}",
+                ::std::format!($($fmt)+),
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pairs() -> impl Strategy<Value = Vec<(u64, f64)>> {
+        crate::collection::vec((1u64..10, 0.0f64..1.0), 2..=5)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u64..9, y in -2i64..=2, f in 0.25f64..0.75) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-2..=2).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f), "f = {f}");
+        }
+
+        #[test]
+        fn composite_strategies(mut v in pairs(), b in any::<u8>()) {
+            prop_assert!((2..=5).contains(&v.len()));
+            v.push((1, 0.0));
+            prop_assert_eq!(*v.last().unwrap(), (1, 0.0));
+            let mapped = (0u32..4).prop_map(|n| n * 2);
+            let e = Strategy::sample(&mapped, &mut crate::__new_rng(b as u64, 0));
+            prop_assert!(e % 2 == 0 && e < 8);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::__new_rng(crate::__seed_for("t"), 3);
+        let mut b = crate::__new_rng(crate::__seed_for("t"), 3);
+        let s = crate::collection::vec(0u64..100, 4..=4);
+        assert_eq!(Strategy::sample(&s, &mut a), Strategy::sample(&s, &mut b));
+    }
+}

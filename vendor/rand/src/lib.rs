@@ -1,0 +1,303 @@
+//! Offline shim for the subset of `rand` 0.8 this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal, dependency-free implementation of the APIs it
+//! actually calls: the [`RngCore`]/[`Rng`]/[`SeedableRng`] traits,
+//! `gen`, `gen_range` and `gen_bool`. Semantics match rand 0.8 (uniform
+//! ranges, 53-bit float precision); bit-exact stream compatibility with
+//! upstream is **not** guaranteed, only determinism for a given seed.
+
+// Vendored API-compat shim: exempt from workspace lint policy.
+#![allow(clippy::all)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// The low-level generator interface: a source of uniform random bits.
+pub trait RngCore {
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Types samplable uniformly from the generator's "standard" distribution
+/// (`rng.gen::<T>()`): full range for integers, `[0, 1)` for floats.
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u8 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+impl Standard for u16 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u16
+    }
+}
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl Standard for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+impl Standard for i64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform bits in [0, 1), as upstream.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types [`Rng::gen_range`] can produce. Like upstream, the range
+/// argument traits below have exactly one blanket impl per range shape
+/// over this trait — that uniqueness is what lets inference unify the
+/// range's element type with the produced type at call sites like
+/// `x * rng.gen_range(0.7..1.4)`.
+pub trait SampleUniform: PartialOrd + Sized {
+    /// Uniform draw from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
+        -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: $t,
+                hi: $t,
+                inclusive: bool,
+            ) -> $t {
+                if inclusive {
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let span = (hi as i128) - (lo as i128) + 1;
+                    if span > u64::MAX as i128 {
+                        return lo.wrapping_add(rng.next_u64() as $t);
+                    }
+                    (lo as i128 + uniform_u64_below(rng, span as u64) as i128) as $t
+                } else {
+                    assert!(lo < hi, "cannot sample empty range");
+                    let span = ((hi as i128) - (lo as i128)) as u64;
+                    (lo as i128 + uniform_u64_below(rng, span) as i128) as $t
+                }
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: $t,
+                hi: $t,
+                inclusive: bool,
+            ) -> $t {
+                if inclusive {
+                    assert!(lo <= hi, "cannot sample empty range");
+                } else {
+                    assert!(lo < hi, "cannot sample empty range");
+                }
+                let unit = <$t as Standard>::sample_standard(rng);
+                lo + (hi - lo) * unit
+            }
+        }
+    )*};
+}
+impl_uniform_float!(f32, f64);
+
+/// Range arguments accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw a uniform value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_range(rng, lo, hi, true)
+    }
+}
+
+/// Uniform value in `[0, span)` (`span = 0` means the full 64-bit range),
+/// via the widening-multiply method.
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    if span == 0 {
+        return rng.next_u64();
+    }
+    // Widening multiply maps 64 uniform bits onto [0, span) with
+    // negligible bias for the span sizes used in this workspace.
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+/// The user-facing sampling interface, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample from the standard distribution of `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Sample uniformly from `range` (half-open or inclusive).
+    fn gen_range<T: SampleUniform, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// A biased coin flip: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Generators constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (a fixed-size byte array for the workspace's RNGs).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanded to a full seed with SplitMix64
+    /// (the same construction upstream uses).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 step.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Commonly used re-exports, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Lcg(42);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(5u64..17);
+            assert!((5..17).contains(&v));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let i = rng.gen_range(-3i64..=3);
+            assert!((-3..=3).contains(&i));
+        }
+    }
+
+    #[test]
+    fn standard_floats_are_unit_interval() {
+        let mut rng = Lcg(7);
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        struct S([u8; 32]);
+        impl SeedableRng for S {
+            type Seed = [u8; 32];
+            fn from_seed(seed: [u8; 32]) -> S {
+                S(seed)
+            }
+        }
+        assert_eq!(S::seed_from_u64(9).0, S::seed_from_u64(9).0);
+        assert_ne!(S::seed_from_u64(9).0, S::seed_from_u64(10).0);
+    }
+}

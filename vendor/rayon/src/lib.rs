@@ -1,0 +1,65 @@
+//! Offline shim for the `rayon` entry points this workspace uses.
+//!
+//! `par_iter()` / `into_par_iter()` return the corresponding **sequential**
+//! std iterators, so every downstream `Iterator` adapter (`map`,
+//! `filter_map`, `collect`, …) works unchanged. The build environment has
+//! no crates.io access, and the workspace's hot loops are already
+//! vectorized inner numerics; losing data parallelism trades wall-clock
+//! for determinism and zero dependencies. The call sites keep their
+//! rayon shape so a real rayon can be swapped back in when the registry
+//! becomes reachable.
+
+// Vendored API-compat shim: exempt from workspace lint policy.
+#![allow(clippy::all)]
+
+pub mod prelude {
+    /// `into_par_iter()` for owned collections — sequential fallback.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// The "parallel" iterator (here: the plain sequential one).
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// `par_iter()` for borrowed collections — sequential fallback.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The borrowing iterator type.
+        type Iter: Iterator;
+        /// Iterate by reference.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data + ?Sized> IntoParallelRefIterator<'data> for T
+    where
+        &'data T: IntoIterator,
+    {
+        type Iter = <&'data T as IntoIterator>::IntoIter;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let sum: i32 = v.into_par_iter().sum();
+        assert_eq!(sum, 10);
+    }
+
+    #[test]
+    fn ranges_and_arrays_work() {
+        let squares: Vec<usize> = (0..5usize).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+        let arr: Vec<u64> = [1u64, 6, 12].into_par_iter().collect();
+        assert_eq!(arr, vec![1, 6, 12]);
+    }
+}

@@ -1,0 +1,311 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` implemented directly on `proc_macro`
+//! token streams (the build environment has no syn/quote).
+//!
+//! Supported shapes — everything the workspace derives:
+//! * structs with named fields,
+//! * tuple structs (arity 1 serializes transparently, like serde
+//!   newtypes; higher arities as arrays),
+//! * enums whose variants are all unit variants (serialized as the
+//!   variant name string).
+//!
+//! Generics, `#[serde(...)]` attributes, and data-carrying enum variants
+//! are rejected with a compile error naming this shim, so accidental use
+//! fails loudly instead of silently misbehaving.
+
+// Vendored API-compat shim: exempt from workspace lint policy.
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the item being derived looks like.
+enum Shape {
+    /// `struct Name { a: T, b: U }` — field names in order.
+    NamedStruct(Vec<String>),
+    /// `struct Name(T, ...)` — field count.
+    TupleStruct(usize),
+    /// `enum Name { A, B, C }` — variant names in order.
+    UnitEnum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .expect("serde_derive shim generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error tokens"),
+    }
+}
+
+// ---- parsing ------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match ident_at(&tokens, i).as_deref() {
+        Some(k @ ("struct" | "enum")) => k.to_owned(),
+        _ => return Err("serde shim: expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = ident_at(&tokens, i).ok_or("serde shim: expected item name")?;
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim: generic type `{name}` is not supported; derive by hand"
+        ));
+    }
+
+    let shape = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            if kind == "struct" {
+                Shape::NamedStruct(parse_named_fields(&body)?)
+            } else {
+                Shape::UnitEnum(parse_unit_variants(&name, &body)?)
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            if kind != "struct" {
+                return Err("serde shim: unexpected parenthesized enum body".into());
+            }
+            Shape::TupleStruct(count_tuple_fields(&g.stream().into_iter().collect::<Vec<_>>()))
+        }
+        _ => {
+            return Err(format!(
+                "serde shim: unsupported item body for `{name}` (unit structs not needed here)"
+            ))
+        }
+    };
+    Ok(Item { name, shape })
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize) -> Option<String> {
+    // Idents render exactly as their text via to_string.
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Advance past `#[...]` attributes (incl. doc comments) and a
+/// `pub`/`pub(...)` visibility prefix.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1; // [...]
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // (crate) / (super) / ...
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        skip_attrs_and_vis(body, &mut i);
+        if i >= body.len() {
+            break;
+        }
+        let name = ident_at(body, i).ok_or("serde shim: expected field name")?;
+        i += 1;
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("serde shim: expected `:` after field `{name}`")),
+        }
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn parse_unit_variants(enum_name: &str, body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        skip_attrs_and_vis(body, &mut i);
+        if i >= body.len() {
+            break;
+        }
+        let name = ident_at(body, i)
+            .ok_or_else(|| format!("serde shim: expected variant name in `{enum_name}`"))?;
+        i += 1;
+        match body.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            _ => {
+                return Err(format!(
+                    "serde shim: enum `{enum_name}` has a non-unit variant `{name}`; derive by hand"
+                ))
+            }
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+fn count_tuple_fields(body: &[TokenTree]) -> usize {
+    if body.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for t in body {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+// ---- code generation ----------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_owned(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => serde::Value::Str(::std::string::String::from({v:?}))"))
+                .collect();
+            format!("match *self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         \tfn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: serde::Deserialize::from_value(serde::obj_field(obj, {f:?})?)?")
+                })
+                .collect();
+            format!(
+                "let obj = v.as_object().ok_or_else(|| serde::Error::msg(\
+                 concat!(\"expected object for \", {name:?})))?;\n\
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| serde::Error::msg(\
+                 concat!(\"expected array for \", {name:?})))?;\n\
+                 if items.len() != {n} {{\n\
+                 \treturn Err(serde::Error::msg(concat!(\"wrong arity for \", {name:?})));\n\
+                 }}\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v})"))
+                .collect();
+            format!(
+                "let s = v.as_str().ok_or_else(|| serde::Error::msg(\
+                 concat!(\"expected variant string for \", {name:?})))?;\n\
+                 match s {{ {}, other => Err(serde::Error::msg(format!(\
+                 \"unknown {name} variant `{{other}}`\"))) }}",
+                arms.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         \tfn from_value(v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
