@@ -1,10 +1,25 @@
 #!/usr/bin/env bash
-# Local CI gate: build, test, lint. Run before every push.
+# Local CI gate: build, test, lint, perf baseline. Run before every push.
 #
 # The build environment is offline — all external dependencies resolve to
 # the vendored shims under vendor/ (see vendor/README.md).
+#
+# The perf step compares smoke-scale wall times and work counters against
+# the committed BENCH_replay.json. Drift is a warning by default (shared
+# hardware is noisy); pass --strict to make it fail the gate, and set
+# BENCH_THRESHOLD (a fraction, default 0.75) to tune the wall-time bar.
+# After an intentional perf or behavior change, re-record with
+#   cargo run --release -p bench --bin bench-baseline -- record
 set -euo pipefail
 cd "$(dirname "$0")"
+
+STRICT=""
+for arg in "$@"; do
+  case "$arg" in
+    --strict) STRICT="--strict" ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "== cargo build --release =="
 cargo build --release --offline --workspace
@@ -14,5 +29,16 @@ cargo test -q --offline --workspace
 
 echo "== cargo clippy -D warnings =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== bench-baseline compare =="
+if [[ -f BENCH_replay.json ]]; then
+  ./target/release/bench-baseline compare \
+    --baseline BENCH_replay.json \
+    --threshold "${BENCH_THRESHOLD:-0.75}" \
+    ${STRICT:+"$STRICT"}
+else
+  echo "no BENCH_replay.json — recording a fresh baseline"
+  ./target/release/bench-baseline record --out BENCH_replay.json
+fi
 
 echo "CI OK"

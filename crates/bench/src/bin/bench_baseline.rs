@@ -1,0 +1,362 @@
+//! `bench-baseline` — the perf-baseline pipeline behind `ci.sh`.
+//!
+//! Criterion answers "how fast is this function"; this binary answers
+//! "did the build get slower or do different work than the committed
+//! baseline". It runs a fixed set of smoke-scale targets, records wall
+//! time plus the key `obs` registry counters for each, and either writes
+//! the result (`record`) or diffs it against a committed baseline
+//! (`compare`):
+//!
+//! ```text
+//! bench-baseline record  [--out PATH]                # default BENCH_replay.json
+//! bench-baseline compare [--baseline PATH] [--threshold FRAC] [--strict]
+//! ```
+//!
+//! `compare` re-runs the targets and reports two kinds of drift:
+//!
+//! * **wall-time regressions** — current > baseline × (1 + threshold);
+//!   threshold defaults to 0.75 (smoke runs on shared CI hardware are
+//!   noisy; the default only catches step-change regressions).
+//! * **counter drift** — the work counters are deterministic (fixed
+//!   seeds), so *any* mismatch means the build does different work than
+//!   the baseline: an algorithm change that should be acknowledged by
+//!   re-recording, or an accidental behavior change.
+//!
+//! Exit status is 0 unless `--strict` is set, in which case any drift
+//! fails the run. Re-record with `bench-baseline record` after an
+//! intentional perf or behavior change.
+
+use std::time::Instant;
+
+use bench::bench_market;
+use jupiter::{JupiterStrategy, ServiceSpec};
+use obs::Obs;
+use replay::fleet::fleet_replay_observed;
+use replay::service_level::{lock_service_replay_observed, ServiceReplayConfig};
+use replay::{replay_strategy_observed, ReplayConfig};
+
+const DEFAULT_BASELINE: &str = "BENCH_replay.json";
+const DEFAULT_THRESHOLD: f64 = 0.75;
+const FORMAT_VERSION: u64 = 1;
+
+/// One target's measurement: wall time and its key work counters.
+struct TargetResult {
+    name: &'static str,
+    wall_ms: f64,
+    counters: Vec<(String, u64)>,
+}
+
+/// Counters whose prefix is in `keep`, in snapshot (sorted) order.
+fn key_counters(obs: &Obs, keep: &[&str]) -> Vec<(String, u64)> {
+    obs.metrics
+        .snapshot()
+        .counters
+        .into_iter()
+        .filter(|(name, _)| keep.iter().any(|p| name.starts_with(p)))
+        .collect()
+}
+
+fn run_target(name: &'static str, keep: &[&str], f: impl FnOnce(&Obs)) -> TargetResult {
+    let (obs, _clock) = Obs::simulated();
+    let t0 = Instant::now();
+    f(&obs);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    TargetResult {
+        name,
+        wall_ms,
+        counters: key_counters(&obs, keep),
+    }
+}
+
+/// The smoke-scale target set. Fixed seeds end to end: the counters are
+/// deterministic, only the wall times vary run to run.
+fn run_all() -> Vec<TargetResult> {
+    let train = 2 * 7 * 24 * 60;
+    let eval = 7 * 24 * 60;
+
+    vec![
+        run_target("market_generate", &["market."], |obs| {
+            let market = bench_market(3, 8);
+            obs.counter("market.zones").add(market.zones().len() as u64);
+            obs.counter("market.minutes").add(market.horizon());
+        }),
+        run_target(
+            "jupiter_replay",
+            &["replay.bids_placed", "replay.death.", "jupiter."],
+            |obs| {
+                let market = bench_market(3, 8);
+                let spec = ServiceSpec::lock_service();
+                let result = replay_strategy_observed(
+                    &market,
+                    &spec,
+                    JupiterStrategy::new().with_obs(obs.clone()),
+                    ReplayConfig::new(train, train + eval, 6),
+                    obs,
+                );
+                assert!(result.window_minutes > 0);
+            },
+        ),
+        run_target(
+            "fleet_replay",
+            &["fleet.", "replay.bids_placed"],
+            |obs| {
+                let market = bench_market(3, 8);
+                let spec = ServiceSpec::lock_service();
+                let fleet = fleet_replay_observed(
+                    &market,
+                    &spec,
+                    2,
+                    ReplayConfig::new(train, train + eval, 6),
+                    |_| JupiterStrategy::new(),
+                    obs,
+                );
+                assert_eq!(fleet.groups.len(), 2);
+            },
+        ),
+        run_target(
+            "lock_service_replay",
+            &["paxos.msg_sent.", "paxos.elections_started", "service."],
+            |obs| {
+                let market = bench_market(3, 8);
+                let service = lock_service_replay_observed(
+                    &market,
+                    JupiterStrategy::new().with_obs(obs.clone()),
+                    ServiceReplayConfig {
+                        eval_start: train,
+                        window_minutes: 4 * 60,
+                        interval_hours: 2,
+                        sla_ms: 5_000,
+                        seed: 4242,
+                    },
+                    obs,
+                );
+                assert!(service.ops_completed > 0);
+            },
+        ),
+    ]
+}
+
+// ---- JSON in/out --------------------------------------------------------
+
+fn to_json(targets: &[TargetResult]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"version\": {FORMAT_VERSION},\n"));
+    out.push_str("  \"targets\": {\n");
+    for (i, t) in targets.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\n      \"wall_ms\": {:.3},\n      \"counters\": {{",
+            t.name, t.wall_ms
+        ));
+        for (j, (name, v)) in t.counters.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n        \"{name}\": {v}"));
+        }
+        out.push_str("\n      }\n    }");
+        if i + 1 < targets.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+struct BaselineTarget {
+    name: String,
+    wall_ms: f64,
+    counters: Vec<(String, u64)>,
+}
+
+struct Baseline {
+    targets: Vec<BaselineTarget>,
+}
+
+fn parse_baseline(text: &str) -> Result<Baseline, String> {
+    let root = serde_json::parse_value(text).map_err(|e| e.to_string())?;
+    let obj = root.as_object().ok_or("baseline root is not an object")?;
+    let version = obj
+        .iter()
+        .find(|(k, _)| k == "version")
+        .and_then(|(_, v)| v.as_u64())
+        .ok_or("missing version")?;
+    if version != FORMAT_VERSION {
+        return Err(format!("unsupported baseline version {version}"));
+    }
+    let targets = obj
+        .iter()
+        .find(|(k, _)| k == "targets")
+        .and_then(|(_, v)| v.as_object())
+        .ok_or("missing targets object")?;
+    let mut out = Vec::new();
+    for (name, tv) in targets {
+        let t = tv.as_object().ok_or("target is not an object")?;
+        let wall_ms = t
+            .iter()
+            .find(|(k, _)| k == "wall_ms")
+            .and_then(|(_, v)| v.as_f64())
+            .ok_or_else(|| format!("{name}: missing wall_ms"))?;
+        let counters: Vec<(String, u64)> = t
+            .iter()
+            .find(|(k, _)| k == "counters")
+            .and_then(|(_, v)| v.as_object())
+            .map(|entries| {
+                entries
+                    .iter()
+                    .filter_map(|(k, v)| v.as_u64().map(|u| (k.clone(), u)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        out.push(BaselineTarget {
+            name: name.clone(),
+            wall_ms,
+            counters,
+        });
+    }
+    Ok(Baseline { targets: out })
+}
+
+// ---- comparison ---------------------------------------------------------
+
+/// Diff current against baseline. Returns the number of regressions.
+fn compare(baseline: &Baseline, current: &[TargetResult], threshold: f64) -> usize {
+    let mut issues = 0;
+    for t in current {
+        let Some(base) = baseline.targets.iter().find(|b| b.name == t.name) else {
+            println!("  NEW     {:<22} {:>9.1} ms (not in baseline — re-record)", t.name, t.wall_ms);
+            issues += 1;
+            continue;
+        };
+        let ratio = t.wall_ms / base.wall_ms.max(1e-9);
+        if ratio > 1.0 + threshold {
+            println!(
+                "  SLOWER  {:<22} {:>9.1} ms vs {:>9.1} ms baseline ({:+.0}%)",
+                t.name,
+                t.wall_ms,
+                base.wall_ms,
+                (ratio - 1.0) * 100.0
+            );
+            issues += 1;
+        } else {
+            println!(
+                "  ok      {:<22} {:>9.1} ms vs {:>9.1} ms baseline ({:+.0}%)",
+                t.name,
+                t.wall_ms,
+                base.wall_ms,
+                (ratio - 1.0) * 100.0
+            );
+        }
+        // Counter drift: deterministic seeds, so exact equality expected.
+        for (name, base_v) in &base.counters {
+            match t.counters.iter().find(|(n, _)| n == name) {
+                Some((_, cur_v)) if cur_v == base_v => {}
+                Some((_, cur_v)) => {
+                    println!("  DRIFT   {:<22} {name}: {cur_v} vs {base_v} baseline", t.name);
+                    issues += 1;
+                }
+                None => {
+                    println!("  MISSING {:<22} {name}: gone (baseline {base_v})", t.name);
+                    issues += 1;
+                }
+            }
+        }
+        for (name, cur_v) in &t.counters {
+            if !base.counters.iter().any(|(n, _)| n == name) {
+                println!("  NEW     {:<22} {name}: {cur_v} (not in baseline)", t.name);
+                issues += 1;
+            }
+        }
+    }
+    for base in &baseline.targets {
+        if !current.iter().any(|t| t.name == base.name) {
+            println!("  MISSING {}: target no longer runs", base.name);
+            issues += 1;
+        }
+    }
+    issues
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "record".into());
+
+    match mode.as_str() {
+        "record" => {
+            let out = flag_value(&args, "--out").unwrap_or_else(|| DEFAULT_BASELINE.into());
+            println!("bench-baseline: recording smoke targets → {out}");
+            let targets = run_all();
+            for t in &targets {
+                println!(
+                    "  {:<22} {:>9.1} ms, {} counters",
+                    t.name,
+                    t.wall_ms,
+                    t.counters.len()
+                );
+            }
+            if let Err(e) = std::fs::write(&out, to_json(&targets)) {
+                eprintln!("cannot write {out}: {e}");
+                std::process::exit(1);
+            }
+        }
+        "compare" => {
+            let path = flag_value(&args, "--baseline").unwrap_or_else(|| DEFAULT_BASELINE.into());
+            let threshold = flag_value(&args, "--threshold")
+                .and_then(|s| s.parse::<f64>().ok())
+                .unwrap_or(DEFAULT_THRESHOLD);
+            let strict = args.iter().any(|a| a == "--strict");
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read baseline {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let baseline = match parse_baseline(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("bad baseline {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            println!(
+                "bench-baseline: comparing against {path} (threshold {:.0}%{})",
+                threshold * 100.0,
+                if strict { ", strict" } else { "" }
+            );
+            let current = run_all();
+            let issues = compare(&baseline, &current, threshold);
+            if issues == 0 {
+                println!("bench-baseline: no drift");
+            } else {
+                println!(
+                    "bench-baseline: {issues} issue(s){}",
+                    if strict {
+                        ""
+                    } else {
+                        " (non-fatal; pass --strict to fail the build, \
+                         or re-record after an intentional change)"
+                    }
+                );
+                if strict {
+                    std::process::exit(3);
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown mode `{other}` (expected `record` or `compare`)");
+            std::process::exit(2);
+        }
+    }
+}

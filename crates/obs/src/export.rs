@@ -1,0 +1,214 @@
+//! Standard-format exporters over the crate's snapshots: Prometheus
+//! text exposition for the metrics registry, JSON-lines for events and
+//! time-series samples, and collapsed-stack output (flamegraph /
+//! speedscope compatible) for the tracer's spans.
+//!
+//! Everything here renders from *detached* snapshots, so exports can be
+//! taken mid-run without holding instrument locks, and the same bytes
+//! can be regenerated later from a stored [`MetricsSnapshot`] or
+//! [`SeriesSnapshot`].
+
+use std::collections::BTreeMap;
+
+use crate::json;
+use crate::metrics::MetricsSnapshot;
+use crate::timeseries::{push_point_json, SeriesSnapshot};
+use crate::trace::{event_to_json, Event, EventKind, FieldValue};
+use crate::Obs;
+
+/// Sanitize a dotted metric name into the Prometheus name alphabet
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other character becomes `_`, and
+/// a leading digit gains a `_` prefix.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        match c {
+            'a'..='z' | 'A'..='Z' | '_' | ':' => out.push(c),
+            '0'..='9' if i > 0 => out.push(c),
+            '0'..='9' => {
+                out.push('_');
+                out.push(c);
+            }
+            _ => out.push('_'),
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+fn push_prom_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&v.to_string());
+    } else if v.is_nan() {
+        out.push_str("NaN");
+    } else if v > 0.0 {
+        out.push_str("+Inf");
+    } else {
+        out.push_str("-Inf");
+    }
+}
+
+/// Render a metrics snapshot in the Prometheus text exposition format
+/// (version 0.0.4). Counters export as `counter`, gauges as `gauge`,
+/// and histograms as `summary` (quantile upper bounds at power-of-two
+/// resolution, plus exact `_sum`/`_count` and a `_max` gauge).
+pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let pname = prometheus_name(name);
+        out.push_str(&format!("# TYPE {pname} counter\n{pname} {value}\n"));
+    }
+    for (name, value) in &snap.gauges {
+        let pname = prometheus_name(name);
+        out.push_str(&format!("# TYPE {pname} gauge\n{pname} "));
+        push_prom_f64(&mut out, *value);
+        out.push('\n');
+    }
+    for (name, h) in &snap.histograms {
+        let pname = prometheus_name(name);
+        out.push_str(&format!("# TYPE {pname} summary\n"));
+        for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
+            out.push_str(&format!("{pname}{{quantile=\"{q}\"}} {v}\n"));
+        }
+        out.push_str(&format!("{pname}_sum {}\n{pname}_count {}\n", h.sum, h.count));
+        out.push_str(&format!(
+            "# TYPE {pname}_max gauge\n{pname}_max {}\n",
+            h.max
+        ));
+    }
+    out
+}
+
+/// Render time-series snapshots as JSON lines: one object per retained
+/// point, tagged with the series name —
+/// `{"series":"replay.availability","t_first":...,"count":1}`.
+pub fn samples_jsonl(series: &[SeriesSnapshot]) -> String {
+    let mut out = String::new();
+    for s in series {
+        for p in &s.points {
+            out.push_str("{\"series\":");
+            json::push_str_lit(&mut out, &s.name);
+            // Splice the point fields into the same object.
+            let mut point = String::new();
+            push_point_json(&mut point, p);
+            out.push(',');
+            out.push_str(&point[1..]);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Dump an [`Obs`] handle as one self-describing JSON-lines stream:
+/// `{"type":"counter"|"gauge"|"histogram"|"sample"|"event", ...}` — the
+/// union of the registry snapshot, the series store, and the trace ring,
+/// suitable for `jq`/pandas-style post-processing.
+pub fn obs_jsonl(obs: &Obs) -> String {
+    let mut out = String::new();
+    let snap = obs.metrics.snapshot();
+    for (name, v) in &snap.counters {
+        out.push_str("{\"type\":\"counter\",\"name\":");
+        json::push_str_lit(&mut out, name);
+        out.push_str(&format!(",\"value\":{v}}}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        out.push_str("{\"type\":\"gauge\",\"name\":");
+        json::push_str_lit(&mut out, name);
+        out.push_str(",\"value\":");
+        json::push_f64(&mut out, *v);
+        out.push_str("}\n");
+    }
+    for (name, h) in &snap.histograms {
+        out.push_str("{\"type\":\"histogram\",\"name\":");
+        json::push_str_lit(&mut out, name);
+        out.push_str(&format!(
+            ",\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}\n",
+            h.count, h.sum, h.p50, h.p95, h.p99, h.max
+        ));
+    }
+    for s in &obs.series.snapshot() {
+        for p in &s.points {
+            out.push_str("{\"type\":\"sample\",\"series\":");
+            json::push_str_lit(&mut out, &s.name);
+            let mut point = String::new();
+            push_point_json(&mut point, p);
+            out.push(',');
+            out.push_str(&point[1..]);
+            out.push('\n');
+        }
+    }
+    for event in obs.trace.events() {
+        out.push_str("{\"type\":\"event\",");
+        let body = event_to_json(&event);
+        out.push_str(&body[1..]);
+        out.push('\n');
+    }
+    out
+}
+
+struct Frame {
+    name: String,
+    id: u64,
+    child_micros: u64,
+}
+
+/// Fold the tracer's span events into collapsed-stack lines
+/// (`parent;child <self-time-micros>`), the input format of
+/// `flamegraph.pl` and speedscope. Weights are **self** times, so the
+/// flamegraph's inclusive widths reconstruct each span's full duration.
+/// Instant events are ignored; unclosed spans contribute nothing.
+///
+/// Span nesting is reconstructed from event order (the tracer's ring is
+/// append-ordered), which is exact for the single-threaded simulations
+/// this workspace records; interleaved concurrent spans fold into
+/// whichever stack is open at their end edge.
+pub fn collapsed_stacks(events: &[Event]) -> String {
+    let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
+    let mut open: Vec<Frame> = Vec::new();
+    for event in events {
+        match event.kind {
+            EventKind::Instant => {}
+            EventKind::SpanStart => open.push(Frame {
+                name: event.name.clone(),
+                id: event.span_id.unwrap_or(0),
+                child_micros: 0,
+            }),
+            EventKind::SpanEnd => {
+                let id = event.span_id.unwrap_or(0);
+                let Some(pos) = open.iter().rposition(|f| f.id == id) else {
+                    continue; // start edge fell off the ring
+                };
+                // Abandon any deeper frames that never closed.
+                open.truncate(pos + 1);
+                let frame = open.pop().expect("frame at pos");
+                let duration = event
+                    .fields
+                    .iter()
+                    .find(|(k, _)| k == "duration_micros")
+                    .and_then(|(_, v)| match v {
+                        FieldValue::U64(d) => Some(*d),
+                        _ => None,
+                    })
+                    .unwrap_or(0);
+                let mut path = String::new();
+                for f in &open {
+                    path.push_str(&f.name);
+                    path.push(';');
+                }
+                path.push_str(&frame.name);
+                *stacks.entry(path).or_insert(0) +=
+                    duration.saturating_sub(frame.child_micros);
+                if let Some(parent) = open.last_mut() {
+                    parent.child_micros += duration;
+                }
+            }
+        }
+    }
+    let mut out = String::new();
+    for (path, micros) in stacks {
+        out.push_str(&format!("{path} {micros}\n"));
+    }
+    out
+}

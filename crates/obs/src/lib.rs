@@ -16,14 +16,19 @@
 //! The crate has zero dependencies; JSON export is hand-rolled.
 
 mod clock;
+pub mod export;
 mod json;
 mod metrics;
+mod timeseries;
 mod trace;
 
 pub use clock::{Clock, ManualClock, WallClock};
 pub use metrics::{
     bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSummary,
     MetricsSnapshot, Registry, HISTOGRAM_BUCKETS,
+};
+pub use timeseries::{
+    SeriesPoint, SeriesSnapshot, SeriesStore, TimeSeries, DEFAULT_SERIES_CAPACITY,
 };
 pub use trace::{event_to_json, Event, EventKind, FieldValue, Span, SpanHandle, Tracer};
 
@@ -38,6 +43,8 @@ pub struct Obs {
     pub metrics: Registry,
     /// Structured events and spans.
     pub trace: Tracer,
+    /// Named `(t, f64)` time series with bounded memory.
+    pub series: SeriesStore,
 }
 
 impl Obs {
@@ -46,6 +53,7 @@ impl Obs {
         Obs {
             metrics: Registry::disabled(),
             trace: Tracer::disabled(),
+            series: SeriesStore::disabled(),
         }
     }
 
@@ -66,12 +74,13 @@ impl Obs {
         Obs {
             metrics: Registry::new(),
             trace: Tracer::new(clock, Tracer::DEFAULT_CAPACITY),
+            series: SeriesStore::new(),
         }
     }
 
     /// Whether any instrumentation is live.
     pub fn is_enabled(&self) -> bool {
-        self.metrics.is_enabled() || self.trace.is_enabled()
+        self.metrics.is_enabled() || self.trace.is_enabled() || self.series.is_enabled()
     }
 
     /// Drive the tracer's clock, when it is a [`ManualClock`] (no-op on
@@ -96,13 +105,32 @@ impl Obs {
         self.metrics.histogram(name)
     }
 
+    /// Time-series handle from the bundled store.
+    pub fn time_series(&self, name: &str) -> TimeSeries {
+        self.series.series(name)
+    }
+
+    /// Record one time-series sample, timestamped from the tracer's
+    /// clock (in the clock's own units — replay drives it in simulated
+    /// minutes-as-micros, so the coordinate is `minute * 60e6`).
+    pub fn record_series(&self, name: &str, value: f64) {
+        self.series.record(name, self.trace.now_micros(), value);
+    }
+
     /// The full state as one JSON document:
-    /// `{"metrics": ..., "trace": ...}`.
+    /// `{"metrics": ..., "series": ..., "trace": ...}`.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\"metrics\":");
         out.push_str(&self.metrics.snapshot().to_json());
-        out.push_str(",\"trace\":");
+        out.push_str(",\"series\":[");
+        for (i, s) in self.series.snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&s.to_json());
+        }
+        out.push_str("],\"trace\":");
         out.push_str(&self.trace.to_json());
         out.push('}');
         out
@@ -120,6 +148,7 @@ impl std::fmt::Debug for Obs {
         f.debug_struct("Obs")
             .field("metrics", &self.metrics)
             .field("trace", &self.trace)
+            .field("series", &self.series)
             .finish()
     }
 }

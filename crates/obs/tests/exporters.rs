@@ -1,0 +1,201 @@
+//! Exporter golden-file tests, `Registry::merge` semantics, and the
+//! downsampling envelope property.
+//!
+//! The golden files live in `tests/golden/`; regenerate them after an
+//! intentional format change with
+//! `BLESS=1 cargo test -p obs --test exporters`.
+
+use obs::export::{collapsed_stacks, obs_jsonl, prometheus_name, prometheus_text};
+use obs::{FieldValue, Obs, Registry, SeriesStore};
+use proptest::prelude::*;
+
+fn check_golden(name: &str, actual: &str) {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {path}: {e} (regenerate with BLESS=1)"));
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden file; if intentional, regenerate with \
+         BLESS=1 cargo test -p obs --test exporters"
+    );
+}
+
+/// A deterministic handle exercising every exporter input: counters
+/// (including a name that needs sanitizing), gauges, histograms, two
+/// series, and a nested span pair on the manual clock.
+fn fixture() -> Obs {
+    let (obs, _clock) = Obs::simulated();
+    obs.counter("replay.bids_placed").add(42);
+    obs.counter("9weird/name-with.chars").inc();
+    obs.gauge("replay.availability").set(0.999);
+    let h = obs.histogram("decide_micros");
+    for v in [1, 2, 3, 100, 1_000] {
+        h.record(v);
+    }
+
+    obs.series.record("replay.fleet_size", 0, 5.0);
+    obs.series.record("replay.fleet_size", 60, 4.0);
+    obs.series.record("replay.price.us-east-1a", 0, 0.0085);
+
+    obs.set_time_micros(0);
+    let outer = obs.trace.span_open("boundary", &[]);
+    obs.set_time_micros(10_000);
+    let inner = obs.trace.span_open("decide", &[("zones", FieldValue::U64(8))]);
+    obs.set_time_micros(25_000);
+    obs.trace.span_close(inner, "decide", &[]);
+    obs.set_time_micros(40_000);
+    obs.trace.span_close(outer, "boundary", &[]);
+    obs
+}
+
+#[test]
+fn prometheus_golden() {
+    let obs = fixture();
+    check_golden("prometheus.txt", &prometheus_text(&obs.metrics.snapshot()));
+}
+
+#[test]
+fn jsonl_golden() {
+    let obs = fixture();
+    let jsonl = obs_jsonl(&obs);
+    // Every line must parse as standalone JSON before byte-comparison.
+    for line in jsonl.lines() {
+        serde_json::parse_value(line)
+            .unwrap_or_else(|e| panic!("invalid JSONL line {line:?}: {e}"));
+    }
+    check_golden("obs.jsonl", &jsonl);
+}
+
+#[test]
+fn collapsed_stacks_golden() {
+    let obs = fixture();
+    let folded = collapsed_stacks(&obs.trace.events());
+    // Self-times: decide ran 15 ms inside boundary's 40 ms.
+    assert!(folded.contains("boundary;decide 15000"));
+    assert!(folded.contains("boundary 25000"));
+    check_golden("collapsed.txt", &folded);
+}
+
+#[test]
+fn prometheus_names_are_sanitized() {
+    assert_eq!(prometheus_name("replay.bids_placed"), "replay_bids_placed");
+    assert_eq!(prometheus_name("9weird/name-with.chars"), "_9weird_name_with_chars");
+    assert_eq!(prometheus_name("ok:name_2"), "ok:name_2");
+    assert_eq!(prometheus_name(""), "_");
+}
+
+// ---- Registry::merge ----------------------------------------------------
+
+#[test]
+fn merge_adds_counters_overwrites_gauges_and_merges_histograms() {
+    let dst = Registry::new();
+    dst.counter("c").add(10);
+    dst.gauge("g").set(1.0);
+    dst.histogram("h").record(8);
+
+    let src = Registry::new();
+    src.counter("c").add(5);
+    src.counter("only_src").add(7);
+    src.gauge("g").set(2.5);
+    src.histogram("h").record(64);
+
+    dst.merge(&src);
+    let snap = dst.snapshot();
+    assert_eq!(snap.counter("c"), Some(15));
+    assert_eq!(snap.counter("only_src"), Some(7));
+    assert_eq!(snap.gauges.iter().find(|(n, _)| n == "g").map(|(_, v)| *v), Some(2.5));
+    let h = snap
+        .histograms
+        .iter()
+        .find(|(n, _)| n == "h")
+        .map(|(_, h)| *h)
+        .expect("merged histogram");
+    assert_eq!(h.count, 2);
+    assert_eq!(h.sum, 72);
+    assert_eq!(h.max, 64);
+
+    // The source is read-only under merge.
+    assert_eq!(src.snapshot().counter("c"), Some(5));
+}
+
+#[test]
+fn merge_with_self_and_disabled_are_no_ops() {
+    let r = Registry::new();
+    r.counter("c").add(3);
+    r.merge(&r.clone()); // same cells: must not double
+    assert_eq!(r.snapshot().counter("c"), Some(3));
+
+    r.merge(&Registry::disabled());
+    assert_eq!(r.snapshot().counter("c"), Some(3));
+
+    let off = Registry::disabled();
+    off.merge(&r);
+    assert!(off.snapshot().counters.is_empty());
+}
+
+#[test]
+fn merge_prefixed_namespaces_the_source() {
+    let combined = Registry::new();
+    let jupiter = Registry::new();
+    jupiter.counter("bids").add(4);
+    let greedy = Registry::new();
+    greedy.counter("bids").add(9);
+
+    combined.merge_prefixed(&jupiter, "jupiter.");
+    combined.merge_prefixed(&greedy, "greedy.");
+    let snap = combined.snapshot();
+    assert_eq!(snap.counter("jupiter.bids"), Some(4));
+    assert_eq!(snap.counter("greedy.bids"), Some(9));
+    assert_eq!(snap.counter("bids"), None);
+}
+
+// ---- downsampling envelope ----------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// However hard a series is downsampled, the retained points keep
+    /// the exact global min/max/first/last/sum/count of the raw stream,
+    /// and the merged points stay in time order.
+    #[test]
+    fn downsampling_preserves_the_envelope(
+        values in proptest::collection::vec(-1.0e6f64..1.0e6, 1..300),
+        capacity in 2usize..16,
+    ) {
+        let store = SeriesStore::with_capacity(capacity);
+        let ts = store.series("s");
+        for (i, &v) in values.iter().enumerate() {
+            ts.record(i as u64, v);
+        }
+        let snap = &store.snapshot()[0];
+
+        prop_assert!(snap.points.len() <= capacity.max(2));
+        prop_assert_eq!(snap.total_count, values.len() as u64);
+        let count: u64 = snap.points.iter().map(|p| p.count).sum();
+        prop_assert_eq!(count, values.len() as u64);
+
+        let raw_min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let raw_max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(snap.min(), Some(raw_min));
+        prop_assert_eq!(snap.max(), Some(raw_max));
+        prop_assert_eq!(snap.points.first().map(|p| p.first), values.first().copied());
+        prop_assert_eq!(snap.last(), values.last().copied());
+
+        let raw_sum: f64 = values.iter().sum();
+        let kept_sum: f64 = snap.points.iter().map(|p| p.sum).sum();
+        prop_assert!((raw_sum - kept_sum).abs() <= raw_sum.abs() * 1e-9 + 1e-6);
+
+        // Points cover disjoint, ordered time ranges.
+        for w in snap.points.windows(2) {
+            prop_assert!(w[0].t_last < w[1].t_first);
+        }
+        for p in &snap.points {
+            prop_assert!(p.t_first <= p.t_last);
+            prop_assert!(p.min <= p.max);
+        }
+    }
+}

@@ -70,43 +70,11 @@ where
         .map(|g| replay_strategy_observed(market, spec, make_strategy(g), config, obs))
         .collect();
 
-    let zero_lifetime = results
-        .iter()
-        .flat_map(|r| &r.instances)
-        .filter(|i| i.termination == Termination::Provider && i.ended_at <= i.granted_at)
-        .count();
     obs.counter("fleet.granted_and_killed_same_minute")
-        .add(zero_lifetime as u64);
+        .add(count_zero_lifetime(&results) as u64);
 
-    // Aggregate availability: with identical deterministic schedules the
-    // groups' up/down timelines coincide, so "all up" equals the minimum
-    // per-interval uptime; compute it interval-by-interval to stay exact
-    // for heterogeneous strategies too.
     let window = results[0].window_minutes;
-    let mut all_up = 0u64;
-    let reference = &results[0];
-    for (i, iv) in reference.intervals.iter().enumerate() {
-        let per_group: Vec<u64> = results
-            .iter()
-            .map(|r| r.intervals.get(i).map(|x| x.up_minutes).unwrap_or(0))
-            .collect();
-        debug_assert_eq!(
-            per_group.len(),
-            groups,
-            "every group contributes to interval {i}"
-        );
-        debug_assert!(
-            results
-                .iter()
-                .all(|r| r.intervals.get(i).map(|x| x.start) == Some(iv.start)),
-            "groups disagree on the start of interval {i}"
-        );
-        let up = per_group.into_iter().min().unwrap_or_else(|| {
-            debug_assert!(false, "empty fleet at interval {i}");
-            0
-        });
-        all_up += up;
-    }
+    let all_up = aggregate_all_up(&results, obs);
     let total_cost = results.iter().map(|r| r.total_cost).sum();
     FleetResult {
         all_up_availability: all_up as f64 / window.max(1) as f64,
@@ -115,11 +83,141 @@ where
     }
 }
 
+/// Instances that were provider-killed in the very minute they were
+/// granted (the bid only just covered the request-time price). Recorded
+/// as `fleet.granted_and_killed_same_minute` — in release builds too,
+/// since a fleet that burns whole instance-grants for zero runtime is an
+/// accounting signal, not a debugging aid.
+pub(crate) fn count_zero_lifetime(results: &[ReplayResult]) -> usize {
+    results
+        .iter()
+        .flat_map(|r| &r.instances)
+        .filter(|i| i.termination == Termination::Provider && i.ended_at <= i.granted_at)
+        .count()
+}
+
+/// Aggregate availability: with identical deterministic schedules the
+/// groups' up/down timelines coincide, so "all up" equals the minimum
+/// per-interval uptime; computed interval-by-interval to stay exact for
+/// heterogeneous strategies too.
+///
+/// Groups that fail to line up — a missing interval or a disagreeing
+/// interval start — are treated as *down* for that interval and counted
+/// in `fleet.interval_missing_group` / `fleet.interval_misaligned`.
+/// These used to be `debug_assert`s, which made release builds silently
+/// drop the evidence that the aggregate was conservative.
+pub(crate) fn aggregate_all_up(results: &[ReplayResult], obs: &Obs) -> u64 {
+    let missing_group = obs.counter("fleet.interval_missing_group");
+    let misaligned = obs.counter("fleet.interval_misaligned");
+    let Some(reference) = results.first() else {
+        return 0;
+    };
+    let mut all_up = 0u64;
+    for (i, iv) in reference.intervals.iter().enumerate() {
+        let mut up = u64::MAX;
+        for r in results {
+            match r.intervals.get(i) {
+                None => {
+                    missing_group.inc();
+                    up = 0;
+                }
+                Some(x) => {
+                    if x.start != iv.start {
+                        misaligned.inc();
+                    }
+                    up = up.min(x.up_minutes);
+                }
+            }
+        }
+        all_up += up;
+    }
+    all_up
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lifecycle::InstanceRecord;
+    use crate::results::IntervalOutcome;
     use jupiter::{ExtraStrategy, JupiterStrategy};
     use spot_market::{InstanceType, MarketConfig};
+
+    /// A hand-built group result with the given interval starts/uptimes.
+    fn synthetic(starts_ups: &[(u64, u64)], records: Vec<InstanceRecord>) -> ReplayResult {
+        ReplayResult {
+            strategy: "synthetic".into(),
+            total_cost: Price::ZERO,
+            window_minutes: 720,
+            up_minutes: starts_ups.iter().map(|&(_, u)| u).sum(),
+            instances: records,
+            intervals: starts_ups
+                .iter()
+                .map(|&(start, up)| IntervalOutcome {
+                    start,
+                    group_size: 5,
+                    quorum: 3,
+                    cost_upper_bound: Price::ZERO,
+                    up_minutes: up,
+                    kills: 0,
+                })
+                .collect(),
+            metrics: None,
+            series: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn missing_intervals_count_as_down_and_are_recorded_in_release() {
+        // Group b stops reporting after its first interval: the fleet is
+        // down for the unreported stretch, and the drop is *counted*
+        // (this accounting used to be debug_assert-only, i.e. silently
+        // absent from release builds).
+        let a = synthetic(&[(0, 360), (360, 300)], vec![]);
+        let b = synthetic(&[(0, 100)], vec![]);
+        let (obs, _clock) = Obs::simulated();
+        let up = aggregate_all_up(&[a, b], &obs);
+        assert_eq!(up, 100, "min(360,100) + nothing for the missing interval");
+        let snap = obs.metrics.snapshot();
+        assert_eq!(snap.counter("fleet.interval_missing_group"), Some(1));
+        assert_eq!(snap.counter("fleet.interval_misaligned"), Some(0));
+    }
+
+    #[test]
+    fn misaligned_interval_starts_are_recorded() {
+        let a = synthetic(&[(0, 360), (360, 360)], vec![]);
+        let b = synthetic(&[(0, 360), (300, 200)], vec![]);
+        let (obs, _clock) = Obs::simulated();
+        let up = aggregate_all_up(&[a, b], &obs);
+        assert_eq!(up, 360 + 200);
+        let snap = obs.metrics.snapshot();
+        assert_eq!(snap.counter("fleet.interval_misaligned"), Some(1));
+    }
+
+    #[test]
+    fn killed_in_grant_minute_counter_regression() {
+        let zone = spot_market::topology::all_zones()[0];
+        let record = |granted_at: u64, ended_at: u64, termination| InstanceRecord {
+            zone,
+            bid: Price::from_dollars(0.01),
+            granted_at,
+            running_from: granted_at,
+            ended_at,
+            termination,
+            cost: Price::ZERO,
+        };
+        let results = vec![
+            synthetic(
+                &[(0, 360)],
+                vec![
+                    record(10, 10, Termination::Provider), // zero lifetime
+                    record(20, 80, Termination::Provider),
+                    record(30, 30, Termination::User), // boundary churn, not a kill
+                ],
+            ),
+            synthetic(&[(0, 360)], vec![record(5, 5, Termination::Provider)]),
+        ];
+        assert_eq!(count_zero_lifetime(&results), 2);
+    }
 
     fn market() -> Market {
         let mut cfg = MarketConfig::paper(19, 2 * 7 * 24 * 60);

@@ -120,6 +120,12 @@ pub fn replay_schedule_observed<S: BiddingStrategy>(
     let same_minute_death = obs.counter("replay.same_minute_death");
     let interval_cost = obs.gauge("replay.interval_cost_upper_dollars");
     let interval_availability = obs.gauge("replay.interval_availability");
+    // Per-interval time series (time axis: market minutes). Per-zone
+    // price/bid series are looked up per interval since zones vary.
+    let fleet_series = obs.series.series("replay.fleet_size");
+    let cost_series = obs.series.series("replay.interval_cost_upper_dollars");
+    let availability_series = obs.series.series("replay.interval_availability");
+    let deaths_series = obs.series.series("replay.deaths");
     let ty = spec.instance_type;
     let zones: Vec<Zone> = market.zones().to_vec();
 
@@ -170,6 +176,21 @@ pub fn replay_schedule_observed<S: BiddingStrategy>(
             .collect();
         let decision = framework.decide(&snapshots, interval as u32);
         bids_placed.add(decision.bids.len() as u64);
+        if obs.series.is_enabled() {
+            // The Fig. 4/7 raw material: spot price per zone and the
+            // active bid wherever one is standing, both at decision time.
+            for s in &snapshots {
+                obs.series.record(
+                    &format!("replay.price.{}", s.zone),
+                    boundary,
+                    s.spot_price.as_dollars(),
+                );
+            }
+            for &(zone, bid) in &decision.bids {
+                obs.series
+                    .record(&format!("replay.bid.{zone}"), boundary, bid.as_dollars());
+            }
+        }
         let interval_span = obs.trace.span(
             "replay.interval",
             &[
@@ -284,8 +305,13 @@ pub fn replay_schedule_observed<S: BiddingStrategy>(
             minute += span;
         }
         up_minutes_total += up;
+        let availability = up as f64 / (interval_end - boundary).max(1) as f64;
         interval_cost.set(decision.cost_upper_bound().as_dollars());
-        interval_availability.set(up as f64 / (interval_end - boundary).max(1) as f64);
+        interval_availability.set(availability);
+        fleet_series.record(boundary, fleet.len() as f64);
+        cost_series.record(boundary, decision.cost_upper_bound().as_dollars());
+        availability_series.record(boundary, availability);
+        deaths_series.record(boundary, kills as f64);
         intervals.push(IntervalOutcome {
             start: boundary,
             group_size: group,
@@ -337,6 +363,7 @@ pub fn replay_schedule_observed<S: BiddingStrategy>(
         instances: records,
         intervals,
         metrics: obs.metrics.is_enabled().then(|| obs.metrics.snapshot()),
+        series: obs.series.snapshot(),
     }
 }
 

@@ -57,6 +57,12 @@ pub struct ReplayResult {
     /// Final metrics snapshot, when the replay ran with an enabled
     /// [`obs::Obs`] (see `replay_strategy_observed`); `None` otherwise.
     pub metrics: Option<obs::MetricsSnapshot>,
+    /// Recorded time series (per-zone prices and bids, fleet size,
+    /// interval cost, availability, deaths — see the series table in
+    /// DESIGN.md), when the replay ran with an enabled [`obs::Obs`]
+    /// whose series store is live; empty otherwise. The time axis is
+    /// market minutes.
+    pub series: Vec<obs::SeriesSnapshot>,
 }
 
 impl ReplayResult {
@@ -77,6 +83,11 @@ impl ReplayResult {
     /// Total out-of-bid kills.
     pub fn total_kills(&self) -> usize {
         self.intervals.iter().map(|i| i.kills).sum()
+    }
+
+    /// The recorded series named `name`, if present.
+    pub fn series_named(&self, name: &str) -> Option<&obs::SeriesSnapshot> {
+        self.series.iter().find(|s| s.name == name)
     }
 
     /// Mean group size across intervals.
@@ -123,6 +134,7 @@ mod tests {
                 },
             ],
             metrics: None,
+            series: Vec::new(),
         }
     }
 

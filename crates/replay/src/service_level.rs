@@ -138,6 +138,12 @@ pub fn lock_service_replay_observed<S: BiddingStrategy>(
 
     let mut reconfigs = 0usize;
     let mut crashes = 0usize;
+    // Cumulative trajectories on the market-minute axis — the crash/churn
+    // view of the same window the market replay records per interval.
+    let crash_series = obs.series.series("service.crashes");
+    let fleet_series = obs.series.series("service.fleet_size");
+    let reconfig_series = obs.series.series("service.reconfigs");
+    fleet_series.record(config.eval_start, fleet.len() as f64);
 
     // Pre-queue a steady lock workload: acquire/release pairs.
     let mut queued = 0usize;
@@ -188,6 +194,7 @@ pub fn lock_service_replay_observed<S: BiddingStrategy>(
             if let Some((node, _)) = fleet.remove(&zone) {
                 cluster.crash(node);
                 crashes += 1;
+                crash_series.record(kill_minute, crashes as f64);
             }
         }
         cluster
@@ -251,6 +258,8 @@ pub fn lock_service_replay_observed<S: BiddingStrategy>(
             reconfigs += 1;
         }
         fleet = new_fleet;
+        fleet_series.record(interval_end, fleet.len() as f64);
+        reconfig_series.record(interval_end, reconfigs as f64);
         let upto = (queued + 32).min(total_ops);
         refill(&mut cluster, &mut queued, upto);
         boundary = interval_end;
@@ -391,6 +400,8 @@ pub fn storage_service_replay_observed<S: BiddingStrategy>(
 
     let mut crashes = 0usize;
     let mut rebinds = 0usize;
+    let crash_series = obs.series.series("storage.crashes");
+    let rebind_series = obs.series.series("storage.rebinds");
     let mut expected: std::collections::HashMap<String, u8> = Default::default();
     let mut op_counter = 0usize;
     let total_ops = (config.window_minutes / 3).max(4) as usize;
@@ -444,6 +455,7 @@ pub fn storage_service_replay_observed<S: BiddingStrategy>(
             cluster.crash(cluster.servers()[slot]);
             dead.push(slot);
             crashes += 1;
+            crash_series.record(kill_minute, crashes as f64);
         }
         cluster
             .sim
@@ -500,6 +512,7 @@ pub fn storage_service_replay_observed<S: BiddingStrategy>(
                 rebinds += 1;
             }
         }
+        rebind_series.record(interval_end, rebinds as f64);
         let upto = (op_counter + 16).min(total_ops);
         submit_some(&mut cluster, &mut op_counter, &mut expected, upto);
         boundary = interval_end;

@@ -1,8 +1,8 @@
 //! `repro` — regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--quick] [--seed N] [--metrics-out PATH] \
-//!       [all|fig1|table1|fig4|fig5|fig6|fig7|fig8|fig9|headline|ablations|calibration|metrics]
+//! repro [--quick] [--seed N] [--metrics-out PATH] [--report-out PATH] \
+//!       [all|fig1|table1|fig4|fig5|fig6|fig7|fig8|fig9|headline|ablations|calibration|metrics|report]
 //! ```
 //!
 //! By default runs at the paper's scale (13 training weeks, 11 evaluation
@@ -15,11 +15,18 @@
 //! shared [`obs::Obs`] — and dumps the metrics registry and trace ring as
 //! JSON to `PATH`. With no explicit target it runs only that pass
 //! (`metrics` target).
+//!
+//! The `report` target runs a recorded Jupiter replay and renders the
+//! time series (spot price vs. bid, per-interval cost and availability,
+//! fleet size) into a self-contained HTML file — inline SVG, no external
+//! assets — at `--report-out PATH` (default `report.html`).
 
 use std::env;
 use std::time::Instant;
 
 use replay::experiments::{self, Scale, SweepRow};
+
+mod report;
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -35,8 +42,14 @@ fn main() {
         .position(|a| a == "--metrics-out")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let report_out = args
+        .iter()
+        .position(|a| a == "--report-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     // Flag values must not be mistaken for the target word.
-    let value_positions: Vec<Option<usize>> = vec![seed_pos(&args), metrics_out_pos(&args)];
+    let value_positions: Vec<Option<usize>> =
+        vec![seed_pos(&args), metrics_out_pos(&args), report_out_pos(&args)];
     let what = args
         .iter()
         .enumerate()
@@ -113,6 +126,10 @@ fn main() {
         }
         "calibration" => calibration(&scale),
         "metrics" => {} // instrumented pass runs below
+        "report" => {
+            let path = report_out.clone().unwrap_or_else(|| "report.html".into());
+            report_pass(seed, &path);
+        }
         other => {
             eprintln!("unknown target '{other}'");
             std::process::exit(2);
@@ -131,6 +148,56 @@ fn seed_pos(args: &[String]) -> Option<usize> {
 
 fn metrics_out_pos(args: &[String]) -> Option<usize> {
     args.iter().position(|a| a == "--metrics-out").map(|i| i + 1)
+}
+
+fn report_out_pos(args: &[String]) -> Option<usize> {
+    args.iter().position(|a| a == "--report-out").map(|i| i + 1)
+}
+
+/// The `report` target: a recorded Jupiter market replay (series enabled)
+/// rendered into a self-contained HTML file with inline SVG charts.
+fn report_pass(seed: u64, path: &str) {
+    use jupiter::{JupiterStrategy, ServiceSpec};
+    use obs::Obs;
+    use replay::{replay_strategy_observed, ReplayConfig};
+    use spot_market::{InstanceType, Market, MarketConfig};
+
+    println!("\n== Report pass: recorded Jupiter replay → {path} ==");
+    let (obs, _clock) = Obs::simulated();
+
+    let train = 2 * 7 * 24 * 60;
+    let eval = 7 * 24 * 60;
+    let mut cfg = MarketConfig::paper(seed, train + eval);
+    cfg.zones.truncate(8);
+    cfg.types = vec![InstanceType::M1Small];
+    let market = Market::generate(cfg);
+    let spec = ServiceSpec::lock_service();
+
+    let result = replay_strategy_observed(
+        &market,
+        &spec,
+        JupiterStrategy::new().with_obs(obs.clone()),
+        ReplayConfig::new(train, train + eval, 6),
+        &obs,
+    );
+    let snapshot = obs.metrics.snapshot();
+    let subtitle = format!(
+        "Jupiter lock-service replay — seed {seed}, 2 training weeks, 1 evaluation week, \
+         8 zones, 6 h bidding interval. Time axis in market hours."
+    );
+    let html = report::render_replay_report(&subtitle, &result, &snapshot);
+    let charts = report::chart_count(&html);
+    match std::fs::write(path, &html) {
+        Ok(()) => println!(
+            "report written to {path}: {charts} charts, {} series, {} bytes",
+            result.series.len(),
+            html.len()
+        ),
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// The instrumented pass behind `--metrics-out`: a Jupiter market replay

@@ -1,0 +1,544 @@
+//! Self-contained HTML reports: the recorded replay time series rendered
+//! as inline SVG line charts (the Fig. 4/7 shapes — price vs. bid over
+//! time, cost and availability per bidding interval), with a metrics
+//! table appended. No external assets, scripts, or crates: one file,
+//! openable anywhere.
+//!
+//! Chart conventions follow the workspace's dataviz ground rules: one
+//! y-axis per chart, at most a few series, a fixed categorical color
+//! order (CSS custom properties, stepped separately for dark mode),
+//! recessive grid, direct labels via a legend row, and the full
+//! per-interval table below the charts as the accessible fallback.
+
+use obs::{MetricsSnapshot, SeriesSnapshot};
+use replay::ReplayResult;
+
+/// One polyline in a chart. `slot` picks the categorical color
+/// (1-based, fixed order across the report).
+pub struct Line {
+    /// Legend label.
+    pub label: String,
+    /// Categorical palette slot (1..=8).
+    pub slot: u8,
+    /// Dashed stroke (used to separate bid from price).
+    pub dashed: bool,
+    /// `(x, y)` in data coordinates.
+    pub points: Vec<(f64, f64)>,
+}
+
+const WIDTH: f64 = 720.0;
+const HEIGHT: f64 = 300.0;
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 14.0;
+const MARGIN_T: f64 = 14.0;
+const MARGIN_B: f64 = 40.0;
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Compact tick/value formatting: enough digits to tell ticks apart,
+/// no scientific noise for the usual dollar/availability ranges.
+fn fmt_num(v: f64) -> String {
+    if !v.is_finite() {
+        return "-".into();
+    }
+    let a = v.abs();
+    let s = if a == 0.0 {
+        "0".to_string()
+    } else if a >= 1000.0 {
+        format!("{v:.0}")
+    } else if a >= 10.0 {
+        format!("{v:.1}")
+    } else if a >= 0.1 {
+        format!("{v:.2}")
+    } else if a >= 0.001 {
+        format!("{v:.4}")
+    } else {
+        format!("{v:.2e}")
+    };
+    // Trim a trailing ".0"-style fraction.
+    if s.contains('.') && !s.contains('e') {
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    } else {
+        s
+    }
+}
+
+/// Render one line chart as an SVG element. Returns an empty-data note
+/// instead of axes when no line has points.
+pub fn svg_chart(x_label: &str, y_label: &str, lines: &[Line]) -> String {
+    let all: Vec<(f64, f64)> = lines.iter().flat_map(|l| l.points.iter().copied()).collect();
+    if all.is_empty() {
+        return "<p class=\"empty\">no recorded samples</p>".into();
+    }
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if x1 - x0 < 1e-9 {
+        x0 -= 0.5;
+        x1 += 0.5;
+    }
+    if y1 - y0 < 1e-9 {
+        let pad = (y0.abs() * 0.1).max(0.5);
+        y0 -= pad;
+        y1 += pad;
+    } else {
+        let pad = (y1 - y0) * 0.06;
+        y0 -= pad;
+        y1 += pad;
+    }
+    let px = |x: f64| MARGIN_L + (x - x0) / (x1 - x0) * (WIDTH - MARGIN_L - MARGIN_R);
+    let py = |y: f64| HEIGHT - MARGIN_B - (y - y0) / (y1 - y0) * (HEIGHT - MARGIN_T - MARGIN_B);
+
+    let mut out = format!(
+        "<svg viewBox=\"0 0 {WIDTH} {HEIGHT}\" role=\"img\" \
+         preserveAspectRatio=\"xMidYMid meet\">\n"
+    );
+    // Recessive grid + y ticks.
+    for i in 0..=4 {
+        let y = y0 + (y1 - y0) * i as f64 / 4.0;
+        let yy = py(y);
+        out.push_str(&format!(
+            "<line class=\"grid\" x1=\"{MARGIN_L}\" y1=\"{yy:.1}\" x2=\"{:.1}\" y2=\"{yy:.1}\"/>\n",
+            WIDTH - MARGIN_R
+        ));
+        out.push_str(&format!(
+            "<text class=\"tick\" x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{}</text>\n",
+            MARGIN_L - 6.0,
+            yy + 3.5,
+            fmt_num(y)
+        ));
+    }
+    // X ticks.
+    for i in 0..=5 {
+        let x = x0 + (x1 - x0) * i as f64 / 5.0;
+        let xx = px(x);
+        out.push_str(&format!(
+            "<line class=\"grid\" x1=\"{xx:.1}\" y1=\"{:.1}\" x2=\"{xx:.1}\" y2=\"{:.1}\"/>\n",
+            HEIGHT - MARGIN_B,
+            HEIGHT - MARGIN_B + 4.0
+        ));
+        out.push_str(&format!(
+            "<text class=\"tick\" x=\"{xx:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>\n",
+            HEIGHT - MARGIN_B + 16.0,
+            fmt_num(x)
+        ));
+    }
+    // Axis labels.
+    out.push_str(&format!(
+        "<text class=\"axis\" x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>\n",
+        MARGIN_L + (WIDTH - MARGIN_L - MARGIN_R) / 2.0,
+        HEIGHT - 6.0,
+        esc(x_label)
+    ));
+    out.push_str(&format!(
+        "<text class=\"axis\" x=\"14\" y=\"{:.1}\" text-anchor=\"middle\" \
+         transform=\"rotate(-90 14 {:.1})\">{}</text>\n",
+        MARGIN_T + (HEIGHT - MARGIN_T - MARGIN_B) / 2.0,
+        MARGIN_T + (HEIGHT - MARGIN_T - MARGIN_B) / 2.0,
+        esc(y_label)
+    ));
+    // Series.
+    for line in lines {
+        if line.points.is_empty() {
+            continue;
+        }
+        let dash = if line.dashed { " stroke-dasharray=\"6 4\"" } else { "" };
+        let mut d = String::new();
+        for (i, &(x, y)) in line.points.iter().enumerate() {
+            d.push_str(if i == 0 { "M" } else { "L" });
+            d.push_str(&format!("{:.1} {:.1} ", px(x), py(y)));
+        }
+        out.push_str(&format!(
+            "<path class=\"s{}\" fill=\"none\" stroke-width=\"2\" \
+             stroke-linejoin=\"round\" d=\"{}\"{}/>\n",
+            line.slot,
+            d.trim_end(),
+            dash
+        ));
+        // Native hover tooltips on sparse series; skip on dense ones to
+        // keep the file small and the marks thin.
+        if line.points.len() <= 120 {
+            for &(x, y) in &line.points {
+                out.push_str(&format!(
+                    "<circle class=\"hover s{}\" cx=\"{:.1}\" cy=\"{:.1}\" r=\"7\">\
+                     <title>{}: ({}, {})</title></circle>\n",
+                    line.slot,
+                    px(x),
+                    py(y),
+                    esc(&line.label),
+                    fmt_num(x),
+                    fmt_num(y)
+                ));
+            }
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// A chart block: caption, legend row (for ≥ 2 series), SVG.
+pub fn figure(caption: &str, x_label: &str, y_label: &str, lines: &[Line]) -> String {
+    let mut out = format!("<figure>\n<figcaption>{}</figcaption>\n", esc(caption));
+    if lines.len() >= 2 {
+        out.push_str("<div class=\"legend\">");
+        for line in lines {
+            out.push_str(&format!(
+                "<span><i class=\"sw s{}{}\"></i>{}</span>",
+                line.slot,
+                if line.dashed { " dash" } else { "" },
+                esc(&line.label)
+            ));
+        }
+        out.push_str("</div>\n");
+    }
+    out.push_str(&svg_chart(x_label, y_label, lines));
+    out.push_str("</figure>\n");
+    out
+}
+
+/// Series points as `(hours, last-value)` chart coordinates.
+fn line_points(s: &SeriesSnapshot) -> Vec<(f64, f64)> {
+    s.points
+        .iter()
+        .map(|p| (p.t_last as f64 / 60.0, p.last))
+        .collect()
+}
+
+fn find<'a>(series: &'a [SeriesSnapshot], name: &str) -> Option<&'a SeriesSnapshot> {
+    series.iter().find(|s| s.name == name)
+}
+
+/// Render the full report for one recorded replay run.
+pub fn render_replay_report(
+    subtitle: &str,
+    result: &ReplayResult,
+    snapshot: &MetricsSnapshot,
+) -> String {
+    let series = &result.series;
+    let mut figures = String::new();
+
+    // Chart 1 (and 2, if a second zone exists): spot price vs. active
+    // bid in the most-bid zones — the Fig. 4 shape.
+    let mut zones: Vec<String> = series
+        .iter()
+        .filter(|s| s.name.starts_with("replay.bid."))
+        .map(|s| s.name["replay.bid.".len()..].to_string())
+        .collect();
+    zones.sort_by_key(|z| {
+        std::cmp::Reverse(
+            find(series, &format!("replay.bid.{z}")).map_or(0, |s| s.total_count),
+        )
+    });
+    for zone in zones.iter().take(2) {
+        let mut lines = Vec::new();
+        if let Some(price) = find(series, &format!("replay.price.{zone}")) {
+            lines.push(Line {
+                label: "spot price".into(),
+                slot: 1,
+                dashed: false,
+                points: line_points(price),
+            });
+        }
+        if let Some(bid) = find(series, &format!("replay.bid.{zone}")) {
+            lines.push(Line {
+                label: "active bid".into(),
+                slot: 2,
+                dashed: true,
+                points: line_points(bid),
+            });
+        }
+        figures.push_str(&figure(
+            &format!("Spot price vs. active bid — {zone}"),
+            "market time (hours)",
+            "$/hour",
+            &lines,
+        ));
+    }
+
+    if let Some(cost) = find(series, "replay.interval_cost_upper_dollars") {
+        figures.push_str(&figure(
+            "Cost upper bound per bidding interval (Σ bids)",
+            "market time (hours)",
+            "$",
+            &[Line {
+                label: "interval cost".into(),
+                slot: 1,
+                dashed: false,
+                points: line_points(cost),
+            }],
+        ));
+    }
+
+    if let Some(avail) = find(series, "replay.interval_availability") {
+        figures.push_str(&figure(
+            "Service availability per bidding interval",
+            "market time (hours)",
+            "fraction of interval at quorum",
+            &[Line {
+                label: "availability".into(),
+                slot: 1,
+                dashed: false,
+                points: line_points(avail),
+            }],
+        ));
+    }
+
+    {
+        let mut lines = Vec::new();
+        if let Some(fleet) = find(series, "replay.fleet_size") {
+            lines.push(Line {
+                label: "fleet size".into(),
+                slot: 1,
+                dashed: false,
+                points: line_points(fleet),
+            });
+        }
+        if let Some(deaths) = find(series, "replay.deaths") {
+            lines.push(Line {
+                label: "out-of-bid kills".into(),
+                slot: 2,
+                dashed: false,
+                points: line_points(deaths),
+            });
+        }
+        if !lines.is_empty() {
+            figures.push_str(&figure(
+                "Fleet size and out-of-bid kills per interval",
+                "market time (hours)",
+                "instances",
+                &lines,
+            ));
+        }
+    }
+
+    if let Some(decide) = find(series, "jupiter.decide_micros") {
+        figures.push_str(&figure(
+            "Bidding decision latency",
+            "market time (hours)",
+            "decide() µs",
+            &[Line {
+                label: "decide latency".into(),
+                slot: 1,
+                dashed: false,
+                points: line_points(decide),
+            }],
+        ));
+    }
+
+    // The accessible fallback: the per-interval table.
+    let mut table = String::from(
+        "<table>\n<thead><tr><th>start (min)</th><th>group</th><th>quorum</th>\
+         <th>cost bound ($)</th><th>up (min)</th><th>kills</th></tr></thead>\n<tbody>\n",
+    );
+    for iv in &result.intervals {
+        table.push_str(&format!(
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{:.4}</td><td>{}</td><td>{}</td></tr>\n",
+            iv.start,
+            iv.group_size,
+            iv.quorum,
+            iv.cost_upper_bound.as_dollars(),
+            iv.up_minutes,
+            iv.kills
+        ));
+    }
+    table.push_str("</tbody>\n</table>\n");
+
+    // Headline counters.
+    let mut counters = String::from("<table>\n<thead><tr><th>counter</th><th>value</th></tr></thead>\n<tbody>\n");
+    for (name, v) in &snapshot.counters {
+        counters.push_str(&format!("<tr><td>{}</td><td>{v}</td></tr>\n", esc(name)));
+    }
+    counters.push_str("</tbody>\n</table>\n");
+
+    let stat = |label: &str, value: String| {
+        format!(
+            "<div class=\"tile\"><div class=\"v\">{value}</div><div class=\"l\">{}</div></div>\n",
+            esc(label)
+        )
+    };
+    let tiles = format!(
+        "<div class=\"tiles\">\n{}{}{}{}</div>\n",
+        stat("total cost", format!("${:.2}", result.total_cost.as_dollars())),
+        stat("availability", format!("{:.6}", result.availability())),
+        stat("out-of-bid kills", result.total_kills().to_string()),
+        stat("strategy", esc(&result.strategy)),
+    );
+
+    format!(
+        r#"<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>spot-jupiter replay report</title>
+<style>
+.viz-root {{
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --grid: #e6e5e1;
+  --series-1: #2a78d6;
+  --series-2: #eb6834;
+  --series-3: #1baf7a;
+}}
+@media (prefers-color-scheme: dark) {{
+  .viz-root {{
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --grid: #34332f;
+    --series-1: #3987e5;
+    --series-2: #d95926;
+    --series-3: #199e70;
+  }}
+}}
+body {{ margin: 0; }}
+.viz-root {{
+  font: 14px/1.45 system-ui, sans-serif;
+  background: var(--surface-1);
+  color: var(--text-primary);
+  max-width: 780px;
+  margin: 0 auto;
+  padding: 24px 16px 48px;
+}}
+h1 {{ font-size: 20px; margin: 0 0 4px; }}
+.sub {{ color: var(--text-secondary); margin: 0 0 20px; }}
+.tiles {{ display: flex; gap: 12px; flex-wrap: wrap; margin-bottom: 20px; }}
+.tile {{ border: 1px solid var(--grid); border-radius: 8px; padding: 10px 16px; }}
+.tile .v {{ font-size: 20px; font-weight: 600; }}
+.tile .l {{ color: var(--text-secondary); font-size: 12px; }}
+figure {{ margin: 0 0 28px; }}
+figcaption {{ font-weight: 600; margin-bottom: 6px; }}
+svg {{ width: 100%; height: auto; display: block; }}
+.grid {{ stroke: var(--grid); stroke-width: 1; }}
+.tick {{ fill: var(--text-secondary); font-size: 11px; }}
+.axis {{ fill: var(--text-secondary); font-size: 12px; }}
+path.s1 {{ stroke: var(--series-1); }}
+path.s2 {{ stroke: var(--series-2); }}
+path.s3 {{ stroke: var(--series-3); }}
+circle.hover {{ fill: transparent; }}
+circle.hover:hover {{ fill: currentColor; fill-opacity: 0.25; }}
+circle.s1 {{ color: var(--series-1); }}
+circle.s2 {{ color: var(--series-2); }}
+circle.s3 {{ color: var(--series-3); }}
+.legend {{ display: flex; gap: 16px; margin-bottom: 4px; color: var(--text-secondary); font-size: 12px; }}
+.legend .sw {{ display: inline-block; width: 18px; height: 0; border-top: 2px solid; vertical-align: middle; margin-right: 6px; }}
+.legend .sw.dash {{ border-top-style: dashed; }}
+.legend .s1 {{ border-color: var(--series-1); }}
+.legend .s2 {{ border-color: var(--series-2); }}
+.legend .s3 {{ border-color: var(--series-3); }}
+table {{ border-collapse: collapse; width: 100%; margin: 8px 0 24px; font-size: 13px; }}
+th, td {{ border-bottom: 1px solid var(--grid); padding: 4px 8px; text-align: right; }}
+th:first-child, td:first-child {{ text-align: left; }}
+.empty {{ color: var(--text-secondary); font-style: italic; }}
+h2 {{ font-size: 16px; margin: 24px 0 4px; }}
+</style>
+</head>
+<body>
+<div class="viz-root">
+<h1>spot-jupiter replay report</h1>
+<p class="sub">{subtitle}</p>
+{tiles}
+{figures}
+<h2>Per-interval outcomes</h2>
+{table}
+<h2>Counters</h2>
+{counters}
+</div>
+</body>
+</html>
+"#,
+        subtitle = esc(subtitle),
+        tiles = tiles,
+        figures = figures,
+        table = table,
+        counters = counters,
+    )
+}
+
+/// Number of `<svg` charts in a rendered report (used by tests and the
+/// CLI's sanity check).
+pub fn chart_count(html: &str) -> usize {
+    html.matches("<svg").count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_renders_bounds_and_series() {
+        let svg = svg_chart(
+            "t",
+            "y",
+            &[Line {
+                label: "a".into(),
+                slot: 1,
+                dashed: false,
+                points: vec![(0.0, 1.0), (1.0, 3.0), (2.0, 2.0)],
+            }],
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("path class=\"s1\""));
+        assert!(svg.contains("<title>"));
+    }
+
+    #[test]
+    fn empty_chart_degrades_gracefully() {
+        let svg = svg_chart("t", "y", &[]);
+        assert!(svg.contains("no recorded samples"));
+    }
+
+    #[test]
+    fn flat_series_still_has_finite_axis() {
+        let svg = svg_chart(
+            "t",
+            "y",
+            &[Line {
+                label: "flat".into(),
+                slot: 2,
+                dashed: true,
+                points: vec![(0.0, 5.0), (10.0, 5.0)],
+            }],
+        );
+        assert!(svg.contains("stroke-dasharray"));
+        assert!(!svg.contains("NaN"));
+        assert!(!svg.contains("inf"));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let svg = svg_chart(
+            "<time>",
+            "a&b",
+            &[Line {
+                label: "x".into(),
+                slot: 1,
+                dashed: false,
+                points: vec![(0.0, 0.0)],
+            }],
+        );
+        assert!(svg.contains("&lt;time&gt;"));
+        assert!(svg.contains("a&amp;b"));
+        assert!(!svg.contains("<time>"));
+    }
+}

@@ -8,7 +8,8 @@
 //! ```
 
 use spot_jupiter::jupiter::{BiddingStrategy, ExtraStrategy, JupiterStrategy, ServiceSpec};
-use spot_jupiter::obs::{MetricsSnapshot, Obs};
+use spot_jupiter::obs::export::prometheus_text;
+use spot_jupiter::obs::{MetricsSnapshot, Obs, Registry};
 use spot_jupiter::replay::lifecycle::{on_demand_baseline_cost, replay_strategy_observed};
 use spot_jupiter::replay::ReplayConfig;
 use spot_jupiter::spot_market::{InstanceType, Market, MarketConfig};
@@ -41,7 +42,10 @@ fn main() {
         "{:<14} {:>10} {:>13} {:>16} {:>7}",
         "strategy", "cost ($)", "availability", "downtime (min)", "kills"
     );
-    // One Obs per strategy so the metric streams stay separable.
+    // One Obs per strategy so the metric streams stay separable; each
+    // registry is then folded into one combined registry under a
+    // per-strategy prefix, so a single export carries the whole run.
+    let combined = Registry::new();
     let mut snapshots: Vec<(String, MetricsSnapshot)> = Vec::new();
     for make in &strategies {
         let (obs, _clock) = Obs::simulated();
@@ -54,6 +58,7 @@ fn main() {
             r.downtime_minutes(),
             r.total_kills()
         );
+        combined.merge_prefixed(&obs.metrics, &format!("{}.", r.strategy));
         snapshots.push((
             r.strategy.clone(),
             r.metrics.unwrap_or_else(|| obs.metrics.snapshot()),
@@ -106,6 +111,26 @@ fn main() {
         jupiter.counter("jupiter.candidates_evaluated").unwrap_or(0),
         jupiter.counter("jupiter.candidates_feasible").unwrap_or(0),
     );
+
+    println!("\n== observability: combined registry (Prometheus exposition) ==");
+    let combined_snap = combined.snapshot();
+    println!(
+        "{} counters from {} strategies in one registry; bids across all: {}",
+        combined_snap.counters.len(),
+        snapshots.len(),
+        snapshots
+            .iter()
+            .map(|(name, _)| combined_snap
+                .counter(&format!("{name}.replay.bids_placed"))
+                .unwrap_or(0))
+            .sum::<u64>()
+    );
+    for line in prometheus_text(&combined_snap)
+        .lines()
+        .filter(|l| l.contains("bids_placed"))
+    {
+        println!("  {line}");
+    }
 
     println!(
         "\nThe paper's claim, in miniature: only the failure-model-driven\n\
