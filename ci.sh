@@ -10,6 +10,13 @@
 # BENCH_THRESHOLD (a fraction, default 0.75) to tune the wall-time bar.
 # After an intentional perf or behavior change, re-record with
 #   cargo run --release -p bench --bin bench-baseline -- record
+#
+# The test step includes the chaos suite (tests/chaos.rs): ≥200 seeded
+# fault schedules against the live lock and storage clusters, budgeted to
+# stay well under 30s. Knobs (see TESTING.md):
+#   CHAOS_SCHEDULES=<n>   schedules per sweep (soak: try 500+)
+#   CHAOS_SEED=0x<seed>   pin the base seed (failures print the exact
+#                         re-run command with the offending seed)
 set -euo pipefail
 cd "$(dirname "$0")"
 

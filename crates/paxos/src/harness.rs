@@ -2,7 +2,7 @@
 //! membership, and interrogate replicas — the API the examples, tests and
 //! the replay harness use.
 
-use simnet::{NetworkConfig, NodeId, SimTime, Simulation};
+use simnet::{ChaosAction, NetworkConfig, NodeId, SimTime, Simulation};
 
 use crate::client::ClientState;
 use crate::msg::ClientOp;
@@ -17,6 +17,8 @@ pub struct Cluster<SM: StateMachine> {
     servers: Vec<NodeId>,
     clients: Vec<NodeId>,
     replica_cfg: ReplicaConfig,
+    /// Pristine state machine, cloned for chaos-driven restarts.
+    initial_sm: SM,
     seed: u64,
 }
 
@@ -42,6 +44,7 @@ impl<SM: StateMachine> Cluster<SM> {
             servers: ids,
             clients: Vec::new(),
             replica_cfg,
+            initial_sm: sm,
             seed,
         }
     }
@@ -173,6 +176,64 @@ impl<SM: StateMachine> Cluster<SM> {
             if let Some(cl) = self.sim.actor_mut(c).and_then(PaxosNode::as_client_mut) {
                 cl.set_servers(view.clone());
             }
+        }
+    }
+
+    /// Execute one fault-schedule action against this cluster.
+    ///
+    /// Crash/restart are translated into the same operations the spot
+    /// replay uses for out-of-bid terminations: a crashed replica stops
+    /// dead mid-protocol; a restarted one reboots with its durable state
+    /// intact (promises, accepted slots, applied log) and only volatile
+    /// leadership state lost — the crash-recovery model Paxos safety
+    /// requires. An instance whose disk is gone for good is modeled as a
+    /// crash with no restart, or as a fresh node added via
+    /// reconfiguration. Partition groups only list replicas, so every
+    /// other node (clients, spawned servers) is appended to each side —
+    /// chaos separates replicas from each other, not clients from the
+    /// service. Idempotent where the schedule could race reality
+    /// (crashing a dead node or restarting a live one is a no-op).
+    pub fn apply_chaos(&mut self, action: &ChaosAction) {
+        match action {
+            ChaosAction::Crash(id) => {
+                if self.sim.is_up(*id) {
+                    self.crash(*id);
+                }
+            }
+            ChaosAction::Restart(id) => {
+                if !self.sim.is_up(*id) {
+                    match self.sim.take_crashed(*id) {
+                        Some(PaxosNode::Server(mut r)) => {
+                            r.reboot();
+                            self.sim.restart(*id, PaxosNode::Server(r));
+                        }
+                        _ => {
+                            // No disk to recover (e.g. restarted before):
+                            // rejoin pristine and catch up from peers.
+                            let view =
+                                self.current_view().unwrap_or_else(|| self.servers.clone());
+                            self.restart(*id, self.initial_sm.clone(), view);
+                        }
+                    }
+                }
+            }
+            ChaosAction::Partition(groups) => {
+                let mut groups = groups.clone();
+                let listed: Vec<NodeId> = groups.iter().flatten().copied().collect();
+                for n in 0..self.sim.node_count() {
+                    let id = NodeId(n);
+                    if !listed.contains(&id) {
+                        for g in &mut groups {
+                            g.push(id);
+                        }
+                    }
+                }
+                self.sim.partition(groups);
+            }
+            ChaosAction::Heal => self.sim.heal(),
+            ChaosAction::SetLinkChaos(chaos) => self.sim.set_link_chaos(chaos.clone()),
+            ChaosAction::ClearLinkChaos => self.sim.clear_link_chaos(),
+            ChaosAction::ClockSkew(id, ms) => self.sim.skew_clock(*id, *ms),
         }
     }
 

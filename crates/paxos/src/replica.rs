@@ -394,6 +394,24 @@ impl<SM: StateMachine> Replica<SM> {
         self.reset_election_deadline(now);
     }
 
+    /// Recover after a crash: drop volatile (in-memory) state, keep the
+    /// durable (on-disk) state — `promised`, accepted/chosen slots, the
+    /// applied state machine and the exactly-once cache.
+    ///
+    /// Paxos quorum intersection is only sound if acceptor state survives
+    /// restarts: a node that re-promises with an empty accepted set can
+    /// complete a new-leader quorum that excludes every acker of an
+    /// already-chosen value, letting the new leader choose a different
+    /// command for the same slot. A replica whose disk is truly gone must
+    /// rejoin as a *new* node via reconfiguration, not reuse its id.
+    pub fn reboot(&mut self) {
+        self.step_down(SimTime::ZERO);
+        self.leader = None;
+        // In-flight client requests died with the process; clients retry.
+        self.pending.clear();
+        // `on_start` re-arms the tick timer and election deadline at boot.
+    }
+
     // ----------------------------------------------------------- election
 
     fn start_election(&mut self, ctx: &mut Context<Msg<SM>>) {
@@ -495,6 +513,23 @@ impl<SM: StateMachine> Replica<SM> {
         self.phase = Phase::Leading;
         self.leader = Some(self.me);
         self.metrics.leadership.inc();
+        self.metrics.obs.trace.event(
+            "paxos.takeover",
+            &[
+                ("node", FieldValue::U64(self.me.0 as u64)),
+                ("round", FieldValue::U64(self.ballot.round)),
+                ("commit_index", FieldValue::U64(self.commit_index)),
+                ("merged", FieldValue::U64(merged.len() as u64)),
+                (
+                    "merged_hi",
+                    FieldValue::U64(merged.keys().next_back().copied().unwrap_or(0)),
+                ),
+                (
+                    "promisers",
+                    FieldValue::U64(promises.keys().fold(0u64, |m, n| m | (1 << (n.0 as u64 % 64)))),
+                ),
+            ],
+        );
         if let Some((span, started)) = self.phase1_open.take() {
             self.metrics
                 .phase1_micros
@@ -506,8 +541,25 @@ impl<SM: StateMachine> Replica<SM> {
         }
         self.last_heartbeat_sent = SimTime::ZERO; // heartbeat asap
                                                   // Re-propose merged values, fill gaps with no-ops up to the top.
-        let top = merged.keys().next_back().copied().map(|s| s + 1);
-        self.next_slot = self.commit_index.max(top.unwrap_or(self.commit_index));
+        // Fresh proposals must start past every slot already decided, not
+        // just past the merged *accepted* entries: a chosen slot adopted
+        // from a promise can sit beyond a gap (commit_index stalls at the
+        // gap), and a peer's commit index proves everything below it was
+        // chosen somewhere. Assigning a fresh command to such a slot would
+        // overwrite a decided value.
+        let top = merged.keys().next_back().copied().map(|s| s + 1).unwrap_or(0);
+        let chosen_top = self
+            .slots
+            .iter()
+            .rev()
+            .find(|(_, st)| st.chosen.is_some())
+            .map(|(&s, _)| s + 1)
+            .unwrap_or(0);
+        self.next_slot = self
+            .commit_index
+            .max(top)
+            .max(chosen_top)
+            .max(max_commit);
         let mut to_propose: Vec<(Slot, Command<SM::Command>)> = Vec::new();
         for slot in self.commit_index..self.next_slot {
             if self.slot_state(slot).chosen.is_some() {
@@ -650,6 +702,15 @@ impl<SM: StateMachine> Replica<SM> {
                 }
             }
         };
+        // Never allocate a slot that is already decided (a commit adopted
+        // from a peer can land beyond the contiguous prefix).
+        while self
+            .slots
+            .get(&self.next_slot)
+            .is_some_and(|st| st.chosen.is_some())
+        {
+            self.next_slot += 1;
+        }
         let slot = self.next_slot;
         self.next_slot += 1;
         self.send_accepts(slot, value, ctx);
@@ -676,7 +737,15 @@ impl<SM: StateMachine> Replica<SM> {
                 ("acks", FieldValue::U64(p.acks.len() as u64)),
             ],
         );
-        self.slot_state(slot).chosen = Some(value.clone());
+        // Chosen values are write-once (mirroring `note_chosen`): if a
+        // commit for this slot was adopted while our proposal was in
+        // flight, Paxos guarantees the values agree — keep and re-announce
+        // the stored one rather than trusting the in-flight copy.
+        let st = self.slot_state(slot);
+        if st.chosen.is_none() {
+            st.chosen = Some(value);
+        }
+        let value = st.chosen.clone().expect("just set");
         self.broadcast_msg(
             ctx,
             Msg::Commit {

@@ -1,0 +1,173 @@
+//! Market-derived fault schedules: out-of-bid terminations as chaos.
+//!
+//! The market-level replay ([`crate::lifecycle`]) records every instance's
+//! life as an [`InstanceRecord`]. This module converts those records into
+//! a [`ChaosSchedule`] for a protocol cluster, so the *timing pattern* of
+//! real out-of-bid churn — correlated kills at price spikes, replacements
+//! booting minutes later — drives the Paxos/RS-Paxos safety checkers
+//! instead of (or alongside) purely random schedules.
+//!
+//! Time mapping matches [`crate::service_level`]: one market minute is one
+//! simulated second, so sub-second protocol dynamics (elections, lease
+//! renewal) play out between consecutive market events.
+
+use simnet::{ChaosAction, ChaosEvent, ChaosSchedule, NodeId, SimTime};
+use spot_market::{Termination, Zone};
+
+use crate::results::ReplayResult;
+
+/// One market minute of the evaluation window as simulated time.
+fn to_sim(minute_rel: u64) -> SimTime {
+    SimTime::from_secs(minute_rel)
+}
+
+/// Derive a crash/restart schedule for a `slots`-replica protocol cluster
+/// from a market replay's instance records.
+///
+/// Zones are assigned to replica slots in order of first appearance
+/// (wrapping when the replay used more zones than there are slots). An
+/// out-of-bid death ([`Termination::Provider`]) inside the window becomes
+/// a [`ChaosAction::Crash`] of that zone's slot; a later instance booting
+/// in the zone becomes the matching [`ChaosAction::Restart`]. Slots still
+/// down at the end of the window are restarted at the window boundary, so
+/// post-schedule progress can always be asserted. Graceful boundary
+/// retirements ([`Termination::User`]) are not faults and are ignored.
+///
+/// The result carries `seed = 0`: it is derived data, reproducible from
+/// the replay's own inputs rather than from a chaos seed.
+pub fn market_fault_schedule(result: &ReplayResult, eval_start: u64, slots: usize) -> ChaosSchedule {
+    assert!(slots >= 1, "need at least one replica slot");
+    let mut zone_slots: Vec<Zone> = Vec::new();
+    let slot_for = |zone: Zone, zone_slots: &mut Vec<Zone>| -> usize {
+        match zone_slots.iter().position(|&z| z == zone) {
+            Some(i) => i % slots,
+            None => {
+                zone_slots.push(zone);
+                (zone_slots.len() - 1) % slots
+            }
+        }
+    };
+
+    // Raw (minute, is_crash, slot) stream. Restarts sort before crashes at
+    // the same minute so a kill-and-replace minute nets out to "down".
+    let mut raw: Vec<(u64, bool, usize)> = Vec::new();
+    for rec in &result.instances {
+        let slot = slot_for(rec.zone, &mut zone_slots);
+        if rec.termination == Termination::Provider && rec.ended_at >= eval_start {
+            raw.push((rec.ended_at, true, slot));
+        }
+        if rec.running_from > eval_start {
+            raw.push((rec.running_from, false, slot));
+        }
+    }
+    raw.sort_by_key(|&(minute, is_crash, slot)| (minute, is_crash, slot));
+
+    let mut down = vec![false; slots];
+    let mut events = Vec::new();
+    for (minute, is_crash, slot) in raw {
+        let at = to_sim(minute.saturating_sub(eval_start));
+        if is_crash && !down[slot] {
+            down[slot] = true;
+            events.push(ChaosEvent {
+                at,
+                action: ChaosAction::Crash(NodeId(slot)),
+            });
+        } else if !is_crash && down[slot] {
+            down[slot] = false;
+            events.push(ChaosEvent {
+                at,
+                action: ChaosAction::Restart(NodeId(slot)),
+            });
+        }
+    }
+
+    let end = to_sim(result.window_minutes);
+    for (slot, is_down) in down.iter().enumerate() {
+        if *is_down {
+            events.push(ChaosEvent {
+                at: end,
+                action: ChaosAction::Restart(NodeId(slot)),
+            });
+        }
+    }
+
+    ChaosSchedule { seed: 0, events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifecycle::{replay_strategy, ReplayConfig};
+    use jupiter::{ExtraStrategy, ServiceSpec};
+    use spot_market::{InstanceType, Market, MarketConfig};
+
+    fn replay() -> (ReplayResult, u64) {
+        let mut cfg = MarketConfig::paper(21, 2 * 7 * 24 * 60);
+        cfg.zones.truncate(8);
+        cfg.types = vec![InstanceType::M1Small];
+        let market = Market::generate(cfg);
+        let spec = ServiceSpec::lock_service();
+        let eval_start = 7 * 24 * 60;
+        let config = ReplayConfig::new(eval_start, 14 * 24 * 60, 3);
+        // A deliberately low bid premium so out-of-bid kills actually occur.
+        (
+            replay_strategy(&market, &spec, ExtraStrategy::new(0, 0.02), config),
+            eval_start,
+        )
+    }
+
+    #[test]
+    fn schedule_alternates_and_ends_all_up() {
+        let (result, eval_start) = replay();
+        let schedule = market_fault_schedule(&result, eval_start, 5);
+        let mut down = [false; 5];
+        let mut last = SimTime::ZERO;
+        for ev in &schedule.events {
+            assert!(ev.at >= last, "events out of order");
+            last = ev.at;
+            match ev.action {
+                ChaosAction::Crash(n) => {
+                    assert!(!down[n.0], "crash of a down slot");
+                    down[n.0] = true;
+                }
+                ChaosAction::Restart(n) => {
+                    assert!(down[n.0], "restart of an up slot");
+                    down[n.0] = false;
+                }
+                ref other => panic!("unexpected action {other:?}"),
+            }
+        }
+        assert!(down.iter().all(|d| !d), "slots left down at window end");
+        assert!(
+            schedule.events.iter().all(|e| e.at <= to_sim(result.window_minutes)),
+            "event beyond the window"
+        );
+    }
+
+    #[test]
+    fn out_of_bid_kills_appear_as_crashes() {
+        let (result, eval_start) = replay();
+        let kills = result
+            .instances
+            .iter()
+            .filter(|r| r.termination == Termination::Provider && r.ended_at >= eval_start)
+            .count();
+        assert!(kills > 0, "fixture must produce out-of-bid churn");
+        let schedule = market_fault_schedule(&result, eval_start, 5);
+        let crashes = schedule
+            .events
+            .iter()
+            .filter(|e| matches!(e.action, ChaosAction::Crash(_)))
+            .count();
+        // Same-slot collisions can merge kills, never invent them.
+        assert!(crashes >= 1 && crashes <= kills, "crashes={crashes} kills={kills}");
+    }
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let (result, eval_start) = replay();
+        let a = market_fault_schedule(&result, eval_start, 5);
+        let b = market_fault_schedule(&result, eval_start, 5);
+        assert_eq!(a, b);
+    }
+}

@@ -27,6 +27,7 @@
 //! the feasibility check (§5.4) where message-level behaviour matters.
 
 pub mod adaptive;
+pub mod chaos;
 pub mod experiments;
 pub mod fleet;
 pub mod lifecycle;
@@ -34,6 +35,7 @@ pub mod results;
 pub mod service_level;
 
 pub use adaptive::{replay_adaptive, AdaptiveConfig};
+pub use chaos::market_fault_schedule;
 pub use fleet::{fleet_replay, fleet_replay_observed, FleetResult};
 pub use lifecycle::{
     replay_strategy, replay_strategy_observed, InstanceRecord, ReplayConfig,

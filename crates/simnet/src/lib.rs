@@ -21,14 +21,21 @@
 //! * **Fault injection**: the *driver* (experiment harness) interleaves
 //!   `run_until` with [`Simulation::crash`], [`Simulation::restart`],
 //!   [`Simulation::add_node`] and partition control, which keeps the fault
-//!   schedule outside the simulator and fully deterministic.
+//!   schedule outside the simulator and fully deterministic. The [`chaos`]
+//!   module generates seeded fault schedules ([`ChaosSchedule`]) covering
+//!   crashes, restarts, partitions, link chaos ([`LinkChaos`]: extra
+//!   drops, duplicates, delay spikes) and clock skew; any failing run
+//!   reproduces byte-for-byte from the schedule's printed `u64` seed
+//!   (checkable via [`Simulation::fingerprint`]).
 
+pub mod chaos;
 pub mod event;
 pub mod network;
 pub mod sim;
 pub mod time;
 
+pub use chaos::{ChaosAction, ChaosEvent, ChaosPlan, ChaosSchedule};
 pub use event::{Event, EventKind};
-pub use network::NetworkConfig;
+pub use network::{LinkChaos, NetworkConfig};
 pub use sim::{Actor, Context, NodeId, Simulation, TimerToken};
 pub use time::SimTime;

@@ -53,6 +53,49 @@ impl NetworkConfig {
     }
 }
 
+/// Link-level fault injection applied *on top of* the base
+/// [`NetworkConfig`], toggled at runtime by a chaos schedule.
+///
+/// Kept separate from `NetworkConfig` so existing struct-literal
+/// constructions stay valid and so chaos can be switched on and off
+/// mid-run without touching the base latency model. All probabilities are
+/// only sampled when strictly positive, so a run with chaos disabled
+/// consumes exactly the same RNG stream as before this layer existed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkChaos {
+    /// Extra per-message drop probability (on top of the base loss rate).
+    pub drop_pr: f64,
+    /// Probability a delivered message is duplicated; the copy arrives up
+    /// to `extra_delay_max` later, which also reorders it past later sends.
+    pub dup_pr: f64,
+    /// Probability a delivered message suffers an extra delay spike.
+    pub delay_pr: f64,
+    /// Upper bound of the extra delay (spikes and duplicate lag).
+    pub extra_delay_max: SimTime,
+}
+
+impl Default for LinkChaos {
+    /// No chaos: all probabilities zero.
+    fn default() -> Self {
+        LinkChaos {
+            drop_pr: 0.0,
+            dup_pr: 0.0,
+            delay_pr: 0.0,
+            extra_delay_max: SimTime::ZERO,
+        }
+    }
+}
+
+/// Outcome of sampling one send: up to two deliveries (original plus a
+/// possible chaos duplicate), allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Deliveries {
+    /// Delay of the original copy; `None` means dropped.
+    pub first: Option<SimTime>,
+    /// Delay of a duplicated copy, if any.
+    pub second: Option<SimTime>,
+}
+
 /// Mutable network state: the active partition and the RNG-driven sampling
 /// of latencies and drops.
 #[derive(Debug)]
@@ -61,6 +104,8 @@ pub(crate) struct Network {
     /// Partition groups: nodes may only talk to nodes in the same group.
     /// Empty means fully connected.
     groups: Vec<Vec<NodeId>>,
+    /// Active link-level chaos, if any.
+    chaos: Option<LinkChaos>,
 }
 
 impl Network {
@@ -68,7 +113,18 @@ impl Network {
         Network {
             config,
             groups: Vec::new(),
+            chaos: None,
         }
+    }
+
+    /// Enable link-level chaos for subsequent sends.
+    pub fn set_chaos(&mut self, chaos: LinkChaos) {
+        self.chaos = Some(chaos);
+    }
+
+    /// Disable link-level chaos.
+    pub fn clear_chaos(&mut self) {
+        self.chaos = None;
     }
 
     /// Install a partition: each inner vector is one side. Nodes not listed
@@ -106,6 +162,51 @@ impl Network {
         let hi = self.config.max_latency.as_millis().max(lo);
         let ms = if lo == hi { lo } else { rng.gen_range(lo..=hi) };
         Some(SimTime::from_millis(ms))
+    }
+
+    /// Sample one send under the base model *and* any active link chaos:
+    /// the original delivery may be dropped, delayed by a spike, and/or
+    /// duplicated (the copy arriving later, i.e. reordered).
+    ///
+    /// With no chaos installed this consumes exactly the same RNG draws as
+    /// [`Network::sample_delivery`], so chaos-free runs are byte-identical
+    /// to runs before this layer existed.
+    pub fn sample_deliveries(&self, a: NodeId, b: NodeId, rng: &mut ChaCha8Rng) -> Deliveries {
+        let base = self.sample_delivery(a, b, rng);
+        let (Some(base), Some(chaos)) = (base, self.chaos.as_ref()) else {
+            return Deliveries {
+                first: base,
+                second: None,
+            };
+        };
+        if a == b {
+            // Loopback (client libraries talking to their own node slot)
+            // is exempt: chaos models the WAN, not the local bus.
+            return Deliveries {
+                first: Some(base),
+                second: None,
+            };
+        }
+        if chaos.drop_pr > 0.0 && rng.gen::<f64>() < chaos.drop_pr {
+            return Deliveries {
+                first: None,
+                second: None,
+            };
+        }
+        let mut first = base;
+        if chaos.delay_pr > 0.0 && rng.gen::<f64>() < chaos.delay_pr {
+            let spike = rng.gen_range(0..=chaos.extra_delay_max.as_millis());
+            first += SimTime::from_millis(spike);
+        }
+        let mut second = None;
+        if chaos.dup_pr > 0.0 && rng.gen::<f64>() < chaos.dup_pr {
+            let lag = rng.gen_range(1..=chaos.extra_delay_max.as_millis().max(1));
+            second = Some(base + SimTime::from_millis(lag));
+        }
+        Deliveries {
+            first: Some(first),
+            second,
+        }
     }
 }
 
@@ -166,6 +267,71 @@ mod tests {
         let delivered = (0..10_000)
             .filter(|_| {
                 net.sample_delivery(NodeId(0), NodeId(1), &mut rng)
+                    .is_some()
+            })
+            .count();
+        assert!((4_000..6_000).contains(&delivered), "delivered={delivered}");
+    }
+
+    #[test]
+    fn no_chaos_matches_sample_delivery_stream() {
+        // With chaos uninstalled, sample_deliveries must consume exactly
+        // the same RNG draws as sample_delivery — seeded tests elsewhere
+        // depend on the stream not shifting.
+        let net = Network::new(NetworkConfig::default());
+        let mut r1 = ChaCha8Rng::seed_from_u64(5);
+        let mut r2 = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let single = net.sample_delivery(NodeId(0), NodeId(1), &mut r1);
+            let multi = net.sample_deliveries(NodeId(0), NodeId(1), &mut r2);
+            assert_eq!(multi.first, single);
+            assert_eq!(multi.second, None);
+        }
+    }
+
+    #[test]
+    fn chaos_duplicates_and_delays() {
+        let mut net = Network::new(NetworkConfig::ideal());
+        net.set_chaos(LinkChaos {
+            drop_pr: 0.0,
+            dup_pr: 1.0,
+            delay_pr: 1.0,
+            extra_delay_max: SimTime::from_millis(100),
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut dup_later = 0;
+        for _ in 0..200 {
+            let d = net.sample_deliveries(NodeId(0), NodeId(1), &mut rng);
+            let first = d.first.expect("dup_pr=1 never drops");
+            let second = d.second.expect("dup_pr=1 always duplicates");
+            assert!(first <= SimTime::from_millis(101), "spike bounded");
+            assert!(second >= SimTime::from_millis(2), "copy lags the base");
+            if second > first {
+                dup_later += 1;
+            }
+        }
+        assert!(dup_later > 0, "duplicates sometimes arrive after spikes");
+        // Loopback is exempt from chaos.
+        let d = net.sample_deliveries(NodeId(2), NodeId(2), &mut rng);
+        assert_eq!(d.first, Some(SimTime::from_millis(1)));
+        assert_eq!(d.second, None);
+        net.clear_chaos();
+        let d = net.sample_deliveries(NodeId(0), NodeId(1), &mut rng);
+        assert_eq!(d.second, None);
+    }
+
+    #[test]
+    fn chaos_extra_drops_observed() {
+        let mut net = Network::new(NetworkConfig::ideal());
+        net.set_chaos(LinkChaos {
+            drop_pr: 0.5,
+            ..LinkChaos::default()
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let delivered = (0..10_000)
+            .filter(|_| {
+                net.sample_deliveries(NodeId(0), NodeId(1), &mut rng)
+                    .first
                     .is_some()
             })
             .count();

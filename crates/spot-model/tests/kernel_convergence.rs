@@ -1,0 +1,142 @@
+//! Convergence of the estimated failure probability (Eq. 13/14) to its
+//! closed form on a synthetic market with known dynamics.
+//!
+//! The market alternates between two price states with geometric sojourn
+//! times — the discrete-time analogue of the exponential-sojourn
+//! semi-Markov process the kernel assumes:
+//!
+//! * low  = $0.01, mean sojourn μ_L = 20 min;
+//! * high = $0.05, mean sojourn μ_H = 5 min.
+//!
+//! The stationary fraction of minutes spent high is μ_H/(μ_L+μ_H) = 0.2,
+//! so for a bid strictly between the two prices the long-horizon
+//! out-of-bid fraction is 0.2 and Eq. 4 composes it with the on-demand
+//! floor: FP = 1 − (1 − 0.01)(1 − 0.2) = 0.208. A bid at or above the
+//! high price is never out-of-bid (FP = FP⁰ = 0.01); a bid below the
+//! current price is refused outright (FP = 1).
+
+use spot_market::{Price, PricePoint, PriceTrace};
+use spot_model::{FailureModel, FailureModelConfig};
+
+const LOW: Price = Price(10_000); // $0.01 in micro-dollars
+const HIGH: Price = Price(50_000); // $0.05
+const MEAN_LOW: f64 = 20.0;
+const MEAN_HIGH: f64 = 5.0;
+
+/// SplitMix64: a tiny deterministic generator so this test needs no RNG
+/// dependency.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn uniform01(state: &mut u64) -> f64 {
+    (splitmix(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A geometric sojourn with the given mean (support 1, 2, …).
+fn geometric(state: &mut u64, mean: f64) -> u64 {
+    let p = 1.0 / mean;
+    let u = uniform01(state).max(f64::MIN_POSITIVE);
+    1 + (u.ln() / (1.0 - p).ln()).floor() as u64
+}
+
+/// An alternating low/high trace of `horizon` minutes.
+fn two_state_trace(seed: u64, horizon: u64) -> PriceTrace {
+    let mut rng = seed;
+    let mut points = Vec::new();
+    let mut minute = 0u64;
+    let mut in_low = true;
+    while minute < horizon {
+        points.push(PricePoint {
+            minute,
+            price: if in_low { LOW } else { HIGH },
+        });
+        minute += geometric(&mut rng, if in_low { MEAN_LOW } else { MEAN_HIGH });
+        in_low = !in_low;
+    }
+    PriceTrace::new(points, horizon)
+}
+
+#[test]
+fn kernel_recovers_the_sojourn_means() {
+    let trace = two_state_trace(7, 60 * 24 * 60); // 60 days
+    let model = FailureModel::from_trace(&trace, FailureModelConfig::default());
+    let kernel = model.kernel();
+    let low = kernel.nearest_state(LOW).expect("low state trained");
+    let high = kernel.nearest_state(HIGH).expect("high state trained");
+    let mu_l = kernel.mean_sojourn(low);
+    let mu_h = kernel.mean_sojourn(high);
+    assert!(
+        (mu_l - MEAN_LOW).abs() < 0.15 * MEAN_LOW,
+        "low sojourn mean {mu_l}, want ≈ {MEAN_LOW}"
+    );
+    assert!(
+        (mu_h - MEAN_HIGH).abs() < 0.15 * MEAN_HIGH,
+        "high sojourn mean {mu_h}, want ≈ {MEAN_HIGH}"
+    );
+}
+
+#[test]
+fn estimated_fp_converges_to_the_closed_form() {
+    let trace = two_state_trace(11, 60 * 24 * 60);
+    let model = FailureModel::from_trace(&trace, FailureModelConfig::default());
+    // Current state: low price, fresh sojourn; 12-hour bidding interval —
+    // long enough that the evolution mixes to the stationary split.
+    let bid_between = Price(30_000); // $0.03
+    let fp = model.estimate_fp(bid_between, LOW, 0, 720);
+    let stationary_high = MEAN_HIGH / (MEAN_LOW + MEAN_HIGH); // 0.2
+    let closed_form = 1.0 - (1.0 - 0.01) * (1.0 - stationary_high); // 0.208
+    assert!(
+        (fp - closed_form).abs() < 0.03,
+        "fp {fp}, closed form {closed_form}"
+    );
+}
+
+#[test]
+fn safe_and_hopeless_bids_hit_the_boundaries() {
+    let trace = two_state_trace(13, 60 * 24 * 60);
+    let model = FailureModel::from_trace(&trace, FailureModelConfig::default());
+    // Bidding at (or above) the highest price the market ever takes: the
+    // instance is never out-of-bid, only the on-demand floor remains.
+    let fp_safe = model.estimate_fp(HIGH, LOW, 0, 720);
+    assert!(
+        (fp_safe - 0.01).abs() < 0.005,
+        "safe bid fp {fp_safe}, want ≈ FP⁰ = 0.01"
+    );
+    // Bidding below the current spot price: the request is not granted.
+    let fp_refused = model.estimate_fp(Price(5_000), LOW, 0, 720);
+    assert_eq!(fp_refused, 1.0);
+    // An untrained model is conservative about everything.
+    let untrained = FailureModel::new(FailureModelConfig::default());
+    assert_eq!(untrained.estimate_fp(HIGH, LOW, 0, 720), 1.0);
+}
+
+#[test]
+fn longer_history_tightens_the_estimate() {
+    // Kernel estimation is consistent: more training data lands closer to
+    // the closed form (compared on the same evaluation setup; generous
+    // margins keep this robust to seed choice).
+    let stationary_high = MEAN_HIGH / (MEAN_LOW + MEAN_HIGH);
+    let closed_form = 1.0 - (1.0 - 0.01) * (1.0 - stationary_high);
+    let bid = Price(30_000);
+
+    let short = FailureModel::from_trace(
+        &two_state_trace(17, 2 * 24 * 60),
+        FailureModelConfig::default(),
+    );
+    let long = FailureModel::from_trace(
+        &two_state_trace(17, 90 * 24 * 60),
+        FailureModelConfig::default(),
+    );
+    let err_short = (short.estimate_fp(bid, LOW, 0, 720) - closed_form).abs();
+    let err_long = (long.estimate_fp(bid, LOW, 0, 720) - closed_form).abs();
+    assert!(
+        err_long <= err_short + 0.01,
+        "90d error {err_long} should not exceed 2d error {err_short}"
+    );
+    assert!(err_long < 0.02, "90d error {err_long}");
+}

@@ -1,6 +1,6 @@
 //! Driver helpers for RS-Paxos clusters.
 
-use simnet::{NetworkConfig, NodeId, SimTime, Simulation};
+use simnet::{ChaosAction, NetworkConfig, NodeId, SimTime, Simulation};
 
 use crate::client::RsClientState;
 use crate::msg::{StoreCmd, StoreResp};
@@ -40,6 +40,11 @@ impl RsCluster {
     /// The server ids.
     pub fn servers(&self) -> &[NodeId] {
         &self.servers
+    }
+
+    /// The client ids.
+    pub fn clients(&self) -> &[NodeId] {
+        &self.clients
     }
 
     /// Add a closed-loop client.
@@ -122,5 +127,49 @@ impl RsCluster {
     /// Immutable replica access.
     pub fn replica(&self, id: NodeId) -> Option<&RsReplica> {
         self.sim.actor(id).and_then(RsNode::as_server)
+    }
+
+    /// Execute one fault-schedule action against this cluster — same
+    /// contract as `paxos::harness::Cluster::apply_chaos`: a crash stops a
+    /// replica dead, a restart reboots it with durable state (promises,
+    /// slot log, shard store) intact and volatile leadership state lost,
+    /// partitions only separate replicas (all other nodes are appended to
+    /// every side), and inapplicable actions are no-ops.
+    pub fn apply_chaos(&mut self, action: &ChaosAction) {
+        match action {
+            ChaosAction::Crash(id) => {
+                if self.sim.is_up(*id) {
+                    self.crash(*id);
+                }
+            }
+            ChaosAction::Restart(id) => {
+                if !self.sim.is_up(*id) {
+                    match self.sim.take_crashed(*id) {
+                        Some(RsNode::Server(mut r)) => {
+                            r.reboot();
+                            self.sim.restart(*id, RsNode::Server(r));
+                        }
+                        _ => self.restart(*id),
+                    }
+                }
+            }
+            ChaosAction::Partition(groups) => {
+                let mut groups = groups.clone();
+                let listed: Vec<NodeId> = groups.iter().flatten().copied().collect();
+                for n in 0..self.sim.node_count() {
+                    let id = NodeId(n);
+                    if !listed.contains(&id) {
+                        for g in &mut groups {
+                            g.push(id);
+                        }
+                    }
+                }
+                self.sim.partition(groups);
+            }
+            ChaosAction::Heal => self.sim.heal(),
+            ChaosAction::SetLinkChaos(chaos) => self.sim.set_link_chaos(chaos.clone()),
+            ChaosAction::ClearLinkChaos => self.sim.clear_link_chaos(),
+            ChaosAction::ClockSkew(id, ms) => self.sim.skew_clock(*id, *ms),
+        }
     }
 }

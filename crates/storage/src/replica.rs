@@ -271,6 +271,17 @@ impl RsReplica {
         self.reset_election_deadline(now);
     }
 
+    /// Recover after a crash: drop volatile leadership state, keep the
+    /// durable state — `promised`, the slot log, the shard store, dedup
+    /// cache and commit index. Same contract as `paxos::Replica::reboot`:
+    /// quorum intersection requires acceptor state to survive restarts, so
+    /// the harness models a restart as a reboot with the disk intact.
+    pub fn reboot(&mut self) {
+        self.step_down(SimTime::ZERO);
+        self.leader = None;
+        // `on_start` re-arms the tick timer and election deadline at boot.
+    }
+
     // ------------------------------------------------------ observability
 
     /// Send one message, counting it by kind.
@@ -452,8 +463,25 @@ impl RsReplica {
             );
         }
         self.last_heartbeat_sent = SimTime::ZERO;
+        // Fresh proposals must start past every slot already decided, not
+        // just past the merged *accepted* entries: a chosen slot adopted
+        // from a promise can sit beyond a gap (commit_index stalls at the
+        // gap), and a peer's commit index proves everything below it was
+        // chosen somewhere. Assigning a fresh command to such a slot would
+        // overwrite a decided value.
         let top = merged.keys().next_back().map(|s| s + 1).unwrap_or(0);
-        self.next_slot = self.commit_index.max(top);
+        let chosen_top = self
+            .slots
+            .iter()
+            .rev()
+            .find(|(_, st)| st.chosen.is_some())
+            .map(|(&s, _)| s + 1)
+            .unwrap_or(0);
+        self.next_slot = self
+            .commit_index
+            .max(top)
+            .max(chosen_top)
+            .max(max_commit);
         let mut plans: Vec<(Slot, SlotValue)> = Vec::new();
         for slot in self.commit_index..self.next_slot {
             if self
@@ -683,6 +711,15 @@ impl RsReplica {
                 key,
             },
         };
+        // Never allocate a slot that is already decided (a commit adopted
+        // from a peer can land beyond the contiguous prefix).
+        while self
+            .slots
+            .get(&self.next_slot)
+            .is_some_and(|st| st.chosen.is_some())
+        {
+            self.next_slot += 1;
+        }
         let slot = self.next_slot;
         self.next_slot += 1;
         self.send_accepts(slot, value, ctx);
@@ -710,7 +747,14 @@ impl RsReplica {
         );
         let my_idx = self.shard_idx();
         let my_wire = self.wire_for(&p.value, p.shards.as_ref(), my_idx);
-        self.slots.entry(slot).or_default().chosen = Some(my_wire);
+        // Chosen values are write-once (mirroring `note_chosen`): if a
+        // commit for this slot was adopted while our proposal was in
+        // flight, Paxos guarantees the decisions agree — keep the stored
+        // entry.
+        let st = self.slots.entry(slot).or_default();
+        if st.chosen.is_none() {
+            st.chosen = Some(my_wire);
+        }
         // Leader-side extras before generic apply: cache full objects.
         if let SlotValue::Put { key, object, .. } = &p.value {
             self.objects.insert(key.clone(), (slot, object.clone()));

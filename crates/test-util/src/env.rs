@@ -1,0 +1,64 @@
+//! The chaos-suite environment knobs and the failure re-run command.
+//!
+//! * `CHAOS_SCHEDULES=<n>` — how many random schedules each sweep runs
+//!   (defaults keep the whole suite inside the CI budget; crank it up
+//!   for soak runs: `CHAOS_SCHEDULES=5000 cargo test -q --test chaos`).
+//! * `CHAOS_SEED=<seed>` — pin the base seed instead of the suite
+//!   default; with `CHAOS_SCHEDULES=1` this reproduces one failing
+//!   schedule exactly.
+
+/// Number of schedules a sweep should run: `CHAOS_SCHEDULES` when set
+/// and parseable, `default_n` otherwise.
+pub fn chaos_schedules(default_n: usize) -> usize {
+    std::env::var("CHAOS_SCHEDULES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default_n)
+        .max(1)
+}
+
+/// Base seed for a sweep: `CHAOS_SEED` when set and parseable (decimal
+/// or `0x…` hex), `default` otherwise.
+pub fn chaos_seed(default: u64) -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|v| parse_seed(&v))
+        .unwrap_or(default)
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// The exact command that re-runs one failing schedule: printed by every
+/// chaos failure so reproduction is copy-paste.
+pub fn repro_command(test_name: &str, seed: u64) -> String {
+    format!("CHAOS_SEED={seed:#x} CHAOS_SCHEDULES=1 cargo test -q --test chaos {test_name} -- --nocapture")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_parses_decimal_and_hex() {
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed("0x2a"), Some(42));
+        assert_eq!(parse_seed("0X2A"), Some(42));
+        assert_eq!(parse_seed(" 7 "), Some(7));
+        assert_eq!(parse_seed("nope"), None);
+    }
+
+    #[test]
+    fn repro_command_carries_seed_and_test() {
+        let cmd = repro_command("lock_sweep", 0xDEAD);
+        assert!(cmd.contains("CHAOS_SEED=0xdead"));
+        assert!(cmd.contains("CHAOS_SCHEDULES=1"));
+        assert!(cmd.contains("lock_sweep"));
+    }
+}

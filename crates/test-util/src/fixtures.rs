@@ -1,0 +1,64 @@
+//! Scenario fixtures shared by the integration suites: the synthetic
+//! markets and protocol clusters the tests previously each hand-rolled.
+
+use paxos::{Cluster, LockService, ReplicaConfig};
+use simnet::NetworkConfig;
+use spot_market::{InstanceType, Market, MarketConfig};
+use storage::{RsCluster, RsConfig};
+
+/// A small paper-parameterized market: `weeks` of history across the
+/// first `zones` availability zones, m1.small only.
+pub fn quick_market(seed: u64, weeks: u64, zones: usize) -> Market {
+    let mut cfg = MarketConfig::paper(seed, weeks * 7 * 24 * 60);
+    cfg.zones.truncate(zones.max(1));
+    cfg.types = vec![InstanceType::M1Small];
+    Market::generate(cfg)
+}
+
+/// A day-granularity market for property tests; `zones` is clamped to
+/// the 2–8 range the replay engine is exercised at.
+pub fn market_days(seed: u64, zones: usize, days: u64) -> Market {
+    let mut cfg = MarketConfig::paper(seed, days * 24 * 60);
+    cfg.zones.truncate(zones.clamp(2, 8));
+    cfg.types = vec![InstanceType::M1Small];
+    Market::generate(cfg)
+}
+
+/// A `n`-replica Paxos lock-service cluster on the default WAN model,
+/// with the given replica configuration (pass
+/// [`ReplicaConfig::default`] unless the test needs otherwise).
+pub fn lock_cluster(n: usize, cfg: ReplicaConfig, seed: u64) -> Cluster<LockService> {
+    Cluster::new(n, LockService::new(), cfg, NetworkConfig::default(), seed)
+}
+
+/// A θ(m, n) RS-Paxos storage cluster on the default WAN model.
+pub fn storage_cluster(n: usize, cfg: RsConfig, seed: u64) -> RsCluster {
+    RsCluster::new(n, cfg, NetworkConfig::default(), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markets_are_seed_deterministic() {
+        let a = quick_market(3, 1, 4);
+        let b = quick_market(3, 1, 4);
+        assert_eq!(a.zones(), b.zones());
+        assert_eq!(a.horizon(), b.horizon());
+        let z = a.zones()[0];
+        let ty = InstanceType::M1Small;
+        for minute in [0, 100, 1_000] {
+            assert_eq!(
+                a.trace(z, ty).price_at(minute),
+                b.trace(z, ty).price_at(minute)
+            );
+        }
+    }
+
+    #[test]
+    fn clamped_zone_counts() {
+        assert_eq!(market_days(1, 0, 1).zones().len(), 2);
+        assert_eq!(market_days(1, 100, 1).zones().len(), 8);
+    }
+}

@@ -1,0 +1,47 @@
+//! Seeded-RNG builders: one way to spell randomness across the suites.
+
+use rand_chacha::ChaCha8Rng;
+
+use rand::SeedableRng;
+
+/// The workspace-standard seeded RNG (ChaCha8, the same generator the
+/// simulator itself uses).
+pub fn rng_from(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Derive an independent sub-seed from `(base, stream)`.
+///
+/// SplitMix64 over the pair, so workload, cluster, and schedule seeds
+/// drawn from one printed base seed don't share RNG streams. Stable
+/// across platforms and releases — reproduction commands depend on it.
+pub fn derive_seed(base: u64, stream: u64) -> u64 {
+    let mut x = base
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(stream.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn derive_is_deterministic_and_stream_separated() {
+        assert_eq!(derive_seed(42, 0), derive_seed(42, 0));
+        assert_ne!(derive_seed(42, 0), derive_seed(42, 1));
+        assert_ne!(derive_seed(42, 0), derive_seed(43, 0));
+    }
+
+    #[test]
+    fn rng_from_same_seed_same_stream() {
+        let mut a = rng_from(7);
+        let mut b = rng_from(7);
+        for _ in 0..32 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+}

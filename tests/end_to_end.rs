@@ -7,14 +7,8 @@ use spot_jupiter::jupiter::{BiddingFramework, ExtraStrategy, JupiterStrategy, Se
 use spot_jupiter::replay::experiments::{self, Scale};
 use spot_jupiter::replay::lifecycle::{on_demand_baseline_cost, replay_strategy};
 use spot_jupiter::replay::ReplayConfig;
-use spot_jupiter::spot_market::{InstanceType, Market, MarketConfig, Termination};
-
-fn quick_market(seed: u64, weeks: u64, zones: usize) -> Market {
-    let mut cfg = MarketConfig::paper(seed, weeks * 7 * 24 * 60);
-    cfg.zones.truncate(zones);
-    cfg.types = vec![InstanceType::M1Small];
-    Market::generate(cfg)
-}
+use spot_jupiter::spot_market::{InstanceType, Termination};
+use test_util::quick_market;
 
 #[test]
 fn jupiter_beats_heuristics_on_the_paper_metric() {

@@ -5,14 +5,7 @@ use proptest::prelude::*;
 use spot_jupiter::jupiter::{ExtraStrategy, ServiceSpec};
 use spot_jupiter::replay::lifecycle::replay_strategy;
 use spot_jupiter::replay::ReplayConfig;
-use spot_jupiter::spot_market::{InstanceType, Market, MarketConfig};
-
-fn market(seed: u64, zones: usize, days: u64) -> Market {
-    let mut cfg = MarketConfig::paper(seed, days * 24 * 60);
-    cfg.zones.truncate(zones.clamp(2, 8));
-    cfg.types = vec![InstanceType::M1Small];
-    Market::generate(cfg)
-}
+use test_util::market_days as market;
 
 proptest! {
     // Each case replays several simulated days; keep the count modest.

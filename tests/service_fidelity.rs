@@ -4,11 +4,12 @@
 
 use bytes::Bytes;
 use spot_jupiter::jupiter::JupiterStrategy;
-use spot_jupiter::paxos::{ClientOp, Cluster, LockCmd, LockService, ReplicaConfig};
+use spot_jupiter::paxos::{ClientOp, LockCmd, LockService, ReplicaConfig};
 use spot_jupiter::replay::service_level::{lock_service_replay, ServiceReplayConfig};
-use spot_jupiter::simnet::{NetworkConfig, SimTime};
+use spot_jupiter::simnet::SimTime;
 use spot_jupiter::spot_market::{InstanceType, Market, MarketConfig};
-use spot_jupiter::storage::{RsCluster, RsConfig, StoreCmd, StoreResp};
+use spot_jupiter::storage::{RsConfig, StoreCmd, StoreResp};
+use test_util::{lock_cluster, storage_cluster};
 
 #[test]
 fn service_level_replay_meets_sla() {
@@ -38,13 +39,7 @@ fn service_level_replay_meets_sla() {
 fn lock_service_rolling_replacement_is_seamless() {
     // Replace every replica of a 5-node group one by one (the worst-case
     // outcome of five consecutive bidding intervals) while a client works.
-    let mut c: Cluster<LockService> = Cluster::new(
-        5,
-        LockService::new(),
-        ReplicaConfig::default(),
-        NetworkConfig::default(),
-        8,
-    );
+    let mut c = lock_cluster(5, ReplicaConfig::default(), 8);
     let client = c.add_client();
     c.submit(
         client,
@@ -100,7 +95,7 @@ fn lock_service_rolling_replacement_is_seamless() {
 fn storage_service_handles_churn_with_quorum_margin() {
     // Kill and restart replicas one at a time (never two concurrently —
     // θ(3,5) tolerates exactly one) across several rounds of writes.
-    let mut c = RsCluster::new(5, RsConfig::default(), NetworkConfig::default(), 17);
+    let mut c = storage_cluster(5, RsConfig::default(), 17);
     let client = c.add_client();
     for round in 0..4u8 {
         let obj = Bytes::from(vec![round; 400]);
