@@ -2,7 +2,7 @@
 
 use bench::bench_trace;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use spot_model::{FailureModel, FailureModelConfig, SemiMarkovKernel};
+use spot_model::{FailureModel, FailureModelConfig, FrozenKernel};
 use std::hint::black_box;
 
 fn kernel_estimation(c: &mut Criterion) {
@@ -10,7 +10,7 @@ fn kernel_estimation(c: &mut Criterion) {
     for weeks in [1u64, 4, 13] {
         let (_, trace) = bench_trace(weeks);
         g.bench_with_input(BenchmarkId::from_parameter(weeks), &trace, |b, t| {
-            b.iter(|| SemiMarkovKernel::from_trace(black_box(t)))
+            b.iter(|| FrozenKernel::from_trace(black_box(t)))
         });
     }
     g.finish();

@@ -29,11 +29,11 @@
 use std::time::Instant;
 
 use bench::bench_market;
-use jupiter::{JupiterStrategy, ServiceSpec};
+use jupiter::{ExtraStrategy, JupiterStrategy, ModelStore, ServiceSpec};
 use obs::Obs;
 use replay::fleet::fleet_replay_observed;
 use replay::service_level::{lock_service_replay_observed, ServiceReplayConfig};
-use replay::{replay_strategy_observed, ReplayConfig};
+use replay::{replay_strategy_stored, ReplayConfig, Scenario, SweepSpec};
 
 const DEFAULT_BASELINE: &str = "BENCH_replay.json";
 const DEFAULT_THRESHOLD: f64 = 0.75;
@@ -82,20 +82,37 @@ fn run_all() -> Vec<TargetResult> {
         }),
         run_target(
             "jupiter_replay",
-            &["replay.bids_placed", "replay.death.", "jupiter."],
+            &["replay.bids_placed", "replay.death.", "jupiter.", "model_store."],
             |obs| {
                 let market = bench_market(3, 8);
                 let spec = ServiceSpec::lock_service();
-                let result = replay_strategy_observed(
+                let store = ModelStore::with_obs(obs.clone());
+                let result = replay_strategy_stored(
                     &market,
                     &spec,
                     JupiterStrategy::new().with_obs(obs.clone()),
                     ReplayConfig::new(train, train + eval, 6),
+                    &store,
                     obs,
                 );
                 assert!(result.window_minutes > 0);
             },
         ),
+        // The scenario engine's training-reuse guarantee, as a compared
+        // counter pair: a 2-strategy × 2-interval grid over 8 zones must
+        // fit exactly 8 kernels (one per zone) and reuse them for the
+        // other 3 cells. A regression that re-introduces per-cell
+        // training shows up as `model_store.*` drift.
+        run_target("scenario_sweep", &["model_store."], |obs| {
+            let market = bench_market(3, 8);
+            let scenario = Scenario::new(market, train, train + eval).with_obs(obs.clone());
+            let sweep = SweepSpec::new(ServiceSpec::lock_service())
+                .strategy(|o| Box::new(JupiterStrategy::new().with_obs(o.clone())))
+                .strategy(|_| Box::new(ExtraStrategy::new(0, 0.2)))
+                .intervals(vec![6, 12]);
+            let cells = scenario.run(&sweep);
+            assert_eq!(cells.len(), 4);
+        }),
         run_target(
             "fleet_replay",
             &["fleet.", "replay.bids_placed"],

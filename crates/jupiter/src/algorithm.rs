@@ -155,24 +155,31 @@ impl JupiterStrategy {
                 .collect(),
             Estimator::Absorbing => vec![None; zones.len()],
         };
-        let absorbing_cache: Vec<std::sync::Mutex<std::collections::HashMap<Price, f64>>> =
-            zones.iter().map(|_| Default::default()).collect();
+        // Every probed bid is either a ladder level of the zone's frozen
+        // kernel or the zone's own spot price, so the memo is a dense
+        // bid-grid vector (slot 0 = off-ladder spot price, slot 1 + l =
+        // ladder level l) instead of a locked hash map.
+        let absorbing_cache: Vec<Vec<std::sync::OnceLock<f64>>> = zones
+            .iter()
+            .map(|z| vec![std::sync::OnceLock::new(); z.model.kernel().n_states() + 1])
+            .collect();
         let absorbing_fp = |zi: usize, bid: Price| -> f64 {
-            if let Some(&fp) = absorbing_cache[zi].lock().expect("poisoned").get(&bid) {
+            let z = &zones[zi];
+            let slot = match z.model.kernel().level_index(bid) {
+                Some(l) => l + 1,
+                None => 0,
+            };
+            let cell = &absorbing_cache[zi][slot];
+            if let Some(&fp) = cell.get() {
                 fp_cache_hits.inc();
                 return fp;
             }
             fp_cache_misses.inc();
-            let z = &zones[zi];
             let fp = forward_micros.time(|| {
                 z.model
                     .estimate_fp_absorbing(bid, z.spot_price, z.sojourn_age, horizon_minutes)
             });
-            absorbing_cache[zi]
-                .lock()
-                .expect("poisoned")
-                .insert(bid, fp);
-            fp
+            *cell.get_or_init(|| fp)
         };
         // Minimal feasible bid on the level ladder by binary search
         // (absorbing FP is non-increasing in the bid).

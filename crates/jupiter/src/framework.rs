@@ -2,11 +2,12 @@
 //! online training, and the bidding loop entry point.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use obs::Obs;
 use rayon::prelude::*;
 use spot_market::{InstanceType, Price, PriceTrace, Zone};
-use spot_model::{FailureModel, FailureModelConfig};
+use spot_model::{FailureModel, FailureModelConfig, FrozenKernel};
 
 use crate::service::ServiceSpec;
 use crate::strategy::{BidDecision, BiddingStrategy, ZoneState};
@@ -66,6 +67,16 @@ impl<S: BiddingStrategy> BiddingFramework<S> {
     /// The strategy's display name.
     pub fn strategy_name(&self) -> String {
         self.strategy.name()
+    }
+
+    /// Adopt a pre-trained shared kernel for `zone` (the
+    /// [`crate::ModelStore`] consumption path): the framework wraps it in
+    /// a [`FailureModel`] carrying this service's `FP⁰` composition, and
+    /// later [`Self::observe`] calls fork it copy-on-write — the shared
+    /// base stays untouched.
+    pub fn install_kernel(&mut self, zone: Zone, kernel: Arc<FrozenKernel>) {
+        self.models
+            .insert(zone, FailureModel::from_kernel(kernel, self.model_config));
     }
 
     /// Feed spot-price history for a zone into its failure model

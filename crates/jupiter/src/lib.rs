@@ -27,11 +27,17 @@
 //!   per availability zone, keeps them trained online, and turns market
 //!   snapshots into bid decisions.
 
+//! * [`store`] — [`ModelStore`]: a shared memo table of frozen kernels
+//!   keyed by (zone, instance type, trained-until minute), so many
+//!   concurrent policy evaluations over the same market train each model
+//!   exactly once.
+
 pub mod algorithm;
 pub mod exhaustive;
 pub mod framework;
 pub mod heuristic;
 pub mod service;
+pub mod store;
 pub mod strategy;
 
 pub use algorithm::JupiterStrategy;
@@ -39,4 +45,5 @@ pub use exhaustive::ExhaustiveSolver;
 pub use framework::BiddingFramework;
 pub use heuristic::{ExtraStrategy, FixedOnce};
 pub use service::ServiceSpec;
+pub use store::{ModelKey, ModelStore};
 pub use strategy::{BidDecision, BiddingStrategy, ZoneState};

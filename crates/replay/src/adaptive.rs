@@ -8,10 +8,11 @@
 //! within the interval* stays near a target: fast-moving markets re-bid
 //! hourly, quiet ones stretch toward the 12-hour cap.
 
-use jupiter::{BiddingStrategy, ServiceSpec};
+use jupiter::{BiddingStrategy, ModelStore, ServiceSpec};
+use obs::Obs;
 use spot_market::Market;
 
-use crate::lifecycle::{replay_schedule, ReplayConfig};
+use crate::lifecycle::{replay_schedule_stored, ReplayConfig};
 use crate::results::ReplayResult;
 
 /// Parameters of the adaptive interval rule.
@@ -73,14 +74,36 @@ pub fn replay_adaptive<S: BiddingStrategy>(
     market: &Market,
     spec: &ServiceSpec,
     strategy: S,
+    config: ReplayConfig,
+    adaptive: AdaptiveConfig,
+) -> ReplayResult {
+    let store = ModelStore::new();
+    replay_adaptive_stored(market, spec, strategy, config, adaptive, &store, &Obs::disabled())
+}
+
+/// [`replay_adaptive`] with the training fit served from a shared
+/// [`ModelStore`], so an adaptive run alongside fixed-interval cells of
+/// the same scenario reuses their per-zone kernels.
+pub fn replay_adaptive_stored<S: BiddingStrategy>(
+    market: &Market,
+    spec: &ServiceSpec,
+    strategy: S,
     mut config: ReplayConfig,
     adaptive: AdaptiveConfig,
+    store: &ModelStore,
+    obs: &Obs,
 ) -> ReplayResult {
     config.interval_hours = adaptive.min_hours.max(1);
     let spec_cloned = spec.clone();
-    let mut result = replay_schedule(market, spec, strategy, config, |boundary| {
-        adaptive_interval(market, &spec_cloned, &adaptive, boundary)
-    });
+    let mut result = replay_schedule_stored(
+        market,
+        spec,
+        strategy,
+        config,
+        |boundary| adaptive_interval(market, &spec_cloned, &adaptive, boundary),
+        store,
+        obs,
+    );
     result.strategy = format!("{} [adaptive]", result.strategy);
     result
 }

@@ -32,12 +32,15 @@ pub mod experiments;
 pub mod fleet;
 pub mod lifecycle;
 pub mod results;
+pub mod scenario;
 pub mod service_level;
 
-pub use adaptive::{replay_adaptive, AdaptiveConfig};
+pub use adaptive::{replay_adaptive, replay_adaptive_stored, AdaptiveConfig};
 pub use chaos::market_fault_schedule;
 pub use fleet::{fleet_replay, fleet_replay_observed, FleetResult};
 pub use lifecycle::{
-    replay_strategy, replay_strategy_observed, InstanceRecord, ReplayConfig,
+    replay_strategy, replay_strategy_observed, replay_strategy_stored, InstanceRecord,
+    ReplayConfig,
 };
 pub use results::{IntervalOutcome, ReplayResult};
+pub use scenario::{CellOutcome, Scenario, StrategyFactory, SweepSpec};

@@ -1,9 +1,10 @@
 //! The market-level replay loop: bid, launch, die, bill, account.
 
 use jupiter::framework::MarketSnapshot;
-use jupiter::{BiddingFramework, BiddingStrategy, ServiceSpec};
+use jupiter::{BiddingFramework, BiddingStrategy, ModelKey, ModelStore, ServiceSpec};
 use obs::{FieldValue, Obs};
 use spot_market::{Market, Price, Termination, Zone};
+use spot_model::FrozenKernel;
 
 use crate::results::{IntervalOutcome, ReplayResult};
 
@@ -37,6 +38,15 @@ impl ReplayConfig {
             interval_hours,
             decision_lead: 15,
         }
+    }
+
+    /// The minute of the first bidding decision — also the exclusive end
+    /// of the training prefix the replay may reveal to the models. It
+    /// depends only on the evaluation window, never on the strategy or
+    /// interval, which is what lets every sweep cell share one
+    /// [`jupiter::ModelStore`] entry per (zone, type).
+    pub fn first_decision(&self) -> u64 {
+        self.eval_start.saturating_sub(self.decision_lead).max(1)
     }
 }
 
@@ -82,6 +92,22 @@ pub fn replay_strategy_observed<S: BiddingStrategy>(
     replay_schedule_observed(market, spec, strategy, config, |_| interval, obs)
 }
 
+/// [`replay_strategy_observed`] with the training fit served from a shared
+/// [`ModelStore`]: the kernel for each (zone, type, training-prefix) is
+/// fitted at most once store-wide and installed by `Arc`, so concurrent
+/// sweep cells over the same market pay for training once.
+pub fn replay_strategy_stored<S: BiddingStrategy>(
+    market: &Market,
+    spec: &ServiceSpec,
+    strategy: S,
+    config: ReplayConfig,
+    store: &ModelStore,
+    obs: &Obs,
+) -> ReplayResult {
+    let interval = config.interval_hours * 60;
+    replay_schedule_stored(market, spec, strategy, config, |_| interval, store, obs)
+}
+
 /// Replay with a dynamic interval schedule: `next_interval(boundary)`
 /// returns the length in minutes of the interval starting at `boundary`.
 /// This powers the paper's §5.5 extension (adapt the bidding interval to
@@ -103,13 +129,32 @@ fn minute_micros(minute: u64) -> u64 {
 }
 
 /// [`replay_schedule`] with observability (see
-/// [`replay_strategy_observed`]).
+/// [`replay_strategy_observed`]). Training fits go through a private,
+/// single-use [`ModelStore`]; callers replaying the same market many times
+/// should use [`replay_schedule_stored`] with a shared store instead.
 pub fn replay_schedule_observed<S: BiddingStrategy>(
     market: &Market,
     spec: &ServiceSpec,
     strategy: S,
     config: ReplayConfig,
+    next_interval: impl FnMut(u64) -> u64,
+    obs: &Obs,
+) -> ReplayResult {
+    let store = ModelStore::with_obs(obs.clone());
+    replay_schedule_stored(market, spec, strategy, config, next_interval, &store, obs)
+}
+
+/// [`replay_schedule_observed`] with the training fit served from `store`
+/// (see [`replay_strategy_stored`]). The replay's *online* refinement —
+/// folding each interval's revealed prices into the models — forks the
+/// shared kernels copy-on-write and never mutates the stored base.
+pub fn replay_schedule_stored<S: BiddingStrategy>(
+    market: &Market,
+    spec: &ServiceSpec,
+    strategy: S,
+    config: ReplayConfig,
     mut next_interval: impl FnMut(u64) -> u64,
+    store: &ModelStore,
     obs: &Obs,
 ) -> ReplayResult {
     assert!(config.eval_end <= market.horizon(), "window beyond market");
@@ -132,17 +177,22 @@ pub fn replay_schedule_observed<S: BiddingStrategy>(
     // Train only on the revealed prefix — the replay must never peek at
     // future prices; each interval's observations are folded in below.
     // The first decision happens `decision_lead` minutes before the
-    // window, so history is revealed up to that point only.
-    let first_decision = config
-        .eval_start
-        .saturating_sub(config.decision_lead)
-        .max(1);
+    // window, so history is revealed up to that point only. The fit is
+    // keyed by (zone, type, prefix end) in the store, so every replay of
+    // the same market window reuses one shared kernel per zone.
+    let first_decision = config.first_decision();
     let mut framework = BiddingFramework::new(spec.clone(), strategy);
-    let prefixes: Vec<(Zone, spot_market::PriceTrace)> = zones
-        .iter()
-        .map(|&z| (z, market.trace(z, ty).window(0, first_decision)))
-        .collect();
-    framework.train_all(prefixes.iter().map(|(z, t)| (*z, t)));
+    for &z in &zones {
+        let key = ModelKey {
+            zone: z,
+            instance_type: ty,
+            trained_until: first_decision,
+        };
+        let kernel = store.get_or_fit(key, || {
+            FrozenKernel::from_trace(&market.trace(z, ty).window(0, first_decision))
+        });
+        framework.install_kernel(z, kernel);
+    }
     let mut observed_until = first_decision;
 
     let mut fleet: Vec<Active> = Vec::new();

@@ -1,0 +1,315 @@
+//! The declarative scenario engine: one market, one shared model store,
+//! many (strategy × interval) replay cells.
+//!
+//! Every sweep in the paper's evaluation replays the *same* market window
+//! under a grid of strategies and bidding intervals. The hand-rolled
+//! drivers used to rebuild and retrain a [`jupiter::BiddingFramework`] per
+//! cell — zones × strategies × intervals kernel fits for identical
+//! training data. A [`Scenario`] owns the market (`Arc`-shared across
+//! cells) and a [`ModelStore`] memoizing one [`spot_model::FrozenKernel`]
+//! per (zone, type, training prefix); a [`SweepSpec`] declares the cell
+//! grid; [`Scenario::run`] enumerates it rayon-parallel and merges each
+//! cell's private obs registry into the scenario registry under a
+//! `cell.{strategy}.{interval}h.` prefix.
+//!
+//! ```text
+//!          Scenario (shared, read-only across cells)
+//!          ├── Arc<Market>      — the price history
+//!          ├── ModelStore       — Arc<FrozenKernel> per (zone, type, prefix)
+//!          └── Obs              — merged per-cell registries + model_store.*
+//!                 │ run(&SweepSpec)
+//!                 ▼
+//!          cell = (strategy factory, interval)   (private per cell)
+//!          ├── BiddingFramework — forks shared kernels copy-on-write
+//!          └── Obs              — replay.* counters for this cell only
+//! ```
+
+use std::sync::Arc;
+
+use jupiter::{BiddingStrategy, ModelStore, ServiceSpec};
+use obs::Obs;
+use rayon::prelude::*;
+use spot_market::{Market, Price};
+
+use crate::adaptive::{replay_adaptive_stored, AdaptiveConfig};
+use crate::lifecycle::{on_demand_baseline_cost, replay_strategy_stored, ReplayConfig};
+use crate::results::ReplayResult;
+
+/// Builds one strategy instance for one cell. The factory receives the
+/// cell's private [`Obs`] so strategies that record decision metrics
+/// (e.g. `JupiterStrategy::with_obs`) stay separable per cell.
+pub type StrategyFactory = Box<dyn Fn(&Obs) -> Box<dyn BiddingStrategy> + Send + Sync>;
+
+/// A declarative sweep: which service to deploy and the strategy ×
+/// interval grid to replay it under.
+pub struct SweepSpec {
+    service: ServiceSpec,
+    strategies: Vec<StrategyFactory>,
+    intervals: Vec<u64>,
+}
+
+impl SweepSpec {
+    /// An empty sweep of `service`; add strategies and intervals with the
+    /// builder methods.
+    pub fn new(service: ServiceSpec) -> Self {
+        SweepSpec {
+            service,
+            strategies: Vec::new(),
+            intervals: Vec::new(),
+        }
+    }
+
+    /// Add one strategy column to the grid.
+    pub fn strategy(
+        mut self,
+        make: impl Fn(&Obs) -> Box<dyn BiddingStrategy> + Send + Sync + 'static,
+    ) -> Self {
+        self.strategies.push(Box::new(make));
+        self
+    }
+
+    /// Set the bidding intervals (hours) to sweep.
+    pub fn intervals(mut self, hours: impl Into<Vec<u64>>) -> Self {
+        self.intervals = hours.into();
+        self
+    }
+
+    /// The service this sweep deploys.
+    pub fn service(&self) -> &ServiceSpec {
+        &self.service
+    }
+
+    /// Number of cells the grid enumerates.
+    pub fn cells(&self) -> usize {
+        self.strategies.len() * self.intervals.len()
+    }
+}
+
+/// One completed cell of a sweep.
+pub struct CellOutcome {
+    /// The cell's bidding interval in hours.
+    pub interval_hours: u64,
+    /// The replay accounting for this cell.
+    pub result: ReplayResult,
+}
+
+/// One market window plus the shared state every replay over it can
+/// reuse: the `Arc`-shared [`Market`] and the [`ModelStore`] of frozen
+/// per-zone kernels.
+pub struct Scenario {
+    market: Arc<Market>,
+    eval_start: u64,
+    eval_end: u64,
+    store: ModelStore,
+    obs: Obs,
+}
+
+impl Scenario {
+    /// A scenario evaluating `[eval_start, eval_end)` of `market`, with
+    /// observability disabled.
+    pub fn new(market: Market, eval_start: u64, eval_end: u64) -> Self {
+        Scenario {
+            market: Arc::new(market),
+            eval_start,
+            eval_end,
+            store: ModelStore::new(),
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Record scenario instruments into `obs`: the store's `model_store.*`
+    /// work counters plus every cell's registry merged under
+    /// `cell.{strategy}.{interval}h.`. Call before the first `run` — the
+    /// store is rebuilt, dropping any kernels already fitted.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.store = ModelStore::with_obs(obs.clone());
+        self.obs = obs;
+        self
+    }
+
+    /// The shared market.
+    pub fn market(&self) -> &Market {
+        &self.market
+    }
+
+    /// The shared model store (e.g. to inspect how many fits ran).
+    pub fn store(&self) -> &ModelStore {
+        &self.store
+    }
+
+    /// The replay config for one interval choice over this window.
+    pub fn config(&self, interval_hours: u64) -> ReplayConfig {
+        ReplayConfig::new(self.eval_start, self.eval_end, interval_hours)
+    }
+
+    /// Replay the full strategy × interval grid of `spec`, cells in
+    /// parallel over the shared market and store. Cells are returned in
+    /// grid order (intervals outer, strategies inner), and each cell's
+    /// private registry is merged into the scenario [`Obs`] in that same
+    /// order, so output and metrics are independent of scheduling.
+    pub fn run(&self, spec: &SweepSpec) -> Vec<CellOutcome> {
+        let jobs: Vec<(u64, usize)> = spec
+            .intervals
+            .iter()
+            .flat_map(|&h| (0..spec.strategies.len()).map(move |s| (h, s)))
+            .collect();
+        let cells: Vec<(CellOutcome, Obs)> = jobs
+            .into_par_iter()
+            .map(|(h, s)| {
+                let cell_obs = if self.obs.metrics.is_enabled() {
+                    Obs::simulated().0
+                } else {
+                    Obs::disabled()
+                };
+                let strategy = (spec.strategies[s])(&cell_obs);
+                let result = replay_strategy_stored(
+                    &self.market,
+                    &spec.service,
+                    strategy,
+                    self.config(h),
+                    &self.store,
+                    &cell_obs,
+                );
+                (
+                    CellOutcome {
+                        interval_hours: h,
+                        result,
+                    },
+                    cell_obs,
+                )
+            })
+            .collect();
+        cells
+            .into_iter()
+            .map(|(cell, cell_obs)| {
+                self.obs.metrics.merge_prefixed(
+                    &cell_obs.metrics,
+                    &format!("cell.{}.{}h.", cell.result.strategy, cell.interval_hours),
+                );
+                cell
+            })
+            .collect()
+    }
+
+    /// Replay one strategy under the §5.5 adaptive interval schedule,
+    /// training from the same shared store as the fixed-interval cells.
+    pub fn run_adaptive<S: BiddingStrategy>(
+        &self,
+        service: &ServiceSpec,
+        strategy: S,
+        adaptive: AdaptiveConfig,
+    ) -> ReplayResult {
+        replay_adaptive_stored(
+            &self.market,
+            service,
+            strategy,
+            self.config(adaptive.min_hours.max(1)),
+            adaptive,
+            &self.store,
+            &Obs::disabled(),
+        )
+    }
+
+    /// The on-demand baseline cost over this scenario's window.
+    pub fn baseline_cost(&self, service: &ServiceSpec) -> Price {
+        // The interval choice does not enter the baseline (it holds the
+        // same on-demand fleet for the whole window).
+        on_demand_baseline_cost(&self.market, service, self.config(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jupiter::{ExtraStrategy, JupiterStrategy};
+    use obs::Obs;
+    use spot_market::{InstanceType, MarketConfig};
+
+    fn scenario_market() -> Market {
+        let mut cfg = MarketConfig::paper(21, 3 * 7 * 24 * 60);
+        cfg.zones.truncate(6);
+        cfg.types = vec![InstanceType::M1Small];
+        Market::generate(cfg)
+    }
+
+    fn spec_2x2() -> SweepSpec {
+        SweepSpec::new(ServiceSpec::lock_service())
+            .strategy(|_| Box::new(JupiterStrategy::new()))
+            .strategy(|_| Box::new(ExtraStrategy::new(0, 0.2)))
+            .intervals(vec![6, 12])
+    }
+
+    #[test]
+    fn grid_runs_in_order_and_trains_once_per_zone() {
+        let (obs, _clock) = Obs::simulated();
+        let scenario =
+            Scenario::new(scenario_market(), 2 * 7 * 24 * 60, 3 * 7 * 24 * 60).with_obs(obs.clone());
+        let spec = spec_2x2();
+        let cells = scenario.run(&spec);
+        assert_eq!(cells.len(), spec.cells());
+        // Grid order: intervals outer, strategies inner.
+        let labels: Vec<(u64, String)> = cells
+            .iter()
+            .map(|c| (c.interval_hours, c.result.strategy.clone()))
+            .collect();
+        assert_eq!(labels[0], (6, "Jupiter".to_string()));
+        assert_eq!(labels[1], (6, "Extra(0,0.2)".to_string()));
+        assert_eq!(labels[2], (12, "Jupiter".to_string()));
+        assert_eq!(labels[3], (12, "Extra(0,0.2)".to_string()));
+        // One fit per zone, shared by all four cells: every cell needs all
+        // 6 zones, so 4 × 6 lookups hit 6 fits.
+        let snap = obs.metrics.snapshot();
+        assert_eq!(snap.counter("model_store.fits_performed"), Some(6));
+        assert_eq!(snap.counter("model_store.fits_reused"), Some(3 * 6));
+        assert_eq!(scenario.store().len(), 6);
+        // Each cell's replay counters land under its own prefix.
+        assert!(snap.counter("cell.Jupiter.6h.replay.bids_placed").unwrap_or(0) > 0);
+        assert!(
+            snap.counter("cell.Extra(0,0.2).12h.replay.bids_placed")
+                .unwrap_or(0)
+                > 0
+        );
+    }
+
+    #[test]
+    fn stored_replay_matches_unshared_replay() {
+        // The engine is a pure refactor: a cell replayed through the
+        // shared store must equal the same replay trained privately.
+        let market = scenario_market();
+        let config = ReplayConfig::new(2 * 7 * 24 * 60, 3 * 7 * 24 * 60, 6);
+        let service = ServiceSpec::lock_service();
+        let direct = crate::lifecycle::replay_strategy(
+            &market,
+            &service,
+            JupiterStrategy::new(),
+            config,
+        );
+        let scenario = Scenario::new(market, 2 * 7 * 24 * 60, 3 * 7 * 24 * 60);
+        let spec = SweepSpec::new(service)
+            .strategy(|_| Box::new(JupiterStrategy::new()))
+            .intervals(vec![6]);
+        let cells = scenario.run(&spec);
+        let stored = &cells[0].result;
+        assert_eq!(stored.total_cost, direct.total_cost);
+        assert_eq!(stored.up_minutes, direct.up_minutes);
+        assert_eq!(stored.instances.len(), direct.instances.len());
+    }
+
+    #[test]
+    fn adaptive_shares_the_store() {
+        let (obs, _clock) = Obs::simulated();
+        let scenario =
+            Scenario::new(scenario_market(), 2 * 7 * 24 * 60, 3 * 7 * 24 * 60).with_obs(obs.clone());
+        let service = ServiceSpec::lock_service();
+        let spec = SweepSpec::new(service.clone())
+            .strategy(|_| Box::new(JupiterStrategy::new()))
+            .intervals(vec![6]);
+        scenario.run(&spec);
+        let r = scenario.run_adaptive(&service, JupiterStrategy::new(), AdaptiveConfig::default());
+        assert!(r.strategy.contains("[adaptive]"));
+        let snap = obs.metrics.snapshot();
+        // The adaptive run refit nothing: all its kernels were stored.
+        assert_eq!(snap.counter("model_store.fits_performed"), Some(6));
+        assert_eq!(snap.counter("model_store.fits_reused"), Some(6));
+    }
+}

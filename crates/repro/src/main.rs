@@ -355,14 +355,25 @@ fn sweep_and_print(title: &str, rows: Vec<SweepRow>) -> Vec<SweepRow> {
 
 fn headline(lock: &[SweepRow], storage: &[SweepRow]) {
     let h = experiments::headline(lock, storage);
+    let sla = |met: bool| {
+        if met {
+            "SLA met"
+        } else {
+            "SLA MISSED — most-available fallback"
+        }
+    };
     println!("\n== Headline: Jupiter cost reduction vs on-demand baseline ==");
     println!(
-        "lock service:    {:.2}% (best interval {} h; paper: 81.23%)",
-        h.lock_reduction_pct, h.lock_best_interval
+        "lock service:    {:.2}% (best interval {} h, {}; paper: 81.23%)",
+        h.lock_reduction_pct,
+        h.lock_best_interval,
+        sla(h.lock_met_sla)
     );
     println!(
-        "storage service: {:.2}% (best interval {} h; paper: 85.32%)",
-        h.storage_reduction_pct, h.storage_best_interval
+        "storage service: {:.2}% (best interval {} h, {}; paper: 85.32%)",
+        h.storage_reduction_pct,
+        h.storage_best_interval,
+        sla(h.storage_met_sla)
     );
 }
 

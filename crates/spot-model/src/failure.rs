@@ -1,10 +1,12 @@
 //! The spot-instance failure model (Eq. 4/14 plus the interval expectation
 //! of Eq. 5), the object the bidding framework consults.
 
+use std::sync::Arc;
+
 use spot_market::{Price, PriceTrace};
 
 use crate::forecast::{forecast, survival_probability, Forecast, ForecastConfig};
-use crate::kernel::SemiMarkovKernel;
+use crate::kernel::FrozenKernel;
 use crate::ON_DEMAND_FP;
 
 /// Configuration of a [`FailureModel`].
@@ -48,7 +50,7 @@ impl Default for FailureModelConfig {
 /// ```
 #[derive(Clone, Debug)]
 pub struct FailureModel {
-    kernel: SemiMarkovKernel,
+    kernel: Arc<FrozenKernel>,
     config: FailureModelConfig,
 }
 
@@ -56,26 +58,40 @@ impl FailureModel {
     /// An untrained model (every estimate is the conservative 1.0).
     pub fn new(config: FailureModelConfig) -> Self {
         FailureModel {
-            kernel: SemiMarkovKernel::new(),
+            kernel: Arc::new(FrozenKernel::new()),
             config,
         }
     }
 
     /// Train a fresh model from a price history.
     pub fn from_trace(trace: &PriceTrace, config: FailureModelConfig) -> Self {
-        let mut m = Self::new(config);
-        m.observe(trace);
-        m
+        FailureModel {
+            kernel: Arc::new(FrozenKernel::from_trace(trace)),
+            config,
+        }
+    }
+
+    /// A model over a pre-trained shared kernel (the [`FailureModel`] adds
+    /// only the per-service `FP⁰` composition, so one kernel can back many
+    /// models).
+    pub fn from_kernel(kernel: Arc<FrozenKernel>, config: FailureModelConfig) -> Self {
+        FailureModel { kernel, config }
     }
 
     /// Fold more price history into the model (incremental re-estimation).
+    /// Copy-on-write: other models sharing this kernel are unaffected.
     pub fn observe(&mut self, trace: &PriceTrace) {
-        self.kernel.observe_trace(trace);
+        self.kernel = Arc::new(self.kernel.extend(trace));
     }
 
     /// The underlying kernel.
-    pub fn kernel(&self) -> &SemiMarkovKernel {
+    pub fn kernel(&self) -> &FrozenKernel {
         &self.kernel
+    }
+
+    /// The underlying kernel, shareable.
+    pub fn shared_kernel(&self) -> Arc<FrozenKernel> {
+        Arc::clone(&self.kernel)
     }
 
     /// Whether the model has seen enough data to estimate anything.

@@ -20,7 +20,7 @@
 
 use spot_market::Price;
 
-use crate::kernel::SemiMarkovKernel;
+use crate::kernel::FrozenKernel;
 
 /// Tuning knobs for the forward evolution.
 #[derive(Clone, Copy, Debug)]
@@ -97,7 +97,7 @@ struct Tables {
 }
 
 impl Tables {
-    fn build(kernel: &SemiMarkovKernel, max_age: usize) -> Tables {
+    fn build(kernel: &FrozenKernel, max_age: usize) -> Tables {
         let n = kernel.n_states();
         let hazard = (0..n as u16)
             .map(|i| kernel.hazards_up_to(i, max_age))
@@ -168,7 +168,7 @@ fn step(tables: &Tables, mass: &mut Vec<Vec<f64>>, scratch: &mut Vec<Vec<f64>>) 
 /// `(start_state, start_age)` and summarize per-level out-of-bid
 /// fractions.
 pub fn forecast(
-    kernel: &SemiMarkovKernel,
+    kernel: &FrozenKernel,
     start_state: u16,
     start_age: u32,
     horizon: u32,
@@ -210,7 +210,7 @@ pub fn forecast(
 /// Absorbing variant: probability that the price stays ≤ `bid` for the
 /// entire horizon (the instance survives out-of-bid termination).
 pub fn survival_probability(
-    kernel: &SemiMarkovKernel,
+    kernel: &FrozenKernel,
     bid: Price,
     start_state: u16,
     start_age: u32,
@@ -255,7 +255,7 @@ mod tests {
     }
 
     /// Deterministic alternation A(5) → B(3) → A(5) → …
-    fn kernel() -> SemiMarkovKernel {
+    fn kernel() -> FrozenKernel {
         let mut points = Vec::new();
         let mut t = 0;
         for _ in 0..50 {
@@ -270,7 +270,7 @@ mod tests {
             });
             t += 3;
         }
-        SemiMarkovKernel::from_trace(&PriceTrace::new(points, t))
+        FrozenKernel::from_trace(&PriceTrace::new(points, t))
     }
 
     #[test]

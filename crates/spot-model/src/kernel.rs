@@ -1,7 +1,19 @@
 //! The discrete semi-Markov chain over spot prices and its empirical
-//! estimator (Eq. 6/7/12/13).
+//! estimator (Eq. 6/7/12/13), split into an append-only [`KernelBuilder`]
+//! and an immutable, query-optimized [`FrozenKernel`].
+//!
+//! The builder interns price states in O(1) per observation (no re-index
+//! of existing statistics when a new price appears mid-ladder); freezing
+//! sorts the ladder once and lays every state's transition counts out in
+//! a sorted CSR-style table, so the hot queries (`q`, `hazard`,
+//! `exact_next_state_dist`) are binary searches over dense vectors
+//! instead of per-key `HashMap` walks. A frozen kernel is cheap to share
+//! (`Arc<StateTable>` per state) and cheap to fork: [`FrozenKernel::extend`]
+//! folds a new trace window in copy-on-write fashion, deep-cloning only
+//! the states the window actually touched.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use spot_market::{Price, PriceTrace};
 
@@ -10,77 +22,57 @@ use spot_market::{Price, PriceTrace};
 /// six hours comfortably covers the longest bidding interval evaluated).
 pub const MAX_SOJOURN_MINUTES: usize = 360;
 
-/// Per-price-state transition statistics.
+/// Per-price-state transition statistics in builder (insertion) order.
 #[derive(Clone, Debug, Default)]
-struct StateStats {
+struct BuilderStats {
     /// `N_i`: number of completed sojourns observed at this price.
     n_out: u64,
     /// `Σ_j N_{i,j}^k` indexed by `k−1` (sojourn of exactly `k` minutes).
     sojourn_counts: Vec<u64>,
-    /// `N_{i,j}^k` keyed by `(k−1, j)`.
+    /// `N_{i,j}^k` keyed by `(k−1, j)`; `j` is a builder index.
     trans: HashMap<(u32, u16), u64>,
-    /// `N_{i,j}` marginal over sojourns, indexed by `j`.
+    /// `N_{i,j}` marginal over sojourns, indexed by builder `j`.
     next_marginal: Vec<u64>,
     /// Total minutes spent at this price (including the censored final
     /// segment), for occupancy statistics.
     occupancy_minutes: u64,
 }
 
-/// The estimated stochastic kernel `Q(i, j, k)` of the price process for
-/// one (zone, instance-type) market, built incrementally from price traces.
+/// Append-only accumulator for the kernel statistics of Eq. 13.
+///
+/// States are interned in *insertion* order via a hash index, so folding a
+/// trace in is O(segments) regardless of how many new price levels it
+/// introduces; the sorted state space is materialized once, by
+/// [`KernelBuilder::freeze`].
 #[derive(Clone, Debug, Default)]
-pub struct SemiMarkovKernel {
-    /// Sorted unique prices; the state space `S`.
+pub struct KernelBuilder {
+    /// Prices in insertion order (the builder's working index space).
     prices: Vec<Price>,
-    stats: Vec<StateStats>,
-    /// Total completed transitions across all states.
+    index: HashMap<Price, u16>,
+    stats: Vec<BuilderStats>,
     total_transitions: u64,
 }
 
-impl SemiMarkovKernel {
-    /// An empty kernel (no states, no data).
+impl KernelBuilder {
+    /// An empty builder.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Build a kernel from a single trace.
-    pub fn from_trace(trace: &PriceTrace) -> Self {
-        let mut k = Self::new();
-        k.observe_trace(trace);
-        k
-    }
-
     /// The state index for `price`, inserting a new state if unseen.
+    /// O(1): existing statistics are never re-indexed.
     fn intern(&mut self, price: Price) -> u16 {
-        match self.prices.binary_search(&price) {
-            Ok(i) => i as u16,
-            Err(i) => {
-                self.prices.insert(i, price);
-                self.stats.insert(i, StateStats::default());
-                // Re-index `j` references in every state's tables: all
-                // indices ≥ i shift up by one.
-                for s in &mut self.stats {
-                    if s.next_marginal.len() >= i {
-                        s.next_marginal.insert(i, 0);
-                    }
-                    if !s.trans.is_empty() {
-                        let shifted: HashMap<(u32, u16), u64> = s
-                            .trans
-                            .drain()
-                            .map(|((k, j), c)| {
-                                let nj = if (j as usize) >= i { j + 1 } else { j };
-                                ((k, nj), c)
-                            })
-                            .collect();
-                        s.trans = shifted;
-                    }
-                }
-                i as u16
-            }
+        if let Some(&i) = self.index.get(&price) {
+            return i;
         }
+        let i = self.prices.len() as u16;
+        self.prices.push(price);
+        self.stats.push(BuilderStats::default());
+        self.index.insert(price, i);
+        i
     }
 
-    /// Fold the transitions of `trace` into the kernel (Eq. 13 counts).
+    /// Fold the transitions of `trace` into the builder (Eq. 13 counts).
     ///
     /// Every *completed* sojourn contributes one `(i → j, k)` observation;
     /// the final segment of the trace is right-censored (its true sojourn
@@ -111,6 +103,236 @@ impl SemiMarkovKernel {
         }
     }
 
+    /// Number of distinct price states seen so far.
+    pub fn n_states(&self) -> usize {
+        self.prices.len()
+    }
+
+    /// Total completed transitions observed so far.
+    pub fn total_transitions(&self) -> u64 {
+        self.total_transitions
+    }
+
+    /// Materialize the immutable, query-optimized kernel: sort the price
+    /// ladder, remap every `j` reference, and lay transition counts out in
+    /// sorted `(k−1, j)` order for binary-search lookup.
+    pub fn freeze(&self) -> FrozenKernel {
+        let n = self.prices.len();
+        // order[s] = builder index of the s-th smallest price;
+        // perm[builder index] = sorted index.
+        let mut order: Vec<u16> = (0..n as u16).collect();
+        order.sort_by_key(|&b| self.prices[b as usize]);
+        let mut perm = vec![0u16; n];
+        for (sorted, &builder) in order.iter().enumerate() {
+            perm[builder as usize] = sorted as u16;
+        }
+        let prices: Vec<Price> = order.iter().map(|&b| self.prices[b as usize]).collect();
+        let states: Vec<Arc<StateTable>> = order
+            .iter()
+            .map(|&b| {
+                let st = &self.stats[b as usize];
+                let mut trans: Vec<(u32, u16, u64)> = st
+                    .trans
+                    .iter()
+                    .map(|(&(k, j), &c)| (k, perm[j as usize], c))
+                    .collect();
+                trans.sort_unstable_by_key(|&(k, j, _)| (k, j));
+                let mut next_marginal = vec![0u64; n];
+                for (j, &c) in st.next_marginal.iter().enumerate() {
+                    next_marginal[perm[j] as usize] = c;
+                }
+                Arc::new(StateTable {
+                    n_out: st.n_out,
+                    occupancy_minutes: st.occupancy_minutes,
+                    sojourn_counts: st.sojourn_counts.clone(),
+                    trans,
+                    next_marginal,
+                })
+            })
+            .collect();
+        FrozenKernel {
+            prices,
+            states,
+            total_transitions: self.total_transitions,
+        }
+    }
+}
+
+/// One frozen state's statistics, shared via `Arc` across kernel forks.
+#[derive(Clone, Debug, Default)]
+struct StateTable {
+    /// `N_i`: number of completed sojourns observed at this price.
+    n_out: u64,
+    /// Total minutes spent at this price (censored final segment included).
+    occupancy_minutes: u64,
+    /// `Σ_j N_{i,j}^k` indexed by `k−1`.
+    sojourn_counts: Vec<u64>,
+    /// `N_{i,j}^k` as `(k−1, j, count)` sorted by `(k−1, j)` — the
+    /// CSR-style replacement for the builder's hash map; `j` is a sorted
+    /// state index.
+    trans: Vec<(u32, u16, u64)>,
+    /// `N_{i,j}` marginal over sojourns, dense over all sorted states.
+    next_marginal: Vec<u64>,
+}
+
+impl StateTable {
+    /// Sum of `N_{i,j}^k` over `j` at exactly sojourn `k−1 = k0`.
+    fn count_at(&self, k0: u32, j: u16) -> u64 {
+        self.trans
+            .binary_search_by_key(&(k0, j), |&(k, j, _)| (k, j))
+            .map(|idx| self.trans[idx].2)
+            .unwrap_or(0)
+    }
+
+    /// The contiguous run of transition entries with `k−1 = k0`.
+    fn run_at(&self, k0: u32) -> &[(u32, u16, u64)] {
+        let lo = self.trans.partition_point(|&(k, _, _)| k < k0);
+        let hi = self.trans.partition_point(|&(k, _, _)| k <= k0);
+        &self.trans[lo..hi]
+    }
+
+    /// Fold a builder state's counts in, with `map[j_builder]` giving the
+    /// merged sorted index. `n` is the merged state-space size.
+    fn absorb(&mut self, d: &BuilderStats, map: &[u16], n: usize) {
+        self.n_out += d.n_out;
+        self.occupancy_minutes += d.occupancy_minutes;
+        if self.sojourn_counts.len() < d.sojourn_counts.len() {
+            self.sojourn_counts.resize(d.sojourn_counts.len(), 0);
+        }
+        for (k, &c) in d.sojourn_counts.iter().enumerate() {
+            self.sojourn_counts[k] += c;
+        }
+        if self.next_marginal.len() < n {
+            self.next_marginal.resize(n, 0);
+        }
+        for (j, &c) in d.next_marginal.iter().enumerate() {
+            if c > 0 {
+                self.next_marginal[map[j] as usize] += c;
+            }
+        }
+        if !d.trans.is_empty() {
+            let mut merged: std::collections::BTreeMap<(u32, u16), u64> = self
+                .trans
+                .iter()
+                .map(|&(k, j, c)| ((k, j), c))
+                .collect();
+            for (&(k, j), &c) in &d.trans {
+                *merged.entry((k, map[j as usize])).or_insert(0) += c;
+            }
+            self.trans = merged.into_iter().map(|((k, j), c)| (k, j, c)).collect();
+        }
+    }
+}
+
+/// The estimated stochastic kernel `Q(i, j, k)` of the price process for
+/// one (zone, instance-type) market — immutable, sorted, and cheap to
+/// share or fork. Build one with [`FrozenKernel::from_trace`] /
+/// [`KernelBuilder::freeze`]; grow one with [`FrozenKernel::extend`].
+#[derive(Clone, Debug, Default)]
+pub struct FrozenKernel {
+    /// Sorted unique prices; the state space `S`.
+    prices: Vec<Price>,
+    states: Vec<Arc<StateTable>>,
+    /// Total completed transitions across all states.
+    total_transitions: u64,
+}
+
+impl FrozenKernel {
+    /// An empty kernel (no states, no data).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a kernel from a single trace.
+    pub fn from_trace(trace: &PriceTrace) -> Self {
+        let mut b = KernelBuilder::new();
+        b.observe_trace(trace);
+        b.freeze()
+    }
+
+    /// Copy-on-write fork: a new kernel equal to `self` with `trace`'s
+    /// transitions folded in. States the trace does not touch keep sharing
+    /// their `Arc<StateTable>` with `self`; only touched states (and, when
+    /// the trace introduces a new price level mid-ladder, the `j` index
+    /// maps of every state) are re-materialized.
+    ///
+    /// Censoring semantics match feeding the same window into a builder:
+    /// the window's final segment is right-censored, so transitions across
+    /// window boundaries are not recorded.
+    pub fn extend(&self, trace: &PriceTrace) -> FrozenKernel {
+        let mut delta = KernelBuilder::new();
+        delta.observe_trace(trace);
+        self.merge(&delta)
+    }
+
+    /// Fold a builder's counts into a fork of `self`.
+    fn merge(&self, delta: &KernelBuilder) -> FrozenKernel {
+        if delta.prices.is_empty() {
+            return self.clone();
+        }
+        // Merged sorted ladder.
+        let mut prices = self.prices.clone();
+        for &p in &delta.prices {
+            if let Err(pos) = prices.binary_search(&p) {
+                prices.insert(pos, p);
+            }
+        }
+        let n = prices.len();
+        let grew = n != self.prices.len();
+        // Sorted index in the merged ladder for each of the old sorted
+        // states, and for each delta builder state.
+        let old_map: Vec<u16> = self
+            .prices
+            .iter()
+            .map(|p| prices.binary_search(p).expect("old price kept") as u16)
+            .collect();
+        let delta_map: Vec<u16> = delta
+            .prices
+            .iter()
+            .map(|p| prices.binary_search(p).expect("delta price inserted") as u16)
+            .collect();
+
+        // One shared empty table seeds every slot; slots the old kernel or
+        // the delta touch are overwritten below, the rest stay genuinely
+        // empty (the tables are immutable, so sharing is intentional).
+        let empty = Arc::new(StateTable::default());
+        let mut states: Vec<Arc<StateTable>> = (0..n).map(|_| Arc::clone(&empty)).collect();
+        for (old_i, st) in self.states.iter().enumerate() {
+            let slot = old_map[old_i] as usize;
+            if grew {
+                // The ladder shifted: every `j` reference must be remapped,
+                // so the table is re-materialized.
+                let mut next_marginal = vec![0u64; n];
+                for (j, &c) in st.next_marginal.iter().enumerate() {
+                    next_marginal[old_map[j] as usize] = c;
+                }
+                let trans = st
+                    .trans
+                    .iter()
+                    .map(|&(k, j, c)| (k, old_map[j as usize], c))
+                    .collect();
+                states[slot] = Arc::new(StateTable {
+                    n_out: st.n_out,
+                    occupancy_minutes: st.occupancy_minutes,
+                    sojourn_counts: st.sojourn_counts.clone(),
+                    trans,
+                    next_marginal,
+                });
+            } else {
+                states[slot] = Arc::clone(st);
+            }
+        }
+        for (bi, d) in delta.stats.iter().enumerate() {
+            let slot = delta_map[bi] as usize;
+            Arc::make_mut(&mut states[slot]).absorb(d, &delta_map, n);
+        }
+        FrozenKernel {
+            prices,
+            states,
+            total_transitions: self.total_transitions + delta.total_transitions,
+        }
+    }
+
     /// The state space `S` (sorted unique prices).
     pub fn prices(&self) -> &[Price] {
         &self.prices
@@ -124,6 +346,11 @@ impl SemiMarkovKernel {
     /// Total completed transitions observed (training-data volume).
     pub fn total_transitions(&self) -> u64 {
         self.total_transitions
+    }
+
+    /// The ladder position of an exact price level, if `price` is one.
+    pub fn level_index(&self, price: Price) -> Option<usize> {
+        self.prices.binary_search(&price).ok()
     }
 
     /// The state index whose price is nearest to `price` (`None` on an
@@ -147,13 +374,12 @@ impl SemiMarkovKernel {
 
     /// `q̂_{i,j,k} = N_{i,j}^k / N_i` (Eq. 13); zero when `N_i = 0`.
     pub fn q(&self, i: u16, j: u16, k_minutes: u32) -> f64 {
-        let st = &self.stats[i as usize];
+        let st = &self.states[i as usize];
         if st.n_out == 0 || k_minutes == 0 {
             return 0.0;
         }
         let k = (k_minutes as usize).min(MAX_SOJOURN_MINUTES) as u32;
-        let count = st.trans.get(&(k - 1, j)).copied().unwrap_or(0);
-        count as f64 / st.n_out as f64
+        st.count_at(k - 1, j) as f64 / st.n_out as f64
     }
 
     /// Pseudo-count weight pulling sparse empirical hazards toward the
@@ -168,7 +394,7 @@ impl SemiMarkovKernel {
     /// with `HAZARD_SMOOTHING` pseudo-observations so sparse tails
     /// degrade gracefully instead of reading as certainties.
     pub fn hazard(&self, i: u16, age: u32) -> f64 {
-        let st = &self.stats[i as usize];
+        let st = &self.states[i as usize];
         if st.n_out == 0 {
             return self.global_fallback_hazard();
         }
@@ -185,7 +411,7 @@ impl SemiMarkovKernel {
     /// recomputes them and is O(max sojourn) per call — this batch form is
     /// what forecast-table construction uses).
     pub fn hazards_up_to(&self, i: u16, max_age: usize) -> Vec<f64> {
-        let st = &self.stats[i as usize];
+        let st = &self.states[i as usize];
         if st.n_out == 0 {
             return vec![self.global_fallback_hazard(); max_age];
         }
@@ -209,7 +435,7 @@ impl SemiMarkovKernel {
     /// Mean completed sojourn of state `i` in minutes (fallbacks to the
     /// global mean when unobserved).
     pub fn mean_sojourn(&self, i: u16) -> f64 {
-        let st = &self.stats[i as usize];
+        let st = &self.states[i as usize];
         if st.n_out == 0 {
             return 1.0 / self.global_fallback_hazard();
         }
@@ -223,7 +449,7 @@ impl SemiMarkovKernel {
     }
 
     fn global_fallback_hazard(&self) -> f64 {
-        let (total_minutes, total_out) = self.stats.iter().fold((0u64, 0u64), |(m, o), s| {
+        let (total_minutes, total_out) = self.states.iter().fold((0u64, 0u64), |(m, o), s| {
             let mins: u64 = s
                 .sojourn_counts
                 .iter()
@@ -246,18 +472,19 @@ impl SemiMarkovKernel {
     pub fn exact_next_state_dist(&self, i: u16, age: u32) -> Option<Vec<f64>> {
         let n = self.n_states();
         assert!(n > 0, "empty kernel");
-        let st = &self.stats[i as usize];
+        let st = &self.states[i as usize];
         let age = (age.max(1) as usize).min(MAX_SOJOURN_MINUTES) as u32;
-        // Count before allocating: most (state, age) cells have no
-        // exact-sojourn support and this runs for every cell of every
-        // forecast table.
-        let total: u64 = (0..n as u16)
-            .map(|j| st.trans.get(&(age - 1, j)).copied().unwrap_or(0))
-            .sum();
+        // The sorted layout keeps all of this exact sojourn's entries in
+        // one contiguous run: most (state, age) cells have no support and
+        // cost one binary search, no allocation.
+        let run = st.run_at(age - 1);
+        let total: u64 = run.iter().map(|&(_, _, c)| c).sum();
         (total >= 3).then(|| {
-            (0..n as u16)
-                .map(|j| st.trans.get(&(age - 1, j)).copied().unwrap_or(0) as f64 / total as f64)
-                .collect()
+            let mut out = vec![0.0; n];
+            for &(_, j, c) in run {
+                out[j as usize] = c as f64 / total as f64;
+            }
+            out
         })
     }
 
@@ -267,7 +494,7 @@ impl SemiMarkovKernel {
     pub fn marginal_next_state_dist(&self, i: u16) -> Vec<f64> {
         let n = self.n_states();
         assert!(n > 0, "empty kernel");
-        let st = &self.stats[i as usize];
+        let st = &self.states[i as usize];
         let total: u64 = st.next_marginal.iter().sum();
         if total > 0 {
             let mut out = vec![0.0; n];
@@ -334,7 +561,7 @@ mod tests {
 
     #[test]
     fn estimates_simple_kernel() {
-        let k = SemiMarkovKernel::from_trace(&alternating(10));
+        let k = FrozenKernel::from_trace(&alternating(10));
         assert_eq!(k.n_states(), 2);
         let a = k.nearest_state(p(0.01)).unwrap();
         let b = k.nearest_state(p(0.02)).unwrap();
@@ -348,8 +575,52 @@ mod tests {
     }
 
     #[test]
+    fn new_mid_ladder_state_does_not_misattribute_sojourns() {
+        // Regression: the retired mutable kernel interned the successor
+        // price *after* caching the current state's index; a brand-new
+        // price level sorting at or below it shifted the ladder and the
+        // sojourn landed in a neighbor's table (visible as impossible
+        // self-transitions `q(i, i, k) > 0`). The append-only builder
+        // never shifts indices mid-observation.
+        let points = vec![
+            PricePoint {
+                minute: 0,
+                price: p(0.010),
+            },
+            PricePoint {
+                minute: 10,
+                price: p(0.005), // new level below the current state
+            },
+            PricePoint {
+                minute: 25,
+                price: p(0.010),
+            },
+            PricePoint {
+                minute: 40,
+                price: p(0.002), // another new low, again as a successor
+            },
+        ];
+        let k = FrozenKernel::from_trace(&PriceTrace::new(points, 60));
+        let n = k.n_states() as u16;
+        for i in 0..n {
+            for kk in 1..=30 {
+                assert_eq!(k.q(i, i, kk), 0.0, "self-transition at state {i}");
+            }
+        }
+        let hi = k.nearest_state(p(0.010)).unwrap();
+        let mid = k.nearest_state(p(0.005)).unwrap();
+        let lo = k.nearest_state(p(0.002)).unwrap();
+        // p=0.010 completes two sojourns (10 min → 0.005, 15 min → 0.002).
+        assert!((k.mean_sojourn(hi) - 12.5).abs() < 1e-12);
+        assert!((k.q(hi, mid, 10) - 0.5).abs() < 1e-12);
+        assert!((k.q(hi, lo, 15) - 0.5).abs() < 1e-12);
+        // p=0.005 completes one 15-minute sojourn back to 0.010.
+        assert!((k.q(mid, hi, 15) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn kernel_rows_sum_to_at_most_one() {
-        let k = SemiMarkovKernel::from_trace(&alternating(7));
+        let k = FrozenKernel::from_trace(&alternating(7));
         for i in 0..k.n_states() as u16 {
             let mut row = 0.0;
             for j in 0..k.n_states() as u16 {
@@ -363,7 +634,7 @@ mod tests {
 
     #[test]
     fn deterministic_sojourn_hazard() {
-        let k = SemiMarkovKernel::from_trace(&alternating(10));
+        let k = FrozenKernel::from_trace(&alternating(10));
         let a = k.nearest_state(p(0.01)).unwrap();
         // All 10 completed sojourns at A last 5 minutes. With smoothing
         // (α = 3 pseudo-observations at the geometric hazard 1/5), the
@@ -378,7 +649,7 @@ mod tests {
 
     #[test]
     fn batched_hazards_equal_per_age_hazards() {
-        let k = SemiMarkovKernel::from_trace(&alternating(10));
+        let k = FrozenKernel::from_trace(&alternating(10));
         for i in 0..k.n_states() as u16 {
             let batch = k.hazards_up_to(i, 20);
             for age in 1..=20u32 {
@@ -393,7 +664,7 @@ mod tests {
 
     #[test]
     fn hazard_beyond_support_falls_back_to_geometric() {
-        let k = SemiMarkovKernel::from_trace(&alternating(10));
+        let k = FrozenKernel::from_trace(&alternating(10));
         let a = k.nearest_state(p(0.01)).unwrap();
         let h = k.hazard(a, 50);
         assert!((h - 1.0 / 5.0).abs() < 1e-12, "got {h}");
@@ -401,7 +672,7 @@ mod tests {
 
     #[test]
     fn next_state_dist_sums_to_one_and_backs_off() {
-        let k = SemiMarkovKernel::from_trace(&alternating(10));
+        let k = FrozenKernel::from_trace(&alternating(10));
         let a = k.nearest_state(p(0.01)).unwrap();
         // Exact support at τ=5.
         let d = k.next_state_dist(a, 5);
@@ -414,34 +685,62 @@ mod tests {
 
     #[test]
     fn nearest_state_mapping() {
-        let k = SemiMarkovKernel::from_trace(&alternating(3));
+        let k = FrozenKernel::from_trace(&alternating(3));
         assert_eq!(k.prices(), &[p(0.01), p(0.02)]);
         assert_eq!(k.nearest_state(p(0.005)).unwrap(), 0);
         assert_eq!(k.nearest_state(p(0.014)).unwrap(), 0);
         assert_eq!(k.nearest_state(p(0.016)).unwrap(), 1);
         assert_eq!(k.nearest_state(p(0.5)).unwrap(), 1);
-        assert_eq!(SemiMarkovKernel::new().nearest_state(p(0.01)), None);
+        assert_eq!(FrozenKernel::new().nearest_state(p(0.01)), None);
     }
 
     #[test]
     fn incremental_observation_equals_batch() {
         let t = alternating(10);
-        let batch = SemiMarkovKernel::from_trace(&t);
-        let mut inc = SemiMarkovKernel::new();
+        let batch = FrozenKernel::from_trace(&t);
+        let mut inc = KernelBuilder::new();
         // Observing windows [0,40) and [40,80) misses only the boundary
         // transition statistics; totals must line up within that.
         inc.observe_trace(&t.window(0, 40));
         inc.observe_trace(&t.window(40, 80));
+        let inc = inc.freeze();
         assert_eq!(inc.n_states(), batch.n_states());
         // One cross-boundary transition is lost to censoring.
         assert_eq!(inc.total_transitions() + 1, batch.total_transitions());
     }
 
     #[test]
-    fn intern_preserves_existing_indices() {
+    fn extend_equals_builder_incremental() {
+        // Forking with extend() must count exactly like feeding the same
+        // windows into one builder.
+        let t = alternating(10);
+        let base = FrozenKernel::from_trace(&t.window(0, 40));
+        let forked = base.extend(&t.window(40, 80));
+        let mut b = KernelBuilder::new();
+        b.observe_trace(&t.window(0, 40));
+        b.observe_trace(&t.window(40, 80));
+        let rebuilt = b.freeze();
+        assert_eq!(forked.prices(), rebuilt.prices());
+        assert_eq!(forked.total_transitions(), rebuilt.total_transitions());
+        for i in 0..forked.n_states() as u16 {
+            assert_eq!(forked.mean_sojourn(i), rebuilt.mean_sojourn(i));
+            for j in 0..forked.n_states() as u16 {
+                for k in 1..=10u32 {
+                    assert_eq!(forked.q(i, j, k), rebuilt.q(i, j, k), "q({i},{j},{k})");
+                }
+            }
+        }
+        // The base is untouched by the fork.
+        assert_eq!(base.n_states(), 2);
+        assert_eq!(base.total_transitions(), FrozenKernel::from_trace(&t.window(0, 40)).total_transitions());
+    }
+
+    #[test]
+    fn extend_with_new_mid_ladder_state_preserves_old_statistics() {
         // Insert a price *below* existing states and check old statistics
-        // still point at the right prices.
-        let mut k = SemiMarkovKernel::from_trace(&alternating(5));
+        // still point at the right prices (the old `intern` re-index
+        // guarantee, now provided by the merge remap).
+        let k = FrozenKernel::from_trace(&alternating(5));
         let t2 = PriceTrace::new(
             vec![
                 PricePoint {
@@ -459,13 +758,29 @@ mod tests {
             ],
             12,
         );
-        k.observe_trace(&t2);
+        let k = k.extend(&t2);
         assert_eq!(k.prices(), &[p(0.005), p(0.01), p(0.02)]);
         let a = 1u16; // 0.01 shifted up by the new state
         let b = 2u16;
         assert!((k.q(a, b, 5) - 1.0).abs() < 1e-12, "A→B stats survived");
         let low = 0u16;
         assert!(k.q(low, b, 4) > 0.0, "new state's transition recorded");
+    }
+
+    #[test]
+    fn extend_shares_untouched_state_tables() {
+        // A window that only revisits existing states must not clone the
+        // tables of states it never leaves from or arrives at... and a
+        // no-op extend shares everything.
+        let base = FrozenKernel::from_trace(&alternating(10));
+        let forked = base.extend(&alternating(2));
+        assert_eq!(forked.n_states(), base.n_states());
+        // Both states are touched here, so check sharing via the empty
+        // delta path instead: merging nothing clones only Arcs.
+        let same = base.merge(&KernelBuilder::new());
+        for (a, b) in same.states.iter().zip(&base.states) {
+            assert!(Arc::ptr_eq(a, b), "no-op merge must share tables");
+        }
     }
 
     #[test]
@@ -478,7 +793,7 @@ mod tests {
             }],
             100,
         );
-        let k = SemiMarkovKernel::from_trace(&t);
+        let k = FrozenKernel::from_trace(&t);
         assert_eq!(k.n_states(), 1);
         let d = k.next_state_dist(0, 5);
         assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);

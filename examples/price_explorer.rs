@@ -8,7 +8,7 @@
 
 use spot_jupiter::obs::Registry;
 use spot_jupiter::spot_market::{InstanceType, Market, MarketConfig};
-use spot_jupiter::spot_model::SemiMarkovKernel;
+use spot_jupiter::spot_model::FrozenKernel;
 
 fn main() {
     let seed = std::env::args()
@@ -44,7 +44,7 @@ fn main() {
             .add(segments.saturating_sub(1));
         registry
             .counter(&format!("market.sojourn_samples.{zone}"))
-            .add(SemiMarkovKernel::from_trace(t).total_transitions());
+            .add(FrozenKernel::from_trace(t).total_transitions());
         registry
             .counter(&format!("market.od_spikes.{zone}"))
             .add(spikes as u64);
@@ -98,7 +98,7 @@ fn main() {
     }
 
     // The estimated semi-Markov kernel for that zone.
-    let kernel = SemiMarkovKernel::from_trace(t);
+    let kernel = FrozenKernel::from_trace(t);
     println!("\n== estimated semi-Markov kernel for {} ==", zone.name());
     println!(
         "states: {}   completed transitions: {}",

@@ -3,15 +3,20 @@
 //! trade-off that is the paper's core result — plus the observability
 //! layer's view of each replay (bids, deaths by cause, decision timing).
 //!
+//! The comparison is one declarative [`SweepSpec`] run by the scenario
+//! engine: the engine shares one trained kernel per zone across all three
+//! strategy cells (watch `model_store.fits_performed` stay at the zone
+//! count) and folds each cell's private metrics registry into the
+//! scenario registry under a `cell.{strategy}.{interval}h.` prefix.
+//!
 //! ```text
 //! cargo run --release --example strategy_comparison
 //! ```
 
-use spot_jupiter::jupiter::{BiddingStrategy, ExtraStrategy, JupiterStrategy, ServiceSpec};
+use spot_jupiter::jupiter::{ExtraStrategy, JupiterStrategy, ServiceSpec};
 use spot_jupiter::obs::export::prometheus_text;
-use spot_jupiter::obs::{MetricsSnapshot, Obs, Registry};
-use spot_jupiter::replay::lifecycle::{on_demand_baseline_cost, replay_strategy_observed};
-use spot_jupiter::replay::ReplayConfig;
+use spot_jupiter::obs::{MetricsSnapshot, Obs};
+use spot_jupiter::replay::scenario::{Scenario, SweepSpec};
 use spot_jupiter::spot_market::{InstanceType, Market, MarketConfig};
 
 fn main() {
@@ -23,33 +28,32 @@ fn main() {
     cfg.types = vec![InstanceType::M1Small];
     let market = Market::generate(cfg);
     let spec = ServiceSpec::lock_service();
-    let config = ReplayConfig::new(train, train + eval, 6);
 
-    // Each strategy is built against its own Obs so the metric streams
-    // stay separable (Jupiter additionally records its decision metrics).
-    type Factory = Box<dyn Fn(&Obs) -> Box<dyn BiddingStrategy>>;
-    let strategies: Vec<Factory> = vec![
-        Box::new(|o| Box::new(JupiterStrategy::new().with_obs(o.clone()))),
-        Box::new(|_| Box::new(ExtraStrategy::new(0, 0.2))),
-        Box::new(|_| Box::new(ExtraStrategy::new(2, 0.2))),
-    ];
+    // The whole comparison is one sweep: the cells share the market and
+    // the per-zone kernels through the scenario; each cell gets a private
+    // Obs (handed to the strategy factory, so Jupiter's decision metrics
+    // stay separable per cell).
+    let (obs, _clock) = Obs::simulated();
+    let scenario = Scenario::new(market, train, train + eval).with_obs(obs.clone());
+    let interval_hours = 6u64;
+    let sweep = SweepSpec::new(spec.clone())
+        .strategy(|o| Box::new(JupiterStrategy::new().with_obs(o.clone())))
+        .strategy(|_| Box::new(ExtraStrategy::new(0, 0.2)))
+        .strategy(|_| Box::new(ExtraStrategy::new(2, 0.2)))
+        .intervals(vec![interval_hours]);
 
     println!(
-        "lock service, 2 evaluated weeks, 6 h bidding interval, {} zones\n",
-        market.zones().len()
+        "lock service, 2 evaluated weeks, {interval_hours} h bidding interval, {} zones\n",
+        scenario.market().zones().len()
     );
     println!(
         "{:<14} {:>10} {:>13} {:>16} {:>7}",
         "strategy", "cost ($)", "availability", "downtime (min)", "kills"
     );
-    // One Obs per strategy so the metric streams stay separable; each
-    // registry is then folded into one combined registry under a
-    // per-strategy prefix, so a single export carries the whole run.
-    let combined = Registry::new();
+    let cells = scenario.run(&sweep);
     let mut snapshots: Vec<(String, MetricsSnapshot)> = Vec::new();
-    for make in &strategies {
-        let (obs, _clock) = Obs::simulated();
-        let r = replay_strategy_observed(&market, &spec, make(&obs), config, &obs);
+    for cell in &cells {
+        let r = &cell.result;
         println!(
             "{:<14} {:>10.2} {:>13.6} {:>16} {:>7}",
             r.strategy,
@@ -58,17 +62,17 @@ fn main() {
             r.downtime_minutes(),
             r.total_kills()
         );
-        combined.merge_prefixed(&obs.metrics, &format!("{}.", r.strategy));
         snapshots.push((
             r.strategy.clone(),
-            r.metrics.unwrap_or_else(|| obs.metrics.snapshot()),
+            r.metrics
+                .clone()
+                .expect("cells of an observed scenario carry metrics"),
         ));
     }
-    let baseline = on_demand_baseline_cost(&market, &spec, config);
     println!(
         "{:<14} {:>10.2} {:>13.6} {:>16} {:>7}",
         "Baseline",
-        baseline.as_dollars(),
+        scenario.baseline_cost(&spec).as_dollars(),
         spec.baseline_availability(),
         "-",
         0
@@ -112,20 +116,23 @@ fn main() {
         jupiter.counter("jupiter.candidates_feasible").unwrap_or(0),
     );
 
-    println!("\n== observability: combined registry (Prometheus exposition) ==");
-    let combined_snap = combined.snapshot();
+    println!("\n== observability: the scenario registry (Prometheus exposition) ==");
+    let combined = obs.metrics.snapshot();
     println!(
-        "{} counters from {} strategies in one registry; bids across all: {}",
-        combined_snap.counters.len(),
-        snapshots.len(),
+        "{} counters from {} cells in one registry; bids across all: {}; \
+         kernels fitted {} / reused {}",
+        combined.counters.len(),
+        cells.len(),
         snapshots
             .iter()
-            .map(|(name, _)| combined_snap
-                .counter(&format!("{name}.replay.bids_placed"))
+            .map(|(name, _)| combined
+                .counter(&format!("cell.{name}.{interval_hours}h.replay.bids_placed"))
                 .unwrap_or(0))
-            .sum::<u64>()
+            .sum::<u64>(),
+        combined.counter("model_store.fits_performed").unwrap_or(0),
+        combined.counter("model_store.fits_reused").unwrap_or(0),
     );
-    for line in prometheus_text(&combined_snap)
+    for line in prometheus_text(&combined)
         .lines()
         .filter(|l| l.contains("bids_placed"))
     {
