@@ -39,6 +39,10 @@ echo "== determinism: 1-thread vs default sweep =="
 RAYON_NUM_THREADS=1 ./target/release/repro --quick --seed 2014 fig6 | grep -v '^#' > /tmp/ci_fig6_single.txt
 diff /tmp/ci_fig6_default.txt /tmp/ci_fig6_single.txt \
   || { echo "sweep rows depend on thread count" >&2; exit 1; }
+./target/release/repro --quick --seed 2014 repair | grep -v '^#' > /tmp/ci_repair_default.txt
+RAYON_NUM_THREADS=1 ./target/release/repro --quick --seed 2014 repair | grep -v '^#' > /tmp/ci_repair_single.txt
+diff /tmp/ci_repair_default.txt /tmp/ci_repair_single.txt \
+  || { echo "repair sweep rows depend on thread count" >&2; exit 1; }
 
 echo "== cargo clippy -D warnings =="
 cargo clippy --offline --workspace --all-targets -- -D warnings

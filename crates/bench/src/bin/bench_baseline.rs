@@ -33,7 +33,9 @@ use jupiter::{ExtraStrategy, JupiterStrategy, ModelStore, ServiceSpec};
 use obs::Obs;
 use replay::fleet::fleet_replay_observed;
 use replay::service_level::{lock_service_replay_observed, ServiceReplayConfig};
-use replay::{replay_strategy_stored, ReplayConfig, Scenario, SweepSpec};
+use replay::{
+    replay_repair_stored, replay_strategy_stored, RepairConfig, ReplayConfig, Scenario, SweepSpec,
+};
 
 const DEFAULT_BASELINE: &str = "BENCH_replay.json";
 const DEFAULT_THRESHOLD: f64 = 0.75;
@@ -92,6 +94,30 @@ fn run_all() -> Vec<TargetResult> {
                     &spec,
                     JupiterStrategy::new().with_obs(obs.clone()),
                     ReplayConfig::new(train, train + eval, 6),
+                    &store,
+                    obs,
+                );
+                assert!(result.window_minutes > 0);
+            },
+        ),
+        // The repair controller on a kill-prone heuristic: the compared
+        // counters pin how many deaths the controller saw, how many spot
+        // rebids vs on-demand escalations it answered with, and the
+        // degraded-minute total — a drift in any of them means the repair
+        // path does different work than the committed baseline.
+        run_target(
+            "repair_replay",
+            &["replay.bids_placed", "replay.death.", "repair."],
+            |obs| {
+                let market = bench_market(3, 8);
+                let spec = ServiceSpec::lock_service();
+                let store = ModelStore::with_obs(obs.clone());
+                let result = replay_repair_stored(
+                    &market,
+                    &spec,
+                    ExtraStrategy::new(0, 0.2),
+                    ReplayConfig::new(train, train + eval, 6),
+                    RepairConfig::hybrid(),
                     &store,
                     obs,
                 );

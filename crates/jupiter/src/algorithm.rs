@@ -163,6 +163,51 @@ impl JupiterStrategy {
             .iter()
             .map(|z| vec![std::sync::OnceLock::new(); z.model.kernel().n_states() + 1])
             .collect();
+        // The expectation estimator probes the same bid grid: the node
+        // counts n = 1..max_n revisit the same forecast levels at shifting
+        // targets, so the per-(zone, level) FP is memoized across the
+        // enumeration — and across nothing else, since forecast, spot
+        // price and horizon are fixed within one decide (slot 0 =
+        // off-ladder spot price, slot 1 + l = forecast level l).
+        let expectation_cache: Vec<Vec<std::sync::OnceLock<f64>>> = forecasts
+            .iter()
+            .map(|f| {
+                vec![
+                    std::sync::OnceLock::new();
+                    f.as_ref().map_or(0, |f| f.levels().len() + 1)
+                ]
+            })
+            .collect();
+        let expectation_fp = |zi: usize, slot: usize, bid: Price| -> f64 {
+            let cell = &expectation_cache[zi][slot];
+            if let Some(&fp) = cell.get() {
+                fp_cache_hits.inc();
+                return fp;
+            }
+            fp_cache_misses.inc();
+            let z = &zones[zi];
+            let f = forecasts[zi].as_ref().expect("slots exist only when forecast does");
+            *cell.get_or_init(|| z.model.fp_from_forecast(f, bid, z.spot_price))
+        };
+        // The minimal feasible bid at `target`, mirroring
+        // `ZoneState::min_bid` with the FP lookups served from the grid.
+        let expectation_min_bid = |zi: usize, target: f64| -> Option<Price> {
+            let z = &zones[zi];
+            let f = forecasts[zi].as_ref()?;
+            let mut best: Option<Price> = None;
+            for (slot, b) in std::iter::once(z.spot_price)
+                .chain(f.levels().iter().copied())
+                .enumerate()
+            {
+                if b < z.spot_price || b >= z.on_demand {
+                    continue;
+                }
+                if expectation_fp(zi, slot, b) <= target {
+                    best = Some(best.map_or(b, |prev: Price| prev.min(b)));
+                }
+            }
+            best
+        };
         let absorbing_fp = |zi: usize, bid: Price| -> f64 {
             let z = &zones[zi];
             let slot = match z.model.kernel().level_index(bid) {
@@ -218,12 +263,9 @@ impl JupiterStrategy {
             candidates_evaluated.inc();
             // Minimal feasible bid per zone at this target.
             let mut bids: Vec<(Zone, Price)> = match self.estimator {
-                Estimator::Expectation => zones
-                    .iter()
-                    .zip(&forecasts)
-                    .filter_map(|(z, f)| {
-                        let f = f.as_ref()?;
-                        z.min_bid(f, fp_target).map(|b| (z.zone, b))
+                Estimator::Expectation => (0..zones.len())
+                    .filter_map(|zi| {
+                        expectation_min_bid(zi, fp_target).map(|b| (zones[zi].zone, b))
                     })
                     .collect(),
                 Estimator::Absorbing => (0..zones.len())
@@ -442,6 +484,55 @@ mod tests {
         assert_eq!(
             snap2.histogram("jupiter.forward_evolution_micros").unwrap().count,
             misses
+        );
+    }
+
+    #[test]
+    fn expectation_path_reuses_the_fp_grid_across_node_counts() {
+        // Regression: the bid-grid FP cache used to be wired only into
+        // the absorbing estimator, so `jupiter.fp_cache_hits/misses` both
+        // read 0 on every replay of the paper's default strategy. The
+        // expectation path probes the same (zone, ladder-level) grid for
+        // every node count n = 1..max_n, so a repeated decide must hit.
+        let models: Vec<FailureModel> = (0..6).map(|_| model(0.008, 0.012, 60)).collect();
+        let states: Vec<ZoneState> = models
+            .iter()
+            .enumerate()
+            .map(|(i, m)| ZoneState {
+                zone: zone(i),
+                spot_price: p(0.008),
+                sojourn_age: 5,
+                on_demand: p(0.044),
+                model: m,
+            })
+            .collect();
+        let spec = ServiceSpec::lock_service();
+
+        let (o, _clock) = Obs::simulated();
+        let strategy = JupiterStrategy::new().with_obs(o.clone());
+        let first = strategy.decide(&states, &spec, 240);
+        let snap = o.metrics.snapshot();
+        let misses = snap.counter("jupiter.fp_cache_misses").unwrap_or(0);
+        let hits = snap.counter("jupiter.fp_cache_hits").unwrap_or(0);
+        assert!(misses >= 1, "first probe of each (zone, level) misses");
+        assert!(hits >= 1, "node counts 2..=6 revisit the same grid");
+        // Memoization must not change the decision: every chosen bid
+        // equals the cache-less reference probe (ZoneState::min_bid) at
+        // the decision's own per-node FP target.
+        let target = spec
+            .node_fp_target(first.n())
+            .expect("chosen n has a target");
+        for (z, bid) in &first.bids {
+            let state = states.iter().find(|s| s.zone == *z).expect("known zone");
+            let f = state.forecast(240).expect("alternating trace trains");
+            assert_eq!(state.min_bid(&f, target), Some(*bid), "{}", z.name());
+        }
+        let again = strategy.decide(&states, &spec, 240);
+        assert_eq!(first, again, "repeated decide is deterministic");
+        let snap2 = o.metrics.snapshot();
+        assert!(
+            snap2.counter("jupiter.fp_cache_hits").unwrap_or(0) > hits,
+            "a repeated decide hits the (fresh) grid again"
         );
     }
 

@@ -7,6 +7,7 @@ use rayon::prelude::*;
 use spot_market::{InstanceType, Market, MarketConfig, Price, PriceTrace, TraceGenerator, Zone};
 use spot_model::{FailureModel, FailureModelConfig};
 
+use crate::repair::{RepairConfig, RepairPolicy};
 use crate::scenario::{Scenario, SweepSpec};
 
 /// Experiment scale: the paper's full runs or a quick smoke-scale variant
@@ -348,6 +349,78 @@ pub fn headline(lock: &[SweepRow], storage: &[SweepRow]) -> Headline {
         storage_best_interval,
         lock_met_sla,
         storage_met_sla,
+    }
+}
+
+// ----------------------------------------------------- Repair-policy sweep
+
+/// One row of the repair-policy sweep: a (strategy, interval) cell
+/// replayed under one [`RepairPolicy`].
+#[derive(Clone, Debug)]
+pub struct RepairRow {
+    /// Bidding interval in hours.
+    pub interval_hours: u64,
+    /// Strategy name.
+    pub strategy: String,
+    /// The repair policy this row replayed under.
+    pub policy: RepairPolicy,
+    /// Total cost (spot plus on-demand fallback charges).
+    pub cost: Price,
+    /// The on-demand share of that cost (zero unless the policy is
+    /// hybrid and repair escalated).
+    pub on_demand_cost: Price,
+    /// Measured quorum availability.
+    pub availability: f64,
+    /// Minutes spent below the decided group strength.
+    pub degraded_minutes: u64,
+    /// Out-of-bid kills (boundary bids and repair rebids alike).
+    pub kills: usize,
+}
+
+/// The repair-policy sweep plus the on-demand baseline it is bounded by.
+#[derive(Clone, Debug)]
+pub struct RepairSweep {
+    /// One row per (interval, strategy, policy) cell, grid order.
+    pub rows: Vec<RepairRow>,
+    /// What the service would cost held on-demand for the whole window —
+    /// every repairing cell must stay below this.
+    pub baseline_cost: Price,
+}
+
+/// The repair-controller experiment: the lock service under Jupiter and
+/// the kill-prone Extra(0, 0.2) heuristic, each interval replayed with
+/// repair off, spot-only reactive rebids, and the hybrid on-demand
+/// fallback. Boundary decisions are frozen across policies, so any
+/// availability difference is the repair controller's doing.
+pub fn repair_sweep(scale: &Scale) -> RepairSweep {
+    let spec = ServiceSpec::lock_service();
+    let scenario = scale.scenario(spec.instance_type);
+    let sweep = SweepSpec::new(spec.clone())
+        .strategy(|_| Box::new(JupiterStrategy::new()))
+        .strategy(|_| Box::new(ExtraStrategy::new(0, 0.2)))
+        .intervals(scale.intervals.clone())
+        .repairs(vec![
+            RepairConfig::off(),
+            RepairConfig::reactive(),
+            RepairConfig::hybrid(),
+        ]);
+    let rows = scenario
+        .run(&sweep)
+        .iter()
+        .map(|cell| RepairRow {
+            interval_hours: cell.interval_hours,
+            strategy: cell.result.strategy.clone(),
+            policy: cell.repair,
+            cost: cell.result.total_cost,
+            on_demand_cost: cell.result.on_demand_cost,
+            availability: cell.result.availability(),
+            degraded_minutes: cell.result.degraded_minutes,
+            kills: cell.result.total_kills(),
+        })
+        .collect();
+    RepairSweep {
+        rows,
+        baseline_cost: scenario.baseline_cost(&spec),
     }
 }
 
@@ -744,6 +817,32 @@ mod tests {
         for r in &rows {
             assert!((0.0..=1.0).contains(&r.availability));
             assert!(r.cost > Price::ZERO);
+        }
+    }
+
+    #[test]
+    fn repair_sweep_is_monotone_and_bounded() {
+        let s = repair_sweep(&Scale::quick(7));
+        // 1 interval × 2 strategies × 3 policies.
+        assert_eq!(s.rows.len(), 6);
+        assert!(s.baseline_cost > Price::ZERO);
+        for chunk in s.rows.chunks(3) {
+            let [off, reactive, hybrid] = chunk else {
+                panic!("three policies per (interval, strategy)");
+            };
+            assert_eq!(off.policy, RepairPolicy::Off);
+            assert_eq!(reactive.policy, RepairPolicy::Reactive);
+            assert_eq!(hybrid.policy, RepairPolicy::Hybrid);
+            // Frozen boundary decisions: repair only ever adds uptime.
+            assert!(reactive.availability >= off.availability - 1e-12);
+            assert!(hybrid.availability >= reactive.availability - 1e-12);
+            assert!(hybrid.degraded_minutes <= off.degraded_minutes);
+            // Spot-only repair never bills on-demand.
+            assert_eq!(off.on_demand_cost, Price::ZERO);
+            assert_eq!(reactive.on_demand_cost, Price::ZERO);
+            // Bounded extra cost: repair stays below holding the fleet
+            // on-demand outright.
+            assert!(hybrid.cost < s.baseline_cost, "{hybrid:?}");
         }
     }
 

@@ -149,6 +149,8 @@ mod tests {
             total_cost: Price::ZERO,
             window_minutes: 720,
             up_minutes: starts_ups.iter().map(|&(_, u)| u).sum(),
+            degraded_minutes: 0,
+            on_demand_cost: Price::ZERO,
             instances: records,
             intervals: starts_ups
                 .iter()
@@ -158,6 +160,8 @@ mod tests {
                     quorum: 3,
                     cost_upper_bound: Price::ZERO,
                     up_minutes: up,
+                    degraded_minutes: 0,
+                    max_live: 5,
                     kills: 0,
                 })
                 .collect(),
@@ -203,6 +207,7 @@ mod tests {
             running_from: granted_at,
             ended_at,
             termination,
+            on_demand: false,
             cost: Price::ZERO,
         };
         let results = vec![

@@ -12,7 +12,10 @@
 //!    paper prescribes);
 //! 2. during the interval, instances die at the first minute their zone's
 //!    price strictly exceeds their bid (out-of-bid termination; no
-//!    re-bidding until the next boundary);
+//!    re-bidding until the next boundary — unless a
+//!    [`repair::RepairPolicy`] is active, in which case the repair
+//!    controller rebids the missing slots mid-interval with exponential
+//!    backoff, escalating to on-demand fallbacks under `Hybrid`);
 //! 3. account **cost** with the 2014 billing rules (free provider-killed
 //!    partial hours, charged user-terminated partial hours) and
 //!    **availability** as the fraction of minutes a quorum of the current
@@ -31,6 +34,7 @@ pub mod chaos;
 pub mod experiments;
 pub mod fleet;
 pub mod lifecycle;
+pub mod repair;
 pub mod results;
 pub mod scenario;
 pub mod service_level;
@@ -39,8 +43,9 @@ pub use adaptive::{replay_adaptive, replay_adaptive_stored, AdaptiveConfig};
 pub use chaos::market_fault_schedule;
 pub use fleet::{fleet_replay, fleet_replay_observed, FleetResult};
 pub use lifecycle::{
-    replay_strategy, replay_strategy_observed, replay_strategy_stored, InstanceRecord,
-    ReplayConfig,
+    replay_repair_stored, replay_strategy, replay_strategy_observed, replay_strategy_stored,
+    InstanceRecord, ReplayConfig,
 };
+pub use repair::{RepairConfig, RepairPolicy};
 pub use results::{IntervalOutcome, ReplayResult};
 pub use scenario::{CellOutcome, Scenario, StrategyFactory, SweepSpec};

@@ -6,6 +6,7 @@ use obs::{FieldValue, Obs};
 use spot_market::{Market, Price, Termination, Zone};
 use spot_model::FrozenKernel;
 
+use crate::repair::{RepairConfig, RepairPolicy};
 use crate::results::{IntervalOutcome, ReplayResult};
 
 pub use crate::results::InstanceRecord;
@@ -61,6 +62,17 @@ struct Active {
     dies_at: Option<u64>,
 }
 
+/// An on-demand fallback instance launched by the repair controller. It
+/// cannot be out-of-bid killed; it runs until the next boundary, where the
+/// fresh spot decision replaces it.
+#[derive(Clone, Debug)]
+struct OnDemandActive {
+    zone: Zone,
+    hourly: Price,
+    launched_at: u64,
+    running_from: u64,
+}
+
 /// Replay one strategy over the market and return its accounting.
 ///
 /// The framework's failure models are (re)trained on `[0, eval_start)`
@@ -108,6 +120,24 @@ pub fn replay_strategy_stored<S: BiddingStrategy>(
     replay_schedule_stored(market, spec, strategy, config, |_| interval, store, obs)
 }
 
+/// [`replay_strategy_stored`] with a mid-interval repair controller: when
+/// `repair` is active, out-of-bid kills between boundaries trigger rebids
+/// (and, under [`RepairPolicy::Hybrid`], on-demand fallbacks) instead of
+/// leaving the quorum degraded until the next boundary. With
+/// [`RepairConfig::off`] this is exactly [`replay_strategy_stored`].
+pub fn replay_repair_stored<S: BiddingStrategy>(
+    market: &Market,
+    spec: &ServiceSpec,
+    strategy: S,
+    config: ReplayConfig,
+    repair: RepairConfig,
+    store: &ModelStore,
+    obs: &Obs,
+) -> ReplayResult {
+    let interval = config.interval_hours * 60;
+    replay_schedule_repair_stored(market, spec, strategy, config, repair, |_| interval, store, obs)
+}
+
 /// Replay with a dynamic interval schedule: `next_interval(boundary)`
 /// returns the length in minutes of the interval starting at `boundary`.
 /// This powers the paper's §5.5 extension (adapt the bidding interval to
@@ -153,6 +183,37 @@ pub fn replay_schedule_stored<S: BiddingStrategy>(
     spec: &ServiceSpec,
     strategy: S,
     config: ReplayConfig,
+    next_interval: impl FnMut(u64) -> u64,
+    store: &ModelStore,
+    obs: &Obs,
+) -> ReplayResult {
+    replay_schedule_repair_stored(
+        market,
+        spec,
+        strategy,
+        config,
+        RepairConfig::off(),
+        next_interval,
+        store,
+        obs,
+    )
+}
+
+/// [`replay_schedule_stored`] with the mid-interval repair controller
+/// active (see [`replay_repair_stored`] and [`crate::repair`]). The
+/// repair loop is event-driven: it walks the interval's out-of-bid kills
+/// in time order, waits out the detection delay plus the current backoff,
+/// re-snapshots the market, and re-runs the strategy's per-zone bid
+/// selection for the missing slots only — against the models frozen at
+/// the boundary, never retrained mid-interval. Slots the spot market
+/// cannot fill escalate to on-demand under [`RepairPolicy::Hybrid`].
+#[allow(clippy::too_many_arguments)]
+pub fn replay_schedule_repair_stored<S: BiddingStrategy>(
+    market: &Market,
+    spec: &ServiceSpec,
+    strategy: S,
+    config: ReplayConfig,
+    repair: RepairConfig,
     mut next_interval: impl FnMut(u64) -> u64,
     store: &ModelStore,
     obs: &Obs,
@@ -165,14 +226,36 @@ pub fn replay_schedule_stored<S: BiddingStrategy>(
     let same_minute_death = obs.counter("replay.same_minute_death");
     let interval_cost = obs.gauge("replay.interval_cost_upper_dollars");
     let interval_availability = obs.gauge("replay.interval_availability");
+    // Repair-controller instruments (all stay at zero with repair off,
+    // except degraded-minutes, which is the fleet-strength metric repair
+    // exists to shrink and is counted under every policy).
+    let repair_deaths_detected = obs.counter("repair.deaths_detected");
+    let repair_rebids = obs.counter("repair.rebids");
+    let repair_backoff_waits = obs.counter("repair.backoff_waits");
+    let repair_spot_replacements = obs.counter("repair.spot_replacements");
+    let repair_on_demand_launches = obs.counter("repair.on_demand_launches");
+    let repair_on_demand_minutes = obs.counter("repair.on_demand_minutes");
+    let repair_degraded_minutes = obs.counter("repair.degraded_minutes");
+    let repair_budget_exhausted = obs.counter("repair.budget_exhausted");
+    let repair_too_late = obs.counter("repair.too_late");
     // Per-interval time series (time axis: market minutes). Per-zone
     // price/bid series are looked up per interval since zones vary.
     let fleet_series = obs.series.series("replay.fleet_size");
     let cost_series = obs.series.series("replay.interval_cost_upper_dollars");
     let availability_series = obs.series.series("replay.interval_availability");
     let deaths_series = obs.series.series("replay.deaths");
+    let degraded_series = obs.series.series("repair.degraded_minutes");
+    let rebids_series = obs.series.series("repair.rebids");
     let ty = spec.instance_type;
     let zones: Vec<Zone> = market.zones().to_vec();
+    // On-demand fallbacks run in the cheapest on-demand zone (ties broken
+    // by zone order), mirroring `on_demand_baseline_cost`.
+    let od_zone = zones
+        .iter()
+        .copied()
+        .min_by_key(|z| (ty.on_demand_price(z.region), z.ordinal()))
+        .expect("market has zones");
+    let od_hourly = ty.on_demand_price(od_zone.region);
 
     // Train only on the revealed prefix — the replay must never peek at
     // future prices; each interval's observations are folded in below.
@@ -199,6 +282,8 @@ pub fn replay_schedule_stored<S: BiddingStrategy>(
     let mut records: Vec<InstanceRecord> = Vec::new();
     let mut intervals: Vec<IntervalOutcome> = Vec::new();
     let mut up_minutes_total = 0u64;
+    let mut degraded_minutes_total = 0u64;
+    let mut on_demand_cost_total = Price::ZERO;
 
     let mut boundary = config.eval_start;
     while boundary < config.eval_end {
@@ -324,6 +409,134 @@ pub fn replay_schedule_stored<S: BiddingStrategy>(
             }
         }
 
+        // ---- mid-interval repair -----------------------------------------
+        // Walk the interval's kills in time order. Each pass waits out the
+        // detection delay plus the current backoff, then refills the fleet
+        // to its interval-start strength: first from the spot market (a
+        // fresh decide against the boundary-frozen models — the kernels
+        // are never retrained mid-interval, so boundary decisions are
+        // identical across repair policies), then from on-demand under
+        // Hybrid. Replacements can die and be repaired again; the cursor
+        // only moves forward, so the loop terminates.
+        let mut on_demand: Vec<OnDemandActive> = Vec::new();
+        let rebids_before = repair_rebids.get();
+        if repair.is_active() && !fleet.is_empty() {
+            let target_n = fleet.len();
+            let mut rebids_used = 0u32;
+            let mut wait = repair.backoff_base_minutes;
+            let mut cursor = boundary;
+            while let Some(died_at) = fleet
+                .iter()
+                .filter_map(|i| i.dies_at)
+                .filter(|&d| d >= cursor)
+                .min()
+            {
+                let at = died_at + repair.detection_delay_minutes + wait;
+                if at >= interval_end {
+                    // Too close to the boundary to act before the next
+                    // decision — and every later kill is later still.
+                    let unrepaired = fleet
+                        .iter()
+                        .filter(|i| i.dies_at.map(|d| d >= cursor).unwrap_or(false))
+                        .count() as u64;
+                    repair_deaths_detected.add(unrepaired);
+                    repair_too_late.add(unrepaired);
+                    break;
+                }
+                repair_deaths_detected.add(
+                    fleet
+                        .iter()
+                        .filter_map(|i| i.dies_at)
+                        .filter(|&d| d >= cursor && d <= at)
+                        .count() as u64,
+                );
+                // Strength at repair time: live or still-booting spot
+                // instances plus standing on-demand fallbacks.
+                let alive = fleet
+                    .iter()
+                    .filter(|i| i.dies_at.map(|d| d > at).unwrap_or(true))
+                    .count()
+                    + on_demand.len();
+                let missing = target_n.saturating_sub(alive);
+                if missing == 0 {
+                    cursor = at + 1;
+                    continue;
+                }
+                let mut launched = 0usize;
+                if rebids_used < repair.max_rebids_per_interval {
+                    rebids_used += 1;
+                    repair_rebids.inc();
+                    let snapshots: Vec<MarketSnapshot> = zones
+                        .iter()
+                        .map(|&z| {
+                            let t = market.trace(z, ty);
+                            MarketSnapshot {
+                                zone: z,
+                                spot_price: t.price_at(at),
+                                sojourn_age: t.sojourn_age_at(at).min(u32::MAX as u64) as u32,
+                            }
+                        })
+                        .collect();
+                    let rebid = framework.decide(&snapshots, (interval_end - at) as u32);
+                    let mut choices = rebid.bids;
+                    choices.sort_by_key(|(z, b)| (*b, z.ordinal()));
+                    for (zone, bid) in choices {
+                        if launched >= missing {
+                            break;
+                        }
+                        let occupied = fleet
+                            .iter()
+                            .any(|i| i.zone == zone && i.dies_at.map(|d| d > at).unwrap_or(true))
+                            || on_demand.iter().any(|o| o.zone == zone);
+                        if occupied || !market.grants(zone, ty, bid, at) {
+                            continue;
+                        }
+                        let delay = market.startup_delay_minutes(zone, at);
+                        let dies_at = market.out_of_bid_at(zone, ty, bid, at, interval_end);
+                        if dies_at.is_some() {
+                            kills += 1;
+                        }
+                        obs.counter(&format!("replay.granted.{zone}")).inc();
+                        repair_spot_replacements.inc();
+                        bids_placed.inc();
+                        fleet.push(Active {
+                            zone,
+                            bid,
+                            granted_at: at,
+                            running_from: at + delay,
+                            dies_at,
+                        });
+                        launched += 1;
+                    }
+                } else {
+                    repair_budget_exhausted.inc();
+                }
+                if launched < missing && repair.policy == RepairPolicy::Hybrid {
+                    // Escalate: the per-node target cannot be met from the
+                    // spot market right now, so fall back to on-demand for
+                    // the remaining slots until the next boundary.
+                    for _ in launched..missing {
+                        let delay = market.startup_delay_minutes(od_zone, at);
+                        repair_on_demand_launches.inc();
+                        on_demand.push(OnDemandActive {
+                            zone: od_zone,
+                            hourly: od_hourly,
+                            launched_at: at,
+                            running_from: at + delay,
+                        });
+                    }
+                    launched = missing;
+                }
+                if launched < missing {
+                    repair_backoff_waits.inc();
+                    wait = wait.saturating_mul(2).min(repair.backoff_cap_minutes);
+                } else {
+                    wait = repair.backoff_base_minutes;
+                }
+                cursor = at + 1;
+            }
+        }
+
         // ---- availability accounting minute by minute --------------------
         let group = decision.n();
         let quorum = if group == 0 {
@@ -332,6 +545,8 @@ pub fn replay_schedule_stored<S: BiddingStrategy>(
             spec.quorum.quorum_size(group)
         };
         let mut up = 0u64;
+        let mut degraded = 0u64;
+        let mut max_live = 0usize;
         let mut minute = boundary;
         while minute < interval_end {
             // Count live instances; advance to the next state change to
@@ -348,13 +563,26 @@ pub fn replay_schedule_stored<S: BiddingStrategy>(
                     next_change = next_change.min(alive_from);
                 }
             }
+            for od in &on_demand {
+                if minute >= od.running_from {
+                    live += 1;
+                } else {
+                    next_change = next_change.min(od.running_from);
+                }
+            }
             let span = next_change.max(minute + 1) - minute;
             if live >= quorum {
                 up += span;
             }
+            if live < group {
+                degraded += span;
+            }
+            max_live = max_live.max(live);
             minute += span;
         }
         up_minutes_total += up;
+        degraded_minutes_total += degraded;
+        repair_degraded_minutes.add(degraded);
         let availability = up as f64 / (interval_end - boundary).max(1) as f64;
         interval_cost.set(decision.cost_upper_bound().as_dollars());
         interval_availability.set(availability);
@@ -362,12 +590,16 @@ pub fn replay_schedule_stored<S: BiddingStrategy>(
         cost_series.record(boundary, decision.cost_upper_bound().as_dollars());
         availability_series.record(boundary, availability);
         deaths_series.record(boundary, kills as f64);
+        degraded_series.record(boundary, degraded as f64);
+        rebids_series.record(boundary, (repair_rebids.get() - rebids_before) as f64);
         intervals.push(IntervalOutcome {
             start: boundary,
             group_size: group,
             quorum: if group == 0 { 0 } else { quorum },
             cost_upper_bound: decision.cost_upper_bound(),
             up_minutes: up,
+            degraded_minutes: degraded,
+            max_live,
             kills,
         });
 
@@ -382,6 +614,28 @@ pub fn replay_schedule_stored<S: BiddingStrategy>(
                 true
             }
         });
+
+        // ---- retire and bill on-demand fallbacks at the boundary ---------
+        // They exist to bridge to the next decision, which replaces them
+        // with a fresh spot fleet; billing is the fixed hourly price per
+        // started hour.
+        for od in on_demand.drain(..) {
+            let end = interval_end.max(od.launched_at);
+            let cost = spot_market::on_demand_charge(od.hourly, od.launched_at, end);
+            repair_on_demand_minutes.add(end - od.launched_at);
+            on_demand_cost_total += cost;
+            obs.counter(&format!("replay.terminated.{}", od.zone)).inc();
+            records.push(InstanceRecord {
+                zone: od.zone,
+                bid: od.hourly,
+                granted_at: od.launched_at,
+                running_from: od.running_from,
+                ended_at: end,
+                termination: Termination::User,
+                on_demand: true,
+                cost,
+            });
+        }
 
         obs.set_time_micros(minute_micros(interval_end));
         interval_span.end_with(&[
@@ -410,6 +664,8 @@ pub fn replay_schedule_stored<S: BiddingStrategy>(
         total_cost,
         window_minutes: config.eval_end - config.eval_start,
         up_minutes: up_minutes_total,
+        degraded_minutes: degraded_minutes_total,
+        on_demand_cost: on_demand_cost_total,
         instances: records,
         intervals,
         metrics: obs.metrics.is_enabled().then(|| obs.metrics.snapshot()),
@@ -433,6 +689,7 @@ fn close_instance(
         running_from: inst.running_from,
         ended_at: end,
         termination,
+        on_demand: false,
         cost,
     }
 }
@@ -457,6 +714,8 @@ mod tests {
     use super::*;
     use jupiter::{ExtraStrategy, JupiterStrategy};
     use spot_market::{InstanceType, MarketConfig};
+
+    use crate::repair::RepairConfig;
 
     fn small_market(weeks: u64) -> Market {
         let mut cfg = MarketConfig::paper(21, weeks * 7 * 24 * 60);
@@ -520,6 +779,108 @@ mod tests {
                 assert_eq!(rec.cost, manual);
             }
         }
+    }
+
+    #[test]
+    fn repair_off_is_byte_identical_to_the_plain_replay() {
+        let market = small_market(2);
+        let spec = ServiceSpec::lock_service();
+        let config = ReplayConfig::new(7 * 24 * 60, 14 * 24 * 60, 3);
+        let plain = replay_strategy(&market, &spec, ExtraStrategy::new(0, 0.02), config);
+        let store = ModelStore::new();
+        let off = replay_repair_stored(
+            &market,
+            &spec,
+            ExtraStrategy::new(0, 0.02),
+            config,
+            RepairConfig::off(),
+            &store,
+            &Obs::disabled(),
+        );
+        assert_eq!(off.total_cost, plain.total_cost);
+        assert_eq!(off.up_minutes, plain.up_minutes);
+        assert_eq!(off.instances.len(), plain.instances.len());
+        assert_eq!(off.on_demand_cost, Price::ZERO);
+        assert!(plain.total_kills() > 0, "fixture must produce churn");
+        assert!(plain.degraded_minutes > 0, "kills must show up as degradation");
+    }
+
+    #[test]
+    fn hybrid_repair_strictly_shrinks_degraded_minutes() {
+        let market = small_market(2);
+        let spec = ServiceSpec::lock_service();
+        let config = ReplayConfig::new(7 * 24 * 60, 14 * 24 * 60, 3);
+        let store = ModelStore::new();
+        let off = replay_repair_stored(
+            &market,
+            &spec,
+            ExtraStrategy::new(0, 0.02),
+            config,
+            RepairConfig::off(),
+            &store,
+            &Obs::disabled(),
+        );
+        let hybrid = replay_repair_stored(
+            &market,
+            &spec,
+            ExtraStrategy::new(0, 0.02),
+            config,
+            RepairConfig::hybrid(),
+            &store,
+            &Obs::disabled(),
+        );
+        assert!(off.total_kills() > 0, "fixture must produce churn");
+        assert!(
+            hybrid.degraded_minutes < off.degraded_minutes,
+            "hybrid {} !< off {}",
+            hybrid.degraded_minutes,
+            off.degraded_minutes
+        );
+        // Repair only ever adds live instances: availability is monotone.
+        assert!(hybrid.up_minutes >= off.up_minutes);
+        // The bill splits cleanly into spot and on-demand shares.
+        let od_sum: Price = hybrid
+            .instances
+            .iter()
+            .filter(|r| r.on_demand)
+            .map(|r| r.cost)
+            .sum();
+        assert_eq!(od_sum, hybrid.on_demand_cost);
+        assert!(hybrid.total_cost >= hybrid.on_demand_cost);
+        // Bounded extra cost: still far below the on-demand baseline.
+        let od = on_demand_baseline_cost(&market, &spec, config);
+        assert!(hybrid.total_cost < od, "{} !< {}", hybrid.total_cost, od);
+        // The fleet never exceeds the decided group size, repair included.
+        for iv in &hybrid.intervals {
+            assert!(iv.max_live <= iv.group_size, "{iv:?}");
+        }
+    }
+
+    #[test]
+    fn reactive_repair_never_bills_on_demand() {
+        let market = small_market(2);
+        let spec = ServiceSpec::lock_service();
+        let config = ReplayConfig::new(7 * 24 * 60, 14 * 24 * 60, 3);
+        let store = ModelStore::new();
+        let (obs, _clock) = Obs::simulated();
+        let reactive = replay_repair_stored(
+            &market,
+            &spec,
+            ExtraStrategy::new(0, 0.02),
+            config,
+            RepairConfig::reactive(),
+            &store,
+            &obs,
+        );
+        assert_eq!(reactive.on_demand_cost, Price::ZERO);
+        assert!(reactive.instances.iter().all(|r| !r.on_demand));
+        let snap = obs.metrics.snapshot();
+        assert_eq!(snap.counter("repair.on_demand_launches").unwrap_or(0), 0);
+        let detected = snap.counter("repair.deaths_detected").unwrap_or(0);
+        let deaths = snap.counter("replay.death.out_of_bid").unwrap_or(0);
+        assert_eq!(detected, deaths, "every kill is seen by the controller");
+        let filled = snap.counter("repair.spot_replacements").unwrap_or(0);
+        assert!(filled <= detected, "replacements can never outnumber kills");
     }
 
     #[test]

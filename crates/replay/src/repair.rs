@@ -1,0 +1,146 @@
+//! The mid-interval repair controller: policy and knobs.
+//!
+//! The paper's online algorithm (Fig. 3) only re-decides at bidding
+//! interval boundaries, so an out-of-bid kill mid-interval leaves the
+//! quorum degraded for up to a full interval. The repair controller reacts
+//! to those kills between boundaries:
+//!
+//! ```text
+//!            kill detected            rebid granted
+//!  healthy ───────────────▶ degraded ───────────────▶ healthy
+//!     ▲                        │  ▲                      │
+//!     │                        │  │ rebid failed:        │
+//!     │      boundary          │  │ backoff ×2, retry    │
+//!     └────────────────────────┘  └──────────────────────┘
+//!                              │
+//!                              │ budget exhausted / spot infeasible
+//!                              ▼
+//!                          fallback (on-demand replacement, Hybrid only)
+//! ```
+//!
+//! A repair re-runs the per-zone bid selection through the same
+//! [`jupiter::BiddingFramework`] the boundary decisions use — against the
+//! already-frozen [`jupiter::ModelStore`] kernels, never with freshly
+//! trained models — with a fresh market snapshot at the repair minute.
+//! Rebids respect an exponential backoff and a per-interval budget; when
+//! the spot market cannot fill the gap (no feasible bid, grant refused, or
+//! budget exhausted), [`RepairPolicy::Hybrid`] escalates to on-demand
+//! replacements billed via [`spot_market::on_demand_charge`] and retired
+//! at the next boundary.
+
+/// How the replay responds to mid-interval out-of-bid terminations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RepairPolicy {
+    /// The paper's behaviour: dead instances stay dead until the next
+    /// bidding-interval boundary.
+    #[default]
+    Off,
+    /// Reactive spot rebid: re-run the bid selection for the missing
+    /// slots, backing off exponentially when the market cannot fill them.
+    Reactive,
+    /// Reactive spot rebid with an on-demand fallback tier: slots the spot
+    /// market cannot fill (or that exceed the rebid budget) are replaced
+    /// by on-demand instances until the next boundary.
+    Hybrid,
+}
+
+impl RepairPolicy {
+    /// Short lowercase label used in metric prefixes and report rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RepairPolicy::Off => "off",
+            RepairPolicy::Reactive => "reactive",
+            RepairPolicy::Hybrid => "hybrid",
+        }
+    }
+}
+
+impl std::fmt::Display for RepairPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Repair-controller knobs. The defaults detect a kill within a minute,
+/// rebid after a five-minute settle (price spikes that kill an instance
+/// are often still standing at the kill minute), double the wait on every
+/// failed repair, and allow four rebids per interval.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RepairConfig {
+    /// The response policy.
+    pub policy: RepairPolicy,
+    /// Minutes between an out-of-bid kill and the controller noticing it.
+    pub detection_delay_minutes: u64,
+    /// Wait before the first rebid after a kill, minutes.
+    pub backoff_base_minutes: u64,
+    /// Upper bound on the exponential backoff, minutes.
+    pub backoff_cap_minutes: u64,
+    /// Rebid budget per bidding interval; repairs beyond it escalate
+    /// straight to on-demand (Hybrid) or give up (Reactive).
+    pub max_rebids_per_interval: u32,
+}
+
+impl RepairConfig {
+    /// Repair disabled — byte-for-byte the paper's fixed-interval replay.
+    pub fn off() -> Self {
+        RepairConfig {
+            policy: RepairPolicy::Off,
+            ..Self::hybrid()
+        }
+    }
+
+    /// Reactive spot rebids only, default knobs.
+    pub fn reactive() -> Self {
+        RepairConfig {
+            policy: RepairPolicy::Reactive,
+            ..Self::hybrid()
+        }
+    }
+
+    /// Rebids plus the on-demand fallback tier, default knobs.
+    pub fn hybrid() -> Self {
+        RepairConfig {
+            policy: RepairPolicy::Hybrid,
+            detection_delay_minutes: 1,
+            backoff_base_minutes: 5,
+            backoff_cap_minutes: 60,
+            max_rebids_per_interval: 4,
+        }
+    }
+
+    /// Whether the controller is active at all.
+    pub fn is_active(&self) -> bool {
+        self.policy != RepairPolicy::Off
+    }
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_activity() {
+        assert_eq!(RepairPolicy::Off.label(), "off");
+        assert_eq!(RepairPolicy::Reactive.label(), "reactive");
+        assert_eq!(format!("{}", RepairPolicy::Hybrid), "hybrid");
+        assert!(!RepairConfig::off().is_active());
+        assert!(RepairConfig::reactive().is_active());
+        assert!(RepairConfig::hybrid().is_active());
+        assert_eq!(RepairConfig::default(), RepairConfig::off());
+    }
+
+    #[test]
+    fn variants_share_knobs() {
+        let h = RepairConfig::hybrid();
+        let r = RepairConfig::reactive();
+        assert_eq!(h.backoff_base_minutes, r.backoff_base_minutes);
+        assert_eq!(h.max_rebids_per_interval, r.max_rebids_per_interval);
+        assert!(h.backoff_cap_minutes >= h.backoff_base_minutes);
+    }
+}

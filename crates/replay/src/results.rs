@@ -18,6 +18,10 @@ pub struct InstanceRecord {
     pub ended_at: u64,
     /// Who terminated it.
     pub termination: Termination,
+    /// Whether this was an on-demand fallback instance launched by the
+    /// repair controller (billed hourly at the fixed on-demand price,
+    /// never killed by the provider) rather than a spot instance.
+    pub on_demand: bool,
     /// The billed charge.
     pub cost: Price,
 }
@@ -35,6 +39,12 @@ pub struct IntervalOutcome {
     pub cost_upper_bound: Price,
     /// Minutes within this interval with a quorum running.
     pub up_minutes: u64,
+    /// Minutes within this interval with fewer live instances than the
+    /// decided group size (the quorum may still hold while degraded).
+    pub degraded_minutes: u64,
+    /// The largest number of simultaneously live instances observed
+    /// within the interval — never exceeds `group_size`, repair included.
+    pub max_live: usize,
     /// Out-of-bid kills during the interval.
     pub kills: usize,
 }
@@ -50,6 +60,13 @@ pub struct ReplayResult {
     pub window_minutes: u64,
     /// Minutes with a quorum of the active group running.
     pub up_minutes: u64,
+    /// Minutes spent below the decided group strength (see
+    /// [`IntervalOutcome::degraded_minutes`]) — the repair controller's
+    /// objective.
+    pub degraded_minutes: u64,
+    /// The share of [`Self::total_cost`] billed to on-demand fallback
+    /// instances ([`Price::ZERO`] whenever repair never escalated).
+    pub on_demand_cost: Price,
     /// All instance lifetimes.
     pub instances: Vec<InstanceRecord>,
     /// Per-interval details.
@@ -85,6 +102,12 @@ impl ReplayResult {
         self.intervals.iter().map(|i| i.kills).sum()
     }
 
+    /// The spot share of the bill (total minus on-demand fallback
+    /// charges).
+    pub fn spot_cost(&self) -> Price {
+        self.total_cost - self.on_demand_cost
+    }
+
     /// The recorded series named `name`, if present.
     pub fn series_named(&self, name: &str) -> Option<&obs::SeriesSnapshot> {
         self.series.iter().find(|s| s.name == name)
@@ -114,6 +137,8 @@ mod tests {
             total_cost: Price::from_dollars(1.0),
             window_minutes: window,
             up_minutes: up,
+            degraded_minutes: 0,
+            on_demand_cost: Price::ZERO,
             instances: vec![],
             intervals: vec![
                 IntervalOutcome {
@@ -122,6 +147,8 @@ mod tests {
                     quorum: 3,
                     cost_upper_bound: Price::ZERO,
                     up_minutes: up.min(window / 2),
+                    degraded_minutes: 0,
+                    max_live: 5,
                     kills: 2,
                 },
                 IntervalOutcome {
@@ -130,6 +157,8 @@ mod tests {
                     quorum: 4,
                     cost_upper_bound: Price::ZERO,
                     up_minutes: up.saturating_sub(window / 2),
+                    degraded_minutes: 0,
+                    max_live: 7,
                     kills: 1,
                 },
             ],
@@ -145,6 +174,15 @@ mod tests {
         assert_eq!(r.downtime_minutes(), 100);
         assert_eq!(r.total_kills(), 3);
         assert!((r.mean_group_size() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_splits_into_spot_and_on_demand() {
+        let mut r = result(1_000, 900);
+        assert_eq!(r.spot_cost(), r.total_cost);
+        r.on_demand_cost = Price::from_dollars(0.25);
+        r.total_cost = Price::from_dollars(1.0);
+        assert_eq!(r.spot_cost(), Price::from_dollars(0.75));
     }
 
     #[test]
@@ -165,6 +203,7 @@ mod tests {
             running_from: 10,
             ended_at: 100,
             termination: Termination::Provider,
+            on_demand: false,
             cost: Price::from_dollars(0.02),
         };
         assert_eq!(rec.zone, zone);

@@ -32,7 +32,8 @@ use rayon::prelude::*;
 use spot_market::{Market, Price};
 
 use crate::adaptive::{replay_adaptive_stored, AdaptiveConfig};
-use crate::lifecycle::{on_demand_baseline_cost, replay_strategy_stored, ReplayConfig};
+use crate::lifecycle::{on_demand_baseline_cost, replay_repair_stored, ReplayConfig};
+use crate::repair::{RepairConfig, RepairPolicy};
 use crate::results::ReplayResult;
 
 /// Builds one strategy instance for one cell. The factory receives the
@@ -46,16 +47,20 @@ pub struct SweepSpec {
     service: ServiceSpec,
     strategies: Vec<StrategyFactory>,
     intervals: Vec<u64>,
+    repairs: Vec<RepairConfig>,
 }
 
 impl SweepSpec {
     /// An empty sweep of `service`; add strategies and intervals with the
-    /// builder methods.
+    /// builder methods. The repair axis defaults to the single
+    /// [`RepairConfig::off`] column, so sweeps that never mention repair
+    /// replay exactly as before.
     pub fn new(service: ServiceSpec) -> Self {
         SweepSpec {
             service,
             strategies: Vec::new(),
             intervals: Vec::new(),
+            repairs: vec![RepairConfig::off()],
         }
     }
 
@@ -74,6 +79,14 @@ impl SweepSpec {
         self
     }
 
+    /// Set the repair-policy columns to sweep (replacing the default
+    /// single off column).
+    pub fn repairs(mut self, repairs: impl Into<Vec<RepairConfig>>) -> Self {
+        self.repairs = repairs.into();
+        assert!(!self.repairs.is_empty(), "the repair axis cannot be empty");
+        self
+    }
+
     /// The service this sweep deploys.
     pub fn service(&self) -> &ServiceSpec {
         &self.service
@@ -81,7 +94,7 @@ impl SweepSpec {
 
     /// Number of cells the grid enumerates.
     pub fn cells(&self) -> usize {
-        self.strategies.len() * self.intervals.len()
+        self.strategies.len() * self.intervals.len() * self.repairs.len()
     }
 }
 
@@ -89,6 +102,8 @@ impl SweepSpec {
 pub struct CellOutcome {
     /// The cell's bidding interval in hours.
     pub interval_hours: u64,
+    /// The repair policy this cell replayed under.
+    pub repair: RepairPolicy,
     /// The replay accounting for this cell.
     pub result: ReplayResult,
 }
@@ -142,37 +157,47 @@ impl Scenario {
         ReplayConfig::new(self.eval_start, self.eval_end, interval_hours)
     }
 
-    /// Replay the full strategy × interval grid of `spec`, cells in
-    /// parallel over the shared market and store. Cells are returned in
-    /// grid order (intervals outer, strategies inner), and each cell's
-    /// private registry is merged into the scenario [`Obs`] in that same
-    /// order, so output and metrics are independent of scheduling.
+    /// Replay the full strategy × interval × repair grid of `spec`, cells
+    /// in parallel over the shared market and store. Cells are returned
+    /// in grid order (intervals outer, then strategies, repair policies
+    /// inner), and each cell's private registry is merged into the
+    /// scenario [`Obs`] in that same order, so output and metrics are
+    /// independent of scheduling. Cells with repair off keep the
+    /// historical `cell.{strategy}.{interval}h.` prefix; repairing cells
+    /// append the policy label (`….{interval}h.{policy}.`).
     pub fn run(&self, spec: &SweepSpec) -> Vec<CellOutcome> {
-        let jobs: Vec<(u64, usize)> = spec
+        let jobs: Vec<(u64, usize, usize)> = spec
             .intervals
             .iter()
-            .flat_map(|&h| (0..spec.strategies.len()).map(move |s| (h, s)))
+            .flat_map(|&h| {
+                let repairs = spec.repairs.len();
+                (0..spec.strategies.len())
+                    .flat_map(move |s| (0..repairs).map(move |r| (h, s, r)))
+            })
             .collect();
         let cells: Vec<(CellOutcome, Obs)> = jobs
             .into_par_iter()
-            .map(|(h, s)| {
+            .map(|(h, s, r)| {
                 let cell_obs = if self.obs.metrics.is_enabled() {
                     Obs::simulated().0
                 } else {
                     Obs::disabled()
                 };
                 let strategy = (spec.strategies[s])(&cell_obs);
-                let result = replay_strategy_stored(
+                let repair = spec.repairs[r];
+                let result = replay_repair_stored(
                     &self.market,
                     &spec.service,
                     strategy,
                     self.config(h),
+                    repair,
                     &self.store,
                     &cell_obs,
                 );
                 (
                     CellOutcome {
                         interval_hours: h,
+                        repair: repair.policy,
                         result,
                     },
                     cell_obs,
@@ -182,10 +207,17 @@ impl Scenario {
         cells
             .into_iter()
             .map(|(cell, cell_obs)| {
-                self.obs.metrics.merge_prefixed(
-                    &cell_obs.metrics,
-                    &format!("cell.{}.{}h.", cell.result.strategy, cell.interval_hours),
-                );
+                let prefix = if cell.repair == RepairPolicy::Off {
+                    format!("cell.{}.{}h.", cell.result.strategy, cell.interval_hours)
+                } else {
+                    format!(
+                        "cell.{}.{}h.{}.",
+                        cell.result.strategy,
+                        cell.interval_hours,
+                        cell.repair.label()
+                    )
+                };
+                self.obs.metrics.merge_prefixed(&cell_obs.metrics, &prefix);
                 cell
             })
             .collect()
@@ -293,6 +325,44 @@ mod tests {
         assert_eq!(stored.total_cost, direct.total_cost);
         assert_eq!(stored.up_minutes, direct.up_minutes);
         assert_eq!(stored.instances.len(), direct.instances.len());
+    }
+
+    #[test]
+    fn repair_axis_multiplies_the_grid_and_prefixes_cells() {
+        let (obs, _clock) = Obs::simulated();
+        let scenario =
+            Scenario::new(scenario_market(), 2 * 7 * 24 * 60, 3 * 7 * 24 * 60).with_obs(obs.clone());
+        let spec = SweepSpec::new(ServiceSpec::lock_service())
+            .strategy(|_| Box::new(ExtraStrategy::new(0, 0.2)))
+            .intervals(vec![6])
+            .repairs(vec![RepairConfig::off(), RepairConfig::hybrid()]);
+        assert_eq!(spec.cells(), 2);
+        let cells = scenario.run(&spec);
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].repair, RepairPolicy::Off);
+        assert_eq!(cells[1].repair, RepairPolicy::Hybrid);
+        // Repair never lowers availability — boundary decisions are
+        // frozen, so the hybrid cell only ever adds live instances.
+        assert!(cells[1].result.up_minutes >= cells[0].result.up_minutes);
+        assert!(cells[1].result.degraded_minutes <= cells[0].result.degraded_minutes);
+        // The off cell keeps the historical prefix; the hybrid cell is
+        // separated by its policy label.
+        let snap = obs.metrics.snapshot();
+        assert!(
+            snap.counter("cell.Extra(0,0.2).6h.replay.bids_placed")
+                .unwrap_or(0)
+                > 0
+        );
+        assert!(
+            snap.counter("cell.Extra(0,0.2).6h.hybrid.replay.bids_placed")
+                .unwrap_or(0)
+                > 0
+        );
+        assert!(snap
+            .counter("cell.Extra(0,0.2).6h.hybrid.repair.deaths_detected")
+            .is_some());
+        // Both cells share one store: still one fit per zone.
+        assert_eq!(snap.counter("model_store.fits_performed"), Some(6));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--quick] [--seed N] [--metrics-out PATH] [--report-out PATH] \
-//!       [all|fig1|table1|fig4|fig5|fig6|fig7|fig8|fig9|headline|ablations|calibration|metrics|report]
+//!       [all|fig1|table1|fig4|fig5|fig6|fig7|fig8|fig9|headline|repair|ablations|calibration|metrics|report]
 //! ```
 //!
 //! By default runs at the paper's scale (13 training weeks, 11 evaluation
@@ -87,6 +87,7 @@ fn main() {
                 experiments::storage_sweep(&scale),
             );
             headline(&lock, &storage);
+            repair(&scale);
             ablations(&scale);
         }
         "table1" => table1(),
@@ -107,6 +108,7 @@ fn main() {
             let storage = experiments::storage_sweep(&scale);
             headline(&lock, &storage);
         }
+        "repair" => repair(&scale),
         "ablations" => ablations(&scale),
         "ablation-g" => {
             println!("\n== Ablation G: one-shot fixed bids (Andrzejak-style) vs online re-bidding ==");
@@ -374,6 +376,43 @@ fn headline(lock: &[SweepRow], storage: &[SweepRow]) {
         h.storage_reduction_pct,
         h.storage_best_interval,
         sla(h.storage_met_sla)
+    );
+}
+
+fn repair(scale: &Scale) {
+    // Three policies per (interval, strategy) cell triples the grid, so
+    // the paper-scale sweep trims to the {3, 6, 12} h intervals — the
+    // short-interval cells rarely see mid-interval kills anyway.
+    let scale = if scale.intervals.len() > 3 {
+        Scale {
+            intervals: vec![3, 6, 12],
+            ..scale.clone()
+        }
+    } else {
+        scale.clone()
+    };
+    let s = experiments::repair_sweep(&scale);
+    println!("\n== Repair-policy sweep: mid-interval rebids and on-demand fallback (lock service) ==");
+    println!(
+        "{:<10} {:<14} {:<10} {:>12} {:>12} {:>12} {:>10} {:>7}",
+        "interval", "strategy", "repair", "cost ($)", "od cost ($)", "availability", "degraded", "kills"
+    );
+    for r in &s.rows {
+        println!(
+            "{:<10} {:<14} {:<10} {:>12.2} {:>12.2} {:>12.6} {:>8} m {:>7}",
+            format!("{}h", r.interval_hours),
+            r.strategy,
+            r.policy.label(),
+            r.cost.as_dollars(),
+            r.on_demand_cost.as_dollars(),
+            r.availability,
+            r.degraded_minutes,
+            r.kills
+        );
+    }
+    println!(
+        "on-demand baseline: ${:.2} (every repairing cell must undercut it)",
+        s.baseline_cost.as_dollars()
     );
 }
 

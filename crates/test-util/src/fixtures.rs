@@ -1,7 +1,10 @@
 //! Scenario fixtures shared by the integration suites: the synthetic
 //! markets and protocol clusters the tests previously each hand-rolled.
 
+use jupiter::{ExtraStrategy, ModelStore, ServiceSpec};
+use obs::Obs;
 use paxos::{Cluster, LockService, ReplicaConfig};
+use replay::{replay_repair_stored, RepairConfig, ReplayConfig, ReplayResult};
 use simnet::NetworkConfig;
 use spot_market::{InstanceType, Market, MarketConfig};
 use storage::{RsCluster, RsConfig};
@@ -36,6 +39,44 @@ pub fn storage_cluster(n: usize, cfg: RsConfig, seed: u64) -> RsCluster {
     RsCluster::new(n, cfg, NetworkConfig::default(), seed)
 }
 
+/// Two replays of the same kill-prone lock-service deployment over
+/// `market` — repair off and under `repair` — through one shared frozen
+/// kernel store, so the boundary decisions are byte-identical and every
+/// difference between the pair is the repair controller's doing. The
+/// strategy is the Extra(0, 0.02) razor-thin heuristic, which bids at
+/// the spot price and reliably takes mid-interval out-of-bid kills.
+/// `obs` instruments the repairing replay (`repair.*`, `replay.*`).
+pub fn repair_pair(
+    market: &Market,
+    eval_start: u64,
+    interval_hours: u64,
+    repair: RepairConfig,
+    obs: &Obs,
+) -> (ReplayResult, ReplayResult) {
+    let spec = ServiceSpec::lock_service();
+    let config = ReplayConfig::new(eval_start, market.horizon(), interval_hours);
+    let store = ModelStore::new();
+    let off = replay_repair_stored(
+        market,
+        &spec,
+        ExtraStrategy::new(0, 0.02),
+        config,
+        RepairConfig::off(),
+        &store,
+        &Obs::disabled(),
+    );
+    let repaired = replay_repair_stored(
+        market,
+        &spec,
+        ExtraStrategy::new(0, 0.02),
+        config,
+        repair,
+        &store,
+        obs,
+    );
+    (off, repaired)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -60,5 +101,27 @@ mod tests {
     fn clamped_zone_counts() {
         assert_eq!(market_days(1, 0, 1).zones().len(), 2);
         assert_eq!(market_days(1, 100, 1).zones().len(), 8);
+    }
+
+    #[test]
+    fn repair_pair_differs_only_by_the_controller() {
+        let market = quick_market(21, 2, 8);
+        let (obs, _clock) = Obs::simulated();
+        let (off, hybrid) = repair_pair(
+            &market,
+            7 * 24 * 60,
+            3,
+            RepairConfig::hybrid(),
+            &obs,
+        );
+        // Same boundary decisions: identical interval grid and targets.
+        assert_eq!(off.intervals.len(), hybrid.intervals.len());
+        for (a, b) in off.intervals.iter().zip(&hybrid.intervals) {
+            assert_eq!(a.start, b.start);
+            assert_eq!(a.group_size, b.group_size);
+        }
+        // The controller only ever adds uptime.
+        assert!(hybrid.up_minutes >= off.up_minutes);
+        assert!(hybrid.degraded_minutes <= off.degraded_minutes);
     }
 }

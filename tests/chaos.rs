@@ -14,12 +14,12 @@
 
 use spot_jupiter::jupiter::{ExtraStrategy, ServiceSpec};
 use spot_jupiter::obs::Obs;
-use spot_jupiter::replay::lifecycle::replay_strategy;
-use spot_jupiter::replay::{market_fault_schedule, ReplayConfig};
+use spot_jupiter::replay::lifecycle::{on_demand_baseline_cost, replay_strategy};
+use spot_jupiter::replay::{market_fault_schedule, RepairConfig, ReplayConfig};
 use spot_jupiter::simnet::{ChaosAction, ChaosEvent, ChaosPlan, ChaosSchedule, SimTime};
 use test_util::{
-    chaos_schedules, chaos_seed, derive_seed, quick_market, run_lock_chaos, run_storage_chaos,
-    shrink_and_report, ChaosOutcome,
+    chaos_schedules, chaos_seed, derive_seed, quick_market, repair_pair, run_lock_chaos,
+    run_storage_chaos, shrink_and_report, ChaosOutcome,
 };
 
 /// Default per-sweep schedule count: six sweeps × these defaults give the
@@ -194,6 +194,95 @@ fn compress(schedule: &ChaosSchedule, max: SimTime) -> ChaosSchedule {
             })
             .collect(),
     }
+}
+
+#[test]
+fn repair_enabled_churn_sweep() {
+    // The repair controller under market-derived chaos: for each seeded
+    // market, replay the same kill-prone deployment with repair off and
+    // with the hybrid policy (shared frozen kernels — identical boundary
+    // decisions), check the repair ordering, then drive the live lock
+    // cluster with the fault schedule derived from the *repairing*
+    // replay, so repair rebids and on-demand boots join the crash /
+    // restart timeline the safety checkers see.
+    let n = chaos_schedules(8);
+    let base = chaos_seed(0xC0FFEE);
+    let eval_start = 7 * 24 * 60;
+    let interval_hours = 3;
+    // Strict improvement needs a kill the controller can still answer:
+    // detection (1 min) + first backoff (5 min) + startup delay, with the
+    // replacement running before the interval ends. 90 minutes of
+    // headroom is comfortably past all three.
+    let headroom = 90;
+    let mut improved = 0usize;
+    for i in 0..n {
+        let seed = derive_seed(derive_seed(base, 0x4E), i as u64);
+        let market = quick_market(seed, 2, 8);
+        let (obs, _clock) = Obs::simulated();
+        let (off, hybrid) = repair_pair(
+            &market,
+            eval_start,
+            interval_hours,
+            RepairConfig::hybrid(),
+            &obs,
+        );
+
+        // Repair never hurts, and never outspends holding the fleet
+        // on-demand for the whole window.
+        assert!(
+            hybrid.degraded_minutes <= off.degraded_minutes,
+            "seed {seed:#x}: hybrid degraded {} > off {}",
+            hybrid.degraded_minutes,
+            off.degraded_minutes
+        );
+        assert!(hybrid.up_minutes >= off.up_minutes, "seed {seed:#x}");
+        let baseline = on_demand_baseline_cost(
+            &market,
+            &ServiceSpec::lock_service(),
+            ReplayConfig::new(eval_start, market.horizon(), interval_hours),
+        );
+        assert!(
+            hybrid.total_cost < baseline,
+            "seed {seed:#x}: repair cost {} ≥ on-demand baseline {baseline}",
+            hybrid.total_cost,
+        );
+
+        // A mid-interval kill with repair headroom must strictly shrink
+        // the degraded time.
+        let interval_minutes = interval_hours * 60;
+        let repairable_kill = off.instances.iter().any(|rec| {
+            rec.termination == spot_jupiter::spot_market::Termination::Provider
+                && off.intervals.iter().any(|iv| {
+                    rec.ended_at >= iv.start
+                        && rec.ended_at + headroom < iv.start + interval_minutes
+                })
+        });
+        if repairable_kill {
+            assert!(
+                hybrid.degraded_minutes < off.degraded_minutes,
+                "seed {seed:#x}: repairable kill but degraded did not shrink \
+                 (off {}, hybrid {}) — repro: CHAOS_SEED={seed:#x} CHAOS_SCHEDULES=1 \
+                 cargo test -q --test chaos repair_enabled_churn_sweep",
+                off.degraded_minutes,
+                hybrid.degraded_minutes
+            );
+            improved += 1;
+        }
+
+        // Safety under the repair-enabled timeline.
+        let schedule = market_fault_schedule(&hybrid, eval_start, 5);
+        let compressed = compress(&schedule, SimTime::from_secs(120));
+        run_lock_chaos(&compressed, &Obs::disabled()).unwrap_or_else(|e| {
+            panic!(
+                "seed {seed:#x}: repair-enabled schedule broke safety: {e}\n{compressed}"
+            )
+        });
+    }
+    println!("repair_enabled_churn_sweep: base seed {base:#x}, {n} markets, {improved} with strict improvement");
+    assert!(
+        improved > 0,
+        "no market produced a repairable kill — thin-margin fixture lost its churn"
+    );
 }
 
 #[test]

@@ -2,9 +2,11 @@
 //! engine under randomized markets and strategies.
 
 use proptest::prelude::*;
-use spot_jupiter::jupiter::{ExtraStrategy, ServiceSpec};
-use spot_jupiter::replay::lifecycle::replay_strategy;
-use spot_jupiter::replay::ReplayConfig;
+use spot_jupiter::jupiter::{ExtraStrategy, ModelStore, ServiceSpec};
+use spot_jupiter::obs::Obs;
+use spot_jupiter::replay::lifecycle::{replay_repair_stored, replay_strategy};
+use spot_jupiter::replay::{RepairConfig, ReplayConfig};
+use spot_jupiter::spot_market::Price;
 use test_util::market_days as market;
 
 proptest! {
@@ -60,6 +62,84 @@ proptest! {
         prop_assert_eq!(r.total_cost, r2.total_cost);
         prop_assert_eq!(r.up_minutes, r2.up_minutes);
         prop_assert_eq!(r.instances.len(), r2.instances.len());
+    }
+
+    #[test]
+    fn repair_accounting_invariants(
+        seed in any::<u64>(),
+        zones in 4usize..8,
+        portion in 0.01f64..0.2,
+        interval in 2u64..9,
+        hybrid in any::<bool>(),
+    ) {
+        // The repair controller's books under randomized churny markets:
+        // every charge is attributed exactly once (total = spot + on-demand,
+        // summed from the per-instance records), the fleet never exceeds
+        // the decided group size even while repairing, and the repair
+        // counters reconcile with the replay's death counters.
+        let m = market(seed, zones, 6);
+        let spec = ServiceSpec::lock_service();
+        let config = ReplayConfig::new(3 * 24 * 60, 6 * 24 * 60, interval);
+        let repair = if hybrid { RepairConfig::hybrid() } else { RepairConfig::reactive() };
+        let (obs, _clock) = Obs::simulated();
+        let r = replay_repair_stored(
+            &m,
+            &spec,
+            ExtraStrategy::new(0, portion),
+            config,
+            repair,
+            &ModelStore::new(),
+            &obs,
+        );
+
+        // No double-billing: the ledger splits exactly into spot and
+        // on-demand charges, record by record.
+        let mut spot = Price::ZERO;
+        let mut on_demand = Price::ZERO;
+        for rec in &r.instances {
+            if rec.on_demand {
+                on_demand += rec.cost;
+            } else {
+                spot += rec.cost;
+            }
+        }
+        prop_assert_eq!(spot + on_demand, r.total_cost);
+        prop_assert_eq!(on_demand, r.on_demand_cost);
+        prop_assert_eq!(spot, r.spot_cost());
+        if !hybrid {
+            prop_assert_eq!(r.on_demand_cost, Price::ZERO);
+            prop_assert!(r.instances.iter().all(|rec| !rec.on_demand));
+        }
+
+        // The fleet never exceeds the configured group size: repair
+        // refills toward the interval's decided strength, never past it.
+        for iv in &r.intervals {
+            prop_assert!(
+                iv.max_live <= iv.group_size,
+                "interval at {}: {} live > group {}",
+                iv.start, iv.max_live, iv.group_size
+            );
+            prop_assert!(iv.degraded_minutes <= r.window_minutes);
+        }
+        let degraded: u64 = r.intervals.iter().map(|i| i.degraded_minutes).sum();
+        prop_assert_eq!(degraded, r.degraded_minutes);
+
+        // Counter reconciliation: with repair active every out-of-bid
+        // death is detected (in-window at the repair cursor or counted
+        // too-late at the interval edge), and replacements never exceed
+        // detections.
+        let snap = r.metrics.as_ref().expect("observed replay");
+        let deaths = snap.counter("replay.death.out_of_bid").unwrap_or(0);
+        let detected = snap.counter("repair.deaths_detected").unwrap_or(0);
+        prop_assert_eq!(detected, deaths);
+        let spot_repl = snap.counter("repair.spot_replacements").unwrap_or(0);
+        let od_launch = snap.counter("repair.on_demand_launches").unwrap_or(0);
+        prop_assert!(spot_repl + od_launch <= detected,
+            "replacements {} exceed detected deaths {}", spot_repl + od_launch, detected);
+        prop_assert_eq!(snap.counter("repair.degraded_minutes").unwrap_or(0), r.degraded_minutes);
+        if !hybrid {
+            prop_assert_eq!(snap.counter("repair.on_demand_launches").unwrap_or(0), 0);
+        }
     }
 
     #[test]
