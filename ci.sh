@@ -49,6 +49,16 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "== bench-baseline compare =="
 if [[ -f BENCH_replay.json ]]; then
+  # The trace-overhead guard is always strict: it asserts disabled
+  # tracing stays in the low-ns/op range and diffs the trace_bench.*
+  # counters — a regression there is a bug, not hardware noise. The
+  # trace-derived commit-latency counters (trace.* under
+  # lock_service_replay) are exact quantiles over deterministic replays,
+  # so the full compare below diffs them too.
+  ./target/release/bench-baseline compare \
+    --baseline BENCH_replay.json \
+    --only trace_overhead \
+    --strict
   ./target/release/bench-baseline compare \
     --baseline BENCH_replay.json \
     --threshold "${BENCH_THRESHOLD:-0.75}" \

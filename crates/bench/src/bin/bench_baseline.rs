@@ -30,7 +30,7 @@ use std::time::Instant;
 
 use bench::bench_market;
 use jupiter::{ExtraStrategy, JupiterStrategy, ModelStore, ServiceSpec};
-use obs::Obs;
+use obs::{Obs, TraceContext};
 use replay::fleet::fleet_replay_observed;
 use replay::service_level::{lock_service_replay_observed, ServiceReplayConfig};
 use replay::{
@@ -71,18 +71,24 @@ fn run_target(name: &'static str, keep: &[&str], f: impl FnOnce(&Obs)) -> Target
 }
 
 /// The smoke-scale target set. Fixed seeds end to end: the counters are
-/// deterministic, only the wall times vary run to run.
-fn run_all() -> Vec<TargetResult> {
+/// deterministic, only the wall times vary run to run. With
+/// `only = Some(name)` every other target is skipped entirely (used by
+/// the CI gate to run the trace-overhead guard strict on its own).
+fn run_all(only: Option<&str>) -> Vec<TargetResult> {
     let train = 2 * 7 * 24 * 60;
     let eval = 7 * 24 * 60;
+    let want = |name: &str| only.is_none_or(|o| o == name);
+    let mut out = Vec::new();
 
-    vec![
-        run_target("market_generate", &["market."], |obs| {
+    if want("market_generate") {
+        out.push(run_target("market_generate", &["market."], |obs| {
             let market = bench_market(3, 8);
             obs.counter("market.zones").add(market.zones().len() as u64);
             obs.counter("market.minutes").add(market.horizon());
-        }),
-        run_target(
+        }));
+    }
+    if want("jupiter_replay") {
+        out.push(run_target(
             "jupiter_replay",
             &["replay.bids_placed", "replay.death.", "jupiter.", "model_store."],
             |obs| {
@@ -99,13 +105,15 @@ fn run_all() -> Vec<TargetResult> {
                 );
                 assert!(result.window_minutes > 0);
             },
-        ),
-        // The repair controller on a kill-prone heuristic: the compared
-        // counters pin how many deaths the controller saw, how many spot
-        // rebids vs on-demand escalations it answered with, and the
-        // degraded-minute total — a drift in any of them means the repair
-        // path does different work than the committed baseline.
-        run_target(
+        ));
+    }
+    // The repair controller on a kill-prone heuristic: the compared
+    // counters pin how many deaths the controller saw, how many spot
+    // rebids vs on-demand escalations it answered with, and the
+    // degraded-minute total — a drift in any of them means the repair
+    // path does different work than the committed baseline.
+    if want("repair_replay") {
+        out.push(run_target(
             "repair_replay",
             &["replay.bids_placed", "replay.death.", "repair."],
             |obs| {
@@ -123,13 +131,15 @@ fn run_all() -> Vec<TargetResult> {
                 );
                 assert!(result.window_minutes > 0);
             },
-        ),
-        // The scenario engine's training-reuse guarantee, as a compared
-        // counter pair: a 2-strategy × 2-interval grid over 8 zones must
-        // fit exactly 8 kernels (one per zone) and reuse them for the
-        // other 3 cells. A regression that re-introduces per-cell
-        // training shows up as `model_store.*` drift.
-        run_target("scenario_sweep", &["model_store."], |obs| {
+        ));
+    }
+    // The scenario engine's training-reuse guarantee, as a compared
+    // counter pair: a 2-strategy × 2-interval grid over 8 zones must
+    // fit exactly 8 kernels (one per zone) and reuse them for the
+    // other 3 cells. A regression that re-introduces per-cell
+    // training shows up as `model_store.*` drift.
+    if want("scenario_sweep") {
+        out.push(run_target("scenario_sweep", &["model_store."], |obs| {
             let market = bench_market(3, 8);
             let scenario = Scenario::new(market, train, train + eval).with_obs(obs.clone());
             let sweep = SweepSpec::new(ServiceSpec::lock_service())
@@ -138,8 +148,10 @@ fn run_all() -> Vec<TargetResult> {
                 .intervals(vec![6, 12]);
             let cells = scenario.run(&sweep);
             assert_eq!(cells.len(), 4);
-        }),
-        run_target(
+        }));
+    }
+    if want("fleet_replay") {
+        out.push(run_target(
             "fleet_replay",
             &["fleet.", "replay.bids_placed"],
             |obs| {
@@ -155,10 +167,18 @@ fn run_all() -> Vec<TargetResult> {
                 );
                 assert_eq!(fleet.groups.len(), 2);
             },
-        ),
-        run_target(
+        ));
+    }
+    // The tracer is live here (`Obs::simulated`), so the replay also
+    // publishes `trace.*` counters: per-operation commit latency
+    // assembled from the causal spans (exact p50/p99) plus orphan and
+    // incompleteness counts. All of them are deterministic, so the
+    // compare pins the *traced* behavior of the protocol, not just
+    // its message counts.
+    if want("lock_service_replay") {
+        out.push(run_target(
             "lock_service_replay",
-            &["paxos.msg_sent.", "paxos.elections_started", "service."],
+            &["paxos.msg_sent.", "paxos.elections_started", "service.", "trace."],
             |obs| {
                 let market = bench_market(3, 8);
                 let service = lock_service_replay_observed(
@@ -175,8 +195,51 @@ fn run_all() -> Vec<TargetResult> {
                 );
                 assert!(service.ops_completed > 0);
             },
-        ),
-    ]
+        ));
+    }
+    // Satellite guard: "disabled tracing is free". A tight loop of
+    // inert span opens/closes and causal instants on a *disabled*
+    // handle must stay in the low-nanosecond range per op — if the
+    // disabled path ever grows an allocation or a lock, the per-op
+    // cost jumps by orders of magnitude and the in-bench assertion
+    // (plus the wall-time compare) fails the strict CI run. A short
+    // enabled pass pins the recorded-event count as a deterministic
+    // counter so compare also notices event-shape drift.
+    if want("trace_overhead") {
+        out.push(run_target("trace_overhead", &["trace_bench."], |obs| {
+            const OPS: u64 = 4_000_000;
+            let disabled = Obs::disabled();
+            let t0 = Instant::now();
+            for i in 0..OPS {
+                let tctx = TraceContext {
+                    trace_id: i | 1,
+                    span_id: 0,
+                };
+                let span = disabled.trace.span_open_causal("bench.op", tctx, &[]);
+                disabled.trace.event_causal("bench.mark", span.context(), &[]);
+                disabled.trace.span_close(span, "bench.op", &[]);
+            }
+            let ns_per_op = t0.elapsed().as_nanos() as u64 / OPS;
+            assert!(
+                ns_per_op < 200,
+                "disabled tracing costs {ns_per_op} ns/op (expected ~free)"
+            );
+            obs.counter("trace_bench.ops").add(OPS);
+            let (enabled, _clock) = Obs::simulated();
+            for i in 0..1_000u64 {
+                let tctx = TraceContext {
+                    trace_id: i + 1,
+                    span_id: 0,
+                };
+                let span = enabled.trace.span_open_causal("bench.op", tctx, &[]);
+                enabled.trace.event_causal("bench.mark", span.context(), &[]);
+                enabled.trace.span_close(span, "bench.op", &[]);
+            }
+            obs.counter("trace_bench.recorded")
+                .add(enabled.trace.events().len() as u64);
+        }));
+    }
+    out
 }
 
 // ---- JSON in/out --------------------------------------------------------
@@ -339,7 +402,7 @@ fn main() {
         "record" => {
             let out = flag_value(&args, "--out").unwrap_or_else(|| DEFAULT_BASELINE.into());
             println!("bench-baseline: recording smoke targets → {out}");
-            let targets = run_all();
+            let targets = run_all(None);
             for t in &targets {
                 println!(
                     "  {:<22} {:>9.1} ms, {} counters",
@@ -359,6 +422,9 @@ fn main() {
                 .and_then(|s| s.parse::<f64>().ok())
                 .unwrap_or(DEFAULT_THRESHOLD);
             let strict = args.iter().any(|a| a == "--strict");
+            // `--only TARGET` restricts both the run and the baseline
+            // side of the diff to one target.
+            let only = flag_value(&args, "--only");
             let text = match std::fs::read_to_string(&path) {
                 Ok(t) => t,
                 Err(e) => {
@@ -366,19 +432,25 @@ fn main() {
                     std::process::exit(1);
                 }
             };
-            let baseline = match parse_baseline(&text) {
+            let mut baseline = match parse_baseline(&text) {
                 Ok(b) => b,
                 Err(e) => {
                     eprintln!("bad baseline {path}: {e}");
                     std::process::exit(1);
                 }
             };
+            if let Some(o) = only.as_deref() {
+                baseline.targets.retain(|t| t.name == o);
+            }
             println!(
-                "bench-baseline: comparing against {path} (threshold {:.0}%{})",
+                "bench-baseline: comparing against {path} (threshold {:.0}%{}{})",
                 threshold * 100.0,
-                if strict { ", strict" } else { "" }
+                if strict { ", strict" } else { "" },
+                only.as_deref()
+                    .map(|o| format!(", only {o}"))
+                    .unwrap_or_default()
             );
-            let current = run_all();
+            let current = run_all(only.as_deref());
             let issues = compare(&baseline, &current, threshold);
             if issues == 0 {
                 println!("bench-baseline: no drift");

@@ -38,6 +38,49 @@ pub fn prometheus_name(name: &str) -> String {
     out
 }
 
+/// Escape a string for use as a Prometheus label *value* (inside
+/// double quotes): backslash, double quote, and newline get backslash
+/// escapes, exactly as the text exposition format requires. Other
+/// characters (including spaces and dots) pass through unchanged.
+pub fn prometheus_label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Whether sanitizing `name` loses more than the conventional dots:
+/// spaces, quotes, slashes and other exotica all collapse to `_`, so
+/// the exporter must carry the original spelling in a label for the
+/// metric to stay identifiable.
+fn name_needs_label(name: &str) -> bool {
+    name.is_empty()
+        || name
+            .chars()
+            .any(|c| !matches!(c, 'a'..='z' | 'A'..='Z' | '0'..='9' | '_' | ':' | '.'))
+}
+
+/// The `{name="..."}` label block carrying a lossily-sanitized original
+/// name, or an empty string when the sanitization is the conventional
+/// dots-to-underscores mapping. `extra` is spliced in as an additional
+/// label (e.g. `quantile="0.5"`).
+fn prom_labels(name: &str, extra: Option<&str>) -> String {
+    let name_label = name_needs_label(name)
+        .then(|| format!("name=\"{}\"", prometheus_label_value(name)));
+    match (name_label, extra) {
+        (Some(n), Some(e)) => format!("{{{n},{e}}}"),
+        (Some(n), None) => format!("{{{n}}}"),
+        (None, Some(e)) => format!("{{{e}}}"),
+        (None, None) => String::new(),
+    }
+}
+
 fn push_prom_f64(out: &mut String, v: f64) {
     if v.is_finite() {
         out.push_str(&v.to_string());
@@ -58,11 +101,13 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
     let mut out = String::new();
     for (name, value) in &snap.counters {
         let pname = prometheus_name(name);
-        out.push_str(&format!("# TYPE {pname} counter\n{pname} {value}\n"));
+        let labels = prom_labels(name, None);
+        out.push_str(&format!("# TYPE {pname} counter\n{pname}{labels} {value}\n"));
     }
     for (name, value) in &snap.gauges {
         let pname = prometheus_name(name);
-        out.push_str(&format!("# TYPE {pname} gauge\n{pname} "));
+        let labels = prom_labels(name, None);
+        out.push_str(&format!("# TYPE {pname} gauge\n{pname}{labels} "));
         push_prom_f64(&mut out, *value);
         out.push('\n');
     }
@@ -70,11 +115,16 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
         let pname = prometheus_name(name);
         out.push_str(&format!("# TYPE {pname} summary\n"));
         for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
-            out.push_str(&format!("{pname}{{quantile=\"{q}\"}} {v}\n"));
+            let labels = prom_labels(name, Some(&format!("quantile=\"{q}\"")));
+            out.push_str(&format!("{pname}{labels} {v}\n"));
         }
-        out.push_str(&format!("{pname}_sum {}\n{pname}_count {}\n", h.sum, h.count));
+        let labels = prom_labels(name, None);
         out.push_str(&format!(
-            "# TYPE {pname}_max gauge\n{pname}_max {}\n",
+            "{pname}_sum{labels} {}\n{pname}_count{labels} {}\n",
+            h.sum, h.count
+        ));
+        out.push_str(&format!(
+            "# TYPE {pname}_max gauge\n{pname}_max{labels} {}\n",
             h.max
         ));
     }

@@ -15,6 +15,7 @@
 //!
 //! The crate has zero dependencies; JSON export is hand-rolled.
 
+pub mod causal;
 mod clock;
 pub mod export;
 mod json;
@@ -22,6 +23,10 @@ mod metrics;
 mod timeseries;
 mod trace;
 
+pub use causal::{
+    assemble_traces, chrome_trace_json, critical_path, hop_self_times, CausalInstant,
+    CausalSpan, CausalTrace, PathSegment,
+};
 pub use clock::{Clock, ManualClock, WallClock};
 pub use metrics::{
     bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSummary,
@@ -30,7 +35,9 @@ pub use metrics::{
 pub use timeseries::{
     SeriesPoint, SeriesSnapshot, SeriesStore, TimeSeries, DEFAULT_SERIES_CAPACITY,
 };
-pub use trace::{event_to_json, Event, EventKind, FieldValue, Span, SpanHandle, Tracer};
+pub use trace::{
+    event_to_json, Event, EventKind, FieldValue, Span, SpanHandle, TraceContext, Tracer,
+};
 
 use std::sync::Arc;
 

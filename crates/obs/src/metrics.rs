@@ -353,6 +353,30 @@ impl HistogramCells {
             }
             max
         };
+        // Interpolated estimate: find the bucket holding the q-th rank,
+        // then place the value linearly within the bucket's range by
+        // how far into the bucket's population the rank falls. Tighter
+        // than the power-of-two upper bound, still bucket-resolution.
+        let quantile_est = |q: f64| -> f64 {
+            if count == 0 {
+                return 0.0;
+            }
+            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, &n) in buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                if seen + n >= rank {
+                    let lo = if i == 0 { 0 } else { bucket_upper_bound(i - 1) + 1 };
+                    let hi = bucket_upper_bound(i).min(max);
+                    let frac = (rank - seen) as f64 / n as f64;
+                    return (lo as f64 + frac * (hi.saturating_sub(lo)) as f64).min(max as f64);
+                }
+                seen += n;
+            }
+            max as f64
+        };
         let sum = self.sum.load(Ordering::Relaxed);
         HistogramSummary {
             count,
@@ -366,6 +390,9 @@ impl HistogramCells {
             p95: quantile(0.95),
             p99: quantile(0.99),
             max,
+            p50_est: quantile_est(0.50),
+            p90_est: quantile_est(0.90),
+            p99_est: quantile_est(0.99),
         }
     }
 }
@@ -439,6 +466,12 @@ pub struct HistogramSummary {
     pub p99: u64,
     /// Largest recorded sample (exact).
     pub max: u64,
+    /// Median estimate with linear in-bucket interpolation.
+    pub p50_est: f64,
+    /// 90th-percentile interpolated estimate.
+    pub p90_est: f64,
+    /// 99th-percentile interpolated estimate.
+    pub p99_est: f64,
 }
 
 /// A point-in-time copy of a whole [`Registry`], detached from the
@@ -522,9 +555,16 @@ impl MetricsSnapshot {
             ));
             json::push_f64(&mut out, h.mean);
             out.push_str(&format!(
-                ",\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
+                ",\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}",
                 h.p50, h.p95, h.p99, h.max
             ));
+            out.push_str(",\"p50_est\":");
+            json::push_f64(&mut out, h.p50_est);
+            out.push_str(",\"p90_est\":");
+            json::push_f64(&mut out, h.p90_est);
+            out.push_str(",\"p99_est\":");
+            json::push_f64(&mut out, h.p99_est);
+            out.push('}');
         }
         out.push_str("}}");
         out

@@ -95,8 +95,48 @@ pub struct Event {
     pub kind: EventKind,
     /// Span id tying a start to its end, for span edges.
     pub span_id: Option<u64>,
+    /// Causal trace this event belongs to; 0 means untraced (and the
+    /// field is omitted from JSON, keeping legacy output byte-stable).
+    pub trace_id: u64,
+    /// Span (possibly on another node) that caused this event; 0 = root.
+    pub parent_span: u64,
     /// Attached key/value fields.
     pub fields: Vec<(String, FieldValue)>,
+}
+
+/// A causal context carried across node boundaries: which trace an
+/// operation belongs to and which span caused the current work.
+///
+/// `Copy` and two words wide so it rides on every simnet message
+/// envelope for free. The all-zero value ([`TraceContext::NONE`]) means
+/// "untraced" — timers, boot work, and anything outside an operation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// Trace id grouping all spans of one end-to-end operation.
+    pub trace_id: u64,
+    /// The span that caused the message/work this context annotates.
+    pub span_id: u64,
+}
+
+impl TraceContext {
+    /// The untraced context.
+    pub const NONE: TraceContext = TraceContext {
+        trace_id: 0,
+        span_id: 0,
+    };
+
+    /// Whether this context carries a real trace.
+    pub fn is_some(self) -> bool {
+        self.trace_id != 0
+    }
+
+    /// The same trace with `span_id` as the causal parent.
+    pub fn child_of(self, span_id: u64) -> TraceContext {
+        TraceContext {
+            trace_id: self.trace_id,
+            span_id,
+        }
+    }
 }
 
 struct TracerInner {
@@ -160,12 +200,20 @@ impl Tracer {
 
     /// Record a point event with `fields`.
     pub fn event(&self, name: &str, fields: &[(&str, FieldValue)]) {
+        self.event_causal(name, TraceContext::NONE, fields);
+    }
+
+    /// Record a point event attributed to a causal trace: the event
+    /// carries `tctx`'s trace id and names `tctx.span_id` as its cause.
+    pub fn event_causal(&self, name: &str, tctx: TraceContext, fields: &[(&str, FieldValue)]) {
         let Some(inner) = &self.inner else { return };
         inner.push(Event {
             at_micros: inner.clock.now_micros(),
             name: name.to_owned(),
             kind: EventKind::Instant,
             span_id: None,
+            trace_id: tctx.trace_id,
+            parent_span: tctx.span_id,
             fields: owned_fields(fields),
         });
     }
@@ -189,6 +237,8 @@ impl Tracer {
             name: name.to_owned(),
             kind: EventKind::SpanStart,
             span_id: Some(id),
+            trace_id: 0,
+            parent_span: 0,
             fields: owned_fields(fields),
         });
         Span {
@@ -205,6 +255,20 @@ impl Tracer {
     /// machines) to pass to [`Tracer::span_close`] later. Returns the
     /// inert handle when disabled.
     pub fn span_open(&self, name: &str, fields: &[(&str, FieldValue)]) -> SpanHandle {
+        self.span_open_causal(name, TraceContext::NONE, fields)
+    }
+
+    /// Open a guard-free span as a causal child: the start edge carries
+    /// `tctx`'s trace id and names `tctx.span_id` (possibly a span on a
+    /// remote node) as its parent. The returned handle's
+    /// [`SpanHandle::context`] continues the trace with this span as
+    /// the new parent.
+    pub fn span_open_causal(
+        &self,
+        name: &str,
+        tctx: TraceContext,
+        fields: &[(&str, FieldValue)],
+    ) -> SpanHandle {
         let Some(inner) = &self.inner else {
             return SpanHandle::inert();
         };
@@ -215,11 +279,14 @@ impl Tracer {
             name: name.to_owned(),
             kind: EventKind::SpanStart,
             span_id: Some(id),
+            trace_id: tctx.trace_id,
+            parent_span: tctx.span_id,
             fields: owned_fields(fields),
         });
         SpanHandle {
             id,
             start_micros,
+            trace_id: tctx.trace_id,
         }
     }
 
@@ -243,6 +310,8 @@ impl Tracer {
             name: name.to_owned(),
             kind: EventKind::SpanEnd,
             span_id: Some(handle.id),
+            trace_id: handle.trace_id,
+            parent_span: 0,
             fields: all,
         });
     }
@@ -339,6 +408,12 @@ pub fn event_to_json(event: &Event) -> String {
     if let Some(id) = event.span_id {
         out.push_str(&format!(",\"span_id\":{id}"));
     }
+    if event.trace_id != 0 {
+        out.push_str(&format!(",\"trace_id\":{}", event.trace_id));
+    }
+    if event.parent_span != 0 {
+        out.push_str(&format!(",\"parent_span\":{}", event.parent_span));
+    }
     if !event.fields.is_empty() {
         out.push_str(",\"fields\":{");
         for (i, (key, value)) in event.fields.iter().enumerate() {
@@ -347,18 +422,23 @@ pub fn event_to_json(event: &Event) -> String {
             }
             json::push_str_lit(&mut out, key);
             out.push(':');
-            match value {
-                FieldValue::U64(v) => out.push_str(&v.to_string()),
-                FieldValue::I64(v) => out.push_str(&v.to_string()),
-                FieldValue::F64(v) => json::push_f64(&mut out, *v),
-                FieldValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
-                FieldValue::Str(v) => json::push_str_lit(&mut out, v),
-            }
+            field_value_to_json(&mut out, value);
         }
         out.push('}');
     }
     out.push('}');
     out
+}
+
+/// Append one [`FieldValue`] as a JSON value.
+pub(crate) fn field_value_to_json(out: &mut String, value: &FieldValue) {
+    match value {
+        FieldValue::U64(v) => out.push_str(&v.to_string()),
+        FieldValue::I64(v) => out.push_str(&v.to_string()),
+        FieldValue::F64(v) => json::push_f64(out, *v),
+        FieldValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+        FieldValue::Str(v) => json::push_str_lit(out, v),
+    }
 }
 
 /// A guard-free open span: just the span id and start timestamp, so it
@@ -371,6 +451,8 @@ pub struct SpanHandle {
     pub id: u64,
     /// Clock reading at the start edge.
     pub start_micros: u64,
+    /// Causal trace the span belongs to; 0 for plain (uncausal) spans.
+    pub trace_id: u64,
 }
 
 impl SpanHandle {
@@ -379,6 +461,16 @@ impl SpanHandle {
         SpanHandle {
             id: 0,
             start_micros: 0,
+            trace_id: 0,
+        }
+    }
+
+    /// The trace context continuing this span's trace with this span as
+    /// the causal parent — what a message caused by this span carries.
+    pub fn context(self) -> TraceContext {
+        TraceContext {
+            trace_id: self.trace_id,
+            span_id: self.id,
         }
     }
 }
@@ -431,6 +523,8 @@ impl Span {
             name: self.name.clone(),
             kind: EventKind::SpanEnd,
             span_id: Some(self.id),
+            trace_id: 0,
+            parent_span: 0,
             fields: all,
         });
     }

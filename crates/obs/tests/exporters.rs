@@ -5,8 +5,10 @@
 //! intentional format change with
 //! `BLESS=1 cargo test -p obs --test exporters`.
 
-use obs::export::{collapsed_stacks, obs_jsonl, prometheus_name, prometheus_text};
-use obs::{FieldValue, Obs, Registry, SeriesStore};
+use obs::export::{
+    collapsed_stacks, obs_jsonl, prometheus_label_value, prometheus_name, prometheus_text,
+};
+use obs::{chrome_trace_json, FieldValue, Obs, Registry, SeriesStore, TraceContext};
 use proptest::prelude::*;
 
 fn check_golden(name: &str, actual: &str) {
@@ -86,6 +88,82 @@ fn prometheus_names_are_sanitized() {
     assert_eq!(prometheus_name("9weird/name-with.chars"), "_9weird_name_with_chars");
     assert_eq!(prometheus_name("ok:name_2"), "ok:name_2");
     assert_eq!(prometheus_name(""), "_");
+}
+
+/// Metric keys with spaces around dots or embedded quotes/backslashes
+/// keep their original spelling in an escaped `name` label; clean
+/// dotted names stay label-free. Pins the exact escaped output.
+#[test]
+fn prometheus_escapes_lossy_names_into_labels() {
+    let registry = Registry::new();
+    registry.counter("price. quoted \"usd\"").add(3);
+    registry.counter("back\\slash\nnewline").add(1);
+    registry.counter("replay.clean_name").add(2);
+    registry.gauge("gauge with space").set(1.5);
+    registry.histogram("hist \"q\"").record(7);
+    let text = prometheus_text(&registry.snapshot());
+
+    assert!(text.contains("price__quoted__usd_{name=\"price. quoted \\\"usd\\\"\"} 3\n"));
+    assert!(text.contains("back_slash_newline{name=\"back\\\\slash\\nnewline\"} 1\n"));
+    // Conventional dotted names are unchanged: no label.
+    assert!(text.contains("replay_clean_name 2\n"));
+    assert!(text.contains("gauge_with_space{name=\"gauge with space\"} 1.5\n"));
+    // Histograms merge the name label with the quantile label and tag
+    // the _sum/_count/_max family too.
+    assert!(text.contains("hist__q_{name=\"hist \\\"q\\\"\",quantile=\"0.5\"} 7\n"));
+    assert!(text.contains("hist__q__sum{name=\"hist \\\"q\\\"\"} 7\n"));
+    assert!(text.contains("hist__q__count{name=\"hist \\\"q\\\"\"} 1\n"));
+    assert!(text.contains("hist__q__max{name=\"hist \\\"q\\\"\"} 7\n"));
+
+    assert_eq!(prometheus_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+    assert_eq!(prometheus_label_value("dots. and spaces"), "dots. and spaces");
+}
+
+/// Chrome-trace exporter golden: a causal client → propose →
+/// quorum-wait chain with a chaos instant and one unclosed span.
+#[test]
+fn chrome_trace_golden() {
+    let (obs, _clock) = Obs::simulated();
+    let t = &obs.trace;
+    let trace = TraceContext {
+        trace_id: 1,
+        span_id: 0,
+    };
+    obs.set_time_micros(1_000);
+    let root = t.span_open_causal("client.request", trace, &[("req_id", 1u64.into())]);
+    obs.set_time_micros(1_500);
+    let propose = t.span_open_causal(
+        "paxos.propose",
+        root.context(),
+        &[("slot", 4u64.into()), ("node", 0u64.into())],
+    );
+    obs.set_time_micros(1_600);
+    let wait = t.span_open_causal("paxos.quorum_wait", propose.context(), &[]);
+    t.event_causal(
+        "simnet.drop",
+        wait.context(),
+        &[("from", 0u64.into()), ("to", 2u64.into())],
+    );
+    obs.set_time_micros(2_400);
+    t.span_close(wait, "paxos.quorum_wait", &[("acks", 2u64.into())]);
+    obs.set_time_micros(2_500);
+    t.span_close(propose, "paxos.propose", &[]);
+    obs.set_time_micros(2_900);
+    t.span_close(root, "client.request", &[]);
+    // An unclosed span (operation still in flight at export time).
+    obs.set_time_micros(3_000);
+    let _open = t.span_open_causal(
+        "client.request",
+        TraceContext {
+            trace_id: 2,
+            span_id: 0,
+        },
+        &[("req_id", 2u64.into())],
+    );
+
+    let json = chrome_trace_json(&t.events());
+    serde_json::parse_value(&json).expect("chrome trace is valid JSON");
+    check_golden("chrome_trace.json", &json);
 }
 
 // ---- Registry::merge ----------------------------------------------------

@@ -5,6 +5,7 @@
 
 use std::collections::VecDeque;
 
+use obs::{FieldValue, Obs, SpanHandle};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use simnet::{Context, NodeId, SimTime, TimerToken};
@@ -13,6 +14,11 @@ use crate::msg::{ClientOp, Msg};
 use crate::replica::StateMachine;
 
 const TICK_TOKEN: TimerToken = TimerToken(1);
+
+/// Sim-time milliseconds as trace microseconds.
+fn sim_micros(t: SimTime) -> u64 {
+    t.as_millis().saturating_mul(1_000)
+}
 
 /// One completed (or still outstanding) operation in the client history.
 #[derive(Clone, Debug)]
@@ -34,6 +40,10 @@ struct InFlight {
     req_id: u64,
     last_sent: SimTime,
     target: usize,
+    /// Root span of the operation's causal trace; every send (and
+    /// retransmit) of the request carries `span.context()`, so the whole
+    /// submit → propose → commit chain hangs under one trace id.
+    span: SpanHandle,
 }
 
 /// Client actor state.
@@ -49,6 +59,10 @@ pub struct ClientState<SM: StateMachine> {
     leader_hint: Option<NodeId>,
     history: Vec<CompletedOp<SM>>,
     rng: ChaCha8Rng,
+    /// Observability sink (disabled by default; the harness wires the
+    /// cluster's handle in so client spans land in the same trace ring
+    /// as the replicas').
+    obs: Obs,
 }
 
 impl<SM: StateMachine> ClientState<SM> {
@@ -66,7 +80,15 @@ impl<SM: StateMachine> ClientState<SM> {
             leader_hint: None,
             history: Vec::new(),
             rng: ChaCha8Rng::seed_from_u64(seed ^ (me.0 as u64).wrapping_mul(0x51_7C_C1_B7)),
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attach an observability handle (builder-style); request spans are
+    /// only recorded when its tracer is enabled.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Queue an operation for submission (fired from the next tick).
@@ -109,13 +131,15 @@ impl<SM: StateMachine> ClientState<SM> {
             _ => self.servers[f.target % self.servers.len()],
         };
         f.last_sent = ctx.now;
-        ctx.send(
+        let trace = f.span.context();
+        ctx.send_traced(
             target,
             Msg::Request {
                 client: self.me,
                 req_id: f.req_id,
                 op: entry.op.clone(),
             },
+            trace,
         );
     }
 
@@ -136,10 +160,23 @@ impl<SM: StateMachine> ClientState<SM> {
                     issued_at: ctx.now,
                     completed: None,
                 });
+                // Root of the operation's causal trace: the span covers
+                // submit → commit → response, so its duration *is* the
+                // observed commit latency.
+                self.obs.set_time_micros(sim_micros(ctx.now));
+                let span = self.obs.trace.span_open_causal(
+                    "client.request",
+                    ctx.new_trace(),
+                    &[
+                        ("client", FieldValue::U64(self.me.0 as u64)),
+                        ("req_id", FieldValue::U64(req_id)),
+                    ],
+                );
                 self.inflight = Some(InFlight {
                     req_id,
                     last_sent: ctx.now,
                     target: self.rng.gen_range(0..self.servers.len()),
+                    span,
                 });
                 self.send_current(ctx);
             }
@@ -155,6 +192,17 @@ impl<SM: StateMachine> ClientState<SM> {
                 f.target += 1;
             }
             self.leader_hint = None;
+            if let Some(f) = &self.inflight {
+                // Mark the retry inside the trace: a retransmit usually
+                // means the previous attempt's sub-tree was orphaned by
+                // a drop or a dead leader.
+                self.obs.set_time_micros(sim_micros(ctx.now));
+                self.obs.trace.event_causal(
+                    "client.retransmit",
+                    f.span.context(),
+                    &[("req_id", FieldValue::U64(f.req_id))],
+                );
+            }
             self.send_current(ctx);
         }
     }
@@ -175,9 +223,18 @@ impl<SM: StateMachine> ClientState<SM> {
                 .map(|f| f.req_id == req_id)
                 .unwrap_or(false);
             if matches {
-                self.inflight = None;
+                let f = self.inflight.take().expect("matched above");
                 self.leader_hint = Some(from);
                 let now = _ctx.now;
+                self.obs.set_time_micros(sim_micros(now));
+                self.obs.trace.span_close(
+                    f.span,
+                    "client.request",
+                    &[
+                        ("req_id", FieldValue::U64(req_id)),
+                        ("leader", FieldValue::U64(from.0 as u64)),
+                    ],
+                );
                 if let Some(h) = self.history.iter_mut().find(|h| h.req_id == req_id) {
                     h.completed = Some((now, resp));
                 }

@@ -33,6 +33,10 @@ impl<SM: StateMachine> Cluster<SM> {
     ) -> Self {
         assert!(n >= 1, "need at least one replica");
         let mut sim = Simulation::new(net, seed);
+        // Network faults (drops, duplicates, delay spikes) emit
+        // visibility events into the same trace ring the replicas use,
+        // so orphaned request spans point at their cause.
+        sim.set_tracer(replica_cfg.obs.trace.clone());
         let ids: Vec<NodeId> = (0..n).map(NodeId).collect();
         for &id in &ids {
             let replica = Replica::new(id, ids.clone(), sm.clone(), replica_cfg.clone(), seed);
@@ -62,7 +66,8 @@ impl<SM: StateMachine> Cluster<SM> {
     /// Add a closed-loop client.
     pub fn add_client(&mut self) -> NodeId {
         let id = NodeId(self.sim.node_count());
-        let client = ClientState::new(id, self.servers.clone(), self.seed);
+        let client = ClientState::new(id, self.servers.clone(), self.seed)
+            .with_obs(self.replica_cfg.obs.clone());
         let got = self.sim.add_node(PaxosNode::Client(client));
         assert_eq!(got, id);
         self.clients.push(id);

@@ -2,7 +2,7 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
-use obs::{Counter, FieldValue, Gauge, Histogram, Obs, SpanHandle};
+use obs::{Counter, FieldValue, Gauge, Histogram, Obs, SpanHandle, TraceContext};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use simnet::{Context, NodeId, SimTime, TimerToken};
@@ -86,7 +86,10 @@ struct Proposal<C> {
     value: Command<C>,
     acks: HashSet<NodeId>,
     sent_at: SimTime,
-    /// Open quorum-wait trace span (inert when tracing is off).
+    /// Open per-operation propose span, a causal child of the request
+    /// that triggered the proposal (inert when tracing is off).
+    propose_span: SpanHandle,
+    /// Open quorum-wait trace span, a causal child of `propose_span`.
     span: SpanHandle,
 }
 
@@ -177,8 +180,9 @@ pub struct Replica<SM: StateMachine> {
     proposals: BTreeMap<Slot, Proposal<SM::Command>>,
     /// Next free slot (leader only).
     next_slot: Slot,
-    /// Requests waiting for leadership or for a reconfig to commit.
-    pending: VecDeque<(NodeId, u64, ClientOp<SM::Command>)>,
+    /// Requests waiting for leadership or for a reconfig to commit,
+    /// each with the causal trace it arrived under.
+    pending: VecDeque<(NodeId, u64, ClientOp<SM::Command>, TraceContext)>,
     /// True while a Reconfig proposal is in flight (stalls later ones).
     reconfig_in_flight: bool,
 
@@ -361,6 +365,21 @@ impl<SM: StateMachine> Replica<SM> {
         ctx.broadcast(self.view.iter(), msg);
     }
 
+    /// [`Replica::broadcast_msg`] under an explicit trace context, so
+    /// per-operation protocol traffic (Accepts, Commits) stays parented
+    /// under the operation's propose span rather than whatever message
+    /// happened to trigger the broadcast.
+    fn broadcast_msg_traced(&self, ctx: &mut Context<Msg<SM>>, msg: Msg<SM>, trace: TraceContext) {
+        let me = self.me;
+        let fanout = self.view.iter().filter(|&&p| p != me).count();
+        self.metrics.sent[msg.kind_index()].add(fanout as u64);
+        for &p in &self.view {
+            if p != me {
+                ctx.send_traced(p, msg.clone(), trace);
+            }
+        }
+    }
+
     /// Drive the shared trace clock to the simulation's current time.
     fn sync_obs_time(&self, now: SimTime) {
         self.metrics.obs.set_time_micros(sim_micros(now));
@@ -380,11 +399,20 @@ impl<SM: StateMachine> Replica<SM> {
                 .trace
                 .span_close(span, "paxos.election", &[("won", FieldValue::Bool(false))]);
         }
-        let open_spans: Vec<SpanHandle> = self.proposals.values().map(|p| p.span).collect();
-        for span in open_spans {
+        let open_spans: Vec<(SpanHandle, SpanHandle)> = self
+            .proposals
+            .values()
+            .map(|p| (p.span, p.propose_span))
+            .collect();
+        for (span, propose_span) in open_spans {
             self.metrics.obs.trace.span_close(
                 span,
                 "paxos.quorum_wait",
+                &[("aborted", FieldValue::Bool(true))],
+            );
+            self.metrics.obs.trace.span_close(
+                propose_span,
+                "paxos.propose",
                 &[("aborted", FieldValue::Bool(true))],
             );
         }
@@ -572,7 +600,11 @@ impl<SM: StateMachine> Replica<SM> {
             to_propose.push((slot, value));
         }
         for (slot, value) in to_propose {
-            self.send_accepts(slot, value, ctx);
+            // Re-proposals triggered by the view change are causally the
+            // election's work: parent them under whatever message closed
+            // the quorum (usually the deciding Promise).
+            let trace = ctx.trace();
+            self.send_accepts(slot, value, trace, ctx);
         }
         // Lagging behind a peer's commit index: fetch the chosen prefix.
         if max_commit > self.commit_index {
@@ -602,6 +634,7 @@ impl<SM: StateMachine> Replica<SM> {
         &mut self,
         slot: Slot,
         value: Command<SM::Command>,
+        trace: TraceContext,
         ctx: &mut Context<Msg<SM>>,
     ) {
         let ballot = self.ballot;
@@ -610,27 +643,40 @@ impl<SM: StateMachine> Replica<SM> {
         st.accepted = Some((ballot, value.clone()));
         let mut acks = HashSet::new();
         acks.insert(self.me);
-        let span = self
-            .metrics
-            .obs
-            .trace
-            .span_open("paxos.quorum_wait", &[("slot", FieldValue::U64(slot))]);
+        // Per-operation spans: the propose span is a causal child of the
+        // request (or election) that produced the value; the quorum wait
+        // nests inside it and the phase-2 broadcast rides its context.
+        let propose_span = self.metrics.obs.trace.span_open_causal(
+            "paxos.propose",
+            trace,
+            &[
+                ("slot", FieldValue::U64(slot)),
+                ("node", FieldValue::U64(self.me.0 as u64)),
+            ],
+        );
+        let span = self.metrics.obs.trace.span_open_causal(
+            "paxos.quorum_wait",
+            propose_span.context(),
+            &[("slot", FieldValue::U64(slot))],
+        );
         self.proposals.insert(
             slot,
             Proposal {
                 value: value.clone(),
                 acks,
                 sent_at: ctx.now,
+                propose_span,
                 span,
             },
         );
-        self.broadcast_msg(
+        self.broadcast_msg_traced(
             ctx,
             Msg::Accept {
                 ballot,
                 slot,
                 value,
             },
+            span.context(),
         );
         self.maybe_choose(slot, ctx);
     }
@@ -640,10 +686,10 @@ impl<SM: StateMachine> Replica<SM> {
             return;
         }
         while !self.reconfig_in_flight {
-            let Some((client, req_id, op)) = self.pending.pop_front() else {
+            let Some((client, req_id, op, trace)) = self.pending.pop_front() else {
                 break;
             };
-            self.propose_op(client, req_id, op, ctx);
+            self.propose_op(client, req_id, op, trace, ctx);
         }
     }
 
@@ -652,6 +698,7 @@ impl<SM: StateMachine> Replica<SM> {
         client: NodeId,
         req_id: u64,
         op: ClientOp<SM::Command>,
+        trace: TraceContext,
         ctx: &mut Context<Msg<SM>>,
     ) {
         // Dedup retransmissions of the last applied request.
@@ -690,7 +737,7 @@ impl<SM: StateMachine> Replica<SM> {
             ClientOp::Reconfig { add, remove } => {
                 if self.reconfig_in_flight {
                     self.pending
-                        .push_back((client, req_id, ClientOp::Reconfig { add, remove }));
+                        .push_back((client, req_id, ClientOp::Reconfig { add, remove }, trace));
                     return;
                 }
                 self.reconfig_in_flight = true;
@@ -713,7 +760,7 @@ impl<SM: StateMachine> Replica<SM> {
         }
         let slot = self.next_slot;
         self.next_slot += 1;
-        self.send_accepts(slot, value, ctx);
+        self.send_accepts(slot, value, trace, ctx);
     }
 
     fn maybe_choose(&mut self, slot: Slot, ctx: &mut Context<Msg<SM>>) {
@@ -737,6 +784,16 @@ impl<SM: StateMachine> Replica<SM> {
                 ("acks", FieldValue::U64(p.acks.len() as u64)),
             ],
         );
+        let propose_ctx = p.propose_span.context();
+        self.metrics.obs.trace.event_causal(
+            "paxos.commit",
+            propose_ctx,
+            &[("slot", FieldValue::U64(slot))],
+        );
+        self.metrics
+            .obs
+            .trace
+            .span_close(p.propose_span, "paxos.propose", &[("slot", FieldValue::U64(slot))]);
         // Chosen values are write-once (mirroring `note_chosen`): if a
         // commit for this slot was adopted while our proposal was in
         // flight, Paxos guarantees the values agree — keep and re-announce
@@ -746,11 +803,12 @@ impl<SM: StateMachine> Replica<SM> {
             st.chosen = Some(value);
         }
         let value = st.chosen.clone().expect("just set");
-        self.broadcast_msg(
+        self.broadcast_msg_traced(
             ctx,
             Msg::Commit {
                 entry: ChosenEntry { slot, value },
             },
+            propose_ctx,
         );
         self.advance(ctx);
     }
@@ -785,6 +843,16 @@ impl<SM: StateMachine> Replica<SM> {
     fn apply(&mut self, slot: Slot, value: Command<SM::Command>, ctx: &mut Context<Msg<SM>>) {
         debug_assert_eq!(slot, self.applied, "out-of-order apply");
         self.applied = slot + 1;
+        // Applies triggered by a traced Commit/Accepted land inside the
+        // operation's trace; catch-up applies carry their own context.
+        self.metrics.obs.trace.event_causal(
+            "paxos.apply",
+            ctx.trace(),
+            &[
+                ("slot", FieldValue::U64(slot)),
+                ("node", FieldValue::U64(self.me.0 as u64)),
+            ],
+        );
         match value {
             Command::Noop => {}
             Command::App {
@@ -887,25 +955,28 @@ impl<SM: StateMachine> Replica<SM> {
                 if ctx.now.saturating_sub(self.last_heartbeat_sent) >= self.cfg.heartbeat_every {
                     self.send_heartbeat(ctx);
                 }
-                // Re-broadcast stale proposals.
-                let stale: Vec<(Slot, Command<SM::Command>)> = self
+                // Re-broadcast stale proposals. Retries are causally part
+                // of the original quorum wait, not the timer that noticed
+                // the staleness.
+                let stale: Vec<(Slot, Command<SM::Command>, TraceContext)> = self
                     .proposals
                     .iter()
                     .filter(|(_, p)| ctx.now.saturating_sub(p.sent_at) >= self.cfg.proposal_retry)
-                    .map(|(&s, p)| (s, p.value.clone()))
+                    .map(|(&s, p)| (s, p.value.clone(), p.span.context()))
                     .collect();
                 let ballot = self.ballot;
-                for (slot, value) in stale {
+                for (slot, value, trace) in stale {
                     if let Some(p) = self.proposals.get_mut(&slot) {
                         p.sent_at = ctx.now;
                     }
-                    self.broadcast_msg(
+                    self.broadcast_msg_traced(
                         ctx,
                         Msg::Accept {
                             ballot,
                             slot,
                             value,
                         },
+                        trace,
                     );
                 }
             }
@@ -1070,7 +1141,10 @@ impl<SM: StateMachine> Replica<SM> {
             }
             Msg::Request { client, req_id, op } => {
                 match self.phase {
-                    Phase::Leading => self.propose_op(client, req_id, op, ctx),
+                    Phase::Leading => {
+                        let trace = ctx.trace();
+                        self.propose_op(client, req_id, op, trace, ctx);
+                    }
                     _ => {
                         if let Some(leader) = self.leader {
                             if leader != self.me {

@@ -67,6 +67,53 @@ fn to_sim(minute_rel: u64) -> SimTime {
     SimTime::from_secs(minute_rel)
 }
 
+/// Exact quantile of a sorted sample (nearest-rank); 0 on empty input.
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Fold the tracer ring into `trace.*` instruments: per-operation commit
+/// latency (the duration of each complete `client.request` root span, with
+/// exact p50/p99 published as counters so the bench baseline can diff
+/// them), per-hop critical-path attribution histograms, and orphan/
+/// incomplete counts for chaos post-mortems. No-op when tracing is
+/// disabled, so the untraced replay path is untouched.
+pub fn record_trace_metrics(obs: &Obs) {
+    if !obs.trace.is_enabled() {
+        return;
+    }
+    let events = obs.trace.events();
+    let traces = obs::assemble_traces(&events);
+    let latency_hist = obs.histogram("trace.commit_latency_micros");
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut orphans = 0u64;
+    let mut incomplete = 0u64;
+    for t in &traces {
+        orphans += t.orphans().len() as u64;
+        let Some(lat) = t.latency_micros() else {
+            incomplete += 1;
+            continue;
+        };
+        latencies.push(lat);
+        latency_hist.record(lat);
+        for (hop, micros) in obs::hop_self_times(&obs::critical_path(t)) {
+            obs.histogram(&format!("trace.hop.{hop}_micros")).record(micros);
+        }
+    }
+    latencies.sort_unstable();
+    obs.counter("trace.ops").add(latencies.len() as u64);
+    obs.counter("trace.orphan_spans").add(orphans);
+    obs.counter("trace.incomplete").add(incomplete);
+    obs.counter("trace.commit_latency_p50_micros")
+        .add(quantile(&latencies, 0.50));
+    obs.counter("trace.commit_latency_p99_micros")
+        .add(quantile(&latencies, 0.99));
+}
+
 /// Run the lock service under a bidding strategy for a short market
 /// window. Returns request-level metrics.
 pub fn lock_service_replay<S: BiddingStrategy>(
@@ -293,6 +340,7 @@ pub fn lock_service_replay_observed<S: BiddingStrategy>(
     let max = latencies.iter().copied().max().unwrap_or(0);
     let within = latencies.iter().filter(|&&l| l <= config.sla_ms).count();
     let agreed = cluster.assert_log_agreement();
+    record_trace_metrics(obs);
 
     ServiceReplayOutcome {
         ops_completed: completed,
@@ -556,6 +604,7 @@ pub fn storage_service_replay_observed<S: BiddingStrategy>(
             (_, Some(_)) => completed += 1,
         }
     }
+    record_trace_metrics(obs);
 
     StorageReplayOutcome {
         ops_completed: completed,

@@ -156,12 +156,17 @@ fn report_out_pos(args: &[String]) -> Option<usize> {
     args.iter().position(|a| a == "--report-out").map(|i| i + 1)
 }
 
-/// The `report` target: a recorded Jupiter market replay (series enabled)
-/// rendered into a self-contained HTML file with inline SVG charts.
+/// The `report` target: a recorded Jupiter market replay (series enabled,
+/// mid-interval repair on so the repair series exist) plus a short traced
+/// service-level Paxos replay, rendered into a self-contained HTML file
+/// with inline SVG charts, per-operation trace Gantts, and a
+/// critical-path attribution table. The trace ring is also exported as
+/// Chrome-trace JSON next to the report.
 fn report_pass(seed: u64, path: &str) {
-    use jupiter::{JupiterStrategy, ServiceSpec};
-    use obs::Obs;
-    use replay::{replay_strategy_observed, ReplayConfig};
+    use jupiter::{JupiterStrategy, ModelStore, ServiceSpec};
+    use obs::{chrome_trace_json, Obs};
+    use replay::service_level::{lock_service_replay_observed, ServiceReplayConfig};
+    use replay::{replay_repair_stored, RepairConfig, ReplayConfig};
     use spot_market::{InstanceType, Market, MarketConfig};
 
     println!("\n== Report pass: recorded Jupiter replay → {path} ==");
@@ -175,19 +180,47 @@ fn report_pass(seed: u64, path: &str) {
     let market = Market::generate(cfg);
     let spec = ServiceSpec::lock_service();
 
-    let result = replay_strategy_observed(
+    // A short service-level replay on the same market fills the trace
+    // ring with per-operation causal spans for the Gantt section. It
+    // must run *before* the market replay: the shared ManualClock is
+    // monotone, and the market replay stamps market-minute time (~1e12
+    // µs), which would clamp the service replay's sim-millisecond spans
+    // to zero length.
+    let service = lock_service_replay_observed(
+        &market,
+        JupiterStrategy::new().with_obs(obs.clone()),
+        ServiceReplayConfig {
+            eval_start: train,
+            window_minutes: 2 * 60,
+            interval_hours: 2,
+            sla_ms: 5_000,
+            seed,
+        },
+        &obs,
+    );
+    println!(
+        "service replay: {} ops traced ({} crashes)",
+        service.ops_completed, service.crashes
+    );
+
+    let store = ModelStore::with_obs(obs.clone());
+    let result = replay_repair_stored(
         &market,
         &spec,
         JupiterStrategy::new().with_obs(obs.clone()),
         ReplayConfig::new(train, train + eval, 6),
+        RepairConfig::hybrid(),
+        &store,
         &obs,
     );
+
     let snapshot = obs.metrics.snapshot();
+    let events = obs.trace.events();
     let subtitle = format!(
         "Jupiter lock-service replay — seed {seed}, 2 training weeks, 1 evaluation week, \
-         8 zones, 6 h bidding interval. Time axis in market hours."
+         8 zones, 6 h bidding interval, hybrid repair. Time axis in market hours."
     );
-    let html = report::render_replay_report(&subtitle, &result, &snapshot);
+    let html = report::render_replay_report(&subtitle, &result, &snapshot, &events);
     let charts = report::chart_count(&html);
     match std::fs::write(path, &html) {
         Ok(()) => println!(
@@ -197,6 +230,17 @@ fn report_pass(seed: u64, path: &str) {
         ),
         Err(e) => {
             eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    let trace_path = format!("{path}.trace.json");
+    match std::fs::write(&trace_path, chrome_trace_json(&events)) {
+        Ok(()) => println!(
+            "trace exported to {trace_path} ({} events; load in chrome://tracing or Perfetto)",
+            events.len()
+        ),
+        Err(e) => {
+            eprintln!("cannot write {trace_path}: {e}");
             std::process::exit(1);
         }
     }
@@ -225,20 +269,10 @@ fn metrics_pass(seed: u64, path: &str) {
     let market = Market::generate(cfg);
     let spec = ServiceSpec::lock_service();
 
-    let replayed = replay_strategy_observed(
-        &market,
-        &spec,
-        JupiterStrategy::new().with_obs(obs.clone()),
-        ReplayConfig::new(train, train + eval, 6),
-        &obs,
-    );
-    println!(
-        "market replay:   cost ${:.2}, availability {:.6}, {} kills",
-        replayed.total_cost.as_dollars(),
-        replayed.availability(),
-        replayed.total_kills()
-    );
-
+    // Service replay first: the shared ManualClock is monotone, and the
+    // market replay stamps market-minute time (~1e12 µs), which would
+    // clamp the service replay's sim-millisecond span timestamps to zero
+    // length (all trace latencies would read 0).
     let service = lock_service_replay_observed(
         &market,
         JupiterStrategy::new().with_obs(obs.clone()),
@@ -256,6 +290,20 @@ fn metrics_pass(seed: u64, path: &str) {
         service.ops_completed, service.crashes, service.reconfigs
     );
 
+    let replayed = replay_strategy_observed(
+        &market,
+        &spec,
+        JupiterStrategy::new().with_obs(obs.clone()),
+        ReplayConfig::new(train, train + eval, 6),
+        &obs,
+    );
+    println!(
+        "market replay:   cost ${:.2}, availability {:.6}, {} kills",
+        replayed.total_cost.as_dollars(),
+        replayed.availability(),
+        replayed.total_kills()
+    );
+
     let snap = obs.metrics.snapshot();
     println!(
         "paxos messages:  {} sent / {} received",
@@ -266,6 +314,23 @@ fn metrics_pass(seed: u64, path: &str) {
         "bids placed:     {}",
         snap.counter("replay.bids_placed").unwrap_or(0)
     );
+    println!(
+        "traced ops:      {} complete, {} orphan spans; commit latency p50 {} µs / p99 {} µs",
+        snap.counter("trace.ops").unwrap_or(0),
+        snap.counter("trace.orphan_spans").unwrap_or(0),
+        snap.counter("trace.commit_latency_p50_micros").unwrap_or(0),
+        snap.counter("trace.commit_latency_p99_micros").unwrap_or(0),
+    );
+    println!(
+        "\n{:<44} {:>9} {:>12} {:>12} {:>12}",
+        "histogram (µs)", "count", "p50", "p90", "p99"
+    );
+    for (name, h) in &snap.histograms {
+        println!(
+            "{:<44} {:>9} {:>12.1} {:>12.1} {:>12.1}",
+            name, h.count, h.p50_est, h.p90_est, h.p99_est
+        );
+    }
     match std::fs::write(path, obs.to_json()) {
         Ok(()) => println!("metrics dumped to {path}"),
         Err(e) => {

@@ -10,7 +10,10 @@
 //! recessive grid, direct labels via a legend row, and the full
 //! per-interval table below the charts as the accessible fallback.
 
-use obs::{MetricsSnapshot, SeriesSnapshot};
+use obs::{
+    assemble_traces, critical_path, hop_self_times, CausalTrace, Event, MetricsSnapshot,
+    SeriesSnapshot,
+};
 use replay::ReplayResult;
 
 /// One polyline in a chart. `slot` picks the categorical color
@@ -225,11 +228,181 @@ fn find<'a>(series: &'a [SeriesSnapshot], name: &str) -> Option<&'a SeriesSnapsh
     series.iter().find(|s| s.name == name)
 }
 
-/// Render the full report for one recorded replay run.
+/// Nesting depth of a span inside its trace (root = 0); also the Gantt
+/// color slot, so sibling hops at the same depth share a color.
+fn span_depth(trace: &CausalTrace, span_id: u64) -> usize {
+    let mut depth = 0;
+    let mut cur = span_id;
+    while let Some(s) = trace.span(cur) {
+        if s.parent_span == 0 || depth > 32 {
+            break;
+        }
+        depth += 1;
+        cur = s.parent_span;
+    }
+    depth
+}
+
+/// One complete request trace as a Gantt chart: a row per span, bars on
+/// a µs-since-submit axis, instants (commits, applies, chaos drops) as
+/// tick marks on their parent span's row.
+fn gantt_svg(trace: &CausalTrace) -> String {
+    let Some(root) = trace.root() else {
+        return String::new();
+    };
+    let t0 = root.start_micros;
+    let latency = trace.latency_micros().unwrap_or(0).max(1) as f64;
+    const ROW_H: f64 = 22.0;
+    const LEFT: f64 = 190.0;
+    const TOP: f64 = 8.0;
+    const BOTTOM: f64 = 30.0;
+    let rows = trace.spans.len();
+    let height = TOP + ROW_H * rows as f64 + BOTTOM;
+    let px = |micros: u64| {
+        LEFT + (micros.saturating_sub(t0) as f64 / latency) * (WIDTH - LEFT - MARGIN_R)
+    };
+    let mut out = format!(
+        "<svg class=\"gantt\" viewBox=\"0 0 {WIDTH} {height}\" role=\"img\" \
+         preserveAspectRatio=\"xMidYMid meet\">\n"
+    );
+    // X axis: µs since the client submitted.
+    for i in 0..=4 {
+        let v = latency * i as f64 / 4.0;
+        let xx = LEFT + (v / latency) * (WIDTH - LEFT - MARGIN_R);
+        out.push_str(&format!(
+            "<line class=\"grid\" x1=\"{xx:.1}\" y1=\"{TOP}\" x2=\"{xx:.1}\" y2=\"{:.1}\"/>\n",
+            height - BOTTOM
+        ));
+        out.push_str(&format!(
+            "<text class=\"tick\" x=\"{xx:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>\n",
+            height - BOTTOM + 14.0,
+            fmt_num(v)
+        ));
+    }
+    out.push_str(&format!(
+        "<text class=\"axis\" x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">µs since submit</text>\n",
+        LEFT + (WIDTH - LEFT - MARGIN_R) / 2.0,
+        height - 4.0
+    ));
+    for (row, span) in trace.spans.iter().enumerate() {
+        let y = TOP + ROW_H * row as f64;
+        let slot = span_depth(trace, span.span_id) % 3 + 1;
+        let x0 = px(span.start_micros);
+        let x1 = px(span.end_micros.unwrap_or(t0 + latency as u64));
+        let dur = span
+            .end_micros
+            .map(|e| e.saturating_sub(span.start_micros))
+            .unwrap_or(0);
+        out.push_str(&format!(
+            "<text class=\"row\" x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{}</text>\n",
+            LEFT - 8.0,
+            y + ROW_H * 0.68,
+            esc(&span.name)
+        ));
+        out.push_str(&format!(
+            "<rect class=\"s{slot}\" x=\"{x0:.1}\" y=\"{:.1}\" width=\"{:.1}\" \
+             height=\"{:.1}\" rx=\"2\"><title>{}: {} µs</title></rect>\n",
+            y + 3.0,
+            (x1 - x0).max(1.5),
+            ROW_H - 7.0,
+            esc(&span.name),
+            dur
+        ));
+    }
+    // Instants land on their blamed span's row (row 0 when unattributed).
+    for inst in &trace.instants {
+        let row = trace
+            .spans
+            .iter()
+            .position(|s| s.span_id == inst.parent_span)
+            .unwrap_or(0);
+        let y = TOP + ROW_H * row as f64;
+        let xx = px(inst.at_micros);
+        out.push_str(&format!(
+            "<line class=\"mark\" x1=\"{xx:.1}\" y1=\"{:.1}\" x2=\"{xx:.1}\" y2=\"{:.1}\">\
+             <title>{} @ {} µs</title></line>\n",
+            y + 1.0,
+            y + ROW_H - 2.0,
+            esc(&inst.name),
+            inst.at_micros.saturating_sub(t0)
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// The causal-trace section: Gantt charts for the slowest complete
+/// `client.request` traces plus a critical-path attribution table
+/// aggregated over *all* complete request traces. Empty when the ring
+/// holds no complete request trace (tracing disabled, or no service
+/// replay ran).
+pub fn trace_section(events: &[Event]) -> String {
+    let traces = assemble_traces(events);
+    let mut complete: Vec<&CausalTrace> = traces
+        .iter()
+        .filter(|t| t.root().is_some_and(|r| r.name == "client.request") && t.is_complete())
+        .collect();
+    if complete.is_empty() {
+        return String::new();
+    }
+    // Attribution first, over every complete trace: per-hop self time on
+    // the critical path. The segments tile each root interval, so the
+    // table is exhaustive — shares sum to 100%.
+    let mut hops: Vec<(String, u64, u64)> = Vec::new();
+    let mut total: u64 = 0;
+    for t in &complete {
+        for (hop, micros) in hop_self_times(&critical_path(t)) {
+            total += micros;
+            match hops.iter_mut().find(|(name, _, _)| *name == hop) {
+                Some(row) => {
+                    row.1 += micros;
+                    row.2 += 1;
+                }
+                None => hops.push((hop, micros, 1)),
+            }
+        }
+    }
+    hops.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut out = String::from("<h2>Causal traces</h2>\n");
+    out.push_str(&format!(
+        "<p class=\"sub\">{} complete request traces; critical-path time by hop \
+         (segments tile each request's submit→response interval):</p>\n",
+        complete.len()
+    ));
+    out.push_str(
+        "<table>\n<thead><tr><th>hop</th><th>self time (µs)</th>\
+         <th>share</th><th>segments</th></tr></thead>\n<tbody>\n",
+    );
+    for (hop, micros, count) in &hops {
+        out.push_str(&format!(
+            "<tr><td>{}</td><td>{micros}</td><td>{:.1}%</td><td>{count}</td></tr>\n",
+            esc(hop),
+            100.0 * *micros as f64 / total.max(1) as f64
+        ));
+    }
+    out.push_str("</tbody>\n</table>\n");
+    // Gantt charts for the slowest operations — the ones worth reading.
+    complete.sort_by_key(|t| std::cmp::Reverse(t.latency_micros().unwrap_or(0)));
+    for t in complete.iter().take(6) {
+        out.push_str(&format!(
+            "<figure>\n<figcaption>Operation trace {:#018x} — {} µs commit latency</figcaption>\n",
+            t.trace_id,
+            t.latency_micros().unwrap_or(0)
+        ));
+        out.push_str(&gantt_svg(t));
+        out.push_str("</figure>\n");
+    }
+    out
+}
+
+/// Render the full report for one recorded replay run. `trace_events` is
+/// the run's trace ring (pass `&[]` when tracing was disabled); complete
+/// request traces in it render as a per-operation Gantt section.
 pub fn render_replay_report(
     subtitle: &str,
     result: &ReplayResult,
     snapshot: &MetricsSnapshot,
+    trace_events: &[Event],
 ) -> String {
     let series = &result.series;
     let mut figures = String::new();
@@ -342,6 +515,37 @@ pub fn render_replay_report(
         ));
     }
 
+    {
+        // Repair-controller series: per-interval degraded minutes and
+        // mid-interval rebids. Both are absent (and the figure skipped)
+        // when the replay ran with repair off.
+        let mut lines = Vec::new();
+        if let Some(deg) = find(series, "repair.degraded_minutes") {
+            lines.push(Line {
+                label: "degraded minutes".into(),
+                slot: 1,
+                dashed: false,
+                points: line_points(deg),
+            });
+        }
+        if let Some(rebids) = find(series, "repair.rebids") {
+            lines.push(Line {
+                label: "rebids".into(),
+                slot: 2,
+                dashed: true,
+                points: line_points(rebids),
+            });
+        }
+        if !lines.is_empty() {
+            figures.push_str(&figure(
+                "Repair controller: degraded minutes and rebids per bidding interval",
+                "market time (hours)",
+                "minutes / rebids",
+                &lines,
+            ));
+        }
+    }
+
     // The accessible fallback: the per-interval table.
     let mut table = String::from(
         "<table>\n<thead><tr><th>start (min)</th><th>group</th><th>quorum</th>\
@@ -440,6 +644,11 @@ circle.hover:hover {{ fill: currentColor; fill-opacity: 0.25; }}
 circle.s1 {{ color: var(--series-1); }}
 circle.s2 {{ color: var(--series-2); }}
 circle.s3 {{ color: var(--series-3); }}
+rect.s1 {{ fill: var(--series-1); }}
+rect.s2 {{ fill: var(--series-2); }}
+rect.s3 {{ fill: var(--series-3); }}
+.gantt .row {{ fill: var(--text-primary); font-size: 11px; }}
+line.mark {{ stroke: var(--text-primary); stroke-width: 1.5; }}
 .legend {{ display: flex; gap: 16px; margin-bottom: 4px; color: var(--text-secondary); font-size: 12px; }}
 .legend .sw {{ display: inline-block; width: 18px; height: 0; border-top: 2px solid; vertical-align: middle; margin-right: 6px; }}
 .legend .sw.dash {{ border-top-style: dashed; }}
@@ -459,6 +668,7 @@ h2 {{ font-size: 16px; margin: 24px 0 4px; }}
 <p class="sub">{subtitle}</p>
 {tiles}
 {figures}
+{traces}
 <h2>Per-interval outcomes</h2>
 {table}
 <h2>Counters</h2>
@@ -470,6 +680,7 @@ h2 {{ font-size: 16px; margin: 24px 0 4px; }}
         subtitle = esc(subtitle),
         tiles = tiles,
         figures = figures,
+        traces = trace_section(trace_events),
         table = table,
         counters = counters,
     )
@@ -523,6 +734,44 @@ mod tests {
         assert!(svg.contains("stroke-dasharray"));
         assert!(!svg.contains("NaN"));
         assert!(!svg.contains("inf"));
+    }
+
+    #[test]
+    fn trace_section_renders_gantt_and_attribution() {
+        use obs::{Obs, TraceContext};
+        let (o, _clock) = Obs::simulated();
+        o.set_time_micros(0);
+        let root = o.trace.span_open_causal(
+            "client.request",
+            TraceContext {
+                trace_id: 9,
+                span_id: 0,
+            },
+            &[],
+        );
+        o.set_time_micros(100);
+        let prop = o.trace.span_open_causal("paxos.propose", root.context(), &[]);
+        o.set_time_micros(400);
+        o.trace.event_causal("paxos.commit", prop.context(), &[]);
+        o.trace.span_close(prop, "paxos.propose", &[]);
+        o.set_time_micros(500);
+        o.trace.span_close(root, "client.request", &[]);
+
+        let html = trace_section(&o.trace.events());
+        assert!(html.contains("Causal traces"));
+        assert!(html.contains("client.request"));
+        assert!(html.contains("paxos.propose"));
+        assert!(html.contains("class=\"gantt\""));
+        // Attribution tiles the 500 µs root: 200 µs client + 300 µs propose.
+        assert!(html.contains("<td>300</td>"));
+        assert!(html.contains("<td>200</td>"));
+        // Commit instant renders as a mark with a tooltip.
+        assert!(html.contains("paxos.commit @ 400 µs"));
+    }
+
+    #[test]
+    fn trace_section_is_empty_without_complete_traces() {
+        assert!(trace_section(&[]).is_empty());
     }
 
     #[test]

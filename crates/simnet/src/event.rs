@@ -3,14 +3,23 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use obs::TraceContext;
+
 use crate::sim::{NodeId, TimerToken};
 use crate::time::SimTime;
 
 /// What a popped event instructs the simulation to do.
 #[derive(Debug)]
 pub enum EventKind<M> {
-    /// Deliver `msg` from `from` to the event's target node.
-    Deliver { from: NodeId, msg: M },
+    /// Deliver `msg` from `from` to the event's target node. `trace` is
+    /// the causal context the sender attached (or propagated); it rides
+    /// the envelope so receivers can parent their spans under the
+    /// sender's without the message type knowing about tracing.
+    Deliver {
+        from: NodeId,
+        msg: M,
+        trace: TraceContext,
+    },
     /// Fire the timer identified by `token` on the event's target node.
     /// `epoch` guards against timers surviving a crash/restart cycle: a
     /// timer only fires if the node's incarnation epoch still matches.
@@ -120,6 +129,7 @@ mod tests {
             EventKind::Deliver {
                 from: NodeId(0),
                 msg,
+                trace: TraceContext::NONE,
             },
         );
     }

@@ -37,5 +37,6 @@ pub mod time;
 pub use chaos::{ChaosAction, ChaosEvent, ChaosPlan, ChaosSchedule};
 pub use event::{Event, EventKind};
 pub use network::{LinkChaos, NetworkConfig};
+pub use obs::TraceContext;
 pub use sim::{Actor, Context, NodeId, Simulation, TimerToken};
 pub use time::SimTime;

@@ -87,13 +87,32 @@ impl Default for LinkChaos {
 }
 
 /// Outcome of sampling one send: up to two deliveries (original plus a
-/// possible chaos duplicate), allocation-free.
+/// possible chaos duplicate), allocation-free. The disposition flags
+/// record *why* the sample came out the way it did, so the simulation
+/// can emit chaos-visibility trace events without re-deriving (or
+/// re-sampling) the cause.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct Deliveries {
     /// Delay of the original copy; `None` means dropped.
     pub first: Option<SimTime>,
     /// Delay of a duplicated copy, if any.
     pub second: Option<SimTime>,
+    /// The drop (if any) came from injected link chaos, not the base
+    /// loss model or a partition.
+    pub chaos_dropped: bool,
+    /// A chaos delay spike was added to the original copy.
+    pub delayed: bool,
+}
+
+impl Deliveries {
+    fn plain(first: Option<SimTime>) -> Deliveries {
+        Deliveries {
+            first,
+            second: None,
+            chaos_dropped: false,
+            delayed: false,
+        }
+    }
 }
 
 /// Mutable network state: the active partition and the RNG-driven sampling
@@ -174,29 +193,27 @@ impl Network {
     pub fn sample_deliveries(&self, a: NodeId, b: NodeId, rng: &mut ChaCha8Rng) -> Deliveries {
         let base = self.sample_delivery(a, b, rng);
         let (Some(base), Some(chaos)) = (base, self.chaos.as_ref()) else {
-            return Deliveries {
-                first: base,
-                second: None,
-            };
+            return Deliveries::plain(base);
         };
         if a == b {
             // Loopback (client libraries talking to their own node slot)
             // is exempt: chaos models the WAN, not the local bus.
-            return Deliveries {
-                first: Some(base),
-                second: None,
-            };
+            return Deliveries::plain(Some(base));
         }
         if chaos.drop_pr > 0.0 && rng.gen::<f64>() < chaos.drop_pr {
             return Deliveries {
                 first: None,
                 second: None,
+                chaos_dropped: true,
+                delayed: false,
             };
         }
         let mut first = base;
+        let mut delayed = false;
         if chaos.delay_pr > 0.0 && rng.gen::<f64>() < chaos.delay_pr {
             let spike = rng.gen_range(0..=chaos.extra_delay_max.as_millis());
             first += SimTime::from_millis(spike);
+            delayed = spike > 0;
         }
         let mut second = None;
         if chaos.dup_pr > 0.0 && rng.gen::<f64>() < chaos.dup_pr {
@@ -206,6 +223,8 @@ impl Network {
         Deliveries {
             first: Some(first),
             second,
+            chaos_dropped: false,
+            delayed,
         }
     }
 }

@@ -2,11 +2,12 @@
 
 use std::fmt;
 
+use obs::{FieldValue, TraceContext, Tracer};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::event::{EventKind, EventQueue};
-use crate::network::{Deliveries, LinkChaos, Network, NetworkConfig};
+use crate::network::{LinkChaos, Network, NetworkConfig};
 use crate::time::SimTime;
 
 /// Identifier of a simulated node (dense index into the simulation).
@@ -51,32 +52,91 @@ pub trait Actor: Sized {
 }
 
 enum Effect<M> {
-    Send { to: NodeId, msg: M },
-    Timer { delay: SimTime, token: TimerToken },
+    Send {
+        to: NodeId,
+        msg: M,
+        trace: TraceContext,
+    },
+    Timer {
+        delay: SimTime,
+        token: TimerToken,
+    },
 }
 
 /// Handed to actor callbacks; records outgoing effects and exposes the
-/// node's identity and the current virtual time.
+/// node's identity, the current virtual time, and the causal trace
+/// context of the message being handled.
 pub struct Context<M> {
     /// Current virtual time.
     pub now: SimTime,
     /// The node this context belongs to.
     pub me: NodeId,
     effects: Vec<Effect<M>>,
+    /// Trace context the incoming message carried ([`TraceContext::NONE`]
+    /// for timers, boots and untraced messages).
+    incoming: TraceContext,
+    /// Seed-derived base for fresh trace ids (shared by every context of
+    /// one simulation).
+    trace_base: u64,
+    /// Trace-id allocation counter, copied in from the simulation and
+    /// written back at flush. Deterministic: it advances only through
+    /// [`Context::new_trace`] calls, whose order is fixed by the event
+    /// order, never by wall time, thread count, or whether tracing is on.
+    trace_count: u64,
 }
 
 impl<M> Context<M> {
-    fn new(now: SimTime, me: NodeId) -> Self {
+    fn new(
+        now: SimTime,
+        me: NodeId,
+        incoming: TraceContext,
+        trace_base: u64,
+        trace_count: u64,
+    ) -> Self {
         Context {
             now,
             me,
             effects: Vec::new(),
+            incoming,
+            trace_base,
+            trace_count,
+        }
+    }
+
+    /// The causal trace context carried by the message this callback is
+    /// handling — [`TraceContext::NONE`] for timers and boots. Spans the
+    /// actor opens while handling the message should be parented here.
+    pub fn trace(&self) -> TraceContext {
+        self.incoming
+    }
+
+    /// Allocate a fresh trace id for a new root operation (e.g. a client
+    /// request entering the system). Ids come from a seeded splitmix
+    /// counter, so a run's ids are a pure function of (seed, schedule).
+    pub fn new_trace(&mut self) -> TraceContext {
+        self.trace_count += 1;
+        let id = mix(self.trace_base, self.trace_count);
+        TraceContext {
+            trace_id: if id == 0 { 1 } else { id },
+            span_id: 0,
         }
     }
 
     /// Send `msg` to `to`; delivery (or loss) is decided by the network.
+    /// The incoming trace context is propagated onto the envelope, so a
+    /// plain `send` inside a message handler continues that message's
+    /// causal chain.
     pub fn send(&mut self, to: NodeId, msg: M) {
-        self.effects.push(Effect::Send { to, msg });
+        let trace = self.incoming;
+        self.send_traced(to, msg, trace);
+    }
+
+    /// Send `msg` to `to` under an explicit trace context — a fresh one
+    /// from [`Context::new_trace`], or a span's
+    /// [`context`](obs::SpanHandle::context) so the receiver parents
+    /// under that span rather than under the whole incoming operation.
+    pub fn send_traced(&mut self, to: NodeId, msg: M, trace: TraceContext) {
+        self.effects.push(Effect::Send { to, msg, trace });
     }
 
     /// Schedule `on_timer(token)` after `delay` (crash-cancelled).
@@ -127,6 +187,15 @@ pub struct Simulation<A: Actor> {
     delivered: u64,
     dropped: u64,
     fingerprint: u64,
+    /// Sink for network-visibility trace events (drops, duplicates,
+    /// delay spikes, dead targets); disabled by default, so emitting is
+    /// a `None` check. Never feeds the fingerprint.
+    tracer: Tracer,
+    /// Seed-derived base for trace-id allocation; see
+    /// [`Context::new_trace`].
+    trace_base: u64,
+    /// Count of trace ids allocated so far.
+    trace_count: u64,
 }
 
 impl<A: Actor> Simulation<A>
@@ -144,7 +213,22 @@ where
             delivered: 0,
             dropped: 0,
             fingerprint: 0,
+            tracer: Tracer::disabled(),
+            trace_base: mix(0xCA05_A11D, seed),
+            trace_count: 0,
         }
+    }
+
+    /// Install a tracer sink for network-visibility events: message
+    /// drops (base loss, partitions, chaos), duplicates, delay spikes
+    /// and deliveries to dead or nonexistent nodes each emit an instant
+    /// event carrying the message's trace context, so a trace whose
+    /// span chain goes quiet points at the exact network fault that
+    /// orphaned it. Tracing never perturbs the RNG stream or the run
+    /// fingerprint; with the sink disabled (the default) every emission
+    /// is a single `None` check.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Current virtual time.
@@ -284,29 +368,25 @@ where
     /// Inject a message "from outside" (e.g. a client library): it is
     /// delivered to `to` as if sent by `from` after one network delay.
     pub fn inject(&mut self, from: NodeId, to: NodeId, msg: A::Msg) {
-        let Deliveries { first, second } = self.network.sample_deliveries(from, to, &mut self.rng);
-        let Some(delay) = first else {
-            self.dropped += 1;
-            return;
-        };
-        if let Some(dup) = second {
-            self.queue.push(
-                self.now + dup,
-                to,
-                EventKind::Deliver {
-                    from,
-                    msg: msg.clone(),
-                },
-            );
-        }
-        self.queue
-            .push(self.now + delay, to, EventKind::Deliver { from, msg });
+        self.enqueue_send(from, to, msg, TraceContext::NONE);
+    }
+
+    /// [`Simulation::inject`] under an explicit trace context, for
+    /// drivers that open a root span around an injected request.
+    pub fn inject_traced(&mut self, from: NodeId, to: NodeId, msg: A::Msg, trace: TraceContext) {
+        self.enqueue_send(from, to, msg, trace);
     }
 
     fn boot(&mut self, id: NodeId) {
         let now = self.now;
         let slot = &mut self.nodes[id.0];
-        let mut ctx = Context::new(now + slot.skew, id);
+        let mut ctx = Context::new(
+            now + slot.skew,
+            id,
+            TraceContext::NONE,
+            self.trace_base,
+            self.trace_count,
+        );
         slot.actor
             .as_mut()
             .expect("boot of crashed node")
@@ -315,33 +395,65 @@ where
         self.flush(id, epoch, ctx);
     }
 
+    /// Emit a network-visibility instant through the tracer sink.
+    fn net_event(&self, name: &str, from: NodeId, to: NodeId, trace: TraceContext) {
+        self.tracer.event_causal(
+            name,
+            trace,
+            &[
+                ("from", FieldValue::U64(from.0 as u64)),
+                ("to", FieldValue::U64(to.0 as u64)),
+            ],
+        );
+    }
+
+    /// Sample the network for one send and enqueue the resulting
+    /// deliveries; every lost, duplicated or spiked delivery emits a
+    /// visibility event so traces stay attributable under chaos.
+    fn enqueue_send(&mut self, from: NodeId, to: NodeId, msg: A::Msg, trace: TraceContext) {
+        if to.0 >= self.nodes.len() {
+            self.dropped += 1;
+            self.net_event("simnet.dead_target", from, to, trace);
+            return;
+        }
+        let d = self.network.sample_deliveries(from, to, &mut self.rng);
+        let Some(delay) = d.first else {
+            self.dropped += 1;
+            self.tracer.event_causal(
+                "simnet.drop",
+                trace,
+                &[
+                    ("from", FieldValue::U64(from.0 as u64)),
+                    ("to", FieldValue::U64(to.0 as u64)),
+                    ("chaos", FieldValue::Bool(d.chaos_dropped)),
+                ],
+            );
+            return;
+        };
+        if d.delayed {
+            self.net_event("simnet.delay", from, to, trace);
+        }
+        if let Some(dup) = d.second {
+            self.net_event("simnet.dup", from, to, trace);
+            self.queue.push(
+                self.now + dup,
+                to,
+                EventKind::Deliver {
+                    from,
+                    msg: msg.clone(),
+                    trace,
+                },
+            );
+        }
+        self.queue
+            .push(self.now + delay, to, EventKind::Deliver { from, msg, trace });
+    }
+
     fn flush(&mut self, from: NodeId, epoch: u64, ctx: Context<A::Msg>) {
+        self.trace_count = ctx.trace_count;
         for effect in ctx.effects {
             match effect {
-                Effect::Send { to, msg } => {
-                    if to.0 >= self.nodes.len() {
-                        self.dropped += 1;
-                        continue;
-                    }
-                    let Deliveries { first, second } =
-                        self.network.sample_deliveries(from, to, &mut self.rng);
-                    let Some(delay) = first else {
-                        self.dropped += 1;
-                        continue;
-                    };
-                    if let Some(dup) = second {
-                        self.queue.push(
-                            self.now + dup,
-                            to,
-                            EventKind::Deliver {
-                                from,
-                                msg: msg.clone(),
-                            },
-                        );
-                    }
-                    self.queue
-                        .push(self.now + delay, to, EventKind::Deliver { from, msg });
-                }
+                Effect::Send { to, msg, trace } => self.enqueue_send(from, to, msg, trace),
                 Effect::Timer { delay, token } => {
                     self.queue
                         .push(self.now + delay, from, EventKind::Timer { token, epoch });
@@ -372,16 +484,30 @@ where
             EventKind::Deliver { from, .. } => mix(fp, 1 ^ ((from.0 as u64) << 8)),
             EventKind::Timer { token, epoch } => mix(fp, 2 ^ (token.0 << 8) ^ (epoch << 40)),
         };
-        let slot = &mut self.nodes[id.0];
-        if !slot.up {
+        if !self.nodes[id.0].up {
             self.dropped += 1;
             self.fingerprint = mix(self.fingerprint, 3);
+            if let EventKind::Deliver { from, trace, .. } = &ev.kind {
+                self.net_event("simnet.drop_dead_node", *from, id, *trace);
+            }
             return true;
         }
+        let slot = &mut self.nodes[id.0];
         let epoch = slot.epoch;
-        let mut ctx = Context::new(self.now + slot.skew, id);
+        let skew = slot.skew;
+        let incoming = match &ev.kind {
+            EventKind::Deliver { trace, .. } => *trace,
+            EventKind::Timer { .. } => TraceContext::NONE,
+        };
+        let mut ctx = Context::new(
+            self.now + skew,
+            id,
+            incoming,
+            self.trace_base,
+            self.trace_count,
+        );
         match ev.kind {
-            EventKind::Deliver { from, msg } => {
+            EventKind::Deliver { from, msg, .. } => {
                 self.delivered += 1;
                 slot.actor
                     .as_mut()
@@ -627,6 +753,149 @@ mod tests {
             sim.actor(a).unwrap().seen.iter().filter(|&&m| m == 5).count(),
             1
         );
+    }
+
+    /// Actor for trace tests: the starter allocates a fresh trace and
+    /// sends under it; receivers record the context they observe and
+    /// reply with a *plain* send, which must propagate the trace.
+    struct Tracey {
+        peer: Option<NodeId>,
+        started: Option<TraceContext>,
+        seen: Vec<TraceContext>,
+    }
+
+    impl Actor for Tracey {
+        type Msg = u32;
+
+        fn on_start(&mut self, ctx: &mut Context<u32>) {
+            if let Some(peer) = self.peer {
+                let t = ctx.new_trace();
+                self.started = Some(t);
+                ctx.send_traced(peer, 0, t);
+            }
+        }
+
+        fn on_message(&mut self, from: NodeId, msg: u32, ctx: &mut Context<u32>) {
+            self.seen.push(ctx.trace());
+            if msg < 3 {
+                ctx.send(from, msg + 1);
+            }
+        }
+    }
+
+    fn tracey_run(seed: u64) -> (TraceContext, Vec<TraceContext>) {
+        let mut sim = Simulation::new(NetworkConfig::ideal(), seed);
+        let a = sim.add_node(Tracey {
+            peer: None,
+            started: None,
+            seen: vec![],
+        });
+        let b = sim.add_node(Tracey {
+            peer: Some(a),
+            started: None,
+            seen: vec![],
+        });
+        sim.run_to_quiescence();
+        let root = sim.actor(b).unwrap().started.expect("starter allocated");
+        let mut seen = sim.actor(a).unwrap().seen.clone();
+        seen.extend(sim.actor(b).unwrap().seen.iter().copied());
+        (root, seen)
+    }
+
+    #[test]
+    fn traces_propagate_across_hops_and_allocate_deterministically() {
+        let (root, seen) = tracey_run(7);
+        assert!(root.is_some());
+        assert_eq!(seen.len(), 4, "four deliveries in the chain");
+        for t in &seen {
+            assert_eq!(t.trace_id, root.trace_id, "plain send propagates");
+        }
+        // Same seed, same schedule: byte-identical trace ids.
+        let (root2, seen2) = tracey_run(7);
+        assert_eq!(root, root2);
+        assert_eq!(seen, seen2);
+        // A different seed draws from a different id space.
+        let (root3, _) = tracey_run(8);
+        assert_ne!(root.trace_id, root3.trace_id);
+    }
+
+    #[test]
+    fn trace_allocation_never_perturbs_the_fingerprint() {
+        // Tracey allocates trace ids; PingPong never does. Within each
+        // actor type, a traced run and a re-run fingerprint-match, and
+        // installing a tracer sink changes nothing.
+        let (mut s1, _, _) = pair();
+        s1.run_to_quiescence();
+        let (mut s2, _, _) = pair();
+        let (obs, _clock) = obs::Obs::simulated();
+        s2.set_tracer(obs.trace.clone());
+        s2.run_to_quiescence();
+        assert_eq!(s1.fingerprint(), s2.fingerprint());
+    }
+
+    #[test]
+    fn chaos_faults_emit_visibility_events() {
+        let (obs, _clock) = obs::Obs::simulated();
+        let mut sim = Simulation::new(NetworkConfig::ideal(), 9);
+        let a = sim.add_node(PingPong {
+            peer: None,
+            seen: vec![],
+        });
+        let b = sim.add_node(PingPong {
+            peer: None,
+            seen: vec![],
+        });
+        sim.set_tracer(obs.trace.clone());
+        sim.set_link_chaos(LinkChaos {
+            drop_pr: 1.0,
+            ..LinkChaos::default()
+        });
+        sim.inject_traced(
+            b,
+            a,
+            7,
+            TraceContext {
+                trace_id: 42,
+                span_id: 0,
+            },
+        );
+        sim.run_to_quiescence();
+
+        // A chaos-dropped traced message leaves an attributable instant.
+        let drops: Vec<_> = obs
+            .trace
+            .events()
+            .into_iter()
+            .filter(|e| e.name == "simnet.drop")
+            .collect();
+        assert_eq!(drops.len(), 1);
+        assert_eq!(drops[0].trace_id, 42);
+        assert!(drops[0]
+            .fields
+            .iter()
+            .any(|(k, v)| k == "chaos" && *v == FieldValue::Bool(true)));
+
+        // Delivery to a crashed node is visible too.
+        sim.clear_link_chaos();
+        sim.crash(a);
+        sim.inject_traced(
+            b,
+            a,
+            8,
+            TraceContext {
+                trace_id: 43,
+                span_id: 0,
+            },
+        );
+        sim.run_to_quiescence();
+        let dead: Vec<_> = obs
+            .trace
+            .events()
+            .into_iter()
+            .filter(|e| e.name == "simnet.drop_dead_node")
+            .collect();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].trace_id, 43);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use std::collections::VecDeque;
 
+use obs::{FieldValue, Obs, SpanHandle};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use simnet::{Context, NodeId, SimTime, TimerToken};
@@ -10,6 +11,11 @@ use simnet::{Context, NodeId, SimTime, TimerToken};
 use crate::msg::{RsMsg, StoreCmd, StoreResp};
 
 const TICK_TOKEN: TimerToken = TimerToken(1);
+
+/// Sim-time milliseconds as trace microseconds.
+fn sim_micros(t: SimTime) -> u64 {
+    t.as_millis().saturating_mul(1_000)
+}
 
 /// One operation in the client history.
 #[derive(Clone, Debug)]
@@ -29,6 +35,10 @@ struct InFlight {
     req_id: u64,
     last_sent: SimTime,
     target: usize,
+    /// Root span of the operation's causal trace; every send (and
+    /// retransmit) of the request carries `span.context()`, so the whole
+    /// submit → propose → commit chain hangs under one trace id.
+    span: SpanHandle,
 }
 
 /// Storage client actor state.
@@ -43,6 +53,10 @@ pub struct RsClientState {
     leader_hint: Option<NodeId>,
     history: Vec<RsCompletedOp>,
     rng: ChaCha8Rng,
+    /// Observability sink (disabled by default; the harness wires the
+    /// cluster's handle in so client spans land in the same trace ring
+    /// as the replicas').
+    obs: Obs,
 }
 
 impl RsClientState {
@@ -59,7 +73,15 @@ impl RsClientState {
             leader_hint: None,
             history: Vec::new(),
             rng: ChaCha8Rng::seed_from_u64(seed ^ (me.0 as u64).wrapping_mul(0x2545_F491)),
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attach an observability handle (builder-style); request spans are
+    /// only recorded when its tracer is enabled.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Queue a command.
@@ -89,13 +111,15 @@ impl RsClientState {
             _ => self.servers[f.target % self.servers.len()],
         };
         f.last_sent = ctx.now;
-        ctx.send(
+        let trace = f.span.context();
+        ctx.send_traced(
             target,
             RsMsg::Request {
                 client: self.me,
                 req_id: f.req_id,
                 cmd: entry.cmd.clone(),
             },
+            trace,
         );
     }
 
@@ -116,10 +140,23 @@ impl RsClientState {
                     issued_at: ctx.now,
                     completed: None,
                 });
+                // Root of the operation's causal trace: the span covers
+                // submit → commit → response, so its duration *is* the
+                // observed commit latency.
+                self.obs.set_time_micros(sim_micros(ctx.now));
+                let span = self.obs.trace.span_open_causal(
+                    "client.request",
+                    ctx.new_trace(),
+                    &[
+                        ("client", FieldValue::U64(self.me.0 as u64)),
+                        ("req_id", FieldValue::U64(req_id)),
+                    ],
+                );
                 self.inflight = Some(InFlight {
                     req_id,
                     last_sent: ctx.now,
                     target: self.rng.gen_range(0..self.servers.len()),
+                    span,
                 });
                 self.send_current(ctx);
             }
@@ -135,6 +172,17 @@ impl RsClientState {
                 f.target += 1;
             }
             self.leader_hint = None;
+            if let Some(f) = &self.inflight {
+                // Mark the retry inside the trace: a retransmit usually
+                // means the previous attempt's sub-tree was orphaned by
+                // a drop or a dead leader.
+                self.obs.set_time_micros(sim_micros(ctx.now));
+                self.obs.trace.event_causal(
+                    "client.retransmit",
+                    f.span.context(),
+                    &[("req_id", FieldValue::U64(f.req_id))],
+                );
+            }
             self.send_current(ctx);
         }
     }
@@ -148,9 +196,18 @@ impl RsClientState {
                 .map(|f| f.req_id == req_id)
                 .unwrap_or(false);
             if matches {
-                self.inflight = None;
+                let f = self.inflight.take().expect("matched above");
                 self.leader_hint = Some(from);
                 let now = ctx.now;
+                self.obs.set_time_micros(sim_micros(now));
+                self.obs.trace.span_close(
+                    f.span,
+                    "client.request",
+                    &[
+                        ("req_id", FieldValue::U64(req_id)),
+                        ("leader", FieldValue::U64(from.0 as u64)),
+                    ],
+                );
                 if let Some(h) = self.history.iter_mut().find(|h| h.req_id == req_id) {
                     h.completed = Some((now, resp));
                 }

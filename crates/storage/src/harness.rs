@@ -22,6 +22,10 @@ impl RsCluster {
     pub fn new(n: usize, cfg: RsConfig, net: NetworkConfig, seed: u64) -> Self {
         assert!(n >= cfg.m, "need at least m replicas");
         let mut sim = Simulation::new(net, seed);
+        // Network faults (drops, duplicates, delay spikes) emit
+        // visibility events into the same trace ring the replicas use,
+        // so orphaned request spans point at their cause.
+        sim.set_tracer(cfg.obs.trace.clone());
         let ids: Vec<NodeId> = (0..n).map(NodeId).collect();
         for &id in &ids {
             let r = RsReplica::new(id, ids.clone(), cfg.clone(), seed);
@@ -50,7 +54,8 @@ impl RsCluster {
     /// Add a closed-loop client.
     pub fn add_client(&mut self) -> NodeId {
         let id = NodeId(self.sim.node_count());
-        let c = RsClientState::new(id, self.servers.clone(), self.seed);
+        let c = RsClientState::new(id, self.servers.clone(), self.seed)
+            .with_obs(self.cfg.obs.clone());
         let got = self.sim.add_node(RsNode::Client(c));
         assert_eq!(got, id);
         self.clients.push(id);

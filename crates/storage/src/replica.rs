@@ -4,7 +4,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 
 use bytes::Bytes;
 use erasure::ReedSolomon;
-use obs::{Counter, FieldValue, Gauge, Histogram, Obs, SpanHandle};
+use obs::{Counter, FieldValue, Gauge, Histogram, Obs, SpanHandle, TraceContext};
 use paxos::Ballot;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -70,7 +70,10 @@ struct Proposal {
     shards: Option<Vec<Bytes>>,
     acks: HashSet<NodeId>,
     sent_at: SimTime,
-    /// Open quorum-wait trace span (inert when tracing is off).
+    /// Open per-operation propose span, a causal child of the request
+    /// that triggered the proposal (inert when tracing is off).
+    propose_span: SpanHandle,
+    /// Open quorum-wait trace span, a causal child of `propose_span`.
     span: SpanHandle,
 }
 
@@ -257,11 +260,20 @@ impl RsReplica {
                 &[("won", FieldValue::Bool(false))],
             );
         }
-        let open_spans: Vec<SpanHandle> = self.proposals.values().map(|p| p.span).collect();
-        for span in open_spans {
+        let open_spans: Vec<(SpanHandle, SpanHandle)> = self
+            .proposals
+            .values()
+            .map(|p| (p.span, p.propose_span))
+            .collect();
+        for (span, propose_span) in open_spans {
             self.metrics.obs.trace.span_close(
                 span,
                 "storage.quorum_wait",
+                &[("aborted", FieldValue::Bool(true))],
+            );
+            self.metrics.obs.trace.span_close(
+                propose_span,
+                "storage.propose",
                 &[("aborted", FieldValue::Bool(true))],
             );
         }
@@ -288,6 +300,15 @@ impl RsReplica {
     fn send_msg(&self, ctx: &mut Context<RsMsg>, to: NodeId, msg: RsMsg) {
         self.metrics.sent[msg.kind_index()].inc();
         ctx.send(to, msg);
+    }
+
+    /// [`RsReplica::send_msg`] under an explicit trace context, so
+    /// per-operation protocol traffic (shard Accepts, Commits, retries)
+    /// stays parented under the operation's propose span rather than
+    /// whatever message happened to trigger the send.
+    fn send_msg_traced(&self, ctx: &mut Context<RsMsg>, to: NodeId, msg: RsMsg, trace: TraceContext) {
+        self.metrics.sent[msg.kind_index()].inc();
+        ctx.send_traced(to, msg, trace);
     }
 
     /// Broadcast to the view (self excluded, matching
@@ -499,7 +520,11 @@ impl RsReplica {
             plans.push((slot, value));
         }
         for (slot, value) in plans {
-            self.send_accepts(slot, value, ctx);
+            // Re-proposals triggered by the view change are causally the
+            // election's work: parent them under whatever message closed
+            // the quorum (usually the deciding Promise).
+            let trace = ctx.trace();
+            self.send_accepts(slot, value, trace, ctx);
         }
         if max_commit > self.commit_index && best_peer != self.me {
             self.send_msg(
@@ -610,7 +635,13 @@ impl RsReplica {
         }
     }
 
-    fn send_accepts(&mut self, slot: Slot, value: SlotValue, ctx: &mut Context<RsMsg>) {
+    fn send_accepts(
+        &mut self,
+        slot: Slot,
+        value: SlotValue,
+        trace: TraceContext,
+        ctx: &mut Context<RsMsg>,
+    ) {
         let shards = match &value {
             SlotValue::Put { object, .. } => Some(self.codec.encode_object(object)),
             _ => None,
@@ -621,6 +652,22 @@ impl RsReplica {
         self.slots.entry(slot).or_default().accepted = Some((ballot, my_wire));
         let mut acks = HashSet::new();
         acks.insert(self.me);
+        // Per-operation spans: the propose span is a causal child of the
+        // request (or election) that produced the value; the quorum wait
+        // nests inside it and the per-shard phase-2 sends ride its context.
+        let propose_span = self.metrics.obs.trace.span_open_causal(
+            "storage.propose",
+            trace,
+            &[
+                ("slot", FieldValue::U64(slot)),
+                ("node", FieldValue::U64(self.me.0 as u64)),
+            ],
+        );
+        let span = self.metrics.obs.trace.span_open_causal(
+            "storage.quorum_wait",
+            propose_span.context(),
+            &[("slot", FieldValue::U64(slot))],
+        );
         // Send each peer its own shard.
         let peers = self.view.clone();
         for peer in peers {
@@ -628,7 +675,7 @@ impl RsReplica {
                 continue;
             }
             let wire = self.wire_for(&value, shards.as_ref(), self.idx_of(peer));
-            self.send_msg(
+            self.send_msg_traced(
                 ctx,
                 peer,
                 RsMsg::Accept {
@@ -636,13 +683,9 @@ impl RsReplica {
                     slot,
                     value: wire,
                 },
+                span.context(),
             );
         }
-        let span = self
-            .metrics
-            .obs
-            .trace
-            .span_open("storage.quorum_wait", &[("slot", FieldValue::U64(slot))]);
         self.proposals.insert(
             slot,
             Proposal {
@@ -650,6 +693,7 @@ impl RsReplica {
                 shards,
                 acks,
                 sent_at: ctx.now,
+                propose_span,
                 span,
             },
         );
@@ -661,6 +705,7 @@ impl RsReplica {
         client: NodeId,
         req_id: u64,
         cmd: StoreCmd,
+        trace: TraceContext,
         ctx: &mut Context<RsMsg>,
     ) {
         if let Some((last, resp)) = self.dedup.get(&client) {
@@ -722,7 +767,7 @@ impl RsReplica {
         }
         let slot = self.next_slot;
         self.next_slot += 1;
-        self.send_accepts(slot, value, ctx);
+        self.send_accepts(slot, value, trace, ctx);
     }
 
     fn maybe_choose(&mut self, slot: Slot, ctx: &mut Context<RsMsg>) {
@@ -745,6 +790,17 @@ impl RsReplica {
                 ("acks", FieldValue::U64(p.acks.len() as u64)),
             ],
         );
+        let propose_ctx = p.propose_span.context();
+        self.metrics.obs.trace.event_causal(
+            "storage.commit",
+            propose_ctx,
+            &[("slot", FieldValue::U64(slot))],
+        );
+        self.metrics.obs.trace.span_close(
+            p.propose_span,
+            "storage.propose",
+            &[("slot", FieldValue::U64(slot))],
+        );
         let my_idx = self.shard_idx();
         let my_wire = self.wire_for(&p.value, p.shards.as_ref(), my_idx);
         // Chosen values are write-once (mirroring `note_chosen`): if a
@@ -766,12 +822,13 @@ impl RsReplica {
                 continue;
             }
             let wire = self.wire_for(&p.value, p.shards.as_ref(), self.idx_of(peer));
-            self.send_msg(
+            self.send_msg_traced(
                 ctx,
                 peer,
                 RsMsg::Commit {
                     entry: RsChosen { slot, value: wire },
                 },
+                propose_ctx,
             );
         }
         self.advance(ctx);
@@ -813,6 +870,16 @@ impl RsReplica {
     }
 
     fn apply(&mut self, slot: Slot, value: WireValue, ctx: &mut Context<RsMsg>) {
+        // Applies triggered by a traced Commit/Accepted land inside the
+        // operation's trace; catch-up applies carry their own context.
+        self.metrics.obs.trace.event_causal(
+            "storage.apply",
+            ctx.trace(),
+            &[
+                ("slot", FieldValue::U64(slot)),
+                ("node", FieldValue::U64(self.me.0 as u64)),
+            ],
+        );
         match value {
             WireValue::Noop => {}
             WireValue::PutShard {
@@ -970,10 +1037,12 @@ impl RsReplica {
                     .collect();
                 let ballot = self.ballot;
                 for slot in stale {
-                    let (value, shards) = {
+                    // Retries are causally part of the original quorum
+                    // wait, not the timer that noticed the staleness.
+                    let (value, shards, trace) = {
                         let p = self.proposals.get_mut(&slot).expect("stale slot present");
                         p.sent_at = ctx.now;
-                        (p.value.clone(), p.shards.clone())
+                        (p.value.clone(), p.shards.clone(), p.span.context())
                     };
                     let peers = self.view.clone();
                     for peer in peers {
@@ -981,7 +1050,7 @@ impl RsReplica {
                             continue;
                         }
                         let wire = self.wire_for(&value, shards.as_ref(), self.idx_of(peer));
-                        self.send_msg(
+                        self.send_msg_traced(
                             ctx,
                             peer,
                             RsMsg::Accept {
@@ -989,6 +1058,7 @@ impl RsReplica {
                                 slot,
                                 value: wire,
                             },
+                            trace,
                         );
                     }
                 }
@@ -1182,7 +1252,10 @@ impl RsReplica {
                 req_id,
                 cmd,
             } => match self.phase {
-                Phase::Leading => self.propose_cmd(client, req_id, cmd, ctx),
+                Phase::Leading => {
+                    let trace = ctx.trace();
+                    self.propose_cmd(client, req_id, cmd, trace, ctx);
+                }
                 _ => {
                     if let Some(leader) = self.leader {
                         if leader != self.me {

@@ -98,16 +98,18 @@ fn main() {
 
     println!("\n== observability: decision-making cost (Jupiter only) ==");
     let jupiter = &snapshots[0].1;
+    // Interpolated quantile estimates smooth over the power-of-two
+    // bucket bounds (`p50`/`p95` report the raw bucket upper bound).
     if let Some(h) = jupiter.histogram("jupiter.decide_micros") {
         println!(
-            "decide():   {} calls, p50 {} µs, p95 {} µs, max {} µs",
-            h.count, h.p50, h.p95, h.max
+            "decide():   {} calls, p50 {:.1} µs, p90 {:.1} µs, p99 {:.1} µs, max {} µs",
+            h.count, h.p50_est, h.p90_est, h.p99_est, h.max
         );
     }
     if let Some(h) = jupiter.histogram("jupiter.forecast_micros") {
         println!(
-            "forecast(): {} calls, p50 {} µs, p95 {} µs, max {} µs",
-            h.count, h.p50, h.p95, h.max
+            "forecast(): {} calls, p50 {:.1} µs, p90 {:.1} µs, p99 {:.1} µs, max {} µs",
+            h.count, h.p50_est, h.p90_est, h.p99_est, h.max
         );
     }
     println!(
