@@ -44,6 +44,20 @@ RAYON_NUM_THREADS=1 ./target/release/repro --quick --seed 2014 repair | grep -v 
 diff /tmp/ci_repair_default.txt /tmp/ci_repair_single.txt \
   || { echo "repair sweep rows depend on thread count" >&2; exit 1; }
 
+echo "== repro report smoke =="
+REPORT_TMP="$(mktemp -d)"
+trap 'rm -rf "$REPORT_TMP"' EXIT
+./target/release/repro --seed 2014 --report-out "$REPORT_TMP/report.html" report > /dev/null
+for artifact in report.html report.html.trace.json report.html.audit.jsonl report.html.alerts.jsonl; do
+  [[ -s "$REPORT_TMP/$artifact" ]] \
+    || { echo "report smoke: $artifact missing or empty" >&2; exit 1; }
+done
+# The alert-annotation markers must be present even when nothing fired.
+grep -q 'id="alerts"' "$REPORT_TMP/report.html" \
+  || { echo "report smoke: alerts section marker missing" >&2; exit 1; }
+grep -q 'class="audit-timeline"' "$REPORT_TMP/report.html" \
+  || { echo "report smoke: audit timeline marker missing" >&2; exit 1; }
+
 echo "== cargo clippy -D warnings =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
@@ -58,6 +72,12 @@ if [[ -f BENCH_replay.json ]]; then
   ./target/release/bench-baseline compare \
     --baseline BENCH_replay.json \
     --only trace_overhead \
+    --strict
+  # Same deal for the monitor guard: disabled watchdog/SLO observes must
+  # stay one-boolean cheap, and the SLO alert count is deterministic.
+  ./target/release/bench-baseline compare \
+    --baseline BENCH_replay.json \
+    --only monitor_overhead \
     --strict
   ./target/release/bench-baseline compare \
     --baseline BENCH_replay.json \

@@ -90,7 +90,7 @@ fn run_all(only: Option<&str>) -> Vec<TargetResult> {
     if want("jupiter_replay") {
         out.push(run_target(
             "jupiter_replay",
-            &["replay.bids_placed", "replay.death.", "jupiter.", "model_store."],
+            &["replay.bids_placed", "replay.death.", "jupiter.", "model_store.", "slo."],
             |obs| {
                 let market = bench_market(3, 8);
                 let spec = ServiceSpec::lock_service();
@@ -115,7 +115,7 @@ fn run_all(only: Option<&str>) -> Vec<TargetResult> {
     if want("repair_replay") {
         out.push(run_target(
             "repair_replay",
-            &["replay.bids_placed", "replay.death.", "repair."],
+            &["replay.bids_placed", "replay.death.", "repair.", "slo."],
             |obs| {
                 let market = bench_market(3, 8);
                 let spec = ServiceSpec::lock_service();
@@ -178,7 +178,7 @@ fn run_all(only: Option<&str>) -> Vec<TargetResult> {
     if want("lock_service_replay") {
         out.push(run_target(
             "lock_service_replay",
-            &["paxos.msg_sent.", "paxos.elections_started", "service.", "trace."],
+            &["paxos.msg_sent.", "paxos.elections_started", "service.", "slo.", "trace."],
             |obs| {
                 let market = bench_market(3, 8);
                 let service = lock_service_replay_observed(
@@ -237,6 +237,45 @@ fn run_all(only: Option<&str>) -> Vec<TargetResult> {
             }
             obs.counter("trace_bench.recorded")
                 .add(enabled.trace.events().len() as u64);
+        }));
+    }
+    // Satellite guard: "disabled monitors are free". Every watchdog
+    // observe and SLO sample on a disabled alert sink must short-circuit
+    // on one boolean — the in-bench assertion fails the strict CI run if
+    // the disabled path ever grows a lock or an allocation. A short
+    // enabled pass drives a deterministic outage through the SLO tracker
+    // so compare also pins the alert count.
+    if want("monitor_overhead") {
+        out.push(run_target("monitor_overhead", &["monitor_bench."], |obs| {
+            use obs::{AlertSink, FleetDeficitWatchdog, LivenessWatchdog, SloSpec, SloTracker};
+            const OPS: u64 = 2_000_000;
+            let sink = AlertSink::disabled();
+            let mut liveness = LivenessWatchdog::new(sink.clone(), 30_000_000);
+            let mut fleet = FleetDeficitWatchdog::new(sink.clone());
+            let mut slo = SloTracker::new(SloSpec::paper_availability(60), sink);
+            let t0 = Instant::now();
+            for i in 0..OPS {
+                liveness.observe(i, 1);
+                fleet.observe(i, 3, 5, 3, &[]);
+                slo.record(i, 1.0, 1.0);
+            }
+            // Three observes per iteration; the bound is per iteration.
+            let ns_per_op = t0.elapsed().as_nanos() as u64 / OPS;
+            assert!(
+                ns_per_op < 200,
+                "disabled monitors cost {ns_per_op} ns/op (expected ~free)"
+            );
+            obs.counter("monitor_bench.ops").add(OPS);
+            let enabled = AlertSink::new(64);
+            let mut tracker =
+                SloTracker::new(SloSpec::paper_availability(24 * 60), enabled.clone());
+            for m in 0..600 {
+                tracker.record(m, 1.0, 1.0);
+            }
+            for m in 600..660 {
+                tracker.record(m, 0.0, 1.0);
+            }
+            obs.counter("monitor_bench.alerts").add(enabled.len() as u64);
         }));
     }
     out

@@ -119,6 +119,21 @@ impl<S: BiddingStrategy> BiddingFramework<S> {
         self.models.get(&zone)
     }
 
+    /// The model-predicted failure probability for bidding `bid` in the
+    /// snapshot's zone over the next `horizon_minutes` — the quantity a
+    /// decision audit record captures as `1 − predicted_availability`.
+    /// `None` when the zone has no trained model.
+    pub fn predicted_fp(
+        &self,
+        snapshot: &MarketSnapshot,
+        bid: Price,
+        horizon_minutes: u32,
+    ) -> Option<f64> {
+        self.models.get(&snapshot.zone).map(|model| {
+            model.estimate_fp(bid, snapshot.spot_price, snapshot.sojourn_age, horizon_minutes)
+        })
+    }
+
     /// Make the bidding decision for the next interval (Fig. 2's online
     /// bidding step). Zones without a trained model are skipped.
     pub fn decide(&self, snapshots: &[MarketSnapshot], horizon_minutes: u32) -> BidDecision {

@@ -1,0 +1,333 @@
+//! The decision audit log: every bid selection and every repair action
+//! recorded as a versioned structured record in a bounded ring, so a
+//! fired alert (see [`crate::monitor`]) can be cross-referenced to the
+//! decisions that preceded it. Export is JSON lines via
+//! [`AuditRecord::to_json`] / [`audit_jsonl`].
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use crate::json;
+
+/// Version stamped into every serialized audit record; bump on any
+/// breaking change to [`AuditRecord::to_json`].
+pub const AUDIT_SCHEMA_VERSION: u32 = 1;
+
+/// What kind of decision a record captures.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AuditKind {
+    /// One zone's bid within a bidding decision (boundary or repair
+    /// rebid).
+    BidSelection {
+        /// Zone label (e.g. `us-east-1a`).
+        zone: String,
+        /// The bid, in dollars per hour.
+        bid_dollars: f64,
+        /// Spot price at decision time, dollars per hour.
+        spot_price_dollars: f64,
+        /// Model-predicted availability of the instance over the
+        /// decision horizon (`1 − FP`); negative when no model view was
+        /// available.
+        predicted_availability: f64,
+        /// Cost upper bound this bid contributes for the horizon,
+        /// dollars (bid × horizon hours).
+        predicted_cost_dollars: f64,
+        /// Fingerprint of the frozen kernel the prediction came from
+        /// (0 when untrained).
+        kernel_id: u64,
+        /// Whether the decision round was served from the bid-grid FP
+        /// cache (no fresh forecast work).
+        fp_cache_hit: bool,
+        /// Whether the spot request was granted.
+        granted: bool,
+    },
+    /// One repair-controller action.
+    RepairAction {
+        /// What the controller did: `rebid`, `backoff`,
+        /// `on_demand_top_up`, `budget_exhausted`, or `too_late`.
+        action: String,
+        /// Zone acted on (the on-demand zone for top-ups; empty for
+        /// fleet-wide actions like backoff).
+        zone: String,
+        /// Market minute of the out-of-bid death that triggered the
+        /// repair pass.
+        trigger_death_minute: u64,
+        /// The replacement bid in dollars per hour (0 for non-launch
+        /// actions).
+        bid_dollars: f64,
+        /// Billing delta committed by the action, dollars (the hourly
+        /// on-demand rate for top-ups, the bid upper bound for spot
+        /// replacements, 0 otherwise).
+        billing_delta_dollars: f64,
+    },
+}
+
+impl AuditKind {
+    /// The record's `kind` tag in JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AuditKind::BidSelection { .. } => "bid_selection",
+            AuditKind::RepairAction { .. } => "repair_action",
+        }
+    }
+}
+
+/// One audit-log entry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AuditRecord {
+    /// Monotonic sequence number within the log (starts at 1); alerts
+    /// reference these in `audit_refs`.
+    pub seq: u64,
+    /// Market minute the decision was made at.
+    pub at_minute: u64,
+    /// The decision itself.
+    pub kind: AuditKind,
+}
+
+impl AuditRecord {
+    /// The record as one JSON object (a valid JSON-lines record),
+    /// carrying an explicit `schema_version`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"schema_version\":{AUDIT_SCHEMA_VERSION},\"seq\":{},\"at_minute\":{},\"kind\":\"{}\"",
+            self.seq,
+            self.at_minute,
+            self.kind.label()
+        ));
+        match &self.kind {
+            AuditKind::BidSelection {
+                zone,
+                bid_dollars,
+                spot_price_dollars,
+                predicted_availability,
+                predicted_cost_dollars,
+                kernel_id,
+                fp_cache_hit,
+                granted,
+            } => {
+                out.push_str(",\"zone\":");
+                json::push_str_lit(&mut out, zone);
+                out.push_str(",\"bid_dollars\":");
+                json::push_f64(&mut out, *bid_dollars);
+                out.push_str(",\"spot_price_dollars\":");
+                json::push_f64(&mut out, *spot_price_dollars);
+                out.push_str(",\"predicted_availability\":");
+                json::push_f64(&mut out, *predicted_availability);
+                out.push_str(",\"predicted_cost_dollars\":");
+                json::push_f64(&mut out, *predicted_cost_dollars);
+                out.push_str(&format!(
+                    ",\"kernel_id\":{kernel_id},\"fp_cache_hit\":{fp_cache_hit},\"granted\":{granted}"
+                ));
+            }
+            AuditKind::RepairAction {
+                action,
+                zone,
+                trigger_death_minute,
+                bid_dollars,
+                billing_delta_dollars,
+            } => {
+                out.push_str(",\"action\":");
+                json::push_str_lit(&mut out, action);
+                out.push_str(",\"zone\":");
+                json::push_str_lit(&mut out, zone);
+                out.push_str(&format!(",\"trigger_death_minute\":{trigger_death_minute}"));
+                out.push_str(",\"bid_dollars\":");
+                json::push_f64(&mut out, *bid_dollars);
+                out.push_str(",\"billing_delta_dollars\":");
+                json::push_f64(&mut out, *billing_delta_dollars);
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+struct AuditRing {
+    records: VecDeque<AuditRecord>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+struct AuditInner {
+    ring: Mutex<AuditRing>,
+    capacity: usize,
+}
+
+/// Bounded ring of [`AuditRecord`]s. Cloning shares the ring;
+/// [`AuditLog::disabled`] records nothing and returns no sequence
+/// numbers.
+#[derive(Clone, Default)]
+pub struct AuditLog {
+    inner: Option<Arc<AuditInner>>,
+}
+
+impl AuditLog {
+    /// Default ring capacity — sized for a full multi-week replay
+    /// (hundreds of boundary decisions × fleet size, plus repairs).
+    pub const DEFAULT_CAPACITY: usize = 16_384;
+
+    /// An enabled log keeping at most `capacity` records.
+    pub fn new(capacity: usize) -> AuditLog {
+        AuditLog {
+            inner: Some(Arc::new(AuditInner {
+                ring: Mutex::new(AuditRing {
+                    records: VecDeque::new(),
+                    next_seq: 1,
+                    dropped: 0,
+                }),
+                capacity: capacity.max(1),
+            })),
+        }
+    }
+
+    /// A log that records nothing.
+    pub fn disabled() -> AuditLog {
+        AuditLog { inner: None }
+    }
+
+    /// Whether records are kept.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Append a record; returns its sequence number, or `None` when
+    /// disabled.
+    pub fn record(&self, at_minute: u64, kind: AuditKind) -> Option<u64> {
+        let inner = self.inner.as_ref()?;
+        let mut ring = inner.ring.lock().unwrap();
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        if ring.records.len() >= inner.capacity {
+            ring.records.pop_front();
+            ring.dropped += 1;
+        }
+        ring.records.push_back(AuditRecord {
+            seq,
+            at_minute,
+            kind,
+        });
+        Some(seq)
+    }
+
+    /// Copy of the buffered records, oldest first.
+    pub fn snapshot(&self) -> Vec<AuditRecord> {
+        self.inner.as_ref().map_or_else(Vec::new, |i| {
+            i.ring.lock().unwrap().records.iter().cloned().collect()
+        })
+    }
+
+    /// Records evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.ring.lock().unwrap().dropped)
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| i.ring.lock().unwrap().records.len())
+    }
+
+    /// Whether no record has been buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for AuditLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(inner) => {
+                let ring = inner.ring.lock().unwrap();
+                f.debug_struct("AuditLog")
+                    .field("records", &ring.records.len())
+                    .field("dropped", &ring.dropped)
+                    .finish()
+            }
+            None => f.write_str("AuditLog(disabled)"),
+        }
+    }
+}
+
+/// Audit records as JSON lines (one [`AuditRecord::to_json`] object per
+/// line).
+pub fn audit_jsonl(records: &[AuditRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Alert events as JSON lines (one
+/// [`crate::monitor::AlertEvent::to_json`] object per line).
+pub fn alerts_jsonl(alerts: &[crate::monitor::AlertEvent]) -> String {
+    let mut out = String::new();
+    for a in alerts {
+        out.push_str(&a.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bid_kind() -> AuditKind {
+        AuditKind::BidSelection {
+            zone: "us-east-1a".into(),
+            bid_dollars: 0.0105,
+            spot_price_dollars: 0.0085,
+            predicted_availability: 0.9931,
+            predicted_cost_dollars: 0.063,
+            kernel_id: 0xBEEF,
+            fp_cache_hit: true,
+            granted: true,
+        }
+    }
+
+    #[test]
+    fn ring_bounds_and_sequences() {
+        let log = AuditLog::new(2);
+        for minute in 0..3 {
+            log.record(minute, bid_kind());
+        }
+        let records = log.snapshot();
+        assert_eq!(records.len(), 2);
+        assert_eq!(log.dropped(), 1);
+        assert_eq!(records[0].seq, 2);
+        assert_eq!(records[1].seq, 3);
+    }
+
+    #[test]
+    fn disabled_log_is_inert() {
+        let log = AuditLog::disabled();
+        assert_eq!(log.record(0, bid_kind()), None);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn json_carries_schema_version_and_kind() {
+        let log = AuditLog::new(8);
+        log.record(10_080, bid_kind());
+        log.record(
+            10_141,
+            AuditKind::RepairAction {
+                action: "on_demand_top_up".into(),
+                zone: "us-west-1a".into(),
+                trigger_death_minute: 10_135,
+                bid_dollars: 0.0,
+                billing_delta_dollars: 0.06,
+            },
+        );
+        let jsonl = audit_jsonl(&log.snapshot());
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"schema_version\":1,\"seq\":1,"));
+        assert!(lines[0].contains("\"kind\":\"bid_selection\""));
+        assert!(lines[0].contains("\"fp_cache_hit\":true"));
+        assert!(lines[1].contains("\"kind\":\"repair_action\""));
+        assert!(lines[1].contains("\"trigger_death_minute\":10135"));
+    }
+}

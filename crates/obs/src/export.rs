@@ -81,6 +81,20 @@ fn prom_labels(name: &str, extra: Option<&str>) -> String {
     }
 }
 
+/// Escape free text for a `# HELP` line: the exposition format gives
+/// backslash escapes to `\` and newline only.
+fn prometheus_help_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn push_prom_f64(out: &mut String, v: f64) {
     if v.is_finite() {
         out.push_str(&v.to_string());
@@ -96,24 +110,39 @@ fn push_prom_f64(out: &mut String, v: f64) {
 /// Render a metrics snapshot in the Prometheus text exposition format
 /// (version 0.0.4). Counters export as `counter`, gauges as `gauge`,
 /// and histograms as `summary` (quantile upper bounds at power-of-two
-/// resolution, plus exact `_sum`/`_count` and a `_max` gauge).
+/// resolution, plus exact `_sum`/`_count`, a `_max` gauge, and a
+/// `{name}_est` gauge family carrying the linearly-interpolated
+/// p50/p90/p99 estimates under `quantile` labels). Every family gets a
+/// `# HELP` line carrying the original dotted metric name.
 pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
     let mut out = String::new();
     for (name, value) in &snap.counters {
         let pname = prometheus_name(name);
+        let help = prometheus_help_text(name);
         let labels = prom_labels(name, None);
-        out.push_str(&format!("# TYPE {pname} counter\n{pname}{labels} {value}\n"));
+        out.push_str(&format!(
+            "# HELP {pname} counter {help}\n\
+             # TYPE {pname} counter\n{pname}{labels} {value}\n"
+        ));
     }
     for (name, value) in &snap.gauges {
         let pname = prometheus_name(name);
+        let help = prometheus_help_text(name);
         let labels = prom_labels(name, None);
-        out.push_str(&format!("# TYPE {pname} gauge\n{pname}{labels} "));
+        out.push_str(&format!(
+            "# HELP {pname} gauge {help}\n\
+             # TYPE {pname} gauge\n{pname}{labels} "
+        ));
         push_prom_f64(&mut out, *value);
         out.push('\n');
     }
     for (name, h) in &snap.histograms {
         let pname = prometheus_name(name);
-        out.push_str(&format!("# TYPE {pname} summary\n"));
+        let help = prometheus_help_text(name);
+        out.push_str(&format!(
+            "# HELP {pname} histogram {help} (quantiles are power-of-two bucket upper bounds)\n\
+             # TYPE {pname} summary\n"
+        ));
         for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
             let labels = prom_labels(name, Some(&format!("quantile=\"{q}\"")));
             out.push_str(&format!("{pname}{labels} {v}\n"));
@@ -124,9 +153,20 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
             h.sum, h.count
         ));
         out.push_str(&format!(
-            "# TYPE {pname}_max gauge\n{pname}_max{labels} {}\n",
+            "# HELP {pname}_max largest recorded sample of {help}\n\
+             # TYPE {pname}_max gauge\n{pname}_max{labels} {}\n",
             h.max
         ));
+        out.push_str(&format!(
+            "# HELP {pname}_est interpolated quantile estimates of {help}\n\
+             # TYPE {pname}_est gauge\n"
+        ));
+        for (q, v) in [("0.5", h.p50_est), ("0.9", h.p90_est), ("0.99", h.p99_est)] {
+            let labels = prom_labels(name, Some(&format!("quantile=\"{q}\"")));
+            out.push_str(&format!("{pname}_est{labels} "));
+            push_prom_f64(&mut out, v);
+            out.push('\n');
+        }
     }
     out
 }

@@ -15,19 +15,28 @@
 //!
 //! The crate has zero dependencies; JSON export is hand-rolled.
 
+pub mod audit;
 pub mod causal;
 mod clock;
 pub mod export;
 mod json;
 mod metrics;
+pub mod monitor;
+pub mod slo;
 mod timeseries;
 mod trace;
 
+pub use audit::{audit_jsonl, alerts_jsonl, AuditKind, AuditLog, AuditRecord, AUDIT_SCHEMA_VERSION};
 pub use causal::{
     assemble_traces, chrome_trace_json, critical_path, hop_self_times, CausalInstant,
     CausalSpan, CausalTrace, PathSegment,
 };
 pub use clock::{Clock, ManualClock, WallClock};
+pub use monitor::{
+    AlertEvent, AlertSink, FleetDeficitWatchdog, LivenessWatchdog, RepairBudgetWatchdog,
+    Severity, ALERT_SCHEMA_VERSION,
+};
+pub use slo::{SloSpec, SloTracker};
 pub use metrics::{
     bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSummary,
     MetricsSnapshot, Registry, HISTOGRAM_BUCKETS,
@@ -52,6 +61,10 @@ pub struct Obs {
     pub trace: Tracer,
     /// Named `(t, f64)` time series with bounded memory.
     pub series: SeriesStore,
+    /// Fired monitor alerts (SLO burn, watchdogs).
+    pub alerts: AlertSink,
+    /// Decision audit log (bid selections, repair actions).
+    pub audit: AuditLog,
 }
 
 impl Obs {
@@ -61,6 +74,8 @@ impl Obs {
             metrics: Registry::disabled(),
             trace: Tracer::disabled(),
             series: SeriesStore::disabled(),
+            alerts: AlertSink::disabled(),
+            audit: AuditLog::disabled(),
         }
     }
 
@@ -82,12 +97,18 @@ impl Obs {
             metrics: Registry::new(),
             trace: Tracer::new(clock, Tracer::DEFAULT_CAPACITY),
             series: SeriesStore::new(),
+            alerts: AlertSink::new(AlertSink::DEFAULT_CAPACITY),
+            audit: AuditLog::new(AuditLog::DEFAULT_CAPACITY),
         }
     }
 
     /// Whether any instrumentation is live.
     pub fn is_enabled(&self) -> bool {
-        self.metrics.is_enabled() || self.trace.is_enabled() || self.series.is_enabled()
+        self.metrics.is_enabled()
+            || self.trace.is_enabled()
+            || self.series.is_enabled()
+            || self.alerts.is_enabled()
+            || self.audit.is_enabled()
     }
 
     /// Drive the tracer's clock, when it is a [`ManualClock`] (no-op on
@@ -125,7 +146,8 @@ impl Obs {
     }
 
     /// The full state as one JSON document:
-    /// `{"metrics": ..., "series": ..., "trace": ...}`.
+    /// `{"metrics": ..., "series": ..., "trace": ..., "alerts": [...],
+    /// "audit": [...]}`.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\"metrics\":");
@@ -139,7 +161,21 @@ impl Obs {
         }
         out.push_str("],\"trace\":");
         out.push_str(&self.trace.to_json());
-        out.push('}');
+        out.push_str(",\"alerts\":[");
+        for (i, a) in self.alerts.snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&a.to_json());
+        }
+        out.push_str("],\"audit\":[");
+        for (i, r) in self.audit.snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&r.to_json());
+        }
+        out.push_str("]}");
         out
     }
 }
@@ -156,6 +192,8 @@ impl std::fmt::Debug for Obs {
             .field("metrics", &self.metrics)
             .field("trace", &self.trace)
             .field("series", &self.series)
+            .field("alerts", &self.alerts)
+            .field("audit", &self.audit)
             .finish()
     }
 }

@@ -8,7 +8,11 @@
 use obs::export::{
     collapsed_stacks, obs_jsonl, prometheus_label_value, prometheus_name, prometheus_text,
 };
-use obs::{chrome_trace_json, FieldValue, Obs, Registry, SeriesStore, TraceContext};
+use obs::{
+    alerts_jsonl, audit_jsonl, chrome_trace_json, AlertSink, AuditKind, AuditLog, FieldValue,
+    Obs, Registry, SeriesStore, Severity, TraceContext, ALERT_SCHEMA_VERSION,
+    AUDIT_SCHEMA_VERSION,
+};
 use proptest::prelude::*;
 
 fn check_golden(name: &str, actual: &str) {
@@ -117,6 +121,72 @@ fn prometheus_escapes_lossy_names_into_labels() {
 
     assert_eq!(prometheus_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
     assert_eq!(prometheus_label_value("dots. and spaces"), "dots. and spaces");
+}
+
+/// Audit-record and alert JSONL goldens: every line is standalone JSON
+/// opening with an explicit `schema_version` field, so downstream
+/// consumers can dispatch on version before touching the rest of the
+/// record. Byte-pinned — a serialization change must bump the schema
+/// version and re-bless, not silently drift.
+#[test]
+fn audit_and_alert_jsonl_golden() {
+    let log = AuditLog::new(16);
+    log.record(
+        600,
+        AuditKind::BidSelection {
+            zone: "us-east-1a".into(),
+            bid_dollars: 0.085,
+            spot_price_dollars: 0.041,
+            predicted_availability: 0.9971,
+            predicted_cost_dollars: 0.51,
+            kernel_id: 0x00ab_cdef_0123_4567,
+            fp_cache_hit: false,
+            granted: true,
+        },
+    );
+    log.record(
+        608,
+        AuditKind::RepairAction {
+            action: "on_demand_top_up".into(),
+            zone: "us-east-1c".into(),
+            trigger_death_minute: 607,
+            bid_dollars: 0.0,
+            billing_delta_dollars: 0.26,
+        },
+    );
+    let audit = audit_jsonl(&log.snapshot());
+    for line in audit.lines() {
+        serde_json::parse_value(line)
+            .unwrap_or_else(|e| panic!("invalid audit line {line:?}: {e}"));
+        assert!(
+            line.starts_with(&format!("{{\"schema_version\":{AUDIT_SCHEMA_VERSION},")),
+            "audit record must lead with schema_version: {line}"
+        );
+    }
+    check_golden("audit.jsonl", &audit);
+
+    let sink = AlertSink::new(16);
+    sink.emit(
+        608 * 60_000_000,
+        "slo.availability.fast_burn",
+        Severity::Critical,
+        "burn 14.9 over 60m (threshold 14.4)".to_string(),
+        vec![1, 2],
+        vec![
+            ("burn_rate".to_string(), FieldValue::F64(14.9)),
+            ("window_minutes".to_string(), FieldValue::U64(60)),
+        ],
+    );
+    let alerts = alerts_jsonl(&sink.snapshot());
+    for line in alerts.lines() {
+        serde_json::parse_value(line)
+            .unwrap_or_else(|e| panic!("invalid alert line {line:?}: {e}"));
+        assert!(
+            line.starts_with(&format!("{{\"schema_version\":{ALERT_SCHEMA_VERSION},")),
+            "alert must lead with schema_version: {line}"
+        );
+    }
+    check_golden("alerts.jsonl", &alerts);
 }
 
 /// Chrome-trace exporter golden: a causal client → propose →

@@ -60,6 +60,76 @@ fn empty_histogram_is_all_zero() {
         (0, 0, 0, 0, 0, 0)
     );
     assert_eq!(s.mean, 0.0);
+    // Interpolated estimates share the zero default — no NaN from the
+    // 0/0 rank math.
+    assert_eq!((s.p50_est, s.p90_est, s.p99_est), (0.0, 0.0, 0.0));
+}
+
+#[test]
+fn interpolated_quantiles_within_a_single_bucket() {
+    // Five identical samples of 7 all land in bucket [4, 7]. The
+    // estimate interpolates by rank *within* the bucket: p50 (rank 3 of
+    // 5) sits 3/5 of the way from 4 to the observed max 7.
+    let h = Registry::new().histogram("h");
+    for _ in 0..5 {
+        h.record(7);
+    }
+    let s = h.summary();
+    assert!((s.p50_est - 5.8).abs() < 1e-9, "p50_est = {}", s.p50_est);
+    // Rank 5 of 5: the top of the bucket, clamped to the observed max.
+    assert_eq!(s.p90_est, 7.0);
+    assert_eq!(s.p99_est, 7.0);
+}
+
+#[test]
+fn interpolated_quantiles_with_all_mass_in_the_overflow_bucket() {
+    // u64::MAX lands in the final (overflow) bucket, whose range is
+    // [2^63, u64::MAX]. Estimates must stay inside it — in particular
+    // no overflow or NaN from the giant bucket width.
+    let h = Registry::new().histogram("h");
+    for _ in 0..3 {
+        h.record(u64::MAX);
+    }
+    let s = h.summary();
+    assert_eq!(s.max, u64::MAX);
+    for est in [s.p50_est, s.p90_est, s.p99_est] {
+        assert!(est.is_finite());
+        assert!(est >= (1u64 << 63) as f64, "est {est} below bucket floor");
+        assert!(est <= u64::MAX as f64, "est {est} above observed max");
+    }
+    // The top rank interpolates to the bucket ceiling = observed max.
+    assert_eq!(s.p99_est, u64::MAX as f64);
+}
+
+#[test]
+fn interpolated_quantiles_at_exact_boundary_ranks() {
+    // 1..=10: buckets {1}, {2,3}, {4..7}, {8,9,10}. q·count is exactly
+    // integral for p50 (rank 5) and p90 (rank 9), so the rank math must
+    // not skip a bucket or double-count at the boundary.
+    let h = Registry::new().histogram("h");
+    for v in 1..=10u64 {
+        h.record(v);
+    }
+    let s = h.summary();
+    // Rank 5 falls 2 deep into the 4-sample bucket [4, 7]: 4 + 2/4 · 3.
+    assert!((s.p50_est - 5.5).abs() < 1e-9, "p50_est = {}", s.p50_est);
+    // Rank 9 falls 2 deep into the 3-sample bucket [8, 10]: 8 + 2/3 · 2.
+    assert!(
+        (s.p90_est - (8.0 + 2.0 / 3.0 * 2.0)).abs() < 1e-9,
+        "p90_est = {}",
+        s.p90_est
+    );
+    // Rank 10 is the bucket ceiling, clamped to the observed max.
+    assert_eq!(s.p99_est, 10.0);
+
+    // A rank landing exactly on a bucket's last sample interpolates to
+    // that bucket's top, not into the next bucket: p50 of {1,1,8,8} is
+    // rank 2 = the end of bucket [1, 1].
+    let h2 = Registry::new().histogram("h2");
+    for v in [1u64, 1, 8, 8] {
+        h2.record(v);
+    }
+    assert_eq!(h2.summary().p50_est, 1.0);
 }
 
 #[test]

@@ -9,6 +9,12 @@ use crate::msg::ClientOp;
 use crate::node::PaxosNode;
 use crate::replica::{Replica, ReplicaConfig, StateMachine};
 
+/// Sim time with zero drain progress after which the harness liveness
+/// watchdog fires `watchdog.liveness`: 30 sim-seconds, comfortably past
+/// any healthy election + retry cycle, in the tracer's microsecond
+/// convention.
+pub const LIVENESS_STALL_BOUND: u64 = 30_000_000;
+
 /// A Paxos cluster under simulation: replicas, clients, and the driver
 /// conveniences around them.
 pub struct Cluster<SM: StateMachine> {
@@ -85,8 +91,13 @@ impl<SM: StateMachine> Cluster<SM> {
     }
 
     /// Run the simulation until `client` has no outstanding operations or
-    /// `deadline` passes. Returns true when the client drained.
+    /// `deadline` passes. Returns true when the client drained. A
+    /// liveness watchdog fires `watchdog.liveness` into the config's
+    /// alert sink if requests sit outstanding with no progress for
+    /// [`LIVENESS_STALL_BOUND`] of sim time.
     pub fn run_until_drained(&mut self, client: NodeId, deadline: SimTime) -> bool {
+        let mut watchdog =
+            obs::LivenessWatchdog::new(self.replica_cfg.obs.alerts.clone(), LIVENESS_STALL_BOUND);
         loop {
             let outstanding = self
                 .sim
@@ -94,6 +105,10 @@ impl<SM: StateMachine> Cluster<SM> {
                 .and_then(PaxosNode::as_client)
                 .map(|c| c.outstanding())
                 .unwrap_or(0);
+            watchdog.observe(
+                self.sim.now().as_millis().saturating_mul(1_000),
+                outstanding as u64,
+            );
             if outstanding == 0 {
                 return true;
             }

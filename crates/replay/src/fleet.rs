@@ -167,6 +167,8 @@ mod tests {
                 .collect(),
             metrics: None,
             series: Vec::new(),
+            alerts: Vec::new(),
+            audit: Vec::new(),
         }
     }
 

@@ -49,3 +49,4 @@ pub use lifecycle::{
 pub use repair::{RepairConfig, RepairPolicy};
 pub use results::{IntervalOutcome, ReplayResult};
 pub use scenario::{CellOutcome, Scenario, StrategyFactory, SweepSpec};
+pub use service_level::{record_latency_slo, record_trace_metrics};

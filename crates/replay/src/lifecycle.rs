@@ -2,7 +2,9 @@
 
 use jupiter::framework::MarketSnapshot;
 use jupiter::{BiddingFramework, BiddingStrategy, ModelKey, ModelStore, ServiceSpec};
-use obs::{FieldValue, Obs};
+use obs::{
+    AuditKind, FieldValue, FleetDeficitWatchdog, Obs, RepairBudgetWatchdog, SloSpec, SloTracker,
+};
 use spot_market::{Market, Price, Termination, Zone};
 use spot_model::FrozenKernel;
 
@@ -246,6 +248,23 @@ pub fn replay_schedule_repair_stored<S: BiddingStrategy>(
     let deaths_series = obs.series.series("replay.deaths");
     let degraded_series = obs.series.series("repair.degraded_minutes");
     let rebids_series = obs.series.series("repair.rebids");
+    // Online monitors: the paper's 0.99 availability SLO evaluated per
+    // accounted minute with burn-rate alerting, plus the fleet-strength
+    // and repair-budget watchdogs. All of it is inert (a boolean check)
+    // when `obs.alerts` is disabled — the `monitor_overhead` bench gate
+    // pins that.
+    let monitors_on = obs.alerts.is_enabled();
+    let mut slo = SloTracker::new(
+        SloSpec::paper_availability(config.eval_end - config.eval_start),
+        obs.alerts.clone(),
+    );
+    let mut fleet_dog = FleetDeficitWatchdog::new(obs.alerts.clone());
+    let mut budget_dog = RepairBudgetWatchdog::new(obs.alerts.clone());
+    // The FP-cache hit counter lives in the strategy's registry; when the
+    // caller wires the same `Obs` into both (the repro/report path), the
+    // delta around a decide tells the audit log whether the decision was
+    // served from cache.
+    let fp_cache_hits = obs.counter("jupiter.fp_cache_hits");
     let ty = spec.instance_type;
     let zones: Vec<Zone> = market.zones().to_vec();
     // On-demand fallbacks run in the cheapest on-demand zone (ties broken
@@ -290,6 +309,7 @@ pub fn replay_schedule_repair_stored<S: BiddingStrategy>(
         let interval = next_interval(boundary).max(60);
         let interval_end = (boundary + interval).min(config.eval_end);
         obs.set_time_micros(minute_micros(boundary));
+        budget_dog.interval_start();
         // ---- decide shortly before the boundary -------------------------
         let decision_at = boundary.saturating_sub(config.decision_lead);
         if decision_at > observed_until {
@@ -309,7 +329,9 @@ pub fn replay_schedule_repair_stored<S: BiddingStrategy>(
                 }
             })
             .collect();
+        let hits_before = fp_cache_hits.get();
         let decision = framework.decide(&snapshots, interval as u32);
+        let fp_cache_hit = fp_cache_hits.get() > hits_before;
         bids_placed.add(decision.bids.len() as u64);
         if obs.series.is_enabled() {
             // The Fig. 4/7 raw material: spot price per zone and the
@@ -389,6 +411,36 @@ pub fn replay_schedule_repair_stored<S: BiddingStrategy>(
             });
         }
 
+        // ---- audit the decision ------------------------------------------
+        // One record per selected bid, enriched with the model view the
+        // bid came from; `granted` is known now the launch pass ran
+        // (carried-over instances count as granted).
+        let mut interval_refs: Vec<u64> = Vec::new();
+        if obs.audit.is_enabled() {
+            let horizon_hours = interval as f64 / 60.0;
+            for &(zone, bid) in &decision.bids {
+                let snap = snapshots.iter().find(|s| s.zone == zone);
+                let fp = snap.and_then(|s| framework.predicted_fp(s, bid, interval as u32));
+                let seq = obs.audit.record(
+                    decision_at,
+                    AuditKind::BidSelection {
+                        zone: zone.to_string(),
+                        bid_dollars: bid.as_dollars(),
+                        spot_price_dollars: snap.map_or(0.0, |s| s.spot_price.as_dollars()),
+                        predicted_availability: fp.map_or(-1.0, |p| 1.0 - p),
+                        predicted_cost_dollars: bid.as_dollars() * horizon_hours,
+                        kernel_id: framework.model(zone).map_or(0, |m| m.kernel().fingerprint()),
+                        fp_cache_hit,
+                        granted: fleet.iter().any(|a| a.zone == zone),
+                    },
+                );
+                if let Some(seq) = seq {
+                    interval_refs.push(seq);
+                    slo.link_decision(seq);
+                }
+            }
+        }
+
         // ---- resolve out-of-bid deaths within the interval ---------------
         let mut kills = 0usize;
         for inst in &mut fleet {
@@ -441,6 +493,18 @@ pub fn replay_schedule_repair_stored<S: BiddingStrategy>(
                         .count() as u64;
                     repair_deaths_detected.add(unrepaired);
                     repair_too_late.add(unrepaired);
+                    if let Some(seq) = obs.audit.record(
+                        died_at,
+                        AuditKind::RepairAction {
+                            action: "too_late".to_owned(),
+                            zone: String::new(),
+                            trigger_death_minute: died_at,
+                            bid_dollars: 0.0,
+                            billing_delta_dollars: 0.0,
+                        },
+                    ) {
+                        interval_refs.push(seq);
+                    }
                     break;
                 }
                 repair_deaths_detected.add(
@@ -499,6 +563,20 @@ pub fn replay_schedule_repair_stored<S: BiddingStrategy>(
                         obs.counter(&format!("replay.granted.{zone}")).inc();
                         repair_spot_replacements.inc();
                         bids_placed.inc();
+                        if let Some(seq) = obs.audit.record(
+                            at,
+                            AuditKind::RepairAction {
+                                action: "rebid".to_owned(),
+                                zone: zone.to_string(),
+                                trigger_death_minute: died_at,
+                                bid_dollars: bid.as_dollars(),
+                                billing_delta_dollars: bid.as_dollars()
+                                    * ((interval_end - at) as f64 / 60.0),
+                            },
+                        ) {
+                            interval_refs.push(seq);
+                            slo.link_decision(seq);
+                        }
                         fleet.push(Active {
                             zone,
                             bid,
@@ -510,6 +588,23 @@ pub fn replay_schedule_repair_stored<S: BiddingStrategy>(
                     }
                 } else {
                     repair_budget_exhausted.inc();
+                    if let Some(seq) = obs.audit.record(
+                        at,
+                        AuditKind::RepairAction {
+                            action: "budget_exhausted".to_owned(),
+                            zone: String::new(),
+                            trigger_death_minute: died_at,
+                            bid_dollars: 0.0,
+                            billing_delta_dollars: 0.0,
+                        },
+                    ) {
+                        interval_refs.push(seq);
+                    }
+                    budget_dog.exhausted(
+                        minute_micros(at),
+                        repair.max_rebids_per_interval,
+                        &interval_refs,
+                    );
                 }
                 if launched < missing && repair.policy == RepairPolicy::Hybrid {
                     // Escalate: the per-node target cannot be met from the
@@ -518,6 +613,24 @@ pub fn replay_schedule_repair_stored<S: BiddingStrategy>(
                     for _ in launched..missing {
                         let delay = market.startup_delay_minutes(od_zone, at);
                         repair_on_demand_launches.inc();
+                        if let Some(seq) = obs.audit.record(
+                            at,
+                            AuditKind::RepairAction {
+                                action: "on_demand_top_up".to_owned(),
+                                zone: od_zone.to_string(),
+                                trigger_death_minute: died_at,
+                                bid_dollars: od_hourly.as_dollars(),
+                                billing_delta_dollars: spot_market::on_demand_charge(
+                                    od_hourly,
+                                    at,
+                                    interval_end,
+                                )
+                                .as_dollars(),
+                            },
+                        ) {
+                            interval_refs.push(seq);
+                            slo.link_decision(seq);
+                        }
                         on_demand.push(OnDemandActive {
                             zone: od_zone,
                             hourly: od_hourly,
@@ -529,6 +642,18 @@ pub fn replay_schedule_repair_stored<S: BiddingStrategy>(
                 }
                 if launched < missing {
                     repair_backoff_waits.inc();
+                    if let Some(seq) = obs.audit.record(
+                        at,
+                        AuditKind::RepairAction {
+                            action: "backoff".to_owned(),
+                            zone: String::new(),
+                            trigger_death_minute: died_at,
+                            bid_dollars: 0.0,
+                            billing_delta_dollars: 0.0,
+                        },
+                    ) {
+                        interval_refs.push(seq);
+                    }
                     wait = wait.saturating_mul(2).min(repair.backoff_cap_minutes);
                 } else {
                     wait = repair.backoff_base_minutes;
@@ -576,6 +701,17 @@ pub fn replay_schedule_repair_stored<S: BiddingStrategy>(
             }
             if live < group {
                 degraded += span;
+            }
+            if monitors_on {
+                if group > 0 {
+                    fleet_dog.observe(minute_micros(minute), live, group, quorum, &interval_refs);
+                }
+                // The SLO stream wants per-minute granularity so burn
+                // windows stay exact across long quiet spans.
+                let good = if live >= quorum { 1.0 } else { 0.0 };
+                for m in minute..minute + span {
+                    slo.record(m, good, 1.0);
+                }
             }
             max_live = max_live.max(live);
             minute += span;
@@ -658,6 +794,16 @@ pub fn replay_schedule_repair_stored<S: BiddingStrategy>(
         ));
     }
 
+    if monitors_on {
+        // Fixed-point (parts-per-million) so the bench baseline's exact
+        // u64 counter diff covers the SLO verdict.
+        obs.counter("slo.availability")
+            .add((slo.availability().clamp(0.0, 1.0) * 1e6).round() as u64);
+        obs.counter("slo.budget_remaining")
+            .add((slo.budget_remaining().max(0.0) * 1e6).round() as u64);
+        obs.counter("slo.alerts_fired").add(slo.alerts_fired());
+    }
+
     let total_cost = records.iter().map(|r| r.cost).sum();
     ReplayResult {
         strategy: framework.strategy_name(),
@@ -670,6 +816,8 @@ pub fn replay_schedule_repair_stored<S: BiddingStrategy>(
         intervals,
         metrics: obs.metrics.is_enabled().then(|| obs.metrics.snapshot()),
         series: obs.series.snapshot(),
+        alerts: obs.alerts.snapshot(),
+        audit: obs.audit.snapshot(),
     }
 }
 

@@ -80,6 +80,14 @@ pub struct ReplayResult {
     /// whose series store is live; empty otherwise. The time axis is
     /// market minutes.
     pub series: Vec<obs::SeriesSnapshot>,
+    /// Alerts fired by the online monitors (SLO burn-rate, fleet-deficit
+    /// and repair-budget watchdogs) during the replay; empty when the
+    /// replay ran without an enabled alert sink.
+    pub alerts: Vec<obs::AlertEvent>,
+    /// The decision audit log (bid selections and repair actions), in
+    /// decision order; alerts cross-reference these by
+    /// [`obs::AuditRecord::seq`]. Empty when auditing was disabled.
+    pub audit: Vec<obs::AuditRecord>,
 }
 
 impl ReplayResult {
@@ -164,6 +172,8 @@ mod tests {
             ],
             metrics: None,
             series: Vec::new(),
+            alerts: Vec::new(),
+            audit: Vec::new(),
         }
     }
 

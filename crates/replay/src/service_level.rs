@@ -18,7 +18,7 @@ use std::collections::HashMap;
 
 use jupiter::framework::MarketSnapshot;
 use jupiter::{BiddingFramework, BiddingStrategy, ServiceSpec};
-use obs::Obs;
+use obs::{Obs, SloSpec, SloTracker};
 use paxos::{ClientOp, Cluster, LockCmd, LockService, ReplicaConfig};
 use simnet::{NetworkConfig, NodeId, SimTime};
 use spot_market::{Market, Price, Zone};
@@ -112,6 +112,44 @@ pub fn record_trace_metrics(obs: &Obs) {
         .add(quantile(&latencies, 0.50));
     obs.counter("trace.commit_latency_p99_micros")
         .add(quantile(&latencies, 0.99));
+}
+
+/// Online request-latency SLO: feed the assembled traces' commit
+/// latencies (one observation per completed operation, timestamped on
+/// the market-minute axis — one sim second is one market minute) into a
+/// [`SloTracker`] with the paper's 0.99 objective against `sla_ms`.
+/// Burn-rate alerts land in `obs.alerts` as `slo.request_latency.*`;
+/// the verdict is published as `slo.request_latency.availability` /
+/// `slo.request_latency.budget_remaining` ppm counters. No-op unless
+/// both tracing and alerting are enabled.
+pub fn record_latency_slo(obs: &Obs, eval_start: u64, window_minutes: u64, sla_ms: u64) {
+    if !obs.trace.is_enabled() || !obs.alerts.is_enabled() {
+        return;
+    }
+    let events = obs.trace.events();
+    let traces = obs::assemble_traces(&events);
+    let mut completions: Vec<(u64, bool)> = traces
+        .iter()
+        .filter_map(|t| {
+            let latency = t.latency_micros()?;
+            let done_micros = t.root()?.end_micros?;
+            Some((
+                eval_start + done_micros / 1_000_000,
+                latency <= sla_ms.saturating_mul(1_000),
+            ))
+        })
+        .collect();
+    completions.sort_unstable();
+    let mut slo = SloTracker::new(SloSpec::request_latency(window_minutes), obs.alerts.clone());
+    for &(minute, ok) in &completions {
+        slo.record(minute, if ok { 1.0 } else { 0.0 }, 1.0);
+    }
+    obs.counter("slo.request_latency.availability")
+        .add((slo.availability().clamp(0.0, 1.0) * 1e6).round() as u64);
+    obs.counter("slo.request_latency.budget_remaining")
+        .add((slo.budget_remaining().max(0.0) * 1e6).round() as u64);
+    obs.counter("slo.request_latency.alerts_fired")
+        .add(slo.alerts_fired());
 }
 
 /// Run the lock service under a bidding strategy for a short market
@@ -341,6 +379,7 @@ pub fn lock_service_replay_observed<S: BiddingStrategy>(
     let within = latencies.iter().filter(|&&l| l <= config.sla_ms).count();
     let agreed = cluster.assert_log_agreement();
     record_trace_metrics(obs);
+    record_latency_slo(obs, config.eval_start, config.window_minutes, config.sla_ms);
 
     ServiceReplayOutcome {
         ops_completed: completed,
@@ -605,6 +644,7 @@ pub fn storage_service_replay_observed<S: BiddingStrategy>(
         }
     }
     record_trace_metrics(obs);
+    record_latency_slo(obs, config.eval_start, config.window_minutes, config.sla_ms);
 
     StorageReplayOutcome {
         ops_completed: completed,

@@ -159,12 +159,14 @@ fn report_out_pos(args: &[String]) -> Option<usize> {
 /// The `report` target: a recorded Jupiter market replay (series enabled,
 /// mid-interval repair on so the repair series exist) plus a short traced
 /// service-level Paxos replay, rendered into a self-contained HTML file
-/// with inline SVG charts, per-operation trace Gantts, and a
-/// critical-path attribution table. The trace ring is also exported as
-/// Chrome-trace JSON next to the report.
+/// with inline SVG charts, alert-annotated cost/availability charts, the
+/// decision audit timeline, per-operation trace Gantts, and a
+/// critical-path attribution table. The trace ring is exported as
+/// Chrome-trace JSON next to the report; the audit log and fired alerts
+/// as versioned JSONL.
 fn report_pass(seed: u64, path: &str) {
     use jupiter::{JupiterStrategy, ModelStore, ServiceSpec};
-    use obs::{chrome_trace_json, Obs};
+    use obs::{alerts_jsonl, audit_jsonl, chrome_trace_json, Obs};
     use replay::service_level::{lock_service_replay_observed, ServiceReplayConfig};
     use replay::{replay_repair_stored, RepairConfig, ReplayConfig};
     use spot_market::{InstanceType, Market, MarketConfig};
@@ -241,6 +243,28 @@ fn report_pass(seed: u64, path: &str) {
         ),
         Err(e) => {
             eprintln!("cannot write {trace_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    let audit_path = format!("{path}.audit.jsonl");
+    match std::fs::write(&audit_path, audit_jsonl(&result.audit)) {
+        Ok(()) => println!(
+            "audit log exported to {audit_path} ({} records)",
+            result.audit.len()
+        ),
+        Err(e) => {
+            eprintln!("cannot write {audit_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    let alerts_path = format!("{path}.alerts.jsonl");
+    match std::fs::write(&alerts_path, alerts_jsonl(&result.alerts)) {
+        Ok(()) => println!(
+            "alerts exported to {alerts_path} ({} fired)",
+            result.alerts.len()
+        ),
+        Err(e) => {
+            eprintln!("cannot write {alerts_path}: {e}");
             std::process::exit(1);
         }
     }

@@ -11,8 +11,8 @@
 //! per-interval table below the charts as the accessible fallback.
 
 use obs::{
-    assemble_traces, critical_path, hop_self_times, CausalTrace, Event, MetricsSnapshot,
-    SeriesSnapshot,
+    assemble_traces, critical_path, hop_self_times, AlertEvent, AuditKind, AuditRecord,
+    CausalTrace, Event, MetricsSnapshot, SeriesSnapshot, Severity,
 };
 use replay::ReplayResult;
 
@@ -78,9 +78,34 @@ fn fmt_num(v: f64) -> String {
     }
 }
 
-/// Render one line chart as an SVG element. Returns an empty-data note
-/// instead of axes when no line has points.
-pub fn svg_chart(x_label: &str, y_label: &str, lines: &[Line]) -> String {
+/// A vertical annotation on a chart: a fired alert at `x` (same x units
+/// as the chart's lines).
+pub struct Mark {
+    /// X coordinate in data units.
+    pub x: f64,
+    /// Tooltip label.
+    pub label: String,
+    /// Alert severity — picks the marker color class.
+    pub severity: Severity,
+}
+
+/// Alerts as chart marks on the market-hours axis (alert timestamps are
+/// replay-minute micros).
+fn alert_marks(alerts: &[AlertEvent]) -> Vec<Mark> {
+    alerts
+        .iter()
+        .map(|a| Mark {
+            x: a.at_micros as f64 / 60e6 / 60.0,
+            label: format!("{} — {}", a.monitor, a.message),
+            severity: a.severity,
+        })
+        .collect()
+}
+
+/// Render one line chart as an SVG element, with vertical alert markers
+/// overlaid (marks outside the data's x range are dropped). Returns an
+/// empty-data note instead of axes when no line has points.
+pub fn svg_chart_marked(x_label: &str, y_label: &str, lines: &[Line], marks: &[Mark]) -> String {
     let all: Vec<(f64, f64)> = lines.iter().flat_map(|l| l.points.iter().copied()).collect();
     if all.is_empty() {
         return "<p class=\"empty\">no recorded samples</p>".into();
@@ -192,12 +217,38 @@ pub fn svg_chart(x_label: &str, y_label: &str, lines: &[Line]) -> String {
             }
         }
     }
+    // Alert annotations: a vertical rule at each fired alert, colored by
+    // severity, tooltip carrying the monitor + message.
+    for mark in marks {
+        if mark.x < x0 || mark.x > x1 {
+            continue;
+        }
+        let xx = px(mark.x);
+        out.push_str(&format!(
+            "<line class=\"alert alert-{}\" x1=\"{xx:.1}\" y1=\"{MARGIN_T}\" \
+             x2=\"{xx:.1}\" y2=\"{:.1}\"><title>{}</title></line>\n",
+            mark.severity.label(),
+            HEIGHT - MARGIN_B,
+            esc(&mark.label)
+        ));
+    }
     out.push_str("</svg>\n");
     out
 }
 
 /// A chart block: caption, legend row (for ≥ 2 series), SVG.
 pub fn figure(caption: &str, x_label: &str, y_label: &str, lines: &[Line]) -> String {
+    figure_marked(caption, x_label, y_label, lines, &[])
+}
+
+/// [`figure`] with alert markers passed through to the chart.
+pub fn figure_marked(
+    caption: &str,
+    x_label: &str,
+    y_label: &str,
+    lines: &[Line],
+    marks: &[Mark],
+) -> String {
     let mut out = format!("<figure>\n<figcaption>{}</figcaption>\n", esc(caption));
     if lines.len() >= 2 {
         out.push_str("<div class=\"legend\">");
@@ -211,7 +262,7 @@ pub fn figure(caption: &str, x_label: &str, y_label: &str, lines: &[Line]) -> St
         }
         out.push_str("</div>\n");
     }
-    out.push_str(&svg_chart(x_label, y_label, lines));
+    out.push_str(&svg_chart_marked(x_label, y_label, lines, marks));
     out.push_str("</figure>\n");
     out
 }
@@ -395,6 +446,123 @@ pub fn trace_section(events: &[Event]) -> String {
     out
 }
 
+/// Cap on audit-timeline rows rendered into the report; newest records
+/// win (the full log ships in the `.audit.jsonl` artifact).
+const AUDIT_TIMELINE_ROWS: usize = 80;
+
+/// The online-monitoring section: every fired alert (cross-referenced to
+/// the audit records that preceded it) plus the decision audit timeline.
+/// Both blocks render unconditionally — the `id="alerts"` anchor and the
+/// `audit-timeline` class are stable markers CI greps for — degrading to
+/// an empty-state note when monitors were off or nothing fired.
+pub fn alert_section(alerts: &[AlertEvent], audit: &[AuditRecord]) -> String {
+    let mut out = String::from("<h2 id=\"alerts\">Alerts &amp; SLO burn</h2>\n");
+    if alerts.is_empty() {
+        out.push_str("<p class=\"empty\">no alerts fired</p>\n");
+    } else {
+        out.push_str(
+            "<table>\n<thead><tr><th>sim time (h)</th><th>monitor</th>\
+             <th>severity</th><th>message</th><th>decisions</th></tr></thead>\n<tbody>\n",
+        );
+        for a in alerts {
+            let refs = if a.audit_refs.is_empty() {
+                "-".to_string()
+            } else {
+                a.audit_refs
+                    .iter()
+                    .map(|seq| format!("<a href=\"#audit-{seq}\">#{seq}</a>"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            };
+            out.push_str(&format!(
+                "<tr><td>{}</td><td>{}</td>\
+                 <td><span class=\"sev sev-{}\">{}</span></td><td>{}</td><td>{refs}</td></tr>\n",
+                fmt_num(a.at_micros as f64 / 3.6e9),
+                esc(&a.monitor),
+                a.severity.label(),
+                a.severity.label(),
+                esc(&a.message),
+            ));
+        }
+        out.push_str("</tbody>\n</table>\n");
+    }
+
+    out.push_str("<h2>Decision audit timeline</h2>\n<div class=\"audit-timeline\">\n");
+    if audit.is_empty() {
+        out.push_str("<p class=\"empty\">audit log empty (monitors disabled?)</p>\n");
+    } else {
+        let shown = &audit[audit.len().saturating_sub(AUDIT_TIMELINE_ROWS)..];
+        if shown.len() < audit.len() {
+            out.push_str(&format!(
+                "<p class=\"sub\">last {} of {} audit records (full log in the \
+                 JSONL artifact):</p>\n",
+                shown.len(),
+                audit.len()
+            ));
+        }
+        out.push_str(
+            "<table>\n<thead><tr><th>seq</th><th>minute</th><th>kind</th>\
+             <th>zone</th><th>bid ($/h)</th><th>detail</th></tr></thead>\n<tbody>\n",
+        );
+        for r in shown {
+            let (zone, bid, detail) = match &r.kind {
+                AuditKind::BidSelection {
+                    zone,
+                    bid_dollars,
+                    spot_price_dollars,
+                    predicted_availability,
+                    kernel_id,
+                    fp_cache_hit,
+                    granted,
+                    ..
+                } => (
+                    zone.clone(),
+                    *bid_dollars,
+                    format!(
+                        "spot {} · pred avail {} · kernel {kernel_id:#018x}{}{}",
+                        fmt_num(*spot_price_dollars),
+                        if *predicted_availability < 0.0 {
+                            "-".to_string()
+                        } else {
+                            fmt_num(*predicted_availability)
+                        },
+                        if *fp_cache_hit { " · cache hit" } else { "" },
+                        if *granted { "" } else { " · not granted" },
+                    ),
+                ),
+                AuditKind::RepairAction {
+                    action,
+                    zone,
+                    trigger_death_minute,
+                    bid_dollars,
+                    billing_delta_dollars,
+                } => (
+                    zone.clone(),
+                    *bid_dollars,
+                    format!(
+                        "{action} after death @ min {trigger_death_minute} · Δ${}",
+                        fmt_num(*billing_delta_dollars)
+                    ),
+                ),
+            };
+            out.push_str(&format!(
+                "<tr id=\"audit-{}\"><td>{}</td><td>{}</td><td>{}</td>\
+                 <td>{}</td><td>{}</td><td>{}</td></tr>\n",
+                r.seq,
+                r.seq,
+                r.at_minute,
+                r.kind.label(),
+                esc(&zone),
+                fmt_num(bid),
+                esc(&detail),
+            ));
+        }
+        out.push_str("</tbody>\n</table>\n");
+    }
+    out.push_str("</div>\n");
+    out
+}
+
 /// Render the full report for one recorded replay run. `trace_events` is
 /// the run's trace ring (pass `&[]` when tracing was disabled); complete
 /// request traces in it render as a per-operation Gantt section.
@@ -405,6 +573,7 @@ pub fn render_replay_report(
     trace_events: &[Event],
 ) -> String {
     let series = &result.series;
+    let marks = alert_marks(&result.alerts);
     let mut figures = String::new();
 
     // Chart 1 (and 2, if a second zone exists): spot price vs. active
@@ -446,7 +615,7 @@ pub fn render_replay_report(
     }
 
     if let Some(cost) = find(series, "replay.interval_cost_upper_dollars") {
-        figures.push_str(&figure(
+        figures.push_str(&figure_marked(
             "Cost upper bound per bidding interval (Σ bids)",
             "market time (hours)",
             "$",
@@ -456,12 +625,13 @@ pub fn render_replay_report(
                 dashed: false,
                 points: line_points(cost),
             }],
+            &marks,
         ));
     }
 
     if let Some(avail) = find(series, "replay.interval_availability") {
-        figures.push_str(&figure(
-            "Service availability per bidding interval",
+        figures.push_str(&figure_marked(
+            "Service availability per bidding interval (alert rules marked)",
             "market time (hours)",
             "fraction of interval at quorum",
             &[Line {
@@ -470,6 +640,7 @@ pub fn render_replay_report(
                 dashed: false,
                 points: line_points(avail),
             }],
+            &marks,
         ));
     }
 
@@ -649,6 +820,14 @@ rect.s2 {{ fill: var(--series-2); }}
 rect.s3 {{ fill: var(--series-3); }}
 .gantt .row {{ fill: var(--text-primary); font-size: 11px; }}
 line.mark {{ stroke: var(--text-primary); stroke-width: 1.5; }}
+line.alert {{ stroke-width: 1.5; stroke-dasharray: 2 3; }}
+line.alert-critical {{ stroke: #c92a2a; }}
+line.alert-warning {{ stroke: #e8930c; }}
+line.alert-info {{ stroke: var(--text-secondary); }}
+.sev {{ font-size: 11px; font-weight: 600; text-transform: uppercase; }}
+.sev-critical {{ color: #c92a2a; }}
+.sev-warning {{ color: #e8930c; }}
+.sev-info {{ color: var(--text-secondary); }}
 .legend {{ display: flex; gap: 16px; margin-bottom: 4px; color: var(--text-secondary); font-size: 12px; }}
 .legend .sw {{ display: inline-block; width: 18px; height: 0; border-top: 2px solid; vertical-align: middle; margin-right: 6px; }}
 .legend .sw.dash {{ border-top-style: dashed; }}
@@ -668,6 +847,7 @@ h2 {{ font-size: 16px; margin: 24px 0 4px; }}
 <p class="sub">{subtitle}</p>
 {tiles}
 {figures}
+{alerts}
 {traces}
 <h2>Per-interval outcomes</h2>
 {table}
@@ -680,6 +860,7 @@ h2 {{ font-size: 16px; margin: 24px 0 4px; }}
         subtitle = esc(subtitle),
         tiles = tiles,
         figures = figures,
+        alerts = alert_section(&result.alerts, &result.audit),
         traces = trace_section(trace_events),
         table = table,
         counters = counters,
@@ -698,7 +879,7 @@ mod tests {
 
     #[test]
     fn chart_renders_bounds_and_series() {
-        let svg = svg_chart(
+        let svg = svg_chart_marked(
             "t",
             "y",
             &[Line {
@@ -707,6 +888,7 @@ mod tests {
                 dashed: false,
                 points: vec![(0.0, 1.0), (1.0, 3.0), (2.0, 2.0)],
             }],
+            &[],
         );
         assert!(svg.starts_with("<svg"));
         assert!(svg.contains("path class=\"s1\""));
@@ -715,13 +897,13 @@ mod tests {
 
     #[test]
     fn empty_chart_degrades_gracefully() {
-        let svg = svg_chart("t", "y", &[]);
+        let svg = svg_chart_marked("t", "y", &[], &[]);
         assert!(svg.contains("no recorded samples"));
     }
 
     #[test]
     fn flat_series_still_has_finite_axis() {
-        let svg = svg_chart(
+        let svg = svg_chart_marked(
             "t",
             "y",
             &[Line {
@@ -730,6 +912,7 @@ mod tests {
                 dashed: true,
                 points: vec![(0.0, 5.0), (10.0, 5.0)],
             }],
+            &[],
         );
         assert!(svg.contains("stroke-dasharray"));
         assert!(!svg.contains("NaN"));
@@ -775,8 +958,77 @@ mod tests {
     }
 
     #[test]
+    fn alert_marks_annotate_charts() {
+        let svg = svg_chart_marked(
+            "t",
+            "y",
+            &[Line {
+                label: "a".into(),
+                slot: 1,
+                dashed: false,
+                points: vec![(0.0, 1.0), (10.0, 2.0)],
+            }],
+            &[
+                Mark {
+                    x: 5.0,
+                    label: "slo.availability.fast_burn — burning".into(),
+                    severity: Severity::Critical,
+                },
+                Mark {
+                    x: 99.0, // outside data range: dropped
+                    label: "late".into(),
+                    severity: Severity::Info,
+                },
+            ],
+        );
+        assert!(svg.contains("alert-critical"));
+        assert!(svg.contains("slo.availability.fast_burn"));
+        assert!(!svg.contains("alert-info"));
+    }
+
+    #[test]
+    fn alert_section_markers_always_present() {
+        let html = alert_section(&[], &[]);
+        assert!(html.contains("id=\"alerts\""));
+        assert!(html.contains("class=\"audit-timeline\""));
+        assert!(html.contains("no alerts fired"));
+
+        let audit = vec![AuditRecord {
+            seq: 1,
+            at_minute: 12,
+            kind: AuditKind::BidSelection {
+                zone: "us-east-1a".into(),
+                bid_dollars: 0.08,
+                spot_price_dollars: 0.04,
+                predicted_availability: 0.997,
+                predicted_cost_dollars: 0.24,
+                kernel_id: 0xdead_beef,
+                fp_cache_hit: true,
+                granted: true,
+            },
+        }];
+        let alerts = vec![AlertEvent {
+            seq: 1,
+            at_micros: 608 * 60_000_000,
+            monitor: "slo.availability.fast_burn".into(),
+            severity: Severity::Critical,
+            message: "burn 14.9 over 60m".into(),
+            audit_refs: vec![1],
+            fields: Vec::new(),
+        }];
+        let html = alert_section(&alerts, &audit);
+        assert!(html.contains("id=\"alerts\""));
+        assert!(html.contains("slo.availability.fast_burn"));
+        // The alert row links to the audit record's row anchor.
+        assert!(html.contains("href=\"#audit-1\""));
+        assert!(html.contains("id=\"audit-1\""));
+        assert!(html.contains("us-east-1a"));
+        assert!(html.contains("cache hit"));
+    }
+
+    #[test]
     fn labels_are_escaped() {
-        let svg = svg_chart(
+        let svg = svg_chart_marked(
             "<time>",
             "a&b",
             &[Line {
@@ -785,6 +1037,7 @@ mod tests {
                 dashed: false,
                 points: vec![(0.0, 0.0)],
             }],
+            &[],
         );
         assert!(svg.contains("&lt;time&gt;"));
         assert!(svg.contains("a&amp;b"));

@@ -348,6 +348,29 @@ impl FrozenKernel {
         self.total_transitions
     }
 
+    /// A stable identifier for this kernel's training state — an FNV-1a
+    /// hash of the price ladder and transition volume. Two kernels fit
+    /// from the same data share a fingerprint; extending a kernel
+    /// changes it. Audit records carry this as `kernel_id` so a bid can
+    /// be traced back to the exact model view that produced it.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        for &p in &self.prices {
+            mix(p.0);
+        }
+        mix(self.prices.len() as u64);
+        mix(self.total_transitions);
+        h
+    }
+
     /// The ladder position of an exact price level, if `price` is one.
     pub fn level_index(&self, price: Price) -> Option<usize> {
         self.prices.binary_search(&price).ok()

@@ -71,8 +71,15 @@ impl RsCluster {
             .submit(cmd);
     }
 
-    /// Run until `client` drains or `deadline`; true when drained.
+    /// Run until `client` drains or `deadline`; true when drained. A
+    /// liveness watchdog fires `watchdog.liveness` into the config's
+    /// alert sink if commands sit outstanding with no progress for
+    /// [`paxos::harness::LIVENESS_STALL_BOUND`] of sim time.
     pub fn run_until_drained(&mut self, client: NodeId, deadline: SimTime) -> bool {
+        let mut watchdog = obs::LivenessWatchdog::new(
+            self.cfg.obs.alerts.clone(),
+            paxos::harness::LIVENESS_STALL_BOUND,
+        );
         loop {
             let outstanding = self
                 .sim
@@ -80,6 +87,10 @@ impl RsCluster {
                 .and_then(RsNode::as_client)
                 .map(RsClientState::outstanding)
                 .unwrap_or(0);
+            watchdog.observe(
+                self.sim.now().as_millis().saturating_mul(1_000),
+                outstanding as u64,
+            );
             if outstanding == 0 {
                 return true;
             }

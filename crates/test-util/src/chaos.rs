@@ -60,6 +60,10 @@ pub struct ChaosFailure {
     pub minimal_reason: String,
     /// Obs trace (JSON lines) of the minimal failing run.
     pub trace_json: String,
+    /// Alerts the online monitors fired during the minimal failing run
+    /// (liveness watchdog stalls, SLO burns) — the monitor's verdict on
+    /// *what* degraded, alongside the checker's verdict on what broke.
+    pub verdicts: Vec<obs::AlertEvent>,
     /// Copy-paste command that re-runs exactly this schedule.
     pub repro: String,
 }
@@ -70,6 +74,21 @@ impl fmt::Display for ChaosFailure {
         writeln!(f, "minimal failing prefix: {}", self.minimal_reason)?;
         write!(f, "{}", self.schedule)?;
         writeln!(f, "reproduce with:\n  {}", self.repro)?;
+        if self.verdicts.is_empty() {
+            writeln!(f, "monitor verdicts: none fired during the minimal run")?;
+        } else {
+            writeln!(f, "monitor verdicts ({}):", self.verdicts.len())?;
+            for a in &self.verdicts {
+                writeln!(
+                    f,
+                    "  [{}] {} @ {} µs: {}",
+                    a.severity.label(),
+                    a.monitor,
+                    a.at_micros,
+                    a.message
+                )?;
+            }
+        }
         let events = self.trace_json.lines().count();
         writeln!(f, "obs trace of the minimal run ({events} events):")?;
         for line in self.trace_json.lines().take(40) {
@@ -267,6 +286,7 @@ pub fn shrink_and_report(
         schedule: minimal.to_string(),
         minimal_reason,
         trace_json: obs.trace.to_json_lines(),
+        verdicts: obs.alerts.snapshot(),
         repro: repro_command(test_name, schedule.seed),
     }
 }
@@ -315,5 +335,30 @@ mod tests {
         let text = fail.to_string();
         assert!(text.contains("reproduce with"));
         assert!(text.contains("chaos schedule seed="));
+        // The monitor-verdict block renders even when nothing fired.
+        assert!(text.contains("monitor verdicts"));
+    }
+
+    #[test]
+    fn failure_report_renders_fired_verdicts() {
+        let plan = ChaosPlan::lock_service(SimTime::from_secs(30), 6);
+        let s = ChaosSchedule::generate(6, &plan);
+        // A driver that fires an alert into the re-run's sink before
+        // failing: the report must carry the monitor's verdict.
+        let fail = shrink_and_report(&s, "lock_sweep", "synthetic".into(), |_, obs| {
+            obs.alerts.emit(
+                42_000_000,
+                "watchdog.liveness",
+                obs::Severity::Critical,
+                "no progress for 30000000 µs".to_string(),
+                Vec::new(),
+                Vec::new(),
+            );
+            Err("synthetic".into())
+        });
+        assert_eq!(fail.verdicts.len(), 1);
+        let text = fail.to_string();
+        assert!(text.contains("monitor verdicts (1):"));
+        assert!(text.contains("[critical] watchdog.liveness @ 42000000 µs"));
     }
 }
