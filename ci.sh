@@ -12,7 +12,8 @@
 #   cargo run --release -p bench --bin bench-baseline -- record
 #
 # The test step includes the chaos suite (tests/chaos.rs): ≥200 seeded
-# fault schedules against the live lock and storage clusters, budgeted to
+# fault schedules against the live lock and storage clusters — half of
+# them with leader batching + accept pipelining enabled — budgeted to
 # stay well under 30s. Knobs (see TESTING.md):
 #   CHAOS_SCHEDULES=<n>   schedules per sweep (soak: try 500+)
 #   CHAOS_SEED=0x<seed>   pin the base seed (failures print the exact
@@ -43,6 +44,17 @@ diff /tmp/ci_fig6_default.txt /tmp/ci_fig6_single.txt \
 RAYON_NUM_THREADS=1 ./target/release/repro --quick --seed 2014 repair | grep -v '^#' > /tmp/ci_repair_single.txt
 diff /tmp/ci_repair_default.txt /tmp/ci_repair_single.txt \
   || { echo "repair sweep rows depend on thread count" >&2; exit 1; }
+
+echo "== workload smoke + determinism =="
+# Quick request-level replay (~20k lock + ~2k storage requests, well
+# under 5 s) doubling as the workload-engine determinism gate: arrival
+# sampling, command mix, and the DES must be thread-count independent.
+./target/release/repro --quick --seed 2014 workload | grep -v '^#' > /tmp/ci_workload_default.txt
+RAYON_NUM_THREADS=1 ./target/release/repro --quick --seed 2014 workload | grep -v '^#' > /tmp/ci_workload_single.txt
+diff /tmp/ci_workload_default.txt /tmp/ci_workload_single.txt \
+  || { echo "workload rows depend on thread count" >&2; exit 1; }
+grep -q 'lock batch=8' /tmp/ci_workload_default.txt \
+  || { echo "workload smoke: missing lock row" >&2; exit 1; }
 
 echo "== repro report smoke =="
 REPORT_TMP="$(mktemp -d)"
@@ -78,6 +90,13 @@ if [[ -f BENCH_replay.json ]]; then
   ./target/release/bench-baseline compare \
     --baseline BENCH_replay.json \
     --only monitor_overhead \
+    --strict
+  # The workload replay pins request-level p99 and SLO availability for
+  # the batched fast path — its counters are deterministic, so any drift
+  # is a real behavior change, not noise.
+  ./target/release/bench-baseline compare \
+    --baseline BENCH_replay.json \
+    --only workload_replay \
     --strict
   ./target/release/bench-baseline compare \
     --baseline BENCH_replay.json \

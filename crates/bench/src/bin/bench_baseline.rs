@@ -197,6 +197,53 @@ fn run_all(only: Option<&str>) -> Vec<TargetResult> {
             },
         ));
     }
+    // The request-level workload engine at headline scale: ≥100k
+    // open-loop lock-service requests (batched leader, 512 sessions)
+    // plus a smaller batched RS-Paxos storage run. The pinned counters
+    // are the request-level SLO figures themselves — request/completion
+    // totals, p50/p99 scheduled→completion latency in µs, and the SLO
+    // availability in ppm — so any change to batching, pipelining, or
+    // the arrival streams shows up as counter drift, and a latency
+    // regression fails compare outright.
+    if want("workload_replay") {
+        out.push(run_target(
+            "workload_replay",
+            &["workload.", "workload_store."],
+            |obs| {
+                use simnet::{NetworkConfig, SimTime};
+                use workload::{run_lock_workload, run_storage_workload, ArrivalProcess, WorkloadSpec};
+                let lock_spec = WorkloadSpec {
+                    arrivals: ArrivalProcess::Poisson {
+                        rate_per_sec: 1_000.0,
+                    },
+                    horizon: SimTime::from_secs(110),
+                    sessions: 512,
+                    population: 1_000_000,
+                    seed: 2014,
+                    batch_max_ops: 8,
+                    ..WorkloadSpec::default()
+                };
+                let lock = run_lock_workload(&lock_spec, NetworkConfig::default(), obs);
+                assert!(
+                    lock.requests >= 100_000,
+                    "headline workload must sustain 100k requests (got {})",
+                    lock.requests
+                );
+                assert_eq!(lock.completed, lock.requests, "workload failed to drain");
+                let store_spec = WorkloadSpec {
+                    arrivals: ArrivalProcess::Poisson { rate_per_sec: 200.0 },
+                    horizon: SimTime::from_secs(10),
+                    sessions: 128,
+                    population: 100_000,
+                    seed: 2014,
+                    batch_max_ops: 8,
+                    ..WorkloadSpec::default()
+                };
+                let store = run_storage_workload(&store_spec, NetworkConfig::default(), obs);
+                assert_eq!(store.completed, store.requests, "store workload failed to drain");
+            },
+        ));
+    }
     // Satellite guard: "disabled tracing is free". A tight loop of
     // inert span opens/closes and causal instants on a *disabled*
     // handle must stay in the low-nanosecond range per op — if the

@@ -10,6 +10,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use simnet::{Context, NodeId, SimTime, TimerToken};
 
+use crate::ballot::Slot;
 use crate::msg::{ClientOp, Msg};
 use crate::replica::StateMachine;
 
@@ -40,6 +41,10 @@ struct InFlight {
     req_id: u64,
     last_sent: SimTime,
     target: usize,
+    /// Route as a follower-local read. Cleared on the first timeout so
+    /// the retransmit falls back to the fully serialized leader path
+    /// (liveness does not depend on any one follower).
+    read: bool,
     /// Root span of the operation's causal trace; every send (and
     /// retransmit) of the request carries `span.context()`, so the whole
     /// submit → propose → commit chain hangs under one trace id.
@@ -58,6 +63,12 @@ pub struct ClientState<SM: StateMachine> {
     inflight: Option<InFlight>,
     leader_hint: Option<NodeId>,
     history: Vec<CompletedOp<SM>>,
+    /// Route read-only commands to followers as local reads.
+    local_reads: bool,
+    /// Session floor: the highest applied index any acknowledged
+    /// operation of ours reached. Carried in read requests so a
+    /// follower never answers from a state older than our last write.
+    floor: Slot,
     rng: ChaCha8Rng,
     /// Observability sink (disabled by default; the harness wires the
     /// cluster's handle in so client spans land in the same trace ring
@@ -79,6 +90,8 @@ impl<SM: StateMachine> ClientState<SM> {
             inflight: None,
             leader_hint: None,
             history: Vec::new(),
+            local_reads: false,
+            floor: 0,
             rng: ChaCha8Rng::seed_from_u64(seed ^ (me.0 as u64).wrapping_mul(0x51_7C_C1_B7)),
             obs: Obs::disabled(),
         }
@@ -89,6 +102,20 @@ impl<SM: StateMachine> ClientState<SM> {
     pub fn with_obs(mut self, obs: Obs) -> Self {
         self.obs = obs;
         self
+    }
+
+    /// Route read-only commands ([`StateMachine::is_read_only`]) to
+    /// followers as local reads (builder-style). Requires the replicas
+    /// to run with `local_reads` enabled too; a timed-out read falls
+    /// back to the serialized leader path either way.
+    pub fn with_local_reads(mut self, enabled: bool) -> Self {
+        self.local_reads = enabled;
+        self
+    }
+
+    /// The session floor (highest acknowledged applied index).
+    pub fn floor(&self) -> Slot {
+        self.floor
     }
 
     /// Queue an operation for submission (fired from the next tick).
@@ -126,12 +153,31 @@ impl<SM: StateMachine> ClientState<SM> {
             .iter()
             .find(|h| h.req_id == f.req_id)
             .expect("in-flight op recorded");
+        f.last_sent = ctx.now;
+        let trace = f.span.context();
+        if f.read {
+            // Local read: spread across all replicas (not just the
+            // leader), carrying the session floor.
+            let target = self.servers[f.target % self.servers.len()];
+            let ClientOp::App(cmd) = entry.op.clone() else {
+                unreachable!("read flag only set for App ops");
+            };
+            ctx.send_traced(
+                target,
+                Msg::ReadRequest {
+                    client: self.me,
+                    req_id: f.req_id,
+                    cmd,
+                    floor: self.floor,
+                },
+                trace,
+            );
+            return;
+        }
         let target = match self.leader_hint {
             Some(l) if self.servers.contains(&l) => l,
             _ => self.servers[f.target % self.servers.len()],
         };
-        f.last_sent = ctx.now;
-        let trace = f.span.context();
         ctx.send_traced(
             target,
             Msg::Request {
@@ -154,6 +200,11 @@ impl<SM: StateMachine> ClientState<SM> {
         if self.inflight.is_none() {
             if let Some(op) = self.queue.pop_front() {
                 let req_id = self.next_issue_id();
+                let read = self.local_reads
+                    && match &op {
+                        ClientOp::App(cmd) => SM::is_read_only(cmd),
+                        ClientOp::Reconfig { .. } => false,
+                    };
                 self.history.push(CompletedOp {
                     req_id,
                     op,
@@ -176,6 +227,7 @@ impl<SM: StateMachine> ClientState<SM> {
                     req_id,
                     last_sent: ctx.now,
                     target: self.rng.gen_range(0..self.servers.len()),
+                    read,
                     span,
                 });
                 self.send_current(ctx);
@@ -190,6 +242,9 @@ impl<SM: StateMachine> ClientState<SM> {
         if timed_out {
             if let Some(f) = &mut self.inflight {
                 f.target += 1;
+                // A read that found no willing (or caught-up) follower
+                // falls back to the serialized leader path.
+                f.read = false;
             }
             self.leader_hint = None;
             if let Some(f) = &self.inflight {
@@ -216,28 +271,36 @@ impl<SM: StateMachine> ClientState<SM> {
 
     /// Message dispatch (responses only).
     pub fn on_message(&mut self, from: NodeId, msg: Msg<SM>, _ctx: &mut Context<Msg<SM>>) {
-        if let Msg::Response { req_id, resp } = msg {
-            let matches = self
-                .inflight
-                .as_ref()
-                .map(|f| f.req_id == req_id)
-                .unwrap_or(false);
-            if matches {
-                let f = self.inflight.take().expect("matched above");
+        let (req_id, resp, at, from_leader) = match msg {
+            Msg::Response { req_id, resp, at } => (req_id, resp, at, true),
+            Msg::ReadResponse { req_id, resp, at } => (req_id, Some(resp), at, false),
+            _ => return,
+        };
+        let matches = self
+            .inflight
+            .as_ref()
+            .map(|f| f.req_id == req_id)
+            .unwrap_or(false);
+        if matches {
+            let f = self.inflight.take().expect("matched above");
+            if from_leader {
+                // Only log-serialized responses identify the leader; a
+                // ReadResponse may come from any follower.
                 self.leader_hint = Some(from);
-                let now = _ctx.now;
-                self.obs.set_time_micros(sim_micros(now));
-                self.obs.trace.span_close(
-                    f.span,
-                    "client.request",
-                    &[
-                        ("req_id", FieldValue::U64(req_id)),
-                        ("leader", FieldValue::U64(from.0 as u64)),
-                    ],
-                );
-                if let Some(h) = self.history.iter_mut().find(|h| h.req_id == req_id) {
-                    h.completed = Some((now, resp));
-                }
+            }
+            self.floor = self.floor.max(at);
+            let now = _ctx.now;
+            self.obs.set_time_micros(sim_micros(now));
+            self.obs.trace.span_close(
+                f.span,
+                "client.request",
+                &[
+                    ("req_id", FieldValue::U64(req_id)),
+                    ("leader", FieldValue::U64(from.0 as u64)),
+                ],
+            );
+            if let Some(h) = self.history.iter_mut().find(|h| h.req_id == req_id) {
+                h.completed = Some((now, resp));
             }
         }
     }

@@ -80,6 +80,20 @@ impl<SM: StateMachine> Cluster<SM> {
         id
     }
 
+    /// Add an open-loop workload session playing `schedule` (sorted by
+    /// arrival time); see [`crate::open_loop::OpenLoopClient`].
+    pub fn add_open_loop(
+        &mut self,
+        schedule: Vec<(SimTime, SM::Command)>,
+    ) -> NodeId {
+        let id = NodeId(self.sim.node_count());
+        let session = crate::open_loop::OpenLoopClient::new(id, self.servers.clone(), schedule)
+            .with_obs(self.replica_cfg.obs.clone());
+        let got = self.sim.add_node(PaxosNode::OpenLoop(session));
+        assert_eq!(got, id);
+        id
+    }
+
     /// Queue an operation on `client`; it is issued at the client's next
     /// tick and retried until a leader applies it.
     pub fn submit(&mut self, client: NodeId, op: ClientOp<SM::Command>) -> u64 {

@@ -29,12 +29,14 @@ pub mod harness;
 pub mod lock;
 pub mod msg;
 pub mod node;
+pub mod open_loop;
 pub mod replica;
 
 pub use ballot::{Ballot, Slot};
 pub use client::{ClientState, CompletedOp};
 pub use harness::Cluster;
 pub use lock::{LockCmd, LockResp, LockService};
-pub use msg::{ClientOp, Command, Msg, QuorumRule};
+pub use msg::{BatchEntry, ClientOp, Command, Msg, QuorumRule};
 pub use node::PaxosNode;
+pub use open_loop::{OpenLoopClient, OpenOp};
 pub use replica::{Replica, ReplicaConfig, StateMachine};

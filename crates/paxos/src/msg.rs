@@ -21,6 +21,20 @@ pub enum ClientOp<C> {
     },
 }
 
+/// One client operation inside a [`Command::Batch`]: the same
+/// (client, req_id, cmd) triple as [`Command::App`], without the enum
+/// overhead, so a batch is a flat run of entries applied atomically in
+/// one slot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchEntry<C> {
+    /// Originating client node.
+    pub client: NodeId,
+    /// Client-local request id (monotone per client).
+    pub req_id: u64,
+    /// The state-machine command.
+    pub cmd: C,
+}
+
 /// A value agreed on for a log slot.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Command<C> {
@@ -45,6 +59,12 @@ pub enum Command<C> {
         /// Nodes to remove.
         remove: Vec<NodeId>,
     },
+    /// Several application commands agreed on as one slot value. The
+    /// entries are applied in order within the slot, atomically: a batch
+    /// is either entirely chosen (and thus entirely applied on every
+    /// replica) or not chosen at all. Invariants: never empty, never
+    /// nested, and at most one entry per (client, req_id).
+    Batch(Vec<BatchEntry<C>>),
     /// A no-op used to fill gaps during leader recovery.
     Noop,
 }
@@ -170,12 +190,40 @@ pub enum Msg<SM: StateMachine> {
         req_id: u64,
         /// The state machine's response (`None` for reconfigurations).
         resp: Option<SM::Response>,
+        /// The responder's applied index after this operation took
+        /// effect. Clients carry the maximum seen as their session
+        /// `floor`, which gates follower-served reads (session
+        /// monotonicity).
+        at: Slot,
+    },
+    /// Client → replica: a read-only command the replica may answer
+    /// locally from its applied state, without going through the log.
+    ReadRequest {
+        /// The originating client.
+        client: NodeId,
+        /// Client-local request id.
+        req_id: u64,
+        /// The read-only command ([`StateMachine::is_read_only`]).
+        cmd: SM::Command,
+        /// The client's session floor: the applied index its last
+        /// acknowledged write reached. The replica must not answer
+        /// until its own applied index is at least this.
+        floor: Slot,
+    },
+    /// Replica → client: a locally served read.
+    ReadResponse {
+        /// Echoed request id.
+        req_id: u64,
+        /// The read's result, evaluated at the replica's applied state.
+        resp: SM::Response,
+        /// The replica's applied index at evaluation time.
+        at: Slot,
     },
 }
 
 /// Message kind names, indexed by [`Msg::kind_index`]. Used to label
 /// per-type observability counters.
-pub const MSG_KINDS: [&str; 11] = [
+pub const MSG_KINDS: [&str; 13] = [
     "prepare",
     "promise",
     "accept",
@@ -187,6 +235,8 @@ pub const MSG_KINDS: [&str; 11] = [
     "catchup_reply",
     "request",
     "response",
+    "read_request",
+    "read_response",
 ];
 
 impl<SM: StateMachine> Msg<SM> {
@@ -209,6 +259,8 @@ impl<SM: StateMachine> Msg<SM> {
             Msg::CatchupReply { .. } => 8,
             Msg::Request { .. } => 9,
             Msg::Response { .. } => 10,
+            Msg::ReadRequest { .. } => 11,
+            Msg::ReadResponse { .. } => 12,
         }
     }
 }

@@ -4,6 +4,7 @@ use simnet::{Actor, Context, NodeId, TimerToken};
 
 use crate::client::ClientState;
 use crate::msg::Msg;
+use crate::open_loop::OpenLoopClient;
 use crate::replica::{Replica, StateMachine};
 
 /// A node in a Paxos simulation: server replica or client.
@@ -16,6 +17,8 @@ pub enum PaxosNode<SM: StateMachine> {
     Server(Replica<SM>),
     /// A closed-loop client.
     Client(ClientState<SM>),
+    /// An open-loop workload session.
+    OpenLoop(OpenLoopClient<SM>),
 }
 
 impl<SM: StateMachine> PaxosNode<SM> {
@@ -23,7 +26,7 @@ impl<SM: StateMachine> PaxosNode<SM> {
     pub fn as_server(&self) -> Option<&Replica<SM>> {
         match self {
             PaxosNode::Server(r) => Some(r),
-            PaxosNode::Client(_) => None,
+            _ => None,
         }
     }
 
@@ -31,7 +34,7 @@ impl<SM: StateMachine> PaxosNode<SM> {
     pub fn as_server_mut(&mut self) -> Option<&mut Replica<SM>> {
         match self {
             PaxosNode::Server(r) => Some(r),
-            PaxosNode::Client(_) => None,
+            _ => None,
         }
     }
 
@@ -39,7 +42,7 @@ impl<SM: StateMachine> PaxosNode<SM> {
     pub fn as_client(&self) -> Option<&ClientState<SM>> {
         match self {
             PaxosNode::Client(c) => Some(c),
-            PaxosNode::Server(_) => None,
+            _ => None,
         }
     }
 
@@ -47,7 +50,23 @@ impl<SM: StateMachine> PaxosNode<SM> {
     pub fn as_client_mut(&mut self) -> Option<&mut ClientState<SM>> {
         match self {
             PaxosNode::Client(c) => Some(c),
-            PaxosNode::Server(_) => None,
+            _ => None,
+        }
+    }
+
+    /// The open-loop session state, if this is one.
+    pub fn as_open_loop(&self) -> Option<&OpenLoopClient<SM>> {
+        match self {
+            PaxosNode::OpenLoop(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Mutable open-loop session state, if this is one.
+    pub fn as_open_loop_mut(&mut self) -> Option<&mut OpenLoopClient<SM>> {
+        match self {
+            PaxosNode::OpenLoop(c) => Some(c),
+            _ => None,
         }
     }
 }
@@ -59,6 +78,7 @@ impl<SM: StateMachine> Actor for PaxosNode<SM> {
         match self {
             PaxosNode::Server(r) => r.on_start(ctx),
             PaxosNode::Client(c) => c.on_start(ctx),
+            PaxosNode::OpenLoop(c) => c.on_start(ctx),
         }
     }
 
@@ -66,6 +86,7 @@ impl<SM: StateMachine> Actor for PaxosNode<SM> {
         match self {
             PaxosNode::Server(r) => r.on_message(from, msg, ctx),
             PaxosNode::Client(c) => c.on_message(from, msg, ctx),
+            PaxosNode::OpenLoop(c) => c.on_message(from, msg, ctx),
         }
     }
 
@@ -73,6 +94,7 @@ impl<SM: StateMachine> Actor for PaxosNode<SM> {
         match self {
             PaxosNode::Server(r) => r.on_timer(token, ctx),
             PaxosNode::Client(c) => c.on_timer(token, ctx),
+            PaxosNode::OpenLoop(c) => c.on_timer(token, ctx),
         }
     }
 }

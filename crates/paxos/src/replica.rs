@@ -9,7 +9,8 @@ use simnet::{Context, NodeId, SimTime, TimerToken};
 
 use crate::ballot::{Ballot, Slot};
 use crate::msg::{
-    AcceptedEntry, ChosenEntry, ClientOp, Command, Msg, QuorumRule, SnapshotData, MSG_KINDS,
+    AcceptedEntry, BatchEntry, ChosenEntry, ClientOp, Command, Msg, QuorumRule, SnapshotData,
+    MSG_KINDS,
 };
 
 /// A deterministic replicated state machine.
@@ -23,6 +24,21 @@ pub trait StateMachine: Clone {
     /// Must be deterministic: identical command sequences yield identical
     /// states on every replica.
     fn apply(&mut self, cmd: &Self::Command) -> Self::Response;
+
+    /// Whether `cmd` leaves the state unchanged when applied. Read-only
+    /// commands may be served by followers from their applied prefix
+    /// (session monotonicity, gated by the client's floor) instead of
+    /// going through the log. Must agree with [`StateMachine::peek`]:
+    /// `is_read_only(cmd)` implies `peek(cmd)` returns `Some`.
+    fn is_read_only(_cmd: &Self::Command) -> bool {
+        false
+    }
+
+    /// Evaluate a read-only command against the current state without
+    /// mutating it. Returns `None` for commands that are not read-only.
+    fn peek(&self, _cmd: &Self::Command) -> Option<Self::Response> {
+        None
+    }
 }
 
 /// Static replica configuration.
@@ -44,6 +60,23 @@ pub struct ReplicaConfig {
     /// Compact the log (snapshot + prune) once this many slots have been
     /// applied since the previous compaction. `None` disables compaction.
     pub compact_after: Option<u64>,
+    /// Maximum client operations folded into one slot. `1` disables
+    /// batching (each request gets its own slot, the pre-batching wire
+    /// behavior, byte-identical message streams).
+    pub batch_max_ops: usize,
+    /// How long the leader lingers on a partial batch before proposing
+    /// it anyway. Only consulted when batching is enabled.
+    pub batch_delay: SimTime,
+    /// Maximum in-flight (accepted-but-unchosen) proposals at the
+    /// leader. `0` means unlimited — the pre-pipelining behavior.
+    /// With a bound, excess requests queue at the leader and are
+    /// batched into slots as the window frees up.
+    pub pipeline: usize,
+    /// Serve read-only commands ([`StateMachine::is_read_only`]) from
+    /// the local applied state instead of the log. Guarantees session
+    /// monotonicity (a read never precedes the issuing client's last
+    /// acknowledged write), not full linearizability.
+    pub local_reads: bool,
     /// Observability sink (metrics + tracing). Disabled by default; when
     /// enabled the replica counts messages by kind, tracks elections and
     /// ballot churn, and times phase-1/phase-2 round trips in sim time.
@@ -60,12 +93,18 @@ impl Default for ReplicaConfig {
             proposal_retry: SimTime::from_millis(400),
             catchup_batch: 512,
             compact_after: Some(4096),
+            batch_max_ops: 1,
+            batch_delay: SimTime::from_millis(5),
+            pipeline: 0,
+            local_reads: false,
             obs: Obs::disabled(),
         }
     }
 }
 
 const TICK_TOKEN: TimerToken = TimerToken(0);
+/// Linger timer for a partial batch (token 1 is the client tick).
+const BATCH_TOKEN: TimerToken = TimerToken(2);
 
 /// The proposer's phase.
 #[derive(Clone, Debug)]
@@ -106,6 +145,10 @@ struct ReplicaMetrics {
     ballot_round: Gauge,
     phase1_micros: Histogram,
     phase2_micros: Histogram,
+    batches_proposed: Counter,
+    batched_ops: Counter,
+    reads_local: Counter,
+    reads_deferred: Counter,
 }
 
 impl ReplicaMetrics {
@@ -118,6 +161,10 @@ impl ReplicaMetrics {
             ballot_round: obs.gauge("paxos.ballot_round"),
             phase1_micros: obs.histogram("paxos.phase1_micros"),
             phase2_micros: obs.histogram("paxos.phase2_micros"),
+            batches_proposed: obs.counter("paxos.batches_proposed"),
+            batched_ops: obs.counter("paxos.batched_ops"),
+            reads_local: obs.counter("paxos.reads_local"),
+            reads_deferred: obs.counter("paxos.reads_deferred"),
             obs,
         }
     }
@@ -126,6 +173,30 @@ impl ReplicaMetrics {
 /// Sim-time milliseconds as trace microseconds.
 fn sim_micros(t: SimTime) -> u64 {
     t.as_millis().saturating_mul(1_000)
+}
+
+/// A client request parked at the leader: waiting for leadership, for a
+/// reconfiguration to commit, for the pipeline window to free up, or for
+/// its batch to fill.
+#[derive(Clone, Debug)]
+struct PendingOp<C> {
+    client: NodeId,
+    req_id: u64,
+    op: ClientOp<C>,
+    trace: TraceContext,
+    /// Arrival time, for the batch linger policy.
+    at: SimTime,
+}
+
+/// A follower-local read parked until the applied prefix reaches the
+/// issuing client's session floor. Volatile: cleared on reboot (the
+/// client retransmits and eventually falls back to the leader).
+#[derive(Clone, Debug)]
+struct WaitingRead<C> {
+    client: NodeId,
+    req_id: u64,
+    cmd: C,
+    floor: Slot,
 }
 
 /// Per-slot acceptor state.
@@ -180,11 +251,15 @@ pub struct Replica<SM: StateMachine> {
     proposals: BTreeMap<Slot, Proposal<SM::Command>>,
     /// Next free slot (leader only).
     next_slot: Slot,
-    /// Requests waiting for leadership or for a reconfig to commit,
-    /// each with the causal trace it arrived under.
-    pending: VecDeque<(NodeId, u64, ClientOp<SM::Command>, TraceContext)>,
+    /// Requests waiting for leadership, for a reconfig to commit, for
+    /// the pipeline window, or for their batch to fill — each with the
+    /// causal trace it arrived under.
+    pending: VecDeque<PendingOp<SM::Command>>,
     /// True while a Reconfig proposal is in flight (stalls later ones).
     reconfig_in_flight: bool,
+    /// Follower-local reads waiting for the applied prefix to reach
+    /// their session floor; drained in one combined pass per advance.
+    waiting_reads: Vec<WaitingRead<SM::Command>>,
 
     election_deadline: SimTime,
     last_heartbeat_sent: SimTime,
@@ -223,6 +298,7 @@ impl<SM: StateMachine> Replica<SM> {
             next_slot: 0,
             pending: VecDeque::new(),
             reconfig_in_flight: false,
+            waiting_reads: Vec::new(),
             election_deadline: SimTime::ZERO,
             last_heartbeat_sent: SimTime::ZERO,
             rng: ChaCha8Rng::seed_from_u64(seed ^ (me.0 as u64).wrapping_mul(0x9E37_79B9)),
@@ -437,6 +513,7 @@ impl<SM: StateMachine> Replica<SM> {
         self.leader = None;
         // In-flight client requests died with the process; clients retry.
         self.pending.clear();
+        self.waiting_reads.clear();
         // `on_start` re-arms the tick timer and election deadline at boot.
     }
 
@@ -681,15 +758,175 @@ impl<SM: StateMachine> Replica<SM> {
         self.maybe_choose(slot, ctx);
     }
 
+    /// Whether requests go through the batching/pipelining queue rather
+    /// than the classic one-request-one-slot fast path. Off by default;
+    /// the classic path keeps byte-identical message streams.
+    fn batching_enabled(&self) -> bool {
+        self.cfg.batch_max_ops > 1 || self.cfg.pipeline > 0
+    }
+
+    /// Whether a proposal for `(client, req_id)` is already in flight.
+    fn in_flight_dup(&self, client: NodeId, req_id: u64) -> bool {
+        self.proposals.values().any(|p| match &p.value {
+            Command::App {
+                client: c,
+                req_id: r,
+                ..
+            }
+            | Command::Reconfig {
+                client: c,
+                req_id: r,
+                ..
+            } => *c == client && *r == req_id,
+            Command::Batch(entries) => entries
+                .iter()
+                .any(|e| e.client == client && e.req_id == req_id),
+            Command::Noop => false,
+        })
+    }
+
     fn flush_pending(&mut self, ctx: &mut Context<Msg<SM>>) {
         if !matches!(self.phase, Phase::Leading) {
             return;
         }
+        if self.batching_enabled() {
+            self.maybe_flush_batches(true, ctx);
+            return;
+        }
         while !self.reconfig_in_flight {
-            let Some((client, req_id, op, trace)) = self.pending.pop_front() else {
+            let Some(p) = self.pending.pop_front() else {
                 break;
             };
-            self.propose_op(client, req_id, op, trace, ctx);
+            self.propose_op(p.client, p.req_id, p.op, p.trace, ctx);
+        }
+    }
+
+    /// Queue one request for batched proposing (dedup/stale/duplicate
+    /// checks up front, mirroring [`Replica::propose_op`]).
+    fn enqueue_op(
+        &mut self,
+        client: NodeId,
+        req_id: u64,
+        op: ClientOp<SM::Command>,
+        trace: TraceContext,
+        ctx: &mut Context<Msg<SM>>,
+    ) {
+        if let Some((last, resp)) = self.dedup.get(&client) {
+            if *last == req_id {
+                let resp = resp.clone();
+                let at = self.applied;
+                self.send_msg(ctx, client, Msg::Response { req_id, resp, at });
+                return;
+            }
+            if *last > req_id {
+                return; // stale duplicate
+            }
+        }
+        if self.in_flight_dup(client, req_id)
+            || self
+                .pending
+                .iter()
+                .any(|p| p.client == client && p.req_id == req_id)
+        {
+            return; // retransmission of something already queued
+        }
+        self.pending.push_back(PendingOp {
+            client,
+            req_id,
+            op,
+            trace,
+            at: ctx.now,
+        });
+        self.maybe_flush_batches(false, ctx);
+    }
+
+    /// Drain the pending queue into slot proposals: full batches go out
+    /// immediately, a partial batch lingers up to `batch_delay` (unless
+    /// `force`), and the pipeline cap bounds in-flight proposals. Called
+    /// on request arrival, on the linger timer, when a slot is chosen,
+    /// and (forced) at leadership acquisition.
+    fn maybe_flush_batches(&mut self, force: bool, ctx: &mut Context<Msg<SM>>) {
+        if !matches!(self.phase, Phase::Leading) {
+            return;
+        }
+        let max_ops = self.cfg.batch_max_ops.max(1);
+        loop {
+            if self.reconfig_in_flight || self.pending.is_empty() {
+                return;
+            }
+            if self.cfg.pipeline > 0 && self.proposals.len() >= self.cfg.pipeline {
+                return; // window full; maybe_choose re-flushes on commit
+            }
+            // A reconfiguration is never batched: propose it alone.
+            if matches!(
+                self.pending.front().map(|p| &p.op),
+                Some(ClientOp::Reconfig { .. })
+            ) {
+                let p = self.pending.pop_front().expect("checked non-empty");
+                self.propose_op(p.client, p.req_id, p.op, p.trace, ctx);
+                continue;
+            }
+            let apps = self
+                .pending
+                .iter()
+                .take_while(|p| matches!(p.op, ClientOp::App(_)))
+                .count();
+            let oldest = self.pending.front().map(|p| p.at).unwrap_or(ctx.now);
+            let age = ctx.now.saturating_sub(oldest);
+            if !force && apps < max_ops && age < self.cfg.batch_delay {
+                // Linger: re-check when the oldest entry's delay expires.
+                let wait = self.cfg.batch_delay.saturating_sub(age);
+                ctx.set_timer(wait.max(SimTime::from_millis(1)), BATCH_TOKEN);
+                return;
+            }
+            let take = apps.min(max_ops);
+            let mut entries: Vec<BatchEntry<SM::Command>> = Vec::with_capacity(take);
+            let mut trace: Option<TraceContext> = None;
+            for _ in 0..take {
+                let p = self.pending.pop_front().expect("counted above");
+                let ClientOp::App(cmd) = p.op else {
+                    unreachable!("take_while yields only App ops");
+                };
+                // The batch's protocol traffic is parented under the
+                // first entry's trace; later joiners get a causal marker
+                // in their own traces instead.
+                if trace.is_none() {
+                    trace = Some(p.trace);
+                } else {
+                    self.metrics.obs.trace.event_causal(
+                        "paxos.batch_join",
+                        p.trace,
+                        &[("req_id", FieldValue::U64(p.req_id))],
+                    );
+                }
+                entries.push(BatchEntry {
+                    client: p.client,
+                    req_id: p.req_id,
+                    cmd,
+                });
+            }
+            self.metrics.batches_proposed.inc();
+            self.metrics.batched_ops.add(entries.len() as u64);
+            let value = if entries.len() == 1 {
+                let e = entries.pop().expect("len checked");
+                Command::App {
+                    client: e.client,
+                    req_id: e.req_id,
+                    cmd: e.cmd,
+                }
+            } else {
+                Command::Batch(entries)
+            };
+            while self
+                .slots
+                .get(&self.next_slot)
+                .is_some_and(|st| st.chosen.is_some())
+            {
+                self.next_slot += 1;
+            }
+            let slot = self.next_slot;
+            self.next_slot += 1;
+            self.send_accepts(slot, value, trace.expect("take >= 1"), ctx);
         }
     }
 
@@ -705,7 +942,8 @@ impl<SM: StateMachine> Replica<SM> {
         if let Some((last, resp)) = self.dedup.get(&client) {
             if *last == req_id {
                 let resp = resp.clone();
-                self.send_msg(ctx, client, Msg::Response { req_id, resp });
+                let at = self.applied;
+                self.send_msg(ctx, client, Msg::Response { req_id, resp, at });
                 return;
             }
             if *last > req_id {
@@ -713,19 +951,7 @@ impl<SM: StateMachine> Replica<SM> {
             }
         }
         // Duplicate of an in-flight proposal: ignore (it will answer).
-        if self.proposals.values().any(|p| match &p.value {
-            Command::App {
-                client: c,
-                req_id: r,
-                ..
-            }
-            | Command::Reconfig {
-                client: c,
-                req_id: r,
-                ..
-            } => *c == client && *r == req_id,
-            Command::Noop => false,
-        }) {
+        if self.in_flight_dup(client, req_id) {
             return;
         }
         let value = match op {
@@ -736,8 +962,13 @@ impl<SM: StateMachine> Replica<SM> {
             },
             ClientOp::Reconfig { add, remove } => {
                 if self.reconfig_in_flight {
-                    self.pending
-                        .push_back((client, req_id, ClientOp::Reconfig { add, remove }, trace));
+                    self.pending.push_back(PendingOp {
+                        client,
+                        req_id,
+                        op: ClientOp::Reconfig { add, remove },
+                        trace,
+                        at: ctx.now,
+                    });
                     return;
                 }
                 self.reconfig_in_flight = true;
@@ -811,6 +1042,10 @@ impl<SM: StateMachine> Replica<SM> {
             propose_ctx,
         );
         self.advance(ctx);
+        // A slot just left the pipeline window: queued requests may go.
+        if self.batching_enabled() {
+            self.maybe_flush_batches(false, ctx);
+        }
     }
 
     // ----------------------------------------------------------- learning
@@ -838,6 +1073,41 @@ impl<SM: StateMachine> Replica<SM> {
             self.apply(slot, value, ctx);
         }
         self.maybe_compact();
+        self.serve_waiting_reads(ctx);
+    }
+
+    /// The flat-combining pass: one scan at the current applied point
+    /// answers every parked read whose session floor has been reached.
+    fn serve_waiting_reads(&mut self, ctx: &mut Context<Msg<SM>>) {
+        if self.waiting_reads.is_empty() {
+            return;
+        }
+        let applied = self.applied;
+        let (ready, still): (Vec<_>, Vec<_>) = self
+            .waiting_reads
+            .drain(..)
+            .partition(|r| r.floor <= applied);
+        self.waiting_reads = still;
+        for r in ready {
+            self.serve_read(r.client, r.req_id, &r.cmd, ctx);
+        }
+    }
+
+    /// Answer a read-only command from the local applied state.
+    fn serve_read(
+        &mut self,
+        client: NodeId,
+        req_id: u64,
+        cmd: &SM::Command,
+        ctx: &mut Context<Msg<SM>>,
+    ) {
+        let resp = self
+            .sm
+            .peek(cmd)
+            .expect("is_read_only commands must be peekable");
+        let at = self.applied;
+        self.metrics.reads_local.inc();
+        self.send_msg(ctx, client, Msg::ReadResponse { req_id, resp, at });
     }
 
     fn apply(&mut self, slot: Slot, value: Command<SM::Command>, ctx: &mut Context<Msg<SM>>) {
@@ -860,20 +1130,13 @@ impl<SM: StateMachine> Replica<SM> {
                 req_id,
                 cmd,
             } => {
-                let already = self
-                    .dedup
-                    .get(&client)
-                    .map(|(last, _)| *last >= req_id)
-                    .unwrap_or(false);
-                let resp = if already {
-                    self.dedup.get(&client).and_then(|(_, r)| r.clone())
-                } else {
-                    let r = self.sm.apply(&cmd);
-                    self.dedup.insert(client, (req_id, Some(r.clone())));
-                    Some(r)
-                };
-                if matches!(self.phase, Phase::Leading) {
-                    self.send_msg(ctx, client, Msg::Response { req_id, resp });
+                self.apply_app(client, req_id, &cmd, ctx);
+            }
+            Command::Batch(entries) => {
+                // Atomic within the slot: every entry applies (in order)
+                // before the next slot is considered.
+                for e in entries {
+                    self.apply_app(e.client, e.req_id, &e.cmd, ctx);
                 }
             }
             Command::Reconfig {
@@ -899,7 +1162,16 @@ impl<SM: StateMachine> Replica<SM> {
                 }
                 if matches!(self.phase, Phase::Leading) {
                     self.reconfig_in_flight = false;
-                    self.send_msg(ctx, client, Msg::Response { req_id, resp: None });
+                    let at = self.applied;
+                    self.send_msg(
+                        ctx,
+                        client,
+                        Msg::Response {
+                            req_id,
+                            resp: None,
+                            at,
+                        },
+                    );
                     // New members need the history to join the view: the
                     // snapshot for the compacted prefix plus the live tail.
                     let snapshot = (self.floor > 0).then(|| self.snapshot());
@@ -919,6 +1191,39 @@ impl<SM: StateMachine> Replica<SM> {
                     self.flush_pending(ctx);
                 }
             }
+        }
+    }
+
+    /// Apply one application command with exactly-once semantics and
+    /// (at the leader) answer the client. Shared by singleton and
+    /// batched slot values; `self.applied` already points past the
+    /// containing slot, so it doubles as the response's `at`.
+    fn apply_app(
+        &mut self,
+        client: NodeId,
+        req_id: u64,
+        cmd: &SM::Command,
+        ctx: &mut Context<Msg<SM>>,
+    ) {
+        let already = self
+            .dedup
+            .get(&client)
+            .map(|(last, _)| *last >= req_id)
+            .unwrap_or(false);
+        let resp = if already {
+            self.dedup.get(&client).and_then(|(_, r)| r.clone())
+        } else {
+            let r = self.sm.apply(cmd);
+            self.dedup.insert(client, (req_id, Some(r.clone())));
+            Some(r)
+        };
+        if matches!(self.phase, Phase::Leading) {
+            let at = self.applied;
+            self.send_msg(
+                ctx,
+                client,
+                Msg::Response { req_id, resp, at },
+            );
         }
     }
 
@@ -944,8 +1249,13 @@ impl<SM: StateMachine> Replica<SM> {
     }
 
     /// Periodic bookkeeping.
-    pub fn on_timer(&mut self, _token: TimerToken, ctx: &mut Context<Msg<SM>>) {
+    pub fn on_timer(&mut self, token: TimerToken, ctx: &mut Context<Msg<SM>>) {
         self.sync_obs_time(ctx.now);
+        if token == BATCH_TOKEN {
+            // A batch linger expired; flush whatever is due.
+            self.maybe_flush_batches(false, ctx);
+            return;
+        }
         ctx.set_timer(self.cfg.tick, TICK_TOKEN);
         if self.retired {
             return;
@@ -954,6 +1264,10 @@ impl<SM: StateMachine> Replica<SM> {
             Phase::Leading => {
                 if ctx.now.saturating_sub(self.last_heartbeat_sent) >= self.cfg.heartbeat_every {
                     self.send_heartbeat(ctx);
+                }
+                // Backstop for the linger timer (lost across reboots).
+                if self.batching_enabled() && !self.pending.is_empty() {
+                    self.maybe_flush_batches(false, ctx);
                 }
                 // Re-broadcast stale proposals. Retries are causally part
                 // of the original quorum wait, not the timer that noticed
@@ -1140,23 +1454,66 @@ impl<SM: StateMachine> Replica<SM> {
                 }
             }
             Msg::Request { client, req_id, op } => {
-                match self.phase {
-                    Phase::Leading => {
-                        let trace = ctx.trace();
-                        self.propose_op(client, req_id, op, trace, ctx);
+                self.handle_request(client, req_id, op, ctx);
+            }
+            Msg::ReadRequest {
+                client,
+                req_id,
+                cmd,
+                floor,
+            } => {
+                if self.cfg.local_reads && SM::is_read_only(&cmd) {
+                    if self.applied >= floor {
+                        self.serve_read(client, req_id, &cmd, ctx);
+                    } else {
+                        // Behind the client's session: park until the
+                        // applied prefix catches up (served in the next
+                        // combined pass), preserving monotonicity.
+                        self.metrics.reads_deferred.inc();
+                        self.waiting_reads.push(WaitingRead {
+                            client,
+                            req_id,
+                            cmd,
+                            floor,
+                        });
                     }
-                    _ => {
-                        if let Some(leader) = self.leader {
-                            if leader != self.me {
-                                self.send_msg(ctx, leader, Msg::Request { client, req_id, op });
-                            }
-                        }
-                        // No leader known: drop; the client retransmits.
-                    }
+                } else {
+                    // Local reads disabled (or not actually read-only):
+                    // serialize through the log like any other request.
+                    self.handle_request(client, req_id, ClientOp::App(cmd), ctx);
                 }
             }
-            Msg::Response { .. } => {
+            Msg::Response { .. } | Msg::ReadResponse { .. } => {
                 // Replicas never receive responses; ignore.
+            }
+        }
+    }
+
+    /// Route one client operation: propose (or enqueue for batching)
+    /// when leading, forward to the believed leader otherwise.
+    fn handle_request(
+        &mut self,
+        client: NodeId,
+        req_id: u64,
+        op: ClientOp<SM::Command>,
+        ctx: &mut Context<Msg<SM>>,
+    ) {
+        match self.phase {
+            Phase::Leading => {
+                let trace = ctx.trace();
+                if self.batching_enabled() {
+                    self.enqueue_op(client, req_id, op, trace, ctx);
+                } else {
+                    self.propose_op(client, req_id, op, trace, ctx);
+                }
+            }
+            _ => {
+                if let Some(leader) = self.leader {
+                    if leader != self.me {
+                        self.send_msg(ctx, leader, Msg::Request { client, req_id, op });
+                    }
+                }
+                // No leader known: drop; the client retransmits.
             }
         }
     }

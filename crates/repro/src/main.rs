@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--quick] [--seed N] [--metrics-out PATH] [--report-out PATH] \
-//!       [all|fig1|table1|fig4|fig5|fig6|fig7|fig8|fig9|headline|repair|ablations|calibration|metrics|report]
+//!       [all|fig1|table1|fig4|fig5|fig6|fig7|fig8|fig9|headline|repair|ablations|calibration|metrics|report|workload]
 //! ```
 //!
 //! By default runs at the paper's scale (13 training weeks, 11 evaluation
@@ -15,6 +15,15 @@
 //! shared [`obs::Obs`] — and dumps the metrics registry and trace ring as
 //! JSON to `PATH`. With no explicit target it runs only that pass
 //! (`metrics` target).
+//!
+//! The `workload` target is the request-level extension: seeded
+//! open-loop replays (Poisson arrivals over hundreds of window-1
+//! sessions) against the Paxos lock service and the RS-Paxos store,
+//! reporting scheduled-arrival→completion latency quantiles and an
+//! SLO-based availability, plus a batched-vs-unbatched comparison at a
+//! reference load that saturates the unbatched accept pipeline. Its
+//! stdout is deterministic for a given seed, so CI diffs it across
+//! thread counts.
 //!
 //! The `report` target runs a recorded Jupiter replay and renders the
 //! time series (spot price vs. bid, per-interval cost and availability,
@@ -127,6 +136,7 @@ fn main() {
             }
         }
         "calibration" => calibration(&scale),
+        "workload" => workload_target(quick, seed),
         "metrics" => {} // instrumented pass runs below
         "report" => {
             let path = report_out.clone().unwrap_or_else(|| "report.html".into());
@@ -606,6 +616,102 @@ fn ablations(scale: &Scale) {
             r.process, r.mean_predicted, r.mean_realized, r.mean_abs_error, r.kill_rate
         );
     }
+}
+
+/// The `workload` target: request-level open-loop replays.
+///
+/// Three passes, all seeded and bit-deterministic:
+///
+/// 1. the headline lock-service run — ≥100k requests at full scale
+///    (1000 req/s Poisson over 512 sessions, batch 8, unbounded
+///    pipeline), the request-level counterpart of the paper's
+///    fleet-level availability;
+/// 2. a smaller RS-Paxos storage run with batched shard proposals;
+/// 3. a batched-vs-unbatched comparison at a reference load chosen to
+///    saturate a depth-4 accept pipeline without batching (capacity
+///    ≈ pipeline/commit-RTT ≈ 40 req/s) but not with it (≈ 320 req/s):
+///    batching must win on p99 or something regressed.
+///
+/// Everything printed derives from sim time and fixed seeds, so the CI
+/// determinism gate can diff this output across thread counts.
+fn workload_target(quick: bool, seed: u64) {
+    use obs::Obs;
+    use simnet::{NetworkConfig, SimTime};
+    use workload::{run_lock_workload, run_storage_workload, ArrivalProcess, WorkloadSpec};
+
+    let row = |name: &str, r: &workload::WorkloadReport| {
+        println!(
+            "{:<28} {:>9} {:>9} {:>7} {:>9} {:>9} {:>12.6} {:>7}",
+            name,
+            r.requests,
+            r.completed,
+            r.retransmits,
+            r.latency_p50.as_millis(),
+            r.latency_p99.as_millis(),
+            r.availability_ppm as f64 / 1e6,
+            r.slo_alerts_fired,
+        );
+    };
+    let header = || {
+        println!(
+            "{:<28} {:>9} {:>9} {:>7} {:>9} {:>9} {:>12} {:>7}",
+            "configuration", "requests", "done", "rexmit", "p50 (ms)", "p99 (ms)", "slo avail", "alerts"
+        );
+    };
+
+    println!("\n== Workload: request-level open-loop replay (lock service) ==");
+    header();
+    let lock_spec = WorkloadSpec {
+        arrivals: ArrivalProcess::Poisson {
+            rate_per_sec: 1_000.0,
+        },
+        horizon: SimTime::from_secs(if quick { 20 } else { 110 }),
+        sessions: 512,
+        population: 1_000_000,
+        seed,
+        batch_max_ops: 8,
+        ..WorkloadSpec::default()
+    };
+    let lock = run_lock_workload(&lock_spec, NetworkConfig::default(), &Obs::disabled());
+    row("lock batch=8", &lock);
+
+    println!("\n== Workload: request-level open-loop replay (storage service) ==");
+    header();
+    let store_spec = WorkloadSpec {
+        arrivals: ArrivalProcess::Poisson { rate_per_sec: 200.0 },
+        horizon: SimTime::from_secs(if quick { 10 } else { 50 }),
+        sessions: 128,
+        population: 100_000,
+        seed,
+        batch_max_ops: 8,
+        ..WorkloadSpec::default()
+    };
+    let store = run_storage_workload(&store_spec, NetworkConfig::default(), &Obs::disabled());
+    row("storage batch=8", &store);
+
+    println!("\n== Workload: batching at a pipeline-saturating reference load ==");
+    header();
+    let reference = WorkloadSpec {
+        arrivals: ArrivalProcess::Poisson { rate_per_sec: 120.0 },
+        horizon: SimTime::from_secs(20),
+        sessions: 64,
+        population: 50_000,
+        seed,
+        pipeline: 4,
+        batch_max_ops: 1,
+        ..WorkloadSpec::default()
+    };
+    let unbatched = run_lock_workload(&reference, NetworkConfig::default(), &Obs::disabled());
+    row("lock batch=1 pipeline=4", &unbatched);
+    let batched_ref = WorkloadSpec {
+        batch_max_ops: 8,
+        ..reference
+    };
+    let batched = run_lock_workload(&batched_ref, NetworkConfig::default(), &Obs::disabled());
+    row("lock batch=8 pipeline=4", &batched);
+    let speedup =
+        unbatched.latency_p99.as_millis() as f64 / (batched.latency_p99.as_millis() as f64).max(1.0);
+    println!("batching p99 speedup at reference load: {speedup:.1}x");
 }
 
 fn calibration(scale: &Scale) {

@@ -62,6 +62,17 @@ impl RsCluster {
         id
     }
 
+    /// Add an open-loop workload session playing `schedule` (sorted by
+    /// arrival time); see [`crate::open_loop::RsOpenLoopClient`].
+    pub fn add_open_loop(&mut self, schedule: Vec<(SimTime, StoreCmd)>) -> NodeId {
+        let id = NodeId(self.sim.node_count());
+        let session = crate::open_loop::RsOpenLoopClient::new(id, self.servers.clone(), schedule)
+            .with_obs(self.cfg.obs.clone());
+        let got = self.sim.add_node(RsNode::OpenLoop(session));
+        assert_eq!(got, id);
+        id
+    }
+
     /// Queue a command on `client`.
     pub fn submit(&mut self, client: NodeId, cmd: StoreCmd) {
         self.sim

@@ -30,12 +30,14 @@
 pub mod client;
 pub mod harness;
 pub mod msg;
+pub mod open_loop;
 pub mod replica;
 pub mod store;
 
 pub use client::{RsClientState, RsCompletedOp};
 pub use harness::RsCluster;
 pub use msg::{RsMsg, StoreCmd, StoreResp};
+pub use open_loop::{RsOpenLoopClient, RsOpenOp};
 pub use replica::{RsConfig, RsReplica};
 pub use store::ShardStore;
 
@@ -50,6 +52,8 @@ pub enum RsNode {
     Server(RsReplica),
     /// A closed-loop client.
     Client(RsClientState),
+    /// An open-loop workload session.
+    OpenLoop(RsOpenLoopClient),
 }
 
 impl RsNode {
@@ -57,7 +61,7 @@ impl RsNode {
     pub fn as_server(&self) -> Option<&RsReplica> {
         match self {
             RsNode::Server(r) => Some(r),
-            RsNode::Client(_) => None,
+            _ => None,
         }
     }
 
@@ -65,7 +69,7 @@ impl RsNode {
     pub fn as_client(&self) -> Option<&RsClientState> {
         match self {
             RsNode::Client(c) => Some(c),
-            RsNode::Server(_) => None,
+            _ => None,
         }
     }
 
@@ -73,7 +77,23 @@ impl RsNode {
     pub fn as_client_mut(&mut self) -> Option<&mut RsClientState> {
         match self {
             RsNode::Client(c) => Some(c),
-            RsNode::Server(_) => None,
+            _ => None,
+        }
+    }
+
+    /// The open-loop session state, if this is one.
+    pub fn as_open_loop(&self) -> Option<&RsOpenLoopClient> {
+        match self {
+            RsNode::OpenLoop(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Mutable open-loop session state, if this is one.
+    pub fn as_open_loop_mut(&mut self) -> Option<&mut RsOpenLoopClient> {
+        match self {
+            RsNode::OpenLoop(c) => Some(c),
+            _ => None,
         }
     }
 }
@@ -85,6 +105,7 @@ impl Actor for RsNode {
         match self {
             RsNode::Server(r) => r.on_start(ctx),
             RsNode::Client(c) => c.on_start(ctx),
+            RsNode::OpenLoop(c) => c.on_start(ctx),
         }
     }
 
@@ -92,6 +113,7 @@ impl Actor for RsNode {
         match self {
             RsNode::Server(r) => r.on_message(from, msg, ctx),
             RsNode::Client(c) => c.on_message(from, msg, ctx),
+            RsNode::OpenLoop(c) => c.on_message(from, msg, ctx),
         }
     }
 
@@ -99,6 +121,7 @@ impl Actor for RsNode {
         match self {
             RsNode::Server(r) => r.on_timer(token, ctx),
             RsNode::Client(c) => c.on_timer(token, ctx),
+            RsNode::OpenLoop(c) => c.on_timer(token, ctx),
         }
     }
 }

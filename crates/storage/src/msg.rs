@@ -81,6 +81,12 @@ pub enum SlotValue {
         /// Object key.
         key: String,
     },
+    /// Several commands agreed on as one slot value, applied in order
+    /// and atomically within the slot. Invariants: never empty, never
+    /// nested, no `Noop` inside, at most one entry per client, and no
+    /// two puts to the same key (a put's version is the slot, which all
+    /// entries share).
+    Batch(Vec<SlotValue>),
     /// Gap filler after leader recovery.
     Noop,
 }
@@ -120,6 +126,9 @@ pub enum WireValue {
         /// Object key.
         key: String,
     },
+    /// A batch: one wire sub-value per [`SlotValue::Batch`] entry, in
+    /// the same order (each destination gets its own shard for puts).
+    Batch(Vec<WireValue>),
     /// Gap filler.
     Noop,
 }

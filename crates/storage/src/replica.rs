@@ -18,6 +18,8 @@ use crate::store::ShardStore;
 type Slot = u64;
 
 const TICK_TOKEN: TimerToken = TimerToken(0);
+/// Batch-delay expiry (token 1 belongs to the closed-loop client).
+const BATCH_TOKEN: TimerToken = TimerToken(2);
 
 /// RS-Paxos deployment parameters.
 #[derive(Clone, Debug)]
@@ -34,6 +36,15 @@ pub struct RsConfig {
     pub retry: SimTime,
     /// Give up on a read after this long without `m` shards.
     pub read_timeout: SimTime,
+    /// Maximum client commands combined into one slot. `1` (the
+    /// default) disables batching and preserves the classic one-command
+    /// -per-slot behavior bit for bit.
+    pub batch_max_ops: usize,
+    /// How long the leader holds a non-full batch open for stragglers.
+    pub batch_delay: SimTime,
+    /// Maximum concurrently outstanding proposals (accept pipelining).
+    /// `0` means unlimited, the classic behavior.
+    pub pipeline: usize,
     /// Observability sink (metrics + tracing). Disabled by default; when
     /// enabled the replica counts messages by kind, tracks elections and
     /// ballot churn, and times phase-1/phase-2 round trips in sim time.
@@ -49,6 +60,9 @@ impl Default for RsConfig {
             election_timeout: (SimTime::from_millis(800), SimTime::from_millis(1600)),
             retry: SimTime::from_millis(400),
             read_timeout: SimTime::from_secs(5),
+            batch_max_ops: 1,
+            batch_delay: SimTime::from_millis(5),
+            pipeline: 0,
             obs: Obs::disabled(),
         }
     }
@@ -66,8 +80,10 @@ enum Phase {
 #[derive(Clone, Debug)]
 struct Proposal {
     value: SlotValue,
-    /// Encoded shards for puts (index = shard index = view position).
-    shards: Option<Vec<Bytes>>,
+    /// Per-sub-value encoded put shards, aligned with the batch entries
+    /// (length 1 for singleton values): `shards[j]` is `Some` iff
+    /// sub-value `j` is a put, and then indexed by view position.
+    shards: Vec<Option<Vec<Bytes>>>,
     acks: HashSet<NodeId>,
     sent_at: SimTime,
     /// Open per-operation propose span, a causal child of the request
@@ -91,6 +107,8 @@ struct RsMetrics {
     phase2_micros: Histogram,
     reads_reconstructed: Counter,
     reads_unavailable: Counter,
+    batches_proposed: Counter,
+    batched_ops: Counter,
 }
 
 impl RsMetrics {
@@ -109,6 +127,8 @@ impl RsMetrics {
             phase2_micros: obs.histogram("storage.phase2_micros"),
             reads_reconstructed: obs.counter("storage.reads_reconstructed"),
             reads_unavailable: obs.counter("storage.reads_unavailable"),
+            batches_proposed: obs.counter("storage.batches_proposed"),
+            batched_ops: obs.counter("storage.batched_ops"),
             obs,
         }
     }
@@ -123,6 +143,19 @@ fn sim_micros(t: SimTime) -> u64 {
 struct SlotState {
     accepted: Option<(Ballot, WireValue)>,
     chosen: Option<WireValue>,
+}
+
+/// A client command the leader has admitted but not yet proposed,
+/// waiting in the batch/pipeline queue.
+#[derive(Clone, Debug)]
+struct PendingCmd {
+    client: NodeId,
+    req_id: u64,
+    cmd: StoreCmd,
+    /// Trace context captured when the request arrived.
+    trace: TraceContext,
+    /// Admission time (batch age is measured from the oldest entry).
+    at: SimTime,
 }
 
 #[derive(Clone, Debug)]
@@ -155,8 +188,13 @@ pub struct RsReplica {
     leader: Option<NodeId>,
     proposals: BTreeMap<Slot, Proposal>,
     next_slot: Slot,
+    /// Admitted-but-unproposed commands (leader only, batching mode).
+    pending: std::collections::VecDeque<PendingCmd>,
     /// Reads awaiting shard reconstruction: (key, version) → state.
     pending_reads: HashMap<(String, u64), PendingRead>,
+    /// Lifetime count of batch slot values applied (survives reboots;
+    /// chaos sweeps assert the batched path actually ran).
+    batches_applied: u64,
 
     election_deadline: SimTime,
     last_heartbeat_sent: SimTime,
@@ -192,7 +230,9 @@ impl RsReplica {
             leader: None,
             proposals: BTreeMap::new(),
             next_slot: 0,
+            pending: std::collections::VecDeque::new(),
             pending_reads: HashMap::new(),
+            batches_applied: 0,
             election_deadline: SimTime::ZERO,
             last_heartbeat_sent: SimTime::ZERO,
             rng: ChaCha8Rng::seed_from_u64(seed ^ (me.0 as u64).wrapping_mul(0xD1B5_4A32)),
@@ -231,6 +271,11 @@ impl RsReplica {
     /// The quorum size `⌈(n+m)/2⌉`.
     pub fn quorum(&self) -> usize {
         (self.view.len() + self.cfg.m).div_ceil(2)
+    }
+
+    /// Lifetime count of batch slot values this replica has applied.
+    pub fn batches_applied(&self) -> u64 {
+        self.batches_applied
     }
 
     /// This replica's shard index (position in the sorted view).
@@ -279,6 +324,7 @@ impl RsReplica {
         }
         self.phase = Phase::Follower;
         self.proposals.clear();
+        self.pending.clear();
         self.pending_reads.clear();
         self.reset_election_deadline(now);
     }
@@ -399,6 +445,13 @@ impl RsReplica {
     /// metadata so the destination at least tracks versions.
     fn reshape_for(&self, chosen: &WireValue, slot: Slot, dest_idx: u8) -> WireValue {
         match chosen {
+            // A batched put's version is the shared slot, so each sub
+            // reshapes exactly like a singleton.
+            WireValue::Batch(subs) => WireValue::Batch(
+                subs.iter()
+                    .map(|s| self.reshape_for(s, slot, dest_idx))
+                    .collect(),
+            ),
             WireValue::PutShard {
                 client,
                 req_id,
@@ -541,28 +594,63 @@ impl RsReplica {
     /// Reconstruct a slot value from the highest-ballot shards seen in a
     /// prepare quorum. A chosen put always yields ≥ m shards here
     /// (quorum-intersection ≥ m); fewer shards prove the value was never
-    /// chosen, so a no-op is safe.
+    /// chosen, so a no-op is safe. For batches the same argument holds
+    /// per sub-put — a chosen batch yields ≥ m shards for *every* sub —
+    /// so any unrecoverable sub proves the whole batch was never chosen
+    /// and the slot no-ops atomically (a batch is never partially
+    /// recovered).
     fn recover_value(&self, _ballot: Ballot, values: &[WireValue]) -> SlotValue {
         match &values[0] {
+            WireValue::Batch(subs) => {
+                let mut out = Vec::with_capacity(subs.len());
+                for (j, sub) in subs.iter().enumerate() {
+                    let copies: Vec<&WireValue> = values
+                        .iter()
+                        .filter_map(|v| match v {
+                            WireValue::Batch(s) if s.len() == subs.len() => s.get(j),
+                            _ => None,
+                        })
+                        .collect();
+                    match self.recover_one(sub, &copies) {
+                        Some(v) => out.push(v),
+                        None => return SlotValue::Noop,
+                    }
+                }
+                SlotValue::Batch(out)
+            }
+            first => {
+                let copies: Vec<&WireValue> = values.iter().collect();
+                self.recover_one(first, &copies).unwrap_or(SlotValue::Noop)
+            }
+        }
+    }
+
+    /// Recover one (sub-)value from the highest-ballot copies of it.
+    /// `None` means a put with too few shards to reconstruct.
+    fn recover_one(&self, first: &WireValue, copies: &[&WireValue]) -> Option<SlotValue> {
+        match first {
             WireValue::Get {
                 client,
                 req_id,
                 key,
-            } => SlotValue::Get {
+            } => Some(SlotValue::Get {
                 client: *client,
                 req_id: *req_id,
                 key: key.clone(),
-            },
+            }),
             WireValue::Delete {
                 client,
                 req_id,
                 key,
-            } => SlotValue::Delete {
+            } => Some(SlotValue::Delete {
                 client: *client,
                 req_id: *req_id,
                 key: key.clone(),
-            },
-            WireValue::Noop => SlotValue::Noop,
+            }),
+            WireValue::Noop => Some(SlotValue::Noop),
+            // Nested batches violate the wire invariant; treat as
+            // unrecoverable rather than recurse.
+            WireValue::Batch(_) => None,
             WireValue::PutShard {
                 client,
                 req_id,
@@ -571,7 +659,7 @@ impl RsReplica {
             } => {
                 let mut slots: Vec<Option<Vec<u8>>> = vec![None; self.view.len()];
                 let mut have = 0usize;
-                for v in values {
+                for v in copies {
                     if let WireValue::PutShard {
                         shard_idx, shard, ..
                     } = v
@@ -584,22 +672,47 @@ impl RsReplica {
                 }
                 if have >= self.codec.data_shards() {
                     if let Ok(object) = self.codec.decode_object(&slots) {
-                        return SlotValue::Put {
+                        return Some(SlotValue::Put {
                             client: *client,
                             req_id: *req_id,
                             key: key.clone(),
                             object: Bytes::from(object),
-                        };
+                        });
                     }
                 }
-                SlotValue::Noop
+                None
             }
         }
     }
 
     // --------------------------------------------------------- proposing
 
-    fn wire_for(&self, value: &SlotValue, shards: Option<&Vec<Bytes>>, dest_idx: u8) -> WireValue {
+    /// Encode the per-sub-value put shards for a proposal (aligned with
+    /// [`Proposal::shards`]).
+    fn encode_shards(&self, value: &SlotValue) -> Vec<Option<Vec<Bytes>>> {
+        let encode_one = |v: &SlotValue| match v {
+            SlotValue::Put { object, .. } => Some(self.codec.encode_object(object)),
+            _ => None,
+        };
+        match value {
+            SlotValue::Batch(subs) => subs.iter().map(encode_one).collect(),
+            other => vec![encode_one(other)],
+        }
+    }
+
+    fn wire_for(&self, value: &SlotValue, shards: &[Option<Vec<Bytes>>], dest_idx: u8) -> WireValue {
+        match value {
+            SlotValue::Batch(subs) => WireValue::Batch(
+                subs.iter()
+                    .zip(shards)
+                    .map(|(s, sh)| self.wire_one(s, sh.as_ref(), dest_idx))
+                    .collect(),
+            ),
+            other => self.wire_one(other, shards[0].as_ref(), dest_idx),
+        }
+    }
+
+    fn wire_one(&self, value: &SlotValue, shards: Option<&Vec<Bytes>>, dest_idx: u8) -> WireValue {
         match value {
             SlotValue::Put {
                 client,
@@ -631,6 +744,7 @@ impl RsReplica {
                 req_id: *req_id,
                 key: key.clone(),
             },
+            SlotValue::Batch(_) => unreachable!("batches are never nested"),
             SlotValue::Noop => WireValue::Noop,
         }
     }
@@ -642,13 +756,10 @@ impl RsReplica {
         trace: TraceContext,
         ctx: &mut Context<RsMsg>,
     ) {
-        let shards = match &value {
-            SlotValue::Put { object, .. } => Some(self.codec.encode_object(object)),
-            _ => None,
-        };
+        let shards = self.encode_shards(&value);
         let ballot = self.ballot;
         let my_idx = self.shard_idx();
-        let my_wire = self.wire_for(&value, shards.as_ref(), my_idx);
+        let my_wire = self.wire_for(&value, &shards, my_idx);
         self.slots.entry(slot).or_default().accepted = Some((ballot, my_wire));
         let mut acks = HashSet::new();
         acks.insert(self.me);
@@ -674,7 +785,7 @@ impl RsReplica {
             if peer == self.me {
                 continue;
             }
-            let wire = self.wire_for(&value, shards.as_ref(), self.idx_of(peer));
+            let wire = self.wire_for(&value, &shards, self.idx_of(peer));
             self.send_msg_traced(
                 ctx,
                 peer,
@@ -700,25 +811,17 @@ impl RsReplica {
         self.maybe_choose(slot, ctx);
     }
 
-    fn propose_cmd(
-        &mut self,
-        client: NodeId,
-        req_id: u64,
-        cmd: StoreCmd,
-        trace: TraceContext,
-        ctx: &mut Context<RsMsg>,
-    ) {
-        if let Some((last, resp)) = self.dedup.get(&client) {
-            if *last == req_id {
-                let resp = resp.clone();
-                self.send_msg(ctx, client, RsMsg::Response { req_id, resp });
-                return;
-            }
-            if *last > req_id {
-                return;
-            }
-        }
-        if self.proposals.values().any(|p| match &p.value {
+    /// Whether batching/pipelining is configured at all. When not, the
+    /// request path is byte-identical to the classic one-command-per-slot
+    /// protocol.
+    fn batching_enabled(&self) -> bool {
+        self.cfg.batch_max_ops > 1 || self.cfg.pipeline > 0
+    }
+
+    /// Whether `value` carries `(client, req_id)` (descending into
+    /// batches).
+    fn value_matches(value: &SlotValue, client: NodeId, req_id: u64) -> bool {
+        match value {
             SlotValue::Put {
                 client: c,
                 req_id: r,
@@ -734,11 +837,34 @@ impl RsReplica {
                 req_id: r,
                 ..
             } => *c == client && *r == req_id,
+            SlotValue::Batch(subs) => subs
+                .iter()
+                .any(|s| Self::value_matches(s, client, req_id)),
             SlotValue::Noop => false,
-        }) {
-            return;
         }
-        let value = match cmd {
+    }
+
+    /// Dedup-cache admission: answer resends from the cache, drop stale
+    /// requests. Returns `false` when the request is already settled.
+    fn admit(&mut self, client: NodeId, req_id: u64, ctx: &mut Context<RsMsg>) -> bool {
+        if let Some((last, resp)) = self.dedup.get(&client) {
+            if *last == req_id {
+                let resp = resp.clone();
+                self.send_msg(ctx, client, RsMsg::Response { req_id, resp });
+                return false;
+            }
+            if *last > req_id {
+                return false;
+            }
+        }
+        !self
+            .proposals
+            .values()
+            .any(|p| Self::value_matches(&p.value, client, req_id))
+    }
+
+    fn cmd_value(client: NodeId, req_id: u64, cmd: StoreCmd) -> SlotValue {
+        match cmd {
             StoreCmd::Put { key, object } => SlotValue::Put {
                 client,
                 req_id,
@@ -755,9 +881,12 @@ impl RsReplica {
                 req_id,
                 key,
             },
-        };
-        // Never allocate a slot that is already decided (a commit adopted
-        // from a peer can land beyond the contiguous prefix).
+        }
+    }
+
+    /// Never allocate a slot that is already decided (a commit adopted
+    /// from a peer can land beyond the contiguous prefix).
+    fn allocate_slot(&mut self) -> Slot {
         while self
             .slots
             .get(&self.next_slot)
@@ -767,7 +896,118 @@ impl RsReplica {
         }
         let slot = self.next_slot;
         self.next_slot += 1;
+        slot
+    }
+
+    fn propose_cmd(
+        &mut self,
+        client: NodeId,
+        req_id: u64,
+        cmd: StoreCmd,
+        trace: TraceContext,
+        ctx: &mut Context<RsMsg>,
+    ) {
+        if !self.admit(client, req_id, ctx) {
+            return;
+        }
+        let value = Self::cmd_value(client, req_id, cmd);
+        let slot = self.allocate_slot();
         self.send_accepts(slot, value, trace, ctx);
+    }
+
+    /// Batching-mode admission: queue the command and flush what the
+    /// batch/pipeline policy allows.
+    fn enqueue_cmd(
+        &mut self,
+        client: NodeId,
+        req_id: u64,
+        cmd: StoreCmd,
+        trace: TraceContext,
+        ctx: &mut Context<RsMsg>,
+    ) {
+        if !self.admit(client, req_id, ctx) {
+            return;
+        }
+        if self
+            .pending
+            .iter()
+            .any(|p| p.client == client && p.req_id == req_id)
+        {
+            return;
+        }
+        self.pending.push_back(PendingCmd {
+            client,
+            req_id,
+            cmd,
+            trace,
+            at: ctx.now,
+        });
+        self.maybe_flush_batches(false, ctx);
+    }
+
+    /// Turn the pending queue into proposals, honoring the pipeline cap,
+    /// the batch size cap, the batch delay, and the batch composition
+    /// invariants (one entry per client, one put per key — a batched
+    /// put's version is the shared slot).
+    fn maybe_flush_batches(&mut self, force: bool, ctx: &mut Context<RsMsg>) {
+        loop {
+            if self.pending.is_empty() || !matches!(self.phase, Phase::Leading) {
+                return;
+            }
+            if self.cfg.pipeline > 0 && self.proposals.len() >= self.cfg.pipeline {
+                return;
+            }
+            let mut clients = HashSet::new();
+            let mut put_keys = HashSet::new();
+            let mut take = 0usize;
+            for p in &self.pending {
+                if take >= self.cfg.batch_max_ops || !clients.insert(p.client) {
+                    break;
+                }
+                if let StoreCmd::Put { key, .. } = &p.cmd {
+                    if !put_keys.insert(key.clone()) {
+                        break;
+                    }
+                }
+                take += 1;
+            }
+            // A composition conflict means waiting cannot grow this
+            // batch further; only a genuinely short batch is worth
+            // holding open for the delay window.
+            let full = take >= self.cfg.batch_max_ops || take < self.pending.len();
+            let oldest = self.pending.front().expect("nonempty").at;
+            let age = ctx.now.saturating_sub(oldest);
+            if !force && !full && age < self.cfg.batch_delay {
+                let wait = self.cfg.batch_delay.saturating_sub(age);
+                ctx.set_timer(wait.max(SimTime::from_millis(1)), BATCH_TOKEN);
+                return;
+            }
+            let entries: Vec<PendingCmd> = self.pending.drain(..take).collect();
+            let trace = entries[0].trace;
+            for e in &entries[1..] {
+                // Later entries' causal chains join the batch here.
+                self.metrics.obs.trace.event_causal(
+                    "storage.batch_join",
+                    e.trace,
+                    &[("client", FieldValue::U64(e.client.0 as u64))],
+                );
+            }
+            let value = if entries.len() == 1 {
+                let e = entries.into_iter().next().expect("len 1");
+                Self::cmd_value(e.client, e.req_id, e.cmd)
+            } else {
+                self.metrics.batches_proposed.inc();
+                self.metrics.batched_ops.add(entries.len() as u64);
+                SlotValue::Batch(
+                    entries
+                        .into_iter()
+                        .map(|e| Self::cmd_value(e.client, e.req_id, e.cmd))
+                        .collect(),
+                )
+            };
+            let slot = self.allocate_slot();
+            self.send_accepts(slot, value, trace, ctx);
+        }
     }
 
     fn maybe_choose(&mut self, slot: Slot, ctx: &mut Context<RsMsg>) {
@@ -802,7 +1042,7 @@ impl RsReplica {
             &[("slot", FieldValue::U64(slot))],
         );
         let my_idx = self.shard_idx();
-        let my_wire = self.wire_for(&p.value, p.shards.as_ref(), my_idx);
+        let my_wire = self.wire_for(&p.value, &p.shards, my_idx);
         // Chosen values are write-once (mirroring `note_chosen`): if a
         // commit for this slot was adopted while our proposal was in
         // flight, Paxos guarantees the decisions agree — keep the stored
@@ -811,9 +1051,21 @@ impl RsReplica {
         if st.chosen.is_none() {
             st.chosen = Some(my_wire);
         }
-        // Leader-side extras before generic apply: cache full objects.
-        if let SlotValue::Put { key, object, .. } = &p.value {
-            self.objects.insert(key.clone(), (slot, object.clone()));
+        // Leader-side extras before generic apply: cache full objects
+        // (each batched put shares the slot as its version).
+        let puts: Vec<(String, Bytes)> = match &p.value {
+            SlotValue::Put { key, object, .. } => vec![(key.clone(), object.clone())],
+            SlotValue::Batch(subs) => subs
+                .iter()
+                .filter_map(|s| match s {
+                    SlotValue::Put { key, object, .. } => Some((key.clone(), object.clone())),
+                    _ => None,
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        for (key, object) in puts {
+            self.objects.insert(key, (slot, object));
         }
         // Commit to every peer with its own shard.
         let peers = self.view.clone();
@@ -821,7 +1073,7 @@ impl RsReplica {
             if peer == self.me {
                 continue;
             }
-            let wire = self.wire_for(&p.value, p.shards.as_ref(), self.idx_of(peer));
+            let wire = self.wire_for(&p.value, &p.shards, self.idx_of(peer));
             self.send_msg_traced(
                 ctx,
                 peer,
@@ -832,27 +1084,40 @@ impl RsReplica {
             );
         }
         self.advance(ctx);
+        if self.batching_enabled() {
+            // A retired proposal frees a pipeline slot.
+            self.maybe_flush_batches(false, ctx);
+        }
     }
 
     // ----------------------------------------------------------- learning
 
+    /// Upgrade metadata-only put records in `existing` once real shard
+    /// bytes arrive, sub-value by sub-value for batches. Both sides
+    /// describe the same decided slot for the same destination, so only
+    /// the shard bytes can differ.
+    fn upgrade_chosen(existing: &mut WireValue, incoming: WireValue) {
+        match (existing, incoming) {
+            (
+                WireValue::PutShard { shard: e, .. },
+                WireValue::PutShard { shard: i, .. },
+            ) if e.is_empty() && !i.is_empty() => {
+                *e = i;
+            }
+            (WireValue::Batch(es), WireValue::Batch(is)) if es.len() == is.len() => {
+                for (e, i) in es.iter_mut().zip(is) {
+                    Self::upgrade_chosen(e, i);
+                }
+            }
+            _ => {}
+        }
+    }
+
     fn note_chosen(&mut self, entry: RsChosen, ctx: &mut Context<RsMsg>) {
         let st = self.slots.entry(entry.slot).or_default();
-        if st.chosen.is_none() {
-            st.chosen = Some(entry.value);
-        } else if let (
-            Some(WireValue::PutShard {
-                shard: existing, ..
-            }),
-            WireValue::PutShard {
-                shard: incoming, ..
-            },
-        ) = (st.chosen.as_mut(), &entry.value)
-        {
-            // Upgrade a metadata-only record once real bytes arrive.
-            if existing.is_empty() && !incoming.is_empty() {
-                st.chosen = Some(entry.value);
-            }
+        match st.chosen.as_mut() {
+            None => st.chosen = Some(entry.value),
+            Some(existing) => Self::upgrade_chosen(existing, entry.value),
         }
         self.advance(ctx);
     }
@@ -881,7 +1146,21 @@ impl RsReplica {
             ],
         );
         match value {
-            WireValue::Noop => {}
+            WireValue::Batch(subs) => {
+                // Sub-values apply in order; the slot is one apply step,
+                // so no other slot's work interleaves (atomicity).
+                self.batches_applied += 1;
+                for sub in subs {
+                    self.apply_one(slot, sub, ctx);
+                }
+            }
+            other => self.apply_one(slot, other, ctx),
+        }
+    }
+
+    fn apply_one(&mut self, slot: Slot, value: WireValue, ctx: &mut Context<RsMsg>) {
+        match value {
+            WireValue::Noop | WireValue::Batch(_) => {}
             WireValue::PutShard {
                 client,
                 req_id,
@@ -1020,13 +1299,22 @@ impl RsReplica {
     }
 
     /// Periodic bookkeeping.
-    pub fn on_timer(&mut self, _t: TimerToken, ctx: &mut Context<RsMsg>) {
+    pub fn on_timer(&mut self, t: TimerToken, ctx: &mut Context<RsMsg>) {
         self.sync_obs_time(ctx.now);
+        if t == BATCH_TOKEN {
+            self.maybe_flush_batches(false, ctx);
+            return;
+        }
         ctx.set_timer(self.cfg.tick, TICK_TOKEN);
         match self.phase {
             Phase::Leading => {
                 if ctx.now.saturating_sub(self.last_heartbeat_sent) >= self.cfg.heartbeat_every {
                     self.send_heartbeat(ctx);
+                }
+                if self.batching_enabled() && !self.pending.is_empty() {
+                    // Backstop: a lost batch timer must not strand the
+                    // queue past the delay window.
+                    self.maybe_flush_batches(false, ctx);
                 }
                 // Retry stale proposals (per-destination shards).
                 let stale: Vec<Slot> = self
@@ -1049,7 +1337,7 @@ impl RsReplica {
                         if peer == self.me {
                             continue;
                         }
-                        let wire = self.wire_for(&value, shards.as_ref(), self.idx_of(peer));
+                        let wire = self.wire_for(&value, &shards, self.idx_of(peer));
                         self.send_msg_traced(
                             ctx,
                             peer,
@@ -1254,7 +1542,11 @@ impl RsReplica {
             } => match self.phase {
                 Phase::Leading => {
                     let trace = ctx.trace();
-                    self.propose_cmd(client, req_id, cmd, trace, ctx);
+                    if self.batching_enabled() {
+                        self.enqueue_cmd(client, req_id, cmd, trace, ctx);
+                    } else {
+                        self.propose_cmd(client, req_id, cmd, trace, ctx);
+                    }
                 }
                 _ => {
                     if let Some(leader) = self.leader {

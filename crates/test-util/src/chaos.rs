@@ -45,6 +45,10 @@ pub struct ChaosOutcome {
     /// Keys degraded below `m` surviving byte shards (storage runs; see
     /// [`crate::check::StorageCheckStats::eroded_keys`]).
     pub eroded_keys: usize,
+    /// Batch slot values the run chose and audited (0 unless the driver
+    /// ran with leader batching enabled): the witness that a batched
+    /// sweep actually exercised the batched proposal path.
+    pub batches_checked: usize,
 }
 
 /// Everything needed to reproduce and diagnose a failing chaos run.
@@ -52,6 +56,11 @@ pub struct ChaosOutcome {
 pub struct ChaosFailure {
     /// The schedule seed.
     pub seed: u64,
+    /// The derived sub-seed the run's client workload was drawn from
+    /// (`derive_seed(seed, STREAM_WORKLOAD)`) — printed so a failure in
+    /// a batched run can be replayed against the exact request stream,
+    /// not just the fault timeline.
+    pub workload_seed: u64,
     /// Why the (full) run failed.
     pub reason: String,
     /// The minimal failing prefix, pretty-printed.
@@ -71,6 +80,11 @@ pub struct ChaosFailure {
 impl fmt::Display for ChaosFailure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "chaos run failed: {}", self.reason)?;
+        writeln!(
+            f,
+            "schedule seed {:#x}, workload seed {:#x}",
+            self.seed, self.workload_seed
+        )?;
         writeln!(f, "minimal failing prefix: {}", self.minimal_reason)?;
         write!(f, "{}", self.schedule)?;
         writeln!(f, "reproduce with:\n  {}", self.repro)?;
@@ -109,8 +123,35 @@ pub fn run_lock_chaos(schedule: &ChaosSchedule, obs: &Obs) -> Result<ChaosOutcom
         obs: obs.clone(),
         ..ReplicaConfig::default()
     };
+    run_lock_chaos_with(schedule, cfg, 2)
+}
+
+/// [`run_lock_chaos`] with leader batching and accept pipelining on
+/// (batch 4, pipeline 2, a 20 ms batch window): same schedules, same
+/// safety bar, plus the batch-atomicity audit in the checker. A third
+/// closed-loop client raises the odds that concurrent requests coalesce
+/// into real multi-entry batches. Follower-local reads stay off — they
+/// are exercised by their own seeded interleaving test, not by the
+/// fault sweeps.
+pub fn run_lock_chaos_batched(schedule: &ChaosSchedule, obs: &Obs) -> Result<ChaosOutcome, String> {
+    let cfg = ReplicaConfig {
+        batch_max_ops: 4,
+        batch_delay: SimTime::from_millis(20),
+        pipeline: 2,
+        obs: obs.clone(),
+        ..ReplicaConfig::default()
+    };
+    run_lock_chaos_with(schedule, cfg, 3)
+}
+
+fn run_lock_chaos_with(
+    schedule: &ChaosSchedule,
+    cfg: ReplicaConfig,
+    n_clients: usize,
+) -> Result<ChaosOutcome, String> {
+    let obs = &cfg.obs.clone();
     let mut c = lock_cluster(5, cfg, derive_seed(schedule.seed, STREAM_CLUSTER));
-    let clients = [c.add_client(), c.add_client()];
+    let clients: Vec<_> = (0..n_clients).map(|_| c.add_client()).collect();
 
     // Seeded workload, queued up-front; the closed-loop clients trickle
     // it through the cluster while faults land.
@@ -183,6 +224,7 @@ pub fn run_lock_chaos(schedule: &ChaosSchedule, obs: &Obs) -> Result<ChaosOutcom
         ops_checked: stats.responses_checked,
         unavailable_reads: 0,
         eroded_keys: 0,
+        batches_checked: stats.batches_checked,
     })
 }
 
@@ -193,35 +235,72 @@ pub fn run_storage_chaos(schedule: &ChaosSchedule, obs: &Obs) -> Result<ChaosOut
         obs: obs.clone(),
         ..RsConfig::default()
     };
+    run_storage_chaos_with(schedule, cfg, 1)
+}
+
+/// [`run_storage_chaos`] with batched shard proposals and accept
+/// pipelining on (batch 4, pipeline 2, a 20 ms batch window), and a
+/// second closed-loop writer over a disjoint key range so multi-entry
+/// batches actually form (a batch carries at most one command per
+/// client). The checker's read-your-writes and decoded-value audits
+/// double as the batch-atomicity check: a partially applied batch
+/// leaves a key at a version whose bytes never completed, which the
+/// final shard audit rejects.
+pub fn run_storage_chaos_batched(
+    schedule: &ChaosSchedule,
+    obs: &Obs,
+) -> Result<ChaosOutcome, String> {
+    let cfg = RsConfig {
+        batch_max_ops: 4,
+        batch_delay: SimTime::from_millis(20),
+        pipeline: 2,
+        obs: obs.clone(),
+        ..RsConfig::default()
+    };
+    run_storage_chaos_with(schedule, cfg, 2)
+}
+
+fn run_storage_chaos_with(
+    schedule: &ChaosSchedule,
+    cfg: RsConfig,
+    n_writers: usize,
+) -> Result<ChaosOutcome, String> {
+    let obs = &cfg.obs.clone();
     let m = cfg.m;
     let mut c = storage_cluster(5, cfg, derive_seed(schedule.seed, STREAM_CLUSTER));
-    let client = c.add_client();
+    let writers: Vec<_> = (0..n_writers).map(|_| c.add_client()).collect();
 
-    // Single closed-loop writer over three keys: rounds of put/get with
-    // the occasional delete. Object bytes are a pure function of
+    // Closed-loop writers over disjoint three-key ranges: rounds of
+    // put/get with the occasional delete. One writer per key keeps the
+    // read-your-writes audit exact; object bytes are a pure function of
     // (seed, round, key) so any stale read is detectable.
-    let mut wl = rng_from(derive_seed(schedule.seed, STREAM_WORKLOAD));
-    for round in 0..6u64 {
-        for key_i in 0..3u64 {
-            let key = format!("k{key_i}");
-            if wl.gen_bool(0.1) {
-                c.submit(client, StoreCmd::Delete { key });
-                continue;
-            }
-            if wl.gen_bool(0.7) {
-                let len = wl.gen_range(16..256usize);
-                let tag = derive_seed(schedule.seed, (round << 8) | key_i);
-                let object: Vec<u8> = (0..len).map(|i| (tag.rotate_left(i as u32 % 64) & 0xFF) as u8).collect();
-                c.submit(
-                    client,
-                    StoreCmd::Put {
-                        key: key.clone(),
-                        object: object.into(),
-                    },
-                );
-            }
-            if wl.gen_bool(0.8) {
-                c.submit(client, StoreCmd::Get { key });
+    for (wi, &client) in writers.iter().enumerate() {
+        let mut wl = rng_from(derive_seed(schedule.seed, STREAM_WORKLOAD + wi as u64));
+        for round in 0..6u64 {
+            for key_i in 0..3u64 {
+                let ki = wi as u64 * 3 + key_i;
+                let key = format!("k{ki}");
+                if wl.gen_bool(0.1) {
+                    c.submit(client, StoreCmd::Delete { key });
+                    continue;
+                }
+                if wl.gen_bool(0.7) {
+                    let len = wl.gen_range(16..256usize);
+                    let tag = derive_seed(schedule.seed, (round << 8) | ki);
+                    let object: Vec<u8> = (0..len)
+                        .map(|i| (tag.rotate_left(i as u32 % 64) & 0xFF) as u8)
+                        .collect();
+                    c.submit(
+                        client,
+                        StoreCmd::Put {
+                            key: key.clone(),
+                            object: object.into(),
+                        },
+                    );
+                }
+                if wl.gen_bool(0.8) {
+                    c.submit(client, StoreCmd::Get { key });
+                }
             }
         }
     }
@@ -239,22 +318,33 @@ pub fn run_storage_chaos(schedule: &ChaosSchedule, obs: &Obs) -> Result<ChaosOut
     }
 
     let deadline = c.sim.now() + DRAIN_GRACE;
-    if !c.run_until_drained(client, deadline) {
-        return Err(format!(
-            "liveness: storage client still has outstanding ops {} after the \
-             schedule healed",
-            DRAIN_GRACE
-        ));
+    for &client in &writers {
+        if !c.run_until_drained(client, deadline) {
+            return Err(format!(
+                "liveness: storage client {client} still has outstanding ops {} after \
+                 the schedule healed",
+                DRAIN_GRACE
+            ));
+        }
     }
     obs.set_time_micros(c.sim.now().as_millis() * 1_000);
 
-    let writers = c.clients().to_vec();
     let stats = check_storage_cluster(&c, &writers, m)?;
+    // The storage replica has no applied-log accessor; its lifetime
+    // batch counter is the witness that batching actually ran.
+    let batches_checked = c
+        .servers()
+        .iter()
+        .filter_map(|&id| c.replica(id))
+        .map(|r| r.batches_applied() as usize)
+        .max()
+        .unwrap_or(0);
     Ok(ChaosOutcome {
         fingerprint: c.sim.fingerprint(),
         ops_checked: stats.ops_checked,
         unavailable_reads: stats.unavailable_reads,
         eroded_keys: stats.eroded_keys,
+        batches_checked,
     })
 }
 
@@ -282,6 +372,7 @@ pub fn shrink_and_report(
     };
     ChaosFailure {
         seed: schedule.seed,
+        workload_seed: derive_seed(schedule.seed, STREAM_WORKLOAD),
         reason,
         schedule: minimal.to_string(),
         minimal_reason,
@@ -313,6 +404,18 @@ mod tests {
     }
 
     #[test]
+    fn quiet_batched_runs_are_safe_and_reproducible() {
+        let s = ChaosSchedule::empty(13);
+        let a = run_lock_chaos_batched(&s, &Obs::disabled()).expect("quiet batched run is safe");
+        let b = run_lock_chaos_batched(&s, &Obs::disabled()).expect("quiet batched run is safe");
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert!(a.ops_checked > 0);
+        let st =
+            run_storage_chaos_batched(&s, &Obs::disabled()).expect("quiet batched store is safe");
+        assert!(st.ops_checked > 0);
+    }
+
+    #[test]
     fn chaotic_lock_run_is_reproducible() {
         let plan = ChaosPlan::lock_service(SimTime::from_secs(45), 10);
         let s = ChaosSchedule::generate(77, &plan);
@@ -331,9 +434,11 @@ mod tests {
             Err("synthetic".into())
         });
         assert_eq!(fail.seed, 5);
+        assert_eq!(fail.workload_seed, crate::rng::derive_seed(5, STREAM_WORKLOAD));
         assert!(fail.repro.contains("CHAOS_SEED=0x5"));
         let text = fail.to_string();
         assert!(text.contains("reproduce with"));
+        assert!(text.contains("workload seed"));
         assert!(text.contains("chaos schedule seed="));
         // The monitor-verdict block renders even when nothing fired.
         assert!(text.contains("monitor verdicts"));

@@ -21,6 +21,11 @@
 //!    ever exists.
 //! 5. **Lease monotonicity** — `Renewed { until_ms }` never moves a held
 //!    lease's expiry backwards.
+//! 6. **Batch atomicity** — a chosen `Command::Batch` is non-empty,
+//!    carries at most one command per `(client, req_id)`, and is applied
+//!    whole: the exactly-once check replays each replica's full prefix,
+//!    so a replica that applied only some of a batch's entries diverges
+//!    from the model and fails.
 //!
 //! # Storage invariants (RS-Paxos θ(m, n))
 //!
@@ -53,6 +58,12 @@ pub struct LockCheckStats {
     pub responses_checked: usize,
     /// Live replicas whose state machines were compared.
     pub replicas_checked: usize,
+    /// Batch commands audited in the longest applied prefix. Each one
+    /// passed the atomicity bar: well-formed (non-empty, no duplicate
+    /// `(client, req_id)`), applied as one slot, and — via the
+    /// exactly-once check — never applied as a strict subset of its
+    /// entries on any replica.
+    pub batches_checked: usize,
 }
 
 /// What the storage checker verified.
@@ -125,6 +136,10 @@ pub fn check_lock_cluster(c: &Cluster<LockService>) -> Result<LockCheckStats, St
         .map(|(_, p)| p.clone())
         .unwrap_or_default();
     stats.replayed = longest.len();
+    stats.batches_checked = longest
+        .iter()
+        .filter(|(_, c)| matches!(c, Command::Batch(_)))
+        .count();
     let (_, log_info) = replay_dedup(&longest)?;
 
     // Client histories vs the replayed responses.
@@ -199,25 +214,50 @@ fn replay_dedup(
     let mut clock: u64 = 0;
 
     for (slot, cmd) in prefix {
-        match cmd {
-            Command::Noop => {}
+        // A batch is one slot value applied atomically: flatten it into
+        // per-entry applications after checking it is well-formed. A
+        // partially applied batch cannot hide here — the exactly-once
+        // check compares each replica's machine against this replay of
+        // its own full prefix, so any replica that applied a strict
+        // subset of a batch's entries diverges from the model.
+        let entries: Vec<(NodeId, u64, &LockCmd)> = match cmd {
+            Command::Noop => continue,
             Command::Reconfig { client, req_id, .. } => {
                 let m = info.max_req.entry(*client).or_default();
                 *m = (*m).max(*req_id);
+                continue;
             }
             Command::App {
                 client,
                 req_id,
                 cmd,
-            } => {
-                let m = info.max_req.entry(*client).or_default();
-                *m = (*m).max(*req_id);
+            } => vec![(*client, *req_id, cmd)],
+            Command::Batch(batch) => {
+                if batch.is_empty() {
+                    return Err(format!("slot {slot}: empty batch was chosen"));
+                }
+                let mut seen = std::collections::HashSet::new();
+                for e in batch {
+                    if !seen.insert((e.client, e.req_id)) {
+                        return Err(format!(
+                            "slot {slot}: batch contains ({}, {}) twice",
+                            e.client, e.req_id
+                        ));
+                    }
+                }
+                batch.iter().map(|e| (e.client, e.req_id, &e.cmd)).collect()
+            }
+        };
+        for (client, req_id, cmd) in entries {
+            {
+                let m = info.max_req.entry(client).or_default();
+                *m = (*m).max(req_id);
                 let already = dedup
-                    .get(client)
-                    .map(|(last, _)| *last >= *req_id)
+                    .get(&client)
+                    .map(|(last, _)| *last >= req_id)
                     .unwrap_or(false);
                 let resp = if already {
-                    dedup.get(client).expect("dedup entry").1.clone()
+                    dedup.get(&client).expect("dedup entry").1.clone()
                 } else {
                     if let LockCmd::AcquireLease { now_ms, .. } | LockCmd::Renew { now_ms, .. } =
                         cmd
@@ -225,7 +265,7 @@ fn replay_dedup(
                         clock = clock.max(*now_ms);
                     }
                     let resp = sm.apply(cmd);
-                    dedup.insert(*client, (*req_id, resp.clone()));
+                    dedup.insert(client, (req_id, resp.clone()));
 
                     // 4. Mutual exclusion: a grant installs its owner.
                     if resp == LockResp::Granted {
@@ -290,7 +330,7 @@ fn replay_dedup(
                     }
                     resp
                 };
-                info.responses.entry((*client, *req_id)).or_insert(resp);
+                info.responses.entry((client, req_id)).or_insert(resp);
             }
         }
     }

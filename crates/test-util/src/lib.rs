@@ -26,7 +26,10 @@ pub mod env;
 pub mod fixtures;
 pub mod rng;
 
-pub use chaos::{run_lock_chaos, run_storage_chaos, shrink_and_report, ChaosFailure, ChaosOutcome};
+pub use chaos::{
+    run_lock_chaos, run_lock_chaos_batched, run_storage_chaos, run_storage_chaos_batched,
+    shrink_and_report, ChaosFailure, ChaosOutcome,
+};
 pub use check::{check_lock_cluster, check_storage_cluster};
 pub use env::{chaos_schedules, chaos_seed, repro_command};
 pub use fixtures::{lock_cluster, market_days, quick_market, repair_pair, storage_cluster};

@@ -17,6 +17,7 @@
 //! | [`storage`] | the RS-Paxos erasure-coded storage service |
 //! | [`jupiter`] | the bidding framework: Fig. 3 algorithm, Extra(m,p), exact solver |
 //! | [`replay`] | the trace-replay experiment harness (Figs. 4–9) |
+//! | [`workload`] | request-level open-loop load generation + SLO availability |
 //! | [`obs`] | observability: metric registry, sim-time tracing, JSON export |
 //!
 //! ## Quickstart
@@ -60,3 +61,4 @@ pub use simnet;
 pub use spot_market;
 pub use spot_model;
 pub use storage;
+pub use workload;

@@ -19,7 +19,8 @@ use spot_jupiter::replay::{market_fault_schedule, RepairConfig, ReplayConfig};
 use spot_jupiter::simnet::{ChaosAction, ChaosEvent, ChaosPlan, ChaosSchedule, SimTime};
 use test_util::{
     chaos_schedules, chaos_seed, derive_seed, quick_market, repair_pair, run_lock_chaos,
-    run_storage_chaos, shrink_and_report, ChaosOutcome,
+    run_lock_chaos_batched, run_storage_chaos, run_storage_chaos_batched, shrink_and_report,
+    ChaosOutcome,
 };
 
 /// Default per-sweep schedule count: six sweeps × these defaults give the
@@ -28,21 +29,23 @@ const LOCK_SWEEP_DEFAULT: usize = 35;
 const STORAGE_SWEEP_DEFAULT: usize = 30;
 
 /// Run `n` seeded schedules through `run`, shrinking and reporting the
-/// first failure. Returns (ops checked, unavailable reads) across the
-/// sweep as a sanity signal that the workloads actually exercised the
-/// cluster.
+/// first failure. Returns (ops checked, unavailable reads, batches
+/// audited) across the sweep as a sanity signal that the workloads
+/// actually exercised the cluster — and, for the batched sweeps, that
+/// multi-command batches really flowed through the chosen log.
 fn sweep(
     test_name: &str,
     default_n: usize,
     stream: u64,
     plan: &ChaosPlan,
     run: impl Fn(&ChaosSchedule, &Obs) -> Result<ChaosOutcome, String> + Copy,
-) -> (usize, usize) {
+) -> (usize, usize, usize) {
     let n = chaos_schedules(default_n);
     let pinned = std::env::var("CHAOS_SEED").is_ok();
     let base = chaos_seed(0xC0FFEE);
     let mut ops = 0;
     let mut unavailable = 0;
+    let mut batches = 0;
     for i in 0..n {
         // Pinned seeds are used verbatim so a printed failure seed
         // re-runs the exact schedule; otherwise each sweep draws from its
@@ -57,6 +60,7 @@ fn sweep(
             Ok(out) => {
                 ops += out.ops_checked;
                 unavailable += out.unavailable_reads;
+                batches += out.batches_checked;
             }
             Err(reason) => {
                 let failure = shrink_and_report(&schedule, test_name, reason, run);
@@ -64,7 +68,7 @@ fn sweep(
             }
         }
     }
-    (ops, unavailable)
+    (ops, unavailable, batches)
 }
 
 fn lock_plan() -> ChaosPlan {
@@ -77,31 +81,49 @@ fn storage_plan() -> ChaosPlan {
 
 #[test]
 fn lock_sweep_a() {
-    let (ops, _) = sweep("lock_sweep_a", LOCK_SWEEP_DEFAULT, 0xA, &lock_plan(), run_lock_chaos);
+    let (ops, _, _) = sweep("lock_sweep_a", LOCK_SWEEP_DEFAULT, 0xA, &lock_plan(), run_lock_chaos);
     assert!(ops > 0, "sweep never audited a completed op");
 }
 
 #[test]
 fn lock_sweep_b() {
-    let (ops, _) = sweep("lock_sweep_b", LOCK_SWEEP_DEFAULT, 0xB, &lock_plan(), run_lock_chaos);
+    let (ops, _, _) = sweep("lock_sweep_b", LOCK_SWEEP_DEFAULT, 0xB, &lock_plan(), run_lock_chaos);
     assert!(ops > 0, "sweep never audited a completed op");
 }
 
+// Sweeps c/d run the same plans with leader batching + accept
+// pipelining enabled (batch 4, pipeline 2): same safety checkers, plus
+// the batch-atomicity audit. Together with a/b and the storage sweeps
+// the suite still runs its ≥200-schedule baseline, half of it batched.
 #[test]
-fn lock_sweep_c() {
-    let (ops, _) = sweep("lock_sweep_c", LOCK_SWEEP_DEFAULT, 0xC, &lock_plan(), run_lock_chaos);
+fn lock_sweep_c_batched() {
+    let (ops, _, batches) = sweep(
+        "lock_sweep_c_batched",
+        LOCK_SWEEP_DEFAULT,
+        0xC,
+        &lock_plan(),
+        run_lock_chaos_batched,
+    );
     assert!(ops > 0, "sweep never audited a completed op");
+    assert!(batches > 0, "batched sweep never chose a multi-command batch");
 }
 
 #[test]
-fn lock_sweep_d() {
-    let (ops, _) = sweep("lock_sweep_d", LOCK_SWEEP_DEFAULT, 0xD, &lock_plan(), run_lock_chaos);
+fn lock_sweep_d_batched() {
+    let (ops, _, batches) = sweep(
+        "lock_sweep_d_batched",
+        LOCK_SWEEP_DEFAULT,
+        0xD,
+        &lock_plan(),
+        run_lock_chaos_batched,
+    );
     assert!(ops > 0, "sweep never audited a completed op");
+    assert!(batches > 0, "batched sweep never chose a multi-command batch");
 }
 
 #[test]
 fn storage_sweep_a() {
-    let (ops, _) = sweep(
+    let (ops, _, _) = sweep(
         "storage_sweep_a",
         STORAGE_SWEEP_DEFAULT,
         0x5A,
@@ -112,15 +134,16 @@ fn storage_sweep_a() {
 }
 
 #[test]
-fn storage_sweep_b() {
-    let (ops, _) = sweep(
-        "storage_sweep_b",
+fn storage_sweep_b_batched() {
+    let (ops, _, batches) = sweep(
+        "storage_sweep_b_batched",
         STORAGE_SWEEP_DEFAULT,
         0x5B,
         &storage_plan(),
-        run_storage_chaos,
+        run_storage_chaos_batched,
     );
     assert!(ops > 0, "sweep never audited a completed op");
+    assert!(batches > 0, "batched sweep never applied a batch slot");
 }
 
 #[test]
@@ -157,6 +180,7 @@ fn failing_schedules_shrink_to_the_first_bad_event() {
                 ops_checked: 0,
                 unavailable_reads: 0,
                 eroded_keys: 0,
+                batches_checked: 0,
             })
         }
     };
