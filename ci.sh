@@ -56,6 +56,22 @@ diff /tmp/ci_workload_default.txt /tmp/ci_workload_single.txt \
 grep -q 'lock batch=8' /tmp/ci_workload_default.txt \
   || { echo "workload smoke: missing lock row" >&2; exit 1; }
 
+echo "== hetero smoke + determinism =="
+# Heterogeneous pools + auto-scaler: the strategy race over pool columns
+# and the autoscaled replay must be thread-count independent, emit the
+# per-type fleet series, and audit at least one scaling decision.
+./target/release/repro --quick --seed 2014 hetero | grep -v '^#' > /tmp/ci_hetero_default.txt
+RAYON_NUM_THREADS=1 ./target/release/repro --quick --seed 2014 hetero | grep -v '^#' > /tmp/ci_hetero_single.txt
+diff /tmp/ci_hetero_default.txt /tmp/ci_hetero_single.txt \
+  || { echo "hetero rows depend on thread count" >&2; exit 1; }
+grep -q 'pool.fleet.m1.small' /tmp/ci_hetero_default.txt \
+  || { echo "hetero smoke: missing m1.small fleet series" >&2; exit 1; }
+grep -q 'pool.fleet.m3.large' /tmp/ci_hetero_default.txt \
+  || { echo "hetero smoke: missing m3.large fleet series" >&2; exit 1; }
+SCALE_AUDITS="$(sed -n 's/^audited scale decisions: \([0-9]*\).*/\1/p' /tmp/ci_hetero_default.txt)"
+[[ -n "$SCALE_AUDITS" && "$SCALE_AUDITS" -ge 1 ]] \
+  || { echo "hetero smoke: no audited scale decisions" >&2; exit 1; }
+
 echo "== repro report smoke =="
 REPORT_TMP="$(mktemp -d)"
 trap 'rm -rf "$REPORT_TMP"' EXIT
@@ -97,6 +113,12 @@ if [[ -f BENCH_replay.json ]]; then
   ./target/release/bench-baseline compare \
     --baseline BENCH_replay.json \
     --only workload_replay \
+    --strict
+  # The hetero replay pins the auto-scaled mixed-fleet counters
+  # (autoscale.* decisions, per-pool launches) — all deterministic.
+  ./target/release/bench-baseline compare \
+    --baseline BENCH_replay.json \
+    --only hetero_replay \
     --strict
   ./target/release/bench-baseline compare \
     --baseline BENCH_replay.json \

@@ -21,9 +21,10 @@ fn framework_for<S: BiddingStrategy>(
     let mut snapshots = Vec::new();
     for &zone in market.zones() {
         let t = market.trace(zone, ty);
-        fw.observe(zone, t);
+        fw.observe(zone, ty, t);
         snapshots.push(MarketSnapshot {
             zone,
+            instance_type: ty,
             spot_price: t.price_at(now),
             sojourn_age: t.sojourn_age_at(now) as u32,
         });

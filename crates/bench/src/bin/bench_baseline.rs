@@ -244,6 +244,59 @@ fn run_all(only: Option<&str>) -> Vec<TargetResult> {
             },
         ));
     }
+    // The heterogeneous-pool auto-scaled replay: a two-type market, the
+    // mixed-pool lock service, and the load-driven auto-scaler
+    // re-targeting fleet strength every 3 h against the diurnal demand
+    // curve. The pinned counters are the scaling decisions themselves
+    // (`autoscale.scale_out/scale_in/hold`) plus the bid volume and
+    // death counts — drift in any of them means the controller or the
+    // typed optimizer path does different work than the baseline.
+    if want("hetero_replay") {
+        out.push(run_target(
+            "hetero_replay",
+            &["replay.bids_placed", "replay.death.", "autoscale.", "model_store."],
+            |obs| {
+                use replay::experiments::{diurnal_rate, PER_STRENGTH_THROUGHPUT};
+                use replay::{demand_series, replay_autoscale_stored, AutoScaler, AutoscaleConfig};
+                use spot_market::{InstanceType, Market, MarketConfig};
+                let mut cfg = MarketConfig::hetero_paper(8, train + eval);
+                cfg.zones.truncate(8);
+                let market = Market::generate(cfg);
+                let spec = ServiceSpec::lock_service()
+                    .with_pools(&[InstanceType::M1Small, InstanceType::M3Large]);
+                let demand = demand_series(
+                    diurnal_rate,
+                    train,
+                    train + eval,
+                    60,
+                    PER_STRENGTH_THROUGHPUT,
+                );
+                let mut scaler = AutoScaler::new(
+                    AutoscaleConfig {
+                        min_strength: 4,
+                        max_strength: 24,
+                        ..AutoscaleConfig::default()
+                    },
+                    demand,
+                );
+                let store = ModelStore::with_obs(obs.clone());
+                let result = replay_autoscale_stored(
+                    &market,
+                    &spec,
+                    JupiterStrategy::new().with_obs(obs.clone()),
+                    ReplayConfig::new(train, train + eval, 3),
+                    RepairConfig::off(),
+                    |_| 180,
+                    &store,
+                    &mut scaler,
+                    obs,
+                );
+                assert!(result.window_minutes > 0);
+                let (outs, _ins) = scaler.scale_events();
+                assert!(outs >= 1, "diurnal demand must force a scale-out");
+            },
+        ));
+    }
     // Satellite guard: "disabled tracing is free". A tight loop of
     // inert span opens/closes and causal instants on a *disabled*
     // handle must stay in the low-nanosecond range per op — if the

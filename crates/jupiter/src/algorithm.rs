@@ -20,10 +20,69 @@
 
 use obs::Obs;
 use rayon::prelude::*;
-use spot_market::{Price, Zone};
+use spot_market::Price;
 
 use crate::service::ServiceSpec;
-use crate::strategy::{BidDecision, BiddingStrategy, ZoneState};
+use crate::strategy::{BidDecision, BiddingStrategy, PoolBid, ZoneState};
+
+/// Pick `n` pools from `bids` approximately minimizing total cost subject
+/// to the capacity-weight floor: start from the `n` cheapest bids (the
+/// paper's homogeneous order), then repeatedly apply the single swap — a
+/// selected pool out, a strictly heavier unselected pool in — with the
+/// lowest marginal cost per unit of strength gained, until the floor is
+/// met. When the node-count constraint binds (the cheap picks already
+/// satisfy the floor) this buys no excess strength; when the strength
+/// constraint binds it pays for strength wherever it is cheapest per
+/// unit. Returns `None` when no `n`-pool subset can reach the target.
+fn select_with_strength(bids: &[PoolBid], n: usize, min_strength: u32) -> Option<Vec<PoolBid>> {
+    let weight = |b: &PoolBid| b.instance_type.capacity_weight();
+    let mut sorted: Vec<PoolBid> = bids.to_vec();
+    sorted.sort_by_key(|b| (b.bid, b.zone.ordinal(), b.instance_type.ordinal()));
+    let mut selected: Vec<PoolBid> = sorted[..n].to_vec();
+    let mut rest: Vec<PoolBid> = sorted.split_off(n);
+    let mut strength: u32 = selected.iter().map(weight).sum();
+    while strength < min_strength {
+        // Marginal-cost comparison is exact via cross-multiplication:
+        // Δcost_a / gain_a < Δcost_b / gain_b  ⇔  Δcost_a·gain_b <
+        // Δcost_b·gain_a (gains positive; Δcost may be negative once
+        // earlier swaps put expensive pools into the selection). Ties
+        // prefer the bigger strength gain, then bid and ordinal order,
+        // keeping the choice deterministic.
+        let mut best: Option<(i128, i128, usize, usize)> = None; // (Δcost µ, gain, vi, ri)
+        for (vi, v) in selected.iter().enumerate() {
+            for (ri, r) in rest.iter().enumerate() {
+                let gain = i128::from(weight(r)) - i128::from(weight(v));
+                if gain <= 0 {
+                    continue;
+                }
+                let dc = r.bid.as_micros() as i128 - v.bid.as_micros() as i128;
+                let better = match &best {
+                    None => true,
+                    Some((bdc, bgain, bvi, bri)) => {
+                        let (cur, prev) = (dc * bgain, *bdc * gain);
+                        let cur_tie =
+                            (std::cmp::Reverse(gain), r.bid, selected[vi].bid, ri, vi);
+                        let prev_tie = (
+                            std::cmp::Reverse(*bgain),
+                            rest[*bri].bid,
+                            selected[*bvi].bid,
+                            *bri,
+                            *bvi,
+                        );
+                        cur < prev || (cur == prev && cur_tie < prev_tie)
+                    }
+                };
+                if better {
+                    best = Some((dc, gain, vi, ri));
+                }
+            }
+        }
+        let (_, gain, vi, ri) = best?;
+        selected[vi] = rest.remove(ri);
+        strength = (i128::from(strength) + gain) as u32;
+    }
+    Some(selected)
+}
 
 /// Which per-instance failure estimator drives the minimum-bid search.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -261,25 +320,38 @@ impl JupiterStrategy {
                 continue;
             };
             candidates_evaluated.inc();
-            // Minimal feasible bid per zone at this target.
-            let mut bids: Vec<(Zone, Price)> = match self.estimator {
+            // Minimal feasible bid per pool at this target.
+            let pool_bid = |zi: usize, b: Price| PoolBid {
+                zone: zones[zi].zone,
+                instance_type: zones[zi].instance_type,
+                bid: b,
+            };
+            let mut bids: Vec<PoolBid> = match self.estimator {
                 Estimator::Expectation => (0..zones.len())
-                    .filter_map(|zi| {
-                        expectation_min_bid(zi, fp_target).map(|b| (zones[zi].zone, b))
-                    })
+                    .filter_map(|zi| expectation_min_bid(zi, fp_target).map(|b| pool_bid(zi, b)))
                     .collect(),
                 Estimator::Absorbing => (0..zones.len())
                     .into_par_iter()
-                    .filter_map(|zi| absorbing_min_bid(zi, fp_target).map(|b| (zones[zi].zone, b)))
+                    .filter_map(|zi| absorbing_min_bid(zi, fp_target).map(|b| pool_bid(zi, b)))
                     .collect(),
             };
             if bids.len() < n {
-                continue; // not enough zones can meet the target
+                continue; // not enough pools can meet the target
+            }
+            if spec.is_hetero() {
+                // Heterogeneous selection: the n cheapest pools, upgraded
+                // to heavier types at the lowest marginal cost per unit of
+                // strength until the capacity floor holds.
+                let Some(selected) = select_with_strength(&bids, n, spec.min_strength) else {
+                    continue; // no n-pool subset reaches the strength floor
+                };
+                bids = selected;
+            } else {
+                // The paper's greedy: cheapest n zones.
+                bids.sort_by_key(|b| (b.bid, b.zone.ordinal()));
+                bids.truncate(n);
             }
             candidates_feasible.inc();
-            // Greedy: cheapest n zones.
-            bids.sort_by_key(|(z, b)| (*b, z.ordinal()));
-            bids.truncate(n);
             let candidate = BidDecision { bids };
             let cost = candidate.cost_upper_bound();
             let better = best.as_ref().map(|(c, _)| cost < *c).unwrap_or(true);
@@ -294,7 +366,7 @@ impl JupiterStrategy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spot_market::{InstanceType, PricePoint, PriceTrace, Region};
+    use spot_market::{InstanceType, PricePoint, PriceTrace, Region, Zone};
     use spot_model::{FailureModel, FailureModelConfig};
 
     fn p(d: f64) -> Price {
@@ -336,6 +408,7 @@ mod tests {
             .enumerate()
             .map(|(i, m)| ZoneState {
                 zone: zone(i),
+                instance_type: InstanceType::M1Small,
                 spot_price: p(0.008),
                 sojourn_age: 5,
                 on_demand: InstanceType::M1Small.on_demand_price(Region::UsEast1),
@@ -345,8 +418,8 @@ mod tests {
         let spec = ServiceSpec::lock_service();
         let d = JupiterStrategy::new().decide(&states, &spec, 360);
         assert!(d.n() >= 5, "needs ≥5 nodes at FP≈0.01: got {}", d.n());
-        for (_, b) in &d.bids {
-            assert_eq!(*b, p(0.012), "minimal safe bid is the high level");
+        for b in &d.bids {
+            assert_eq!(b.bid, p(0.012), "minimal safe bid is the high level");
         }
     }
 
@@ -362,6 +435,7 @@ mod tests {
             .enumerate()
             .map(|(i, m)| ZoneState {
                 zone: zone(i),
+                instance_type: InstanceType::M1Small,
                 spot_price: if i < 2 { p(0.004) } else { p(0.010) },
                 sojourn_age: 5,
                 on_demand: p(0.044),
@@ -370,9 +444,9 @@ mod tests {
             .collect();
         let spec = ServiceSpec::lock_service();
         let d = JupiterStrategy::new().decide(&states, &spec, 360);
-        assert!(d.bid_for(zone(0)).is_some());
-        assert!(d.bid_for(zone(1)).is_some());
-        assert_eq!(d.bid_for(zone(0)), Some(p(0.006)));
+        assert!(d.bid_for(zone(0), InstanceType::M1Small).is_some());
+        assert!(d.bid_for(zone(1), InstanceType::M1Small).is_some());
+        assert_eq!(d.bid_for(zone(0), InstanceType::M1Small), Some(p(0.006)));
     }
 
     #[test]
@@ -386,6 +460,7 @@ mod tests {
             .enumerate()
             .map(|(i, m)| ZoneState {
                 zone: zone(i),
+                instance_type: InstanceType::M1Small,
                 spot_price: p(0.008),
                 sojourn_age: 0,
                 on_demand: p(0.044),
@@ -395,7 +470,7 @@ mod tests {
         let spec = ServiceSpec::lock_service();
         let d = JupiterStrategy::new().decide(&states, &spec, 360);
         assert!(
-            d.bid_for(zone(5)).is_none(),
+            d.bid_for(zone(5), InstanceType::M1Small).is_none(),
             "untrained zone must not be bid"
         );
         assert!(d.n() >= 5);
@@ -409,6 +484,7 @@ mod tests {
         let m = model(0.008, 0.012, 60);
         let states = vec![ZoneState {
             zone: zone(0),
+            instance_type: InstanceType::M1Small,
             spot_price: p(0.008),
             sojourn_age: 0,
             on_demand: p(0.044),
@@ -427,6 +503,7 @@ mod tests {
             .enumerate()
             .map(|(i, m)| ZoneState {
                 zone: zone(i),
+                instance_type: InstanceType::M1Small,
                 spot_price: p(0.008),
                 sojourn_age: 5,
                 on_demand: p(0.044),
@@ -437,9 +514,9 @@ mod tests {
         let expectation = JupiterStrategy::new().decide(&states, &spec, 240);
         let absorbing = JupiterStrategy::absorbing().decide(&states, &spec, 240);
         // For every zone both selected, the absorbing bid dominates.
-        for (z, b_abs) in &absorbing.bids {
-            if let Some(b_exp) = expectation.bid_for(*z) {
-                assert!(*b_abs >= b_exp, "{}: {b_abs:?} < {b_exp:?}", z.name());
+        for b in &absorbing.bids {
+            if let Some(b_exp) = expectation.bid_for(b.zone, b.instance_type) {
+                assert!(b.bid >= b_exp, "{}: {:?} < {b_exp:?}", b.zone.name(), b.bid);
             }
         }
     }
@@ -452,6 +529,7 @@ mod tests {
             .enumerate()
             .map(|(i, m)| ZoneState {
                 zone: zone(i),
+                instance_type: InstanceType::M1Small,
                 spot_price: p(0.008),
                 sojourn_age: 5,
                 on_demand: p(0.044),
@@ -500,6 +578,7 @@ mod tests {
             .enumerate()
             .map(|(i, m)| ZoneState {
                 zone: zone(i),
+                instance_type: InstanceType::M1Small,
                 spot_price: p(0.008),
                 sojourn_age: 5,
                 on_demand: p(0.044),
@@ -522,10 +601,10 @@ mod tests {
         let target = spec
             .node_fp_target(first.n())
             .expect("chosen n has a target");
-        for (z, bid) in &first.bids {
-            let state = states.iter().find(|s| s.zone == *z).expect("known zone");
+        for b in &first.bids {
+            let state = states.iter().find(|s| s.zone == b.zone).expect("known zone");
             let f = state.forecast(240).expect("alternating trace trains");
-            assert_eq!(state.min_bid(&f, target), Some(*bid), "{}", z.name());
+            assert_eq!(state.min_bid(&f, target), Some(b.bid), "{}", b.zone.name());
         }
         let again = strategy.decide(&states, &spec, 240);
         assert_eq!(first, again, "repeated decide is deterministic");
@@ -546,6 +625,7 @@ mod tests {
             .enumerate()
             .map(|(i, m)| ZoneState {
                 zone: zone(i),
+                instance_type: InstanceType::M1Small,
                 spot_price: p(0.02),
                 sojourn_age: 10,
                 on_demand: InstanceType::M3Large.on_demand_price(Region::UsEast1),
@@ -557,5 +637,113 @@ mod tests {
         if d.n() > 0 {
             assert!(d.n() >= 3, "θ(3,·) needs at least 3 nodes");
         }
+    }
+
+    /// Two pools per zone (small + large). With a strength floor the mix
+    /// must reach it; without one, the hetero path at equal weights
+    /// reduces to the legacy cheapest-bid order.
+    #[test]
+    fn hetero_mix_meets_strength_floor() {
+        let small_models: Vec<FailureModel> = (0..6).map(|_| model(0.008, 0.012, 60)).collect();
+        let large_models: Vec<FailureModel> = (0..6).map(|_| model(0.016, 0.024, 60)).collect();
+        let mut states: Vec<ZoneState> = Vec::new();
+        for i in 0..6 {
+            states.push(ZoneState {
+                zone: zone(i),
+                instance_type: InstanceType::M1Small,
+                spot_price: p(0.008),
+                sojourn_age: 5,
+                on_demand: InstanceType::M1Small.on_demand_price(Region::UsEast1),
+                model: &small_models[i],
+            });
+            states.push(ZoneState {
+                zone: zone(i),
+                instance_type: InstanceType::M3Large,
+                spot_price: p(0.016),
+                sojourn_age: 5,
+                on_demand: InstanceType::M3Large.on_demand_price(Region::UsEast1),
+                model: &large_models[i],
+            });
+        }
+        let spec = ServiceSpec::lock_service()
+            .with_pools(&[InstanceType::M1Small, InstanceType::M3Large])
+            .with_min_strength(14);
+        let d = JupiterStrategy::new().decide(&states, &spec, 360);
+        assert!(d.n() > 0, "hetero instance must be feasible");
+        assert!(d.strength() >= 14, "strength {} < floor", d.strength());
+        // 14 strength cannot be met by m1.small alone within 6 zones, so
+        // the mix must include large pools.
+        assert!(
+            d.bids.iter().any(|b| b.instance_type == InstanceType::M3Large),
+            "mix must include m3.large: {:?}",
+            d.bids
+        );
+        // Strength is bought where it is cheapest per unit (large upgrades
+        // at 0.012 marginal cost for +3 weight): the mixed fleet costs
+        // less than the same strength from small pools would (14 × 0.012
+        // if it were even feasible).
+        assert!(d.cost_upper_bound() < p(0.012) * 14);
+        // And no more nodes than the quorum rule needs: the upgrade path
+        // keeps the group at the 5-node enumeration floor.
+        assert_eq!(d.n(), 5, "{:?}", d.bids);
+    }
+
+    #[test]
+    fn select_with_strength_is_deterministic_and_minimal() {
+        let mk = |zi: usize, ty: InstanceType, bid: f64| PoolBid {
+            zone: zone(zi),
+            instance_type: ty,
+            bid: p(bid),
+        };
+        let bids = vec![
+            mk(0, InstanceType::M1Small, 0.006),
+            mk(1, InstanceType::M1Small, 0.007),
+            mk(2, InstanceType::M3Large, 0.020),
+            mk(3, InstanceType::M3Large, 0.022),
+        ];
+        // Pick 2 with floor 8: only the two larges can reach it.
+        let sel = select_with_strength(&bids, 2, 8).expect("feasible");
+        assert_eq!(
+            sel.iter().map(|b| b.instance_type.capacity_weight()).sum::<u32>(),
+            8
+        );
+        // Floor 9 is impossible with 2 pools (max 4+4).
+        assert!(select_with_strength(&bids, 2, 9).is_none());
+        // Floor 0 keeps the plain cheapest-first prefix — no upgrades.
+        let sel0 = select_with_strength(&bids, 2, 0).expect("feasible");
+        assert_eq!(sel0.len(), 2);
+        assert!(sel0.iter().all(|b| b.instance_type == InstanceType::M1Small));
+    }
+
+    /// The node-count floor binding: the cheap picks already reach the
+    /// strength floor after one upgrade, so the selection must NOT flood
+    /// the group with heavy pools (that was the old per-strength ranking's
+    /// failure mode — it bought 5 larges where 4 smalls + 1 large do).
+    #[test]
+    fn select_with_strength_buys_no_excess_strength() {
+        let mk = |zi: usize, ty: InstanceType, bid: f64| PoolBid {
+            zone: zone(zi),
+            instance_type: ty,
+            bid: p(bid),
+        };
+        let mut bids = Vec::new();
+        for i in 0..6 {
+            bids.push(mk(i, InstanceType::M1Small, 0.006 + i as f64 * 0.001));
+            bids.push(mk(i, InstanceType::M3Large, 0.020 + i as f64 * 0.001));
+        }
+        // n = 5, floor 8: start with the 5 cheapest smalls (strength 5),
+        // one upgrade (+3) reaches 8.
+        let sel = select_with_strength(&bids, 5, 8).expect("feasible");
+        let strength: u32 = sel.iter().map(|b| b.instance_type.capacity_weight()).sum();
+        assert_eq!(strength, 8, "{sel:?}");
+        let larges = sel
+            .iter()
+            .filter(|b| b.instance_type == InstanceType::M3Large)
+            .count();
+        assert_eq!(larges, 1, "exactly one upgrade: {sel:?}");
+        // The upgrade evicts the most expensive small (0.010) for the
+        // cheapest large (0.020): total = 0.006+0.007+0.008+0.009+0.020.
+        let total: f64 = sel.iter().map(|b| b.bid.as_dollars()).sum();
+        assert!((total - 0.050).abs() < 1e-9, "{sel:?}");
     }
 }

@@ -17,7 +17,7 @@ use quorum::threshold_availability;
 use spot_market::Price;
 
 use crate::service::ServiceSpec;
-use crate::strategy::{BidDecision, BiddingStrategy, ZoneState};
+use crate::strategy::{BidDecision, BiddingStrategy, PoolBid, ZoneState};
 
 /// Exact solver (small instances only — cost grows exponentially with the
 /// zone count).
@@ -160,7 +160,11 @@ impl BiddingStrategy for ExhaustiveSolver {
             Some(picked) => BidDecision {
                 bids: picked
                     .into_iter()
-                    .map(|(zi, b)| (zones[zi].zone, b))
+                    .map(|(zi, b)| PoolBid {
+                        zone: zones[zi].zone,
+                        instance_type: zones[zi].instance_type,
+                        bid: b,
+                    })
                     .collect(),
             },
         }
@@ -204,6 +208,7 @@ mod tests {
             .enumerate()
             .map(|(i, (m, s))| ZoneState {
                 zone: zones[i],
+                instance_type: spot_market::InstanceType::M1Small,
                 spot_price: p(*s),
                 sojourn_age: 5,
                 on_demand: p(0.044),
@@ -223,9 +228,9 @@ mod tests {
         let fps: Vec<f64> = d
             .bids
             .iter()
-            .map(|(z, b)| {
-                let zs = st.iter().find(|s| s.zone == *z).unwrap();
-                zs.model.estimate_fp(*b, zs.spot_price, zs.sojourn_age, 240)
+            .map(|pb| {
+                let zs = st.iter().find(|s| s.zone == pb.zone).unwrap();
+                zs.model.estimate_fp(pb.bid, zs.spot_price, zs.sojourn_age, 240)
             })
             .collect();
         let k = spec.quorum.quorum_size(d.n());

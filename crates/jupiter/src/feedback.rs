@@ -1,0 +1,334 @@
+//! A feedback-control bidding strategy (Li et al., "On a Feedback
+//! Control-based Mechanism of Bidding for Cloud Spot Service").
+//!
+//! Where Jupiter *models* the price process and derives bids from
+//! predicted failure probabilities, the feedback controller is model-free:
+//! it closes a PID loop on the only signal it can observe per pool — did
+//! our standing bid survive the spot price since the last decision? The
+//! per-pool error is the difference between the per-node availability
+//! target and that observed survival indicator; the controller integrates
+//! it and adjusts the bid multiplicatively around the current spot price.
+//!
+//! The controller is deliberately ignorant of the semi-Markov model: the
+//! scenario engine races it against Jupiter to quantify what the model
+//! buys (and what a well-tuned loop recovers without it).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use spot_market::{InstanceType, Price, Zone};
+
+use crate::service::ServiceSpec;
+use crate::strategy::{BidDecision, BiddingStrategy, PoolBid, ZoneState};
+
+/// PID gains and actuation limits of the feedback bidder.
+#[derive(Clone, Copy, Debug)]
+pub struct FeedbackConfig {
+    /// Proportional gain on the availability error.
+    pub kp: f64,
+    /// Integral gain (error accumulates across decisions).
+    pub ki: f64,
+    /// Derivative gain (on the error delta).
+    pub kd: f64,
+    /// Initial bid headroom over the spot price (0.15 ⇒ spot × 1.15).
+    pub initial_headroom: f64,
+    /// Headroom floor: the bid never drops below spot × (1 + floor).
+    pub min_headroom: f64,
+    /// Headroom ceiling: the bid never exceeds spot × (1 + ceiling), and
+    /// is always capped strictly below the on-demand price.
+    pub max_headroom: f64,
+    /// Anti-windup clamp on the integrated error.
+    pub integral_clamp: f64,
+}
+
+impl Default for FeedbackConfig {
+    fn default() -> Self {
+        FeedbackConfig {
+            kp: 0.6,
+            ki: 0.25,
+            kd: 0.1,
+            initial_headroom: 0.15,
+            min_headroom: 0.02,
+            max_headroom: 3.0,
+            integral_clamp: 4.0,
+        }
+    }
+}
+
+/// Per-pool controller state.
+#[derive(Clone, Copy, Debug, Default)]
+struct PoolLoop {
+    /// Headroom over spot the last decision bid (the actuator value).
+    headroom: f64,
+    /// The bid actually placed last time (to judge survival).
+    last_bid: Price,
+    /// Accumulated availability error.
+    integral: f64,
+    /// Previous error (for the derivative term).
+    last_error: f64,
+    /// Whether the pool has been bid at least once.
+    engaged: bool,
+}
+
+/// The feedback-control bidder: one PID loop per (zone, type) pool.
+///
+/// Stateful across decisions (interior mutability, like
+/// [`crate::FixedOnce`]): each call observes which standing bids the
+/// current spot prices would have killed and moves every pool's headroom
+/// by the PID law before re-selecting the cheapest pools.
+pub struct FeedbackStrategy {
+    config: FeedbackConfig,
+    loops: Mutex<HashMap<(Zone, InstanceType), PoolLoop>>,
+}
+
+impl FeedbackStrategy {
+    /// A controller with default gains.
+    pub fn new() -> Self {
+        Self::with_config(FeedbackConfig::default())
+    }
+
+    /// A controller with explicit gains.
+    pub fn with_config(config: FeedbackConfig) -> Self {
+        FeedbackStrategy {
+            config,
+            loops: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl Default for FeedbackStrategy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BiddingStrategy for FeedbackStrategy {
+    fn name(&self) -> String {
+        "Feedback".into()
+    }
+
+    fn decide(
+        &self,
+        zones: &[ZoneState<'_>],
+        spec: &ServiceSpec,
+        _horizon_minutes: u32,
+    ) -> BidDecision {
+        if zones.is_empty() {
+            return BidDecision::empty();
+        }
+        let cfg = self.config;
+        // The per-node availability the deployment needs (the loop's set
+        // point): at the baseline node count, a node may fail with at most
+        // the per-node FP target probability.
+        let target = 1.0
+            - spec
+                .node_fp_target(spec.baseline_nodes.max(spec.quorum.min_nodes()))
+                .unwrap_or(0.01);
+        let mut loops = self.loops.lock().expect("poisoned");
+
+        // 1. Control step: update every visible pool's loop from the
+        // survival observation.
+        for z in zones {
+            let state = loops.entry((z.zone, z.instance_type)).or_default();
+            if !state.engaged {
+                state.headroom = cfg.initial_headroom;
+                state.last_error = 0.0;
+            } else {
+                // Observed availability proxy: 1 when the standing bid
+                // would still hold the instance at today's spot price.
+                let survived = if state.last_bid >= z.spot_price { 1.0 } else { 0.0 };
+                let error = target - survived; // > 0 ⇒ we were outbid
+                state.integral =
+                    (state.integral + error).clamp(-cfg.integral_clamp, cfg.integral_clamp);
+                let derivative = error - state.last_error;
+                let u = cfg.kp * error + cfg.ki * state.integral + cfg.kd * derivative;
+                state.headroom = (state.headroom * (1.0 + u))
+                    .clamp(cfg.min_headroom, cfg.max_headroom);
+                state.last_error = error;
+            }
+        }
+
+        // 2. Actuation: bid in the cheapest pools (by the would-be bid),
+        // taking nodes until both the baseline count and any strength
+        // floor are met. Bids stay strictly below on-demand.
+        let mut priced: Vec<(Price, &ZoneState)> = zones
+            .iter()
+            .map(|z| {
+                let state = loops[&(z.zone, z.instance_type)];
+                let bid = z
+                    .spot_price
+                    .scale(1.0 + state.headroom)
+                    .min(z.on_demand - Price::TICK);
+                (bid.max(z.spot_price), z)
+            })
+            .collect();
+        priced.sort_by_key(|(bid, z)| (*bid, z.zone.ordinal(), z.instance_type.ordinal()));
+
+        let mut bids: Vec<PoolBid> = Vec::new();
+        let mut strength = 0u32;
+        for (bid, z) in priced {
+            let enough_nodes = bids.len() >= spec.baseline_nodes;
+            let enough_strength = strength >= spec.min_strength;
+            if enough_nodes && enough_strength {
+                break;
+            }
+            bids.push(PoolBid {
+                zone: z.zone,
+                instance_type: z.instance_type,
+                bid,
+            });
+            strength += z.instance_type.capacity_weight();
+        }
+
+        // 3. Remember what we actually bid (pools we skipped keep their
+        // loop state but observe nothing next round — mark them
+        // unengaged so a stale last_bid does not feed a bogus error).
+        for (key, state) in loops.iter_mut() {
+            state.engaged = false;
+            if let Some(pb) = bids
+                .iter()
+                .find(|b| (b.zone, b.instance_type) == *key)
+            {
+                state.last_bid = pb.bid;
+                state.engaged = true;
+            }
+        }
+        BidDecision { bids }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spot_market::{PricePoint, PriceTrace};
+    use spot_model::{FailureModel, FailureModelConfig};
+
+    fn p(d: f64) -> Price {
+        Price::from_dollars(d)
+    }
+
+    fn dummy_model() -> FailureModel {
+        FailureModel::from_trace(
+            &PriceTrace::new(
+                vec![
+                    PricePoint {
+                        minute: 0,
+                        price: p(0.01),
+                    },
+                    PricePoint {
+                        minute: 10,
+                        price: p(0.02),
+                    },
+                ],
+                20,
+            ),
+            FailureModelConfig::default(),
+        )
+    }
+
+    fn states<'a>(model: &'a FailureModel, spots: &[f64]) -> Vec<ZoneState<'a>> {
+        let zones = spot_market::topology::all_zones();
+        spots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ZoneState {
+                zone: zones[i],
+                instance_type: InstanceType::M1Small,
+                spot_price: p(*s),
+                sojourn_age: 0,
+                on_demand: p(0.044),
+                model,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bids_baseline_nodes_above_spot() {
+        let m = dummy_model();
+        let st = states(&m, &[0.008; 6]);
+        let spec = ServiceSpec::lock_service();
+        let d = FeedbackStrategy::new().decide(&st, &spec, 60);
+        assert_eq!(d.n(), 5);
+        for b in &d.bids {
+            assert!(b.bid > p(0.008), "headroom over spot");
+            assert!(b.bid < p(0.044), "capped below on-demand");
+        }
+    }
+
+    #[test]
+    fn raises_bids_after_being_outbid() {
+        let m = dummy_model();
+        let spec = ServiceSpec::lock_service();
+        let strat = FeedbackStrategy::new();
+        let first = strat.decide(&states(&m, &[0.008; 6]), &spec, 60);
+        let b0 = first.bids[0];
+        // Spot spikes above every standing bid: the loop must push
+        // headroom up, so at the *same* spot price the new bid is higher.
+        let _spiked = strat.decide(&states(&m, &[0.020; 6]), &spec, 60);
+        let recovered = strat.decide(&states(&m, &[0.008; 6]), &spec, 60);
+        let b2 = recovered
+            .bid_for(b0.zone, b0.instance_type)
+            .expect("still bids the cheap pool");
+        assert!(
+            b2 > b0.bid,
+            "outbid loop must raise headroom: {:?} vs {:?}",
+            b2,
+            b0.bid
+        );
+    }
+
+    #[test]
+    fn decays_bids_while_surviving() {
+        let m = dummy_model();
+        let spec = ServiceSpec::lock_service();
+        let strat = FeedbackStrategy::new();
+        let first = strat.decide(&states(&m, &[0.008; 6]), &spec, 60);
+        let b0 = first.bids[0];
+        // Ten calm decisions: surviving means error < 0 (target < 1), so
+        // the integral pulls headroom toward the floor.
+        let mut last = b0.bid;
+        for _ in 0..10 {
+            let d = strat.decide(&states(&m, &[0.008; 6]), &spec, 60);
+            last = d.bid_for(b0.zone, b0.instance_type).expect("still bidding");
+        }
+        assert!(last < b0.bid, "calm loop decays headroom: {last:?} vs {:?}", b0.bid);
+        assert!(last > p(0.008), "but never below the spot price");
+    }
+
+    #[test]
+    fn meets_strength_floor_with_pools() {
+        let m = dummy_model();
+        let zones = spot_market::topology::all_zones();
+        // Two pools per zone: small and large, large spot price higher.
+        let mut st = Vec::new();
+        for &zone in zones.iter().take(4) {
+            st.push(ZoneState {
+                zone,
+                instance_type: InstanceType::M1Small,
+                spot_price: p(0.008),
+                sojourn_age: 0,
+                on_demand: p(0.044),
+                model: &m,
+            });
+            st.push(ZoneState {
+                zone,
+                instance_type: InstanceType::M3Large,
+                spot_price: p(0.018),
+                sojourn_age: 0,
+                on_demand: p(0.140),
+                model: &m,
+            });
+        }
+        let spec = ServiceSpec::lock_service()
+            .with_pools(&[InstanceType::M1Small, InstanceType::M3Large])
+            .with_min_strength(10);
+        let d = FeedbackStrategy::new().decide(&st, &spec, 60);
+        assert!(d.n() >= spec.baseline_nodes);
+        assert!(d.strength() >= 10, "strength {} < 10", d.strength());
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(FeedbackStrategy::new().name(), "Feedback");
+    }
+}

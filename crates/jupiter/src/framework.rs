@@ -12,12 +12,14 @@ use spot_model::{FailureModel, FailureModelConfig, FrozenKernel};
 use crate::service::ServiceSpec;
 use crate::strategy::{BidDecision, BiddingStrategy, ZoneState};
 
-/// A live market observation for one zone, fed to
+/// A live market observation for one (zone, instance-type) pool, fed to
 /// [`BiddingFramework::decide`].
 #[derive(Clone, Copy, Debug)]
 pub struct MarketSnapshot {
     /// The zone.
     pub zone: Zone,
+    /// The instance-type pool within the zone.
+    pub instance_type: InstanceType,
     /// Current spot price.
     pub spot_price: Price,
     /// Minutes at the current price.
@@ -25,12 +27,12 @@ pub struct MarketSnapshot {
 }
 
 /// The availability- and cost-aware bidding framework of Fig. 2: the spot
-/// instance failure model (one per zone) feeding the online bidding
-/// module.
+/// instance failure model (one per zone×type pool) feeding the online
+/// bidding module.
 pub struct BiddingFramework<S: BiddingStrategy> {
     spec: ServiceSpec,
     strategy: S,
-    models: HashMap<Zone, FailureModel>,
+    models: HashMap<(Zone, InstanceType), FailureModel>,
     model_config: FailureModelConfig,
     obs: Obs,
 }
@@ -69,54 +71,63 @@ impl<S: BiddingStrategy> BiddingFramework<S> {
         self.strategy.name()
     }
 
-    /// Adopt a pre-trained shared kernel for `zone` (the
+    /// Re-target the minimum capacity-weighted fleet strength the next
+    /// decision must reach (the auto-scaler's control input). `0` disables
+    /// the constraint.
+    pub fn set_min_strength(&mut self, strength: u32) {
+        self.spec.min_strength = strength;
+    }
+
+    /// Adopt a pre-trained shared kernel for the `(zone, ty)` pool (the
     /// [`crate::ModelStore`] consumption path): the framework wraps it in
     /// a [`FailureModel`] carrying this service's `FP⁰` composition, and
     /// later [`Self::observe`] calls fork it copy-on-write — the shared
     /// base stays untouched.
-    pub fn install_kernel(&mut self, zone: Zone, kernel: Arc<FrozenKernel>) {
-        self.models
-            .insert(zone, FailureModel::from_kernel(kernel, self.model_config));
+    pub fn install_kernel(&mut self, zone: Zone, ty: InstanceType, kernel: Arc<FrozenKernel>) {
+        self.models.insert(
+            (zone, ty),
+            FailureModel::from_kernel(kernel, self.model_config),
+        );
     }
 
-    /// Feed spot-price history for a zone into its failure model
+    /// Feed spot-price history for a pool into its failure model
     /// (training and continuous online refinement both go through here).
-    pub fn observe(&mut self, zone: Zone, trace: &PriceTrace) {
+    pub fn observe(&mut self, zone: Zone, ty: InstanceType, trace: &PriceTrace) {
         let fit_micros = self.obs.histogram("jupiter.kernel_fit_micros");
         let model = self
             .models
-            .entry(zone)
+            .entry((zone, ty))
             .or_insert_with(|| FailureModel::new(self.model_config));
         fit_micros.time(|| model.observe(trace));
     }
 
-    /// Train all zones from a common history source in parallel.
+    /// Train all pools from a common history source in parallel.
     pub fn train_all<'a, I>(&mut self, histories: I)
     where
-        I: IntoIterator<Item = (Zone, &'a PriceTrace)>,
+        I: IntoIterator<Item = (Zone, InstanceType, &'a PriceTrace)>,
     {
         let cfg = self.model_config;
         let fit_micros = self.obs.histogram("jupiter.kernel_fit_micros");
         let zones_trained = self.obs.counter("jupiter.zones_trained");
-        let items: Vec<(Zone, &PriceTrace)> = histories.into_iter().collect();
-        let trained: Vec<(Zone, FailureModel)> = items
+        let items: Vec<(Zone, InstanceType, &PriceTrace)> = histories.into_iter().collect();
+        let trained: Vec<(Zone, InstanceType, FailureModel)> = items
             .into_par_iter()
-            .map(|(zone, trace)| {
+            .map(|(zone, ty, trace)| {
                 let model = fit_micros.time(|| FailureModel::from_trace(trace, cfg));
-                (zone, model)
+                (zone, ty, model)
             })
             .collect();
         zones_trained.add(trained.len() as u64);
-        for (zone, model) in trained {
+        for (zone, ty, model) in trained {
             // Merge with any existing model by re-inserting (fresh batch
             // training replaces; use `observe` for incremental updates).
-            self.models.insert(zone, model);
+            self.models.insert((zone, ty), model);
         }
     }
 
-    /// The trained model for `zone`, if any.
-    pub fn model(&self, zone: Zone) -> Option<&FailureModel> {
-        self.models.get(&zone)
+    /// The trained model for the `(zone, ty)` pool, if any.
+    pub fn model(&self, zone: Zone, ty: InstanceType) -> Option<&FailureModel> {
+        self.models.get(&(zone, ty))
     }
 
     /// The model-predicted failure probability for bidding `bid` in the
@@ -129,23 +140,25 @@ impl<S: BiddingStrategy> BiddingFramework<S> {
         bid: Price,
         horizon_minutes: u32,
     ) -> Option<f64> {
-        self.models.get(&snapshot.zone).map(|model| {
-            model.estimate_fp(bid, snapshot.spot_price, snapshot.sojourn_age, horizon_minutes)
-        })
+        self.models
+            .get(&(snapshot.zone, snapshot.instance_type))
+            .map(|model| {
+                model.estimate_fp(bid, snapshot.spot_price, snapshot.sojourn_age, horizon_minutes)
+            })
     }
 
     /// Make the bidding decision for the next interval (Fig. 2's online
-    /// bidding step). Zones without a trained model are skipped.
+    /// bidding step). Pools without a trained model are skipped.
     pub fn decide(&self, snapshots: &[MarketSnapshot], horizon_minutes: u32) -> BidDecision {
-        let ty: InstanceType = self.spec.instance_type;
         let states: Vec<ZoneState<'_>> = snapshots
             .iter()
             .filter_map(|s| {
-                self.models.get(&s.zone).map(|model| ZoneState {
+                self.models.get(&(s.zone, s.instance_type)).map(|model| ZoneState {
                     zone: s.zone,
+                    instance_type: s.instance_type,
                     spot_price: s.spot_price,
                     sojourn_age: s.sojourn_age,
-                    on_demand: ty.on_demand_price(s.zone.region),
+                    on_demand: s.instance_type.on_demand_price(s.zone.region),
                     model,
                 })
             })
@@ -179,12 +192,13 @@ mod tests {
             .collect();
 
         let mut fw = BiddingFramework::new(ServiceSpec::lock_service(), JupiterStrategy::new());
-        fw.train_all(traces.iter().map(|(z, t)| (*z, t)));
+        fw.train_all(traces.iter().map(|(z, t)| (*z, ty, t)));
 
         let snapshots: Vec<MarketSnapshot> = traces
             .iter()
             .map(|(z, t)| MarketSnapshot {
                 zone: *z,
+                instance_type: ty,
                 spot_price: t.price_at(horizon - 1),
                 sojourn_age: 3,
             })
@@ -196,8 +210,8 @@ mod tests {
             d.n()
         );
         // Bids never reach the on-demand price.
-        for (z, b) in &d.bids {
-            assert!(*b < ty.on_demand_price(z.region));
+        for b in &d.bids {
+            assert!(b.bid < ty.on_demand_price(b.zone.region));
         }
         // And the upper bound is far below on-demand cost for 5 nodes.
         let od5 = ty.on_demand_price(zones[0].region) * 5;
@@ -214,6 +228,7 @@ mod tests {
         let fw = BiddingFramework::new(ServiceSpec::lock_service(), JupiterStrategy::new());
         let snap = MarketSnapshot {
             zone: spot_market::topology::all_zones()[0],
+            instance_type: InstanceType::M1Small,
             spot_price: Price::from_dollars(0.008),
             sojourn_age: 0,
         };
@@ -225,12 +240,13 @@ mod tests {
     fn incremental_observation_trains() {
         let gen = TraceGenerator::new(5);
         let zone = spot_market::topology::all_zones()[0];
-        let trace = gen.generate(zone, InstanceType::M1Small, 7 * 24 * 60);
+        let ty = InstanceType::M1Small;
+        let trace = gen.generate(zone, ty, 7 * 24 * 60);
         let mut fw = BiddingFramework::new(ServiceSpec::lock_service(), JupiterStrategy::new());
-        assert!(fw.model(zone).is_none());
-        fw.observe(zone, &trace.window(0, 5_000));
-        fw.observe(zone, &trace.window(5_000, 10_000));
-        let m = fw.model(zone).unwrap();
+        assert!(fw.model(zone, ty).is_none());
+        fw.observe(zone, ty, &trace.window(0, 5_000));
+        fw.observe(zone, ty, &trace.window(5_000, 10_000));
+        let m = fw.model(zone, ty).unwrap();
         assert!(m.is_trained());
         assert!(m.kernel().total_transitions() > 0);
     }

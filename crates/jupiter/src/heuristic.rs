@@ -8,7 +8,7 @@
 //! availability level, which is the paper's core point.
 
 use crate::service::ServiceSpec;
-use crate::strategy::{BidDecision, BiddingStrategy, ZoneState};
+use crate::strategy::{BidDecision, BiddingStrategy, PoolBid, ZoneState};
 
 /// The `Extra(m, p)` heuristic.
 #[derive(Clone, Copy, Debug)]
@@ -43,11 +43,15 @@ impl BiddingStrategy for ExtraStrategy {
     ) -> BidDecision {
         let want = spec.baseline_nodes + self.extra_nodes;
         let mut by_price: Vec<&ZoneState> = zones.iter().collect();
-        by_price.sort_by_key(|z| (z.spot_price, z.zone.ordinal()));
+        by_price.sort_by_key(|z| (z.spot_price, z.zone.ordinal(), z.instance_type.ordinal()));
         let bids = by_price
             .into_iter()
             .take(want)
-            .map(|z| (z.zone, z.spot_price.scale(1.0 + self.extra_portion)))
+            .map(|z| PoolBid {
+                zone: z.zone,
+                instance_type: z.instance_type,
+                bid: z.spot_price.scale(1.0 + self.extra_portion),
+            })
             .collect();
         BidDecision { bids }
     }
@@ -98,7 +102,7 @@ impl<S: BiddingStrategy> BiddingStrategy for FixedOnce<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spot_market::{Price, PricePoint, PriceTrace, Zone};
+    use spot_market::{InstanceType, Price, PricePoint, PriceTrace, Zone};
     use spot_model::{FailureModel, FailureModelConfig};
 
     fn p(d: f64) -> Price {
@@ -131,6 +135,7 @@ mod tests {
         let states: Vec<ZoneState> = (0..8)
             .map(|i| ZoneState {
                 zone: zones[i],
+                instance_type: InstanceType::M1Small,
                 spot_price: p(0.004 + 0.001 * i as f64),
                 sojourn_age: 0,
                 on_demand: p(0.044),
@@ -142,13 +147,13 @@ mod tests {
         let d0 = ExtraStrategy::new(0, 0.1).decide(&states, &spec, 60);
         assert_eq!(d0.n(), 5);
         // Cheapest five are zones 0..5; bids are spot × 1.1.
-        assert_eq!(d0.bid_for(zones[0]), Some(p(0.0044)));
-        assert_eq!(d0.bid_for(zones[4]), Some(p(0.0088)));
-        assert_eq!(d0.bid_for(zones[5]), None);
+        assert_eq!(d0.bid_for(zones[0], InstanceType::M1Small), Some(p(0.0044)));
+        assert_eq!(d0.bid_for(zones[4], InstanceType::M1Small), Some(p(0.0088)));
+        assert_eq!(d0.bid_for(zones[5], InstanceType::M1Small), None);
 
         let d2 = ExtraStrategy::new(2, 0.2).decide(&states, &spec, 60);
         assert_eq!(d2.n(), 7);
-        assert_eq!(d2.bid_for(zones[6]), Some(p(0.012)));
+        assert_eq!(d2.bid_for(zones[6], InstanceType::M1Small), Some(p(0.012)));
     }
 
     #[test]
@@ -158,6 +163,7 @@ mod tests {
         let states: Vec<ZoneState> = (0..3)
             .map(|i| ZoneState {
                 zone: zones[i],
+                instance_type: InstanceType::M1Small,
                 spot_price: p(0.01),
                 sojourn_age: 0,
                 on_demand: p(0.044),
@@ -194,6 +200,7 @@ mod tests {
                 .iter()
                 .map(|&(zone, spot_price)| ZoneState {
                     zone,
+                    instance_type: InstanceType::M1Small,
                     spot_price,
                     sojourn_age: 0,
                     on_demand: p(0.044),

@@ -19,6 +19,9 @@
 //!   algorithm of Fig. 3.
 //! * [`heuristic`] — the `Extra(m, p)` comparison strategies of §5.2
 //!   (lowest `n + m` spot prices, bid = spot price × (1 + p)).
+//! * [`feedback`] — [`FeedbackStrategy`], a model-free PID bidder (Li et
+//!   al.) that closes a control loop on the observed survival of its own
+//!   standing bids, raced against Jupiter by the scenario engine.
 //! * [`exhaustive`] — an exact branch-and-bound solver of the NLP for
 //!   small instances, used to validate Jupiter's near-optimality (the NLP
 //!   is NP-hard; exhaustive search is only feasible at toy scale, which is
@@ -34,6 +37,7 @@
 
 pub mod algorithm;
 pub mod exhaustive;
+pub mod feedback;
 pub mod framework;
 pub mod heuristic;
 pub mod service;
@@ -42,8 +46,9 @@ pub mod strategy;
 
 pub use algorithm::JupiterStrategy;
 pub use exhaustive::ExhaustiveSolver;
+pub use feedback::{FeedbackConfig, FeedbackStrategy};
 pub use framework::BiddingFramework;
 pub use heuristic::{ExtraStrategy, FixedOnce};
 pub use service::ServiceSpec;
 pub use store::{ModelKey, ModelStore};
-pub use strategy::{BidDecision, BiddingStrategy, ZoneState};
+pub use strategy::{BidDecision, BiddingStrategy, PoolBid, ZoneState};

@@ -20,6 +20,16 @@ pub struct ServiceSpec {
     /// Acceptable availability slack ε (constraint 10); the paper suggests
     /// 1e-6.
     pub epsilon: f64,
+    /// The instance-type pools replicas may be placed in. Empty (the
+    /// default) means the single-type deployment `[instance_type]` — the
+    /// paper's setup, preserved byte-identically by every optimizer path.
+    /// With ≥2 types the optimizer chooses a *type mix* per zone.
+    pub pool_types: Vec<InstanceType>,
+    /// Minimum capacity-weighted fleet strength (Σ
+    /// [`InstanceType::capacity_weight`] over chosen replicas) a decision
+    /// must reach. `0` disables the constraint; the auto-scaler re-targets
+    /// this each interval from observed load.
+    pub min_strength: u32,
 }
 
 impl ServiceSpec {
@@ -33,6 +43,8 @@ impl ServiceSpec {
             quorum: QuorumRule::Majority,
             fp0: ON_DEMAND_FP,
             epsilon: 1e-6,
+            pool_types: Vec::new(),
+            min_strength: 0,
         }
     }
 
@@ -46,7 +58,42 @@ impl ServiceSpec {
             quorum: QuorumRule::RsPaxos { m: 3 },
             fp0: ON_DEMAND_FP,
             epsilon: 1e-6,
+            pool_types: Vec::new(),
+            min_strength: 0,
         }
+    }
+
+    /// Open `types` as placement pools (builder style). The first listed
+    /// type becomes the nominal `instance_type` for single-type fallbacks.
+    pub fn with_pools(mut self, types: &[InstanceType]) -> Self {
+        assert!(!types.is_empty(), "need at least one pool type");
+        self.instance_type = types[0];
+        self.pool_types = types.to_vec();
+        self
+    }
+
+    /// Require a capacity-weighted fleet strength of at least `strength`
+    /// (builder style).
+    pub fn with_min_strength(mut self, strength: u32) -> Self {
+        self.min_strength = strength;
+        self
+    }
+
+    /// The effective pool list: `pool_types`, or `[instance_type]` when no
+    /// pools were opened.
+    pub fn pools(&self) -> Vec<InstanceType> {
+        if self.pool_types.is_empty() {
+            vec![self.instance_type]
+        } else {
+            self.pool_types.clone()
+        }
+    }
+
+    /// Whether this spec exercises the heterogeneous decision paths (≥2
+    /// pool types or a strength floor). Single-type, unconstrained specs
+    /// take the legacy byte-identical paths everywhere.
+    pub fn is_hetero(&self) -> bool {
+        self.pool_types.len() > 1 || self.min_strength > 0
     }
 
     /// The availability of the on-demand baseline — the right-hand side of

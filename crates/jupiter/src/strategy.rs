@@ -1,15 +1,17 @@
 //! The strategy interface and market snapshots.
 
-use spot_market::{Price, Zone};
+use spot_market::{InstanceType, Price, Zone};
 use spot_model::{FailureModel, Forecast};
 
 use crate::service::ServiceSpec;
 
-/// Everything a strategy may know about one availability zone at bidding
-/// time.
+/// Everything a strategy may know about one (zone, instance-type) pool at
+/// bidding time.
 pub struct ZoneState<'a> {
     /// The zone.
     pub zone: Zone,
+    /// The instance-type pool within the zone.
+    pub instance_type: InstanceType,
     /// Current spot price.
     pub spot_price: Price,
     /// Minutes the spot price has held its current value (the semi-Markov
@@ -17,11 +19,16 @@ pub struct ZoneState<'a> {
     pub sojourn_age: u32,
     /// The on-demand price (the framework's bid cap, §4.2).
     pub on_demand: Price,
-    /// The zone's trained failure model.
+    /// The pool's trained failure model.
     pub model: &'a FailureModel,
 }
 
 impl ZoneState<'_> {
+    /// Serving strength of one replica in this pool.
+    pub fn capacity_weight(&self) -> u32 {
+        self.instance_type.capacity_weight()
+    }
+
     /// Forecast this zone over `horizon` minutes (None if untrained).
     pub fn forecast(&self, horizon: u32) -> Option<Forecast> {
         self.model
@@ -44,12 +51,23 @@ impl ZoneState<'_> {
     }
 }
 
-/// A bidding decision: which zones to hold instances in and at what bids,
-/// for the coming interval.
+/// One placed bid: an instance to run in a (zone, type) pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolBid {
+    /// The zone.
+    pub zone: Zone,
+    /// The instance-type pool.
+    pub instance_type: InstanceType,
+    /// The bid price.
+    pub bid: Price,
+}
+
+/// A bidding decision: which (zone, type) pools to hold instances in and
+/// at what bids, for the coming interval.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BidDecision {
-    /// Zone and bid for every instance to run.
-    pub bids: Vec<(Zone, Price)>,
+    /// Pool and bid for every instance to run.
+    pub bids: Vec<PoolBid>,
 }
 
 impl BidDecision {
@@ -59,20 +77,46 @@ impl BidDecision {
         BidDecision { bids: Vec::new() }
     }
 
+    /// Build a single-type decision from `(zone, bid)` pairs — the shape
+    /// every pre-heterogeneous strategy produces.
+    pub fn single_type(ty: InstanceType, bids: Vec<(Zone, Price)>) -> Self {
+        BidDecision {
+            bids: bids
+                .into_iter()
+                .map(|(zone, bid)| PoolBid {
+                    zone,
+                    instance_type: ty,
+                    bid,
+                })
+                .collect(),
+        }
+    }
+
     /// The number of instances.
     pub fn n(&self) -> usize {
         self.bids.len()
     }
 
+    /// Total capacity-weighted serving strength of the decision.
+    pub fn strength(&self) -> u32 {
+        self.bids
+            .iter()
+            .map(|b| b.instance_type.capacity_weight())
+            .sum()
+    }
+
     /// The objective value: the cost upper bound Σ bids (one interval at
     /// worst-case prices).
     pub fn cost_upper_bound(&self) -> Price {
-        self.bids.iter().map(|(_, b)| *b).sum()
+        self.bids.iter().map(|b| b.bid).sum()
     }
 
-    /// The bid for `zone`, if one was placed.
-    pub fn bid_for(&self, zone: Zone) -> Option<Price> {
-        self.bids.iter().find(|(z, _)| *z == zone).map(|(_, b)| *b)
+    /// The bid in the `(zone, ty)` pool, if one was placed.
+    pub fn bid_for(&self, zone: Zone, ty: InstanceType) -> Option<Price> {
+        self.bids
+            .iter()
+            .find(|b| b.zone == zone && b.instance_type == ty)
+            .map(|b| b.bid)
     }
 }
 
@@ -115,16 +159,40 @@ mod tests {
         let zones = all_zones();
         let d = BidDecision {
             bids: vec![
-                (zones[0], Price::from_dollars(0.01)),
-                (zones[1], Price::from_dollars(0.02)),
+                PoolBid {
+                    zone: zones[0],
+                    instance_type: InstanceType::M1Small,
+                    bid: Price::from_dollars(0.01),
+                },
+                PoolBid {
+                    zone: zones[1],
+                    instance_type: InstanceType::M3Large,
+                    bid: Price::from_dollars(0.02),
+                },
             ],
         };
         assert_eq!(d.n(), 2);
+        assert_eq!(d.strength(), 5);
         assert_eq!(d.cost_upper_bound(), Price::from_dollars(0.03));
-        assert_eq!(d.bid_for(zones[0]), Some(Price::from_dollars(0.01)));
-        assert_eq!(d.bid_for(zones[5]), None);
+        assert_eq!(
+            d.bid_for(zones[0], InstanceType::M1Small),
+            Some(Price::from_dollars(0.01))
+        );
+        assert_eq!(d.bid_for(zones[0], InstanceType::M3Large), None);
+        assert_eq!(d.bid_for(zones[5], InstanceType::M1Small), None);
         let e = BidDecision::empty();
         assert_eq!(e.n(), 0);
         assert_eq!(e.cost_upper_bound(), Price::ZERO);
+    }
+
+    #[test]
+    fn single_type_constructor_tags_every_bid() {
+        let zones = all_zones();
+        let d = BidDecision::single_type(
+            InstanceType::M1Small,
+            vec![(zones[0], Price::from_dollars(0.01))],
+        );
+        assert_eq!(d.bids[0].instance_type, InstanceType::M1Small);
+        assert_eq!(d.strength(), 1);
     }
 }

@@ -3,7 +3,7 @@
 
 use jupiter::{BiddingStrategy, ExtraStrategy, JupiterStrategy, ServiceSpec, ZoneState};
 use proptest::prelude::*;
-use spot_market::{Price, PricePoint, PriceTrace};
+use spot_market::{InstanceType, Price, PricePoint, PriceTrace};
 use spot_model::{FailureModel, FailureModelConfig};
 
 /// A two-level alternating trace: `low` for `stay` minutes, `high` for
@@ -69,6 +69,7 @@ proptest! {
             .enumerate()
             .map(|(i, m)| ZoneState {
                 zone: zones_all[i],
+                instance_type: InstanceType::M1Small,
                 spot_price: Price::from_micros(specs[i].low * 100),
                 sojourn_age: 1,
                 on_demand: od,
@@ -83,18 +84,18 @@ proptest! {
         // Group size supports the quorum rule.
         prop_assert!(d.n() >= spec.quorum.min_nodes());
         let target = spec.node_fp_target(d.n()).expect("target for chosen n");
-        for (zone, bid) in &d.bids {
-            let zs = states.iter().find(|s| s.zone == *zone).expect("zone known");
+        for pb in &d.bids {
+            let zs = states.iter().find(|s| s.zone == pb.zone).expect("zone known");
             // Constraint 9: the instance actually starts.
-            prop_assert!(*bid >= zs.spot_price);
+            prop_assert!(pb.bid >= zs.spot_price);
             // §4.2 cap: strictly below on-demand.
-            prop_assert!(*bid < od);
+            prop_assert!(pb.bid < od);
             // The model agrees the per-node target is met.
-            let fp = zs.model.estimate_fp(*bid, zs.spot_price, zs.sojourn_age, horizon);
+            let fp = zs.model.estimate_fp(pb.bid, zs.spot_price, zs.sojourn_age, horizon);
             prop_assert!(fp <= target + 1e-9, "fp {fp} > target {target}");
         }
-        // No duplicate zones (failure independence).
-        let mut seen: Vec<_> = d.bids.iter().map(|(z, _)| *z).collect();
+        // No duplicate pools (failure independence).
+        let mut seen: Vec<_> = d.bids.iter().map(|b| (b.zone, b.instance_type)).collect();
         seen.sort();
         seen.dedup();
         prop_assert_eq!(seen.len(), d.n());
@@ -121,6 +122,7 @@ proptest! {
             .enumerate()
             .map(|(i, m)| ZoneState {
                 zone: zones_all[i],
+                instance_type: InstanceType::M1Small,
                 spot_price: Price::from_micros(specs[i].low * 100),
                 sojourn_age: 0,
                 on_demand: Price::from_dollars(0.044),
@@ -130,16 +132,16 @@ proptest! {
         let spec = ServiceSpec::lock_service();
         let d = ExtraStrategy::new(extra, portion).decide(&states, &spec, 60);
         prop_assert_eq!(d.n(), (spec.baseline_nodes + extra).min(states.len()));
-        for (zone, bid) in &d.bids {
-            let zs = states.iter().find(|s| s.zone == *zone).expect("zone");
-            prop_assert_eq!(*bid, zs.spot_price.scale(1.0 + portion));
+        for pb in &d.bids {
+            let zs = states.iter().find(|s| s.zone == pb.zone).expect("zone");
+            prop_assert_eq!(pb.bid, zs.spot_price.scale(1.0 + portion));
         }
         // The chosen zones are exactly the cheapest ones.
         let mut prices: Vec<Price> = states.iter().map(|s| s.spot_price).collect();
         prices.sort();
         let cutoff = prices[d.n() - 1];
-        for (zone, _) in &d.bids {
-            let zs = states.iter().find(|s| s.zone == *zone).expect("zone");
+        for pb in &d.bids {
+            let zs = states.iter().find(|s| s.zone == pb.zone).expect("zone");
             prop_assert!(zs.spot_price <= cutoff);
         }
     }

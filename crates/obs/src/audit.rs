@@ -11,16 +11,26 @@ use crate::json;
 
 /// Version stamped into every serialized audit record; bump on any
 /// breaking change to [`AuditRecord::to_json`].
-pub const AUDIT_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: `bid_selection` gained `instance_type` and `capacity_weight`
+/// (heterogeneous pools), and the `scale_decision` kind was added (the
+/// load-driven auto-scaler).
+pub const AUDIT_SCHEMA_VERSION: u32 = 2;
 
 /// What kind of decision a record captures.
 #[derive(Clone, Debug, PartialEq)]
 pub enum AuditKind {
-    /// One zone's bid within a bidding decision (boundary or repair
+    /// One pool's bid within a bidding decision (boundary or repair
     /// rebid).
     BidSelection {
         /// Zone label (e.g. `us-east-1a`).
         zone: String,
+        /// Instance-type pool within the zone (API name, e.g.
+        /// `m1.small`).
+        instance_type: String,
+        /// Serving strength of one replica in this pool relative to the
+        /// baseline type.
+        capacity_weight: f64,
         /// The bid, in dollars per hour.
         bid_dollars: f64,
         /// Spot price at decision time, dollars per hour.
@@ -60,6 +70,25 @@ pub enum AuditKind {
         /// replacements, 0 otherwise).
         billing_delta_dollars: f64,
     },
+    /// One auto-scaler re-targeting of the fleet's capacity-weighted
+    /// strength.
+    ScaleDecision {
+        /// What the controller did: `scale_out`, `scale_in`, or `hold`.
+        action: String,
+        /// Why: `demand_exceeds_target`, `slo_burn`,
+        /// `sustained_headroom`, or `within_band`.
+        reason: String,
+        /// The strength target before this decision.
+        from_strength: u64,
+        /// The strength target after this decision.
+        to_strength: u64,
+        /// The demand (in strength units) forecast for the upcoming
+        /// interval.
+        demand_strength: f64,
+        /// The availability observed over the interval that just ended
+        /// (1.0 before the first interval completes).
+        observed_availability: f64,
+    },
 }
 
 impl AuditKind {
@@ -68,6 +97,7 @@ impl AuditKind {
         match self {
             AuditKind::BidSelection { .. } => "bid_selection",
             AuditKind::RepairAction { .. } => "repair_action",
+            AuditKind::ScaleDecision { .. } => "scale_decision",
         }
     }
 }
@@ -98,6 +128,8 @@ impl AuditRecord {
         match &self.kind {
             AuditKind::BidSelection {
                 zone,
+                instance_type,
+                capacity_weight,
                 bid_dollars,
                 spot_price_dollars,
                 predicted_availability,
@@ -108,6 +140,10 @@ impl AuditRecord {
             } => {
                 out.push_str(",\"zone\":");
                 json::push_str_lit(&mut out, zone);
+                out.push_str(",\"instance_type\":");
+                json::push_str_lit(&mut out, instance_type);
+                out.push_str(",\"capacity_weight\":");
+                json::push_f64(&mut out, *capacity_weight);
                 out.push_str(",\"bid_dollars\":");
                 json::push_f64(&mut out, *bid_dollars);
                 out.push_str(",\"spot_price_dollars\":");
@@ -136,6 +172,26 @@ impl AuditRecord {
                 json::push_f64(&mut out, *bid_dollars);
                 out.push_str(",\"billing_delta_dollars\":");
                 json::push_f64(&mut out, *billing_delta_dollars);
+            }
+            AuditKind::ScaleDecision {
+                action,
+                reason,
+                from_strength,
+                to_strength,
+                demand_strength,
+                observed_availability,
+            } => {
+                out.push_str(",\"action\":");
+                json::push_str_lit(&mut out, action);
+                out.push_str(",\"reason\":");
+                json::push_str_lit(&mut out, reason);
+                out.push_str(&format!(
+                    ",\"from_strength\":{from_strength},\"to_strength\":{to_strength}"
+                ));
+                out.push_str(",\"demand_strength\":");
+                json::push_f64(&mut out, *demand_strength);
+                out.push_str(",\"observed_availability\":");
+                json::push_f64(&mut out, *observed_availability);
             }
         }
         out.push('}');
@@ -277,6 +333,8 @@ mod tests {
     fn bid_kind() -> AuditKind {
         AuditKind::BidSelection {
             zone: "us-east-1a".into(),
+            instance_type: "m1.small".into(),
+            capacity_weight: 1.0,
             bid_dollars: 0.0105,
             spot_price_dollars: 0.0085,
             predicted_availability: 0.9931,
@@ -321,13 +379,28 @@ mod tests {
                 billing_delta_dollars: 0.06,
             },
         );
+        log.record(
+            10_440,
+            AuditKind::ScaleDecision {
+                action: "scale_out".into(),
+                reason: "demand_exceeds_target".into(),
+                from_strength: 5,
+                to_strength: 9,
+                demand_strength: 8.4,
+                observed_availability: 0.997,
+            },
+        );
         let jsonl = audit_jsonl(&log.snapshot());
         let lines: Vec<&str> = jsonl.lines().collect();
-        assert_eq!(lines.len(), 2);
-        assert!(lines[0].starts_with("{\"schema_version\":1,\"seq\":1,"));
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("{\"schema_version\":2,\"seq\":1,"));
         assert!(lines[0].contains("\"kind\":\"bid_selection\""));
+        assert!(lines[0].contains("\"instance_type\":\"m1.small\""));
+        assert!(lines[0].contains("\"capacity_weight\":1"));
         assert!(lines[0].contains("\"fp_cache_hit\":true"));
         assert!(lines[1].contains("\"kind\":\"repair_action\""));
         assert!(lines[1].contains("\"trigger_death_minute\":10135"));
+        assert!(lines[2].contains("\"kind\":\"scale_decision\""));
+        assert!(lines[2].contains("\"from_strength\":5,\"to_strength\":9"));
     }
 }

@@ -135,6 +135,8 @@ fn audit_and_alert_jsonl_golden() {
         600,
         AuditKind::BidSelection {
             zone: "us-east-1a".into(),
+            instance_type: "m1.small".into(),
+            capacity_weight: 1.0,
             bid_dollars: 0.085,
             spot_price_dollars: 0.041,
             predicted_availability: 0.9971,

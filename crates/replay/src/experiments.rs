@@ -542,8 +542,8 @@ pub fn ablation_greedy_vs_exact(scale: &Scale) -> Vec<OptimalityRow> {
         let kernel = store.get_or_fit(key, || {
             spot_model::FrozenKernel::from_trace(&market.trace(z, ty).window(0, train_end))
         });
-        greedy_fw.install_kernel(z, std::sync::Arc::clone(&kernel));
-        exact_fw.install_kernel(z, kernel);
+        greedy_fw.install_kernel(z, ty, std::sync::Arc::clone(&kernel));
+        exact_fw.install_kernel(z, ty, kernel);
     }
 
     let mut rows = Vec::new();
@@ -556,6 +556,7 @@ pub fn ablation_greedy_vs_exact(scale: &Scale) -> Vec<OptimalityRow> {
                 let t = market.trace(z, ty);
                 MarketSnapshot {
                     zone: z,
+                    instance_type: ty,
                     spot_price: t.price_at(minute),
                     sojourn_age: t.sojourn_age_at(minute) as u32,
                 }
@@ -773,6 +774,199 @@ pub fn ablation_model_mismatch(scale: &Scale) -> Vec<MismatchRow> {
     vec![run("semi-markov", sm_traces), run("ar1-banded", ar_traces)]
 }
 
+// ------------------------------------------ Heterogeneous-pool race
+
+/// One row of the heterogeneous-pool strategy race: a (strategy, pool
+/// column) cell at the fixed 6 h interval.
+#[derive(Clone, Debug)]
+pub struct HeteroRow {
+    /// Strategy display name.
+    pub strategy: String,
+    /// `+`-joined API names of the pool column the cell replayed over
+    /// (e.g. `m1.small+m3.large`).
+    pub pool_label: String,
+    /// Total billed cost over the evaluation span.
+    pub cost: Price,
+    /// Measured availability.
+    pub availability: f64,
+    /// Out-of-bid kills.
+    pub kills: usize,
+    /// Mean decided group size (node count, not strength).
+    pub mean_group_size: f64,
+}
+
+/// The heterogeneous-pool race plus its framing constants.
+#[derive(Clone, Debug)]
+pub struct HeteroSweep {
+    /// One row per (strategy, pool column), grid order.
+    pub rows: Vec<HeteroRow>,
+    /// The on-demand baseline cost for the mixed-pool service.
+    pub baseline_cost: Price,
+    /// The strength floor every cell had to reach.
+    pub min_strength: u32,
+    /// The fixed bidding interval used.
+    pub interval_hours: u64,
+}
+
+/// The tentpole experiment: Jupiter, the Li et al.-style feedback
+/// controller, and the kill-prone Extra heuristic race over single-type
+/// pools and the mixed pool on one heterogeneous market, all holding the
+/// same capacity-weighted strength floor. The mix should match the best
+/// single type's availability at strictly lower cost — the optimizer is
+/// free to buy strength wherever it is cheapest per dollar.
+pub fn hetero_sweep(scale: &Scale) -> HeteroSweep {
+    use jupiter::FeedbackStrategy;
+    const MIN_STRENGTH: u32 = 8;
+    const INTERVAL: u64 = 6;
+    let mut cfg = MarketConfig::hetero_paper(scale.seed, scale.horizon_minutes());
+    cfg.zones.truncate(scale.zones);
+    let market = Market::generate(cfg);
+    let scenario = Scenario::new(market, scale.train_minutes(), scale.horizon_minutes());
+    let spec = ServiceSpec::lock_service()
+        .with_pools(&[InstanceType::M1Small, InstanceType::M3Large])
+        .with_min_strength(MIN_STRENGTH);
+    let sweep = SweepSpec::new(spec.clone())
+        .strategy(|_| Box::new(JupiterStrategy::new()))
+        .strategy(|_| Box::new(FeedbackStrategy::new()))
+        .strategy(|_| Box::new(ExtraStrategy::new(2, 0.2)))
+        .intervals(vec![INTERVAL])
+        .pools(vec![
+            vec![InstanceType::M1Small],
+            vec![InstanceType::M3Large],
+            vec![InstanceType::M1Small, InstanceType::M3Large],
+        ]);
+    let rows = scenario
+        .run(&sweep)
+        .iter()
+        .map(|cell| HeteroRow {
+            strategy: cell.result.strategy.clone(),
+            pool_label: cell
+                .pool_types
+                .iter()
+                .map(|t| t.api_name())
+                .collect::<Vec<_>>()
+                .join("+"),
+            cost: cell.result.total_cost,
+            availability: cell.result.availability(),
+            kills: cell.result.total_kills(),
+            mean_group_size: cell.result.mean_group_size(),
+        })
+        .collect();
+    HeteroSweep {
+        rows,
+        baseline_cost: scenario.baseline_cost(&spec),
+        min_strength: MIN_STRENGTH,
+        interval_hours: INTERVAL,
+    }
+}
+
+// --------------------------------------------- Auto-scaler experiment
+
+/// The auto-scaler experiment's outcome: the load-tracked replay against
+/// the peak-provisioned static fleet on the same market.
+#[derive(Clone, Debug)]
+pub struct AutoscaleReport {
+    /// The auto-scaled replay (mixed pool, diurnal demand), with series
+    /// and audit log attached — `pool.fleet.*` and the `scale_decision`
+    /// records live here.
+    pub result: crate::ReplayResult,
+    /// The same strategy holding the peak strength target statically.
+    pub static_result: crate::ReplayResult,
+    /// Applied scale-outs.
+    pub scale_outs: u64,
+    /// Applied scale-ins.
+    pub scale_ins: u64,
+    /// The peak strength target the static fleet was provisioned for.
+    pub peak_strength: u32,
+    /// The on-demand baseline cost for the mixed-pool service.
+    pub baseline_cost: Price,
+}
+
+/// The deterministic diurnal arrival rate driving the auto-scaler
+/// experiment: period one day, trough 40 req/s, peak 160 req/s.
+pub fn diurnal_rate(t_secs: f64) -> f64 {
+    let phase = (t_secs % 86_400.0) / 86_400.0 * std::f64::consts::TAU;
+    100.0 - 60.0 * phase.cos()
+}
+
+/// Requests/s one unit of capacity-weighted strength serves in the
+/// auto-scaler experiment (so the diurnal rate maps to 3.2–12.8 strength
+/// units of demand).
+pub const PER_STRENGTH_THROUGHPUT: f64 = 12.5;
+
+/// The auto-scaler experiment: replay the mixed-pool lock service under
+/// Jupiter with the [`crate::AutoScaler`] re-targeting fleet strength at
+/// every 3 h boundary from the diurnal demand forecast, then replay the
+/// same market with the fleet statically provisioned for peak demand.
+/// The controller must hold the availability floor while billing less
+/// than peak provisioning.
+pub fn autoscale_report(scale: &Scale) -> AutoscaleReport {
+    use crate::autoscale::{demand_series, AutoScaler, AutoscaleConfig};
+    use crate::lifecycle::{on_demand_baseline_cost, replay_repair_stored, ReplayConfig};
+
+    let mut cfg = MarketConfig::hetero_paper(scale.seed, scale.horizon_minutes());
+    cfg.zones.truncate(scale.zones);
+    let market = Market::generate(cfg);
+    let eval_start = scale.train_minutes();
+    let eval_end = scale.horizon_minutes();
+    let spec = ServiceSpec::lock_service()
+        .with_pools(&[InstanceType::M1Small, InstanceType::M3Large]);
+
+    let demand = demand_series(
+        diurnal_rate,
+        eval_start,
+        eval_end,
+        60,
+        PER_STRENGTH_THROUGHPUT,
+    );
+    let asc = AutoscaleConfig {
+        min_strength: 4,
+        max_strength: 24,
+        ..AutoscaleConfig::default()
+    };
+    let peak_demand = demand.iter().map(|&(_, d)| d).fold(0.0, f64::max);
+    let peak_strength = ((peak_demand * (1.0 + asc.headroom)).ceil() as u32)
+        .clamp(asc.min_strength, asc.max_strength);
+    let mut scaler = AutoScaler::new(asc, demand);
+
+    let store = jupiter::ModelStore::new();
+    let config = ReplayConfig::new(eval_start, eval_end, 3);
+    let interval = config.interval_hours * 60;
+    let obs = obs::Obs::simulated().0;
+    let result = crate::lifecycle::replay_autoscale_stored(
+        &market,
+        &spec,
+        JupiterStrategy::new(),
+        config,
+        crate::repair::RepairConfig::off(),
+        |_| interval,
+        &store,
+        &mut scaler,
+        &obs,
+    );
+    let (scale_outs, scale_ins) = scaler.scale_events();
+
+    let static_spec = spec.clone().with_min_strength(peak_strength);
+    let static_result = replay_repair_stored(
+        &market,
+        &static_spec,
+        JupiterStrategy::new(),
+        config,
+        crate::repair::RepairConfig::off(),
+        &store,
+        &obs::Obs::disabled(),
+    );
+    let baseline_cost = on_demand_baseline_cost(&market, &spec, config);
+    AutoscaleReport {
+        result,
+        static_result,
+        scale_outs,
+        scale_ins,
+        peak_strength,
+        baseline_cost,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -906,6 +1100,58 @@ mod tests {
         assert!((rows[0].majority - rows[0].weighted).abs() < 1e-12);
         // Monarchy regime: weighted strictly wins.
         assert!(rows[3].weighted > rows[3].majority);
+    }
+
+    #[test]
+    fn hetero_sweep_races_strategies_over_pool_columns() {
+        let s = hetero_sweep(&Scale::quick(7));
+        // 3 strategies × 3 pool columns at one interval.
+        assert_eq!(s.rows.len(), 9);
+        let strategies: std::collections::BTreeSet<&str> =
+            s.rows.iter().map(|r| r.strategy.as_str()).collect();
+        assert!(strategies.contains("Jupiter"));
+        assert!(strategies.contains("Feedback"));
+        assert_eq!(strategies.len(), 3);
+        let labels: std::collections::BTreeSet<&str> =
+            s.rows.iter().map(|r| r.pool_label.as_str()).collect();
+        assert_eq!(
+            labels,
+            ["m1.small", "m3.large", "m1.small+m3.large"]
+                .into_iter()
+                .collect()
+        );
+        for r in &s.rows {
+            assert!((0.0..=1.0).contains(&r.availability), "{r:?}");
+            assert!(r.cost > Price::ZERO, "{r:?}");
+            assert!(r.cost < s.baseline_cost, "{r:?} vs {:?}", s.baseline_cost);
+        }
+    }
+
+    #[test]
+    fn autoscale_report_tracks_load_and_undercuts_peak_provisioning() {
+        let r = autoscale_report(&Scale::quick(7));
+        assert!(r.scale_outs >= 1, "diurnal peak must scale out");
+        assert!(
+            r.result
+                .audit
+                .iter()
+                .any(|rec| rec.kind.label() == "scale_decision"),
+            "scale decisions must be audited"
+        );
+        assert!(
+            r.result.series_named("pool.fleet.m1.small").is_some()
+                || r.result.series_named("pool.fleet.m3.large").is_some(),
+            "per-type fleet series must be recorded"
+        );
+        assert!((0.0..=1.0).contains(&r.result.availability()));
+        // Tracking the trough must bill less than holding peak strength.
+        assert!(
+            r.result.total_cost < r.static_result.total_cost,
+            "autoscale {:?} !< static {:?}",
+            r.result.total_cost,
+            r.static_result.total_cost
+        );
+        assert!(r.static_result.total_cost < r.baseline_cost);
     }
 
     #[test]

@@ -204,6 +204,7 @@ mod tests {
         let zone = spot_market::topology::all_zones()[0];
         let record = |granted_at: u64, ended_at: u64, termination| InstanceRecord {
             zone,
+            instance_type: spot_market::InstanceType::M1Small,
             bid: Price::from_dollars(0.01),
             granted_at,
             running_from: granted_at,

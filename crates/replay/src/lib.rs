@@ -30,6 +30,7 @@
 //! the feasibility check (§5.4) where message-level behaviour matters.
 
 pub mod adaptive;
+pub mod autoscale;
 pub mod chaos;
 pub mod experiments;
 pub mod fleet;
@@ -40,11 +41,12 @@ pub mod scenario;
 pub mod service_level;
 
 pub use adaptive::{replay_adaptive, replay_adaptive_stored, AdaptiveConfig};
+pub use autoscale::{demand_series, AutoScaler, AutoscaleConfig, ObservedInterval, ScaleAction};
 pub use chaos::market_fault_schedule;
 pub use fleet::{fleet_replay, fleet_replay_observed, FleetResult};
 pub use lifecycle::{
-    replay_repair_stored, replay_strategy, replay_strategy_observed, replay_strategy_stored,
-    InstanceRecord, ReplayConfig,
+    replay_autoscale_stored, replay_repair_stored, replay_strategy, replay_strategy_observed,
+    replay_strategy_stored, InstanceRecord, ReplayConfig,
 };
 pub use repair::{RepairConfig, RepairPolicy};
 pub use results::{IntervalOutcome, ReplayResult};

@@ -5,9 +5,10 @@ use jupiter::{BiddingFramework, BiddingStrategy, ModelKey, ModelStore, ServiceSp
 use obs::{
     AuditKind, FieldValue, FleetDeficitWatchdog, Obs, RepairBudgetWatchdog, SloSpec, SloTracker,
 };
-use spot_market::{Market, Price, Termination, Zone};
+use spot_market::{InstanceType, Market, Price, Termination, Zone};
 use spot_model::FrozenKernel;
 
+use crate::autoscale::{AutoScaler, ObservedInterval};
 use crate::repair::{RepairConfig, RepairPolicy};
 use crate::results::{IntervalOutcome, ReplayResult};
 
@@ -57,6 +58,7 @@ impl ReplayConfig {
 #[derive(Clone, Debug)]
 struct Active {
     zone: Zone,
+    ty: InstanceType,
     bid: Price,
     granted_at: u64,
     running_from: u64,
@@ -216,8 +218,66 @@ pub fn replay_schedule_repair_stored<S: BiddingStrategy>(
     strategy: S,
     config: ReplayConfig,
     repair: RepairConfig,
+    next_interval: impl FnMut(u64) -> u64,
+    store: &ModelStore,
+    obs: &Obs,
+) -> ReplayResult {
+    replay_core(
+        market,
+        spec,
+        strategy,
+        config,
+        repair,
+        next_interval,
+        store,
+        None,
+        obs,
+    )
+}
+
+/// [`replay_schedule_repair_stored`] with the load-driven auto-scaler in
+/// the loop: before every boundary decision, `scaler` re-targets the
+/// fleet's capacity-weighted strength from its demand forecast and the
+/// previous interval's observed availability, and the target is installed
+/// as the spec's strength floor
+/// ([`jupiter::BiddingFramework::set_min_strength`]) so the optimizer
+/// picks whichever pool mix reaches it cheapest. Scaling decisions land
+/// in the audit log as `scale_decision` records.
+#[allow(clippy::too_many_arguments)]
+pub fn replay_autoscale_stored<S: BiddingStrategy>(
+    market: &Market,
+    spec: &ServiceSpec,
+    strategy: S,
+    config: ReplayConfig,
+    repair: RepairConfig,
+    next_interval: impl FnMut(u64) -> u64,
+    store: &ModelStore,
+    scaler: &mut AutoScaler,
+    obs: &Obs,
+) -> ReplayResult {
+    replay_core(
+        market,
+        spec,
+        strategy,
+        config,
+        repair,
+        next_interval,
+        store,
+        Some(scaler),
+        obs,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn replay_core<S: BiddingStrategy>(
+    market: &Market,
+    spec: &ServiceSpec,
+    strategy: S,
+    config: ReplayConfig,
+    repair: RepairConfig,
     mut next_interval: impl FnMut(u64) -> u64,
     store: &ModelStore,
+    mut autoscaler: Option<&mut AutoScaler>,
     obs: &Obs,
 ) -> ReplayResult {
     assert!(config.eval_end <= market.horizon(), "window beyond market");
@@ -265,16 +325,19 @@ pub fn replay_schedule_repair_stored<S: BiddingStrategy>(
     // delta around a decide tells the audit log whether the decision was
     // served from cache.
     let fp_cache_hits = obs.counter("jupiter.fp_cache_hits");
-    let ty = spec.instance_type;
+    let primary_ty = spec.instance_type;
+    let pools: Vec<InstanceType> = spec.pools();
+    let hetero = spec.is_hetero();
     let zones: Vec<Zone> = market.zones().to_vec();
-    // On-demand fallbacks run in the cheapest on-demand zone (ties broken
-    // by zone order), mirroring `on_demand_baseline_cost`.
+    // On-demand fallbacks run the primary type in the cheapest on-demand
+    // zone (ties broken by zone order), mirroring
+    // `on_demand_baseline_cost`.
     let od_zone = zones
         .iter()
         .copied()
-        .min_by_key(|z| (ty.on_demand_price(z.region), z.ordinal()))
+        .min_by_key(|z| (primary_ty.on_demand_price(z.region), z.ordinal()))
         .expect("market has zones");
-    let od_hourly = ty.on_demand_price(od_zone.region);
+    let od_hourly = primary_ty.on_demand_price(od_zone.region);
 
     // Train only on the revealed prefix — the replay must never peek at
     // future prices; each interval's observations are folded in below.
@@ -285,15 +348,17 @@ pub fn replay_schedule_repair_stored<S: BiddingStrategy>(
     let first_decision = config.first_decision();
     let mut framework = BiddingFramework::new(spec.clone(), strategy);
     for &z in &zones {
-        let key = ModelKey {
-            zone: z,
-            instance_type: ty,
-            trained_until: first_decision,
-        };
-        let kernel = store.get_or_fit(key, || {
-            FrozenKernel::from_trace(&market.trace(z, ty).window(0, first_decision))
-        });
-        framework.install_kernel(z, kernel);
+        for &ty in &pools {
+            let key = ModelKey {
+                zone: z,
+                instance_type: ty,
+                trained_until: first_decision,
+            };
+            let kernel = store.get_or_fit(key, || {
+                FrozenKernel::from_trace(&market.trace(z, ty).window(0, first_decision))
+            });
+            framework.install_kernel(z, ty, kernel);
+        }
     }
     let mut observed_until = first_decision;
 
@@ -303,6 +368,7 @@ pub fn replay_schedule_repair_stored<S: BiddingStrategy>(
     let mut up_minutes_total = 0u64;
     let mut degraded_minutes_total = 0u64;
     let mut on_demand_cost_total = Price::ZERO;
+    let mut last_interval_obs: Option<ObservedInterval> = None;
 
     let mut boundary = config.eval_start;
     while boundary < config.eval_end {
@@ -314,21 +380,32 @@ pub fn replay_schedule_repair_stored<S: BiddingStrategy>(
         let decision_at = boundary.saturating_sub(config.decision_lead);
         if decision_at > observed_until {
             for &z in &zones {
-                framework.observe(z, &market.trace(z, ty).window(observed_until, decision_at));
+                for &ty in &pools {
+                    framework
+                        .observe(z, ty, &market.trace(z, ty).window(observed_until, decision_at));
+                }
             }
             observed_until = decision_at;
         }
-        let snapshots: Vec<MarketSnapshot> = zones
-            .iter()
-            .map(|&z| {
+        // Auto-scaling: re-target the strength floor before the decision,
+        // from the demand forecast for this interval and the feedback of
+        // the one that just ended.
+        if let Some(scaler) = autoscaler.as_mut() {
+            let target = scaler.plan(boundary, interval_end, last_interval_obs.take(), obs);
+            framework.set_min_strength(target);
+        }
+        let mut snapshots: Vec<MarketSnapshot> = Vec::with_capacity(zones.len() * pools.len());
+        for &z in &zones {
+            for &ty in &pools {
                 let t = market.trace(z, ty);
-                MarketSnapshot {
+                snapshots.push(MarketSnapshot {
                     zone: z,
+                    instance_type: ty,
                     spot_price: t.price_at(decision_at),
                     sojourn_age: t.sojourn_age_at(decision_at).min(u32::MAX as u64) as u32,
-                }
-            })
-            .collect();
+                });
+            }
+        }
         let hits_before = fp_cache_hits.get();
         let decision = framework.decide(&snapshots, interval as u32);
         let fp_cache_hit = fp_cache_hits.get() > hits_before;
@@ -337,15 +414,20 @@ pub fn replay_schedule_repair_stored<S: BiddingStrategy>(
             // The Fig. 4/7 raw material: spot price per zone and the
             // active bid wherever one is standing, both at decision time.
             for s in &snapshots {
-                obs.series.record(
-                    &format!("replay.price.{}", s.zone),
-                    boundary,
-                    s.spot_price.as_dollars(),
-                );
+                let name = if hetero {
+                    format!("replay.price.{}.{}", s.zone, s.instance_type)
+                } else {
+                    format!("replay.price.{}", s.zone)
+                };
+                obs.series.record(&name, boundary, s.spot_price.as_dollars());
             }
-            for &(zone, bid) in &decision.bids {
-                obs.series
-                    .record(&format!("replay.bid.{zone}"), boundary, bid.as_dollars());
+            for pb in &decision.bids {
+                let name = if hetero {
+                    format!("replay.bid.{}.{}", pb.zone, pb.instance_type)
+                } else {
+                    format!("replay.bid.{}", pb.zone)
+                };
+                obs.series.record(&name, boundary, pb.bid.as_dollars());
             }
         }
         let interval_span = obs.trace.span(
@@ -366,7 +448,7 @@ pub fn replay_schedule_repair_stored<S: BiddingStrategy>(
         let mut kept: Vec<Active> = Vec::new();
         for inst in fleet.drain(..) {
             let keep = decision
-                .bid_for(inst.zone)
+                .bid_for(inst.zone, inst.ty)
                 .map(|b| b <= inst.bid)
                 .unwrap_or(false)
                 && inst.dies_at.is_none();
@@ -384,31 +466,46 @@ pub fn replay_schedule_repair_stored<S: BiddingStrategy>(
                     Termination::User => death_boundary.inc(),
                 }
                 obs.counter(&format!("replay.terminated.{}", inst.zone)).inc();
-                records.push(close_instance(market, ty, &inst, end, termination));
+                records.push(close_instance(market, &inst, end, termination));
             }
         }
         fleet = kept;
 
         // ---- launch the new fleet ----------------------------------------
-        for &(zone, bid) in &decision.bids {
-            if fleet.iter().any(|a| a.zone == zone) {
+        for pb in &decision.bids {
+            if fleet
+                .iter()
+                .any(|a| a.zone == pb.zone && a.ty == pb.instance_type)
+            {
                 continue; // carried over
             }
             // The request is granted only when the bid covers the price at
             // request time.
-            if !market.grants(zone, ty, bid, decision_at) {
+            if !market.grants(pb.zone, pb.instance_type, pb.bid, decision_at) {
                 continue;
             }
-            let delay = market.startup_delay_minutes(zone, decision_at);
+            let delay = market.startup_delay_minutes_typed(pb.zone, pb.instance_type, decision_at);
             let running_from = decision_at + delay;
-            obs.counter(&format!("replay.granted.{zone}")).inc();
+            obs.counter(&format!("replay.granted.{}", pb.zone)).inc();
             fleet.push(Active {
-                zone,
-                bid,
+                zone: pb.zone,
+                ty: pb.instance_type,
+                bid: pb.bid,
                 granted_at: decision_at,
                 running_from,
                 dies_at: None,
             });
+        }
+        // Per-pool fleet composition series (heterogeneous runs only, so
+        // single-type replays keep their exact legacy series set).
+        if hetero && obs.series.is_enabled() {
+            for &ty in &pools {
+                let count = fleet.iter().filter(|a| a.ty == ty).count();
+                obs.series
+                    .record(&format!("pool.fleet.{ty}"), boundary, count as f64);
+            }
+            let strength: u32 = fleet.iter().map(|a| a.ty.capacity_weight()).sum();
+            obs.series.record("pool.strength", boundary, strength as f64);
         }
 
         // ---- audit the decision ------------------------------------------
@@ -418,20 +515,28 @@ pub fn replay_schedule_repair_stored<S: BiddingStrategy>(
         let mut interval_refs: Vec<u64> = Vec::new();
         if obs.audit.is_enabled() {
             let horizon_hours = interval as f64 / 60.0;
-            for &(zone, bid) in &decision.bids {
-                let snap = snapshots.iter().find(|s| s.zone == zone);
-                let fp = snap.and_then(|s| framework.predicted_fp(s, bid, interval as u32));
+            for pb in &decision.bids {
+                let snap = snapshots
+                    .iter()
+                    .find(|s| s.zone == pb.zone && s.instance_type == pb.instance_type);
+                let fp = snap.and_then(|s| framework.predicted_fp(s, pb.bid, interval as u32));
                 let seq = obs.audit.record(
                     decision_at,
                     AuditKind::BidSelection {
-                        zone: zone.to_string(),
-                        bid_dollars: bid.as_dollars(),
+                        zone: pb.zone.to_string(),
+                        instance_type: pb.instance_type.to_string(),
+                        capacity_weight: pb.instance_type.capacity_weight() as f64,
+                        bid_dollars: pb.bid.as_dollars(),
                         spot_price_dollars: snap.map_or(0.0, |s| s.spot_price.as_dollars()),
                         predicted_availability: fp.map_or(-1.0, |p| 1.0 - p),
-                        predicted_cost_dollars: bid.as_dollars() * horizon_hours,
-                        kernel_id: framework.model(zone).map_or(0, |m| m.kernel().fingerprint()),
+                        predicted_cost_dollars: pb.bid.as_dollars() * horizon_hours,
+                        kernel_id: framework
+                            .model(pb.zone, pb.instance_type)
+                            .map_or(0, |m| m.kernel().fingerprint()),
                         fp_cache_hit,
-                        granted: fleet.iter().any(|a| a.zone == zone),
+                        granted: fleet
+                            .iter()
+                            .any(|a| a.zone == pb.zone && a.ty == pb.instance_type),
                     },
                 );
                 if let Some(seq) = seq {
@@ -446,7 +551,7 @@ pub fn replay_schedule_repair_stored<S: BiddingStrategy>(
         for inst in &mut fleet {
             inst.dies_at = market.out_of_bid_at(
                 inst.zone,
-                ty,
+                inst.ty,
                 inst.bid,
                 inst.granted_at.max(boundary),
                 interval_end,
@@ -530,33 +635,37 @@ pub fn replay_schedule_repair_stored<S: BiddingStrategy>(
                 if rebids_used < repair.max_rebids_per_interval {
                     rebids_used += 1;
                     repair_rebids.inc();
-                    let snapshots: Vec<MarketSnapshot> = zones
-                        .iter()
-                        .map(|&z| {
+                    let mut snapshots: Vec<MarketSnapshot> =
+                        Vec::with_capacity(zones.len() * pools.len());
+                    for &z in &zones {
+                        for &ty in &pools {
                             let t = market.trace(z, ty);
-                            MarketSnapshot {
+                            snapshots.push(MarketSnapshot {
                                 zone: z,
+                                instance_type: ty,
                                 spot_price: t.price_at(at),
                                 sojourn_age: t.sojourn_age_at(at).min(u32::MAX as u64) as u32,
-                            }
-                        })
-                        .collect();
+                            });
+                        }
+                    }
                     let rebid = framework.decide(&snapshots, (interval_end - at) as u32);
                     let mut choices = rebid.bids;
-                    choices.sort_by_key(|(z, b)| (*b, z.ordinal()));
-                    for (zone, bid) in choices {
+                    choices.sort_by_key(|pb| (pb.bid, pb.zone.ordinal(), pb.instance_type.ordinal()));
+                    for pb in choices {
+                        let (zone, rty, bid) = (pb.zone, pb.instance_type, pb.bid);
                         if launched >= missing {
                             break;
                         }
-                        let occupied = fleet
-                            .iter()
-                            .any(|i| i.zone == zone && i.dies_at.map(|d| d > at).unwrap_or(true))
-                            || on_demand.iter().any(|o| o.zone == zone);
-                        if occupied || !market.grants(zone, ty, bid, at) {
+                        let occupied = fleet.iter().any(|i| {
+                            i.zone == zone
+                                && i.ty == rty
+                                && i.dies_at.map(|d| d > at).unwrap_or(true)
+                        }) || on_demand.iter().any(|o| o.zone == zone);
+                        if occupied || !market.grants(zone, rty, bid, at) {
                             continue;
                         }
-                        let delay = market.startup_delay_minutes(zone, at);
-                        let dies_at = market.out_of_bid_at(zone, ty, bid, at, interval_end);
+                        let delay = market.startup_delay_minutes_typed(zone, rty, at);
+                        let dies_at = market.out_of_bid_at(zone, rty, bid, at, interval_end);
                         if dies_at.is_some() {
                             kills += 1;
                         }
@@ -579,6 +688,7 @@ pub fn replay_schedule_repair_stored<S: BiddingStrategy>(
                         }
                         fleet.push(Active {
                             zone,
+                            ty: rty,
                             bid,
                             granted_at: at,
                             running_from: at + delay,
@@ -611,7 +721,7 @@ pub fn replay_schedule_repair_stored<S: BiddingStrategy>(
                     // spot market right now, so fall back to on-demand for
                     // the remaining slots until the next boundary.
                     for _ in launched..missing {
-                        let delay = market.startup_delay_minutes(od_zone, at);
+                        let delay = market.startup_delay_minutes_typed(od_zone, primary_ty, at);
                         repair_on_demand_launches.inc();
                         if let Some(seq) = obs.audit.record(
                             at,
@@ -672,17 +782,20 @@ pub fn replay_schedule_repair_stored<S: BiddingStrategy>(
         let mut up = 0u64;
         let mut degraded = 0u64;
         let mut max_live = 0usize;
+        let mut strength_minutes = 0f64;
         let mut minute = boundary;
         while minute < interval_end {
             // Count live instances; advance to the next state change to
             // avoid per-minute scans over long quiet stretches.
             let mut live = 0usize;
+            let mut live_strength = 0u32;
             let mut next_change = interval_end;
             for inst in &fleet {
                 let alive_from = inst.running_from;
                 let dead_at = inst.dies_at.unwrap_or(u64::MAX);
                 if minute >= alive_from && minute < dead_at {
                     live += 1;
+                    live_strength += inst.ty.capacity_weight();
                     next_change = next_change.min(dead_at);
                 } else if minute < alive_from {
                     next_change = next_change.min(alive_from);
@@ -691,11 +804,13 @@ pub fn replay_schedule_repair_stored<S: BiddingStrategy>(
             for od in &on_demand {
                 if minute >= od.running_from {
                     live += 1;
+                    live_strength += primary_ty.capacity_weight();
                 } else {
                     next_change = next_change.min(od.running_from);
                 }
             }
             let span = next_change.max(minute + 1) - minute;
+            strength_minutes += live_strength as f64 * span as f64;
             if live >= quorum {
                 up += span;
             }
@@ -720,6 +835,12 @@ pub fn replay_schedule_repair_stored<S: BiddingStrategy>(
         degraded_minutes_total += degraded;
         repair_degraded_minutes.add(degraded);
         let availability = up as f64 / (interval_end - boundary).max(1) as f64;
+        if autoscaler.is_some() {
+            last_interval_obs = Some(ObservedInterval {
+                availability,
+                mean_strength: strength_minutes / (interval_end - boundary).max(1) as f64,
+            });
+        }
         interval_cost.set(decision.cost_upper_bound().as_dollars());
         interval_availability.set(availability);
         fleet_series.record(boundary, fleet.len() as f64);
@@ -744,7 +865,7 @@ pub fn replay_schedule_repair_stored<S: BiddingStrategy>(
             if let Some(d) = inst.dies_at {
                 death_out_of_bid.inc();
                 obs.counter(&format!("replay.terminated.{}", inst.zone)).inc();
-                records.push(close_instance(market, ty, inst, d, Termination::Provider));
+                records.push(close_instance(market, inst, d, Termination::Provider));
                 false
             } else {
                 true
@@ -763,6 +884,7 @@ pub fn replay_schedule_repair_stored<S: BiddingStrategy>(
             obs.counter(&format!("replay.terminated.{}", od.zone)).inc();
             records.push(InstanceRecord {
                 zone: od.zone,
+                instance_type: primary_ty,
                 bid: od.hourly,
                 granted_at: od.launched_at,
                 running_from: od.running_from,
@@ -787,7 +909,6 @@ pub fn replay_schedule_repair_stored<S: BiddingStrategy>(
         obs.counter(&format!("replay.terminated.{}", inst.zone)).inc();
         records.push(close_instance(
             market,
-            ty,
             &inst,
             config.eval_end,
             Termination::User,
@@ -823,15 +944,15 @@ pub fn replay_schedule_repair_stored<S: BiddingStrategy>(
 
 fn close_instance(
     market: &Market,
-    ty: spot_market::InstanceType,
     inst: &Active,
     end: u64,
     termination: Termination,
 ) -> InstanceRecord {
     let end = end.max(inst.granted_at);
-    let cost = market.charge(inst.zone, ty, inst.granted_at, end, termination);
+    let cost = market.charge(inst.zone, inst.ty, inst.granted_at, end, termination);
     InstanceRecord {
         zone: inst.zone,
+        instance_type: inst.ty,
         bid: inst.bid,
         granted_at: inst.granted_at,
         running_from: inst.running_from,

@@ -1,12 +1,14 @@
 //! Result structures for replayed experiments.
 
-use spot_market::{Price, Termination, Zone};
+use spot_market::{InstanceType, Price, Termination, Zone};
 
 /// One instance's full life, for audit and billing.
 #[derive(Clone, Debug)]
 pub struct InstanceRecord {
     /// Zone the instance ran in.
     pub zone: Zone,
+    /// The instance-type pool it ran in.
+    pub instance_type: InstanceType,
     /// The bid it was held at.
     pub bid: Price,
     /// Minute the spot request was granted (billing starts here).
@@ -121,6 +123,22 @@ impl ReplayResult {
         self.series.iter().find(|s| s.name == name)
     }
 
+    /// The bill reconciled per `(zone, instance-type)` pool, in zone/type
+    /// ordinal order — every billed cent is attributed to exactly one
+    /// pool, so the values sum to [`Self::total_cost`].
+    pub fn cost_by_pool(&self) -> Vec<((Zone, InstanceType), Price)> {
+        let mut pools: Vec<((Zone, InstanceType), Price)> = Vec::new();
+        for rec in &self.instances {
+            let key = (rec.zone, rec.instance_type);
+            match pools.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, cost)) => *cost += rec.cost,
+                None => pools.push((key, rec.cost)),
+            }
+        }
+        pools.sort_by_key(|((z, ty), _)| (z.ordinal(), ty.ordinal()));
+        pools
+    }
+
     /// Mean group size across intervals.
     pub fn mean_group_size(&self) -> f64 {
         if self.intervals.is_empty() {
@@ -208,6 +226,7 @@ mod tests {
         let zone = all_zones()[0];
         let rec = InstanceRecord {
             zone,
+            instance_type: InstanceType::M1Small,
             bid: Price::from_dollars(0.01),
             granted_at: 5,
             running_from: 10,

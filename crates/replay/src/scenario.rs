@@ -29,7 +29,7 @@ use std::sync::Arc;
 use jupiter::{BiddingStrategy, ModelStore, ServiceSpec};
 use obs::Obs;
 use rayon::prelude::*;
-use spot_market::{Market, Price};
+use spot_market::{InstanceType, Market, Price};
 
 use crate::adaptive::{replay_adaptive_stored, AdaptiveConfig};
 use crate::lifecycle::{on_demand_baseline_cost, replay_repair_stored, ReplayConfig};
@@ -48,6 +48,9 @@ pub struct SweepSpec {
     strategies: Vec<StrategyFactory>,
     intervals: Vec<u64>,
     repairs: Vec<RepairConfig>,
+    /// Instance-pool columns; an empty inner vec means "as the service
+    /// declares" (the default single column).
+    pools: Vec<Vec<InstanceType>>,
 }
 
 impl SweepSpec {
@@ -61,6 +64,7 @@ impl SweepSpec {
             strategies: Vec::new(),
             intervals: Vec::new(),
             repairs: vec![RepairConfig::off()],
+            pools: vec![Vec::new()],
         }
     }
 
@@ -87,6 +91,22 @@ impl SweepSpec {
         self
     }
 
+    /// Set the instance-pool columns to sweep (the `hetero` axis,
+    /// replacing the default single as-declared column): each entry
+    /// replays the whole grid with the service deployed over exactly that
+    /// set of (zone × type) pools, so single-type fleets race directly
+    /// against mixes over the same market. The service's strength floor
+    /// (`min_strength`) carries over unchanged into every column.
+    pub fn pools(mut self, pools: impl Into<Vec<Vec<InstanceType>>>) -> Self {
+        self.pools = pools.into();
+        assert!(!self.pools.is_empty(), "the pool axis cannot be empty");
+        assert!(
+            self.pools.iter().all(|p| !p.is_empty()),
+            "a pool column must name at least one instance type"
+        );
+        self
+    }
+
     /// The service this sweep deploys.
     pub fn service(&self) -> &ServiceSpec {
         &self.service
@@ -94,7 +114,7 @@ impl SweepSpec {
 
     /// Number of cells the grid enumerates.
     pub fn cells(&self) -> usize {
-        self.strategies.len() * self.intervals.len() * self.repairs.len()
+        self.strategies.len() * self.intervals.len() * self.repairs.len() * self.pools.len()
     }
 }
 
@@ -104,6 +124,8 @@ pub struct CellOutcome {
     pub interval_hours: u64,
     /// The repair policy this cell replayed under.
     pub repair: RepairPolicy,
+    /// The instance-type pools the cell's service was deployed over.
+    pub pool_types: Vec<InstanceType>,
     /// The replay accounting for this cell.
     pub result: ReplayResult,
 }
@@ -166,18 +188,20 @@ impl Scenario {
     /// historical `cell.{strategy}.{interval}h.` prefix; repairing cells
     /// append the policy label (`….{interval}h.{policy}.`).
     pub fn run(&self, spec: &SweepSpec) -> Vec<CellOutcome> {
-        let jobs: Vec<(u64, usize, usize)> = spec
+        let jobs: Vec<(u64, usize, usize, usize)> = spec
             .intervals
             .iter()
             .flat_map(|&h| {
                 let repairs = spec.repairs.len();
-                (0..spec.strategies.len())
-                    .flat_map(move |s| (0..repairs).map(move |r| (h, s, r)))
+                let pools = spec.pools.len();
+                (0..spec.strategies.len()).flat_map(move |s| {
+                    (0..repairs).flat_map(move |r| (0..pools).map(move |p| (h, s, r, p)))
+                })
             })
             .collect();
-        let cells: Vec<(CellOutcome, Obs)> = jobs
+        let cells: Vec<(CellOutcome, bool, Obs)> = jobs
             .into_par_iter()
-            .map(|(h, s, r)| {
+            .map(|(h, s, r, p)| {
                 let cell_obs = if self.obs.metrics.is_enabled() {
                     Obs::simulated().0
                 } else {
@@ -185,9 +209,15 @@ impl Scenario {
                 };
                 let strategy = (spec.strategies[s])(&cell_obs);
                 let repair = spec.repairs[r];
+                let default_pools = spec.pools[p].is_empty();
+                let service = if default_pools {
+                    spec.service.clone()
+                } else {
+                    spec.service.clone().with_pools(&spec.pools[p])
+                };
                 let result = replay_repair_stored(
                     &self.market,
-                    &spec.service,
+                    &service,
                     strategy,
                     self.config(h),
                     repair,
@@ -198,16 +228,18 @@ impl Scenario {
                     CellOutcome {
                         interval_hours: h,
                         repair: repair.policy,
+                        pool_types: service.pools(),
                         result,
                     },
+                    default_pools,
                     cell_obs,
                 )
             })
             .collect();
         cells
             .into_iter()
-            .map(|(cell, cell_obs)| {
-                let prefix = if cell.repair == RepairPolicy::Off {
+            .map(|(cell, default_pools, cell_obs)| {
+                let mut prefix = if cell.repair == RepairPolicy::Off {
                     format!("cell.{}.{}h.", cell.result.strategy, cell.interval_hours)
                 } else {
                     format!(
@@ -217,6 +249,14 @@ impl Scenario {
                         cell.repair.label()
                     )
                 };
+                if !default_pools {
+                    // Pool columns separate by their type list, so the
+                    // default column keeps its historical prefix.
+                    let label: Vec<String> =
+                        cell.pool_types.iter().map(|t| t.to_string()).collect();
+                    prefix.push_str(&label.join("+"));
+                    prefix.push('.');
+                }
                 self.obs.metrics.merge_prefixed(&cell_obs.metrics, &prefix);
                 cell
             })
@@ -363,6 +403,49 @@ mod tests {
             .is_some());
         // Both cells share one store: still one fit per zone.
         assert_eq!(snap.counter("model_store.fits_performed"), Some(6));
+    }
+
+    #[test]
+    fn pool_axis_multiplies_the_grid_and_labels_cells() {
+        let mut cfg = MarketConfig::hetero_paper(21, 3 * 7 * 24 * 60);
+        cfg.zones.truncate(6);
+        let market = Market::generate(cfg);
+        let (obs, _clock) = Obs::simulated();
+        let scenario =
+            Scenario::new(market, 2 * 7 * 24 * 60, 3 * 7 * 24 * 60).with_obs(obs.clone());
+        let service = ServiceSpec::lock_service().with_min_strength(5);
+        let spec = SweepSpec::new(service)
+            .strategy(|_| Box::new(JupiterStrategy::new()))
+            .intervals(vec![6])
+            .pools(vec![
+                vec![InstanceType::M1Small],
+                vec![InstanceType::M1Small, InstanceType::M3Large],
+            ]);
+        assert_eq!(spec.cells(), 2);
+        let cells = scenario.run(&spec);
+        assert_eq!(cells[0].pool_types, vec![InstanceType::M1Small]);
+        assert_eq!(
+            cells[1].pool_types,
+            vec![InstanceType::M1Small, InstanceType::M3Large]
+        );
+        // Every cell meets the strength floor whenever it deploys.
+        for c in &cells {
+            for rec in c.result.instances.iter().filter(|r| !r.on_demand) {
+                assert!(c.pool_types.contains(&rec.instance_type), "{rec:?}");
+            }
+        }
+        // Pool columns land under type-labelled prefixes.
+        let snap = obs.metrics.snapshot();
+        assert!(
+            snap.counter("cell.Jupiter.6h.m1.small.replay.bids_placed")
+                .unwrap_or(0)
+                > 0
+        );
+        assert!(
+            snap.counter("cell.Jupiter.6h.m1.small+m3.large.replay.bids_placed")
+                .unwrap_or(0)
+                > 0
+        );
     }
 
     #[test]

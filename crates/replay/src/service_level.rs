@@ -181,7 +181,7 @@ pub fn lock_service_replay_observed<S: BiddingStrategy>(
     // Train the failure models on the revealed prefix.
     let mut framework = BiddingFramework::new(spec.clone(), strategy).with_obs(obs.clone());
     for &z in market.zones() {
-        framework.observe(z, &market.trace(z, ty).window(0, config.eval_start));
+        framework.observe(z, ty, &market.trace(z, ty).window(0, config.eval_start));
     }
 
     // The protocol cluster. Node 0..n₀ are created per the first decision.
@@ -193,6 +193,7 @@ pub fn lock_service_replay_observed<S: BiddingStrategy>(
                 let t = market.trace(z, ty);
                 MarketSnapshot {
                     zone: z,
+                    instance_type: ty,
                     spot_price: t.price_at(minute),
                     sojourn_age: t.sojourn_age_at(minute) as u32,
                 }
@@ -215,8 +216,8 @@ pub fn lock_service_replay_observed<S: BiddingStrategy>(
     );
     // zone → (node, bid) for the live fleet.
     let mut fleet: HashMap<Zone, (NodeId, Price)> = HashMap::new();
-    for (slot, &(zone, bid)) in first.bids.iter().enumerate() {
-        fleet.insert(zone, (NodeId(slot), bid));
+    for (slot, pb) in first.bids.iter().enumerate() {
+        fleet.insert(pb.zone, (NodeId(slot), pb.bid));
     }
     let admin = cluster.add_client();
     let worker = cluster.add_client();
@@ -292,7 +293,7 @@ pub fn lock_service_replay_observed<S: BiddingStrategy>(
         // ---- bidding-interval boundary: re-decide and reconfigure -------
         // Fold the newly revealed prices of every zone into the models.
         for &z in market.zones() {
-            framework.observe(z, &market.trace(z, ty).window(boundary, interval_end));
+            framework.observe(z, ty, &market.trace(z, ty).window(boundary, interval_end));
         }
         let decision = framework.decide(&snapshot(interval_end), interval_min as u32);
         if decision.n() == 0 {
@@ -302,7 +303,8 @@ pub fn lock_service_replay_observed<S: BiddingStrategy>(
 
         let mut add_nodes = Vec::new();
         let mut new_fleet: HashMap<Zone, (NodeId, Price)> = HashMap::new();
-        for &(zone, bid) in &decision.bids {
+        for pb in &decision.bids {
+            let (zone, bid) = (pb.zone, pb.bid);
             match fleet.get(&zone) {
                 // A standing higher bid keeps protecting the instance —
                 // carry it over instead of churning the membership.
@@ -450,7 +452,7 @@ pub fn storage_service_replay_observed<S: BiddingStrategy>(
 
     let mut framework = BiddingFramework::new(spec.clone(), strategy).with_obs(obs.clone());
     for &z in market.zones() {
-        framework.observe(z, &market.trace(z, ty).window(0, config.eval_start));
+        framework.observe(z, ty, &market.trace(z, ty).window(0, config.eval_start));
     }
     let snapshot = |minute: u64| -> Vec<MarketSnapshot> {
         market
@@ -460,6 +462,7 @@ pub fn storage_service_replay_observed<S: BiddingStrategy>(
                 let t = market.trace(z, ty);
                 MarketSnapshot {
                     zone: z,
+                    instance_type: ty,
                     spot_price: t.price_at(minute),
                     sojourn_age: t.sojourn_age_at(minute) as u32,
                 }
@@ -468,7 +471,7 @@ pub fn storage_service_replay_observed<S: BiddingStrategy>(
     };
     let interval_min = config.interval_hours * 60;
     let pick = |decision: &jupiter::BidDecision| -> Vec<(Zone, Price)> {
-        decision.bids.iter().copied().take(5).collect()
+        decision.bids.iter().map(|b| (b.zone, b.bid)).take(5).collect()
     };
     let first = framework.decide(&snapshot(config.eval_start), interval_min as u32);
     let mut assignment = pick(&first);
@@ -553,7 +556,7 @@ pub fn storage_service_replay_observed<S: BiddingStrategy>(
 
         // Boundary: fold in revealed prices, re-decide, rebind slots.
         for &z in market.zones() {
-            framework.observe(z, &market.trace(z, ty).window(boundary, interval_end));
+            framework.observe(z, ty, &market.trace(z, ty).window(boundary, interval_end));
         }
         let decision = framework.decide(&snapshot(interval_end), interval_min as u32);
         let target = pick(&decision);

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--quick] [--seed N] [--metrics-out PATH] [--report-out PATH] \
-//!       [all|fig1|table1|fig4|fig5|fig6|fig7|fig8|fig9|headline|repair|ablations|calibration|metrics|report|workload]
+//!       [all|fig1|table1|fig4|fig5|fig6|fig7|fig8|fig9|headline|repair|ablations|calibration|metrics|report|workload|hetero]
 //! ```
 //!
 //! By default runs at the paper's scale (13 training weeks, 11 evaluation
@@ -118,6 +118,7 @@ fn main() {
             headline(&lock, &storage);
         }
         "repair" => repair(&scale),
+        "hetero" => hetero(&scale),
         "ablations" => ablations(&scale),
         "ablation-g" => {
             println!("\n== Ablation G: one-shot fixed bids (Andrzejak-style) vs online re-bidding ==");
@@ -513,6 +514,90 @@ fn repair(scale: &Scale) {
         "on-demand baseline: ${:.2} (every repairing cell must undercut it)",
         s.baseline_cost.as_dollars()
     );
+}
+
+/// The `hetero` target: the heterogeneous-pool strategy race (Jupiter vs
+/// the feedback controller vs Extra over single-type and mixed pools at a
+/// shared strength floor) followed by the auto-scaler experiment (diurnal
+/// demand, load-tracked fleet strength vs peak provisioning). Output is
+/// deterministic for a given seed, so CI diffs it across thread counts.
+fn hetero(scale: &Scale) {
+    let s = experiments::hetero_sweep(scale);
+    println!(
+        "\n== Heterogeneous pools: strategy race at strength ≥ {} ({} h interval) ==",
+        s.min_strength, s.interval_hours
+    );
+    println!(
+        "{:<12} {:<22} {:>12} {:>12} {:>7} {:>7}",
+        "strategy", "pools", "cost ($)", "availability", "kills", "nodes"
+    );
+    for r in &s.rows {
+        println!(
+            "{:<12} {:<22} {:>12.2} {:>12.6} {:>7} {:>7.1}",
+            r.strategy, r.pool_label, r.cost.as_dollars(), r.availability, r.kills, r.mean_group_size
+        );
+    }
+    println!(
+        "on-demand baseline: ${:.2} (every cell must undercut it)",
+        s.baseline_cost.as_dollars()
+    );
+
+    let r = experiments::autoscale_report(scale);
+    println!("\n== Auto-scaler: diurnal demand vs peak provisioning (mixed pool, 3 h boundaries) ==");
+    println!(
+        "{:<26} {:>12} {:>12} {:>7}",
+        "fleet", "cost ($)", "availability", "kills"
+    );
+    println!(
+        "{:<26} {:>12.2} {:>12.6} {:>7}",
+        "auto-scaled",
+        r.result.total_cost.as_dollars(),
+        r.result.availability(),
+        r.result.total_kills()
+    );
+    println!(
+        "{:<26} {:>12.2} {:>12.6} {:>7}",
+        format!("static peak (strength {})", r.peak_strength),
+        r.static_result.total_cost.as_dollars(),
+        r.static_result.availability(),
+        r.static_result.total_kills()
+    );
+    println!(
+        "on-demand baseline: ${:.2}; scale-outs {}, scale-ins {}",
+        r.baseline_cost.as_dollars(),
+        r.scale_outs,
+        r.scale_ins
+    );
+    let scale_decisions = r
+        .result
+        .audit
+        .iter()
+        .filter(|rec| rec.kind.label() == "scale_decision")
+        .count();
+    println!("audited scale decisions: {scale_decisions}");
+    println!("\nper-type fleet series (points, peak, final):");
+    for series in &r.result.series {
+        if let Some(ty) = series.name.strip_prefix("pool.fleet.") {
+            let peak = series.points.iter().map(|p| p.max).fold(0.0, f64::max);
+            let last = series.points.last().map(|p| p.last).unwrap_or(0.0);
+            println!(
+                "  pool.fleet.{:<12} {:>6} {:>8.1} {:>8.1}",
+                ty,
+                series.points.len(),
+                peak,
+                last
+            );
+        }
+    }
+    if let Some(strength) = r.result.series_named("pool.strength") {
+        let peak = strength.points.iter().map(|p| p.max).fold(0.0, f64::max);
+        println!(
+            "  {:<23} {:>6} {:>8.1}",
+            "pool.strength",
+            strength.points.len(),
+            peak
+        );
+    }
 }
 
 fn ablations(scale: &Scale) {

@@ -544,6 +544,21 @@ pub fn alert_section(alerts: &[AlertEvent], audit: &[AuditRecord]) -> String {
                         fmt_num(*billing_delta_dollars)
                     ),
                 ),
+                AuditKind::ScaleDecision {
+                    action,
+                    reason,
+                    from_strength,
+                    to_strength,
+                    demand_strength,
+                    ..
+                } => (
+                    String::new(),
+                    0.0,
+                    format!(
+                        "{action} ({reason}) · strength {from_strength} → {to_strength} · demand {}",
+                        fmt_num(*demand_strength)
+                    ),
+                ),
             };
             out.push_str(&format!(
                 "<tr id=\"audit-{}\"><td>{}</td><td>{}</td><td>{}</td>\
@@ -998,6 +1013,8 @@ mod tests {
             at_minute: 12,
             kind: AuditKind::BidSelection {
                 zone: "us-east-1a".into(),
+                instance_type: "m1.small".into(),
+                capacity_weight: 1.0,
                 bid_dollars: 0.08,
                 spot_price_dollars: 0.04,
                 predicted_availability: 0.997,

@@ -93,6 +93,31 @@ impl InstanceType {
     pub fn max_bid(self, region: Region) -> Price {
         self.on_demand_price(region) * 4
     }
+
+    /// Serving strength relative to one `m1.small` (ECU-style capacity
+    /// units, rounded to integers so strength arithmetic stays exact): an
+    /// `m3.large` counts as four `m1.small`s of request-serving capacity.
+    /// Heterogeneous fleet planning allocates against Σ weights rather
+    /// than node counts.
+    pub fn capacity_weight(self) -> u32 {
+        match self {
+            InstanceType::M1Small => 1,
+            InstanceType::M1Medium => 2,
+            InstanceType::C3Large => 3,
+            InstanceType::M3Large => 4,
+        }
+    }
+
+    /// Index of this type in [`InstanceType::ALL`] — the deterministic
+    /// tie-break ordinal used wherever pools are sorted.
+    pub fn ordinal(self) -> usize {
+        match self {
+            InstanceType::M1Small => 0,
+            InstanceType::M1Medium => 1,
+            InstanceType::C3Large => 2,
+            InstanceType::M3Large => 3,
+        }
+    }
 }
 
 impl fmt::Display for InstanceType {
@@ -135,6 +160,20 @@ mod tests {
             for r in Region::ALL {
                 assert_eq!(ty.max_bid(r), ty.on_demand_price(r) * 4);
             }
+        }
+    }
+
+    #[test]
+    fn capacity_weights_are_monotone_in_price() {
+        // Strength per dollar is what the heterogeneous optimizer trades
+        // on; the weights must at least rank with size.
+        assert_eq!(InstanceType::M1Small.capacity_weight(), 1);
+        assert_eq!(InstanceType::M3Large.capacity_weight(), 4);
+        for w in InstanceType::ALL.windows(2) {
+            assert!(w[0].capacity_weight() < w[1].capacity_weight());
+        }
+        for (i, ty) in InstanceType::ALL.iter().enumerate() {
+            assert_eq!(ty.ordinal(), i);
         }
     }
 

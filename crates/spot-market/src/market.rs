@@ -27,6 +27,16 @@ pub struct MarketConfig {
     pub horizon_minutes: u64,
     /// Generator parameters (see [`GenParams`]).
     pub gen_params: GenParams,
+    /// Per-type overrides of `gen_params` — the heterogeneous-pool axis.
+    /// A type listed here gets its own price process (distinct AR
+    /// personality); types not listed fall back to `gen_params`. Empty
+    /// (the default) reproduces the legacy single-process market
+    /// byte-for-byte.
+    pub type_params: Vec<(InstanceType, GenParams)>,
+    /// Extra startup delay in whole minutes added per type on top of the
+    /// zone's sampled delay (bigger images provision slower). Types not
+    /// listed get no surcharge; empty preserves legacy delays exactly.
+    pub type_startup_extra: Vec<(InstanceType, u64)>,
 }
 
 impl MarketConfig {
@@ -39,7 +49,63 @@ impl MarketConfig {
             types: vec![InstanceType::M1Small, InstanceType::M3Large],
             horizon_minutes,
             gen_params: GenParams::default(),
+            type_params: Vec::new(),
+            type_startup_extra: Vec::new(),
         }
+    }
+
+    /// A heterogeneous-pool market: the paper's setup plus distinct price
+    /// processes per type (larger types are calmer but pricier, with rarer
+    /// spikes and longer sojourns) and per-type startup surcharges. This is
+    /// the market the `hetero` sweeps and the auto-scaler race on.
+    pub fn hetero_paper(seed: u64, horizon_minutes: u64) -> Self {
+        let mut cfg = Self::paper(seed, horizon_minutes);
+        // m3.large pools: deeper discount at the base, lower spike ceiling
+        // and stickier sojourns — the "reliable but expensive per node"
+        // regime Qu et al. describe for bigger types.
+        let large = GenParams {
+            base_fraction: 0.095,
+            top_fraction: 0.8,
+            spike_prob: 0.000_25,
+            mean_sojourn_short: 9.0,
+            long_sojourn_prob: 0.2,
+            ..GenParams::default()
+        };
+        // m1.medium pools sit between: slightly jumpier than small.
+        let medium = GenParams {
+            base_fraction: 0.105,
+            spike_prob: 0.000_5,
+            step_scale: 1.6,
+            ..GenParams::default()
+        };
+        cfg.type_params = vec![
+            (InstanceType::M1Medium, medium),
+            (InstanceType::M3Large, large),
+        ];
+        cfg.type_startup_extra = vec![
+            (InstanceType::M1Medium, 1),
+            (InstanceType::C3Large, 1),
+            (InstanceType::M3Large, 2),
+        ];
+        cfg
+    }
+
+    /// Generator parameters for `ty`: the per-type override if present,
+    /// else the shared `gen_params`.
+    pub fn params_for(&self, ty: InstanceType) -> &GenParams {
+        self.type_params
+            .iter()
+            .find(|(t, _)| *t == ty)
+            .map(|(_, p)| p)
+            .unwrap_or(&self.gen_params)
+    }
+
+    /// The per-type startup surcharge in minutes (0 if unlisted).
+    pub fn startup_extra(&self, ty: InstanceType) -> u64 {
+        self.type_startup_extra
+            .iter()
+            .find(|(t, _)| *t == ty)
+            .map_or(0, |(_, m)| *m)
     }
 }
 
@@ -54,10 +120,10 @@ pub struct Market {
 impl Market {
     /// Generate a market from its configuration (deterministic).
     pub fn generate(config: MarketConfig) -> Self {
-        let gen = TraceGenerator::with_params(config.seed, config.gen_params.clone());
         let mut traces = HashMap::new();
-        for &zone in &config.zones {
-            for &ty in &config.types {
+        for &ty in &config.types {
+            let gen = TraceGenerator::with_params(config.seed, config.params_for(ty).clone());
+            for &zone in &config.zones {
                 traces.insert((zone, ty), gen.generate(zone, ty, config.horizon_minutes));
             }
         }
@@ -159,6 +225,14 @@ impl Market {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let secs = rng.gen_range(lo..=hi);
         secs.div_ceil(60)
+    }
+
+    /// [`Market::startup_delay_minutes`] plus the per-type surcharge from
+    /// [`MarketConfig::startup_extra`]. With no surcharges configured this
+    /// is byte-identical to the untyped delay — the legacy single-type
+    /// replay fingerprints depend on that.
+    pub fn startup_delay_minutes_typed(&self, zone: Zone, ty: InstanceType, minute: u64) -> u64 {
+        self.startup_delay_minutes(zone, minute) + self.config.startup_extra(ty)
     }
 
     /// A new market restricted to `[from, to)` minutes (re-based to 0).
@@ -321,6 +395,44 @@ mod tests {
         }
         assert!(Market::import_traces(MarketConfig::paper(0, 1), "[]").is_err());
         assert!(Market::import_traces(MarketConfig::paper(0, 1), "nonsense").is_err());
+    }
+
+    #[test]
+    fn hetero_config_overrides_only_listed_types() {
+        let horizon = 7 * 24 * 60;
+        let mut hetero = MarketConfig::hetero_paper(11, horizon);
+        hetero.zones.truncate(3);
+        let mut legacy = MarketConfig::paper(11, horizon);
+        legacy.zones.truncate(3);
+        let h = Market::generate(hetero);
+        let l = Market::generate(legacy);
+        for &z in l.zones() {
+            // m1.small keeps the shared process: identical traces.
+            assert_eq!(
+                h.trace(z, InstanceType::M1Small),
+                l.trace(z, InstanceType::M1Small)
+            );
+            // m3.large gets its own personality: the traces diverge.
+            assert_ne!(
+                h.trace(z, InstanceType::M3Large),
+                l.trace(z, InstanceType::M3Large)
+            );
+            // Startup surcharge applies per type, on top of the zone delay.
+            let base = h.startup_delay_minutes(z, 100);
+            assert_eq!(
+                h.startup_delay_minutes_typed(z, InstanceType::M1Small, 100),
+                base
+            );
+            assert_eq!(
+                h.startup_delay_minutes_typed(z, InstanceType::M3Large, 100),
+                base + 2
+            );
+            assert_eq!(
+                l.startup_delay_minutes_typed(z, InstanceType::M3Large, 100),
+                l.startup_delay_minutes(z, 100),
+                "legacy config has no surcharge"
+            );
+        }
     }
 
     #[test]

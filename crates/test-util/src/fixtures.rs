@@ -27,6 +27,15 @@ pub fn market_days(seed: u64, zones: usize, days: u64) -> Market {
     Market::generate(cfg)
 }
 
+/// A day-granularity heterogeneous market: the paper-parameterized
+/// per-type price processes ([`MarketConfig::hetero_paper`]) across all
+/// four instance types, with `zones` clamped to the 2–8 range.
+pub fn hetero_market_days(seed: u64, zones: usize, days: u64) -> Market {
+    let mut cfg = MarketConfig::hetero_paper(seed, days * 24 * 60);
+    cfg.zones.truncate(zones.clamp(2, 8));
+    Market::generate(cfg)
+}
+
 /// A `n`-replica Paxos lock-service cluster on the default WAN model,
 /// with the given replica configuration (pass
 /// [`ReplicaConfig::default`] unless the test needs otherwise).

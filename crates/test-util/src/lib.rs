@@ -32,5 +32,7 @@ pub use chaos::{
 };
 pub use check::{check_lock_cluster, check_storage_cluster};
 pub use env::{chaos_schedules, chaos_seed, repro_command};
-pub use fixtures::{lock_cluster, market_days, quick_market, repair_pair, storage_cluster};
+pub use fixtures::{
+    hetero_market_days, lock_cluster, market_days, quick_market, repair_pair, storage_cluster,
+};
 pub use rng::{derive_seed, rng_from};

@@ -28,9 +28,10 @@ fn main() {
     let mut snapshots = Vec::new();
     for &zone in market.zones() {
         let trace = market.trace(zone, ty);
-        fw.observe(zone, trace);
+        fw.observe(zone, ty, trace);
         snapshots.push(MarketSnapshot {
             zone,
+            instance_type: ty,
             spot_price: trace.price_at(now),
             sojourn_age: trace.sojourn_age_at(now) as u32,
         });
@@ -43,17 +44,17 @@ fn main() {
         "{:<18} {:>10} {:>10} {:>12}",
         "zone", "spot", "bid", "on-demand"
     );
-    for (zone, bid) in &decision.bids {
+    for pb in &decision.bids {
         let snap = snapshots
             .iter()
-            .find(|s| s.zone == *zone)
+            .find(|s| s.zone == pb.zone)
             .expect("snapshot");
         println!(
             "{:<18} {:>10} {:>10} {:>12}",
-            zone.name(),
+            pb.zone.name(),
             snap.spot_price,
-            bid,
-            ty.on_demand_price(zone.region)
+            pb.bid,
+            ty.on_demand_price(pb.zone.region)
         );
     }
     let od5 = ty.on_demand_price(market.zones()[0].region) * 5;

@@ -39,9 +39,10 @@
 //!     .iter()
 //!     .map(|&z| {
 //!         let t = market.trace(z, ty);
-//!         fw.observe(z, t);
+//!         fw.observe(z, ty, t);
 //!         MarketSnapshot {
 //!             zone: z,
+//!             instance_type: ty,
 //!             spot_price: t.price_at(now),
 //!             sojourn_age: t.sojourn_age_at(now) as u32,
 //!         }

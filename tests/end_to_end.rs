@@ -122,30 +122,32 @@ fn decision_respects_all_constraints() {
     let mut snapshots = Vec::new();
     for &zone in market.zones() {
         let t = market.trace(zone, ty);
-        fw.observe(zone, t);
+        fw.observe(zone, ty, t);
         snapshots.push(MarketSnapshot {
             zone,
+            instance_type: ty,
             spot_price: t.price_at(now),
             sojourn_age: t.sojourn_age_at(now) as u32,
         });
     }
     let decision = fw.decide(&snapshots, 360);
     assert!(decision.n() > 0, "feasible at this scale");
-    for (zone, bid) in &decision.bids {
+    for pb in &decision.bids {
+        let (zone, bid) = (pb.zone, pb.bid);
         let snap = snapshots
             .iter()
-            .find(|s| s.zone == *zone)
+            .find(|s| s.zone == zone)
             .expect("snapshot");
-        assert!(*bid >= snap.spot_price, "{}: bid below spot", zone.name());
+        assert!(bid >= snap.spot_price, "{}: bid below spot", zone.name());
         assert!(
-            *bid < ty.on_demand_price(zone.region),
+            bid < ty.on_demand_price(zone.region),
             "{}: bid at or above on-demand",
             zone.name()
         );
         // And the model agrees the bid meets the per-node target.
         let target = spec.node_fp_target(decision.n()).expect("target");
-        let fp = fw.model(*zone).expect("trained").estimate_fp(
-            *bid,
+        let fp = fw.model(zone, pb.instance_type).expect("trained").estimate_fp(
+            bid,
             snap.spot_price,
             snap.sojourn_age,
             360,

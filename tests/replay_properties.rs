@@ -2,12 +2,12 @@
 //! engine under randomized markets and strategies.
 
 use proptest::prelude::*;
-use spot_jupiter::jupiter::{ExtraStrategy, ModelStore, ServiceSpec};
-use spot_jupiter::obs::Obs;
+use spot_jupiter::jupiter::{ExtraStrategy, JupiterStrategy, ModelStore, ServiceSpec};
+use spot_jupiter::obs::{AuditKind, Obs};
 use spot_jupiter::replay::lifecycle::{replay_repair_stored, replay_strategy};
 use spot_jupiter::replay::{RepairConfig, ReplayConfig};
-use spot_jupiter::spot_market::Price;
-use test_util::market_days as market;
+use spot_jupiter::spot_market::{InstanceType, Price};
+use test_util::{hetero_market_days, market_days as market};
 
 proptest! {
     // Each case replays several simulated days; keep the count modest.
@@ -139,6 +139,118 @@ proptest! {
         prop_assert_eq!(snap.counter("repair.degraded_minutes").unwrap_or(0), r.degraded_minutes);
         if !hybrid {
             prop_assert_eq!(snap.counter("repair.on_demand_launches").unwrap_or(0), 0);
+        }
+    }
+
+    #[test]
+    fn hetero_billing_decomposes_by_pool(
+        seed in any::<u64>(),
+        zones in 4usize..8,
+        min_strength in 5u32..11,
+        hybrid in any::<bool>(),
+    ) {
+        // The heterogeneous-fleet ledger: charges split exactly into
+        // per-(zone, type) pools and into spot vs on-demand with no
+        // double billing; every instance ran in a declared pool; every
+        // boundary decision reaches the strength floor; and (repair off)
+        // the capacity-weighted live fleet never exceeds the strength
+        // the boundary decision bought.
+        let m = hetero_market_days(seed, zones, 6);
+        let pools = [InstanceType::M1Small, InstanceType::M3Large];
+        let spec = ServiceSpec::lock_service()
+            .with_pools(&pools)
+            .with_min_strength(min_strength);
+        let config = ReplayConfig::new(3 * 24 * 60, 6 * 24 * 60, 6);
+        let repair = if hybrid { RepairConfig::hybrid() } else { RepairConfig::off() };
+        let (obs, _clock) = Obs::simulated();
+        let r = replay_repair_stored(
+            &m,
+            &spec,
+            JupiterStrategy::new(),
+            config,
+            repair,
+            &ModelStore::new(),
+            &obs,
+        );
+
+        // total = Σ per-(zone, type) pool charges = Σ spot + Σ on-demand.
+        let pooled = r
+            .cost_by_pool()
+            .iter()
+            .fold(Price::ZERO, |acc, &(_, c)| acc + c);
+        prop_assert_eq!(pooled, r.total_cost);
+        let mut spot = Price::ZERO;
+        let mut on_demand = Price::ZERO;
+        for rec in &r.instances {
+            prop_assert!(
+                pools.contains(&rec.instance_type),
+                "instance billed to undeclared pool {:?}", rec.instance_type
+            );
+            if rec.on_demand {
+                on_demand += rec.cost;
+            } else {
+                spot += rec.cost;
+            }
+        }
+        prop_assert_eq!(spot + on_demand, r.total_cost);
+        prop_assert_eq!(on_demand, r.on_demand_cost);
+
+        // The audited boundary decisions are the strength targets the
+        // launch pass worked toward (instances carry over boundaries, so
+        // grant times can't reconstruct the decision).
+        let audits = obs.audit.snapshot();
+        for (i, iv) in r.intervals.iter().enumerate() {
+            let end = r
+                .intervals
+                .get(i + 1)
+                .map(|n| n.start)
+                .unwrap_or(config.eval_end);
+            let decided: u32 = audits
+                .iter()
+                .filter(|a| a.at_minute == iv.start.saturating_sub(config.decision_lead))
+                .filter_map(|a| match &a.kind {
+                    AuditKind::BidSelection {
+                        capacity_weight, ..
+                    } => Some(*capacity_weight as u32),
+                    _ => None,
+                })
+                .sum();
+            prop_assert!(
+                decided >= min_strength,
+                "interval at {}: decided strength {} below floor {}",
+                iv.start, decided, min_strength
+            );
+            if !hybrid {
+                // Sweep the interval's live set: capacity-weighted peak
+                // occupancy never exceeds the decided strength (deltas
+                // sort negatives first, so boundary swaps don't
+                // double-count). The next boundary's decision fires
+                // `decision_lead` minutes early and its grants overlap
+                // this interval's tail — those belong to the next
+                // interval's books, so clip them out.
+                let mut events: Vec<(u64, i64)> = Vec::new();
+                for rec in r.instances.iter().filter(|rec| {
+                    rec.running_from < rec.ended_at
+                        && rec.running_from < end
+                        && rec.ended_at > iv.start
+                        && rec.granted_at < end.saturating_sub(config.decision_lead)
+                }) {
+                    let w = i64::from(rec.instance_type.capacity_weight());
+                    events.push((rec.running_from.max(iv.start), w));
+                    events.push((rec.ended_at.min(end), -w));
+                }
+                events.sort_unstable();
+                let (mut live, mut peak) = (0i64, 0i64);
+                for (_, delta) in events {
+                    live += delta;
+                    peak = peak.max(live);
+                }
+                prop_assert!(
+                    peak <= i64::from(decided),
+                    "interval at {}: live strength {} exceeds decided {}",
+                    iv.start, peak, decided
+                );
+            }
         }
     }
 
