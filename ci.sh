@@ -72,6 +72,24 @@ SCALE_AUDITS="$(sed -n 's/^audited scale decisions: \([0-9]*\).*/\1/p' /tmp/ci_h
 [[ -n "$SCALE_AUDITS" && "$SCALE_AUDITS" -ge 1 ]] \
   || { echo "hetero smoke: no audited scale decisions" >&2; exit 1; }
 
+echo "== era smoke + determinism =="
+# Interruption-era race: the capacity regime's hidden processes and the
+# proactive-migration controller must be thread-count independent, the
+# bidding-era rows must be byte-identical across repair policies
+# (strict additivity), and the sweep must land at least one drain.
+./target/release/repro --quick --seed 2014 era | grep -v '^#' > /tmp/ci_era_default.txt
+RAYON_NUM_THREADS=1 ./target/release/repro --quick --seed 2014 era | grep -v '^#' > /tmp/ci_era_single.txt
+diff /tmp/ci_era_default.txt /tmp/ci_era_single.txt \
+  || { echo "era rows depend on thread count" >&2; exit 1; }
+diff <(awk '/^bidding/ && $2 == "reactive" { $2 = "POLICY"; print }' /tmp/ci_era_default.txt) \
+     <(awk '/^bidding/ && $2 == "migrate"  { $2 = "POLICY"; print }' /tmp/ci_era_default.txt) \
+  || { echo "era smoke: migration is not a no-op under the bidding era" >&2; exit 1; }
+grep -q '^capacity' /tmp/ci_era_default.txt \
+  || { echo "era smoke: missing capacity-era rows" >&2; exit 1; }
+DRAINS="$(awk '/^capacity +migrate/ { s += $(NF-1) } END { print s+0 }' /tmp/ci_era_default.txt)"
+[[ "$DRAINS" -ge 1 ]] \
+  || { echo "era smoke: no pre-deadline drains landed" >&2; exit 1; }
+
 echo "== repro report smoke =="
 REPORT_TMP="$(mktemp -d)"
 trap 'rm -rf "$REPORT_TMP"' EXIT
@@ -119,6 +137,13 @@ if [[ -f BENCH_replay.json ]]; then
   ./target/release/bench-baseline compare \
     --baseline BENCH_replay.json \
     --only hetero_replay \
+    --strict
+  # The era replay pins the capacity-era migration counters (notice.*
+  # signal handling, migrate.* drain outcomes) — all deterministic, so
+  # drift means the interruption controller changed behavior.
+  ./target/release/bench-baseline compare \
+    --baseline BENCH_replay.json \
+    --only era_replay \
     --strict
   ./target/release/bench-baseline compare \
     --baseline BENCH_replay.json \

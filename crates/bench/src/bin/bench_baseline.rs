@@ -297,6 +297,35 @@ fn run_all(only: Option<&str>) -> Vec<TargetResult> {
             },
         ));
     }
+    // The capacity-era migration replay: the same kill-prone heuristic
+    // as `repair_replay`, but under the capacity-reclaim regime with the
+    // proactive-migration controller answering interruption notices. The
+    // pinned counters are the signal-handling totals (`notice.*`) and
+    // the drain outcomes (`migrate.*`) — all seeded, so drift in any of
+    // them means the notice plumbing or the drain/fallback controller
+    // changed behavior.
+    if want("era_replay") {
+        out.push(run_target(
+            "era_replay",
+            &["replay.bids_placed", "replay.death.", "notice.", "migrate."],
+            |obs| {
+                use spot_market::BidEra;
+                let market = bench_market(3, 8);
+                let spec = ServiceSpec::lock_service();
+                let store = ModelStore::with_obs(obs.clone());
+                let result = replay_repair_stored(
+                    &market,
+                    &spec,
+                    ExtraStrategy::new(0, 0.2),
+                    ReplayConfig::new(train, train + eval, 6).with_era(BidEra::CapacityReclaim),
+                    RepairConfig::migrate(),
+                    &store,
+                    obs,
+                );
+                assert!(result.window_minutes > 0);
+            },
+        ));
+    }
     // Satellite guard: "disabled tracing is free". A tight loop of
     // inert span opens/closes and causal instants on a *disabled*
     // handle must stay in the low-nanosecond range per op — if the

@@ -35,11 +35,65 @@ use crate::strategy::{BidDecision, BiddingStrategy, PoolBid, ZoneState};
 /// constraint binds it pays for strength wherever it is cheapest per
 /// unit. Returns `None` when no `n`-pool subset can reach the target.
 fn select_with_strength(bids: &[PoolBid], n: usize, min_strength: u32) -> Option<Vec<PoolBid>> {
-    let weight = |b: &PoolBid| b.instance_type.capacity_weight();
     let mut sorted: Vec<PoolBid> = bids.to_vec();
     sorted.sort_by_key(|b| (b.bid, b.zone.ordinal(), b.instance_type.ordinal()));
-    let mut selected: Vec<PoolBid> = sorted[..n].to_vec();
-    let mut rest: Vec<PoolBid> = sorted.split_off(n);
+    let selected: Vec<PoolBid> = sorted[..n].to_vec();
+    let rest: Vec<PoolBid> = sorted.split_off(n);
+    upgrade_to_strength(selected, rest, min_strength)
+}
+
+/// [`select_with_strength`] with a zone-diversified starting selection:
+/// instead of the `n` cheapest pools outright, take the cheapest pool
+/// per *zone* first (round-robin passes in price order), so same-zone
+/// pools — which share capacity crunches under `BidEra::CapacityReclaim`
+/// — are only doubled up once every zone is covered. The strength
+/// upgrade loop then runs unchanged.
+fn select_diversified(bids: &[PoolBid], n: usize, min_strength: u32) -> Option<Vec<PoolBid>> {
+    let mut sorted: Vec<PoolBid> = bids.to_vec();
+    sorted.sort_by_key(|b| (b.bid, b.zone.ordinal(), b.instance_type.ordinal()));
+    let mut selected: Vec<PoolBid> = Vec::with_capacity(n);
+    let mut used = vec![false; sorted.len()];
+    while selected.len() < n {
+        // One pick per zone per pass, cheapest first; a second pool in a
+        // zone is only taken once every zone with an unused pool has one
+        // more pick than it had last pass.
+        let mut pass_zones: Vec<spot_market::Zone> = Vec::new();
+        let mut progressed = false;
+        for (i, b) in sorted.iter().enumerate() {
+            if selected.len() >= n {
+                break;
+            }
+            if used[i] || pass_zones.contains(&b.zone) {
+                continue;
+            }
+            used[i] = true;
+            pass_zones.push(b.zone);
+            selected.push(*b);
+            progressed = true;
+        }
+        if !progressed {
+            break; // every pool is used: bids.len() < n, caller filters
+        }
+    }
+    if selected.len() < n {
+        return None;
+    }
+    let rest: Vec<PoolBid> = sorted
+        .into_iter()
+        .zip(used)
+        .filter_map(|(b, u)| (!u).then_some(b))
+        .collect();
+    upgrade_to_strength(selected, rest, min_strength)
+}
+
+/// The marginal-cost strength-upgrade loop shared by the plain and the
+/// diversified selections (see [`select_with_strength`]).
+fn upgrade_to_strength(
+    mut selected: Vec<PoolBid>,
+    mut rest: Vec<PoolBid>,
+    min_strength: u32,
+) -> Option<Vec<PoolBid>> {
+    let weight = |b: &PoolBid| b.instance_type.capacity_weight();
     let mut strength: u32 = selected.iter().map(weight).sum();
     while strength < min_strength {
         // Marginal-cost comparison is exact via cross-multiplication:
@@ -341,11 +395,26 @@ impl JupiterStrategy {
             if spec.is_hetero() {
                 // Heterogeneous selection: the n cheapest pools, upgraded
                 // to heavier types at the lowest marginal cost per unit of
-                // strength until the capacity floor holds.
-                let Some(selected) = select_with_strength(&bids, n, spec.min_strength) else {
+                // strength until the capacity floor holds. Under
+                // `diversify` the starting selection covers zones
+                // round-robin before doubling up in any zone.
+                let selected = if spec.diversify {
+                    select_diversified(&bids, n, spec.min_strength)
+                } else {
+                    select_with_strength(&bids, n, spec.min_strength)
+                };
+                let Some(selected) = selected else {
                     continue; // no n-pool subset reaches the strength floor
                 };
                 bids = selected;
+            } else if spec.diversify {
+                // Homogeneous diversified: one pool per zone (which the
+                // paper's single-type setup already is — every zone is
+                // its own pool — so this only reorders multi-pool lists).
+                bids = match select_diversified(&bids, n, 0) {
+                    Some(sel) => sel,
+                    None => continue,
+                };
             } else {
                 // The paper's greedy: cheapest n zones.
                 bids.sort_by_key(|b| (b.bid, b.zone.ordinal()));
@@ -713,6 +782,44 @@ mod tests {
         let sel0 = select_with_strength(&bids, 2, 0).expect("feasible");
         assert_eq!(sel0.len(), 2);
         assert!(sel0.iter().all(|b| b.instance_type == InstanceType::M1Small));
+    }
+
+    /// Two pools per zone with the cheap bids concentrated in two zones:
+    /// the plain selection doubles up there, the diversified one covers
+    /// distinct zones first — and with `diversify` off the decision is
+    /// byte-identical to the legacy order.
+    #[test]
+    fn diversified_selection_spreads_across_zones() {
+        let mk = |zi: usize, ty: InstanceType, bid: f64| PoolBid {
+            zone: zone(zi),
+            instance_type: ty,
+            bid: p(bid),
+        };
+        // Zones 0 and 1 are cheap in both pools; zones 2..5 pricier.
+        let mut bids = Vec::new();
+        for i in 0..6 {
+            let base = if i < 2 { 0.006 } else { 0.012 };
+            bids.push(mk(i, InstanceType::M1Small, base + i as f64 * 0.0001));
+            bids.push(mk(i, InstanceType::M1Medium, base + 0.001 + i as f64 * 0.0001));
+        }
+        let plain = select_with_strength(&bids, 4, 0).expect("feasible");
+        let spread = select_diversified(&bids, 4, 0).expect("feasible");
+        let distinct = |sel: &[PoolBid]| {
+            let mut zs: Vec<_> = sel.iter().map(|b| b.zone).collect();
+            zs.sort_by_key(|z| z.ordinal());
+            zs.dedup();
+            zs.len()
+        };
+        assert_eq!(distinct(&plain), 2, "cheapest-4 doubles up: {plain:?}");
+        assert_eq!(distinct(&spread), 4, "diversified covers 4 zones: {spread:?}");
+        // The diversified pick still honors a strength floor.
+        let with_floor = select_diversified(&bids, 4, 7);
+        if let Some(sel) = with_floor {
+            let s: u32 = sel.iter().map(|b| b.instance_type.capacity_weight()).sum();
+            assert!(s >= 7);
+        }
+        // Asking for more pools than exist fails cleanly.
+        assert!(select_diversified(&bids[..3], 4, 0).is_none());
     }
 
     /// The node-count floor binding: the cheap picks already reach the

@@ -166,16 +166,46 @@ impl BiddingStrategy for FeedbackStrategy {
 
         let mut bids: Vec<PoolBid> = Vec::new();
         let mut strength = 0u32;
-        for (bid, z) in priced {
-            let enough_nodes = bids.len() >= spec.baseline_nodes;
-            let enough_strength = strength >= spec.min_strength;
-            if enough_nodes && enough_strength {
+        let mut taken = vec![false; priced.len()];
+        // Under `spec.diversify` (the capacity-reclaim era) the take
+        // order prefers zones not yet selected: same-zone pools share
+        // capacity crunches, so covering zones first buys independence.
+        // A second sweep then fills any remaining need in plain price
+        // order. With `diversify` off the first sweep is skipped and the
+        // selection is byte-identical to the legacy single sweep.
+        let needs_more = |bids: &Vec<PoolBid>, strength: u32| {
+            bids.len() < spec.baseline_nodes || strength < spec.min_strength
+        };
+        if spec.diversify {
+            let mut pass_zones: Vec<Zone> = Vec::new();
+            for (i, (bid, z)) in priced.iter().enumerate() {
+                if !needs_more(&bids, strength) {
+                    break;
+                }
+                if pass_zones.contains(&z.zone) {
+                    continue;
+                }
+                taken[i] = true;
+                pass_zones.push(z.zone);
+                bids.push(PoolBid {
+                    zone: z.zone,
+                    instance_type: z.instance_type,
+                    bid: *bid,
+                });
+                strength += z.instance_type.capacity_weight();
+            }
+        }
+        for (i, (bid, z)) in priced.iter().enumerate() {
+            if !needs_more(&bids, strength) {
                 break;
+            }
+            if taken[i] {
+                continue;
             }
             bids.push(PoolBid {
                 zone: z.zone,
                 instance_type: z.instance_type,
-                bid,
+                bid: *bid,
             });
             strength += z.instance_type.capacity_weight();
         }
@@ -330,5 +360,58 @@ mod tests {
     #[test]
     fn name_is_stable() {
         assert_eq!(FeedbackStrategy::new().name(), "Feedback");
+    }
+
+    #[test]
+    fn diversify_spreads_the_take_across_zones() {
+        let m = dummy_model();
+        let zones = spot_market::topology::all_zones();
+        // Zone 0 offers three dirt-cheap pools; zones 1..4 one pricier
+        // pool each. The legacy take concentrates in zone 0; the
+        // diversified take covers zones first.
+        let mut st = Vec::new();
+        for ty in [
+            InstanceType::M1Small,
+            InstanceType::M1Medium,
+            InstanceType::C3Large,
+        ] {
+            st.push(ZoneState {
+                zone: zones[0],
+                instance_type: ty,
+                spot_price: p(0.004),
+                sojourn_age: 0,
+                on_demand: p(0.140),
+                model: &m,
+            });
+        }
+        for &zone in zones.iter().take(5).skip(1) {
+            st.push(ZoneState {
+                zone,
+                instance_type: InstanceType::M1Small,
+                spot_price: p(0.010),
+                sojourn_age: 0,
+                on_demand: p(0.044),
+                model: &m,
+            });
+        }
+        let pools = &[
+            InstanceType::M1Small,
+            InstanceType::M1Medium,
+            InstanceType::C3Large,
+        ];
+        let spec = ServiceSpec::lock_service().with_pools(pools);
+        let distinct = |d: &BidDecision| {
+            let mut zs: Vec<_> = d.bids.iter().map(|b| b.zone).collect();
+            zs.sort_by_key(|z| z.ordinal());
+            zs.dedup();
+            zs.len()
+        };
+        let legacy = FeedbackStrategy::new().decide(&st, &spec, 60);
+        assert_eq!(legacy.n(), 5);
+        assert!(distinct(&legacy) < 5, "cheap zone dominates: {:?}", legacy.bids);
+        let spec_div = spec.clone().with_diversify(true);
+        let spread = FeedbackStrategy::new().decide(&st, &spec_div, 60);
+        assert_eq!(spread.n(), 5);
+        assert_eq!(distinct(&spread), 5, "one pool per zone: {:?}", spread.bids);
     }
 }

@@ -30,6 +30,12 @@ pub struct ServiceSpec {
     /// must reach. `0` disables the constraint; the auto-scaler re-targets
     /// this each interval from observed load.
     pub min_strength: u32,
+    /// Prefer spreading replicas across *zones* when selecting pools.
+    /// Off (the default) keeps every legacy selection byte-identical;
+    /// the replay framework turns it on under `BidEra::CapacityReclaim`,
+    /// where same-zone pools share capacity crunches and cross-zone
+    /// pools have independent interruption processes.
+    pub diversify: bool,
 }
 
 impl ServiceSpec {
@@ -45,6 +51,7 @@ impl ServiceSpec {
             epsilon: 1e-6,
             pool_types: Vec::new(),
             min_strength: 0,
+            diversify: false,
         }
     }
 
@@ -60,6 +67,7 @@ impl ServiceSpec {
             epsilon: 1e-6,
             pool_types: Vec::new(),
             min_strength: 0,
+            diversify: false,
         }
     }
 
@@ -76,6 +84,13 @@ impl ServiceSpec {
     /// (builder style).
     pub fn with_min_strength(mut self, strength: u32) -> Self {
         self.min_strength = strength;
+        self
+    }
+
+    /// Toggle zone-diversified pool selection (builder style); see
+    /// [`ServiceSpec::diversify`].
+    pub fn with_diversify(mut self, diversify: bool) -> Self {
+        self.diversify = diversify;
         self
     }
 

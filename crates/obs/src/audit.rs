@@ -15,7 +15,10 @@ use crate::json;
 /// v2: `bid_selection` gained `instance_type` and `capacity_weight`
 /// (heterogeneous pools), and the `scale_decision` kind was added (the
 /// load-driven auto-scaler).
-pub const AUDIT_SCHEMA_VERSION: u32 = 2;
+///
+/// v3: the `migration` kind was added (the proactive-migration
+/// controller of the capacity-reclaim era).
+pub const AUDIT_SCHEMA_VERSION: u32 = 3;
 
 /// What kind of decision a record captures.
 #[derive(Clone, Debug, PartialEq)]
@@ -70,6 +73,27 @@ pub enum AuditKind {
         /// replacements, 0 otherwise).
         billing_delta_dollars: f64,
     },
+    /// One proactive-migration action taken on an interruption notice
+    /// (capacity-reclaim era).
+    Migration {
+        /// What the controller did: `drained` (replacement up before the
+        /// deadline), `late_drain` (replacement launched but missed the
+        /// deadline), `no_pool` (no diversified pool available),
+        /// `no_grant` (the declared price cap did not grant).
+        action: String,
+        /// Zone of the instance under notice.
+        from_zone: String,
+        /// Zone the replacement launched in (empty when none launched).
+        to_zone: String,
+        /// Market minute the controller acted at (the notice or the
+        /// earlier rebalance recommendation it chose to act on).
+        notice_minute: u64,
+        /// Market minute the reclamation lands.
+        deadline_minute: u64,
+        /// The replacement's declared price cap in dollars per hour (0
+        /// when none launched).
+        bid_dollars: f64,
+    },
     /// One auto-scaler re-targeting of the fleet's capacity-weighted
     /// strength.
     ScaleDecision {
@@ -97,6 +121,7 @@ impl AuditKind {
         match self {
             AuditKind::BidSelection { .. } => "bid_selection",
             AuditKind::RepairAction { .. } => "repair_action",
+            AuditKind::Migration { .. } => "migration",
             AuditKind::ScaleDecision { .. } => "scale_decision",
         }
     }
@@ -172,6 +197,26 @@ impl AuditRecord {
                 json::push_f64(&mut out, *bid_dollars);
                 out.push_str(",\"billing_delta_dollars\":");
                 json::push_f64(&mut out, *billing_delta_dollars);
+            }
+            AuditKind::Migration {
+                action,
+                from_zone,
+                to_zone,
+                notice_minute,
+                deadline_minute,
+                bid_dollars,
+            } => {
+                out.push_str(",\"action\":");
+                json::push_str_lit(&mut out, action);
+                out.push_str(",\"from_zone\":");
+                json::push_str_lit(&mut out, from_zone);
+                out.push_str(",\"to_zone\":");
+                json::push_str_lit(&mut out, to_zone);
+                out.push_str(&format!(
+                    ",\"notice_minute\":{notice_minute},\"deadline_minute\":{deadline_minute}"
+                ));
+                out.push_str(",\"bid_dollars\":");
+                json::push_f64(&mut out, *bid_dollars);
             }
             AuditKind::ScaleDecision {
                 action,
@@ -380,6 +425,17 @@ mod tests {
             },
         );
         log.record(
+            10_240,
+            AuditKind::Migration {
+                action: "drained".into(),
+                from_zone: "us-east-1a".into(),
+                to_zone: "us-west-1a".into(),
+                notice_minute: 10_230,
+                deadline_minute: 10_244,
+                bid_dollars: 0.012,
+            },
+        );
+        log.record(
             10_440,
             AuditKind::ScaleDecision {
                 action: "scale_out".into(),
@@ -392,15 +448,19 @@ mod tests {
         );
         let jsonl = audit_jsonl(&log.snapshot());
         let lines: Vec<&str> = jsonl.lines().collect();
-        assert_eq!(lines.len(), 3);
-        assert!(lines[0].starts_with("{\"schema_version\":2,\"seq\":1,"));
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("{\"schema_version\":3,\"seq\":1,"));
         assert!(lines[0].contains("\"kind\":\"bid_selection\""));
         assert!(lines[0].contains("\"instance_type\":\"m1.small\""));
         assert!(lines[0].contains("\"capacity_weight\":1"));
         assert!(lines[0].contains("\"fp_cache_hit\":true"));
         assert!(lines[1].contains("\"kind\":\"repair_action\""));
         assert!(lines[1].contains("\"trigger_death_minute\":10135"));
-        assert!(lines[2].contains("\"kind\":\"scale_decision\""));
-        assert!(lines[2].contains("\"from_strength\":5,\"to_strength\":9"));
+        assert!(lines[2].contains("\"kind\":\"migration\""));
+        assert!(lines[2].contains("\"action\":\"drained\""));
+        assert!(lines[2].contains("\"from_zone\":\"us-east-1a\",\"to_zone\":\"us-west-1a\""));
+        assert!(lines[2].contains("\"notice_minute\":10230,\"deadline_minute\":10244"));
+        assert!(lines[3].contains("\"kind\":\"scale_decision\""));
+        assert!(lines[3].contains("\"from_strength\":5,\"to_strength\":9"));
     }
 }

@@ -94,6 +94,50 @@ pub fn market_fault_schedule(result: &ReplayResult, eval_start: u64, slots: usiz
     ChaosSchedule { seed: 0, events }
 }
 
+/// The longest idle stretch [`capacity_fault_schedule`] keeps between
+/// consecutive fault events, in simulated seconds. Capacity reclamations
+/// are sparse (a handful per pool-week), so the raw minute-per-second
+/// mapping would leave the protocol cluster idling for simulated hours
+/// between correlated bursts.
+pub const CAPACITY_MAX_IDLE_SECS: u64 = 120;
+
+/// [`market_fault_schedule`] for capacity-era replays: the same
+/// crash/restart derivation — under [`spot_market::BidEra::CapacityReclaim`]
+/// every [`Termination::Provider`] record is a capacity reclamation, and a
+/// migration replacement's boot becomes the Restart that *precedes* its
+/// correlated Crash whenever the drain beat the deadline — but with idle
+/// gaps between events compressed to at most [`CAPACITY_MAX_IDLE_SECS`]
+/// simulated seconds. Relative order is preserved exactly, and same-minute
+/// correlated crashes (whole-zone capacity crunches) stay simultaneous, so
+/// the safety checkers see the full notice → drain → view change → kill
+/// sequence without hours of dead air.
+pub fn capacity_fault_schedule(
+    result: &ReplayResult,
+    eval_start: u64,
+    slots: usize,
+) -> ChaosSchedule {
+    let base = market_fault_schedule(result, eval_start, slots);
+    let mut sim_ms = 0u64;
+    let mut prev_raw_ms = 0u64;
+    let events = base
+        .events
+        .into_iter()
+        .map(|ev| {
+            let raw_ms = ev.at.as_millis();
+            let gap = raw_ms
+                .saturating_sub(prev_raw_ms)
+                .min(CAPACITY_MAX_IDLE_SECS * 1_000);
+            prev_raw_ms = raw_ms;
+            sim_ms += gap;
+            ChaosEvent {
+                at: SimTime::from_millis(sim_ms),
+                action: ev.action,
+            }
+        })
+        .collect();
+    ChaosSchedule { seed: 0, events }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,5 +213,51 @@ mod tests {
         let a = market_fault_schedule(&result, eval_start, 5);
         let b = market_fault_schedule(&result, eval_start, 5);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn capacity_schedule_compresses_gaps_and_preserves_order() {
+        use crate::repair::RepairConfig;
+        use spot_market::BidEra;
+        let mut cfg = MarketConfig::paper(21, 2 * 7 * 24 * 60);
+        cfg.zones.truncate(8);
+        cfg.types = vec![InstanceType::M1Small];
+        let market = Market::generate(cfg);
+        let spec = ServiceSpec::lock_service();
+        let eval_start = 7 * 24 * 60;
+        let config = ReplayConfig::new(eval_start, 14 * 24 * 60, 3)
+            .with_era(BidEra::CapacityReclaim);
+        let store = jupiter::ModelStore::new();
+        let result = crate::lifecycle::replay_repair_stored(
+            &market,
+            &spec,
+            ExtraStrategy::new(0, 0.2),
+            config,
+            RepairConfig::migrate(),
+            &store,
+            &obs::Obs::disabled(),
+        );
+        let raw = market_fault_schedule(&result, eval_start, 5);
+        let compressed = capacity_fault_schedule(&result, eval_start, 5);
+        // Same action sequence, only the clock is compressed.
+        assert_eq!(raw.events.len(), compressed.events.len());
+        assert!(!compressed.events.is_empty(), "capacity churn must appear");
+        let mut prev = SimTime::ZERO;
+        for (r, c) in raw.events.iter().zip(&compressed.events) {
+            assert_eq!(r.action, c.action);
+            assert!(c.at >= prev, "compressed events out of order");
+            assert!(
+                c.at.saturating_sub(prev).as_secs() <= CAPACITY_MAX_IDLE_SECS,
+                "gap beyond the idle cap"
+            );
+            assert!(c.at <= r.at, "compression never delays an event");
+            prev = c.at;
+        }
+        // Same-minute correlated events stay simultaneous.
+        for (rs, cs) in raw.events.windows(2).zip(compressed.events.windows(2)) {
+            if rs[0].at == rs[1].at {
+                assert_eq!(cs[0].at, cs[1].at);
+            }
+        }
     }
 }

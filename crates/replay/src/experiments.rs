@@ -4,7 +4,9 @@
 
 use jupiter::{ExtraStrategy, JupiterStrategy, ServiceSpec};
 use rayon::prelude::*;
-use spot_market::{InstanceType, Market, MarketConfig, Price, PriceTrace, TraceGenerator, Zone};
+use spot_market::{
+    BidEra, InstanceType, Market, MarketConfig, Price, PriceTrace, TraceGenerator, Zone,
+};
 use spot_model::{FailureModel, FailureModelConfig};
 
 use crate::repair::{RepairConfig, RepairPolicy};
@@ -421,6 +423,97 @@ pub fn repair_sweep(scale: &Scale) -> RepairSweep {
     RepairSweep {
         rows,
         baseline_cost: scenario.baseline_cost(&spec),
+    }
+}
+
+// ------------------------------------------------------------- Era sweep
+
+/// One row of the interruption-era sweep: a (strategy, era, repair
+/// policy) cell at a fixed interval.
+#[derive(Clone, Debug)]
+pub struct EraRow {
+    /// The interruption era the cell replayed under.
+    pub era: BidEra,
+    /// The repair policy (reactive rebids vs proactive migration).
+    pub policy: RepairPolicy,
+    /// Strategy name.
+    pub strategy: String,
+    /// Total billed cost.
+    pub cost: Price,
+    /// Measured quorum availability.
+    pub availability: f64,
+    /// Minutes below the decided group strength.
+    pub degraded_minutes: u64,
+    /// Instance deaths (out-of-bid kills or capacity reclamations).
+    pub kills: usize,
+    /// Successful pre-deadline drains (capacity era, Migrate only).
+    pub drains: u64,
+    /// Migrations whose replacement booted after the deadline.
+    pub late_drains: u64,
+}
+
+/// The era sweep plus its framing constants.
+#[derive(Clone, Debug)]
+pub struct EraSweep {
+    /// One row per (strategy, policy, era) cell, grid order.
+    pub rows: Vec<EraRow>,
+    /// The on-demand baseline cost bounding every cell.
+    pub baseline_cost: Price,
+    /// The fixed bidding interval used.
+    pub interval_hours: u64,
+}
+
+/// The capacity-era experiment: the erasure-coded storage service (RS-Paxos
+/// θ(3,5) tolerates a single failure, so repair latency shows up directly
+/// as unavailability) under Jupiter and the feedback controller, replayed
+/// under both interruption eras with reactive repair racing proactive
+/// migration. Under the bidding era there are no notices, so the Migrate
+/// rows replay exactly as Reactive — the capacity-era delta between the
+/// two policies is the advance notice's worth.
+pub fn era_sweep(scale: &Scale) -> EraSweep {
+    use jupiter::FeedbackStrategy;
+    use obs::AuditKind;
+    const INTERVAL: u64 = 3;
+    let spec = ServiceSpec::storage_service();
+    let scenario = scale
+        .scenario(spec.instance_type)
+        .with_obs(obs::Obs::simulated().0);
+    let sweep = SweepSpec::new(spec.clone())
+        .strategy(|_| Box::new(JupiterStrategy::new()))
+        .strategy(|_| Box::new(FeedbackStrategy::new()))
+        .intervals(vec![INTERVAL])
+        .repairs(vec![RepairConfig::reactive(), RepairConfig::migrate()])
+        .eras(vec![BidEra::Bidding, BidEra::CapacityReclaim]);
+    let rows = scenario
+        .run(&sweep)
+        .iter()
+        .map(|cell| {
+            let count = |wanted: &str| {
+                cell.result
+                    .audit
+                    .iter()
+                    .filter(|r| {
+                        matches!(&r.kind, AuditKind::Migration { action, .. } if action == wanted)
+                    })
+                    .count() as u64
+            };
+            EraRow {
+                era: cell.era,
+                policy: cell.repair,
+                strategy: cell.result.strategy.clone(),
+                cost: cell.result.total_cost,
+                availability: cell.result.availability(),
+                degraded_minutes: cell.result.degraded_minutes,
+                kills: cell.result.total_kills(),
+                drains: count("drained"),
+                late_drains: count("late_drain"),
+            }
+        })
+        .collect();
+    EraSweep {
+        rows,
+        baseline_cost: scenario.baseline_cost(&spec),
+        interval_hours: INTERVAL,
     }
 }
 
@@ -1038,6 +1131,55 @@ mod tests {
             // on-demand outright.
             assert!(hybrid.cost < s.baseline_cost, "{hybrid:?}");
         }
+    }
+
+    #[test]
+    fn era_sweep_migration_beats_reactive_under_capacity() {
+        let s = era_sweep(&Scale::quick(7));
+        // 2 strategies × 2 policies × 2 eras at one interval.
+        assert_eq!(s.rows.len(), 8);
+        assert!(s.baseline_cost > Price::ZERO);
+        for r in &s.rows {
+            assert!((0.0..=1.0).contains(&r.availability), "{r:?}");
+            assert!(r.cost > Price::ZERO, "{r:?}");
+            assert!(r.cost < s.baseline_cost, "{r:?}");
+        }
+        let find = |strategy: &str, policy: RepairPolicy, era: BidEra| {
+            s.rows
+                .iter()
+                .find(|r| r.strategy == strategy && r.policy == policy && r.era == era)
+                .expect("cell present")
+        };
+        let mut total_drains = 0;
+        for strategy in ["Jupiter", "Feedback"] {
+            // Bidding era: no notices, so Migrate replays exactly as
+            // Reactive — the policy is strictly additive.
+            let rb = find(strategy, RepairPolicy::Reactive, BidEra::Bidding);
+            let mb = find(strategy, RepairPolicy::Migrate, BidEra::Bidding);
+            assert_eq!(rb.cost, mb.cost, "{strategy}: bidding-era cost drifted");
+            assert_eq!(rb.degraded_minutes, mb.degraded_minutes);
+            assert_eq!(rb.kills, mb.kills);
+            assert_eq!(mb.drains, 0, "no drains without notices");
+            // Capacity era: acting on the advance notice must never be
+            // worse than waiting for the kill, and drains must land.
+            let rc = find(strategy, RepairPolicy::Reactive, BidEra::CapacityReclaim);
+            let mc = find(strategy, RepairPolicy::Migrate, BidEra::CapacityReclaim);
+            assert!(rc.kills > 0, "{strategy}: capacity era must reclaim");
+            assert!(
+                mc.availability >= rc.availability - 1e-12,
+                "{strategy}: migrate {} < reactive {}",
+                mc.availability,
+                rc.availability
+            );
+            assert!(
+                mc.degraded_minutes <= rc.degraded_minutes,
+                "{strategy}: migrate degraded {} > reactive {}",
+                mc.degraded_minutes,
+                rc.degraded_minutes
+            );
+            total_drains += mc.drains;
+        }
+        assert!(total_drains >= 1, "at least one pre-deadline drain");
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod service_level;
 
 pub use adaptive::{replay_adaptive, replay_adaptive_stored, AdaptiveConfig};
 pub use autoscale::{demand_series, AutoScaler, AutoscaleConfig, ObservedInterval, ScaleAction};
-pub use chaos::market_fault_schedule;
+pub use chaos::{capacity_fault_schedule, market_fault_schedule};
 pub use fleet::{fleet_replay, fleet_replay_observed, FleetResult};
 pub use lifecycle::{
     replay_autoscale_stored, replay_repair_stored, replay_strategy, replay_strategy_observed,

@@ -5,7 +5,7 @@ use jupiter::{BiddingFramework, BiddingStrategy, ModelKey, ModelStore, ServiceSp
 use obs::{
     AuditKind, FieldValue, FleetDeficitWatchdog, Obs, RepairBudgetWatchdog, SloSpec, SloTracker,
 };
-use spot_market::{InstanceType, Market, Price, Termination, Zone};
+use spot_market::{BidEra, InstanceType, Market, Price, Termination, Zone};
 use spot_model::FrozenKernel;
 
 use crate::autoscale::{AutoScaler, ObservedInterval};
@@ -28,6 +28,13 @@ pub struct ReplayConfig {
     /// replacements finish booting by the boundary (§4: new instances are
     /// launched before the interval starts).
     pub decision_lead: u64,
+    /// Which interruption regime resolves instance deaths. Under the
+    /// default [`BidEra::Bidding`] the replay is byte-identical to the
+    /// pre-era harness (kills at the first out-of-bid minute); under
+    /// [`BidEra::CapacityReclaim`] bids become capped-price declarations
+    /// and kills follow each pool's hidden capacity process, announced
+    /// `lead` minutes ahead by an [`spot_market::InterruptionNotice`].
+    pub era: BidEra,
 }
 
 impl ReplayConfig {
@@ -41,7 +48,15 @@ impl ReplayConfig {
             eval_end,
             interval_hours,
             decision_lead: 15,
+            era: BidEra::Bidding,
         }
+    }
+
+    /// Select the interruption era (builder style); see
+    /// [`ReplayConfig::era`].
+    pub fn with_era(mut self, era: BidEra) -> Self {
+        self.era = era;
+        self
     }
 
     /// The minute of the first bidding decision — also the exclusive end
@@ -62,8 +77,16 @@ struct Active {
     bid: Price,
     granted_at: u64,
     running_from: u64,
-    /// Precomputed out-of-bid minute within the current interval.
+    /// Precomputed death minute within the current interval: the first
+    /// out-of-bid minute (bidding era) or the pool's next capacity
+    /// reclamation (capacity era).
     dies_at: Option<u64>,
+    /// Minute a proactive migration finished handing this instance's slot
+    /// off to its replacement (the drain completing before the reclaim
+    /// deadline). Availability stops counting the instance here — the
+    /// replacement has taken over — while billing runs on to the kill,
+    /// so the drain window is the only double-billed overlap.
+    drained_at: Option<u64>,
 }
 
 /// An on-demand fallback instance launched by the repair controller. It
@@ -281,6 +304,17 @@ fn replay_core<S: BiddingStrategy>(
     obs: &Obs,
 ) -> ReplayResult {
     assert!(config.eval_end <= market.horizon(), "window beyond market");
+    let era = config.era;
+    // Under the capacity era, interruptions are zone-correlated (whole-zone
+    // capacity crunches reclaim several pools at once), so spread replicas
+    // across zones with independent capacity processes.
+    let diversified;
+    let spec = if era == BidEra::CapacityReclaim && !spec.diversify {
+        diversified = spec.clone().with_diversify(true);
+        &diversified
+    } else {
+        spec
+    };
     let bids_placed = obs.counter("replay.bids_placed");
     let death_out_of_bid = obs.counter("replay.death.out_of_bid");
     let death_boundary = obs.counter("replay.death.boundary");
@@ -300,6 +334,16 @@ fn replay_core<S: BiddingStrategy>(
     let repair_degraded_minutes = obs.counter("repair.degraded_minutes");
     let repair_budget_exhausted = obs.counter("repair.budget_exhausted");
     let repair_too_late = obs.counter("repair.too_late");
+    // Capacity-era instruments (all stay at zero under the bidding era,
+    // keeping bidding-era metric sets byte-identical).
+    let notice_emitted = obs.counter("notice.emitted");
+    let notice_rebalance = obs.counter("notice.rebalance");
+    let migrate_launched = obs.counter("migrate.launched");
+    let migrate_drained = obs.counter("migrate.drained");
+    let migrate_late = obs.counter("migrate.late");
+    let migrate_no_pool = obs.counter("migrate.no_pool");
+    let migrate_no_grant = obs.counter("migrate.no_grant");
+    let drain_margin_series = obs.series.series("migrate.drain_margin_minutes");
     // Per-interval time series (time axis: market minutes). Per-zone
     // price/bid series are looked up per interval since zones vary.
     let fleet_series = obs.series.series("replay.fleet_size");
@@ -494,6 +538,7 @@ fn replay_core<S: BiddingStrategy>(
                 granted_at: decision_at,
                 running_from,
                 dies_at: None,
+                drained_at: None,
             });
         }
         // Per-pool fleet composition series (heterogeneous runs only, so
@@ -546,22 +591,192 @@ fn replay_core<S: BiddingStrategy>(
             }
         }
 
-        // ---- resolve out-of-bid deaths within the interval ---------------
+        // ---- resolve deaths within the interval --------------------------
+        // Bidding era: the first minute the price strictly exceeds the
+        // bid. Capacity era: the pool's next hidden-capacity reclamation
+        // — the bid plays no part in survival, only in the grant gate.
         let mut kills = 0usize;
         for inst in &mut fleet {
-            inst.dies_at = market.out_of_bid_at(
-                inst.zone,
-                inst.ty,
-                inst.bid,
-                inst.granted_at.max(boundary),
-                interval_end,
-            );
+            inst.dies_at = match era {
+                BidEra::Bidding => market.out_of_bid_at(
+                    inst.zone,
+                    inst.ty,
+                    inst.bid,
+                    inst.granted_at.max(boundary),
+                    interval_end,
+                ),
+                BidEra::CapacityReclaim => market.next_reclaim_at(
+                    inst.zone,
+                    inst.ty,
+                    inst.granted_at.max(boundary),
+                    interval_end,
+                ),
+            };
+            inst.drained_at = None;
             if let Some(d) = inst.dies_at {
                 kills += 1;
                 if d <= inst.granted_at {
                     // Granted and killed in the same minute: the bid only
                     // just covered the price at request time.
                     same_minute_death.inc();
+                }
+            }
+        }
+
+        // ---- proactive migration on interruption notices -----------------
+        // Under the capacity era every reclamation is announced `lead`
+        // minutes ahead, with rebalance recommendations earlier still. The
+        // Migrate policy acts on the earliest actionable signal: it
+        // launches a replacement in a diversified pool (excluding pools
+        // under imminent reclaim, preferring a different zone) and, when
+        // the replacement is running before the deadline, drains the
+        // victim's slot — the service-level Paxos view change; here the
+        // handoff in the slot accounting. Deaths the notice path cannot
+        // cover (no pool, grant refused, signal past the boundary) fall
+        // through to the reactive walk below, which sees their slots
+        // still missing.
+        let target_n = fleet.len();
+        if era == BidEra::CapacityReclaim {
+            notice_emitted.add(market.notices_in(boundary, interval_end).len() as u64);
+            notice_rebalance.add(market.rebalances_in(boundary, interval_end).len() as u64);
+        }
+        if era == BidEra::CapacityReclaim
+            && repair.policy == RepairPolicy::Migrate
+            && !fleet.is_empty()
+        {
+            // How far before the deadline a rebalance recommendation is
+            // still worth acting on (older signals would buy overlap
+            // billing without improving the drain), and how far past the
+            // victim's deadline a candidate pool's own reclamation makes
+            // it unfit as the replacement's home.
+            const REBALANCE_WINDOW: u64 = 45;
+            const RECLAIM_GUARD: u64 = 60;
+            let mut deaths: Vec<(usize, u64)> = fleet
+                .iter()
+                .enumerate()
+                .filter_map(|(i, inst)| inst.dies_at.map(|d| (i, d)))
+                .collect();
+            deaths.sort_by_key(|&(i, d)| (d, i));
+            // Pools of victims the notice path could not cover: once a
+            // victim falls through to the reactive walk, its own pool —
+            // free again after its reclamation passes — is the walk's
+            // natural repair site, and a later migration stealing it
+            // would starve the fallback (the steal shows up as degraded
+            // time the pure-reactive replay never accrues).
+            let mut reserved: Vec<(Zone, InstanceType)> = Vec::new();
+            for (victim_idx, deadline) in deaths {
+                let (vzone, vty) = (fleet[victim_idx].zone, fleet[victim_idx].ty);
+                let lead = market.capacity(vzone, vty).lead();
+                let notice_at = deadline.saturating_sub(lead).max(boundary);
+                let floor = deadline.saturating_sub(REBALANCE_WINDOW).max(boundary);
+                let launch_at = market
+                    .capacity(vzone, vty)
+                    .last_rebalance_before(deadline, floor)
+                    .map_or(notice_at, |r| r.max(boundary));
+                if launch_at >= interval_end {
+                    continue; // the next boundary re-decides anyway
+                }
+                // Re-ask the framework at the signal minute; candidates
+                // outside the victim's zone come first at equal price.
+                let mut snapshots: Vec<MarketSnapshot> =
+                    Vec::with_capacity(zones.len() * pools.len());
+                for &z in &zones {
+                    for &ty in &pools {
+                        let t = market.trace(z, ty);
+                        snapshots.push(MarketSnapshot {
+                            zone: z,
+                            instance_type: ty,
+                            spot_price: t.price_at(launch_at),
+                            sojourn_age: t.sojourn_age_at(launch_at).min(u32::MAX as u64) as u32,
+                        });
+                    }
+                }
+                let decision = framework.decide(&snapshots, (interval_end - launch_at) as u32);
+                let mut choices = decision.bids;
+                choices.sort_by_key(|pb| {
+                    (pb.zone == vzone, pb.bid, pb.zone.ordinal(), pb.instance_type.ordinal())
+                });
+                let mut action = "no_pool";
+                let mut to_zone = String::new();
+                let mut bid_dollars = 0.0;
+                for pb in choices {
+                    let occupied = fleet.iter().enumerate().any(|(i, inst)| {
+                        i != victim_idx
+                            && inst.zone == pb.zone
+                            && inst.ty == pb.instance_type
+                            && inst.dies_at.map(|d| d > launch_at).unwrap_or(true)
+                    });
+                    // A pool the provider is about to reclaim (the
+                    // victim's own included) is no home for the refugee.
+                    let imminent = market
+                        .next_reclaim_at(
+                            pb.zone,
+                            pb.instance_type,
+                            launch_at,
+                            deadline + RECLAIM_GUARD,
+                        )
+                        .is_some();
+                    if occupied || imminent || reserved.contains(&(pb.zone, pb.instance_type)) {
+                        continue;
+                    }
+                    if !market.grants(pb.zone, pb.instance_type, pb.bid, launch_at) {
+                        action = "no_grant";
+                        continue;
+                    }
+                    let delay =
+                        market.startup_delay_minutes_typed(pb.zone, pb.instance_type, launch_at);
+                    let running_from = launch_at + delay;
+                    let dies_at =
+                        market.next_reclaim_at(pb.zone, pb.instance_type, launch_at, interval_end);
+                    if dies_at.is_some() {
+                        kills += 1;
+                    }
+                    migrate_launched.inc();
+                    bids_placed.inc();
+                    obs.counter(&format!("replay.granted.{}", pb.zone)).inc();
+                    to_zone = pb.zone.to_string();
+                    bid_dollars = pb.bid.as_dollars();
+                    if running_from <= deadline {
+                        action = "drained";
+                        fleet[victim_idx].drained_at = Some(running_from);
+                        migrate_drained.inc();
+                        drain_margin_series.record(deadline, (deadline - running_from) as f64);
+                    } else {
+                        action = "late_drain";
+                        migrate_late.inc();
+                    }
+                    fleet.push(Active {
+                        zone: pb.zone,
+                        ty: pb.instance_type,
+                        bid: pb.bid,
+                        granted_at: launch_at,
+                        running_from,
+                        dies_at,
+                        drained_at: None,
+                    });
+                    break;
+                }
+                match action {
+                    "no_pool" => migrate_no_pool.inc(),
+                    "no_grant" => migrate_no_grant.inc(),
+                    _ => {}
+                }
+                if action == "no_pool" || action == "no_grant" {
+                    reserved.push((vzone, vty));
+                }
+                if let Some(seq) = obs.audit.record(
+                    launch_at,
+                    AuditKind::Migration {
+                        action: action.to_owned(),
+                        from_zone: vzone.to_string(),
+                        to_zone,
+                        notice_minute: notice_at,
+                        deadline_minute: deadline,
+                        bid_dollars,
+                    },
+                ) {
+                    interval_refs.push(seq);
+                    slo.link_decision(seq);
                 }
             }
         }
@@ -574,11 +789,12 @@ fn replay_core<S: BiddingStrategy>(
         // are never retrained mid-interval, so boundary decisions are
         // identical across repair policies), then from on-demand under
         // Hybrid. Replacements can die and be repaired again; the cursor
-        // only moves forward, so the loop terminates.
+        // only moves forward, so the loop terminates. Under Migrate this
+        // walk is the reactive fallback: migrated slots are already
+        // filled, so it only acts where the notice path came up empty.
         let mut on_demand: Vec<OnDemandActive> = Vec::new();
         let rebids_before = repair_rebids.get();
         if repair.is_active() && !fleet.is_empty() {
-            let target_n = fleet.len();
             let mut rebids_used = 0u32;
             let mut wait = repair.backoff_base_minutes;
             let mut cursor = boundary;
@@ -620,10 +836,21 @@ fn replay_core<S: BiddingStrategy>(
                         .count() as u64,
                 );
                 // Strength at repair time: live or still-booting spot
-                // instances plus standing on-demand fallbacks.
+                // instances plus standing on-demand fallbacks. A drained
+                // victim stops counting at its handoff — its replacement
+                // already holds the slot, and counting both would mask a
+                // concurrent death elsewhere from the refill. Migration
+                // replacements scheduled for a *later* signal minute have
+                // not been granted yet and hold nothing either.
                 let alive = fleet
                     .iter()
-                    .filter(|i| i.dies_at.map(|d| d > at).unwrap_or(true))
+                    .filter(|i| {
+                        i.granted_at <= at
+                            && i.dies_at
+                                .unwrap_or(u64::MAX)
+                                .min(i.drained_at.unwrap_or(u64::MAX))
+                                > at
+                    })
                     .count()
                     + on_demand.len();
                 let missing = target_n.saturating_sub(alive);
@@ -665,7 +892,14 @@ fn replay_core<S: BiddingStrategy>(
                             continue;
                         }
                         let delay = market.startup_delay_minutes_typed(zone, rty, at);
-                        let dies_at = market.out_of_bid_at(zone, rty, bid, at, interval_end);
+                        let dies_at = match era {
+                            BidEra::Bidding => {
+                                market.out_of_bid_at(zone, rty, bid, at, interval_end)
+                            }
+                            BidEra::CapacityReclaim => {
+                                market.next_reclaim_at(zone, rty, at, interval_end)
+                            }
+                        };
                         if dies_at.is_some() {
                             kills += 1;
                         }
@@ -693,6 +927,7 @@ fn replay_core<S: BiddingStrategy>(
                             granted_at: at,
                             running_from: at + delay,
                             dies_at,
+                            drained_at: None,
                         });
                         launched += 1;
                     }
@@ -792,7 +1027,12 @@ fn replay_core<S: BiddingStrategy>(
             let mut next_change = interval_end;
             for inst in &fleet {
                 let alive_from = inst.running_from;
-                let dead_at = inst.dies_at.unwrap_or(u64::MAX);
+                // A drained victim's slot belongs to its replacement from
+                // the handoff minute on; billing still runs to the kill.
+                let dead_at = inst
+                    .dies_at
+                    .unwrap_or(u64::MAX)
+                    .min(inst.drained_at.unwrap_or(u64::MAX));
                 if minute >= alive_from && minute < dead_at {
                     live += 1;
                     live_strength += inst.ty.capacity_weight();
@@ -1150,6 +1390,110 @@ mod tests {
         assert_eq!(detected, deaths, "every kill is seen by the controller");
         let filled = snap.counter("repair.spot_replacements").unwrap_or(0);
         assert!(filled <= detected, "replacements can never outnumber kills");
+    }
+
+    #[test]
+    fn migrate_under_bidding_era_matches_reactive() {
+        // Without notices the Migrate policy is pure fallback: it must
+        // replay byte-identically to Reactive (strict additivity).
+        let market = small_market(2);
+        let spec = ServiceSpec::lock_service();
+        let config = ReplayConfig::new(7 * 24 * 60, 14 * 24 * 60, 3);
+        let store = ModelStore::new();
+        let reactive = replay_repair_stored(
+            &market,
+            &spec,
+            ExtraStrategy::new(0, 0.02),
+            config,
+            RepairConfig::reactive(),
+            &store,
+            &Obs::disabled(),
+        );
+        let migrate = replay_repair_stored(
+            &market,
+            &spec,
+            ExtraStrategy::new(0, 0.02),
+            config,
+            RepairConfig::migrate(),
+            &store,
+            &Obs::disabled(),
+        );
+        assert_eq!(migrate.total_cost, reactive.total_cost);
+        assert_eq!(migrate.up_minutes, reactive.up_minutes);
+        assert_eq!(migrate.degraded_minutes, reactive.degraded_minutes);
+        assert_eq!(migrate.instances.len(), reactive.instances.len());
+        assert!(reactive.total_kills() > 0, "fixture must produce churn");
+    }
+
+    #[test]
+    fn capacity_era_migration_drains_and_reconciles_billing() {
+        let market = small_market(2);
+        let spec = ServiceSpec::lock_service();
+        let config = ReplayConfig::new(7 * 24 * 60, 14 * 24 * 60, 3)
+            .with_era(BidEra::CapacityReclaim);
+        let store = ModelStore::new();
+        let (obs, _clock) = Obs::simulated();
+        let reactive = replay_repair_stored(
+            &market,
+            &spec,
+            ExtraStrategy::new(0, 0.02),
+            config,
+            RepairConfig::reactive(),
+            &store,
+            &Obs::disabled(),
+        );
+        let migrate = replay_repair_stored(
+            &market,
+            &spec,
+            ExtraStrategy::new(0, 0.02),
+            config,
+            RepairConfig::migrate(),
+            &store,
+            &obs,
+        );
+        assert!(migrate.total_kills() > 0, "capacity era must reclaim");
+        let snap = obs.metrics.snapshot();
+        assert!(snap.counter("notice.emitted").unwrap_or(0) > 0);
+        let drained = snap.counter("migrate.drained").unwrap_or(0);
+        assert!(drained >= 1, "at least one pre-deadline drain");
+        // Acting on the notice is never worse than reacting to the kill.
+        assert!(
+            migrate.degraded_minutes <= reactive.degraded_minutes,
+            "migrate {} > reactive {}",
+            migrate.degraded_minutes,
+            reactive.degraded_minutes
+        );
+        assert!(migrate.up_minutes >= reactive.up_minutes);
+        // Billing reconciles record by record: the total is exactly the
+        // record sum, nothing billed on-demand, and every reclaimed
+        // instance keeps the provider-kill billing (free partial hour) —
+        // so the drain window is the only double-billed overlap.
+        let record_sum: Price = migrate.instances.iter().map(|r| r.cost).sum();
+        assert_eq!(record_sum, migrate.total_cost);
+        assert_eq!(migrate.on_demand_cost, Price::ZERO);
+        for rec in migrate
+            .instances
+            .iter()
+            .filter(|r| r.termination == Termination::Provider)
+        {
+            let full_hours = (rec.ended_at - rec.granted_at) / 60;
+            let manual: Price = (0..full_hours)
+                .map(|h| {
+                    market.trace(rec.zone, rec.instance_type).last_price_in(
+                        rec.granted_at + h * 60,
+                        rec.granted_at + (h + 1) * 60,
+                    )
+                })
+                .sum();
+            assert_eq!(rec.cost, manual);
+        }
+        // Drains are handoffs, not extra capacity: the live count never
+        // exceeds the decided group size.
+        for iv in &migrate.intervals {
+            assert!(iv.max_live <= iv.group_size, "{iv:?}");
+        }
+        // The controller leaves an audit trail.
+        assert!(migrate.audit.iter().any(|r| r.kind.label() == "migration"));
     }
 
     #[test]

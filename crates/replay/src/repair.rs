@@ -42,6 +42,15 @@ pub enum RepairPolicy {
     /// market cannot fill (or that exceed the rebid budget) are replaced
     /// by on-demand instances until the next boundary.
     Hybrid,
+    /// Proactive migration on interruption notices: under
+    /// [`spot_market::BidEra::CapacityReclaim`] the controller reacts to
+    /// the provider's advance notice (and earlier rebalance
+    /// recommendations) by launching a replacement in a diversified pool
+    /// and draining the victim's slot before the kill lands. Deaths the
+    /// notice path cannot cover fall back to the reactive rebid walk.
+    /// Under the default bidding era there are no notices, so this policy
+    /// replays exactly as [`RepairPolicy::Reactive`].
+    Migrate,
 }
 
 impl RepairPolicy {
@@ -51,6 +60,7 @@ impl RepairPolicy {
             RepairPolicy::Off => "off",
             RepairPolicy::Reactive => "reactive",
             RepairPolicy::Hybrid => "hybrid",
+            RepairPolicy::Migrate => "migrate",
         }
     }
 }
@@ -97,6 +107,16 @@ impl RepairConfig {
         }
     }
 
+    /// Proactive notice-driven migration with the reactive rebid walk as
+    /// fallback, default knobs (the knobs govern the fallback only — the
+    /// notice path has no backoff or budget, it fires once per notice).
+    pub fn migrate() -> Self {
+        RepairConfig {
+            policy: RepairPolicy::Migrate,
+            ..Self::hybrid()
+        }
+    }
+
     /// Rebids plus the on-demand fallback tier, default knobs.
     pub fn hybrid() -> Self {
         RepairConfig {
@@ -129,9 +149,11 @@ mod tests {
         assert_eq!(RepairPolicy::Off.label(), "off");
         assert_eq!(RepairPolicy::Reactive.label(), "reactive");
         assert_eq!(format!("{}", RepairPolicy::Hybrid), "hybrid");
+        assert_eq!(RepairPolicy::Migrate.label(), "migrate");
         assert!(!RepairConfig::off().is_active());
         assert!(RepairConfig::reactive().is_active());
         assert!(RepairConfig::hybrid().is_active());
+        assert!(RepairConfig::migrate().is_active());
         assert_eq!(RepairConfig::default(), RepairConfig::off());
     }
 

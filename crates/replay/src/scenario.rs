@@ -29,7 +29,7 @@ use std::sync::Arc;
 use jupiter::{BiddingStrategy, ModelStore, ServiceSpec};
 use obs::Obs;
 use rayon::prelude::*;
-use spot_market::{InstanceType, Market, Price};
+use spot_market::{BidEra, InstanceType, Market, Price};
 
 use crate::adaptive::{replay_adaptive_stored, AdaptiveConfig};
 use crate::lifecycle::{on_demand_baseline_cost, replay_repair_stored, ReplayConfig};
@@ -51,6 +51,9 @@ pub struct SweepSpec {
     /// Instance-pool columns; an empty inner vec means "as the service
     /// declares" (the default single column).
     pools: Vec<Vec<InstanceType>>,
+    /// Interruption-era columns; defaults to the single
+    /// [`BidEra::Bidding`] column, so pre-era sweeps replay byte-identically.
+    eras: Vec<BidEra>,
 }
 
 impl SweepSpec {
@@ -65,6 +68,7 @@ impl SweepSpec {
             intervals: Vec::new(),
             repairs: vec![RepairConfig::off()],
             pools: vec![Vec::new()],
+            eras: vec![BidEra::Bidding],
         }
     }
 
@@ -107,6 +111,17 @@ impl SweepSpec {
         self
     }
 
+    /// Set the interruption-era columns to sweep (replacing the default
+    /// single [`BidEra::Bidding`] column): each entry replays the whole
+    /// grid under that death regime over the same market, so the paper's
+    /// bid-vs-price kills race directly against capacity-driven
+    /// reclamations with advance notice.
+    pub fn eras(mut self, eras: impl Into<Vec<BidEra>>) -> Self {
+        self.eras = eras.into();
+        assert!(!self.eras.is_empty(), "the era axis cannot be empty");
+        self
+    }
+
     /// The service this sweep deploys.
     pub fn service(&self) -> &ServiceSpec {
         &self.service
@@ -114,7 +129,11 @@ impl SweepSpec {
 
     /// Number of cells the grid enumerates.
     pub fn cells(&self) -> usize {
-        self.strategies.len() * self.intervals.len() * self.repairs.len() * self.pools.len()
+        self.strategies.len()
+            * self.intervals.len()
+            * self.repairs.len()
+            * self.pools.len()
+            * self.eras.len()
     }
 }
 
@@ -124,6 +143,8 @@ pub struct CellOutcome {
     pub interval_hours: u64,
     /// The repair policy this cell replayed under.
     pub repair: RepairPolicy,
+    /// The interruption era this cell replayed under.
+    pub era: BidEra,
     /// The instance-type pools the cell's service was deployed over.
     pub pool_types: Vec<InstanceType>,
     /// The replay accounting for this cell.
@@ -179,29 +200,35 @@ impl Scenario {
         ReplayConfig::new(self.eval_start, self.eval_end, interval_hours)
     }
 
-    /// Replay the full strategy × interval × repair grid of `spec`, cells
-    /// in parallel over the shared market and store. Cells are returned
-    /// in grid order (intervals outer, then strategies, repair policies
-    /// inner), and each cell's private registry is merged into the
-    /// scenario [`Obs`] in that same order, so output and metrics are
-    /// independent of scheduling. Cells with repair off keep the
-    /// historical `cell.{strategy}.{interval}h.` prefix; repairing cells
-    /// append the policy label (`….{interval}h.{policy}.`).
+    /// Replay the full strategy × interval × repair × pool × era grid of
+    /// `spec`, cells in parallel over the shared market and store. Cells
+    /// are returned in grid order (intervals outer, then strategies,
+    /// repairs, pools, eras innermost), and each cell's private registry
+    /// is merged into the scenario [`Obs`] in that same order, so output
+    /// and metrics are independent of scheduling. Cells with repair off
+    /// keep the historical `cell.{strategy}.{interval}h.` prefix;
+    /// repairing cells append the policy label
+    /// (`….{interval}h.{policy}.`), non-default pool columns their type
+    /// list, and non-default era columns the era label.
     pub fn run(&self, spec: &SweepSpec) -> Vec<CellOutcome> {
-        let jobs: Vec<(u64, usize, usize, usize)> = spec
+        let jobs: Vec<(u64, usize, usize, usize, usize)> = spec
             .intervals
             .iter()
             .flat_map(|&h| {
                 let repairs = spec.repairs.len();
                 let pools = spec.pools.len();
+                let eras = spec.eras.len();
                 (0..spec.strategies.len()).flat_map(move |s| {
-                    (0..repairs).flat_map(move |r| (0..pools).map(move |p| (h, s, r, p)))
+                    (0..repairs).flat_map(move |r| {
+                        (0..pools)
+                            .flat_map(move |p| (0..eras).map(move |e| (h, s, r, p, e)))
+                    })
                 })
             })
             .collect();
         let cells: Vec<(CellOutcome, bool, Obs)> = jobs
             .into_par_iter()
-            .map(|(h, s, r, p)| {
+            .map(|(h, s, r, p, e)| {
                 let cell_obs = if self.obs.metrics.is_enabled() {
                     Obs::simulated().0
                 } else {
@@ -209,6 +236,7 @@ impl Scenario {
                 };
                 let strategy = (spec.strategies[s])(&cell_obs);
                 let repair = spec.repairs[r];
+                let era = spec.eras[e];
                 let default_pools = spec.pools[p].is_empty();
                 let service = if default_pools {
                     spec.service.clone()
@@ -219,7 +247,7 @@ impl Scenario {
                     &self.market,
                     &service,
                     strategy,
-                    self.config(h),
+                    self.config(h).with_era(era),
                     repair,
                     &self.store,
                     &cell_obs,
@@ -228,6 +256,7 @@ impl Scenario {
                     CellOutcome {
                         interval_hours: h,
                         repair: repair.policy,
+                        era,
                         pool_types: service.pools(),
                         result,
                     },
@@ -255,6 +284,12 @@ impl Scenario {
                     let label: Vec<String> =
                         cell.pool_types.iter().map(|t| t.to_string()).collect();
                     prefix.push_str(&label.join("+"));
+                    prefix.push('.');
+                }
+                if cell.era != BidEra::Bidding {
+                    // Era columns likewise: the default bidding era keeps
+                    // its historical prefix byte-identically.
+                    prefix.push_str(cell.era.label());
                     prefix.push('.');
                 }
                 self.obs.metrics.merge_prefixed(&cell_obs.metrics, &prefix);

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--quick] [--seed N] [--metrics-out PATH] [--report-out PATH] \
-//!       [all|fig1|table1|fig4|fig5|fig6|fig7|fig8|fig9|headline|repair|ablations|calibration|metrics|report|workload|hetero]
+//!       [all|fig1|table1|fig4|fig5|fig6|fig7|fig8|fig9|headline|repair|ablations|calibration|metrics|report|workload|hetero|era]
 //! ```
 //!
 //! By default runs at the paper's scale (13 training weeks, 11 evaluation
@@ -119,6 +119,7 @@ fn main() {
         }
         "repair" => repair(&scale),
         "hetero" => hetero(&scale),
+        "era" => era(&scale),
         "ablations" => ablations(&scale),
         "ablation-g" => {
             println!("\n== Ablation G: one-shot fixed bids (Andrzejak-style) vs online re-bidding ==");
@@ -512,6 +513,42 @@ fn repair(scale: &Scale) {
     }
     println!(
         "on-demand baseline: ${:.2} (every repairing cell must undercut it)",
+        s.baseline_cost.as_dollars()
+    );
+}
+
+/// The `era` target: the interruption-regime race. The same storage
+/// deployment replayed under the bidding era (out-of-bid kills) and the
+/// capacity-reclaim era (hidden capacity processes with advance notices),
+/// with reactive repair racing the proactive-migration controller in each.
+/// Output is deterministic for a given seed, so CI diffs it across thread
+/// counts.
+fn era(scale: &Scale) {
+    let s = experiments::era_sweep(scale);
+    println!(
+        "\n== Interruption eras: reactive repair vs proactive migration ({} h interval) ==",
+        s.interval_hours
+    );
+    println!(
+        "{:<18} {:<10} {:<12} {:>12} {:>12} {:>10} {:>7} {:>7} {:>7}",
+        "era", "repair", "strategy", "cost ($)", "availability", "degraded", "kills", "drains", "late"
+    );
+    for r in &s.rows {
+        println!(
+            "{:<18} {:<10} {:<12} {:>12.2} {:>12.6} {:>8} m {:>7} {:>7} {:>7}",
+            r.era.label(),
+            r.policy.label(),
+            r.strategy,
+            r.cost.as_dollars(),
+            r.availability,
+            r.degraded_minutes,
+            r.kills,
+            r.drains,
+            r.late_drains
+        );
+    }
+    println!(
+        "on-demand baseline: ${:.2} (every cell must undercut it)",
         s.baseline_cost.as_dollars()
     );
 }

@@ -559,6 +559,21 @@ pub fn alert_section(alerts: &[AlertEvent], audit: &[AuditRecord]) -> String {
                         fmt_num(*demand_strength)
                     ),
                 ),
+                AuditKind::Migration {
+                    action,
+                    from_zone,
+                    to_zone,
+                    notice_minute,
+                    deadline_minute,
+                    bid_dollars,
+                } => (
+                    from_zone.clone(),
+                    *bid_dollars,
+                    format!(
+                        "{action} → {} · notice @ min {notice_minute} · deadline @ min {deadline_minute}",
+                        if to_zone.is_empty() { "∅" } else { to_zone },
+                    ),
+                ),
             };
             out.push_str(&format!(
                 "<tr id=\"audit-{}\"><td>{}</td><td>{}</td><td>{}</td>\

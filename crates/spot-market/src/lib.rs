@@ -35,6 +35,7 @@
 
 pub mod ar;
 pub mod billing;
+pub mod capacity;
 pub mod gen;
 pub mod instance;
 pub mod market;
@@ -45,6 +46,7 @@ pub mod trace;
 
 pub use ar::{ArParams, ArTraceGenerator};
 pub use billing::{on_demand_charge, spot_charge, Termination};
+pub use capacity::{BidEra, CapacityParams, CapacityProcess, InterruptionNotice, RebalanceSignal};
 pub use gen::{GenParams, TraceGenerator};
 pub use instance::InstanceType;
 pub use market::{Market, MarketConfig};

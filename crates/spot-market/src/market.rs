@@ -8,6 +8,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use crate::billing::{spot_charge, Termination};
+use crate::capacity::{CapacityParams, CapacityProcess, InterruptionNotice, RebalanceSignal};
 use crate::gen::{GenParams, TraceGenerator};
 use crate::instance::InstanceType;
 use crate::money::Price;
@@ -37,6 +38,12 @@ pub struct MarketConfig {
     /// zone's sampled delay (bigger images provision slower). Types not
     /// listed get no surcharge; empty preserves legacy delays exactly.
     pub type_startup_extra: Vec<(InstanceType, u64)>,
+    /// Parameters of the hidden per-pool capacity processes (the
+    /// post-2017 interruption regime, see [`crate::capacity`]). The
+    /// processes are drawn from seed streams disjoint from the price
+    /// streams, so their presence never perturbs a trace; they only
+    /// matter to replays running under `BidEra::CapacityReclaim`.
+    pub capacity: CapacityParams,
 }
 
 impl MarketConfig {
@@ -51,6 +58,7 @@ impl MarketConfig {
             gen_params: GenParams::default(),
             type_params: Vec::new(),
             type_startup_extra: Vec::new(),
+            capacity: CapacityParams::default(),
         }
     }
 
@@ -115,6 +123,29 @@ impl MarketConfig {
 pub struct Market {
     config: MarketConfig,
     traces: HashMap<(Zone, InstanceType), PriceTrace>,
+    capacity: HashMap<(Zone, InstanceType), CapacityProcess>,
+}
+
+/// Materialize every pool's capacity timeline from the config. Seed
+/// streams are disjoint from the price streams, so this never changes a
+/// trace byte.
+fn build_capacity(config: &MarketConfig) -> HashMap<(Zone, InstanceType), CapacityProcess> {
+    let mut map = HashMap::new();
+    for &ty in &config.types {
+        for &zone in &config.zones {
+            map.insert(
+                (zone, ty),
+                CapacityProcess::generate(
+                    config.seed,
+                    zone,
+                    ty,
+                    &config.capacity,
+                    config.horizon_minutes,
+                ),
+            );
+        }
+    }
+    map
 }
 
 impl Market {
@@ -127,7 +158,12 @@ impl Market {
                 traces.insert((zone, ty), gen.generate(zone, ty, config.horizon_minutes));
             }
         }
-        Market { config, traces }
+        let capacity = build_capacity(&config);
+        Market {
+            config,
+            traces,
+            capacity,
+        }
     }
 
     /// Build a market from externally supplied traces (e.g. real archived
@@ -143,7 +179,12 @@ impl Market {
                 "trace horizon mismatch"
             );
         }
-        Market { config, traces }
+        let capacity = build_capacity(&config);
+        Market {
+            config,
+            traces,
+            capacity,
+        }
     }
 
     /// The market configuration.
@@ -193,6 +234,52 @@ impl Market {
         self.trace(zone, ty)
             .first_minute_above(bid, from)
             .filter(|&m| m < until)
+    }
+
+    /// The hidden capacity process of `(zone, ty)` — the post-2017
+    /// interruption timeline a `CapacityReclaim`-era replay kills by.
+    pub fn capacity(&self, zone: Zone, ty: InstanceType) -> &CapacityProcess {
+        self.capacity
+            .get(&(zone, ty))
+            .unwrap_or_else(|| panic!("no capacity process for {} {}", zone.name(), ty))
+    }
+
+    /// The first capacity reclamation of `(zone, ty)` at or after `from`,
+    /// strictly before `until` — the capacity-era analogue of
+    /// [`Market::out_of_bid_at`] (the bid plays no part).
+    pub fn next_reclaim_at(
+        &self,
+        zone: Zone,
+        ty: InstanceType,
+        from: u64,
+        until: u64,
+    ) -> Option<u64> {
+        self.capacity(zone, ty).next_reclaim_at(from, until)
+    }
+
+    /// Every pool's interruption notices emitted in `[from, until)`,
+    /// sorted by emission minute then pool ordinal (deterministic across
+    /// platforms and thread counts).
+    pub fn notices_in(&self, from: u64, until: u64) -> Vec<InterruptionNotice> {
+        let mut out: Vec<InterruptionNotice> = self
+            .capacity
+            .values()
+            .flat_map(|p| p.notices_in(from, until))
+            .collect();
+        out.sort_by_key(|n| (n.at_minute, n.zone.ordinal(), n.instance_type as u64));
+        out
+    }
+
+    /// Every pool's rebalance recommendations emitted in `[from, until)`,
+    /// sorted like [`Market::notices_in`].
+    pub fn rebalances_in(&self, from: u64, until: u64) -> Vec<RebalanceSignal> {
+        let mut out: Vec<RebalanceSignal> = self
+            .capacity
+            .values()
+            .flat_map(|p| p.rebalances_in(from, until))
+            .collect();
+        out.sort_by_key(|s| (s.at_minute, s.zone.ordinal(), s.instance_type as u64));
+        out
     }
 
     /// Billing for a spot instance lifetime (see [`spot_charge`]).
@@ -245,7 +332,15 @@ impl Market {
             .iter()
             .map(|(k, t)| (*k, t.window(from, to)))
             .collect();
-        Market { config, traces }
+        // Capacity timelines re-derive from minute 0 of the window
+        // (windows exist to split histories for model *training*; kills
+        // are always resolved against the full market).
+        let capacity = build_capacity(&config);
+        Market {
+            config,
+            traces,
+            capacity,
+        }
     }
 
     /// Serialize every trace as JSON — the interchange format for feeding
@@ -295,7 +390,12 @@ impl Market {
         config.zones = zones;
         config.types = types;
         config.horizon_minutes = horizon;
-        Ok(Market { config, traces })
+        let capacity = build_capacity(&config);
+        Ok(Market {
+            config,
+            traces,
+            capacity,
+        })
     }
 }
 
@@ -440,5 +540,40 @@ mod tests {
     fn missing_pair_panics() {
         let m = small_market();
         m.price(Zone::new(Region::SaEast1, 1), InstanceType::M1Small, 0);
+    }
+
+    #[test]
+    fn capacity_processes_never_perturb_prices() {
+        // The capacity streams are seeded off disjoint mixers, so a
+        // market that carries them prices identically to one whose
+        // processes were never queried — and the timelines themselves
+        // are seed-deterministic and consistent across market queries.
+        let a = small_market();
+        let b = small_market();
+        let z = a.zones()[0];
+        let ty = InstanceType::M1Small;
+        let _ = a.notices_in(0, a.horizon());
+        let _ = a.next_reclaim_at(z, ty, 0, a.horizon());
+        for minute in (0..a.horizon()).step_by(977) {
+            assert_eq!(a.price(z, ty, minute), b.price(z, ty, minute));
+        }
+        assert_eq!(a.capacity(z, ty), b.capacity(z, ty));
+    }
+
+    #[test]
+    fn market_notices_cover_every_pool_reclaim() {
+        let m = small_market();
+        let horizon = m.horizon();
+        let per_pool: usize = m
+            .zones()
+            .iter()
+            .map(|&z| m.capacity(z, InstanceType::M1Small).reclaims().len())
+            .sum();
+        assert_eq!(m.notices_in(0, horizon).len(), per_pool);
+        // Market-wide notices come out time-ordered.
+        let notices = m.notices_in(0, horizon);
+        for w in notices.windows(2) {
+            assert!(w[0].at_minute <= w[1].at_minute);
+        }
     }
 }

@@ -12,21 +12,29 @@
 //! * Reproduction is byte-for-byte: the same schedule always yields the
 //!   same simulator fingerprint (asserted below).
 
-use spot_jupiter::jupiter::{ExtraStrategy, ServiceSpec};
-use spot_jupiter::obs::Obs;
-use spot_jupiter::replay::lifecycle::{on_demand_baseline_cost, replay_strategy};
-use spot_jupiter::replay::{market_fault_schedule, RepairConfig, ReplayConfig};
+use spot_jupiter::jupiter::{ExtraStrategy, ModelStore, ServiceSpec};
+use spot_jupiter::obs::{AuditKind, Obs};
+use spot_jupiter::replay::lifecycle::{
+    on_demand_baseline_cost, replay_repair_stored, replay_strategy,
+};
+use spot_jupiter::replay::{capacity_fault_schedule, market_fault_schedule, RepairConfig, ReplayConfig};
 use spot_jupiter::simnet::{ChaosAction, ChaosEvent, ChaosPlan, ChaosSchedule, SimTime};
+use spot_jupiter::spot_market::BidEra;
 use test_util::{
     chaos_schedules, chaos_seed, derive_seed, quick_market, repair_pair, run_lock_chaos,
     run_lock_chaos_batched, run_storage_chaos, run_storage_chaos_batched, shrink_and_report,
     ChaosOutcome,
 };
 
-/// Default per-sweep schedule count: six sweeps × these defaults give the
-/// ≥200-schedule baseline the suite promises.
-const LOCK_SWEEP_DEFAULT: usize = 35;
-const STORAGE_SWEEP_DEFAULT: usize = 30;
+/// Default per-sweep schedule counts: two plain lock sweeps (30 each),
+/// two batched lock sweeps (25 each), two storage sweeps (20 each) and
+/// the capacity-driven migration sweep (50) give the ≥200-schedule
+/// baseline the suite promises, with a dedicated 50-schedule slice
+/// through the proactive-migration path.
+const LOCK_SWEEP_DEFAULT: usize = 30;
+const LOCK_BATCHED_DEFAULT: usize = 25;
+const STORAGE_SWEEP_DEFAULT: usize = 20;
+const MIGRATION_SWEEP_DEFAULT: usize = 50;
 
 /// Run `n` seeded schedules through `run`, shrinking and reporting the
 /// first failure. Returns (ops checked, unavailable reads, batches
@@ -99,7 +107,7 @@ fn lock_sweep_b() {
 fn lock_sweep_c_batched() {
     let (ops, _, batches) = sweep(
         "lock_sweep_c_batched",
-        LOCK_SWEEP_DEFAULT,
+        LOCK_BATCHED_DEFAULT,
         0xC,
         &lock_plan(),
         run_lock_chaos_batched,
@@ -112,7 +120,7 @@ fn lock_sweep_c_batched() {
 fn lock_sweep_d_batched() {
     let (ops, _, batches) = sweep(
         "lock_sweep_d_batched",
-        LOCK_SWEEP_DEFAULT,
+        LOCK_BATCHED_DEFAULT,
         0xD,
         &lock_plan(),
         run_lock_chaos_batched,
@@ -351,4 +359,87 @@ fn market_derived_churn_preserves_lock_safety() {
     if max_down < 5 {
         assert!(out.ops_checked > 0, "no ops audited despite a surviving replica");
     }
+}
+
+#[test]
+fn capacity_migration_sweep() {
+    // The dedicated capacity-era slice of the schedule budget: for each
+    // seeded market, replay the evaluation week under the capacity
+    // regime with the proactive-migration policy, then drive the live
+    // lock cluster with the correlated crash schedule derived from its
+    // reclamations (gap-compressed so the cluster never idles for
+    // simulated hours). A replacement that boots before its victim's
+    // kill shows up as a Restart preceding the paired Crash — the view
+    // change happens before the kill lands — so the safety checkers see
+    // the whole notice → drain → view change → kill sequence. Failures
+    // shrink and print a `CHAOS_SEED=…` repro like every other sweep.
+    let n = chaos_schedules(MIGRATION_SWEEP_DEFAULT);
+    let pinned = std::env::var("CHAOS_SEED").is_ok();
+    let base = chaos_seed(0xC0FFEE);
+    let spec = ServiceSpec::lock_service();
+    let eval_start = 7 * 24 * 60;
+    let mut drains = 0usize;
+    let mut late = 0usize;
+    let mut crashes_total = 0usize;
+    let mut ops = 0usize;
+    for i in 0..n {
+        // Pinned seeds are used verbatim so a printed failure seed
+        // re-runs the exact market; the derived schedule is a pure
+        // function of the market replay.
+        let seed = if pinned {
+            base.wrapping_add(i as u64)
+        } else {
+            derive_seed(derive_seed(base, 0x316), i as u64)
+        };
+        let market = quick_market(seed, 2, 8);
+        let config =
+            ReplayConfig::new(eval_start, 14 * 24 * 60, 3).with_era(BidEra::CapacityReclaim);
+        let store = ModelStore::new();
+        let (obs, _clock) = Obs::simulated();
+        let result = replay_repair_stored(
+            &market,
+            &spec,
+            ExtraStrategy::new(0, 0.2),
+            config,
+            RepairConfig::migrate(),
+            &store,
+            &obs,
+        );
+        for r in &result.audit {
+            if let AuditKind::Migration { action, .. } = &r.kind {
+                match action.as_str() {
+                    "drained" => drains += 1,
+                    "late_drain" => late += 1,
+                    _ => {}
+                }
+            }
+        }
+        let derived = capacity_fault_schedule(&result, eval_start, 5);
+        crashes_total += derived
+            .events
+            .iter()
+            .filter(|e| matches!(e.action, ChaosAction::Crash(_)))
+            .count();
+        // Stamp the market seed on the derived schedule so a failure's
+        // printed repro line re-runs this exact market.
+        let schedule = ChaosSchedule {
+            seed,
+            events: derived.events,
+        };
+        match run_lock_chaos(&schedule, &Obs::disabled()) {
+            Ok(out) => ops += out.ops_checked,
+            Err(reason) => {
+                let failure =
+                    shrink_and_report(&schedule, "capacity_migration_sweep", reason, run_lock_chaos);
+                panic!("{failure}");
+            }
+        }
+    }
+    println!(
+        "capacity_migration_sweep: base seed {base:#x}, {n} markets, \
+         {drains} drains ({late} late), {crashes_total} correlated crashes"
+    );
+    assert!(crashes_total > 0, "capacity regime produced no reclamation churn");
+    assert!(drains >= 1, "no pre-deadline drain landed across the sweep");
+    assert!(ops > 0, "sweep never audited a completed op");
 }
